@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper, prints it,
+saves the rendered text under ``benchmarks/results/``, and asserts the
+qualitative *shape* the paper reports (who wins, roughly by how much,
+where the crossovers fall).  Absolute numbers are not asserted — the
+substrate is a synthetic simulator, not the authors' testbed.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Return a callable that persists a rendered table/figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}", file=sys.stderr)
+
+    return _save
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiment sweeps are deterministic and expensive; multiple
+    rounds would only repeat identical work.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Ablation: k-means blocking for scalable matching (extension).
+
+Paper insight 4: the best-performing matchers are not scalable.  The
+BlockedMatcher extension bounds the working set to one block's matrices
+(ClusterEA-style).  This ablation measures the quality/efficiency
+trade-off across block counts on the DWY100K-like preset.
+"""
+
+from conftest import run_once
+
+from repro.core import create_matcher
+from repro.core.blocking import BlockedMatcher
+from repro.datasets import load_preset
+from repro.eval import evaluate_pairs
+from repro.experiments import build_embeddings, format_table
+from repro.experiments.runner import _gold_local_pairs
+
+
+def run_ablation():
+    preset = "dwy100k/dbp_wd"
+    task = load_preset(preset)
+    emb = build_embeddings(task, "G", preset_name=preset)
+    queries = task.test_query_ids()
+    candidates = task.candidate_target_ids()
+    src, tgt = emb.source[queries], emb.target[candidates]
+    gold = _gold_local_pairs(task, queries, candidates)
+
+    out = {}
+    direct = create_matcher("Hun.").match(src, tgt)
+    out["direct"] = {
+        "f1": evaluate_pairs(direct.pairs, gold).f1,
+        "seconds": direct.seconds,
+        "peak_bytes": direct.peak_bytes,
+    }
+    for blocks in (2, 4, 8):
+        result = BlockedMatcher(
+            create_matcher("Hun."), num_blocks=blocks, overlap=0.3
+        ).match(src, tgt)
+        out[f"blocked:{blocks}"] = {
+            "f1": evaluate_pairs(result.pairs, gold).f1,
+            "seconds": result.seconds,
+            "peak_bytes": result.peak_bytes,
+        }
+    return out
+
+
+def test_ablation_blocking(benchmark, save_artifact):
+    out = run_once(benchmark, run_ablation)
+
+    rows = [
+        {"config": label, "F1": data["f1"], "time(s)": round(data["seconds"], 3),
+         "peak MiB": round(data["peak_bytes"] / 2**20, 1)}
+        for label, data in out.items()
+    ]
+    save_artifact(
+        "ablation_blocking",
+        format_table(rows, title="Ablation: k-means blocking of Hun. (G-D-W)"),
+    )
+
+    direct = out["direct"]
+    # Every blocked configuration cuts both time and peak memory...
+    for blocks in (2, 4, 8):
+        data = out[f"blocked:{blocks}"]
+        assert data["seconds"] < direct["seconds"]
+        assert data["peak_bytes"] < direct["peak_bytes"]
+    # ...and more blocks cut memory monotonically.
+    assert out["blocked:8"]["peak_bytes"] <= out["blocked:2"]["peak_bytes"]
+    # Quality stays within a usable band of the direct run (blocking is a
+    # trade, not a free lunch: assert it keeps >= 70% of direct F1).
+    assert out["blocked:4"]["f1"] >= 0.7 * direct["f1"]

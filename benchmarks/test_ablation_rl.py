@@ -1,0 +1,81 @@
+"""Ablation: the RL matcher's design choices.
+
+Two knobs the paper's analysis attributes RL's behaviour to:
+
+1. **Confident-pair pre-filtering** — accepting decisive mutual nearest
+   neighbours outright shrinks the expensive sequential phase.  The
+   paper explains RL's speed on accurate scores with exactly this.
+2. **Exclusiveness strength** — the relaxed 1-to-1 penalty helps under
+   1-to-1 gold links and misfires on non-1-to-1 ones (Table 8).
+"""
+
+from conftest import run_once
+
+from repro.core.rl import RLMatcher
+from repro.datasets import load_preset
+from repro.eval import evaluate_pairs
+from repro.experiments import build_embeddings, format_table
+from repro.experiments.runner import _gold_local_pairs
+
+
+def _setting(preset, regime):
+    task = load_preset(preset)
+    emb = build_embeddings(task, regime, preset_name=preset)
+    queries = task.test_query_ids()
+    candidates = task.candidate_target_ids()
+    return (
+        emb.source[queries],
+        emb.target[candidates],
+        _gold_local_pairs(task, queries, candidates),
+    )
+
+
+def run_ablation():
+    src, tgt, gold = _setting("dbp15k/zh_en", "R")
+    out = {}
+
+    # (1) Pre-filter margin: 0 accepts every mutual nearest neighbour
+    # (most aggressive pre-filtering, smallest sequential phase); a huge
+    # margin deems nothing confident (pre-filter effectively off).
+    for margin, label in ((0.0, "prefilter:aggressive"),
+                          (0.15, "prefilter:default"),
+                          (1e9, "prefilter:off")):
+        matcher = RLMatcher(confident_margin=margin)
+        result = matcher.match(src, tgt)
+        out[label] = {
+            "f1": evaluate_pairs(result.pairs, gold).f1,
+            "seconds": result.seconds,
+        }
+
+    # (2) Exclusiveness strength on 1-to-1 vs non-1-to-1 data.
+    mul_src, mul_tgt, mul_gold = _setting("fb_dbp_mul", "R")
+    for strength in (0.0, 6.0):
+        one = RLMatcher(exclusion_strength=strength).match(src, tgt)
+        multi = RLMatcher(exclusion_strength=strength).match(mul_src, mul_tgt)
+        out[f"exclusion:{strength:g}"] = {
+            "f1_1to1": evaluate_pairs(one.pairs, gold).f1,
+            "f1_multi": evaluate_pairs(multi.pairs, mul_gold).f1,
+        }
+    return out
+
+
+def test_ablation_rl(benchmark, save_artifact):
+    out = run_once(benchmark, run_ablation)
+
+    lines = ["Ablation: RL matcher design choices"]
+    for label, data in out.items():
+        fields = "  ".join(f"{k}={v:.3f}" for k, v in data.items())
+        lines.append(f"  {label:26s} {fields}")
+    save_artifact("ablation_rl", "\n".join(lines))
+
+    # (1) More pre-filtering shrinks the sequential phase (the paper's
+    # explanation of RL's speed on accurate scores) without hurting F1.
+    assert out["prefilter:aggressive"]["seconds"] <= out["prefilter:off"]["seconds"]
+    assert out["prefilter:aggressive"]["f1"] >= out["prefilter:off"]["f1"] - 0.03
+
+    # (2) Exclusiveness helps under 1-to-1 gold links...
+    assert out["exclusion:6"]["f1_1to1"] >= out["exclusion:0"]["f1_1to1"] - 0.01
+    # ...and the help evaporates (or reverses) on non-1-to-1 links.
+    gain_1to1 = out["exclusion:6"]["f1_1to1"] - out["exclusion:0"]["f1_1to1"]
+    gain_multi = out["exclusion:6"]["f1_multi"] - out["exclusion:0"]["f1_multi"]
+    assert gain_multi < gain_1to1 + 0.01

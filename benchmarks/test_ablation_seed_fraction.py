@@ -1,0 +1,82 @@
+"""Ablation: seed-pair supply and the trained encoders.
+
+The paper's related work (the industry survey it cites) shows EA quality
+hinges on the seed-mapping size — a representation-learning property,
+not a matching one.  This ablation runs the *real* trainable encoders
+over a seed-fraction sweep and verifies (1) more seeds -> better
+embeddings, (2) the RREA-style encoder dominates the GCN at every
+supply level, and (3) the matcher ordering on top (Hun. >= DInf) is
+insensitive to the seed supply — evidence that matching quality and
+representation quality are separable concerns, the premise of the
+paper's whole factor-isolation methodology.
+"""
+
+from conftest import run_once
+
+from repro.core import DInf, Hungarian
+from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair
+from repro.embedding import GCNEncoder, RREAEncoder
+from repro.eval import evaluate_pairs
+from repro.experiments import format_table
+from repro.experiments.runner import _gold_local_pairs
+
+FRACTIONS = (0.05, 0.1, 0.2, 0.3)
+
+
+def run_sweep():
+    out = {}
+    for fraction in FRACTIONS:
+        task = generate_aligned_pair(
+            KGPairConfig(
+                num_entities=400, num_relations=20, average_degree=4.2,
+                heterogeneity=0.12, train_fraction=fraction,
+                validation_fraction=0.05, seed=55, name=f"seed{fraction}",
+            )
+        )
+        queries = task.test_query_ids()
+        candidates = task.candidate_target_ids()
+        gold = _gold_local_pairs(task, queries, candidates)
+        row = {}
+        for label, encoder in (
+            ("gcn", GCNEncoder(seed=0)), ("rrea", RREAEncoder(seed=0)),
+        ):
+            emb = encoder.encode(task)
+            src, tgt = emb.source[queries], emb.target[candidates]
+            row[f"{label}:DInf"] = evaluate_pairs(DInf().match(src, tgt).pairs, gold).f1
+            row[f"{label}:Hun."] = evaluate_pairs(
+                Hungarian().match(src, tgt).pairs, gold
+            ).f1
+        out[fraction] = row
+    return out
+
+
+def test_ablation_seed_fraction(benchmark, save_artifact):
+    out = run_once(benchmark, run_sweep)
+
+    rows = [{"seed fraction": fraction, **values} for fraction, values in out.items()]
+    save_artifact(
+        "ablation_seed_fraction",
+        format_table(rows, title="Ablation: seed supply x trained encoders"),
+    )
+
+    # (1) More seeds help both encoders (allow one non-monotone step).
+    for encoder in ("gcn", "rrea"):
+        series = [out[f][f"{encoder}:DInf"] for f in FRACTIONS]
+        assert series[-1] > series[0], encoder
+        drops = sum(1 for a, b in zip(series, series[1:]) if b < a - 0.02)
+        assert drops <= 1, (encoder, series)
+
+    # (2) RREA dominates GCN at every supply level.
+    for fraction in FRACTIONS:
+        assert out[fraction]["rrea:DInf"] >= out[fraction]["gcn:DInf"] - 0.02
+
+    # (3) The matcher ordering is seed-insensitive once the embeddings
+    # carry usable signal.  (At starvation level — 5% seeds — scores are
+    # so inaccurate that the 1-to-1 constraint can misfire, the same
+    # score-accuracy dependence the paper notes for Hun. under Pattern 2.)
+    for fraction in (f for f in FRACTIONS if f >= 0.1):
+        for encoder in ("gcn", "rrea"):
+            assert (
+                out[fraction][f"{encoder}:Hun."]
+                >= out[fraction][f"{encoder}:DInf"] - 0.04
+            ), (fraction, encoder)

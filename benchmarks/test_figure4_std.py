@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 4 (STD of top-5 pairwise scores).
+
+Shape expectation (paper Pattern 1's evidence): structure-only settings
+produce crowded top scores (low STD); the name-informed settings produce
+discriminative ones (high STD).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure4_top5_std
+
+
+def test_figure4_top5_std(benchmark, save_artifact):
+    figure = run_once(benchmark, figure4_top5_std)
+    points = dict(figure.series["top5_std"])
+    lines = [figure.title] + [
+        f"  {label:8s} {value:.4f}" for label, value in points.items()
+    ]
+    save_artifact("figure4", "\n".join(lines))
+
+    structural = [points["R-DBP"], points["R-SRP"], points["G-DBP"], points["G-SRP"]]
+    name_based = [points["N-DBP"], points["NR-DBP"]]
+    # Every name-informed setting is more discriminative than every
+    # structure-only setting.
+    assert min(name_based) > max(structural)
+    # All statistics are positive and finite.
+    assert all(v > 0 for v in points.values())

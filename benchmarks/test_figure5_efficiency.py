@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Figure 5 (time and memory efficiency).
+
+Shape expectations from the paper:
+
+1. DInf is the cheapest method in both time and memory; CSLS follows
+   closely.
+2. Sink. is among the slowest (it sweeps the matrix l times); RL's
+   sequential decoding is also expensive.
+3. SMat has the largest memory footprint (full preference lists); RInf
+   is the most memory-hungry of the score-transform methods.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figure5_efficiency
+
+MATCHERS = ("DInf", "CSLS", "RInf", "Sink.", "Hun.", "SMat", "RL")
+
+
+def test_figure5_efficiency(benchmark, save_artifact):
+    figure = run_once(benchmark, figure5_efficiency)
+
+    def mean_over_settings(series):
+        return float(np.mean(figure.ys(series)))
+
+    times = {m: mean_over_settings(f"time:{m}") for m in MATCHERS}
+    memories = {m: mean_over_settings(f"memory:{m}") for m in MATCHERS}
+
+    lines = [figure.title, "  matcher   time(s)   mem(MiB)"]
+    for m in MATCHERS:
+        lines.append(f"  {m:8s} {times[m]:8.4f} {memories[m]:9.2f}")
+    save_artifact("figure5", "\n".join(lines))
+
+    # (1) DInf cheapest on both axes.
+    assert times["DInf"] == min(times.values())
+    assert memories["DInf"] == min(memories.values())
+    assert times["CSLS"] <= 10 * times["DInf"] + 0.05
+
+    # (2) Sink. among the slowest; RL costly too.
+    slowest_two = sorted(times, key=times.get)[-2:]
+    assert "Sink." in slowest_two
+    assert times["RL"] > times["CSLS"]
+
+    # (3) Memory: SMat the hungriest; RInf well above CSLS and in the
+    # same band as Sink./Hun. (paper: "close to RInf and Hun.").
+    assert memories["SMat"] == max(memories.values())
+    assert memories["RInf"] > memories["CSLS"]
+    assert memories["RInf"] > 0.5 * memories["Sink."]

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 6 (CSLS F1 as a function of k).
+
+Shape expectation (paper): under the 1-to-1 setting a larger k makes the
+pairwise scores less distinctive, so F1 is non-increasing in k — k=1 is
+the best choice.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure6_csls_k
+
+
+def test_figure6_csls_k(benchmark, save_artifact):
+    figure = run_once(benchmark, figure6_csls_k)
+
+    lines = [figure.title]
+    for series, points in figure.series.items():
+        lines.append(f"  {series}: " + "  ".join(f"k={k}:{y:.3f}" for k, y in points))
+    save_artifact("figure6", "\n".join(lines))
+
+    for series, points in figure.series.items():
+        values = dict(points)
+        # k=1 at least matches the largest k tried (monotone trend with a
+        # small tolerance for adjacent-k noise).
+        assert values[1] >= values[max(values)] - 0.01, series
+        # No k is catastrophically better than k=1.
+        assert max(values.values()) - values[1] < 0.05, series

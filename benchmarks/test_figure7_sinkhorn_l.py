@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 7 (Sinkhorn F1 as a function of l).
+
+Shape expectation (paper): more normalisation rounds fit the 1-to-1
+constraint progressively better, so F1 rises with l and saturates by
+l ~ 100.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure7_sinkhorn_l
+
+
+def test_figure7_sinkhorn_l(benchmark, save_artifact):
+    figure = run_once(benchmark, figure7_sinkhorn_l)
+
+    lines = [figure.title]
+    for series, points in figure.series.items():
+        lines.append(f"  {series}: " + "  ".join(f"l={x}:{y:.3f}" for x, y in points))
+    save_artifact("figure7", "\n".join(lines))
+
+    for series, points in figure.series.items():
+        values = dict(points)
+        smallest, largest = min(values), max(values)
+        # Rising trend from l=1 to the largest l.
+        assert values[largest] >= values[smallest], series
+        # Saturation: the last doubling adds little.
+        ls = sorted(values)
+        assert values[ls[-1]] - values[ls[-2]] < 0.05, series

@@ -1,0 +1,76 @@
+"""Robustness: the headline orderings hold across seeds, with significance.
+
+Single-seed tables can flatter noise.  This benchmark (1) repeats the
+main comparison across embedding seeds and checks the paper's orderings
+by win-rate, and (2) runs a paired bootstrap test showing the
+Hungarian-over-DInf gap is statistically significant on a single run's
+shared query set.
+"""
+
+from conftest import run_once
+
+from repro.core import DInf, Hungarian
+from repro.datasets import load_preset
+from repro.eval.significance import paired_bootstrap_test, per_query_outcomes
+from repro.experiments import (
+    ExperimentConfig,
+    build_embeddings,
+    format_table,
+    run_repeated,
+)
+from repro.experiments.runner import _gold_local_pairs
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def run_robustness():
+    config = ExperimentConfig(
+        preset="dbp15k/zh_en", input_regime="R",
+        matchers=("DInf", "CSLS", "RInf", "Sink.", "Hun.", "SMat"),
+    )
+    repeated = run_repeated(config, seeds=SEEDS)
+
+    # Significance on one run's shared query set.
+    task = load_preset("dbp15k/zh_en")
+    emb = build_embeddings(task, "R", seed=0, preset_name="dbp15k/zh_en")
+    queries = task.test_query_ids()
+    candidates = task.candidate_target_ids()
+    src, tgt = emb.source[queries], emb.target[candidates]
+    gold = _gold_local_pairs(task, queries, candidates)
+    n = len(queries)
+    hun = per_query_outcomes(Hungarian().match(src, tgt).pairs, gold, n)
+    dinf = per_query_outcomes(DInf().match(src, tgt).pairs, gold, n)
+    comparison = paired_bootstrap_test(hun, dinf, seed=0)
+    return repeated, comparison
+
+
+def test_ordering_robust_across_seeds(benchmark, save_artifact):
+    repeated, comparison = run_once(benchmark, run_robustness)
+
+    text = format_table(
+        repeated.as_rows(),
+        title=f"Robustness: R-D-Z across seeds {SEEDS}",
+    )
+    text += (
+        f"\n\nPaired bootstrap Hun. vs DInf (seed 0): "
+        f"diff={comparison.mean_difference:+.3f} "
+        f"CI=[{comparison.interval.lower:+.3f}, {comparison.interval.upper:+.3f}] "
+        f"p={comparison.p_value:.4f}"
+    )
+    save_artifact("robustness", text)
+
+    # The paper's orderings hold in (almost) every seed.
+    assert repeated.consistent_order("Hun.", "DInf", min_rate=1.0)
+    assert repeated.consistent_order("Sink.", "DInf", min_rate=1.0)
+    assert repeated.consistent_order("CSLS", "DInf", min_rate=0.8)
+    assert repeated.consistent_order("RInf", "CSLS", min_rate=0.6)
+    assert repeated.consistent_order("Hun.", "SMat", min_rate=0.8)
+
+    # Mean gaps exceed the cross-seed noise.
+    hun_stat = repeated.stat("Hun.")
+    dinf_stat = repeated.stat("DInf")
+    assert hun_stat.mean - dinf_stat.mean > 2 * max(hun_stat.std, dinf_stat.std, 0.005)
+
+    # And the single-run paired comparison is significant.
+    assert comparison.significant
+    assert comparison.p_value < 0.05

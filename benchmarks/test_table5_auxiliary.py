@@ -1,0 +1,71 @@
+"""Benchmark: regenerate Table 5 (F1 with name / name+structure inputs).
+
+Shape expectations from the paper:
+
+1. Name information alone (N-) is already highly accurate, and fusing it
+   with structural embeddings (NR-) lifts performance further.
+2. Improvements over DInf are much smaller than in the structural
+   settings (discriminative scores leave less to fix).
+3. Pattern 1: with discriminative scores, the global-constraint methods
+   (SMat, Hun.) gain at least as much as the score-rescaling methods
+   (CSLS); Hun. is the strongest overall.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.datasets.zoo import DBP15K_PRESETS
+from repro.experiments import format_table
+from repro.experiments.tables import (
+    TABLE5_SRPRS,
+    table4_structure_only,
+    table5_auxiliary_information,
+)
+
+
+def group_mean_f1(table, regime, presets, matcher):
+    return float(np.mean([table.result(regime, p).f1(matcher) for p in presets]))
+
+
+def group_mean_improvement(table, regime, presets, matcher):
+    return float(np.mean(
+        [table.result(regime, p).improvement_over()[matcher] for p in presets]
+    ))
+
+
+def test_table5_auxiliary_information(benchmark, save_artifact):
+    table = run_once(benchmark, table5_auxiliary_information)
+    save_artifact("table5", format_table(table.rows, title=table.title))
+
+    # (1) NR- fuses names and structure and beats N- alone.
+    for presets in (DBP15K_PRESETS, TABLE5_SRPRS):
+        n_f1 = group_mean_f1(table, "N", presets, "DInf")
+        nr_f1 = group_mean_f1(table, "NR", presets, "DInf")
+        assert nr_f1 > n_f1
+        assert n_f1 > 0.6  # names alone are already accurate
+
+    # (2) Gains over DInf stay modest (paper: +2.4% to +10.4%).
+    for regime, presets in (("N", DBP15K_PRESETS), ("NR", DBP15K_PRESETS)):
+        for matcher in ("CSLS", "RInf", "Sink.", "Hun.", "SMat", "RL"):
+            gain = group_mean_improvement(table, regime, presets, matcher)
+            assert -0.02 <= gain <= 0.25, (regime, matcher, gain)
+
+    # (3) Pattern 1: discriminative scores favour the global-constraint
+    # methods relative to the rescalers.
+    smat_gain = group_mean_improvement(table, "N", DBP15K_PRESETS, "SMat")
+    csls_gain = group_mean_improvement(table, "N", DBP15K_PRESETS, "CSLS")
+    assert smat_gain >= csls_gain - 0.03
+    # Hun. is the best performer on the fused inputs.
+    hun = group_mean_f1(table, "NR", DBP15K_PRESETS, "Hun.")
+    for matcher in ("DInf", "CSLS", "RInf", "RL"):
+        assert hun >= group_mean_f1(table, "NR", DBP15K_PRESETS, matcher) - 0.01
+
+
+def test_table5_beats_structure_only(benchmark, save_artifact):
+    """Auxiliary info lifts every matcher far above the structural runs."""
+    t5 = run_once(benchmark, lambda: table5_auxiliary_information())
+    t4 = table4_structure_only(matchers=("DInf",))
+    for preset in DBP15K_PRESETS:
+        structural = t4.result("R", preset).f1("DInf")
+        fused = t5.result("NR", preset).f1("DInf")
+        assert fused > structural

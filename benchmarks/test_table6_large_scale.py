@@ -1,0 +1,57 @@
+"""Benchmark: regenerate Table 6 (large-scale results: F1 + time + memory).
+
+Shape expectations from the paper:
+
+1. F1 ordering as on G-DBP: Sink./Hun. best, RInf next, CSLS/RL above
+   DInf; RInf-wr equals CSLS exactly; RInf-pb sits between wr and full.
+2. Memory feasibility: DInf, CSLS, RInf-wr, RInf-pb, RL fit the budget;
+   RInf, Sink., Hun. do not; SMat is infeasible outright.
+3. Time: DInf fastest; Sink. slowest; Hun. substantially cheaper than
+   Sink.; the RInf variants far cheaper than full RInf.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_table, table6_large_scale
+from repro.experiments.tables import DWY_LABELS
+
+
+def test_table6_large_scale(benchmark, save_artifact):
+    table = run_once(benchmark, table6_large_scale)
+    save_artifact("table6", format_table(table.rows, title=table.title))
+
+    rows = {row["matcher"]: row for row in table.rows}
+
+    def f1(matcher):
+        return (rows[matcher][DWY_LABELS[0]] + rows[matcher][DWY_LABELS[1]]) / 2
+
+    # (1) Quality ordering.
+    assert f1("DInf") == min(
+        f1(m) for m in ("DInf", "CSLS", "RInf", "RInf-wr", "Sink.", "Hun.", "RL")
+    )
+    assert max(f1("Sink."), f1("Hun.")) >= f1("RInf")
+    assert f1("RInf") >= f1("CSLS") - 0.01
+    # RInf-wr makes exactly CSLS(k=1)'s decisions.
+    assert f1("RInf-wr") == f1("CSLS")
+    # RInf-pb between wr and full (small tolerance for blocking noise).
+    assert f1("RInf-wr") - 0.03 <= f1("RInf-pb") <= f1("RInf") + 0.03
+
+    # (2) Memory feasibility pattern (paper Table 6 "Mem." column).
+    assert rows["DInf"]["Mem."] == "Yes"
+    assert rows["CSLS"]["Mem."] == "Yes"
+    assert rows["RInf"]["Mem."] == "No"
+    assert rows["RInf-wr"]["Mem."] == "Yes"
+    assert rows["RInf-pb"]["Mem."] == "Yes"
+    assert rows["Sink."]["Mem."] == "No"
+    assert rows["Hun."]["Mem."] == "No"
+    assert rows["RL"]["Mem."] == "Yes"
+    assert rows["SMat"][DWY_LABELS[0]] == "/"  # infeasible, as in the paper
+
+    # (3) Time ordering.
+    times = {m: rows[m]["T"] for m in
+             ("DInf", "CSLS", "RInf", "RInf-wr", "RInf-pb", "Sink.", "Hun.", "RL")}
+    assert times["DInf"] == min(times.values())
+    assert times["Sink."] == max(times.values())
+    assert times["Hun."] < times["Sink."]
+    assert times["RInf-wr"] < times["RInf"]
+    assert times["RInf-pb"] < times["RInf"]

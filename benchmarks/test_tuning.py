@@ -1,0 +1,53 @@
+"""Benchmark: validation-based hyper-parameter tuning (paper Sec. 4.5).
+
+The paper fixes CSLS's k=1 and Sinkhorn's l=100 "by tuning on the
+validation set".  This benchmark reruns that workflow end to end and
+checks the tuned choices transfer: the validation-selected configuration
+performs within noise of the best test-set configuration.
+"""
+
+from conftest import run_once
+
+from repro.datasets import load_preset
+from repro.experiments import ExperimentConfig, build_embeddings, run_experiment
+from repro.experiments.tuning import suggested_grids, tune_matcher
+
+
+def run_tuning():
+    preset = "dbp15k/zh_en"
+    task = load_preset(preset)
+    embeddings = build_embeddings(task, "R", preset_name=preset)
+    grids = suggested_grids()
+    out = {}
+    for matcher in ("CSLS", "Sink."):
+        outcome = tune_matcher(matcher, task, embeddings, grids[matcher])
+        # Test-set F1 for every configuration (for transfer checking).
+        test_f1 = {}
+        for options in grids[matcher]:
+            config = ExperimentConfig(
+                preset=preset, input_regime="R", matchers=(matcher,),
+                matcher_options={matcher: dict(options)},
+            )
+            test_f1[tuple(sorted(options.items()))] = run_experiment(config).f1(matcher)
+        out[matcher] = {"outcome": outcome, "test_f1": test_f1}
+    return out
+
+
+def test_validation_tuning_transfers(benchmark, save_artifact):
+    out = run_once(benchmark, run_tuning)
+
+    lines = ["Validation-based tuning (R-D-Z)"]
+    for matcher, data in out.items():
+        outcome = data["outcome"]
+        lines.append(f"  {matcher}: best on validation = {dict(outcome.best_options)} "
+                     f"(val F1 {outcome.best_f1:.3f})")
+        for key, f1 in data["test_f1"].items():
+            lines.append(f"    test {dict(key)}: F1={f1:.3f}")
+    save_artifact("tuning", "\n".join(lines))
+
+    for matcher, data in out.items():
+        chosen = tuple(sorted(data["outcome"].best_options.items()))
+        chosen_test = data["test_f1"][chosen]
+        best_test = max(data["test_f1"].values())
+        # The validation choice transfers: within 3 points of the test optimum.
+        assert chosen_test >= best_test - 0.03, (matcher, chosen)

@@ -1,0 +1,124 @@
+"""Scenario: align your own knowledge graphs end to end.
+
+The downstream-user story: two hand-built movie KGs with overlapping
+content, different relation vocabularies, and noisy surface names.  The
+example trains the *real* numpy encoders (RREA-style propagation), fuses
+in character-n-gram name embeddings, matches with CSLS, and saves the
+dataset in the OpenEA text format for interchange with other EA tools.
+
+Run:  python examples/custom_kg_alignment.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import create_matcher
+from repro.embedding import NameEncoder, RREAEncoder, fuse_embeddings
+from repro.eval import evaluate_pairs
+from repro.kg import (
+    AlignmentSplit,
+    AlignmentTask,
+    KnowledgeGraph,
+    save_alignment_task,
+)
+
+
+def build_movie_task() -> AlignmentTask:
+    """Two tiny movie KGs describing the same facts differently."""
+    source = KnowledgeGraph([
+        ("inception", "directed_by", "nolan"),
+        ("inception", "stars", "dicaprio"),
+        ("interstellar", "directed_by", "nolan"),
+        ("interstellar", "stars", "mcconaughey"),
+        ("titanic", "directed_by", "cameron"),
+        ("titanic", "stars", "dicaprio"),
+        ("avatar", "directed_by", "cameron"),
+        ("avatar", "stars", "worthington"),
+        ("memento", "directed_by", "nolan"),
+        ("dunkirk", "directed_by", "nolan"),
+        ("dunkirk", "stars", "hardy"),
+        ("inception", "stars", "hardy"),
+    ], name="movie-kb-a")
+
+    target = KnowledgeGraph([
+        ("Inception_2010", "director", "C_Nolan"),
+        ("Inception_2010", "actor", "L_DiCaprio"),
+        ("Interstellar_2014", "director", "C_Nolan"),
+        ("Interstellar_2014", "actor", "M_McConaughey"),
+        ("Titanic_1997", "director", "J_Cameron"),
+        ("Titanic_1997", "actor", "L_DiCaprio"),
+        ("Avatar_2009", "director", "J_Cameron"),
+        ("Avatar_2009", "actor", "S_Worthington"),
+        ("Memento_2000", "director", "C_Nolan"),
+        ("Dunkirk_2017", "director", "C_Nolan"),
+        ("Dunkirk_2017", "actor", "T_Hardy"),
+        ("Inception_2010", "actor", "T_Hardy"),
+    ], name="movie-kb-b")
+
+    links = [
+        ("inception", "Inception_2010"),
+        ("interstellar", "Interstellar_2014"),
+        ("titanic", "Titanic_1997"),
+        ("avatar", "Avatar_2009"),
+        ("memento", "Memento_2000"),
+        ("dunkirk", "Dunkirk_2017"),
+        ("nolan", "C_Nolan"),
+        ("dicaprio", "L_DiCaprio"),
+        ("mcconaughey", "M_McConaughey"),
+        ("cameron", "J_Cameron"),
+        ("worthington", "S_Worthington"),
+        ("hardy", "T_Hardy"),
+    ]
+    # A handful of seeds; the rest is what we want to discover.
+    split = AlignmentSplit(
+        train=tuple(links[:4]), validation=(), test=tuple(links[4:]),
+    )
+    # Display names give the name encoder something to chew on.
+    source_names = {e: e.replace("_", " ") for e in source.entities}
+    target_names = {e: e.replace("_", " ").lower() for e in target.entities}
+    return AlignmentTask(
+        source, target, split, name="movies",
+        source_names=source_names, target_names=target_names,
+    )
+
+
+def main() -> None:
+    task = build_movie_task()
+    print(task)
+
+    # Real representation learning: relation-aware propagation anchored
+    # on the seed pairs, plus name embeddings, fused.
+    structural = RREAEncoder(dim=32, num_layers=2, bootstrap_rounds=1, seed=0).encode(task)
+    names = NameEncoder(dim=32).encode(task)
+    embeddings = fuse_embeddings(structural, names, name_weight=0.6)
+
+    queries = task.test_query_ids()
+    candidates = task.candidate_target_ids()
+    gold = {
+        (int(q), int(c))
+        for q, c in zip(
+            [list(queries).index(task.source.entity_id(s)) for s, _ in task.test_links],
+            [list(candidates).index(task.target.entity_id(t)) for _, t in task.test_links],
+        )
+    }
+    result = create_matcher("CSLS").match(
+        embeddings.source[queries], embeddings.target[candidates]
+    )
+    metrics = evaluate_pairs(result.pairs, gold)
+
+    print("\nDiscovered alignments:")
+    for (query_pos, candidate_pos), score in zip(result.pairs, result.scores):
+        source_name = task.source.entities[queries[query_pos]]
+        target_name = task.target.entities[candidates[candidate_pos]]
+        marker = "+" if (int(query_pos), int(candidate_pos)) in gold else "x"
+        print(f"  [{marker}] {source_name:14s} -> {target_name:18s} ({score:+.3f})")
+    print(f"\nF1 = {metrics.f1:.3f} on {metrics.num_gold} held-out links")
+
+    # Interchange: persist the task in the OpenEA text layout.
+    out = Path(tempfile.mkdtemp()) / "movies"
+    save_alignment_task(task, out)
+    print(f"Dataset exported in OpenEA format to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Scenario: non-1-to-1 alignment (paper Section 5.2).
+
+KGs model the world at different granularities — one Freebase entity may
+correspond to several DBpedia entities and vice versa.  This example
+builds an FB_DBP_MUL-style dataset whose gold links form 1-to-many /
+many-to-1 / many-to-many clusters, and shows the setting inverting the
+main-experiment ranking: the hard 1-to-1 matchers (Hun., SMat) fall
+below the simple baseline, while the score rescalers hold up best.
+
+Run:  python examples/non_one_to_one.py
+"""
+
+from collections import Counter
+
+from repro.core import create_matcher
+from repro.datasets import load_preset
+from repro.eval import evaluate_pairs
+from repro.experiments import build_embeddings, format_table
+from repro.experiments.runner import _gold_local_pairs
+from repro.kg import dataset_statistics
+
+
+def main() -> None:
+    task = load_preset("fb_dbp_mul")
+    stats = dataset_statistics(task)
+    print(task)
+    print(
+        f"  gold links: {stats.num_gold_links} "
+        f"({stats.num_non_one_to_one_links} non-1-to-1, "
+        f"{stats.num_one_to_one_links} 1-to-1)"
+    )
+    # Show the cluster-size profile of the gold links.
+    link_counts = Counter(src for src, _ in task.split.all_links)
+    profile = Counter(link_counts.values())
+    print(f"  links per source entity: {dict(sorted(profile.items()))}")
+
+    embeddings = build_embeddings(task, "R", preset_name="fb_dbp_mul")
+    queries = task.test_query_ids()
+    candidates = task.candidate_target_ids()
+    source = embeddings.source[queries]
+    target = embeddings.target[candidates]
+    gold = _gold_local_pairs(task, queries, candidates)
+
+    rows = []
+    for name in ("DInf", "CSLS", "RInf", "Sink.", "Hun.", "SMat"):
+        result = create_matcher(name).match(source, target)
+        metrics = evaluate_pairs(result.pairs, gold)
+        rows.append({
+            "matcher": name,
+            "P": metrics.precision,
+            "R": metrics.recall,
+            "F1": metrics.f1,
+        })
+    print(format_table(rows, title="\nNon-1-to-1 alignment (FB_DBP_MUL-style)"))
+    print(
+        "\nRecall is capped: every matcher answers once per source while the\n"
+        "gold links fan out.  The 1-to-1 constraint of Hun./SMat now *hurts*."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: align two knowledge graphs in entity embedding space.
+
+Generates a DBP15K-like benchmark pair, builds unified embeddings in the
+strong structural regime, runs three matching algorithms, and reports F1
+— the minimal end-to-end path through the library.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import create_matcher
+from repro.datasets import load_preset
+from repro.eval import evaluate_pairs
+from repro.experiments import build_embeddings
+from repro.experiments.runner import _gold_local_pairs
+
+
+def main() -> None:
+    # 1. A benchmark alignment task: two correlated KGs + gold links
+    #    split into seed (train) and test pairs.
+    task = load_preset("dbp15k/zh_en")
+    print(task)
+    print(f"  seed links: {len(task.seed_links)}, test links: {len(task.test_links)}")
+
+    # 2. Unified entity embeddings (the output of representation
+    #    learning).  "R" is the strong structural regime; try "G", "N",
+    #    "NR", or the trainable "gcn"/"rrea" encoders.
+    embeddings = build_embeddings(task, "R", preset_name="dbp15k/zh_en")
+    print(f"  embedding dim: {embeddings.dim}")
+
+    # 3. Slice to the test queries/candidates, as the evaluation protocol
+    #    prescribes, and map the gold links into local coordinates.
+    queries = task.test_query_ids()
+    candidates = task.candidate_target_ids()
+    source = embeddings.source[queries]
+    target = embeddings.target[candidates]
+    gold = _gold_local_pairs(task, queries, candidates)
+
+    # 4. Match with three algorithms from the survey and compare.
+    print("\n  matcher   F1      time(s)")
+    for name in ("DInf", "CSLS", "Hun."):
+        matcher = create_matcher(name)
+        result = matcher.match(source, target)
+        metrics = evaluate_pairs(result.pairs, gold)
+        print(f"  {name:8s}  {metrics.f1:.3f}   {result.seconds:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Scenario: matching at scale with blocking (paper Section 6, insight 4).
+
+"Current best performing embedding matching algorithms are not
+scalable."  This example runs the expensive matchers on a DWY100K-like
+preset directly and inside the :class:`BlockedMatcher` wrapper, showing
+the time/memory reduction blocking buys and the (small) accuracy cost —
+the ClusterEA-style direction the paper points to.
+
+Run:  python examples/scalable_matching.py
+"""
+
+from repro.core import create_matcher
+from repro.core.blocking import BlockedMatcher
+from repro.datasets import load_preset
+from repro.eval import evaluate_pairs
+from repro.experiments import build_embeddings, format_table
+from repro.experiments.runner import _gold_local_pairs
+
+
+def main() -> None:
+    preset = "dwy100k/dbp_wd"
+    task = load_preset(preset)
+    emb = build_embeddings(task, "G", preset_name=preset)
+    queries = task.test_query_ids()
+    candidates = task.candidate_target_ids()
+    src, tgt = emb.source[queries], emb.target[candidates]
+    gold = _gold_local_pairs(task, queries, candidates)
+    print(f"{task}: {len(queries)} queries x {len(candidates)} candidates\n")
+
+    rows = []
+    for name in ("RInf", "Hun."):
+        direct = create_matcher(name).match(src, tgt)
+        blocked = BlockedMatcher(
+            create_matcher(name), num_blocks=4, overlap=0.3
+        ).match(src, tgt)
+        for label, result in ((name, direct), (f"{name}+blocked", blocked)):
+            metrics = evaluate_pairs(result.pairs, gold)
+            rows.append({
+                "matcher": label,
+                "F1": metrics.f1,
+                "time(s)": round(result.seconds, 3),
+                "peak MiB": round(result.peak_bytes / 2**20, 1),
+            })
+    print(format_table(rows, title="Blocking: direct vs blocked execution"))
+    print(
+        "\nBlocking bounds the peak working set to one block's matrices; "
+        "\naccuracy dips only where gold pairs straddle block boundaries."
+    )
+
+
+if __name__ == "__main__":
+    main()

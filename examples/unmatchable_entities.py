@@ -1,0 +1,59 @@
+"""Scenario: aligning KGs with unmatchable entities (paper Section 5.1).
+
+Real integrations (e.g. YAGO vs IMDB) contain entities with no
+counterpart.  This example builds a DBP15K+-style task, shows how greedy
+matchers bleed precision by answering every query, and how the
+Hungarian matcher — via dummy-node absorption — abstains on the
+worst-fitting queries and wins.
+
+Run:  python examples/unmatchable_entities.py
+"""
+
+from repro.core import create_matcher
+from repro.datasets import UnmatchableConfig, add_unmatchable_entities, load_preset
+from repro.eval import evaluate_pairs
+from repro.experiments import build_embeddings, format_table
+from repro.experiments.runner import _gold_local_pairs
+
+
+def main() -> None:
+    # Start from a clean 1-to-1 task and graft unmatchable entities onto
+    # both sides (more on the source side, as in DBP15K+).
+    base = load_preset("dbp15k/ja_en")
+    task = add_unmatchable_entities(
+        base, UnmatchableConfig(unmatchable_fraction=0.5, target_fraction=0.25)
+    )
+    print(task)
+    print(
+        f"  unmatchable: {len(task.unmatchable_source)} source / "
+        f"{len(task.unmatchable_target)} target entities"
+    )
+
+    embeddings = build_embeddings(task, "R", preset_name="dbp15k/ja_en")
+    queries = task.test_query_ids()          # includes unmatchable sources
+    candidates = task.candidate_target_ids()  # includes unmatchable targets
+    source = embeddings.source[queries]
+    target = embeddings.target[candidates]
+    gold = _gold_local_pairs(task, queries, candidates)
+    print(f"  queries: {len(queries)}, candidates: {len(candidates)}, gold: {len(gold)}")
+
+    rows = []
+    for name in ("DInf", "CSLS", "Sink.", "Hun.", "SMat"):
+        result = create_matcher(name).match(source, target)
+        metrics = evaluate_pairs(result.pairs, gold)
+        rows.append({
+            "matcher": name,
+            "#answers": metrics.num_predicted,
+            "P": metrics.precision,
+            "R": metrics.recall,
+            "F1": metrics.f1,
+        })
+    print(format_table(rows, title="\nUnmatchable-entity setting (DBP15K+-style)"))
+    print(
+        "\nNote how Hun./SMat answer fewer queries (surplus sources fall on\n"
+        "dummy nodes / stay unmatched) and convert that into precision."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""EntMatcher reproduction: matching knowledge graphs in entity embedding spaces.
+
+A from-scratch Python reproduction of the system and experimental study
+of Zeng et al., "Matching Knowledge Graphs in Entity Embedding Spaces:
+An Experimental Study" (ICDE 2024 / TKDE).
+
+The library mirrors the paper's pipeline:
+
+* :mod:`repro.kg` — knowledge-graph data model and alignment tasks;
+* :mod:`repro.datasets` — synthetic benchmark generators mirroring
+  DBP15K / SRPRS / DWY100K / DBP15K+ / FB_DBP_MUL;
+* :mod:`repro.embedding` — representation-learning substrate (GCN, RREA,
+  name encoder, fusion, calibrated oracle);
+* :mod:`repro.similarity` — pairwise score computation;
+* :mod:`repro.core` — the seven embedding-matching algorithms surveyed
+  by the paper (the reproduction's subject);
+* :mod:`repro.eval` — alignment metrics and score diagnostics;
+* :mod:`repro.experiments` — the harness regenerating every table and
+  figure of the evaluation;
+* :mod:`repro.baselines` — the deep-learning entity-matching baseline.
+
+Quickstart::
+
+    from repro.datasets import load_preset
+    from repro.experiments import build_embeddings
+    from repro.core import create_matcher
+
+    task = load_preset("dbp15k/zh_en")
+    emb = build_embeddings(task, "R")
+    result = create_matcher("CSLS").match(
+        emb.source[task.test_query_ids()],
+        emb.target[task.candidate_target_ids()],
+    )
+"""
+
+from repro.core import MatchResult, Matcher, available_matchers, create_matcher
+from repro.datasets import list_presets, load_preset
+from repro.embedding import UnifiedEmbeddings
+from repro.eval import AlignmentMetrics, evaluate_pairs
+from repro.kg import AlignmentTask, KnowledgeGraph
+from repro.pipeline import AlignmentPipeline, AlignmentPrediction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlignmentMetrics",
+    "AlignmentPipeline",
+    "AlignmentPrediction",
+    "AlignmentTask",
+    "KnowledgeGraph",
+    "MatchResult",
+    "Matcher",
+    "UnifiedEmbeddings",
+    "__version__",
+    "available_matchers",
+    "create_matcher",
+    "evaluate_pairs",
+    "list_presets",
+    "load_preset",
+]

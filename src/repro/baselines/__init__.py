@@ -1,0 +1,11 @@
+"""Baselines from outside the embedding-matching family.
+
+Currently: the deep-learning entity-matching classifier the paper adapts
+to EA in Section 4.3 (after deepmatcher) — included to reproduce the
+paper's negative result that pair-classification EM does not transfer to
+embedding-based EA.
+"""
+
+from repro.baselines.deep_em import DeepEMBaseline, DeepEMConfig
+
+__all__ = ["DeepEMBaseline", "DeepEMConfig"]

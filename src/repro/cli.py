@@ -1,0 +1,170 @@
+"""Command-line interface: regenerate paper artifacts and run matchers.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro tables 4              # print Table 4
+    python -m repro tables all -o out/    # regenerate every table to out/
+    python -m repro figures 7             # print Figure 7's series
+    python -m repro datasets list         # preset catalogue
+    python -m repro datasets export dbp15k/zh_en -o data/dz   # OpenEA files
+    python -m repro match dbp15k/zh_en --regime R --matcher CSLS
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.registry import available_matchers, create_matcher
+from repro.datasets.zoo import list_presets, load_preset
+from repro.eval.metrics import evaluate_pairs
+from repro.experiments.figures import (
+    figure4_top5_std,
+    figure5_efficiency,
+    figure6_csls_k,
+    figure7_sinkhorn_l,
+)
+from repro.experiments.regimes import build_embeddings
+from repro.experiments.report import generate_report
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import _gold_local_pairs
+from repro.experiments.tables import (
+    table3_dataset_statistics,
+    table4_structure_only,
+    table5_auxiliary_information,
+    table6_large_scale,
+    table7_unmatchable,
+    table8_non_one_to_one,
+)
+from repro.kg.io import save_alignment_task
+
+_TABLES: dict[str, Callable] = {
+    "3": table3_dataset_statistics,
+    "4": table4_structure_only,
+    "5": table5_auxiliary_information,
+    "6": table6_large_scale,
+    "7": table7_unmatchable,
+    "8": table8_non_one_to_one,
+}
+
+_FIGURES: dict[str, Callable] = {
+    "4": figure4_top5_std,
+    "5": figure5_efficiency,
+    "6": figure6_csls_k,
+    "7": figure7_sinkhorn_l,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EntMatcher reproduction: regenerate the paper's artifacts.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    tables = subparsers.add_parser("tables", help="regenerate a paper table")
+    tables.add_argument("which", choices=[*_TABLES, "all"])
+    tables.add_argument("--scale", type=float, default=1.0,
+                        help="dataset size multiplier")
+    tables.add_argument("--output", "-o", type=Path, default=None,
+                        help="directory to also write the rendered tables to")
+
+    figures = subparsers.add_parser("figures", help="regenerate a paper figure")
+    figures.add_argument("which", choices=[*_FIGURES, "all"])
+    figures.add_argument("--scale", type=float, default=1.0)
+
+    datasets = subparsers.add_parser("datasets", help="dataset preset utilities")
+    dataset_sub = datasets.add_subparsers(dest="dataset_command", required=True)
+    dataset_sub.add_parser("list", help="list available presets")
+    export = dataset_sub.add_parser("export", help="export a preset in OpenEA format")
+    export.add_argument("preset")
+    export.add_argument("--output", "-o", type=Path, required=True)
+    export.add_argument("--scale", type=float, default=1.0)
+
+    report = subparsers.add_parser(
+        "report", help="regenerate every table and figure into one report"
+    )
+    report.add_argument("--output", "-o", type=Path, required=True)
+    report.add_argument("--scale", type=float, default=1.0)
+    report.add_argument("--seed", type=int, default=0)
+
+    match = subparsers.add_parser("match", help="run one matcher on one preset")
+    match.add_argument("preset")
+    match.add_argument("--regime", default="R",
+                       help="embedding regime (R/G/N/NR/gcn/rrea)")
+    match.add_argument("--matcher", default="DInf", choices=available_matchers())
+    match.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+def _emit_table(name: str, scale: float, output: Path | None) -> None:
+    table = _TABLES[name](scale=scale)
+    text = format_table(table.rows, title=table.title)
+    print(text)
+    if output is not None:
+        output.mkdir(parents=True, exist_ok=True)
+        (output / f"table{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def _emit_figure(name: str, scale: float) -> None:
+    figure = _FIGURES[name](scale=scale)
+    print(figure.title)
+    for series, points in figure.series.items():
+        rendered = "  ".join(f"{x}:{y:.3f}" for x, y in points)
+        print(f"  {series}: {rendered}")
+
+
+def _run_match(preset: str, regime: str, matcher_name: str, scale: float) -> None:
+    task = load_preset(preset, scale=scale)
+    embeddings = build_embeddings(task, regime, preset_name=preset)
+    queries = task.test_query_ids()
+    candidates = task.candidate_target_ids()
+    matcher = create_matcher(matcher_name)
+    fit = getattr(matcher, "fit", None)
+    if fit is not None and len(task.seed_index_pairs()):
+        fit(embeddings.source, embeddings.target, task.seed_index_pairs())
+    result = matcher.match(embeddings.source[queries], embeddings.target[candidates])
+    metrics = evaluate_pairs(
+        result.pairs, _gold_local_pairs(task, queries, candidates)
+    )
+    print(f"{matcher_name} on {preset} ({regime} regime)")
+    print(f"  precision={metrics.precision:.3f} recall={metrics.recall:.3f} "
+          f"F1={metrics.f1:.3f}")
+    print(f"  time={result.seconds:.3f}s peak={result.peak_bytes / 2**20:.1f}MiB")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "tables":
+        names = list(_TABLES) if args.which == "all" else [args.which]
+        for name in names:
+            _emit_table(name, args.scale, args.output)
+        return 0
+    if args.command == "figures":
+        names = list(_FIGURES) if args.which == "all" else [args.which]
+        for name in names:
+            _emit_figure(name, args.scale)
+        return 0
+    if args.command == "datasets":
+        if args.dataset_command == "list":
+            for preset in list_presets():
+                print(preset)
+            return 0
+        task = load_preset(args.preset, scale=args.scale)
+        directory = save_alignment_task(task, args.output)
+        print(f"exported {args.preset} to {directory}")
+        return 0
+    if args.command == "report":
+        path = generate_report(args.output, scale=args.scale, seed=args.seed)
+        print(f"report written to {path}")
+        return 0
+    if args.command == "match":
+        _run_match(args.preset, args.regime, args.matcher, args.scale)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Algorithms for matching KGs in entity embedding spaces.
+
+This package is the reproduction of the paper's subject matter: the
+seven embedding-matching strategies of Section 3, plus the RInf
+scalability variants and the dummy-node machinery of Section 5.1.  All
+of them consume pairwise scores derived from unified entity embeddings
+and emit matched (source, target) pairs.
+
+Quick use::
+
+    from repro.core import create_matcher
+    result = create_matcher("CSLS").match(source_embeddings, target_embeddings)
+    result.pairs        # (m, 2) matched indices
+    result.seconds      # instrumented wall-clock
+"""
+
+from repro.core.base import MatchResult, Matcher, PipelineMatcher
+from repro.core.blocking import BlockedMatcher
+from repro.core.csls import CSLS, csls_scores
+from repro.core.dummy import DummyPaddedMatcher, pad_with_dummies, strip_dummy_pairs
+from repro.core.greedy import DInf, greedy_match
+from repro.core.hungarian import Hungarian, solve_assignment_max, solve_assignment_min
+from repro.core.multi import MultiAnswerMatcher
+from repro.core.registry import (
+    PAPER_MATCHERS,
+    available_matchers,
+    create_matcher,
+    register_matcher,
+)
+from repro.core.rinf import (
+    RInf,
+    RInfPb,
+    RInfWr,
+    preference_scores,
+    rank_matrix,
+    reciprocal_rank_scores,
+)
+from repro.core.rl import RLMatcher
+from repro.core.sinkhorn import Sinkhorn, sinkhorn_scores
+from repro.core.stable import StableMatch, gale_shapley, is_stable
+from repro.core.threshold import ThresholdMatcher, calibrate_threshold
+
+__all__ = [
+    "BlockedMatcher",
+    "CSLS",
+    "DInf",
+    "DummyPaddedMatcher",
+    "Hungarian",
+    "MatchResult",
+    "Matcher",
+    "MultiAnswerMatcher",
+    "PAPER_MATCHERS",
+    "PipelineMatcher",
+    "RInf",
+    "RInfPb",
+    "RInfWr",
+    "RLMatcher",
+    "Sinkhorn",
+    "StableMatch",
+    "ThresholdMatcher",
+    "available_matchers",
+    "calibrate_threshold",
+    "create_matcher",
+    "csls_scores",
+    "gale_shapley",
+    "greedy_match",
+    "is_stable",
+    "pad_with_dummies",
+    "preference_scores",
+    "rank_matrix",
+    "reciprocal_rank_scores",
+    "register_matcher",
+    "sinkhorn_scores",
+    "solve_assignment_max",
+    "solve_assignment_min",
+    "strip_dummy_pairs",
+]

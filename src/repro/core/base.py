@@ -1,0 +1,167 @@
+"""Matcher interface and shared plumbing for the embedding-matching stage.
+
+A :class:`Matcher` consumes a source and target embedding matrix (rows
+already restricted to the query/candidate entities by the caller) and
+returns a :class:`MatchResult`: the matched (row, column) pairs plus
+wall-clock and memory instrumentation for the efficiency experiments.
+
+The architecture follows EntMatcher's loosely-coupled decomposition
+(paper Section 4.1): a similarity metric builds the raw score matrix, a
+*score transform* optionally reworks it (CSLS / reciprocal / Sinkhorn),
+and a *matching strategy* decodes pairs (greedy / Hungarian /
+Gale-Shapley / RL).  :class:`PipelineMatcher` is that composition; the
+named algorithms in this package are preconfigured instances or
+subclasses of it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.similarity.metrics import similarity_matrix
+from repro.utils.memory import MemoryTracker
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import check_embedding_matrix, check_score_matrix
+
+
+@dataclass
+class MatchResult:
+    """Output of one matcher run.
+
+    ``pairs`` holds (source row, target column) indices into the matrices
+    given to :meth:`Matcher.match`; a matcher that abstains on some
+    sources simply omits them.  ``scores`` are the decoder's final scores
+    for the emitted pairs (same length as ``pairs``).
+    """
+
+    pairs: np.ndarray
+    scores: np.ndarray
+    stopwatch: Stopwatch = field(default_factory=Stopwatch)
+    memory: MemoryTracker = field(default_factory=MemoryTracker)
+
+    def __post_init__(self) -> None:
+        self.pairs = np.asarray(self.pairs, dtype=np.int64).reshape(-1, 2)
+        self.scores = np.asarray(self.scores, dtype=np.float64).reshape(-1)
+        if len(self.pairs) != len(self.scores):
+            raise ValueError(
+                f"pairs ({len(self.pairs)}) and scores ({len(self.scores)}) disagree"
+            )
+
+    @property
+    def seconds(self) -> float:
+        """Total wall-clock seconds across instrumented phases."""
+        return self.stopwatch.total
+
+    @property
+    def peak_bytes(self) -> int:
+        """Peak declared working set in bytes."""
+        return self.memory.peak_bytes
+
+    def as_set(self) -> set[tuple[int, int]]:
+        """The matched pairs as a set of (row, column) tuples."""
+        return {(int(row), int(col)) for row, col in self.pairs}
+
+
+class Matcher(ABC):
+    """Base class for all embedding-matching algorithms."""
+
+    #: Short display name used in tables ("DInf", "CSLS", ...).
+    name: str = "matcher"
+
+    @abstractmethod
+    def match(self, source: np.ndarray, target: np.ndarray) -> MatchResult:
+        """Match source rows to target rows; see :class:`MatchResult`."""
+
+    def match_scores(self, scores: np.ndarray) -> MatchResult:
+        """Match from a precomputed pairwise score matrix.
+
+        Default implementation raises; :class:`PipelineMatcher` supports
+        it, which covers every algorithm in this library.
+        """
+        raise NotImplementedError(f"{type(self).__name__} requires embeddings")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: A score transform maps (scores, stopwatch, memory) -> new scores.
+ScoreTransform = Callable[[np.ndarray, Stopwatch, MemoryTracker], np.ndarray]
+
+#: A decode strategy maps (scores, stopwatch, memory) -> (pairs, pair_scores).
+DecodeStrategy = Callable[
+    [np.ndarray, Stopwatch, MemoryTracker], tuple[np.ndarray, np.ndarray]
+]
+
+
+class PipelineMatcher(Matcher):
+    """Similarity metric -> optional score transform -> decode strategy.
+
+    This is the generic composition underlying EntMatcher; the named
+    matchers configure it.  Subclasses may override :meth:`_transform`
+    and :meth:`_decode` instead of passing callables.
+    """
+
+    def __init__(
+        self,
+        metric: str = "cosine",
+        transform: ScoreTransform | None = None,
+        decoder: DecodeStrategy | None = None,
+        name: str | None = None,
+    ) -> None:
+        self.metric = metric
+        self._transform_fn = transform
+        self._decoder_fn = decoder
+        if name is not None:
+            self.name = name
+
+    # -- pipeline hooks ------------------------------------------------
+
+    def _transform(
+        self, scores: np.ndarray, watch: Stopwatch, memory: MemoryTracker
+    ) -> np.ndarray:
+        if self._transform_fn is not None:
+            return self._transform_fn(scores, watch, memory)
+        return scores
+
+    def _decode(
+        self, scores: np.ndarray, watch: Stopwatch, memory: MemoryTracker
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self._decoder_fn is not None:
+            return self._decoder_fn(scores, watch, memory)
+        raise NotImplementedError(f"{type(self).__name__} has no decode strategy")
+
+    # -- public API ----------------------------------------------------
+
+    def match(self, source: np.ndarray, target: np.ndarray) -> MatchResult:
+        """Full pipeline from embeddings."""
+        source = check_embedding_matrix(source, "source")
+        target = check_embedding_matrix(target, "target")
+        watch = Stopwatch()
+        memory = MemoryTracker()
+        with watch.measure("similarity"):
+            scores = similarity_matrix(source, target, metric=self.metric)
+        memory.allocate_array("similarity", scores)
+        return self._finish(scores, watch, memory)
+
+    def match_scores(self, scores: np.ndarray) -> MatchResult:
+        """Pipeline from a precomputed score matrix (skips the metric)."""
+        scores = check_score_matrix(scores)
+        watch = Stopwatch()
+        memory = MemoryTracker()
+        memory.allocate_array("similarity", scores)
+        return self._finish(scores, watch, memory)
+
+    def _finish(
+        self, scores: np.ndarray, watch: Stopwatch, memory: MemoryTracker
+    ) -> MatchResult:
+        # Transforms declare their own working-set allocations; the base
+        # pipeline only accounts for the similarity matrix itself.
+        with watch.measure("transform"):
+            transformed = self._transform(scores, watch, memory)
+        with watch.measure("decode"):
+            pairs, pair_scores = self._decode(transformed, watch, memory)
+        return MatchResult(pairs, pair_scores, stopwatch=watch, memory=memory)

@@ -1,0 +1,58 @@
+"""Cross-domain similarity local scaling (paper Algorithm 4).
+
+CSLS rescales raw similarities to counteract *hubness* (targets that are
+everyone's nearest neighbour) and *isolation* (outliers far from all
+clusters): each pairwise score is penalised by the mean of both
+endpoints' top-k neighbourhood scores (Equation 1)::
+
+    CSLS(u, v) = 2 S(u, v) - phi(u) - phi(v)
+
+Scores of entities in dense regions shrink, scores of isolated entities
+grow, and greedy decoding on the rescaled matrix makes fewer hub-induced
+mistakes.  ``k = 1`` is the best setting under 1-to-1 alignment
+(paper Figure 6) and the default here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import PipelineMatcher
+from repro.core.greedy import greedy_decoder
+from repro.similarity.topk import top_k_mean
+from repro.utils.memory import MemoryTracker
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import check_score_matrix
+
+
+def csls_scores(scores: np.ndarray, k: int = 1) -> np.ndarray:
+    """The CSLS-rescaled score matrix (Equation 1 of the paper)."""
+    scores = check_score_matrix(scores)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    phi_source = top_k_mean(scores, k, axis=1)  # per source row
+    phi_target = top_k_mean(scores, k, axis=0)  # per target column
+    return 2.0 * scores - phi_source[:, None] - phi_target[None, :]
+
+
+class CSLS(PipelineMatcher):
+    """CSLS rescaling + greedy decoding.
+
+    Time and space complexity O(n^2); in practice slightly costlier than
+    DInf because of the extra rescaled matrix.
+    """
+
+    name = "CSLS"
+
+    def __init__(self, k: int = 1, metric: str = "cosine") -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        super().__init__(metric=metric, decoder=greedy_decoder)
+        self.k = k
+
+    def _transform(
+        self, scores: np.ndarray, watch: Stopwatch, memory: MemoryTracker
+    ) -> np.ndarray:
+        rescaled = csls_scores(scores, k=self.k)
+        memory.allocate_array("csls", rescaled)
+        return rescaled

@@ -1,0 +1,68 @@
+"""Name -> matcher factory registry (EntMatcher's loosely-coupled API).
+
+The experiment harness refers to matchers by their paper names ("DInf",
+"CSLS", ...); :func:`create_matcher` instantiates them with optional
+keyword overrides, and :func:`available_matchers` lists what exists —
+including the RInf scalability variants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.base import Matcher
+from repro.core.csls import CSLS
+from repro.core.greedy import DInf
+from repro.core.hungarian import Hungarian
+from repro.core.rinf import RInf, RInfPb, RInfWr
+from repro.core.multi import MultiAnswerMatcher
+from repro.core.rl import RLMatcher
+from repro.core.sinkhorn import Sinkhorn
+from repro.core.stable import StableMatch
+
+_FACTORIES: dict[str, Callable[..., Matcher]] = {
+    "DInf": DInf,
+    "CSLS": CSLS,
+    "RInf": RInf,
+    "RInf-wr": RInfWr,
+    "RInf-pb": RInfPb,
+    "Sink.": Sinkhorn,
+    "Hun.": Hungarian,
+    "SMat": StableMatch,
+    "RL": RLMatcher,
+    # Extensions beyond the surveyed seven (see DESIGN.md):
+    "Multi": MultiAnswerMatcher,
+}
+
+#: The seven algorithms of the paper's main comparison, in table order.
+PAPER_MATCHERS = ("DInf", "CSLS", "RInf", "Sink.", "Hun.", "SMat", "RL")
+
+
+def available_matchers() -> list[str]:
+    """All registered matcher names."""
+    return list(_FACTORIES)
+
+
+def create_matcher(name: str, **kwargs: object) -> Matcher:
+    """Instantiate the matcher registered as ``name``.
+
+    Keyword arguments are forwarded to the matcher's constructor (e.g.
+    ``create_matcher("Sink.", iterations=50)``).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(_FACTORIES)
+        raise ValueError(f"unknown matcher {name!r}; known matchers: {known}")
+    return factory(**kwargs)
+
+
+def register_matcher(name: str, factory: Callable[..., Matcher]) -> None:
+    """Register a custom matcher factory under ``name``.
+
+    Existing names cannot be overwritten (explicit removal first), which
+    keeps accidental shadowing of paper algorithms loud.
+    """
+    if name in _FACTORIES:
+        raise ValueError(f"matcher {name!r} is already registered")
+    _FACTORIES[name] = factory

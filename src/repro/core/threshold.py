@@ -1,0 +1,85 @@
+"""Threshold-based abstention — an extension beyond the surveyed methods.
+
+The paper's Section 6 (insight 2 and direction 5) observes that no
+surveyed algorithm can *decline* to answer: greedy methods align every
+query — including unmatchable ones — and bleed precision on DBP15K+.
+:class:`ThresholdMatcher` wraps any matcher and drops matched pairs whose
+final score falls below a threshold, turning the score into an implicit
+matchability probability.  :func:`calibrate_threshold` picks the
+threshold on validation data by maximising F1, the usual way abstention
+cutoffs are tuned in entity-resolution practice.
+
+This module is an *extension* (clearly marked as such in DESIGN.md): the
+ablation benchmark ``benchmarks/test_ablation_threshold.py`` shows it
+lifting the greedy methods' precision under the unmatchable setting,
+partially closing the gap to the Hungarian matcher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import MatchResult, Matcher
+from repro.eval.metrics import evaluate_pairs
+from repro.utils.validation import check_score_matrix
+
+
+class ThresholdMatcher(Matcher):
+    """Wrap a matcher; abstain on pairs scoring below ``threshold``.
+
+    The comparison uses the wrapped matcher's own final pair scores, so
+    it composes with any pipeline (raw similarities for DInf/Hun.,
+    rescaled scores for CSLS, etc.).
+    """
+
+    def __init__(self, inner: Matcher, threshold: float) -> None:
+        self.inner = inner
+        self.threshold = float(threshold)
+        self.name = f"{inner.name}@{self.threshold:.2f}"
+
+    def match(self, source: np.ndarray, target: np.ndarray) -> MatchResult:
+        return self._filter(self.inner.match(source, target))
+
+    def match_scores(self, scores: np.ndarray) -> MatchResult:
+        return self._filter(self.inner.match_scores(scores))
+
+    def _filter(self, result: MatchResult) -> MatchResult:
+        keep = result.scores >= self.threshold
+        return MatchResult(
+            result.pairs[keep],
+            result.scores[keep],
+            stopwatch=result.stopwatch,
+            memory=result.memory,
+        )
+
+
+def calibrate_threshold(
+    matcher: Matcher,
+    scores: np.ndarray,
+    gold_pairs: list[tuple[int, int]] | np.ndarray,
+    quantiles: int = 20,
+) -> float:
+    """Pick the abstention threshold maximising F1 on validation data.
+
+    ``scores`` is the validation pairwise score matrix; ``gold_pairs``
+    its gold links in local coordinates.  Candidate thresholds are the
+    quantiles of the matcher's emitted pair scores (always including
+    "never abstain"), so calibration is O(quantiles) matcher-free passes
+    after one matching run.
+    """
+    scores = check_score_matrix(scores)
+    if quantiles < 1:
+        raise ValueError(f"quantiles must be >= 1, got {quantiles}")
+    base = matcher.match_scores(scores)
+    if len(base.pairs) == 0:
+        return -np.inf
+    candidates = np.quantile(base.scores, np.linspace(0.0, 1.0, quantiles + 1))
+    best_threshold = -np.inf
+    best_f1 = -1.0
+    for threshold in np.concatenate(([-np.inf], candidates)):
+        keep = base.scores >= threshold
+        f1 = evaluate_pairs(base.pairs[keep], gold_pairs).f1
+        if f1 > best_f1:
+            best_f1 = f1
+            best_threshold = float(threshold)
+    return best_threshold

@@ -1,0 +1,33 @@
+"""Synthetic benchmark generators.
+
+The paper evaluates on DBP15K, SRPRS, DWY100K, DBP15K+ and FB_DBP_MUL —
+public datasets extracted from DBpedia/Wikidata/YAGO/Freebase.  Those
+extractions are not available offline, so this package provides a
+parameterized generator (:func:`generate_aligned_pair`) that produces
+correlated KG pairs with the properties the paper's analysis turns on:
+size, density (average degree), structural heterogeneity between the two
+sides, unmatchable-entity rate, and non-1-to-1 link clusters.  Named
+presets in :mod:`repro.datasets.zoo` mirror each paper dataset's
+statistics at reduced scale (documented in DESIGN.md).
+"""
+
+from repro.datasets.names import corrupt_name, generate_entity_names
+from repro.datasets.non_one_to_one import NonOneToOneConfig, generate_non_one_to_one_task
+from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair, generate_kg
+from repro.datasets.unmatchable import UnmatchableConfig, add_unmatchable_entities
+from repro.datasets.zoo import DATASET_PRESETS, list_presets, load_preset
+
+__all__ = [
+    "DATASET_PRESETS",
+    "KGPairConfig",
+    "NonOneToOneConfig",
+    "UnmatchableConfig",
+    "add_unmatchable_entities",
+    "corrupt_name",
+    "generate_aligned_pair",
+    "generate_entity_names",
+    "generate_kg",
+    "generate_non_one_to_one_task",
+    "list_presets",
+    "load_preset",
+]

@@ -1,0 +1,82 @@
+"""Synthetic entity names with controllable cross-KG noise.
+
+The paper's N-/NR- settings exploit entity *names*: equivalent entities in
+DBP15K/SRPRS share very similar or identical surface forms (Section 4.3).
+We reproduce that by generating pronounceable pseudo-names for the source
+KG and deriving the target-side name of each equivalent entity by applying
+character-level edits at a configurable rate — light noise mimics
+monolingual pairs (DBpedia-YAGO), heavy noise mimics multilingual pairs
+(English-Chinese).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+_ALPHABET = _CONSONANTS + _VOWELS
+
+
+def _random_word(rng: np.random.Generator, syllables: int) -> str:
+    parts = []
+    for _ in range(syllables):
+        parts.append(rng.choice(list(_CONSONANTS)))
+        parts.append(rng.choice(list(_VOWELS)))
+    return "".join(parts)
+
+
+def generate_entity_names(
+    count: int, seed: RandomState = None, min_syllables: int = 2, max_syllables: int = 4
+) -> list[str]:
+    """Generate ``count`` distinct pronounceable pseudo-names.
+
+    Collisions are resolved with a numeric suffix so the result is always
+    exactly ``count`` unique strings.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if min_syllables < 1 or max_syllables < min_syllables:
+        raise ValueError("need 1 <= min_syllables <= max_syllables")
+    rng = ensure_rng(seed)
+    names: list[str] = []
+    seen: set[str] = set()
+    while len(names) < count:
+        syllables = int(rng.integers(min_syllables, max_syllables + 1))
+        word = _random_word(rng, syllables)
+        if word in seen:
+            word = f"{word}{len(names)}"
+        seen.add(word)
+        names.append(word)
+    return names
+
+
+def corrupt_name(name: str, edit_rate: float, rng: np.random.Generator) -> str:
+    """Apply character-level edits to ``name`` at rate ``edit_rate``.
+
+    Each character independently suffers a substitution, deletion, or
+    duplication with probability ``edit_rate``.  ``edit_rate=0`` returns
+    the name unchanged (identical cross-KG names, the easy monolingual
+    case); rates around 0.3-0.5 leave only partial lexical overlap, the
+    hard multilingual case.
+    """
+    if not 0.0 <= edit_rate <= 1.0:
+        raise ValueError(f"edit_rate must be in [0, 1], got {edit_rate}")
+    if edit_rate == 0.0 or not name:
+        return name
+    chars: list[str] = []
+    for char in name:
+        if rng.random() >= edit_rate:
+            chars.append(char)
+            continue
+        operation = rng.integers(0, 3)
+        if operation == 0:  # substitution
+            chars.append(str(rng.choice(list(_ALPHABET))))
+        elif operation == 1:  # deletion
+            continue
+        else:  # duplication
+            chars.append(char)
+            chars.append(char)
+    return "".join(chars) or name[0]

@@ -1,0 +1,218 @@
+"""The non-1-to-1 alignment setting (FB_DBP_MUL, paper Section 5.2).
+
+Real alignment links are frequently 1-to-many / many-to-1 / many-to-many —
+KGs model the world at different granularities, or contain duplicates.
+We reproduce the FB_DBP_MUL construction synthetically: a base graph is
+sampled, then selected base entities are *duplicated* on one (or both)
+sides, with the duplicate set sharing the original's neighbourhood edges
+split among them.  Every (source copy, target copy) pair within a cluster
+is a gold link, so a cluster duplicated into ``a`` source and ``b`` target
+copies contributes ``a*b`` links.
+
+The evaluation split is entity-disjoint (links sharing an entity stay in
+the same split), as required by the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.names import corrupt_name, generate_entity_names
+from repro.datasets.synthetic import _preferential_edges, _zipf_relations
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.kg.pair import AlignmentTask, split_links
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass(frozen=True)
+class NonOneToOneConfig:
+    """Parameters of the FB_DBP_MUL-style generator.
+
+    The fractions select which base entities become non-1-to-1 clusters;
+    the remainder stay 1-to-1.  FB_DBP_MUL has ~92% non-1-to-1 links, so
+    the preset uses large fractions.
+    """
+
+    num_entities: int = 600
+    num_relations: int = 15
+    average_degree: float = 3.7
+    one_to_many_fraction: float = 0.25
+    many_to_one_fraction: float = 0.25
+    many_to_many_fraction: float = 0.10
+    max_duplicates: int = 3
+    heterogeneity: float = 0.15
+    name_edit_rate: float = 0.15
+    train_fraction: float = 0.7
+    validation_fraction: float = 0.1
+    name: str = "fb_dbp_mul"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        total = (
+            self.one_to_many_fraction
+            + self.many_to_one_fraction
+            + self.many_to_many_fraction
+        )
+        if total > 1.0:
+            raise ValueError(f"cluster fractions sum to {total}, must be <= 1")
+        if self.max_duplicates < 2:
+            raise ValueError(f"max_duplicates must be >= 2, got {self.max_duplicates}")
+
+
+def _duplicate_counts(
+    config: NonOneToOneConfig, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per base entity: number of source copies and target copies."""
+    n = config.num_entities
+    source_copies = np.ones(n, dtype=np.int64)
+    target_copies = np.ones(n, dtype=np.int64)
+    order = rng.permutation(n)
+    n_otm = round(config.one_to_many_fraction * n)
+    n_mto = round(config.many_to_one_fraction * n)
+    n_mtm = round(config.many_to_many_fraction * n)
+
+    def copies() -> int:
+        return int(rng.integers(2, config.max_duplicates + 1))
+
+    cursor = 0
+    for idx in order[cursor:cursor + n_otm]:
+        target_copies[idx] = copies()
+    cursor += n_otm
+    for idx in order[cursor:cursor + n_mto]:
+        source_copies[idx] = copies()
+    cursor += n_mto
+    for idx in order[cursor:cursor + n_mtm]:
+        source_copies[idx] = copies()
+        target_copies[idx] = copies()
+    return source_copies, target_copies
+
+
+def _materialize_side(
+    base_edges: list[tuple[int, int]],
+    base_relations: np.ndarray,
+    copies: np.ndarray,
+    entity_prefix: str,
+    relation_prefix: str,
+    heterogeneity: float,
+    num_relations: int,
+    rng: np.random.Generator,
+    kg_name: str,
+) -> tuple[KnowledgeGraph, list[list[str]]]:
+    """Build one KG side with duplicated entities.
+
+    Each base entity ``i`` becomes ``copies[i]`` concrete entities; each
+    base edge incident to ``i`` is attached to one randomly chosen copy
+    (duplicates at different granularity share the neighbourhood but not
+    every edge).  A ``heterogeneity`` fraction of edges is dropped, like
+    the 1-to-1 generator.
+    """
+    num_base = len(copies)
+    names: list[list[str]] = [
+        [f"{entity_prefix}{i}_{c}" for c in range(int(copies[i]))] for i in range(num_base)
+    ]
+    flat_names = [name for group in names for name in group]
+
+    def pick(base_entity: int) -> str:
+        group = names[base_entity]
+        return group[int(rng.integers(len(group)))]
+
+    triples: list[Triple] = []
+    used: set[str] = set()
+
+    def record(name: str) -> str:
+        used.add(name)
+        return name
+
+    for (head, tail), relation in zip(base_edges, base_relations):
+        if rng.random() < heterogeneity:
+            continue
+        triples.append(
+            Triple(record(pick(head)), f"{relation_prefix}{int(relation)}", record(pick(tail)))
+        )
+    # Anchor every copy that received no edge (edge drop + random copy
+    # selection can leave any copy out), so no entity is isolated.
+    for i in range(num_base):
+        for copy_name in names[i]:
+            if copy_name in used:
+                continue
+            other = int(rng.integers(num_base))
+            if other == i and num_base > 1:
+                other = (other + 1) % num_base
+            relation = int(rng.integers(num_relations))
+            triples.append(
+                Triple(record(copy_name), f"{relation_prefix}{relation}", record(pick(other)))
+            )
+
+    graph = KnowledgeGraph(
+        triples,
+        entities=flat_names,
+        relations=[f"{relation_prefix}{i}" for i in range(num_relations)],
+        name=kg_name,
+    )
+    return graph, names
+
+
+def generate_non_one_to_one_task(config: NonOneToOneConfig) -> AlignmentTask:
+    """Generate an FB_DBP_MUL-style non-1-to-1 alignment task."""
+    (
+        graph_rng,
+        cluster_rng,
+        source_rng,
+        target_rng,
+        name_rng,
+        corrupt_rng,
+        split_rng,
+    ) = spawn_rngs(config.seed, 7)
+
+    num_edges = max(
+        config.num_entities - 1, round(config.num_entities * config.average_degree / 2)
+    )
+    base_edges = _preferential_edges(config.num_entities, num_edges, graph_rng)
+    base_relations = _zipf_relations(len(base_edges), config.num_relations, graph_rng)
+    source_copies, target_copies = _duplicate_counts(config, cluster_rng)
+
+    source_kg, source_groups = _materialize_side(
+        base_edges, base_relations, source_copies, "s", "r",
+        config.heterogeneity, config.num_relations, source_rng, f"{config.name}-source",
+    )
+    target_kg, target_groups = _materialize_side(
+        base_edges, base_relations, target_copies, "t", "q",
+        config.heterogeneity, config.num_relations, target_rng, f"{config.name}-target",
+    )
+
+    links = [
+        (src, tgt)
+        for i in range(config.num_entities)
+        for src in source_groups[i]
+        for tgt in target_groups[i]
+    ]
+
+    base_names = generate_entity_names(config.num_entities, seed=name_rng)
+    source_names = {
+        name: corrupt_name(base_names[i], config.name_edit_rate / 2, corrupt_rng)
+        for i in range(config.num_entities)
+        for name in source_groups[i]
+    }
+    target_names = {
+        name: corrupt_name(base_names[i], config.name_edit_rate, corrupt_rng)
+        for i in range(config.num_entities)
+        for name in target_groups[i]
+    }
+
+    split = split_links(
+        links,
+        train_fraction=config.train_fraction,
+        validation_fraction=config.validation_fraction,
+        seed=split_rng,
+        entity_disjoint=True,
+    )
+    return AlignmentTask(
+        source_kg,
+        target_kg,
+        split,
+        name=config.name,
+        source_names=source_names,
+        target_names=target_names,
+    )

@@ -1,0 +1,131 @@
+"""The unmatchable-entity setting (DBP15K+, paper Section 5.1).
+
+Real KG pairs contain entities with no counterpart on the other side
+(e.g. 99% of YAGO 4 when aligning with IMDB).  Following the DBP15K+
+construction of Zeng et al. (DASFAA 2021), we take a 1-to-1 task and
+graft extra entities onto each KG; the grafted entities participate in
+triples (so they have embeddings and look like ordinary candidates) but
+carry no gold link.  Unmatchable *source* entities join the test query
+set, so greedy matchers that answer every query lose precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.kg.pair import AlignmentTask
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class UnmatchableConfig:
+    """How many unmatchable entities to graft onto each side.
+
+    ``attachment_degree`` is the number of triples connecting each grafted
+    entity to the existing KG (so grafted entities are structurally
+    embedded, not isolated points).
+    """
+
+    unmatchable_fraction: float = 0.4
+    #: Fraction for the target side; defaults to half the source fraction so
+    #: the two sides end up unequal — which is what makes dummy-node
+    #: padding meaningful for Hun./SMat (paper Section 5.1).
+    target_fraction: float | None = None
+    attachment_degree: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.unmatchable_fraction <= 2.0:
+            raise ValueError(
+                f"unmatchable_fraction must be in [0, 2], got {self.unmatchable_fraction}"
+            )
+        if self.target_fraction is not None and not 0.0 <= self.target_fraction <= 2.0:
+            raise ValueError(
+                f"target_fraction must be in [0, 2], got {self.target_fraction}"
+            )
+        if self.attachment_degree < 1:
+            raise ValueError(f"attachment_degree must be >= 1, got {self.attachment_degree}")
+
+    @property
+    def effective_target_fraction(self) -> float:
+        """Target-side fraction (defaults to half the source fraction)."""
+        if self.target_fraction is None:
+            return self.unmatchable_fraction / 2.0
+        return self.target_fraction
+
+
+def _graft_entities(
+    graph: KnowledgeGraph,
+    count: int,
+    prefix: str,
+    attachment_degree: int,
+    rng: np.random.Generator,
+) -> tuple[KnowledgeGraph, tuple[str, ...]]:
+    """Return a new KG with ``count`` grafted entities and their names."""
+    existing = list(graph.entities)
+    relations = list(graph.relations)
+    if not relations:
+        raise ValueError("cannot graft onto a KG with no relations")
+    new_entities = [f"{prefix}{i}" for i in range(count)]
+    new_triples = list(graph.triples())
+    for entity in new_entities:
+        anchors = rng.choice(len(existing), size=min(attachment_degree, len(existing)), replace=False)
+        for anchor in anchors:
+            relation = relations[int(rng.integers(len(relations)))]
+            if rng.random() < 0.5:
+                new_triples.append(Triple(entity, relation, existing[int(anchor)]))
+            else:
+                new_triples.append(Triple(existing[int(anchor)], relation, entity))
+    grafted = KnowledgeGraph(
+        new_triples,
+        entities=existing + new_entities,
+        relations=relations,
+        name=f"{graph.name}+",
+    )
+    return grafted, tuple(new_entities)
+
+
+def add_unmatchable_entities(
+    task: AlignmentTask, config: UnmatchableConfig, seed: RandomState = None
+) -> AlignmentTask:
+    """Adapt a 1-to-1 ``task`` into its unmatchable variant (DBP15K+).
+
+    Both KGs gain ``unmatchable_fraction * num_test_links`` grafted
+    entities.  Gold links and their split are unchanged; the grafted
+    entities are recorded in ``unmatchable_source`` / ``unmatchable_target``
+    so the evaluator can include them in the query/candidate sets.
+    """
+    rng = ensure_rng(config.seed if seed is None else seed)
+    source_rng, target_rng, name_rng = spawn_rngs(rng, 3)
+    source_count = round(config.unmatchable_fraction * len(task.split.test))
+    target_count = round(config.effective_target_fraction * len(task.split.test))
+    source_kg, new_source = _graft_entities(
+        task.source, source_count, "u_s", config.attachment_degree, source_rng
+    )
+    target_kg, new_target = _graft_entities(
+        task.target, target_count, "u_t", config.attachment_degree, target_rng
+    )
+
+    # Grafted entities get their own display names with no cross-KG twin,
+    # so name embeddings cannot rescue them either.
+    source_names = dict(task.source_names)
+    target_names = dict(task.target_names)
+    from repro.datasets.names import generate_entity_names
+
+    fresh = generate_entity_names(source_count + target_count, seed=name_rng)
+    source_names.update(zip(new_source, fresh[:source_count]))
+    target_names.update(zip(new_target, fresh[source_count:]))
+
+    return AlignmentTask(
+        source_kg,
+        target_kg,
+        task.split,
+        name=f"{task.name}+",
+        source_names=source_names,
+        target_names=target_names,
+        unmatchable_source=new_source,
+        unmatchable_target=new_target,
+    )

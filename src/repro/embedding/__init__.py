@@ -1,0 +1,42 @@
+"""Representation-learning substrate.
+
+The paper treats the representation-learning stage as a controlled
+nuisance variable: matchers are compared on embeddings produced by a
+strong encoder (RREA), a weak encoder (GCN), name embeddings (N-), and a
+fusion of names and structure (NR-).  This package implements all four
+sources from scratch in numpy:
+
+* :class:`GCNEncoder` — two-layer graph convolution trained with a
+  margin-based alignment loss over the seed pairs (the weak regime).
+* :class:`RREAEncoder` — deeper relation-gated propagation with layer
+  concatenation and inter-layer normalisation (the strong regime).
+* :class:`NameEncoder` — character n-gram hashing vectors over entity
+  display names (the N- regime; stands in for fastText vectors).
+* :func:`fuse_embeddings` — weighted concatenation of structural and
+  name embeddings (the NR- regime).
+* :class:`OracleEncoder` — draws unified embeddings directly from the
+  gold links with controllable noise/hubness; used to unit-test matchers
+  in isolation from training and to drive large-scale benches cheaply.
+"""
+
+from repro.embedding.base import EmbeddingModel, UnifiedEmbeddings
+from repro.embedding.fusion import fuse_embeddings
+from repro.embedding.gcn import GCNEncoder
+from repro.embedding.name_encoder import NameEncoder
+from repro.embedding.oracle import OracleConfig, OracleEncoder
+from repro.embedding.rrea import RREAEncoder
+from repro.embedding.trainer import AdamOptimizer, margin_loss_and_grad, sample_negatives
+
+__all__ = [
+    "AdamOptimizer",
+    "EmbeddingModel",
+    "GCNEncoder",
+    "NameEncoder",
+    "OracleConfig",
+    "OracleEncoder",
+    "RREAEncoder",
+    "UnifiedEmbeddings",
+    "fuse_embeddings",
+    "margin_loss_and_grad",
+    "sample_negatives",
+]

@@ -1,0 +1,60 @@
+"""Embedding-model interface and the unified-embedding container.
+
+Every encoder produces a :class:`UnifiedEmbeddings`: two row-aligned
+matrices living in one vector space (the "unified entity representations
+E" of the paper's Algorithm 1), where row ``i`` of :attr:`source`
+corresponds to entity index ``i`` of the task's source KG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.kg.pair import AlignmentTask
+from repro.utils.validation import check_embedding_matrix, check_shape_compatible
+
+
+@dataclass(frozen=True)
+class UnifiedEmbeddings:
+    """Row-aligned source/target embedding matrices in a unified space."""
+
+    source: np.ndarray
+    target: np.ndarray
+
+    def __post_init__(self) -> None:
+        source = check_embedding_matrix(self.source, "source")
+        target = check_embedding_matrix(self.target, "target")
+        check_shape_compatible(source, target)
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "target", target)
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality."""
+        return int(self.source.shape[1])
+
+    def normalized(self) -> "UnifiedEmbeddings":
+        """Copy with L2-normalised rows (zero rows are left as zeros)."""
+        return UnifiedEmbeddings(_l2_normalize(self.source), _l2_normalize(self.target))
+
+
+def _l2_normalize(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.maximum(norms, 1e-12)
+
+
+@runtime_checkable
+class EmbeddingModel(Protocol):
+    """Anything that can turn an alignment task into unified embeddings.
+
+    This is the Representation_Learning() step of the paper's Algorithm 1;
+    implementations may train (GCN/RREA), hash names (NameEncoder), or
+    sample from the gold links (OracleEncoder).
+    """
+
+    def encode(self, task: AlignmentTask) -> UnifiedEmbeddings:
+        """Produce unified embeddings for ``task``."""
+        ...

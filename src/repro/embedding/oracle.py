@@ -1,0 +1,223 @@
+"""Oracle embeddings: controllable unified spaces drawn from gold links.
+
+Matching algorithms must be testable — and benchmarked — in isolation
+from representation learning.  The :class:`OracleEncoder` skips training
+entirely and samples a unified space directly from a task's gold links,
+with three geometry knobs that control exactly the embedding-space
+statistics the paper's analysis turns on:
+
+* ``noise`` — per-side Gaussian perturbation of each entity's latent
+  (the encoder-quality knob: 0 = Figure 1 case a, large = case c).
+* ``cluster_size`` / ``cluster_spread`` — latents are arranged in tight
+  semantic clusters.  When ``noise`` is comparable to
+  ``cluster_spread``, greedy decoding scrambles entities *within* a
+  cluster while the global bijection stays recoverable — the hubness/
+  crowding regime that CSLS, RInf and the assignment-based matchers
+  exploit (paper Patterns 1-2).  Large spread with small noise gives
+  discriminative scores where the global-constraint methods shine
+  instead.
+* ``noise_dispersion`` — log-normal per-entity noise scaling; high
+  dispersion creates the *isolated* outliers CSLS compensates for.
+
+GPU-trained 300-dim encoders produce crowded, hub-ridden spaces that a
+laptop-scale propagation trainer cannot reproduce; the experiment
+harness therefore runs the paper's tables on oracle spaces whose
+geometry is calibrated per encoder regime (see
+:mod:`repro.experiments.regimes`), while the real trainable encoders in
+this package remain the demonstration path.  This substitution is
+documented in DESIGN.md.
+
+Unlinked entities (e.g. grafted unmatchables) get independent latents in
+the same clustered geometry, so they are plausible distractors with no
+true counterpart.  Non-1-to-1 link clusters share one latent, so any
+copy is a plausible match for any opposite copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embedding.base import UnifiedEmbeddings
+from repro.kg.pair import AlignmentTask
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Geometry knobs for oracle embeddings (see module docstring)."""
+
+    dim: int = 64
+    noise: float = 0.4
+    cluster_size: int = 5
+    cluster_spread: float = 0.2
+    noise_dispersion: float = 0.0
+    #: Fraction of variance shared with one global direction — models the
+    #: oversmoothing of weak graph encoders, where all embeddings crowd
+    #: around the dominant eigenvector and similarities compress.
+    smoothing: float = 0.0
+    #: Extra jitter between members of one non-1-to-1 link cluster, so
+    #: duplicates are near but not identical.
+    duplicate_jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ValueError(f"dim must be >= 1, got {self.dim}")
+        if self.noise < 0:
+            raise ValueError(f"noise must be non-negative, got {self.noise}")
+        if self.cluster_size < 1:
+            raise ValueError(f"cluster_size must be >= 1, got {self.cluster_size}")
+        if self.cluster_spread < 0:
+            raise ValueError(f"cluster_spread must be non-negative, got {self.cluster_spread}")
+        if self.noise_dispersion < 0:
+            raise ValueError(
+                f"noise_dispersion must be non-negative, got {self.noise_dispersion}"
+            )
+        if not 0.0 <= self.smoothing < 1.0:
+            raise ValueError(f"smoothing must be in [0, 1), got {self.smoothing}")
+
+
+class OracleEncoder:
+    """Draws unified embeddings directly from a task's gold links."""
+
+    def __init__(self, config: OracleConfig | None = None, seed: RandomState = None) -> None:
+        self.config = config or OracleConfig()
+        self._seed_override = seed
+
+    def encode(self, task: AlignmentTask) -> UnifiedEmbeddings:
+        """Unified embeddings whose geometry follows :class:`OracleConfig`."""
+        config = self.config
+        seed = self._seed_override if self._seed_override is not None else config.seed
+        latent_rng, source_rng, target_rng = spawn_rngs(ensure_rng(seed), 3)
+
+        source_cluster, target_cluster, num_linked, total_latents = (
+            self._latent_assignment(task)
+        )
+        latents = self._clustered_latents(num_linked, total_latents, latent_rng)
+        source = self._side(latents, source_cluster, source_rng)
+        target = self._side(latents, target_cluster, target_rng)
+        return UnifiedEmbeddings(source, target).normalized()
+
+    # ------------------------------------------------------------------
+
+    def _latent_assignment(
+        self, task: AlignmentTask
+    ) -> tuple[np.ndarray, np.ndarray, int, int]:
+        """Latent index per entity on each side.
+
+        Entities connected by gold links share a latent; every other
+        entity gets its own fresh latent.  Returns
+        ``(source_cluster, target_cluster, num_linked, total)`` — linked
+        latents occupy ids ``[0, num_linked)``.
+        """
+        clusters = _link_clusters(task)
+        source_cluster = np.full(task.source.num_entities, -1, dtype=np.int64)
+        target_cluster = np.full(task.target.num_entities, -1, dtype=np.int64)
+        for cluster_id, (source_ids, target_ids) in enumerate(clusters):
+            source_cluster[source_ids] = cluster_id
+            target_cluster[target_ids] = cluster_id
+        next_id = len(clusters)
+        for idx in np.flatnonzero(source_cluster < 0):
+            source_cluster[idx] = next_id
+            next_id += 1
+        for idx in np.flatnonzero(target_cluster < 0):
+            target_cluster[idx] = next_id
+            next_id += 1
+        return source_cluster, target_cluster, len(clusters), next_id
+
+    def _clustered_latents(
+        self, num_linked: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Unit latents; the linked ones arranged in tight clusters.
+
+        Only latents of *linked* entities join the crowded semantic
+        clusters; unlinked entities (e.g. the grafted unmatchables) get
+        their own fresh centers, so they are distractors rather than
+        perfect impostors — which is what keeps them separable enough
+        for dummy-node absorption (paper Section 5.1).
+        """
+        config = self.config
+        num_link_centers = (num_linked + config.cluster_size - 1) // config.cluster_size
+        num_centers = num_link_centers + (count - num_linked)
+        centers = rng.normal(0.0, 1.0, (max(num_centers, 1), config.dim))
+        centers /= np.maximum(np.linalg.norm(centers, axis=1, keepdims=True), 1e-12)
+        # Shuffled assignment so geometric clusters do not correlate with
+        # latent-id order (which correlates with entity ids).
+        linked_assignment = rng.permutation(
+            np.repeat(np.arange(num_link_centers), config.cluster_size)[:num_linked]
+        )
+        extra_assignment = np.arange(num_link_centers, num_centers)
+        assignment = np.concatenate([linked_assignment, extra_assignment]).astype(np.int64)
+        latents = centers[assignment] + rng.normal(
+            0.0, config.cluster_spread / np.sqrt(config.dim), (count, config.dim)
+        )
+        latents /= np.maximum(np.linalg.norm(latents, axis=1, keepdims=True), 1e-12)
+        if config.smoothing > 0:
+            # Mix in one global direction: the oversmoothing of weak
+            # encoders, which compresses all pairwise similarities.
+            global_direction = rng.normal(0.0, 1.0, config.dim)
+            global_direction /= max(np.linalg.norm(global_direction), 1e-12)
+            latents = (
+                np.sqrt(1.0 - config.smoothing) * latents
+                + np.sqrt(config.smoothing) * global_direction
+            )
+        return latents
+
+    def _side(
+        self, latents: np.ndarray, cluster_of: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        config = self.config
+        base = latents[cluster_of]
+        scale = np.full((base.shape[0], 1), config.noise)
+        if config.noise_dispersion > 0:
+            scale = scale * np.exp(
+                rng.normal(0.0, config.noise_dispersion, (base.shape[0], 1))
+            )
+        noise = rng.normal(0.0, 1.0, base.shape) * scale / np.sqrt(config.dim)
+        jitter = rng.normal(0.0, config.duplicate_jitter / np.sqrt(config.dim), base.shape)
+        return base + noise + jitter
+
+
+def _link_clusters(task: AlignmentTask) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Connected components of the gold-link bipartite graph, as id arrays.
+
+    A 1-to-1 link is a singleton cluster; non-1-to-1 clusters group every
+    source/target copy of the same real-world entity.
+    """
+    parent: dict[tuple[str, int], tuple[str, int]] = {}
+
+    def find(node: tuple[str, int]) -> tuple[str, int]:
+        root = node
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    links = task.split.all_links
+    for source_name, target_name in links:
+        a = ("s", task.source.entity_id(source_name))
+        b = ("t", task.target.entity_id(target_name))
+        parent[find(a)] = find(b)
+
+    groups: dict[tuple[str, int], tuple[list[int], list[int]]] = {}
+    seen: set[tuple[str, int]] = set()
+    for source_name, target_name in links:
+        for node in (
+            ("s", task.source.entity_id(source_name)),
+            ("t", task.target.entity_id(target_name)),
+        ):
+            if node in seen:
+                continue
+            seen.add(node)
+            sources, targets = groups.setdefault(find(node), ([], []))
+            if node[0] == "s":
+                sources.append(node[1])
+            else:
+                targets.append(node[1])
+    return [
+        (np.array(sources, dtype=np.int64), np.array(targets, dtype=np.int64))
+        for sources, targets in groups.values()
+    ]

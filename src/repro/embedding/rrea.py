@@ -1,0 +1,233 @@
+"""RREA-style encoder (the paper's strong structural regime, "R-").
+
+A numpy take on Relational Reflection Entity Alignment (Mao et al., CIKM
+2020), keeping the ingredients that make RREA outperform a plain GCN
+while staying tractable without autodiff:
+
+1. **Relation-aware propagation** — edges are weighted by the inverse
+   frequency of their relation (rare relations identify their endpoints
+   more strongly), then row-normalised.
+2. **Deep propagation with layer concatenation** — the output is
+   ``[X, AX, ..., A^L X]``, exposing multi-hop structure, like RREA's
+   concatenated attention layers.
+3. **Bootstrapping / self-training** — confident mutual-nearest-neighbour
+   pairs are promoted to pseudo-seeds and propagation is re-anchored, the
+   iterative-training strategy of the strongest EA systems.
+4. **Optional margin fine-tuning with hard negatives** — RREA's
+   "normalized hard sample mining", via the shared trainer machinery.
+
+Like the GCN encoder, supervision enters through seed-anchored features
+(each seed pair shares a random basis vector); RREA's extra machinery is
+what lifts it into the paper's "R-" quality regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.embedding.base import UnifiedEmbeddings
+from repro.embedding.gcn import seed_anchor_features
+from repro.embedding.trainer import AdamOptimizer, margin_loss_and_grad, sample_negatives
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pair import AlignmentTask
+from repro.similarity.metrics import cosine_similarity
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class RREAEncoder:
+    """Relation-aware deep-propagation encoder with bootstrapping."""
+
+    def __init__(
+        self,
+        dim: int = 256,
+        num_layers: int = 3,
+        bootstrap_rounds: int = 2,
+        bootstrap_threshold: float = 0.5,
+        fine_tune_epochs: int = 0,
+        learning_rate: float = 0.02,
+        margin: float = 1.0,
+        negatives_per_pair: int = 5,
+        seed: RandomState = None,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        if bootstrap_rounds < 0:
+            raise ValueError(f"bootstrap_rounds must be >= 0, got {bootstrap_rounds}")
+        if not 0.0 <= bootstrap_threshold <= 1.0:
+            raise ValueError(
+                f"bootstrap_threshold must be in [0, 1], got {bootstrap_threshold}"
+            )
+        self.dim = dim
+        self.num_layers = num_layers
+        self.bootstrap_rounds = bootstrap_rounds
+        self.bootstrap_threshold = bootstrap_threshold
+        self.fine_tune_epochs = fine_tune_epochs
+        self.learning_rate = learning_rate
+        self.margin = margin
+        self.negatives_per_pair = negatives_per_pair
+        self.seed = seed
+        self.loss_history: list[float] = []
+        #: Anchor-pool sizes per bootstrap round, filled by :meth:`encode`.
+        self.bootstrap_pool_sizes: list[int] = []
+
+    # ------------------------------------------------------------------
+
+    def encode(self, task: AlignmentTask) -> UnifiedEmbeddings:
+        """Build unified embeddings for ``task`` (see module docstring)."""
+        rng = ensure_rng(self.seed)
+        seed_pairs = task.seed_index_pairs()
+        if len(seed_pairs) == 0:
+            raise ValueError("RREAEncoder requires at least one seed pair")
+        adj_source = relation_weighted_adjacency(task.source)
+        adj_target = relation_weighted_adjacency(task.target)
+
+        self.loss_history = []
+        self.bootstrap_pool_sizes = []
+        anchors = seed_pairs
+        source_out = target_out = None
+        for round_index in range(self.bootstrap_rounds + 1):
+            self.bootstrap_pool_sizes.append(len(anchors))
+            x_source, x_target = seed_anchor_features(
+                task.source.num_entities, task.target.num_entities,
+                anchors, self.dim, rng,
+            )
+            if self.fine_tune_epochs:
+                x_source, x_target = self._fine_tune(
+                    adj_source, adj_target, x_source, x_target, anchors, rng
+                )
+            source_out = _propagate_concat(adj_source, x_source, self.num_layers)
+            target_out = _propagate_concat(adj_target, x_target, self.num_layers)
+            if round_index < self.bootstrap_rounds:
+                anchors = self._expand_anchors(source_out, target_out, seed_pairs)
+        return UnifiedEmbeddings(source_out, target_out).normalized()
+
+    # ------------------------------------------------------------------
+
+    def _expand_anchors(
+        self, source_out: np.ndarray, target_out: np.ndarray, seed_pairs: np.ndarray
+    ) -> np.ndarray:
+        """Add confident mutual nearest neighbours as pseudo-seeds."""
+        sim = cosine_similarity(source_out, target_out)
+        forward = sim.argmax(axis=1)
+        backward = sim.argmax(axis=0)
+        source_ids = np.arange(sim.shape[0])
+        mutual = backward[forward] == source_ids
+        confident = sim[source_ids, forward] > self.bootstrap_threshold
+        keep = mutual & confident
+        pseudo = np.stack([source_ids[keep], forward[keep]], axis=1)
+        if len(pseudo) == 0:
+            return seed_pairs
+        combined = np.vstack([seed_pairs, pseudo])
+        return np.unique(combined, axis=0)
+
+    def _fine_tune(
+        self,
+        adj_source: sp.csr_matrix,
+        adj_target: sp.csr_matrix,
+        x_source: np.ndarray,
+        x_target: np.ndarray,
+        anchors: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Margin refinement with hard negatives mined from the output.
+
+        Like the GCN encoder, updates are masked to anchor rows so the
+        propagation geometry of non-anchored entities survives.
+        """
+        params = {"x_source": x_source.copy(), "x_target": x_target.copy()}
+        source_mask = np.zeros((x_source.shape[0], 1))
+        source_mask[anchors[:, 0]] = 1.0
+        target_mask = np.zeros((x_target.shape[0], 1))
+        target_mask[anchors[:, 1]] = 1.0
+        optimizer = AdamOptimizer(learning_rate=self.learning_rate)
+        neg_targets = neg_sources = None
+        for epoch in range(self.fine_tune_epochs):
+            source_out = _propagate_concat(adj_source, params["x_source"], self.num_layers)
+            target_out = _propagate_concat(adj_target, params["x_target"], self.num_layers)
+            if neg_targets is None or epoch % 10 == 0:
+                neg_targets, neg_sources = self._mine_negatives(
+                    source_out, target_out, anchors, rng
+                )
+            loss, d_src, d_tgt = margin_loss_and_grad(
+                source_out, target_out, anchors,
+                neg_targets, neg_sources, margin=self.margin,
+            )
+            self.loss_history.append(loss)
+            grads = {
+                "x_source": _propagate_adjoint(adj_source, d_src, self.dim, self.num_layers)
+                * source_mask,
+                "x_target": _propagate_adjoint(adj_target, d_tgt, self.dim, self.num_layers)
+                * target_mask,
+            }
+            optimizer.update(params, grads)
+        return params["x_source"], params["x_target"]
+
+    def _mine_negatives(
+        self,
+        source_out: np.ndarray,
+        target_out: np.ndarray,
+        anchors: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Hard negatives: each anchor's most-similar non-matching entities."""
+        k = self.negatives_per_pair
+        n_source, n_target = source_out.shape[0], target_out.shape[0]
+        if n_target <= k + 1 or n_source <= k + 1:
+            return sample_negatives(len(anchors), n_source, n_target, k, rng)
+        sim_st = cosine_similarity(source_out[anchors[:, 0]], target_out)
+        sim_st[np.arange(len(anchors)), anchors[:, 1]] = -np.inf
+        neg_targets = np.argpartition(sim_st, n_target - k, axis=1)[:, -k:]
+        sim_ts = cosine_similarity(target_out[anchors[:, 1]], source_out)
+        sim_ts[np.arange(len(anchors)), anchors[:, 0]] = -np.inf
+        neg_sources = np.argpartition(sim_ts, n_source - k, axis=1)[:, -k:]
+        return neg_targets, neg_sources
+
+
+def relation_weighted_adjacency(graph: KnowledgeGraph) -> sp.csr_matrix:
+    """Row-normalised adjacency with inverse-relation-frequency weights.
+
+    An edge labelled with a rare relation identifies its endpoints more
+    strongly than one labelled with a ubiquitous relation, so it receives
+    proportionally more propagation weight — the cheap stand-in for
+    RREA's relational reflection.
+    """
+    n = graph.num_entities
+    triples = graph.triple_ids
+    if len(triples) == 0:
+        return sp.eye(n, format="csr")
+    relation_counts = np.bincount(triples[:, 1], minlength=graph.num_relations)
+    weights = 1.0 / np.log2(2.0 + relation_counts[triples[:, 1]])
+    rows = np.concatenate([triples[:, 0], triples[:, 2], np.arange(n)])
+    cols = np.concatenate([triples[:, 2], triples[:, 0], np.arange(n)])
+    data = np.concatenate([weights, weights, np.ones(n)])
+    adj = sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+    row_sums = np.asarray(adj.sum(axis=1)).ravel()
+    inv = sp.diags(1.0 / np.maximum(row_sums, 1e-12))
+    return (inv @ adj).tocsr()
+
+
+def _propagate_concat(adj: sp.csr_matrix, features: np.ndarray, num_layers: int) -> np.ndarray:
+    """``[X, AX, ..., A^L X]`` concatenated along the feature axis."""
+    layers = [features]
+    current = features
+    for _ in range(num_layers):
+        current = adj @ current
+        layers.append(current)
+    return np.concatenate(layers, axis=1)
+
+
+def _propagate_adjoint(
+    adj: sp.csr_matrix, d_output: np.ndarray, dim: int, num_layers: int
+) -> np.ndarray:
+    """Exact gradient of the concatenated linear propagation w.r.t. X."""
+    adj_t = adj.T.tocsr()
+    d_features = np.zeros((d_output.shape[0], dim))
+    for layer in range(num_layers + 1):
+        slice_grad = d_output[:, layer * dim:(layer + 1) * dim]
+        for _ in range(layer):
+            slice_grad = adj_t @ slice_grad
+        d_features += slice_grad
+    return d_features

@@ -1,0 +1,138 @@
+"""Shared training machinery for the structural encoders.
+
+Both the GCN and RREA encoders are trained the same way the EA literature
+trains them: a margin-based ranking loss over the seed pairs with sampled
+negatives, optimised with Adam.  The pieces live here so the two encoders
+only differ in their propagation rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class AdamOptimizer:
+    """Minimal Adam implementation over a dict of named parameters."""
+
+    def __init__(self, learning_rate: float = 0.005, beta1: float = 0.9,
+                 beta2: float = 0.999, epsilon: float = 1e-8) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step = 0
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+
+    def update(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        """Apply one Adam step in place; unknown grad keys are an error."""
+        unknown = set(grads) - set(params)
+        if unknown:
+            raise KeyError(f"gradients for unknown parameters: {sorted(unknown)}")
+        self._step += 1
+        correction1 = 1.0 - self.beta1**self._step
+        correction2 = 1.0 - self.beta2**self._step
+        for name, grad in grads.items():
+            if name not in self._m:
+                self._m[name] = np.zeros_like(params[name])
+                self._v[name] = np.zeros_like(params[name])
+            m = self._m[name]
+            v = self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            params[name] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+def sample_negatives(
+    num_pairs: int,
+    num_source: int,
+    num_target: int,
+    negatives_per_pair: int,
+    rng: RandomState = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniform negative entity ids for a batch of seed pairs.
+
+    Returns ``(neg_targets, neg_sources)``, each of shape
+    ``(num_pairs, negatives_per_pair)``: corrupted tails for the
+    source->target direction and corrupted heads for the reverse.
+    """
+    if negatives_per_pair < 1:
+        raise ValueError(f"negatives_per_pair must be >= 1, got {negatives_per_pair}")
+    rng = ensure_rng(rng)
+    neg_targets = rng.integers(0, num_target, size=(num_pairs, negatives_per_pair))
+    neg_sources = rng.integers(0, num_source, size=(num_pairs, negatives_per_pair))
+    return neg_targets, neg_sources
+
+
+def margin_loss_and_grad(
+    source_emb: np.ndarray,
+    target_emb: np.ndarray,
+    seed_pairs: np.ndarray,
+    neg_targets: np.ndarray,
+    neg_sources: np.ndarray,
+    margin: float = 1.0,
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Bidirectional margin ranking loss and its embedding gradients.
+
+    Loss per seed pair (u, v) and negative v'::
+
+        max(0, margin + ||e_u - e_v||^2 - ||e_u - e_v'||^2)
+
+    plus the symmetric term corrupting the source side.  Returns
+    ``(loss, d_source, d_target)`` where the gradient matrices have the
+    same shapes as the inputs (dense, but only seed/negative rows are
+    non-zero).
+    """
+    if margin <= 0:
+        raise ValueError(f"margin must be positive, got {margin}")
+    d_source = np.zeros_like(source_emb)
+    d_target = np.zeros_like(target_emb)
+    src_idx = seed_pairs[:, 0]
+    tgt_idx = seed_pairs[:, 1]
+    e_u = source_emb[src_idx]            # (p, d)
+    e_v = target_emb[tgt_idx]            # (p, d)
+    diff_pos = e_u - e_v                 # (p, d)
+    pos_dist = np.sum(diff_pos**2, axis=1)  # (p,)
+
+    total_loss = 0.0
+    count = seed_pairs.shape[0] * neg_targets.shape[1] * 2 or 1
+
+    # Direction 1: corrupt the target.
+    e_neg_t = target_emb[neg_targets]            # (p, k, d)
+    diff_neg = e_u[:, None, :] - e_neg_t         # (p, k, d)
+    neg_dist = np.sum(diff_neg**2, axis=2)       # (p, k)
+    violation = margin + pos_dist[:, None] - neg_dist
+    active = violation > 0
+    total_loss += float(violation[active].sum())
+    # d(pos_dist)/d e_u = 2 diff_pos ; d(-neg_dist)/d e_u = -2 diff_neg
+    weight = active.astype(np.float64)           # (p, k)
+    np.add.at(d_source, src_idx, 2.0 * diff_pos * weight.sum(axis=1, keepdims=True))
+    np.add.at(d_target, tgt_idx, -2.0 * diff_pos * weight.sum(axis=1, keepdims=True))
+    np.add.at(d_source, src_idx, -2.0 * np.einsum("pk,pkd->pd", weight, diff_neg))
+    np.add.at(d_target, neg_targets.ravel(),
+              (2.0 * weight[:, :, None] * diff_neg).reshape(-1, source_emb.shape[1]))
+
+    # Direction 2: corrupt the source.
+    e_neg_s = source_emb[neg_sources]            # (p, k, d)
+    diff_neg_s = e_neg_s - e_v[:, None, :]       # (p, k, d)
+    neg_dist_s = np.sum(diff_neg_s**2, axis=2)
+    violation_s = margin + pos_dist[:, None] - neg_dist_s
+    active_s = violation_s > 0
+    total_loss += float(violation_s[active_s].sum())
+    weight_s = active_s.astype(np.float64)
+    np.add.at(d_source, src_idx, 2.0 * diff_pos * weight_s.sum(axis=1, keepdims=True))
+    np.add.at(d_target, tgt_idx, -2.0 * diff_pos * weight_s.sum(axis=1, keepdims=True))
+    np.add.at(d_source, neg_sources.ravel(),
+              (-2.0 * weight_s[:, :, None] * diff_neg_s).reshape(-1, source_emb.shape[1]))
+    np.add.at(d_target, tgt_idx, 2.0 * np.einsum("pk,pkd->pd", weight_s, diff_neg_s))
+
+    scale = 1.0 / count
+    return total_loss * scale, d_source * scale, d_target * scale

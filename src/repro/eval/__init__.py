@@ -1,0 +1,54 @@
+"""Evaluation metrics and score-distribution analysis.
+
+Implements the paper's metrics — precision/recall/F1 over matched pairs
+(Section 4.2), Hits@k and MRR — plus the diagnostic statistics its
+analysis sections use: the standard deviation of each source's top-5
+similarity scores (Figure 4, Pattern 1) and hubness statistics of the
+greedy matching graph (Section 3.3).
+"""
+
+from repro.eval.analysis import (
+    HubnessReport,
+    hubness_report,
+    top_k_std,
+)
+from repro.eval.explain import (
+    CandidateView,
+    DecisionReport,
+    explain_decision,
+    format_report,
+)
+from repro.eval.metrics import (
+    AlignmentMetrics,
+    evaluate_pairs,
+    hits_at_k,
+    mean_reciprocal_rank,
+    ranking_diagnostics,
+)
+from repro.eval.significance import (
+    BootstrapInterval,
+    PairedComparison,
+    bootstrap_f1_interval,
+    paired_bootstrap_test,
+    per_query_outcomes,
+)
+
+__all__ = [
+    "AlignmentMetrics",
+    "BootstrapInterval",
+    "PairedComparison",
+    "bootstrap_f1_interval",
+    "paired_bootstrap_test",
+    "per_query_outcomes",
+    "CandidateView",
+    "DecisionReport",
+    "HubnessReport",
+    "explain_decision",
+    "format_report",
+    "evaluate_pairs",
+    "hits_at_k",
+    "hubness_report",
+    "mean_reciprocal_rank",
+    "ranking_diagnostics",
+    "top_k_std",
+]

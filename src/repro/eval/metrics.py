@@ -1,0 +1,140 @@
+"""Alignment quality metrics (paper Section 4.2).
+
+* *precision* — correct matches / matches found;
+* *recall* — correct matches / gold matches (equals Hits@1 for greedy
+  matchers under the 1-to-1 setting);
+* *F1* — their harmonic mean.
+
+Under the classic 1-to-1 setting every method answers every query, so
+P = R = F1; the unmatchable and non-1-to-1 settings break that equality,
+which is why the library always computes all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AlignmentMetrics:
+    """Precision/recall/F1 of one matcher run."""
+
+    precision: float
+    recall: float
+    f1: float
+    num_predicted: int
+    num_correct: int
+    num_gold: int
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict for tabular reporting."""
+        return {"P": self.precision, "R": self.recall, "F1": self.f1}
+
+
+def evaluate_pairs(
+    predicted: Iterable[tuple[int, int]] | np.ndarray,
+    gold: Iterable[tuple[int, int]] | np.ndarray,
+) -> AlignmentMetrics:
+    """Compare predicted (source, target) pairs against the gold links.
+
+    Both inputs are coerced to sets of integer tuples; duplicates in
+    either do not double-count.
+    """
+    predicted_set = _as_pair_set(predicted)
+    gold_set = _as_pair_set(gold)
+    correct = len(predicted_set & gold_set)
+    precision = correct / len(predicted_set) if predicted_set else 0.0
+    recall = correct / len(gold_set) if gold_set else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    return AlignmentMetrics(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        num_predicted=len(predicted_set),
+        num_correct=correct,
+        num_gold=len(gold_set),
+    )
+
+
+def _as_pair_set(pairs: Iterable[tuple[int, int]] | np.ndarray) -> set[tuple[int, int]]:
+    array = np.asarray(list(pairs) if not isinstance(pairs, np.ndarray) else pairs)
+    if array.size == 0:
+        return set()
+    array = array.reshape(-1, 2)
+    return {(int(a), int(b)) for a, b in array}
+
+
+def hits_at_k(
+    scores: np.ndarray, gold_targets: np.ndarray, k: int = 1
+) -> float:
+    """Fraction of rows whose gold target is among the top-k scores.
+
+    ``scores`` is (queries x candidates); ``gold_targets[i]`` is the gold
+    column of row ``i``.  Hits@1 equals recall for greedy matchers.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    gold_targets = np.asarray(gold_targets, dtype=np.int64)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got shape {scores.shape}")
+    if len(gold_targets) != scores.shape[0]:
+        raise ValueError(
+            f"gold_targets length {len(gold_targets)} != rows {scores.shape[0]}"
+        )
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if scores.shape[0] == 0:
+        return 0.0
+    gold_scores = scores[np.arange(scores.shape[0]), gold_targets]
+    # Rank = number of strictly better candidates; ties resolve optimistically,
+    # matching the common Hits@k convention.
+    better = (scores > gold_scores[:, None]).sum(axis=1)
+    return float((better < k).mean())
+
+
+def mean_reciprocal_rank(scores: np.ndarray, gold_targets: np.ndarray) -> float:
+    """MRR of the gold target under each row's score ranking."""
+    scores = np.asarray(scores, dtype=np.float64)
+    gold_targets = np.asarray(gold_targets, dtype=np.int64)
+    if scores.shape[0] == 0:
+        return 0.0
+    gold_scores = scores[np.arange(scores.shape[0]), gold_targets]
+    ranks = (scores > gold_scores[:, None]).sum(axis=1) + 1
+    return float((1.0 / ranks).mean())
+
+
+def ranking_diagnostics(
+    scores: np.ndarray,
+    gold_pairs: Iterable[tuple[int, int]] | np.ndarray,
+    ks: tuple[int, ...] = (1, 5, 10),
+) -> dict[str, float]:
+    """Hits@k and MRR of the gold links under a raw score matrix.
+
+    A property of the *embedding space* rather than any matcher: how
+    retrievable the gold targets are by raw ranking.  Works with
+    non-1-to-1 gold (each link scored independently against its query's
+    row, so one query may contribute several links).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got shape {scores.shape}")
+    pairs = np.asarray(
+        list(gold_pairs) if not isinstance(gold_pairs, np.ndarray) else gold_pairs,
+        dtype=np.int64,
+    ).reshape(-1, 2)
+    if len(pairs) == 0:
+        return {**{f"hits@{k}": 0.0 for k in ks}, "mrr": 0.0}
+    rows = pairs[:, 0]
+    cols = pairs[:, 1]
+    gold_scores = scores[rows, cols]
+    better = (scores[rows] > gold_scores[:, None]).sum(axis=1)
+    ranks = better + 1
+    diagnostics = {f"hits@{k}": float((ranks <= k).mean()) for k in ks}
+    diagnostics["mrr"] = float((1.0 / ranks).mean())
+    return diagnostics

@@ -1,0 +1,139 @@
+"""Statistical support for matcher comparisons.
+
+An experimental study's orderings should come with uncertainty
+estimates.  This module provides the two standard tools for matched
+comparisons over a shared query set:
+
+* :func:`bootstrap_f1_interval` — a percentile bootstrap confidence
+  interval for one matcher's F1, resampling queries with replacement;
+* :func:`paired_bootstrap_test` — a paired bootstrap comparison of two
+  matchers on the *same* queries (the right test here, since both
+  matchers answer the identical query set and per-query outcomes are
+  strongly correlated).
+
+Both operate on per-query correctness vectors, which
+:func:`per_query_outcomes` derives from predicted pairs and gold links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def per_query_outcomes(
+    predicted: Iterable[tuple[int, int]] | np.ndarray,
+    gold: Iterable[tuple[int, int]] | np.ndarray,
+    num_queries: int,
+) -> np.ndarray:
+    """Per-query correctness under 1-to-1 evaluation.
+
+    ``outcomes[q] = 1`` iff the prediction for query ``q`` is a gold
+    link.  Queries with no prediction count as incorrect.  (Under the
+    1-to-1 protocol F1 equals the mean of this vector.)
+    """
+    if num_queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {num_queries}")
+    gold_set = {(int(a), int(b)) for a, b in np.asarray(list(gold)).reshape(-1, 2)} if len(
+        list(gold) if not isinstance(gold, np.ndarray) else gold
+    ) else set()
+    outcomes = np.zeros(num_queries, dtype=np.float64)
+    predicted = np.asarray(
+        list(predicted) if not isinstance(predicted, np.ndarray) else predicted
+    ).reshape(-1, 2)
+    for source, target in predicted:
+        if (int(source), int(target)) in gold_set:
+            outcomes[int(source)] = 1.0
+    return outcomes
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A percentile bootstrap confidence interval."""
+
+    point: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def bootstrap_f1_interval(
+    outcomes: np.ndarray,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: RandomState = None,
+) -> BootstrapInterval:
+    """Percentile bootstrap CI for the mean of a correctness vector."""
+    outcomes = np.asarray(outcomes, dtype=np.float64)
+    if outcomes.ndim != 1 or len(outcomes) == 0:
+        raise ValueError("outcomes must be a non-empty 1-D vector")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = ensure_rng(seed)
+    n = len(outcomes)
+    samples = rng.integers(0, n, size=(resamples, n))
+    means = outcomes[samples].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapInterval(
+        point=float(outcomes.mean()),
+        lower=float(np.quantile(means, alpha)),
+        upper=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired bootstrap comparison (A vs B)."""
+
+    mean_difference: float
+    #: Fraction of resamples in which A <= B — a one-sided bootstrap
+    #: p-value for "A is better than B".
+    p_value: float
+    interval: BootstrapInterval
+
+    @property
+    def significant(self) -> bool:
+        """Whether A beats B at the interval's confidence level."""
+        return self.interval.lower > 0.0
+
+
+def paired_bootstrap_test(
+    outcomes_a: np.ndarray,
+    outcomes_b: np.ndarray,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: RandomState = None,
+) -> PairedComparison:
+    """Paired bootstrap comparison of two matchers on the same queries."""
+    outcomes_a = np.asarray(outcomes_a, dtype=np.float64)
+    outcomes_b = np.asarray(outcomes_b, dtype=np.float64)
+    if outcomes_a.shape != outcomes_b.shape or outcomes_a.ndim != 1:
+        raise ValueError(
+            "paired comparison requires equal-length 1-D outcome vectors, got "
+            f"{outcomes_a.shape} and {outcomes_b.shape}"
+        )
+    differences = outcomes_a - outcomes_b
+    rng = ensure_rng(seed)
+    n = len(differences)
+    samples = rng.integers(0, n, size=(resamples, n))
+    diff_means = differences[samples].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    interval = BootstrapInterval(
+        point=float(differences.mean()),
+        lower=float(np.quantile(diff_means, alpha)),
+        upper=float(np.quantile(diff_means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+    return PairedComparison(
+        mean_difference=float(differences.mean()),
+        p_value=float((diff_means <= 0.0).mean()),
+        interval=interval,
+    )

@@ -1,0 +1,75 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+The harness glues the substrates together: named dataset presets
+(:mod:`repro.datasets.zoo`), embedding regimes calibrated to the paper's
+encoder settings (:mod:`repro.experiments.regimes`), the matching
+algorithms (:mod:`repro.core`), and the evaluation protocol of Section
+4.2.  ``tables`` and ``figures`` expose one function per paper artifact;
+each returns plain rows that the benchmark suite prints and asserts
+shape expectations on.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.regimes import (
+    REGIME_GEOMETRY,
+    build_embeddings,
+    family_of_preset,
+)
+from repro.experiments.persistence import (
+    load_embeddings,
+    load_result,
+    save_embeddings,
+    save_result,
+)
+from repro.experiments.repeats import AggregateStat, RepeatedResult, run_repeated
+from repro.experiments.report import generate_report
+from repro.experiments.reporting import format_table
+from repro.experiments.tuning import TuningOutcome, suggested_grids, tune_all, tune_matcher
+from repro.experiments.runner import ExperimentResult, MatcherRun, run_experiment
+from repro.experiments.tables import (
+    table3_dataset_statistics,
+    table4_structure_only,
+    table5_auxiliary_information,
+    table6_large_scale,
+    table7_unmatchable,
+    table8_non_one_to_one,
+)
+from repro.experiments.figures import (
+    figure4_top5_std,
+    figure5_efficiency,
+    figure6_csls_k,
+    figure7_sinkhorn_l,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "MatcherRun",
+    "REGIME_GEOMETRY",
+    "build_embeddings",
+    "family_of_preset",
+    "figure4_top5_std",
+    "figure5_efficiency",
+    "figure6_csls_k",
+    "figure7_sinkhorn_l",
+    "AggregateStat",
+    "RepeatedResult",
+    "format_table",
+    "generate_report",
+    "run_repeated",
+    "load_embeddings",
+    "load_result",
+    "run_experiment",
+    "save_embeddings",
+    "save_result",
+    "suggested_grids",
+    "tune_all",
+    "tune_matcher",
+    "TuningOutcome",
+    "table3_dataset_statistics",
+    "table4_structure_only",
+    "table5_auxiliary_information",
+    "table6_large_scale",
+    "table7_unmatchable",
+    "table8_non_one_to_one",
+]

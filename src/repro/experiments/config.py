@@ -1,0 +1,54 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` describes a single cell family of a paper
+table: a dataset preset, an input (embedding) regime, and the matchers to
+compare, with optional per-matcher constructor overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.core.registry import PAPER_MATCHERS
+
+#: Input regimes accepted by the runner.  The single-letter regimes use
+#: the calibrated oracle geometry (with the real name encoder for N/NR);
+#: "gcn"/"rrea" train the real numpy encoders instead.
+INPUT_REGIMES = ("R", "G", "N", "NR", "gcn", "rrea")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to reproduce one experimental setting."""
+
+    preset: str
+    input_regime: str = "R"
+    matchers: tuple[str, ...] = PAPER_MATCHERS
+    matcher_options: Mapping[str, Mapping[str, object]] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
+    scale: float = 1.0
+    seed: int = 0
+    #: Similarity metric fed to every matcher (paper default: cosine).
+    metric: str = "cosine"
+
+    def __post_init__(self) -> None:
+        if self.input_regime not in INPUT_REGIMES:
+            raise ValueError(
+                f"input_regime must be one of {INPUT_REGIMES}, got {self.input_regime!r}"
+            )
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if not self.matchers:
+            raise ValueError("matchers must be non-empty")
+        unknown = set(self.matcher_options) - set(self.matchers)
+        if unknown:
+            raise ValueError(
+                f"matcher_options given for matchers not in this experiment: {sorted(unknown)}"
+            )
+
+    def options_for(self, matcher: str) -> dict[str, object]:
+        """Constructor overrides for ``matcher`` (empty dict if none)."""
+        return dict(self.matcher_options.get(matcher, {}))

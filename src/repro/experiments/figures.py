@@ -1,0 +1,135 @@
+"""Regeneration of the paper's figures (as data series).
+
+Each ``figureN_*`` function returns the series the corresponding figure
+plots; the benchmark suite prints them and asserts the qualitative shape
+(monotonicity, orderings) the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.registry import PAPER_MATCHERS
+from repro.datasets.zoo import DBP15K_PRESETS, SRPRS_PRESETS
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+@dataclass
+class FigureResult:
+    """Named data series of one regenerated figure."""
+
+    title: str
+    #: series name -> list of (x, y) points.
+    series: dict[str, list[tuple[object, float]]] = field(default_factory=dict)
+
+    def add_point(self, series: str, x: object, y: float) -> None:
+        self.series.setdefault(series, []).append((x, y))
+
+    def ys(self, series: str) -> list[float]:
+        return [y for _, y in self.series[series]]
+
+
+#: One representative preset per (regime, family) cell of Figure 4/5.
+_FIGURE_SETTINGS = (
+    ("R-DBP", "R", "dbp15k/zh_en"),
+    ("R-SRP", "R", "srprs/en_fr"),
+    ("G-DBP", "G", "dbp15k/zh_en"),
+    ("G-SRP", "G", "srprs/en_fr"),
+    ("N-DBP", "N", "dbp15k/zh_en"),
+    ("NR-DBP", "NR", "dbp15k/zh_en"),
+)
+
+
+def figure4_top5_std(scale: float = 1.0, seed: int = 0) -> FigureResult:
+    """Figure 4: mean STD of the top-5 similarity scores per setting.
+
+    Structure-only settings produce crowded (low-STD) top scores; the
+    name-informed settings produce discriminative (high-STD) ones —
+    the statistic behind the paper's Pattern 1.
+    """
+    figure = FigureResult(title="Figure 4: STD of top-5 pairwise scores")
+    for label, regime, preset in _FIGURE_SETTINGS:
+        config = ExperimentConfig(
+            preset=preset, input_regime=regime, matchers=("DInf",),
+            scale=scale, seed=seed,
+        )
+        result = run_experiment(config)
+        figure.add_point("top5_std", label, result.top5_std)
+    return figure
+
+
+def figure5_efficiency(
+    scale: float = 1.0,
+    seed: int = 0,
+    matchers: tuple[str, ...] = PAPER_MATCHERS,
+) -> FigureResult:
+    """Figure 5: time (s) and declared peak memory (MiB) per matcher.
+
+    Averaged over the DBP15K-like and SRPRS-like presets per regime,
+    like the paper's per-setting averages.
+    """
+    figure = FigureResult(title="Figure 5: efficiency comparison")
+    settings = (
+        ("R-DBP", "R", DBP15K_PRESETS),
+        ("R-SRP", "R", SRPRS_PRESETS),
+        ("G-DBP", "G", DBP15K_PRESETS),
+        ("G-SRP", "G", SRPRS_PRESETS),
+    )
+    for label, regime, presets in settings:
+        totals = {name: [0.0, 0.0] for name in matchers}
+        for preset in presets:
+            config = ExperimentConfig(
+                preset=preset, input_regime=regime, matchers=matchers,
+                scale=scale, seed=seed,
+            )
+            result = run_experiment(config)
+            for name in matchers:
+                run = result.runs[name]
+                totals[name][0] += run.seconds
+                totals[name][1] += run.peak_bytes / 2**20
+        for name in matchers:
+            figure.add_point(f"time:{name}", label, totals[name][0] / len(presets))
+            figure.add_point(f"memory:{name}", label, totals[name][1] / len(presets))
+    return figure
+
+
+def figure6_csls_k(
+    ks: tuple[int, ...] = (1, 2, 5, 10),
+    presets: tuple[str, ...] = ("dbp15k/zh_en", "srprs/en_fr"),
+    regime: str = "R",
+    scale: float = 1.0,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 6: CSLS F1 as a function of k (k=1 best under 1-to-1)."""
+    figure = FigureResult(title="Figure 6: CSLS F1 vs k")
+    for preset in presets:
+        for k in ks:
+            config = ExperimentConfig(
+                preset=preset, input_regime=regime, matchers=("CSLS",),
+                matcher_options={"CSLS": {"k": k}}, scale=scale, seed=seed,
+            )
+            result = run_experiment(config)
+            figure.add_point(result.task_name, k, result.f1("CSLS"))
+    return figure
+
+
+def figure7_sinkhorn_l(
+    ls: tuple[int, ...] = (1, 5, 10, 50, 100),
+    presets: tuple[str, ...] = ("dbp15k/zh_en", "srprs/en_fr"),
+    regime: str = "R",
+    scale: float = 1.0,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 7: Sinkhorn F1 as a function of the iteration count l."""
+    figure = FigureResult(title="Figure 7: Sinkhorn F1 vs l")
+    for preset in presets:
+        for iterations in ls:
+            config = ExperimentConfig(
+                preset=preset, input_regime=regime, matchers=("Sink.",),
+                matcher_options={"Sink.": {"iterations": iterations}},
+                scale=scale, seed=seed,
+            )
+            result = run_experiment(config)
+            figure.add_point(result.task_name, iterations, result.f1("Sink."))
+    return figure

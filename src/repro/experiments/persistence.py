@@ -1,0 +1,109 @@
+"""Persist embeddings and experiment results to disk.
+
+Long experiment campaigns want to decouple the expensive stages: encode
+once, match many times; run a sweep overnight, analyse in the morning.
+Embeddings round-trip as ``.npz`` archives, experiment results as JSON —
+both plain formats other tooling can read.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.embedding.base import UnifiedEmbeddings
+from repro.eval.metrics import AlignmentMetrics
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, MatcherRun
+
+
+def save_embeddings(embeddings: UnifiedEmbeddings, path: str | Path) -> Path:
+    """Write embeddings to an ``.npz`` archive; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, source=embeddings.source, target=embeddings.target)
+    # np.savez appends .npz when missing; normalise the reported path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_embeddings(path: str | Path) -> UnifiedEmbeddings:
+    """Read embeddings written by :func:`save_embeddings`."""
+    with np.load(Path(path)) as archive:
+        missing = {"source", "target"} - set(archive.files)
+        if missing:
+            raise ValueError(f"{path} is not an embeddings archive (missing {missing})")
+        return UnifiedEmbeddings(archive["source"], archive["target"])
+
+
+def save_result(result: ExperimentResult, path: str | Path) -> Path:
+    """Write an :class:`ExperimentResult` as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "config": {
+            "preset": result.config.preset,
+            "input_regime": result.config.input_regime,
+            "matchers": list(result.config.matchers),
+            "scale": result.config.scale,
+            "seed": result.config.seed,
+            "metric": result.config.metric,
+        },
+        "task_name": result.task_name,
+        "top5_std": result.top5_std,
+        "runs": {
+            name: {
+                "precision": run.metrics.precision,
+                "recall": run.metrics.recall,
+                "f1": run.metrics.f1,
+                "num_predicted": run.metrics.num_predicted,
+                "num_correct": run.metrics.num_correct,
+                "num_gold": run.metrics.num_gold,
+                "seconds": run.seconds,
+                "peak_bytes": run.peak_bytes,
+            }
+            for name, run in result.runs.items()
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Read an experiment result written by :func:`save_result`.
+
+    Reconstructs the config and per-matcher records; the heavy artefacts
+    (embeddings, raw pairs) are intentionally not persisted.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    config_data = payload["config"]
+    config = ExperimentConfig(
+        preset=config_data["preset"],
+        input_regime=config_data["input_regime"],
+        matchers=tuple(config_data["matchers"]),
+        scale=config_data["scale"],
+        seed=config_data["seed"],
+        metric=config_data["metric"],
+    )
+    result = ExperimentResult(
+        config=config,
+        task_name=payload["task_name"],
+        top5_std=payload["top5_std"],
+    )
+    for name, run in payload["runs"].items():
+        metrics = AlignmentMetrics(
+            precision=run["precision"],
+            recall=run["recall"],
+            f1=run["f1"],
+            num_predicted=run["num_predicted"],
+            num_correct=run["num_correct"],
+            num_gold=run["num_gold"],
+        )
+        result.runs[name] = MatcherRun(
+            matcher=name,
+            metrics=metrics,
+            seconds=run["seconds"],
+            peak_bytes=run["peak_bytes"],
+        )
+    return result

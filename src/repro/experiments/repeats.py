@@ -1,0 +1,94 @@
+"""Multi-seed experiment aggregation.
+
+Single-seed tables can mislead: a 2-point F1 gap may be noise.  This
+module repeats an :class:`ExperimentConfig` over several embedding seeds
+and aggregates per-matcher F1 into mean +/- std, plus a pairwise
+win-rate matrix (how often matcher A beat matcher B across seeds) — the
+robustness evidence behind the benchmark suite's ordering assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.zoo import load_preset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+@dataclass(frozen=True)
+class AggregateStat:
+    """Mean/std/min/max of one matcher's F1 across seeds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "AggregateStat":
+        array = np.asarray(values, dtype=np.float64)
+        return cls(
+            mean=float(array.mean()),
+            std=float(array.std()),
+            minimum=float(array.min()),
+            maximum=float(array.max()),
+        )
+
+
+@dataclass
+class RepeatedResult:
+    """Aggregated outcome of one config across seeds."""
+
+    config: ExperimentConfig
+    seeds: tuple[int, ...]
+    #: matcher -> per-seed F1 values, seed order preserved.
+    f1_by_seed: dict[str, list[float]] = field(default_factory=dict)
+
+    def stat(self, matcher: str) -> AggregateStat:
+        return AggregateStat.of(self.f1_by_seed[matcher])
+
+    def win_rate(self, matcher_a: str, matcher_b: str) -> float:
+        """Fraction of seeds in which ``matcher_a``'s F1 >= ``matcher_b``'s."""
+        a = np.asarray(self.f1_by_seed[matcher_a])
+        b = np.asarray(self.f1_by_seed[matcher_b])
+        return float((a >= b).mean())
+
+    def consistent_order(self, better: str, worse: str, min_rate: float = 0.8) -> bool:
+        """Whether ``better`` beats ``worse`` in at least ``min_rate`` of seeds."""
+        return self.win_rate(better, worse) >= min_rate
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Tabular summary: one row per matcher."""
+        rows = []
+        for matcher, values in self.f1_by_seed.items():
+            stat = AggregateStat.of(values)
+            rows.append({
+                "matcher": matcher,
+                "mean F1": stat.mean,
+                "std": stat.std,
+                "min": stat.minimum,
+                "max": stat.maximum,
+            })
+        return rows
+
+
+def run_repeated(
+    config: ExperimentConfig, seeds: Sequence[int] = (0, 1, 2)
+) -> RepeatedResult:
+    """Run ``config`` once per seed (embedding noise reseeded; the
+    dataset itself is held fixed, matching the paper's protocol of fixed
+    benchmarks with retrained encoders)."""
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    task = load_preset(config.preset, scale=config.scale)
+    result = RepeatedResult(config=config, seeds=tuple(int(s) for s in seeds))
+    for seed in seeds:
+        seeded = replace(config, seed=int(seed))
+        outcome = run_experiment(seeded, task=task)
+        for matcher, run in outcome.runs.items():
+            result.f1_by_seed.setdefault(matcher, []).append(run.f1)
+    return result

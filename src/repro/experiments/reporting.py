@@ -1,0 +1,51 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints each regenerated table in a layout close to
+the paper's, so paper-vs-measured comparison (EXPERIMENTS.md) is a
+side-by-side read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order follows the first row's key order; missing cells render
+    empty; floats use ``float_format``.
+    """
+    rows = [dict(row) for row in rows]
+    if not rows:
+        return (title + "\n") if title else ""
+    headers = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+
+    def cell(value: object) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    grid = [[cell(row.get(header)) for header in headers] for row in rows]
+    widths = [
+        max(len(header), *(len(line[i]) for line in grid)) if grid else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in grid:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(line, widths)))
+    return "\n".join(lines)

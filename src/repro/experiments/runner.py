@@ -1,0 +1,140 @@
+"""Experiment runner: one config in, per-matcher metrics out.
+
+Implements the paper's evaluation protocol (Section 4.2 and Section 5):
+
+1. load the dataset preset and build unified embeddings for the regime;
+2. slice the embedding matrices to the test *query* sources and
+   *candidate* targets (under the unmatchable setting both sets include
+   the grafted entities);
+3. run each matcher; matchers exposing ``fit`` (RL) are first trained on
+   the seed links;
+4. map the matched pairs back to entity ids and score them against the
+   gold test links (precision / recall / F1), recording wall-clock time
+   and peak declared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import Matcher
+from repro.core.registry import create_matcher
+from repro.embedding.base import UnifiedEmbeddings
+from repro.datasets.zoo import load_preset
+from repro.eval.analysis import top_k_std
+from repro.eval.metrics import AlignmentMetrics, evaluate_pairs, ranking_diagnostics
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.regimes import build_embeddings
+from repro.kg.pair import AlignmentTask
+from repro.similarity.metrics import similarity_matrix
+
+
+@dataclass(frozen=True)
+class MatcherRun:
+    """Result of one matcher on one experimental setting."""
+
+    matcher: str
+    metrics: AlignmentMetrics
+    seconds: float
+    peak_bytes: int
+
+    @property
+    def f1(self) -> float:
+        return self.metrics.f1
+
+
+@dataclass
+class ExperimentResult:
+    """All matcher runs of one config, plus score diagnostics."""
+
+    config: ExperimentConfig
+    task_name: str
+    runs: dict[str, MatcherRun] = field(default_factory=dict)
+    #: Mean std of the top-5 raw similarity scores (Figure 4 statistic).
+    top5_std: float = 0.0
+    #: Hits@k / MRR of the gold links under the raw scores — a property
+    #: of the embedding space, the ceiling raw ranking offers matchers.
+    ranking: dict[str, float] = field(default_factory=dict)
+
+    def f1(self, matcher: str) -> float:
+        return self.runs[matcher].f1
+
+    def improvement_over(self, baseline: str = "DInf") -> dict[str, float]:
+        """Relative F1 improvement of each matcher over ``baseline``."""
+        base = self.runs[baseline].f1
+        if base <= 0:
+            return {name: 0.0 for name in self.runs}
+        return {name: run.f1 / base - 1.0 for name, run in self.runs.items()}
+
+
+def run_experiment(
+    config: ExperimentConfig, task: AlignmentTask | None = None
+) -> ExperimentResult:
+    """Execute ``config`` and return the per-matcher results.
+
+    ``task`` may be supplied to reuse a generated dataset across several
+    configs (the tables sweep regimes over the same presets).
+    """
+    if task is None:
+        task = load_preset(config.preset, scale=config.scale)
+    embeddings = build_embeddings(
+        task, config.input_regime, seed=config.seed, preset_name=config.preset
+    )
+
+    queries = task.test_query_ids()
+    candidates = task.candidate_target_ids()
+    source_slice = embeddings.source[queries]
+    target_slice = embeddings.target[candidates]
+
+    gold = _gold_local_pairs(task, queries, candidates)
+    raw_scores = similarity_matrix(source_slice, target_slice, metric=config.metric)
+
+    result = ExperimentResult(
+        config=config,
+        task_name=task.name,
+        top5_std=top_k_std(raw_scores, k=5),
+        ranking=ranking_diagnostics(raw_scores, gold),
+    )
+    for name in config.matchers:
+        matcher = create_matcher(name, metric=config.metric, **config.options_for(name))
+        _maybe_fit(matcher, embeddings, task)
+        match = matcher.match(source_slice, target_slice)
+        metrics = evaluate_pairs(match.pairs, gold)
+        result.runs[name] = MatcherRun(
+            matcher=name,
+            metrics=metrics,
+            seconds=match.seconds,
+            peak_bytes=match.peak_bytes,
+        )
+    return result
+
+
+def _maybe_fit(matcher: Matcher, embeddings: UnifiedEmbeddings, task: AlignmentTask) -> None:
+    """Train matchers that learn from the seed links (the RL matcher)."""
+    fit = getattr(matcher, "fit", None)
+    if fit is None:
+        return
+    seed_pairs = task.seed_index_pairs()
+    if len(seed_pairs) == 0:
+        return
+    fit(embeddings.source, embeddings.target, seed_pairs)
+
+
+def _gold_local_pairs(
+    task: AlignmentTask, queries: np.ndarray, candidates: np.ndarray
+) -> list[tuple[int, int]]:
+    """Gold test links re-indexed into query/candidate row positions."""
+    query_pos = {int(entity): pos for pos, entity in enumerate(queries)}
+    candidate_pos = {int(entity): pos for pos, entity in enumerate(candidates)}
+    gold: list[tuple[int, int]] = []
+    for source_id, target_id in task.test_index_pairs():
+        try:
+            gold.append((query_pos[int(source_id)], candidate_pos[int(target_id)]))
+        except KeyError:
+            raise ValueError(
+                "test link references an entity outside the query/candidate sets; "
+                "the task's split is inconsistent"
+            )
+    return gold

@@ -1,0 +1,29 @@
+"""Knowledge-graph substrate.
+
+The paper's experiments operate on KG *pairs* plus gold alignment links
+(Section 2.1).  This package provides the data model those experiments
+need: a triple store with entity/relation vocabularies
+(:class:`KnowledgeGraph`), an alignment task bundling two KGs with
+seed/test splits (:class:`AlignmentTask`), OpenEA-compatible text
+serialization, and the statistics reported in Table 3.
+"""
+
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.kg.io import load_alignment_task, load_knowledge_graph, save_alignment_task
+from repro.kg.pair import AlignmentSplit, AlignmentTask, split_links
+from repro.kg.sampling import sample_subtask
+from repro.kg.stats import DatasetStatistics, dataset_statistics
+
+__all__ = [
+    "AlignmentSplit",
+    "AlignmentTask",
+    "DatasetStatistics",
+    "KnowledgeGraph",
+    "Triple",
+    "dataset_statistics",
+    "load_alignment_task",
+    "load_knowledge_graph",
+    "sample_subtask",
+    "save_alignment_task",
+    "split_links",
+]

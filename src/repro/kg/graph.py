@@ -1,0 +1,202 @@
+"""The knowledge-graph data model.
+
+A KG is a set of ``(subject, predicate, object)`` triples over entity and
+relation vocabularies (paper Section 2.1).  :class:`KnowledgeGraph` stores
+the triples in index form, maintains name<->index vocabularies, and exposes
+the adjacency structures the embedding encoders need (neighbour lists,
+normalized adjacency matrix, degrees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A single ``(subject, predicate, object)`` statement by name."""
+
+    subject: str
+    predicate: str
+    object: str
+
+    def __iter__(self) -> Iterator[str]:
+        return iter((self.subject, self.predicate, self.object))
+
+
+class KnowledgeGraph:
+    """An immutable triple store with integer-indexed vocabularies.
+
+    Entities and relations are assigned dense indices in first-seen order,
+    so the embedding matrices produced downstream line up row-for-row with
+    :attr:`entities`.
+    """
+
+    def __init__(
+        self,
+        triples: Iterable[Triple | tuple[str, str, str]],
+        entities: Sequence[str] | None = None,
+        relations: Sequence[str] | None = None,
+        name: str = "kg",
+    ) -> None:
+        """Build a KG from triples.
+
+        ``entities``/``relations`` optionally pre-seed the vocabularies
+        (needed when a KG legitimately contains isolated entities, e.g.
+        after the unmatchable-entity construction).
+        """
+        self.name = name
+        self._entity_index: dict[str, int] = {}
+        self._relation_index: dict[str, int] = {}
+        if entities is not None:
+            for entity in entities:
+                self._intern(self._entity_index, entity)
+        if relations is not None:
+            for relation in relations:
+                self._intern(self._relation_index, relation)
+
+        rows: list[tuple[int, int, int]] = []
+        seen: set[tuple[int, int, int]] = set()
+        for triple in triples:
+            subject, predicate, obj = triple
+            encoded = (
+                self._intern(self._entity_index, subject),
+                self._intern(self._relation_index, predicate),
+                self._intern(self._entity_index, obj),
+            )
+            if encoded not in seen:
+                seen.add(encoded)
+                rows.append(encoded)
+
+        self._triples = np.array(rows, dtype=np.int64).reshape(len(rows), 3)
+        self._entities = tuple(self._entity_index)
+        self._relations = tuple(self._relation_index)
+
+    @staticmethod
+    def _intern(index: dict[str, int], name: str) -> int:
+        if name not in index:
+            index[name] = len(index)
+        return index[name]
+
+    # ------------------------------------------------------------------
+    # Vocabulary access
+    # ------------------------------------------------------------------
+
+    @property
+    def entities(self) -> tuple[str, ...]:
+        """Entity names in index order."""
+        return self._entities
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        """Relation names in index order."""
+        return self._relations
+
+    @property
+    def num_entities(self) -> int:
+        return len(self._entities)
+
+    @property
+    def num_relations(self) -> int:
+        return len(self._relations)
+
+    @property
+    def num_triples(self) -> int:
+        return int(self._triples.shape[0])
+
+    def entity_id(self, name: str) -> int:
+        """Dense index of entity ``name`` (KeyError if absent)."""
+        return self._entity_index[name]
+
+    def relation_id(self, name: str) -> int:
+        """Dense index of relation ``name`` (KeyError if absent)."""
+        return self._relation_index[name]
+
+    def has_entity(self, name: str) -> bool:
+        return name in self._entity_index
+
+    # ------------------------------------------------------------------
+    # Triple access
+    # ------------------------------------------------------------------
+
+    @property
+    def triple_ids(self) -> np.ndarray:
+        """``(num_triples, 3)`` int64 array of (head, relation, tail) ids."""
+        return self._triples.copy()
+
+    def triples(self) -> Iterator[Triple]:
+        """Iterate triples by name."""
+        for head, relation, tail in self._triples:
+            yield Triple(
+                self._entities[head], self._relations[relation], self._entities[tail]
+            )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def degrees(self) -> np.ndarray:
+        """Undirected degree (triples incident as head or tail) per entity."""
+        deg = np.zeros(self.num_entities, dtype=np.int64)
+        if self.num_triples:
+            np.add.at(deg, self._triples[:, 0], 1)
+            np.add.at(deg, self._triples[:, 2], 1)
+        return deg
+
+    def average_degree(self) -> float:
+        """Average entity degree, the sparsity measure of Table 3."""
+        if self.num_entities == 0:
+            return 0.0
+        return float(self.degrees().mean())
+
+    def adjacency(self, add_self_loops: bool = True) -> sp.csr_matrix:
+        """Symmetric binary adjacency matrix over entities.
+
+        Self-loops are added by default because the GCN propagation rule
+        expects them (Kipf & Welling normalisation).
+        """
+        n = self.num_entities
+        if self.num_triples:
+            heads = self._triples[:, 0]
+            tails = self._triples[:, 2]
+            data = np.ones(len(heads), dtype=np.float64)
+            adj = sp.coo_matrix((data, (heads, tails)), shape=(n, n))
+            adj = adj + adj.T
+        else:
+            adj = sp.coo_matrix((n, n), dtype=np.float64)
+        if add_self_loops:
+            adj = adj + sp.eye(n, format="coo")
+        adj = adj.tocsr()
+        adj.data[:] = 1.0  # collapse duplicate edges to binary
+        return adj
+
+    def normalized_adjacency(self) -> sp.csr_matrix:
+        """Symmetric-normalised adjacency ``D^-1/2 (A + I) D^-1/2``."""
+        adj = self.adjacency(add_self_loops=True)
+        deg = np.asarray(adj.sum(axis=1)).ravel()
+        inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1.0))
+        d_inv = sp.diags(inv_sqrt)
+        return (d_inv @ adj @ d_inv).tocsr()
+
+    def neighbors(self, entity: str) -> tuple[str, ...]:
+        """Names of entities adjacent to ``entity`` (either direction)."""
+        idx = self.entity_id(entity)
+        heads = self._triples[self._triples[:, 0] == idx, 2]
+        tails = self._triples[self._triples[:, 2] == idx, 0]
+        neighbor_ids = sorted(set(heads.tolist()) | set(tails.tolist()))
+        return tuple(self._entities[i] for i in neighbor_ids)
+
+    def relation_triples(self) -> dict[str, int]:
+        """Triple count per relation name (used by dataset diagnostics)."""
+        counts = np.bincount(self._triples[:, 1], minlength=self.num_relations)
+        return {name: int(counts[i]) for i, name in enumerate(self._relations)}
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeGraph(name={self.name!r}, entities={self.num_entities}, "
+            f"relations={self.num_relations}, triples={self.num_triples})"
+        )

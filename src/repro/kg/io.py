@@ -1,0 +1,124 @@
+"""OpenEA-compatible text serialization for KGs and alignment tasks.
+
+The public EA libraries the paper builds on (OpenEA, EAkit) exchange
+datasets as tab-separated files: ``rel_triples_1``/``rel_triples_2`` with
+one triple per line and ``ent_links`` with one gold pair per line.  We
+read and write that format so users can move data between this library
+and the existing ecosystem.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.kg.pair import AlignmentSplit, AlignmentTask, Link
+
+_TRIPLES_1 = "rel_triples_1"
+_TRIPLES_2 = "rel_triples_2"
+_ENTITIES_1 = "entities_1"
+_ENTITIES_2 = "entities_2"
+_SPLIT_FILES = {
+    "train": "train_links",
+    "validation": "valid_links",
+    "test": "test_links",
+}
+
+
+def load_knowledge_graph(
+    path: str | Path, name: str = "kg", entities_path: str | Path | None = None
+) -> KnowledgeGraph:
+    """Load a KG from a tab-separated triples file (one s\\tp\\to per line).
+
+    ``entities_path`` optionally names a one-entity-per-line vocabulary
+    file; it preserves isolated entities, which the bare OpenEA triples
+    format cannot express.
+    """
+    triples = []
+    path = Path(path)
+    with path.open(encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}"
+                )
+            triples.append(Triple(*parts))
+    entities = None
+    if entities_path is not None and Path(entities_path).exists():
+        with Path(entities_path).open(encoding="utf-8") as handle:
+            entities = [line.rstrip("\n") for line in handle if line.rstrip("\n")]
+    return KnowledgeGraph(triples, entities=entities, name=name)
+
+
+def _load_links(path: Path) -> list[Link]:
+    links: list[Link] = []
+    with path.open(encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 2 tab-separated fields, got {len(parts)}"
+                )
+            links.append((parts[0], parts[1]))
+    return links
+
+
+def load_alignment_task(directory: str | Path, name: str | None = None) -> AlignmentTask:
+    """Load a full alignment task from an OpenEA-style directory.
+
+    Expects ``rel_triples_1``, ``rel_triples_2``, ``train_links``,
+    ``valid_links`` and ``test_links`` inside ``directory``.
+    """
+    directory = Path(directory)
+    source = load_knowledge_graph(
+        directory / _TRIPLES_1, name="source", entities_path=directory / _ENTITIES_1
+    )
+    target = load_knowledge_graph(
+        directory / _TRIPLES_2, name="target", entities_path=directory / _ENTITIES_2
+    )
+    splits = {
+        split_name: tuple(_load_links(directory / filename))
+        for split_name, filename in _SPLIT_FILES.items()
+    }
+    split = AlignmentSplit(splits["train"], splits["validation"], splits["test"])
+    return AlignmentTask(source, target, split, name=name or directory.name)
+
+
+def _write_triples(path: Path, graph: KnowledgeGraph) -> None:
+    with path.open("w", encoding="utf-8") as handle:
+        for triple in graph.triples():
+            handle.write(f"{triple.subject}\t{triple.predicate}\t{triple.object}\n")
+
+
+def _write_entities(path: Path, graph: KnowledgeGraph) -> None:
+    with path.open("w", encoding="utf-8") as handle:
+        for entity in graph.entities:
+            handle.write(f"{entity}\n")
+
+
+def _write_links(path: Path, links: Sequence[Link]) -> None:
+    with path.open("w", encoding="utf-8") as handle:
+        for source, target in links:
+            handle.write(f"{source}\t{target}\n")
+
+
+def save_alignment_task(task: AlignmentTask, directory: str | Path) -> Path:
+    """Write ``task`` to ``directory`` in the OpenEA layout; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    _write_triples(directory / _TRIPLES_1, task.source)
+    _write_triples(directory / _TRIPLES_2, task.target)
+    _write_entities(directory / _ENTITIES_1, task.source)
+    _write_entities(directory / _ENTITIES_2, task.target)
+    _write_links(directory / _SPLIT_FILES["train"], task.split.train)
+    _write_links(directory / _SPLIT_FILES["validation"], task.split.validation)
+    _write_links(directory / _SPLIT_FILES["test"], task.split.test)
+    return directory

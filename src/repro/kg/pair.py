@@ -1,0 +1,219 @@
+"""Alignment tasks: a KG pair plus gold links and their splits.
+
+The paper evaluates matchers on pairs of KGs with pre-annotated gold
+links, split 20%/10%/70% into train/validation/test (Section 4.2).  The
+non-1-to-1 dataset uses an *entity-disjoint* split instead (Section 5.2):
+links sharing an entity must land in the same split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.utils.rng import RandomState, ensure_rng
+
+#: A gold link is a (source entity name, target entity name) pair.
+Link = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class AlignmentSplit:
+    """Train/validation/test partition of the gold links."""
+
+    train: tuple[Link, ...]
+    validation: tuple[Link, ...]
+    test: tuple[Link, ...]
+
+    @property
+    def all_links(self) -> tuple[Link, ...]:
+        return self.train + self.validation + self.test
+
+    def __post_init__(self) -> None:
+        overlap = (
+            (set(self.train) & set(self.validation))
+            | (set(self.train) & set(self.test))
+            | (set(self.validation) & set(self.test))
+        )
+        if overlap:
+            raise ValueError(f"splits overlap on {len(overlap)} links, e.g. {next(iter(overlap))}")
+
+
+def split_links(
+    links: Sequence[Link],
+    train_fraction: float = 0.2,
+    validation_fraction: float = 0.1,
+    seed: RandomState = None,
+    entity_disjoint: bool = False,
+) -> AlignmentSplit:
+    """Randomly split gold links into train/validation/test.
+
+    With ``entity_disjoint=True``, links are first grouped into connected
+    components of the "shares an entity" relation and whole components are
+    assigned to splits, preserving the integrity of non-1-to-1 link
+    clusters (paper Section 5.2).
+    """
+    if not 0.0 <= train_fraction <= 1.0:
+        raise ValueError(f"train_fraction must be in [0, 1], got {train_fraction}")
+    if not 0.0 <= validation_fraction <= 1.0:
+        raise ValueError(f"validation_fraction must be in [0, 1], got {validation_fraction}")
+    if train_fraction + validation_fraction > 1.0:
+        raise ValueError("train_fraction + validation_fraction must not exceed 1")
+    rng = ensure_rng(seed)
+    links = list(dict.fromkeys(links))  # dedupe, stable order
+
+    if entity_disjoint:
+        groups = _link_components(links)
+    else:
+        groups = [[link] for link in links]
+
+    order = rng.permutation(len(groups))
+    total = len(links)
+    train: list[Link] = []
+    validation: list[Link] = []
+    test: list[Link] = []
+    for group_idx in order:
+        group = groups[group_idx]
+        if len(train) < train_fraction * total:
+            train.extend(group)
+        elif len(validation) < validation_fraction * total:
+            validation.extend(group)
+        else:
+            test.extend(group)
+    return AlignmentSplit(tuple(train), tuple(validation), tuple(test))
+
+
+def _link_components(links: Sequence[Link]) -> list[list[Link]]:
+    """Group links into connected components of shared entities.
+
+    Source and target namespaces are kept apart by tagging, so a name that
+    happens to occur in both KGs does not spuriously merge components.
+    """
+    parent: dict[tuple[str, str], tuple[str, str]] = {}
+
+    def find(node: tuple[str, str]) -> tuple[str, str]:
+        root = node
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[node] != root:  # path compression
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(a: tuple[str, str], b: tuple[str, str]) -> None:
+        parent[find(a)] = find(b)
+
+    for source, target in links:
+        union(("s", source), ("t", target))
+
+    components: dict[tuple[str, str], list[Link]] = {}
+    for link in links:
+        root = find(("s", link[0]))
+        components.setdefault(root, []).append(link)
+    return list(components.values())
+
+
+@dataclass
+class AlignmentTask:
+    """A full EA problem instance: two KGs, gold links, and their split."""
+
+    source: KnowledgeGraph
+    target: KnowledgeGraph
+    split: AlignmentSplit
+    name: str = "task"
+    #: Optional entity display names used by the name encoder (N-/NR- runs).
+    source_names: dict[str, str] = field(default_factory=dict)
+    target_names: dict[str, str] = field(default_factory=dict)
+    #: Entities with no counterpart in the other KG (the DBP15K+ setting,
+    #: paper Section 5.1).  Unmatchable *source* entities join the test
+    #: query set; a matcher that aligns them loses precision.
+    unmatchable_source: tuple[str, ...] = ()
+    unmatchable_target: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for src, tgt in self.split.all_links:
+            if not self.source.has_entity(src):
+                raise ValueError(f"gold link references unknown source entity {src!r}")
+            if not self.target.has_entity(tgt):
+                raise ValueError(f"gold link references unknown target entity {tgt!r}")
+        linked_sources = {src for src, _ in self.split.all_links}
+        linked_targets = {tgt for _, tgt in self.split.all_links}
+        for entity in self.unmatchable_source:
+            if not self.source.has_entity(entity):
+                raise ValueError(f"unmatchable source entity {entity!r} not in source KG")
+            if entity in linked_sources:
+                raise ValueError(f"entity {entity!r} is both linked and unmatchable")
+        for entity in self.unmatchable_target:
+            if not self.target.has_entity(entity):
+                raise ValueError(f"unmatchable target entity {entity!r} not in target KG")
+            if entity in linked_targets:
+                raise ValueError(f"entity {entity!r} is both linked and unmatchable")
+
+    # ------------------------------------------------------------------
+    # Convenience accessors used throughout the experiment harness
+    # ------------------------------------------------------------------
+
+    @property
+    def seed_links(self) -> tuple[Link, ...]:
+        """Training links (the "seed pairs" S of the paper)."""
+        return self.split.train
+
+    @property
+    def test_links(self) -> tuple[Link, ...]:
+        return self.split.test
+
+    def seed_index_pairs(self) -> np.ndarray:
+        """Seed links as an ``(n, 2)`` array of (source id, target id)."""
+        return self._links_to_ids(self.split.train)
+
+    def test_index_pairs(self) -> np.ndarray:
+        return self._links_to_ids(self.split.test)
+
+    def validation_index_pairs(self) -> np.ndarray:
+        return self._links_to_ids(self.split.validation)
+
+    def _links_to_ids(self, links: Sequence[Link]) -> np.ndarray:
+        pairs = [
+            (self.source.entity_id(src), self.target.entity_id(tgt)) for src, tgt in links
+        ]
+        return np.array(pairs, dtype=np.int64).reshape(len(pairs), 2)
+
+    def test_source_ids(self) -> np.ndarray:
+        """Unique source-entity ids appearing in the test links."""
+        pairs = self.test_index_pairs()
+        return np.unique(pairs[:, 0]) if len(pairs) else np.empty(0, dtype=np.int64)
+
+    def test_query_ids(self) -> np.ndarray:
+        """Source ids a matcher must answer at test time.
+
+        Test-link sources plus any unmatchable source entities: under the
+        DBP15K+ setting a matcher does not know which queries have no
+        counterpart, so it is evaluated on all of them.
+        """
+        ids = set(self.test_source_ids().tolist())
+        ids.update(self.source.entity_id(name) for name in self.unmatchable_source)
+        return np.array(sorted(ids), dtype=np.int64)
+
+    def candidate_target_ids(self) -> np.ndarray:
+        """Target ids eligible as answers: test-link targets plus
+        unmatchable target entities (the distractor pool)."""
+        pairs = self.test_index_pairs()
+        ids = set(pairs[:, 1].tolist()) if len(pairs) else set()
+        ids.update(self.target.entity_id(name) for name in self.unmatchable_target)
+        return np.array(sorted(ids), dtype=np.int64)
+
+    def display_name(self, side: str, entity: str) -> str:
+        """Human-readable name for an entity (falls back to its id string)."""
+        if side == "source":
+            return self.source_names.get(entity, entity)
+        if side == "target":
+            return self.target_names.get(entity, entity)
+        raise ValueError(f"side must be 'source' or 'target', got {side!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"AlignmentTask(name={self.name!r}, source={self.source.num_entities} ents, "
+            f"target={self.target.num_entities} ents, links={len(self.split.all_links)})"
+        )

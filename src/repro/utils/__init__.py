@@ -1,0 +1,29 @@
+"""Shared utilities: deterministic RNG handling, timing, memory accounting.
+
+These helpers keep every stochastic component of the library reproducible
+(seeded :class:`numpy.random.Generator` everywhere, never the global state)
+and provide the lightweight instrumentation used by the efficiency
+experiments (Figure 5 and Table 6 of the paper).
+"""
+
+from repro.utils.memory import MemoryTracker, matrix_bytes
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    check_embedding_matrix,
+    check_score_matrix,
+    check_shape_compatible,
+)
+
+__all__ = [
+    "MemoryTracker",
+    "RandomState",
+    "Stopwatch",
+    "check_embedding_matrix",
+    "check_score_matrix",
+    "check_shape_compatible",
+    "ensure_rng",
+    "matrix_bytes",
+    "spawn_rngs",
+    "timed",
+]

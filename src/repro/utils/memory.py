@@ -1,0 +1,62 @@
+"""Analytical memory accounting for the space-efficiency experiments.
+
+The paper reports peak memory per matcher (Figure 5b, Table 6 "Mem.").
+Measuring RSS is noisy inside a shared test process, so matchers instead
+*declare* the dense matrices they materialise to a :class:`MemoryTracker`,
+which tracks the peak of the declared working set.  This reproduces the
+paper's qualitative ranking (SMat most space-hungry, DInf least) in a way
+that is deterministic and test-friendly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def matrix_bytes(*shapes: tuple[int, ...], dtype: type = np.float64) -> int:
+    """Bytes needed to hold dense arrays of the given ``shapes``."""
+    itemsize = np.dtype(dtype).itemsize
+    return sum(int(np.prod(shape)) * itemsize for shape in shapes)
+
+
+@dataclass
+class MemoryTracker:
+    """Tracks the peak declared working set of a matcher run.
+
+    Matchers call :meth:`allocate` when they materialise a matrix and
+    :meth:`release` when it is no longer live; :attr:`peak_bytes` is the
+    maximum concurrent total.
+    """
+
+    current_bytes: int = 0
+    peak_bytes: int = 0
+    _live: dict[str, int] = field(default_factory=dict)
+
+    def allocate(self, name: str, nbytes: int) -> None:
+        """Declare a live allocation of ``nbytes`` under ``name``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        self.release(name)
+        self._live[name] = nbytes
+        self.current_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+
+    def allocate_array(self, name: str, array: np.ndarray) -> None:
+        """Declare a live numpy array allocation under ``name``."""
+        self.allocate(name, array.nbytes)
+
+    def release(self, name: str) -> None:
+        """Release a previously declared allocation (no-op if unknown)."""
+        nbytes = self._live.pop(name, 0)
+        self.current_bytes -= nbytes
+
+    @property
+    def peak_gib(self) -> float:
+        """Peak working set in GiB."""
+        return self.peak_bytes / 2**30
+
+    def fits_within(self, budget_bytes: int) -> bool:
+        """Whether the run stayed within ``budget_bytes`` (Table 6 "Mem.")."""
+        return self.peak_bytes <= budget_bytes

@@ -1,0 +1,76 @@
+"""Wall-clock instrumentation for the efficiency experiments.
+
+The paper reports per-matcher running times (Figure 5, Tables 6-8).  The
+:class:`Stopwatch` accumulates named phases so a matcher can report how
+long it spent computing pairwise scores versus decoding the matching.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time per named phase.
+
+    Example::
+
+        watch = Stopwatch()
+        with watch.measure("scores"):
+            compute_scores()
+        watch.seconds("scores")  # elapsed time
+    """
+
+    _totals: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        """Time the enclosed block and add it to ``phase``'s total."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[phase] = self._totals.get(phase, 0.0) + elapsed
+
+    def seconds(self, phase: str) -> float:
+        """Total seconds recorded for ``phase`` (0.0 if never measured)."""
+        return self._totals.get(phase, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded phases."""
+        return sum(self._totals.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of per-phase totals."""
+        return dict(self._totals)
+
+
+@contextmanager
+def timed() -> Iterator["_TimerResult"]:
+    """Context manager yielding an object whose ``.seconds`` is set on exit.
+
+    Example::
+
+        with timed() as t:
+            expensive()
+        print(t.seconds)
+    """
+    result = _TimerResult()
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result.seconds = time.perf_counter() - start
+
+
+class _TimerResult:
+    """Mutable holder filled in by :func:`timed`."""
+
+    def __init__(self) -> None:
+        self.seconds: float = 0.0

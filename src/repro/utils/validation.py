@@ -1,0 +1,49 @@
+"""Input validation shared by the similarity and matching layers.
+
+Embedding matching operates on two kinds of dense inputs — embedding
+matrices and pairwise score matrices.  Validating them once at the
+library boundary keeps the algorithm implementations free of repeated
+shape checks and produces consistent error messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_embedding_matrix(embeddings: np.ndarray, name: str = "embeddings") -> np.ndarray:
+    """Validate a 2-D float embedding matrix and return it as float64.
+
+    Raises ``ValueError`` for wrong rank, empty dimensions, or non-finite
+    entries, which otherwise surface deep inside matrix algebra with
+    opaque messages.
+    """
+    array = np.asarray(embeddings, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (entities x dims), got shape {array.shape}")
+    if array.shape[0] == 0 or array.shape[1] == 0:
+        raise ValueError(f"{name} must be non-empty, got shape {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains non-finite values")
+    return array
+
+
+def check_score_matrix(scores: np.ndarray, name: str = "scores") -> np.ndarray:
+    """Validate a 2-D pairwise score matrix and return it as float64."""
+    array = np.asarray(scores, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (source x target), got shape {array.shape}")
+    if array.shape[0] == 0 or array.shape[1] == 0:
+        raise ValueError(f"{name} must be non-empty, got shape {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains non-finite values")
+    return array
+
+
+def check_shape_compatible(source: np.ndarray, target: np.ndarray) -> None:
+    """Require source/target embeddings to share the embedding dimension."""
+    if source.shape[1] != target.shape[1]:
+        raise ValueError(
+            "source and target embeddings must share the embedding dimension, "
+            f"got {source.shape[1]} and {target.shape[1]}"
+        )

@@ -1,0 +1,53 @@
+"""Shared fixtures: small deterministic tasks, embeddings, and score matrices."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair
+from repro.embedding.oracle import OracleConfig, OracleEncoder
+
+
+@pytest.fixture(scope="session")
+def small_task():
+    """A tiny 1-to-1 alignment task (60 entities/side), session-cached."""
+    config = KGPairConfig(
+        num_entities=60, num_relations=5, average_degree=4.0,
+        heterogeneity=0.1, name_edit_rate=0.1, name="tiny", seed=42,
+    )
+    return generate_aligned_pair(config)
+
+
+@pytest.fixture(scope="session")
+def medium_task():
+    """A 200-entity 1-to-1 task for matcher-quality tests."""
+    config = KGPairConfig(
+        num_entities=200, num_relations=10, average_degree=4.0,
+        heterogeneity=0.12, name_edit_rate=0.15, name="medium", seed=7,
+    )
+    return generate_aligned_pair(config)
+
+
+@pytest.fixture(scope="session")
+def oracle_embeddings(medium_task):
+    """Good-quality oracle embeddings for ``medium_task``."""
+    return OracleEncoder(OracleConfig(noise=0.3, seed=5)).encode(medium_task)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(123)
+
+
+@pytest.fixture()
+def random_scores(rng):
+    """A 20x20 random score matrix in [0, 1)."""
+    return rng.random((20, 20))
+
+
+@pytest.fixture()
+def identity_scores():
+    """A score matrix whose diagonal is clearly the best match."""
+    n = 15
+    scores = np.full((n, n), 0.1)
+    np.fill_diagonal(scores, 0.9)
+    return scores

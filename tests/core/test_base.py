@@ -1,0 +1,86 @@
+"""Tests for the matcher base plumbing (MatchResult, PipelineMatcher)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import MatchResult, PipelineMatcher
+from repro.core.greedy import greedy_decoder
+
+
+class TestMatchResult:
+    def test_pairs_and_scores_coerced(self):
+        result = MatchResult([[0, 1], [2, 3]], [0.5, 0.7])
+        assert result.pairs.dtype == np.int64
+        assert result.scores.dtype == np.float64
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="disagree"):
+            MatchResult([[0, 1]], [0.5, 0.7])
+
+    def test_empty_result(self):
+        result = MatchResult(np.empty((0, 2)), np.empty(0))
+        assert result.as_set() == set()
+
+    def test_as_set(self):
+        result = MatchResult([[0, 1], [2, 3]], [0.5, 0.7])
+        assert result.as_set() == {(0, 1), (2, 3)}
+
+    def test_seconds_and_peak_default_zero(self):
+        result = MatchResult([[0, 0]], [1.0])
+        assert result.seconds == 0.0
+        assert result.peak_bytes == 0
+
+
+class TestPipelineMatcher:
+    def test_match_equals_match_scores(self, rng):
+        from repro.similarity.metrics import cosine_similarity
+
+        matcher = PipelineMatcher(decoder=greedy_decoder, name="test")
+        source = rng.normal(size=(8, 4))
+        target = rng.normal(size=(10, 4))
+        via_embeddings = matcher.match(source, target)
+        via_scores = matcher.match_scores(cosine_similarity(source, target))
+        assert via_embeddings.as_set() == via_scores.as_set()
+
+    def test_metric_forwarded(self, rng):
+        source = rng.normal(size=(6, 4))
+        target = rng.normal(size=(6, 4))
+        cos = PipelineMatcher(decoder=greedy_decoder, metric="cosine").match(source, target)
+        euc = PipelineMatcher(decoder=greedy_decoder, metric="euclidean").match(source, target)
+        # Different metrics may produce different matchings; both valid shapes.
+        assert cos.pairs.shape == euc.pairs.shape
+
+    def test_no_decoder_raises(self, rng):
+        matcher = PipelineMatcher()
+        with pytest.raises(NotImplementedError):
+            matcher.match(rng.normal(size=(3, 2)), rng.normal(size=(3, 2)))
+
+    def test_transform_callable_applied(self, identity_scores):
+        # A transform that inverts scores flips the greedy decision.
+        inverter = PipelineMatcher(
+            transform=lambda s, w, m: -s, decoder=greedy_decoder
+        )
+        result = inverter.match_scores(identity_scores)
+        plain = PipelineMatcher(decoder=greedy_decoder).match_scores(identity_scores)
+        assert result.as_set() != plain.as_set()
+
+    def test_similarity_memory_declared(self, rng):
+        matcher = PipelineMatcher(decoder=greedy_decoder)
+        result = matcher.match(rng.normal(size=(10, 4)), rng.normal(size=(12, 4)))
+        assert result.peak_bytes >= 10 * 12 * 8
+
+    def test_timing_recorded(self, rng):
+        matcher = PipelineMatcher(decoder=greedy_decoder)
+        result = matcher.match(rng.normal(size=(50, 8)), rng.normal(size=(50, 8)))
+        assert result.stopwatch.seconds("similarity") > 0.0
+        assert result.stopwatch.seconds("decode") >= 0.0
+
+    def test_base_matcher_match_scores_raises(self):
+        from repro.core.base import Matcher
+
+        class Dummy(Matcher):
+            def match(self, source, target):
+                raise NotImplementedError
+
+        with pytest.raises(NotImplementedError, match="requires embeddings"):
+            Dummy().match_scores(np.ones((2, 2)))

@@ -1,0 +1,99 @@
+"""Tests for the general blocking framework."""
+
+import numpy as np
+import pytest
+
+from repro.core import DInf, Hungarian, create_matcher
+from repro.core.blocking import BlockedMatcher
+
+
+@pytest.fixture()
+def clustered_embeddings(rng):
+    """Embeddings with clear 1-D structure so projection blocking works."""
+    n, d = 80, 16
+    latent = rng.normal(size=(n, d))
+    # Give the space a dominant direction with well-spread coordinates.
+    latent[:, 0] += np.linspace(-4, 4, n)
+    source = latent + 0.05 * rng.normal(size=latent.shape)
+    target = latent + 0.05 * rng.normal(size=latent.shape)
+    return source, target
+
+
+class TestConstruction:
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError, match="num_blocks"):
+            BlockedMatcher(DInf(), num_blocks=0)
+
+    def test_invalid_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            BlockedMatcher(DInf(), overlap=1.0)
+
+    def test_name(self):
+        assert BlockedMatcher(DInf()).name == "DInf+blocked"
+
+
+class TestEmbeddingBlocking:
+    def test_single_block_equals_inner(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        blocked = BlockedMatcher(DInf(), num_blocks=1).match(source, target)
+        plain = DInf().match(source, target)
+        assert blocked.as_set() == plain.as_set()
+
+    def test_quality_close_to_unblocked(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        gold = {(i, i) for i in range(len(source))}
+        plain = len(DInf().match(source, target).as_set() & gold)
+        blocked = len(
+            BlockedMatcher(DInf(), num_blocks=4).match(source, target).as_set() & gold
+        )
+        assert blocked >= plain - 6  # boundary losses only
+
+    def test_overlap_recovers_boundary_pairs(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        gold = {(i, i) for i in range(len(source))}
+        no_overlap = len(
+            BlockedMatcher(DInf(), num_blocks=8, overlap=0.0)
+            .match(source, target).as_set() & gold
+        )
+        with_overlap = len(
+            BlockedMatcher(DInf(), num_blocks=8, overlap=0.25)
+            .match(source, target).as_set() & gold
+        )
+        assert with_overlap >= no_overlap
+
+    def test_at_most_one_answer_per_source(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        result = BlockedMatcher(DInf(), num_blocks=4, overlap=0.3).match(source, target)
+        sources = result.pairs[:, 0].tolist()
+        assert len(sources) == len(set(sources))
+
+    def test_memory_below_full_matrix(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        result = BlockedMatcher(DInf(), num_blocks=8, overlap=0.0).match(source, target)
+        full_bytes = len(source) * len(target) * 8
+        assert result.peak_bytes < full_bytes
+
+    def test_wraps_constrained_matcher(self, clustered_embeddings):
+        source, target = clustered_embeddings
+        result = BlockedMatcher(Hungarian(), num_blocks=4).match(source, target)
+        # 1-to-1 within blocks; dedupe keeps it injective per source.
+        sources = result.pairs[:, 0].tolist()
+        assert len(sources) == len(set(sources))
+
+
+class TestScoreBlocking:
+    def test_perfect_on_diagonal(self, identity_scores):
+        result = BlockedMatcher(DInf(), num_blocks=3).match_scores(identity_scores)
+        assert result.as_set() == {(i, i) for i in range(15)}
+
+    def test_single_block_equals_inner(self, random_scores):
+        blocked = BlockedMatcher(DInf(), num_blocks=1).match_scores(random_scores)
+        plain = DInf().match_scores(random_scores)
+        assert blocked.as_set() == plain.as_set()
+
+    def test_all_registered_matchers_wrappable(self, identity_scores):
+        for name in ("DInf", "CSLS", "RInf", "Hun.", "SMat"):
+            result = BlockedMatcher(create_matcher(name), num_blocks=3).match_scores(
+                identity_scores
+            )
+            assert result.as_set() == {(i, i) for i in range(15)}

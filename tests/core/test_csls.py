@@ -1,0 +1,91 @@
+"""Tests for CSLS rescaling."""
+
+import numpy as np
+import pytest
+
+from repro.core.csls import CSLS, csls_scores
+
+
+class TestCslsScores:
+    def test_formula_k1(self, random_scores):
+        rescaled = csls_scores(random_scores, k=1)
+        expected = (
+            2 * random_scores
+            - random_scores.max(axis=1)[:, None]
+            - random_scores.max(axis=0)[None, :]
+        )
+        np.testing.assert_allclose(rescaled, expected)
+
+    def test_formula_general_k(self, random_scores):
+        k = 3
+        rescaled = csls_scores(random_scores, k=k)
+        phi_s = np.sort(random_scores, axis=1)[:, -k:].mean(axis=1)
+        phi_t = np.sort(random_scores, axis=0)[-k:, :].mean(axis=0)
+        expected = 2 * random_scores - phi_s[:, None] - phi_t[None, :]
+        np.testing.assert_allclose(rescaled, expected)
+
+    def test_invalid_k(self, random_scores):
+        with pytest.raises(ValueError, match="k must be"):
+            csls_scores(random_scores, k=0)
+
+    def test_penalises_hub_target(self):
+        # Target 0 is a hub: high similarity to every source.  CSLS must
+        # reduce its advantage over the gold diagonal.
+        n = 6
+        scores = np.full((n, n), 0.2)
+        np.fill_diagonal(scores, 0.55)
+        scores[:, 0] = 0.6  # hub column beats the gold scores
+        raw_pred = scores.argmax(axis=1)
+        assert (raw_pred == 0).sum() >= n - 1  # raw greedy collapses onto the hub
+        rescaled = csls_scores(scores, k=2)
+        csls_pred = rescaled.argmax(axis=1)
+        assert (csls_pred == np.arange(n)).sum() > (raw_pred == np.arange(n)).sum()
+
+    def test_boosts_isolated_source(self):
+        # An isolated source (low scores everywhere) gets its scores
+        # lifted relative to sources in dense regions.
+        scores = np.array([
+            [0.9, 0.8, 0.7],
+            [0.8, 0.9, 0.7],
+            [0.2, 0.1, 0.25],  # isolated
+        ])
+        rescaled = csls_scores(scores, k=1)
+        # Relative ordering within the isolated row is preserved...
+        assert rescaled[2].argmax() == 2
+        # ...and the gap between the dense rows' best and the isolated
+        # row's best shrinks (CSLS lifts isolated embeddings).
+        raw_gap = scores[0].max() - scores[2].max()
+        rescaled_gap = rescaled[0].max() - rescaled[2].max()
+        assert rescaled_gap < raw_gap
+
+
+class TestCSLSMatcher:
+    def test_name(self):
+        assert CSLS().name == "CSLS"
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            CSLS(k=0)
+
+    def test_equivalent_to_manual_pipeline(self, random_scores):
+        result = CSLS(k=2).match_scores(random_scores)
+        expected = csls_scores(random_scores, k=2).argmax(axis=1)
+        np.testing.assert_array_equal(result.pairs[:, 1], expected)
+
+    def test_memory_includes_rescaled_matrix(self, rng):
+        result = CSLS().match(rng.normal(size=(10, 4)), rng.normal(size=(12, 4)))
+        assert result.peak_bytes == 2 * 10 * 12 * 8
+
+    def test_improves_over_dinf_on_crowded_embeddings(self, medium_task):
+        from repro.core.greedy import DInf
+        from repro.embedding.oracle import OracleConfig, OracleEncoder
+
+        emb = OracleEncoder(
+            OracleConfig(noise=0.45, cluster_size=8, cluster_spread=0.25, seed=1)
+        ).encode(medium_task)
+        pairs = medium_task.test_index_pairs()
+        src, tgt = emb.source[pairs[:, 0]], emb.target[pairs[:, 1]]
+        gold = {(i, i) for i in range(len(pairs))}
+        dinf_correct = len(DInf().match(src, tgt).as_set() & gold)
+        csls_correct = len(CSLS().match(src, tgt).as_set() & gold)
+        assert csls_correct >= dinf_correct

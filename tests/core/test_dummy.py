@@ -1,0 +1,85 @@
+"""Tests for dummy-node augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.dummy import DummyPaddedMatcher, pad_with_dummies, strip_dummy_pairs
+from repro.core.base import MatchResult
+from repro.core.hungarian import Hungarian
+from repro.core.stable import StableMatch
+
+
+class TestPadWithDummies:
+    def test_square_unchanged(self, random_scores):
+        assert pad_with_dummies(random_scores) is random_scores
+
+    def test_pads_columns(self, rng):
+        scores = rng.random((6, 4))
+        padded = pad_with_dummies(scores)
+        assert padded.shape == (6, 6)
+        np.testing.assert_array_equal(padded[:, 4:], scores.min())
+
+    def test_pads_rows(self, rng):
+        scores = rng.random((4, 6))
+        padded = pad_with_dummies(scores)
+        assert padded.shape == (6, 6)
+        np.testing.assert_array_equal(padded[4:, :], scores.min())
+
+    def test_custom_fill(self, rng):
+        scores = rng.random((3, 5))
+        padded = pad_with_dummies(scores, fill=-7.0)
+        np.testing.assert_array_equal(padded[3:, :], -7.0)
+
+    def test_original_scores_preserved(self, rng):
+        scores = rng.random((3, 5))
+        padded = pad_with_dummies(scores)
+        np.testing.assert_array_equal(padded[:3, :5], scores)
+
+
+class TestStripDummyPairs:
+    def test_strips_out_of_range(self):
+        result = MatchResult([[0, 1], [1, 5], [4, 2]], [0.1, 0.2, 0.3])
+        stripped = strip_dummy_pairs(result, n_source=3, n_target=4)
+        assert stripped.as_set() == {(0, 1)}
+
+    def test_keeps_instrumentation(self):
+        result = MatchResult([[0, 0]], [0.1])
+        result.memory.allocate("x", 100)
+        stripped = strip_dummy_pairs(result, 1, 1)
+        assert stripped.peak_bytes == 100
+
+
+class TestDummyPaddedMatcher:
+    def test_name(self):
+        assert DummyPaddedMatcher(Hungarian()).name == "Hun.+dummy"
+
+    def test_equivalent_to_builtin_rectangular_hungarian(self, rng):
+        # Hungarian already pads internally; the wrapper must agree.
+        scores = rng.random((10, 7))
+        direct = Hungarian().match_scores(scores)
+        wrapped = DummyPaddedMatcher(Hungarian()).match_scores(scores)
+        assert direct.as_set() == wrapped.as_set()
+
+    def test_smat_abstains_on_surplus_sources(self, rng):
+        scores = rng.random((10, 7))
+        result = DummyPaddedMatcher(StableMatch()).match_scores(scores)
+        assert len(result.pairs) <= 7
+        assert result.pairs[:, 1].max() < 7
+
+    def test_worst_sources_fall_on_dummies(self):
+        # Sources 0-2 match targets clearly; source 3 matches nothing.
+        scores = np.array([
+            [0.9, 0.1, 0.1],
+            [0.1, 0.9, 0.1],
+            [0.1, 0.1, 0.9],
+            [0.15, 0.15, 0.15],
+        ])
+        result = DummyPaddedMatcher(Hungarian()).match_scores(scores)
+        matched_sources = set(result.pairs[:, 0].tolist())
+        assert matched_sources == {0, 1, 2}
+
+    def test_match_from_embeddings(self, rng):
+        result = DummyPaddedMatcher(Hungarian()).match(
+            rng.normal(size=(8, 4)), rng.normal(size=(5, 4))
+        )
+        assert len(result.pairs) == 5

@@ -1,0 +1,65 @@
+"""Tests for greedy decoding and DInf."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import DInf, greedy_match
+
+
+class TestGreedyMatch:
+    def test_picks_row_argmax(self, random_scores):
+        pairs, scores = greedy_match(random_scores)
+        np.testing.assert_array_equal(pairs[:, 1], random_scores.argmax(axis=1))
+        np.testing.assert_allclose(scores, random_scores.max(axis=1))
+
+    def test_one_pair_per_source(self, random_scores):
+        pairs, _ = greedy_match(random_scores)
+        np.testing.assert_array_equal(pairs[:, 0], np.arange(20))
+
+    def test_allows_target_collisions(self):
+        scores = np.array([[0.9, 0.1], [0.8, 0.2], [0.7, 0.3]])
+        pairs, _ = greedy_match(scores)
+        assert pairs[:, 1].tolist() == [0, 0, 0]  # no 1-to-1 constraint
+
+    def test_rectangular(self, rng):
+        scores = rng.random((5, 9))
+        pairs, _ = greedy_match(scores)
+        assert pairs.shape == (5, 2)
+        assert pairs[:, 1].max() < 9
+
+    def test_perfect_on_diagonal(self, identity_scores):
+        pairs, _ = greedy_match(identity_scores)
+        np.testing.assert_array_equal(pairs[:, 0], pairs[:, 1])
+
+    def test_rejects_nan(self):
+        bad = np.ones((2, 2))
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            greedy_match(bad)
+
+
+class TestDInf:
+    def test_name(self):
+        assert DInf().name == "DInf"
+
+    def test_recovers_noisy_identity(self, rng):
+        latent = rng.normal(size=(30, 16))
+        source = latent + 0.05 * rng.normal(size=latent.shape)
+        target = latent + 0.05 * rng.normal(size=latent.shape)
+        result = DInf().match(source, target)
+        correct = sum(1 for s, t in result.pairs if s == t)
+        assert correct >= 28
+
+    def test_metric_configurable(self, rng):
+        source = rng.normal(size=(10, 4))
+        target = rng.normal(size=(10, 4))
+        result = DInf(metric="euclidean").match(source, target)
+        assert len(result.pairs) == 10
+
+    def test_memory_is_one_similarity_matrix(self, rng):
+        result = DInf().match(rng.normal(size=(10, 4)), rng.normal(size=(12, 4)))
+        assert result.peak_bytes == 10 * 12 * 8
+
+    def test_from_scores(self, identity_scores):
+        result = DInf().match_scores(identity_scores)
+        assert result.as_set() == {(i, i) for i in range(15)}

@@ -1,0 +1,82 @@
+"""Tests for the multi-answer decoding extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi import MultiAnswerMatcher
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"mass_ratio": 0.0}, {"mass_ratio": 1.5}, {"temperature": 0.0},
+         {"top_k": 0}],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            MultiAnswerMatcher(**kwargs)
+
+
+class TestDecoding:
+    def test_degenerates_to_greedy_on_concentrated_scores(self, identity_scores):
+        result = MultiAnswerMatcher(temperature=0.01).match_scores(identity_scores)
+        assert result.as_set() == {(i, i) for i in range(15)}
+
+    def test_emits_multiple_answers_for_ties(self):
+        scores = np.full((1, 5), 0.0)
+        scores[0, 1] = 0.8
+        scores[0, 3] = 0.8  # exact tie: both must be returned
+        result = MultiAnswerMatcher().match_scores(scores)
+        assert result.as_set() == {(0, 1), (0, 3)}
+
+    def test_near_ties_within_mass_ratio(self):
+        scores = np.array([[0.80, 0.79, 0.0, 0.0]])
+        result = MultiAnswerMatcher(mass_ratio=0.5, temperature=0.1).match_scores(scores)
+        assert {(0, 0), (0, 1)} <= result.as_set()
+
+    def test_distant_second_excluded(self):
+        scores = np.array([[0.9, 0.1, 0.0, 0.0]])
+        result = MultiAnswerMatcher(mass_ratio=0.5, temperature=0.05).match_scores(scores)
+        assert result.as_set() == {(0, 0)}
+
+    def test_every_source_has_at_least_one_answer(self, random_scores):
+        result = MultiAnswerMatcher().match_scores(random_scores)
+        assert set(result.pairs[:, 0].tolist()) == set(range(20))
+
+    def test_top_k_caps_answers(self):
+        scores = np.full((1, 10), 0.5)  # all tied
+        result = MultiAnswerMatcher(top_k=3).match_scores(scores)
+        assert len(result.pairs) == 3
+
+    def test_match_from_embeddings(self, rng):
+        result = MultiAnswerMatcher().match(
+            rng.normal(size=(6, 4)), rng.normal(size=(8, 4))
+        )
+        assert result.pairs[:, 1].max() < 8
+
+
+class TestNonOneToOneRecall:
+    def test_recall_beats_greedy_on_duplicate_targets(self):
+        """The extension's point: duplicated targets share posterior mass
+        and are all returned, lifting recall on non-1-to-1 gold links."""
+        from repro.core.greedy import DInf
+        from repro.datasets.non_one_to_one import (
+            NonOneToOneConfig, generate_non_one_to_one_task,
+        )
+        from repro.embedding.oracle import OracleConfig, OracleEncoder
+        from repro.eval.metrics import evaluate_pairs
+        from repro.experiments.runner import _gold_local_pairs
+
+        task = generate_non_one_to_one_task(NonOneToOneConfig(num_entities=150, seed=5))
+        emb = OracleEncoder(OracleConfig(noise=0.3, duplicate_jitter=0.2, seed=1)).encode(task)
+        queries = task.test_query_ids()
+        candidates = task.candidate_target_ids()
+        src, tgt = emb.source[queries], emb.target[candidates]
+        gold = _gold_local_pairs(task, queries, candidates)
+
+        greedy = evaluate_pairs(DInf().match(src, tgt).pairs, gold)
+        multi = evaluate_pairs(
+            MultiAnswerMatcher(mass_ratio=0.5, temperature=0.05).match(src, tgt).pairs,
+            gold,
+        )
+        assert multi.recall > greedy.recall

@@ -1,0 +1,55 @@
+"""Tests for the matcher registry."""
+
+import pytest
+
+from repro.core.base import Matcher
+from repro.core.registry import (
+    PAPER_MATCHERS,
+    available_matchers,
+    create_matcher,
+    register_matcher,
+)
+
+
+class TestRegistry:
+    def test_paper_matchers_all_available(self):
+        available = set(available_matchers())
+        for name in PAPER_MATCHERS:
+            assert name in available
+
+    def test_variants_available(self):
+        assert "RInf-wr" in available_matchers()
+        assert "RInf-pb" in available_matchers()
+
+    def test_create_returns_matcher(self):
+        for name in PAPER_MATCHERS:
+            matcher = create_matcher(name)
+            assert isinstance(matcher, Matcher)
+            assert matcher.name == name
+
+    def test_kwargs_forwarded(self):
+        sink = create_matcher("Sink.", iterations=7)
+        assert sink.iterations == 7
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown matcher"):
+            create_matcher("Magic")
+
+    def test_register_custom(self):
+        class Custom(Matcher):
+            name = "Custom"
+
+            def match(self, source, target):
+                raise NotImplementedError
+
+        register_matcher("Custom-test", Custom)
+        try:
+            assert isinstance(create_matcher("Custom-test"), Custom)
+        finally:
+            from repro.core import registry
+
+            registry._FACTORIES.pop("Custom-test", None)
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_matcher("DInf", lambda: None)

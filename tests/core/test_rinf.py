@@ -1,0 +1,191 @@
+"""Tests for reciprocal matching (RInf and variants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import greedy_match
+from repro.core.rinf import (
+    RInf,
+    RInfPb,
+    RInfWr,
+    preference_scores,
+    rank_matrix,
+    reciprocal_rank_scores,
+)
+
+
+class TestPreferenceScores:
+    def test_formula(self, random_scores):
+        p_st, p_ts = preference_scores(random_scores)
+        np.testing.assert_allclose(
+            p_st, random_scores - random_scores.max(axis=0, keepdims=True) + 1.0
+        )
+        np.testing.assert_allclose(
+            p_ts, random_scores - random_scores.max(axis=1, keepdims=True) + 1.0
+        )
+
+    def test_range(self, random_scores):
+        p_st, p_ts = preference_scores(random_scores)
+        assert p_st.max() <= 1.0 + 1e-12
+        assert p_ts.max() <= 1.0 + 1e-12
+
+    def test_column_best_gets_preference_one(self, random_scores):
+        p_st, _ = preference_scores(random_scores)
+        best_rows = random_scores.argmax(axis=0)
+        cols = np.arange(random_scores.shape[1])
+        np.testing.assert_allclose(p_st[best_rows, cols], 1.0)
+
+
+class TestRankMatrix:
+    def test_row_ranks(self):
+        prefs = np.array([[0.1, 0.9, 0.5]])
+        ranks = rank_matrix(prefs, axis=1)
+        np.testing.assert_array_equal(ranks, [[3, 1, 2]])
+
+    def test_column_ranks(self):
+        prefs = np.array([[0.1], [0.9], [0.5]])
+        ranks = rank_matrix(prefs, axis=0)
+        np.testing.assert_array_equal(ranks.ravel(), [3, 1, 2])
+
+    def test_each_row_is_permutation(self, random_scores):
+        ranks = rank_matrix(random_scores, axis=1)
+        for row in ranks:
+            assert sorted(row.tolist()) == list(range(1, 21))
+
+    def test_invalid_axis(self, random_scores):
+        with pytest.raises(ValueError, match="axis"):
+            rank_matrix(random_scores, axis=2)
+
+
+class TestReciprocalRankScores:
+    def test_best_value_is_minus_one(self, identity_scores):
+        fused = reciprocal_rank_scores(identity_scores)
+        # Mutually-first pairs average rank 1 (negated).
+        np.testing.assert_allclose(np.diag(fused), -1.0)
+
+    def test_range(self, random_scores):
+        fused = reciprocal_rank_scores(random_scores)
+        n = random_scores.shape[0]
+        assert fused.max() <= -1.0
+        assert fused.min() >= -float(n)
+
+
+class TestRInf:
+    def test_perfect_on_diagonal(self, identity_scores):
+        result = RInf().match_scores(identity_scores)
+        assert result.as_set() == {(i, i) for i in range(15)}
+
+    def test_resolves_hub_better_than_greedy(self):
+        n = 8
+        scores = np.full((n, n), 0.2)
+        np.fill_diagonal(scores, 0.55)
+        scores[:, 0] = 0.6
+        greedy_correct = (greedy_match(scores)[0][:, 1] == np.arange(n)).sum()
+        rinf_correct = sum(1 for s, t in RInf().match_scores(scores).pairs if s == t)
+        assert rinf_correct > greedy_correct
+
+    def test_memory_heaviest_of_transforms(self, rng):
+        source, target = rng.normal(size=(20, 4)), rng.normal(size=(20, 4))
+        from repro.core.csls import CSLS
+
+        rinf_mem = RInf().match(source, target).peak_bytes
+        csls_mem = CSLS().match(source, target).peak_bytes
+        assert rinf_mem > csls_mem
+
+
+class TestRInfWr:
+    def test_equivalent_to_csls_k1_decisions(self, random_scores):
+        # (P_st + P_ts)/2 is an affine shift of the CSLS(k=1) matrix, so
+        # both variants make identical greedy decisions — the identity the
+        # original paper's Table 6 exhibits.
+        from repro.core.csls import CSLS
+
+        wr = RInfWr().match_scores(random_scores)
+        csls = CSLS(k=1).match_scores(random_scores)
+        assert wr.as_set() == csls.as_set()
+
+    def test_cheaper_than_full_rinf(self, rng):
+        source, target = rng.normal(size=(30, 8)), rng.normal(size=(30, 8))
+        wr = RInfWr().match(source, target)
+        full = RInf().match(source, target)
+        assert wr.peak_bytes < full.peak_bytes
+
+    def test_perfect_on_diagonal(self, identity_scores):
+        result = RInfWr().match_scores(identity_scores)
+        assert result.as_set() == {(i, i) for i in range(15)}
+
+
+class TestRInfPb:
+    def test_perfect_on_diagonal(self, identity_scores):
+        result = RInfPb(num_blocks=3).match_scores(identity_scores)
+        assert result.as_set() == {(i, i) for i in range(15)}
+
+    def test_single_block_equals_full_rinf(self, random_scores):
+        pb = RInfPb(num_blocks=1).match_scores(random_scores)
+        full = RInf().match_scores(random_scores)
+        assert pb.as_set() == full.as_set()
+
+    def test_every_source_matched(self, random_scores):
+        result = RInfPb(num_blocks=4).match_scores(random_scores)
+        assert sorted(result.pairs[:, 0].tolist()) == list(range(20))
+
+    def test_memory_below_full_rinf(self, rng):
+        source, target = rng.normal(size=(64, 8)), rng.normal(size=(64, 8))
+        pb = RInfPb(num_blocks=8).match(source, target)
+        full = RInf().match(source, target)
+        assert pb.peak_bytes < full.peak_bytes
+
+    def test_quality_between_wr_and_full(self, medium_task):
+        from repro.embedding.oracle import OracleConfig, OracleEncoder
+        from repro.eval.metrics import evaluate_pairs
+
+        emb = OracleEncoder(
+            OracleConfig(noise=0.5, cluster_size=8, cluster_spread=0.25,
+                         smoothing=0.5, seed=3)
+        ).encode(medium_task)
+        pairs = medium_task.test_index_pairs()
+        src, tgt = emb.source[pairs[:, 0]], emb.target[pairs[:, 1]]
+        gold = [(i, i) for i in range(len(pairs))]
+
+        def f1(matcher):
+            return evaluate_pairs(matcher.match(src, tgt).pairs, gold).f1
+
+        wr, pb, full = f1(RInfWr()), f1(RInfPb(num_blocks=4)), f1(RInf())
+        assert pb >= wr - 0.06
+        assert pb <= full + 0.06
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError, match="num_blocks"):
+            RInfPb(num_blocks=0)
+
+
+class TestRInfK:
+    """The Appendix C generalisation: top-k mean normaliser."""
+
+    def test_k1_is_equation_2(self, random_scores):
+        import numpy as np
+
+        p_st, p_ts = preference_scores(random_scores, k=1)
+        np.testing.assert_allclose(
+            p_st, random_scores - random_scores.max(axis=0, keepdims=True) + 1.0
+        )
+
+    def test_k_general_formula(self, random_scores):
+        import numpy as np
+
+        k = 3
+        p_st, _ = preference_scores(random_scores, k=k)
+        col_ref = np.sort(random_scores, axis=0)[-k:, :].mean(axis=0)
+        np.testing.assert_allclose(p_st, random_scores - col_ref[None, :] + 1.0)
+
+    def test_invalid_k(self, random_scores):
+        import pytest
+
+        with pytest.raises(ValueError, match="k must be"):
+            preference_scores(random_scores, k=0)
+        with pytest.raises(ValueError, match="k must be"):
+            RInf(k=0)
+
+    def test_matcher_accepts_k(self, identity_scores):
+        result = RInf(k=2).match_scores(identity_scores)
+        assert result.as_set() == {(i, i) for i in range(15)}

@@ -1,0 +1,105 @@
+"""Tests for the RL-based sequential matcher."""
+
+import numpy as np
+import pytest
+
+from repro.core.rl import RLMatcher
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"top_k": 0}, {"episodes": -1}, {"exclusion_strength": -1.0}],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            RLMatcher(**kwargs)
+
+    def test_default_theta_copied(self):
+        a = RLMatcher()
+        b = RLMatcher()
+        a.theta[0] = 99.0
+        assert b.theta[0] != 99.0
+
+
+class TestInference:
+    def test_perfect_on_diagonal(self, identity_scores):
+        result = RLMatcher().match_scores(identity_scores)
+        assert result.as_set() == {(i, i) for i in range(15)}
+
+    def test_every_source_answered(self, random_scores):
+        result = RLMatcher().match_scores(random_scores)
+        assert sorted(result.pairs[:, 0].tolist()) == list(range(20))
+
+    def test_exclusiveness_reduces_collisions(self, rng):
+        latent = rng.normal(size=(30, 8))
+        source = latent + 0.4 * rng.normal(size=latent.shape)
+        target = latent + 0.4 * rng.normal(size=latent.shape)
+        from repro.core.greedy import DInf
+
+        greedy_targets = DInf().match(source, target).pairs[:, 1]
+        rl_targets = RLMatcher(confident_margin=10.0).match(source, target).pairs[:, 1]
+        assert len(np.unique(rl_targets)) >= len(np.unique(greedy_targets))
+
+    def test_prefilter_keeps_decisive_mutual_pairs(self):
+        matcher = RLMatcher(confident_margin=0.2)
+        scores = np.array([
+            [0.9, 0.1, 0.1],
+            [0.1, 0.8, 0.1],
+            [0.1, 0.1, 0.5],
+        ])
+        confident = matcher._confident_pairs(scores)
+        assert (0, 0) in {tuple(p) for p in confident}
+        assert (1, 1) in {tuple(p) for p in confident}
+
+    def test_prefilter_rejects_indecisive(self):
+        matcher = RLMatcher(confident_margin=0.2)
+        scores = np.array([[0.5, 0.45], [0.45, 0.5]])
+        assert len(matcher._confident_pairs(scores)) == 0
+
+    def test_memory_declares_profile_matrices(self, rng):
+        result = RLMatcher().match(rng.normal(size=(20, 8)), rng.normal(size=(25, 8)))
+        assert result.peak_bytes >= 20 * 25 * 8 + (20 * 20 + 25 * 25) * 4
+
+
+class TestFit:
+    def test_fit_returns_self(self, rng):
+        source = rng.normal(size=(40, 8))
+        target = rng.normal(size=(40, 8))
+        seeds = np.stack([np.arange(10), np.arange(10)], axis=1)
+        matcher = RLMatcher(episodes=3)
+        assert matcher.fit(source, target, seeds) is matcher
+        assert len(matcher.reward_history) == 3
+
+    def test_fit_requires_pairs(self, rng):
+        with pytest.raises(ValueError, match="seed pair"):
+            RLMatcher().fit(rng.normal(size=(4, 2)), rng.normal(size=(4, 2)),
+                            np.empty((0, 2)))
+
+    def test_reward_improves_on_learnable_task(self, rng):
+        latent = rng.normal(size=(60, 16))
+        source = latent + 0.2 * rng.normal(size=latent.shape)
+        target = latent + 0.2 * rng.normal(size=latent.shape)
+        seeds = np.stack([np.arange(60), np.arange(60)], axis=1)
+        matcher = RLMatcher(episodes=15, seed=0)
+        matcher.fit(source, target, seeds)
+        first = np.mean(matcher.reward_history[:3])
+        last = np.mean(matcher.reward_history[-3:])
+        assert last >= first - 0.05
+
+    def test_fit_then_match_at_least_greedy_quality(self, medium_task):
+        from repro.core.greedy import DInf
+        from repro.embedding.oracle import OracleConfig, OracleEncoder
+        from repro.eval.metrics import evaluate_pairs
+
+        emb = OracleEncoder(
+            OracleConfig(noise=0.45, cluster_size=8, cluster_spread=0.25, seed=4)
+        ).encode(medium_task)
+        pairs = medium_task.test_index_pairs()
+        src, tgt = emb.source[pairs[:, 0]], emb.target[pairs[:, 1]]
+        gold = [(i, i) for i in range(len(pairs))]
+        matcher = RLMatcher(seed=0)
+        matcher.fit(emb.source, emb.target, medium_task.seed_index_pairs())
+        rl_f1 = evaluate_pairs(matcher.match(src, tgt).pairs, gold).f1
+        dinf_f1 = evaluate_pairs(DInf().match(src, tgt).pairs, gold).f1
+        assert rl_f1 >= dinf_f1 - 0.03

@@ -1,0 +1,88 @@
+"""Tests for the Sinkhorn matcher."""
+
+import numpy as np
+import pytest
+
+from repro.core.sinkhorn import Sinkhorn, sinkhorn_scores
+
+
+class TestSinkhornScores:
+    def test_zero_iterations_is_softmax_kernel(self, random_scores):
+        out = sinkhorn_scores(random_scores, iterations=0, temperature=1.0)
+        np.testing.assert_allclose(out, np.exp(random_scores))
+
+    def test_rows_sum_to_one_after_row_pass(self, random_scores):
+        # After full iterations the matrix is close to doubly stochastic.
+        out = sinkhorn_scores(random_scores, iterations=50, temperature=0.1)
+        np.testing.assert_allclose(out.sum(axis=0), 1.0, atol=1e-6)
+
+    def test_approaches_doubly_stochastic(self, random_scores):
+        out = sinkhorn_scores(random_scores, iterations=100, temperature=0.1)
+        np.testing.assert_allclose(out.sum(axis=0), 1.0, atol=1e-6)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-3)
+
+    def test_nonnegative(self, random_scores):
+        out = sinkhorn_scores(random_scores, iterations=10, temperature=0.05)
+        assert out.min() >= 0.0
+
+    def test_low_temperature_sharpens_towards_assignment(self, identity_scores):
+        out = sinkhorn_scores(identity_scores, iterations=100, temperature=0.01)
+        np.testing.assert_allclose(np.diag(out), 1.0, atol=1e-2)
+
+    def test_numerically_stable_at_tiny_temperature(self, random_scores):
+        out = sinkhorn_scores(random_scores, iterations=20, temperature=1e-3)
+        assert np.all(np.isfinite(out))
+
+    def test_invalid_params(self, random_scores):
+        with pytest.raises(ValueError, match="iterations"):
+            sinkhorn_scores(random_scores, iterations=-1)
+        with pytest.raises(ValueError, match="temperature"):
+            sinkhorn_scores(random_scores, temperature=0.0)
+
+
+class TestSinkhornMatcher:
+    def test_perfect_on_diagonal(self, identity_scores):
+        result = Sinkhorn().match_scores(identity_scores)
+        assert result.as_set() == {(i, i) for i in range(15)}
+
+    def test_more_iterations_not_worse(self, medium_task, oracle_embeddings):
+        from repro.eval.metrics import evaluate_pairs
+
+        pairs = medium_task.test_index_pairs()
+        src = oracle_embeddings.source[pairs[:, 0]]
+        tgt = oracle_embeddings.target[pairs[:, 1]]
+        gold = [(i, i) for i in range(len(pairs))]
+        f1_low = evaluate_pairs(Sinkhorn(iterations=1).match(src, tgt).pairs, gold).f1
+        f1_high = evaluate_pairs(Sinkhorn(iterations=100).match(src, tgt).pairs, gold).f1
+        assert f1_high >= f1_low - 0.02
+
+    def test_approaches_hungarian_quality(self, medium_task):
+        from repro.core.hungarian import Hungarian
+        from repro.embedding.oracle import OracleConfig, OracleEncoder
+        from repro.eval.metrics import evaluate_pairs
+
+        emb = OracleEncoder(
+            OracleConfig(noise=0.45, cluster_size=8, cluster_spread=0.25, seed=2)
+        ).encode(medium_task)
+        pairs = medium_task.test_index_pairs()
+        src, tgt = emb.source[pairs[:, 0]], emb.target[pairs[:, 1]]
+        gold = [(i, i) for i in range(len(pairs))]
+        sink = evaluate_pairs(Sinkhorn().match(src, tgt).pairs, gold).f1
+        hun = evaluate_pairs(Hungarian().match(src, tgt).pairs, gold).f1
+        assert abs(sink - hun) < 0.1
+
+    def test_implicit_one_to_one(self, rng):
+        # With enough iterations, the greedy decode over the Sinkhorn
+        # matrix yields (nearly) collision-free assignments.
+        latent = rng.normal(size=(30, 8))
+        source = latent + 0.3 * rng.normal(size=latent.shape)
+        target = latent + 0.3 * rng.normal(size=latent.shape)
+        result = Sinkhorn(iterations=200).match(source, target)
+        targets = result.pairs[:, 1]
+        assert len(np.unique(targets)) >= 28
+
+    def test_invalid_constructor(self):
+        with pytest.raises(ValueError):
+            Sinkhorn(iterations=-5)
+        with pytest.raises(ValueError):
+            Sinkhorn(temperature=-1.0)

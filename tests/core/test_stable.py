@@ -1,0 +1,107 @@
+"""Tests for stable matching (Gale-Shapley / SMat)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stable import StableMatch, gale_shapley, is_stable
+
+
+class TestGaleShapley:
+    def test_perfect_on_diagonal(self, identity_scores):
+        pairs, _ = gale_shapley(identity_scores)
+        np.testing.assert_array_equal(pairs[:, 0], pairs[:, 1])
+
+    def test_output_is_stable(self, rng):
+        for _ in range(10):
+            scores = rng.random((12, 12))
+            pairs, _ = gale_shapley(scores)
+            assert is_stable(scores, pairs)
+
+    def test_square_matches_everyone(self, random_scores):
+        pairs, _ = gale_shapley(random_scores)
+        assert len(pairs) == 20
+        assert len(set(pairs[:, 0].tolist())) == 20
+        assert len(set(pairs[:, 1].tolist())) == 20
+
+    def test_more_sources_leaves_surplus_unmatched(self, rng):
+        scores = rng.random((10, 6))
+        pairs, _ = gale_shapley(scores)
+        assert len(pairs) == 6
+        assert is_stable(scores, pairs)
+
+    def test_more_targets_matches_all_sources(self, rng):
+        scores = rng.random((6, 10))
+        pairs, _ = gale_shapley(scores)
+        assert len(pairs) == 6
+        assert is_stable(scores, pairs)
+
+    def test_scores_returned_match_pairs(self, random_scores):
+        pairs, pair_scores = gale_shapley(random_scores)
+        np.testing.assert_allclose(
+            pair_scores, random_scores[pairs[:, 0], pairs[:, 1]]
+        )
+
+    def test_textbook_instance(self):
+        # Classic 3x3 instance with known source-optimal outcome.
+        # Source preferences (by score): s0: t0>t1>t2, s1: t0>t2>t1, s2: t1>t0>t2
+        scores = np.array([
+            [0.9, 0.5, 0.1],
+            [0.9, 0.1, 0.5],
+            [0.5, 0.9, 0.1],
+        ])
+        pairs, _ = gale_shapley(scores)
+        matched = dict(map(tuple, pairs))
+        assert is_stable(scores, pairs)
+        # t0 prefers s0 or s1 equally scored 0.9? ties broken stably; just
+        # require a perfect matching of all three.
+        assert sorted(matched.values()) == [0, 1, 2]
+
+    def test_source_optimality(self, rng):
+        # Deferred acceptance with sources proposing yields the
+        # source-optimal stable matching: no other stable matching gives
+        # any source a strictly better partner.  Spot-check by comparing
+        # with the target-proposing matching.
+        scores = rng.random((8, 8))
+        source_pairs, _ = gale_shapley(scores)
+        target_pairs_t, _ = gale_shapley(scores.T)
+        source_partner = dict(map(tuple, source_pairs))
+        target_partner = {int(s): int(t) for t, s in target_pairs_t}
+        for source, partner in source_partner.items():
+            other = target_partner[source]
+            assert scores[source, partner] >= scores[source, other] - 1e-12
+
+
+class TestIsStable:
+    def test_detects_blocking_pair(self):
+        scores = np.array([[0.9, 0.1], [0.1, 0.9]])
+        bad_pairs = np.array([[0, 1], [1, 0]])  # both prefer the swap
+        assert not is_stable(scores, bad_pairs)
+
+    def test_accepts_good_matching(self):
+        scores = np.array([[0.9, 0.1], [0.1, 0.9]])
+        good_pairs = np.array([[0, 0], [1, 1]])
+        assert is_stable(scores, good_pairs)
+
+    def test_unmatched_entities_can_block(self, rng):
+        # An unmatched source prefers anything; if some target also
+        # prefers it over its partner, that's a blocking pair.
+        scores = np.array([[0.5, 0.4], [0.9, 0.1]])
+        pairs = np.array([[0, 0]])  # s1 unmatched, but t0 prefers s1
+        assert not is_stable(scores, pairs)
+
+
+class TestStableMatchMatcher:
+    def test_name(self):
+        assert StableMatch().name == "SMat"
+
+    def test_memory_declares_preference_lists(self, rng):
+        result = StableMatch().match(rng.normal(size=(20, 8)), rng.normal(size=(20, 8)))
+        # similarity + preference lists / rank lookup / argsort buffers
+        assert result.peak_bytes == 20 * 20 * 8 * 5
+
+    def test_stability_end_to_end(self, rng):
+        source, target = rng.normal(size=(15, 6)), rng.normal(size=(15, 6))
+        from repro.similarity.metrics import cosine_similarity
+
+        result = StableMatch().match(source, target)
+        assert is_stable(cosine_similarity(source, target), result.pairs)

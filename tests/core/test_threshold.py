@@ -1,0 +1,93 @@
+"""Tests for the threshold/abstention extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import DInf
+from repro.core.threshold import ThresholdMatcher, calibrate_threshold
+
+
+class TestThresholdMatcher:
+    def test_name_includes_threshold(self):
+        assert ThresholdMatcher(DInf(), 0.5).name == "DInf@0.50"
+
+    def test_below_threshold_dropped(self, identity_scores):
+        # Diagonal scores are 0.9; threshold 0.95 drops everything.
+        result = ThresholdMatcher(DInf(), 0.95).match_scores(identity_scores)
+        assert len(result.pairs) == 0
+
+    def test_above_threshold_kept(self, identity_scores):
+        result = ThresholdMatcher(DInf(), 0.5).match_scores(identity_scores)
+        assert result.as_set() == {(i, i) for i in range(15)}
+
+    def test_partial_abstention(self):
+        scores = np.array([[0.9, 0.0], [0.3, 0.2]])
+        result = ThresholdMatcher(DInf(), 0.5).match_scores(scores)
+        assert result.as_set() == {(0, 0)}
+
+    def test_threshold_minus_inf_is_identity(self, random_scores):
+        plain = DInf().match_scores(random_scores)
+        wrapped = ThresholdMatcher(DInf(), -np.inf).match_scores(random_scores)
+        assert plain.as_set() == wrapped.as_set()
+
+    def test_match_from_embeddings(self, rng):
+        result = ThresholdMatcher(DInf(), -1.0).match(
+            rng.normal(size=(5, 4)), rng.normal(size=(5, 4))
+        )
+        assert len(result.pairs) == 5
+
+    def test_improves_precision_under_unmatchables(self, medium_task):
+        """The extension's point: abstention converts unmatchable queries
+        into non-answers instead of false positives."""
+        from repro.datasets.unmatchable import UnmatchableConfig, add_unmatchable_entities
+        from repro.eval.metrics import evaluate_pairs
+        from repro.experiments.regimes import build_embeddings
+        from repro.experiments.runner import _gold_local_pairs
+
+        task = add_unmatchable_entities(medium_task, UnmatchableConfig(seed=2))
+        emb = build_embeddings(task, "R", preset_name="dbp15k/x")
+        queries = task.test_query_ids()
+        candidates = task.candidate_target_ids()
+        src, tgt = emb.source[queries], emb.target[candidates]
+        gold = _gold_local_pairs(task, queries, candidates)
+
+        plain = evaluate_pairs(DInf().match(src, tgt).pairs, gold)
+        # Threshold at the weakest quartile of the score distribution:
+        # unmatchable queries dominate the low tail.
+        base = DInf().match(src, tgt)
+        cutoff = float(np.quantile(base.scores, 0.25))
+        filtered = evaluate_pairs(
+            ThresholdMatcher(DInf(), cutoff).match(src, tgt).pairs, gold
+        )
+        assert filtered.precision > plain.precision
+
+
+class TestCalibrateThreshold:
+    def test_returns_finite_or_neginf(self, random_scores):
+        gold = [(i, int(random_scores[i].argmax())) for i in range(5)]
+        threshold = calibrate_threshold(DInf(), random_scores, gold)
+        assert threshold <= random_scores.max()
+
+    def test_perfect_data_prefers_no_abstention(self, identity_scores):
+        gold = [(i, i) for i in range(15)]
+        threshold = calibrate_threshold(DInf(), identity_scores, gold)
+        result = ThresholdMatcher(DInf(), threshold).match_scores(identity_scores)
+        assert result.as_set() == set(gold)
+
+    def test_noisy_tail_cut(self):
+        # Gold covers rows 0-3; rows 4-9 are unmatchable noise with lower
+        # best scores: the calibrated threshold should cut them.
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(0.0, 0.2, size=(10, 6))
+        for i in range(4):
+            scores[i, i] = 0.9
+        gold = [(i, i) for i in range(4)]
+        threshold = calibrate_threshold(DInf(), scores, gold)
+        result = ThresholdMatcher(DInf(), threshold).match_scores(scores)
+        from repro.eval.metrics import evaluate_pairs
+
+        assert evaluate_pairs(result.pairs, gold).f1 == 1.0
+
+    def test_invalid_quantiles(self, random_scores):
+        with pytest.raises(ValueError, match="quantiles"):
+            calibrate_threshold(DInf(), random_scores, [], quantiles=0)

@@ -1,0 +1,81 @@
+"""Tests for synthetic entity-name generation and corruption."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.names import corrupt_name, generate_entity_names
+
+
+class TestGenerateEntityNames:
+    def test_count(self):
+        assert len(generate_entity_names(25, seed=0)) == 25
+
+    def test_unique(self):
+        names = generate_entity_names(500, seed=1)
+        assert len(set(names)) == 500
+
+    def test_deterministic(self):
+        assert generate_entity_names(20, seed=3) == generate_entity_names(20, seed=3)
+
+    def test_zero_count(self):
+        assert generate_entity_names(0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            generate_entity_names(-1)
+
+    def test_syllable_bounds(self):
+        names = generate_entity_names(50, seed=0, min_syllables=2, max_syllables=2)
+        assert all(len(name) == 4 for name in names)
+
+    def test_invalid_syllables(self):
+        with pytest.raises(ValueError):
+            generate_entity_names(5, min_syllables=3, max_syllables=2)
+
+    def test_names_are_lowercase_ascii(self):
+        for name in generate_entity_names(50, seed=2):
+            assert name.isascii()
+            assert name == name.lower()
+
+
+class TestCorruptName:
+    def test_zero_rate_is_identity(self, rng):
+        assert corrupt_name("berlin", 0.0, rng) == "berlin"
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError, match="edit_rate"):
+            corrupt_name("berlin", 1.5, rng)
+
+    def test_empty_name_unchanged(self, rng):
+        assert corrupt_name("", 0.5, rng) == ""
+
+    def test_never_empty_result(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert corrupt_name("ab", 1.0, rng) != ""
+
+    def test_low_rate_mostly_preserves(self):
+        rng = np.random.default_rng(0)
+        name = "abcdefghij"
+        changed = sum(corrupt_name(name, 0.05, rng) != name for _ in range(100))
+        assert changed < 80
+
+    def test_high_rate_mostly_changes(self):
+        rng = np.random.default_rng(0)
+        name = "abcdefghij"
+        changed = sum(corrupt_name(name, 0.8, rng) != name for _ in range(100))
+        assert changed > 95
+
+    def test_rate_controls_edit_distance(self):
+        # The cross-KG signal knob: more edits at higher rates, on average.
+        rng = np.random.default_rng(1)
+        name = "abcdefghijklmnop"
+
+        def mean_length_change(rate):
+            return np.mean([
+                abs(len(corrupt_name(name, rate, rng)) - len(name)) +
+                sum(a != b for a, b in zip(corrupt_name(name, rate, rng), name))
+                for _ in range(200)
+            ])
+
+        assert mean_length_change(0.5) > mean_length_change(0.1)

@@ -1,0 +1,98 @@
+"""Tests for the FB_DBP_MUL-style non-1-to-1 generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets.non_one_to_one import NonOneToOneConfig, generate_non_one_to_one_task
+from repro.kg.stats import dataset_statistics
+
+
+@pytest.fixture(scope="module")
+def mul_task():
+    config = NonOneToOneConfig(
+        num_entities=150, num_relations=8,
+        one_to_many_fraction=0.3, many_to_one_fraction=0.3,
+        many_to_many_fraction=0.1, seed=13, name="mul",
+    )
+    return generate_non_one_to_one_task(config)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        NonOneToOneConfig()
+
+    def test_fractions_sum_checked(self):
+        with pytest.raises(ValueError, match="sum"):
+            NonOneToOneConfig(
+                one_to_many_fraction=0.5, many_to_one_fraction=0.5,
+                many_to_many_fraction=0.5,
+            )
+
+    def test_max_duplicates_checked(self):
+        with pytest.raises(ValueError, match="max_duplicates"):
+            NonOneToOneConfig(max_duplicates=1)
+
+
+class TestGeneration:
+    def test_has_non_one_to_one_links(self, mul_task):
+        stats = dataset_statistics(mul_task)
+        assert stats.num_non_one_to_one_links > stats.num_one_to_one_links
+
+    def test_link_types_present(self, mul_task):
+        links = mul_task.split.all_links
+        source_counts = Counter(src for src, _ in links)
+        target_counts = Counter(tgt for _, tgt in links)
+        assert any(count > 1 for count in source_counts.values())  # 1-to-many
+        assert any(count > 1 for count in target_counts.values())  # many-to-1
+
+    def test_cluster_completeness(self, mul_task):
+        # Copies of base entity i: links are the full bipartite product,
+        # so #links for the cluster equals (#source copies) x (#target copies).
+        links = mul_task.split.all_links
+        by_base: dict[str, set] = {}
+        for src, tgt in links:
+            base = src.split("_")[0][1:]
+            by_base.setdefault(base, set()).add((src, tgt))
+        for base, cluster_links in by_base.items():
+            sources = {s for s, _ in cluster_links}
+            targets = {t for _, t in cluster_links}
+            assert len(cluster_links) == len(sources) * len(targets)
+
+    def test_entity_disjoint_split(self, mul_task):
+        # No entity may appear in two different splits.
+        parts = {
+            "train": mul_task.split.train,
+            "validation": mul_task.split.validation,
+            "test": mul_task.split.test,
+        }
+        seen_sources: dict[str, str] = {}
+        seen_targets: dict[str, str] = {}
+        for part_name, links in parts.items():
+            for src, tgt in links:
+                assert seen_sources.setdefault(src, part_name) == part_name
+                assert seen_targets.setdefault(tgt, part_name) == part_name
+
+    def test_no_isolated_copies(self, mul_task):
+        degrees = mul_task.source.degrees()
+        assert degrees.min() >= 1
+
+    def test_all_copies_linked(self, mul_task):
+        linked_sources = {src for src, _ in mul_task.split.all_links}
+        assert linked_sources == set(mul_task.source.entities)
+
+    def test_display_names_cover_all(self, mul_task):
+        assert set(mul_task.source_names) == set(mul_task.source.entities)
+        assert set(mul_task.target_names) == set(mul_task.target.entities)
+
+    def test_deterministic(self):
+        config = NonOneToOneConfig(num_entities=60, seed=21)
+        a = generate_non_one_to_one_task(config)
+        b = generate_non_one_to_one_task(config)
+        assert a.split == b.split
+
+    def test_duplicate_counts_respect_max(self, mul_task):
+        links = mul_task.split.all_links
+        source_counts = Counter(src for src, _ in links)
+        # A source's link count = #target copies of its base, <= max_duplicates.
+        assert max(source_counts.values()) <= 3

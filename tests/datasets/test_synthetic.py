@@ -1,0 +1,158 @@
+"""Tests for the correlated KG-pair generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair, generate_kg
+from repro.kg.stats import dataset_statistics
+
+
+class TestKGPairConfig:
+    def test_defaults_valid(self):
+        KGPairConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_entities": 1},
+            {"num_relations": 0},
+            {"average_degree": 0.0},
+            {"heterogeneity": 1.5},
+        ],
+    )
+    def test_invalid_configs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            KGPairConfig(**kwargs)
+
+
+class TestGenerateKG:
+    def test_counts(self):
+        graph = generate_kg(100, 8, 4.0, seed=0)
+        assert graph.num_entities == 100
+        assert graph.num_relations == 8
+
+    def test_average_degree_close_to_target(self):
+        graph = generate_kg(300, 10, 4.0, seed=1)
+        assert graph.average_degree() == pytest.approx(4.0, rel=0.15)
+
+    def test_sparse_degree(self):
+        graph = generate_kg(300, 10, 2.3, seed=1)
+        assert graph.average_degree() == pytest.approx(2.3, rel=0.2)
+
+    def test_deterministic(self):
+        a = generate_kg(50, 5, 3.0, seed=7)
+        b = generate_kg(50, 5, 3.0, seed=7)
+        assert {tuple(t) for t in a.triples()} == {tuple(t) for t in b.triples()}
+
+    def test_connected(self):
+        import networkx as nx
+
+        graph = generate_kg(80, 5, 3.0, seed=2)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(graph.num_entities))
+        for head, _, tail in graph.triple_ids:
+            nx_graph.add_edge(int(head), int(tail))
+        assert nx.is_connected(nx_graph)
+
+    def test_scale_free_skew(self):
+        # Preferential attachment: the max degree far exceeds the mean.
+        graph = generate_kg(500, 10, 4.0, seed=3)
+        degrees = graph.degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_zipf_relation_distribution(self):
+        graph = generate_kg(500, 20, 4.0, seed=4)
+        counts = sorted(graph.relation_triples().values(), reverse=True)
+        assert counts[0] > 3 * counts[len(counts) // 2]
+
+
+class TestGenerateAlignedPair:
+    def test_one_to_one_links(self):
+        task = generate_aligned_pair(KGPairConfig(num_entities=80, seed=0))
+        stats = dataset_statistics(task)
+        assert stats.num_gold_links == 80
+        assert stats.num_non_one_to_one_links == 0
+
+    def test_every_entity_linked(self):
+        task = generate_aligned_pair(KGPairConfig(num_entities=60, seed=1))
+        sources = {src for src, _ in task.split.all_links}
+        targets = {tgt for _, tgt in task.split.all_links}
+        assert sources == set(task.source.entities)
+        assert targets == set(task.target.entities)
+
+    def test_target_ids_shuffled(self):
+        task = generate_aligned_pair(KGPairConfig(num_entities=100, seed=2))
+        aligned_ids = [
+            (task.source.entity_id(s), task.target.entity_id(t))
+            for s, t in task.split.all_links
+        ]
+        mismatched = sum(1 for s, t in aligned_ids if s != t)
+        assert mismatched > 50  # index equality carries no signal
+
+    def test_heterogeneity_zero_gives_isomorphic_views(self):
+        task = generate_aligned_pair(
+            KGPairConfig(num_entities=60, heterogeneity=0.0, seed=3)
+        )
+        gold = dict(task.split.all_links)
+        source_edges = {
+            frozenset((gold[t.subject], gold[t.object])) for t in task.source.triples()
+        }
+        target_edges = {
+            frozenset((t.subject, t.object)) for t in task.target.triples()
+        }
+        assert source_edges == target_edges
+
+    def test_heterogeneity_controls_overlap(self):
+        def overlap(heterogeneity):
+            task = generate_aligned_pair(
+                KGPairConfig(num_entities=150, heterogeneity=heterogeneity, seed=4)
+            )
+            gold = dict(task.split.all_links)
+            source_edges = {
+                frozenset((gold[t.subject], gold[t.object]))
+                for t in task.source.triples()
+            }
+            target_edges = {
+                frozenset((t.subject, t.object)) for t in task.target.triples()
+            }
+            return len(source_edges & target_edges) / len(source_edges)
+
+        assert overlap(0.05) > overlap(0.4)
+
+    def test_display_names_present(self):
+        task = generate_aligned_pair(KGPairConfig(num_entities=40, seed=5))
+        assert set(task.source_names) == set(task.source.entities)
+        assert set(task.target_names) == set(task.target.entities)
+
+    def test_name_edit_rate_zero_gives_identical_names(self):
+        task = generate_aligned_pair(
+            KGPairConfig(num_entities=40, name_edit_rate=0.0, seed=6)
+        )
+        for src, tgt in task.split.all_links:
+            assert task.source_names[src] == task.target_names[tgt]
+
+    def test_split_fractions(self):
+        task = generate_aligned_pair(
+            KGPairConfig(num_entities=100, train_fraction=0.3,
+                         validation_fraction=0.1, seed=7)
+        )
+        assert len(task.split.train) == 30
+        assert len(task.split.validation) == 10
+        assert len(task.split.test) == 60
+
+    def test_deterministic(self):
+        config = KGPairConfig(num_entities=50, seed=8)
+        a = generate_aligned_pair(config)
+        b = generate_aligned_pair(config)
+        assert a.split == b.split
+        assert {tuple(t) for t in a.source.triples()} == {
+            tuple(t) for t in b.source.triples()
+        }
+
+    def test_density_preserved_under_heterogeneity(self):
+        dense = generate_aligned_pair(
+            KGPairConfig(num_entities=200, average_degree=4.0,
+                         heterogeneity=0.3, seed=9)
+        )
+        assert dense.source.average_degree() == pytest.approx(4.0, rel=0.2)
+        assert dense.target.average_degree() == pytest.approx(4.0, rel=0.2)

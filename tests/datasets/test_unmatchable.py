@@ -1,0 +1,89 @@
+"""Tests for the unmatchable-entity (DBP15K+) adaptation."""
+
+import pytest
+
+from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair
+from repro.datasets.unmatchable import UnmatchableConfig, add_unmatchable_entities
+
+
+@pytest.fixture(scope="module")
+def base_task():
+    return generate_aligned_pair(
+        KGPairConfig(num_entities=80, num_relations=6, seed=11, name="base")
+    )
+
+
+@pytest.fixture(scope="module")
+def plus_task(base_task):
+    config = UnmatchableConfig(unmatchable_fraction=0.5, attachment_degree=2, seed=1)
+    return add_unmatchable_entities(base_task, config)
+
+
+class TestUnmatchableConfig:
+    def test_defaults_valid(self):
+        UnmatchableConfig()
+
+    def test_target_fraction_defaults_to_half(self):
+        config = UnmatchableConfig(unmatchable_fraction=0.4)
+        assert config.effective_target_fraction == pytest.approx(0.2)
+
+    def test_explicit_target_fraction(self):
+        config = UnmatchableConfig(unmatchable_fraction=0.4, target_fraction=0.1)
+        assert config.effective_target_fraction == pytest.approx(0.1)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            UnmatchableConfig(unmatchable_fraction=3.0)
+
+    def test_invalid_attachment(self):
+        with pytest.raises(ValueError):
+            UnmatchableConfig(attachment_degree=0)
+
+
+class TestAddUnmatchableEntities:
+    def test_counts_asymmetric(self, base_task, plus_task):
+        num_test = len(base_task.split.test)
+        assert len(plus_task.unmatchable_source) == round(0.5 * num_test)
+        assert len(plus_task.unmatchable_target) == round(0.25 * num_test)
+
+    def test_gold_links_unchanged(self, base_task, plus_task):
+        assert plus_task.split == base_task.split
+
+    def test_grafted_entities_in_kgs(self, plus_task):
+        for entity in plus_task.unmatchable_source:
+            assert plus_task.source.has_entity(entity)
+        for entity in plus_task.unmatchable_target:
+            assert plus_task.target.has_entity(entity)
+
+    def test_grafted_entities_have_structure(self, plus_task):
+        for entity in plus_task.unmatchable_source:
+            degree = plus_task.source.degrees()[plus_task.source.entity_id(entity)]
+            assert degree >= 1
+
+    def test_original_triples_preserved(self, base_task, plus_task):
+        original = {tuple(t) for t in base_task.source.triples()}
+        extended = {tuple(t) for t in plus_task.source.triples()}
+        assert original <= extended
+
+    def test_grafted_entities_have_fresh_names(self, base_task, plus_task):
+        base_names = set(base_task.source_names.values()) | set(
+            base_task.target_names.values()
+        )
+        for entity in plus_task.unmatchable_source:
+            assert plus_task.source_names[entity] not in base_names
+
+    def test_queries_include_unmatchables(self, base_task, plus_task):
+        extra = len(plus_task.test_query_ids()) - len(base_task.test_query_ids())
+        assert extra == len(plus_task.unmatchable_source)
+
+    def test_name_suffix(self, plus_task):
+        assert plus_task.name.endswith("+")
+
+    def test_deterministic(self, base_task):
+        config = UnmatchableConfig(unmatchable_fraction=0.3, seed=5)
+        a = add_unmatchable_entities(base_task, config)
+        b = add_unmatchable_entities(base_task, config)
+        assert a.unmatchable_source == b.unmatchable_source
+        assert {tuple(t) for t in a.source.triples()} == {
+            tuple(t) for t in b.source.triples()
+        }

@@ -1,0 +1,87 @@
+"""Tests for the named dataset presets."""
+
+import pytest
+
+from repro.datasets.zoo import (
+    DATASET_PRESETS,
+    DBP15K_PRESETS,
+    DWY100K_PRESETS,
+    SRPRS_PRESETS,
+    list_presets,
+    load_preset,
+)
+from repro.kg.stats import dataset_statistics
+
+
+class TestPresetCatalog:
+    def test_all_groups_registered(self):
+        for preset in DBP15K_PRESETS + SRPRS_PRESETS + DWY100K_PRESETS:
+            assert preset in DATASET_PRESETS
+
+    def test_list_presets_includes_settings(self):
+        names = list_presets()
+        assert "fb_dbp_mul" in names
+        assert "dbp15k_plus/zh_en" in names
+        assert "dbp15k/zh_en" in names
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            load_preset("dbp15k/nope")
+
+
+class TestPresetProperties:
+    @pytest.mark.parametrize("preset", DBP15K_PRESETS)
+    def test_dbp_density(self, preset):
+        task = load_preset(preset, scale=0.4)
+        stats = dataset_statistics(task)
+        assert stats.average_degree > 3.5  # dense family
+
+    @pytest.mark.parametrize("preset", SRPRS_PRESETS)
+    def test_srprs_density(self, preset):
+        task = load_preset(preset, scale=0.4)
+        stats = dataset_statistics(task)
+        assert stats.average_degree < 3.2  # sparse family
+
+    def test_scale_changes_size(self):
+        small = load_preset("dbp15k/zh_en", scale=0.2)
+        full = load_preset("dbp15k/zh_en", scale=0.4)
+        assert full.source.num_entities == 2 * small.source.num_entities
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_preset("dbp15k/zh_en", scale=0.0)
+
+    def test_seed_override_changes_data(self):
+        a = load_preset("srprs/en_fr", scale=0.2)
+        b = load_preset("srprs/en_fr", scale=0.2, seed=999)
+        assert a.split != b.split
+
+    def test_plus_preset_has_unmatchables(self):
+        task = load_preset("dbp15k_plus/zh_en", scale=0.3)
+        assert len(task.unmatchable_source) > 0
+        assert len(task.unmatchable_target) > 0
+        # Asymmetric by construction (source side gets more).
+        assert len(task.unmatchable_source) > len(task.unmatchable_target)
+
+    def test_fb_preset_is_non_one_to_one(self):
+        task = load_preset("fb_dbp_mul", scale=0.3)
+        stats = dataset_statistics(task)
+        assert stats.num_non_one_to_one_links > 0
+
+    def test_monolingual_names_nearly_identical(self):
+        task = load_preset("srprs/dbp_yg", scale=0.3)
+        gold = dict(task.split.all_links)
+        same = sum(
+            task.source_names[s] == task.target_names[gold[s]]
+            for s in list(gold)[:100]
+        )
+        assert same > 50  # name_edit_rate 0.05: most names survive intact
+
+    def test_multilingual_names_differ(self):
+        task = load_preset("dbp15k/zh_en", scale=0.3)
+        gold = dict(task.split.all_links)
+        same = sum(
+            task.source_names[s] == task.target_names[gold[s]]
+            for s in list(gold)[:100]
+        )
+        assert same < 50

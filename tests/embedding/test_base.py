@@ -1,0 +1,52 @@
+"""Tests for the UnifiedEmbeddings container."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.base import EmbeddingModel, UnifiedEmbeddings
+
+
+class TestUnifiedEmbeddings:
+    def test_construction(self, rng):
+        emb = UnifiedEmbeddings(rng.normal(size=(4, 8)), rng.normal(size=(6, 8)))
+        assert emb.dim == 8
+
+    def test_dim_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="embedding dimension"):
+            UnifiedEmbeddings(rng.normal(size=(4, 8)), rng.normal(size=(6, 7)))
+
+    def test_nan_rejected(self):
+        bad = np.ones((2, 3))
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            UnifiedEmbeddings(bad, np.ones((2, 3)))
+
+    def test_normalized_unit_rows(self, rng):
+        emb = UnifiedEmbeddings(rng.normal(size=(5, 6)), rng.normal(size=(5, 6)))
+        normed = emb.normalized()
+        np.testing.assert_allclose(np.linalg.norm(normed.source, axis=1), 1.0)
+        np.testing.assert_allclose(np.linalg.norm(normed.target, axis=1), 1.0)
+
+    def test_normalized_preserves_direction(self, rng):
+        source = rng.normal(size=(5, 6))
+        emb = UnifiedEmbeddings(source, source.copy())
+        normed = emb.normalized()
+        cosines = np.sum(
+            normed.source * source / np.linalg.norm(source, axis=1, keepdims=True),
+            axis=1,
+        )
+        np.testing.assert_allclose(cosines, 1.0)
+
+    def test_normalized_zero_row_stays_zero(self):
+        source = np.zeros((2, 3))
+        source[1] = [1.0, 0.0, 0.0]
+        emb = UnifiedEmbeddings(source, source.copy())
+        normed = emb.normalized()
+        np.testing.assert_allclose(normed.source[0], 0.0)
+
+    def test_protocol_recognises_encoders(self):
+        from repro.embedding.name_encoder import NameEncoder
+        from repro.embedding.oracle import OracleEncoder
+
+        assert isinstance(NameEncoder(), EmbeddingModel)
+        assert isinstance(OracleEncoder(), EmbeddingModel)

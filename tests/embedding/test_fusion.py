@@ -1,0 +1,60 @@
+"""Tests for structural/name embedding fusion."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.base import UnifiedEmbeddings
+from repro.embedding.fusion import fuse_embeddings
+from repro.similarity.metrics import cosine_similarity
+
+
+def make_views(rng, n=10, d1=6, d2=4):
+    structural = UnifiedEmbeddings(rng.normal(size=(n, d1)), rng.normal(size=(n, d1)))
+    name = UnifiedEmbeddings(rng.normal(size=(n, d2)), rng.normal(size=(n, d2)))
+    return structural, name
+
+
+class TestFuseEmbeddings:
+    def test_output_dim_is_sum(self, rng):
+        structural, name = make_views(rng)
+        fused = fuse_embeddings(structural, name, 0.5)
+        assert fused.dim == 10
+
+    def test_weight_zero_equals_structure_only(self, rng):
+        structural, name = make_views(rng)
+        fused = fuse_embeddings(structural, name, 0.0)
+        expected = cosine_similarity(
+            structural.normalized().source, structural.normalized().target
+        )
+        got = cosine_similarity(fused.source, fused.target)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_weight_one_equals_names_only(self, rng):
+        structural, name = make_views(rng)
+        fused = fuse_embeddings(structural, name, 1.0)
+        expected = cosine_similarity(name.normalized().source, name.normalized().target)
+        got = cosine_similarity(fused.source, fused.target)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_cosine_is_weighted_average_of_views(self, rng):
+        structural, name = make_views(rng)
+        weight = 0.3
+        fused = fuse_embeddings(structural, name, weight)
+        sim_fused = cosine_similarity(fused.source, fused.target)
+        sim_struct = cosine_similarity(
+            structural.normalized().source, structural.normalized().target
+        )
+        sim_name = cosine_similarity(name.normalized().source, name.normalized().target)
+        expected = (1 - weight) * sim_struct + weight * sim_name
+        np.testing.assert_allclose(sim_fused, expected, atol=1e-9)
+
+    def test_invalid_weight(self, rng):
+        structural, name = make_views(rng)
+        with pytest.raises(ValueError, match="name_weight"):
+            fuse_embeddings(structural, name, 1.5)
+
+    def test_row_count_mismatch_rejected(self, rng):
+        structural, _ = make_views(rng, n=10)
+        _, name = make_views(rng, n=12)
+        with pytest.raises(ValueError, match="source entity count"):
+            fuse_embeddings(structural, name)

@@ -1,0 +1,90 @@
+"""Tests for the GCN encoder."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.gcn import GCNEncoder, seed_anchor_features
+from repro.similarity.metrics import cosine_similarity
+
+
+def hits_at_1(embeddings, task):
+    test = task.test_index_pairs()
+    sim = cosine_similarity(embeddings.source[test[:, 0]], embeddings.target)
+    return float((sim.argmax(axis=1) == test[:, 1]).mean())
+
+
+class TestSeedAnchorFeatures:
+    def test_shapes(self, rng):
+        pairs = np.array([[0, 1], [2, 3]])
+        x_s, x_t = seed_anchor_features(5, 6, pairs, 8, rng)
+        assert x_s.shape == (5, 8)
+        assert x_t.shape == (6, 8)
+
+    def test_seed_rows_match_across_sides(self, rng):
+        pairs = np.array([[0, 1], [2, 3]])
+        x_s, x_t = seed_anchor_features(5, 6, pairs, 8, rng)
+        np.testing.assert_array_equal(x_s[0], x_t[1])
+        np.testing.assert_array_equal(x_s[2], x_t[3])
+
+    def test_non_seed_rows_zero(self, rng):
+        pairs = np.array([[0, 1]])
+        x_s, _ = seed_anchor_features(4, 4, pairs, 8, rng)
+        np.testing.assert_array_equal(x_s[1:], 0.0)
+
+    def test_repeated_seed_entity_accumulates(self, rng):
+        # Non-1-to-1 seed links: entity 0 appears in two pairs.
+        pairs = np.array([[0, 1], [0, 2]])
+        x_s, x_t = seed_anchor_features(3, 3, pairs, 8, rng)
+        np.testing.assert_allclose(x_s[0], x_t[1] + x_t[2])
+
+
+class TestGCNEncoder:
+    def test_output_shapes_and_norms(self, small_task):
+        emb = GCNEncoder(dim=16, seed=0).encode(small_task)
+        assert emb.source.shape == (small_task.source.num_entities, 16)
+        norms = np.linalg.norm(emb.source, axis=1)
+        assert np.all(norms <= 1.0 + 1e-9)
+
+    def test_beats_random_guessing(self, medium_task):
+        emb = GCNEncoder(seed=0).encode(medium_task)
+        chance = 1.0 / medium_task.target.num_entities
+        assert hits_at_1(emb, medium_task) > 10 * chance
+
+    def test_deterministic(self, small_task):
+        a = GCNEncoder(seed=3).encode(small_task)
+        b = GCNEncoder(seed=3).encode(small_task)
+        np.testing.assert_array_equal(a.source, b.source)
+
+    def test_seed_changes_output(self, small_task):
+        a = GCNEncoder(seed=1).encode(small_task)
+        b = GCNEncoder(seed=2).encode(small_task)
+        assert not np.array_equal(a.source, b.source)
+
+    def test_fine_tuning_runs_and_records_loss(self, small_task):
+        encoder = GCNEncoder(seed=0, fine_tune_epochs=5)
+        encoder.encode(small_task)
+        assert len(encoder.loss_history) == 5
+
+    def test_fine_tuning_not_harmful(self, medium_task):
+        plain = GCNEncoder(seed=0).encode(medium_task)
+        tuned_encoder = GCNEncoder(seed=0, fine_tune_epochs=20)
+        tuned = tuned_encoder.encode(medium_task)
+        assert hits_at_1(tuned, medium_task) >= hits_at_1(plain, medium_task) - 0.1
+
+    def test_requires_seed_pairs(self, small_task):
+        from dataclasses import replace
+
+        from repro.kg.pair import AlignmentSplit, AlignmentTask
+
+        empty_split = AlignmentSplit((), (), small_task.split.all_links)
+        no_seed_task = AlignmentTask(
+            small_task.source, small_task.target, empty_split
+        )
+        with pytest.raises(ValueError, match="seed pair"):
+            GCNEncoder().encode(no_seed_task)
+
+    @pytest.mark.parametrize("kwargs", [{"dim": 0}, {"num_layers": 0},
+                                        {"fine_tune_epochs": -1}])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            GCNEncoder(**kwargs)

@@ -1,0 +1,80 @@
+"""Tests for the character n-gram name encoder."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.name_encoder import NameEncoder
+
+
+class TestEncodeName:
+    def test_unit_norm(self):
+        encoder = NameEncoder()
+        for name in ("berlin", "a", "", "漢字"):
+            vector = encoder.encode_name(name)
+            assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = NameEncoder().encode_name("paris")
+        b = NameEncoder().encode_name("paris")
+        np.testing.assert_array_equal(a, b)
+
+    def test_identical_names_identical_vectors(self):
+        encoder = NameEncoder()
+        np.testing.assert_array_equal(
+            encoder.encode_name("tokyo"), encoder.encode_name("tokyo")
+        )
+
+    def test_similar_names_more_similar_than_random(self):
+        encoder = NameEncoder()
+        base = encoder.encode_name("alexandria")
+        near = encoder.encode_name("alexandrna")  # one substitution
+        far = encoder.encode_name("qwzzkplm")
+        assert base @ near > base @ far
+
+    def test_similarity_decreases_with_edits(self):
+        encoder = NameEncoder()
+        base = encoder.encode_name("constantinople")
+        one_edit = encoder.encode_name("constantinopla")
+        many_edits = encoder.encode_name("konstxntinxplx")
+        assert base @ one_edit > base @ many_edits
+
+    def test_dim_respected(self):
+        assert NameEncoder(dim=32).encode_name("rome").shape == (32,)
+
+    @pytest.mark.parametrize("kwargs", [{"dim": 0}, {"ngram_sizes": ()},
+                                        {"ngram_sizes": (0,)}])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            NameEncoder(**kwargs)
+
+
+class TestEncodeTask:
+    def test_rows_align_with_entities(self, small_task):
+        encoder = NameEncoder()
+        emb = encoder.encode(small_task)
+        assert emb.source.shape[0] == small_task.source.num_entities
+        first = small_task.source.entities[0]
+        expected = encoder.encode_name(small_task.display_name("source", first))
+        np.testing.assert_array_equal(emb.source[0], expected)
+
+    def test_gold_pairs_most_similar_with_clean_names(self):
+        from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair
+        from repro.similarity.metrics import cosine_similarity
+
+        task = generate_aligned_pair(
+            KGPairConfig(num_entities=50, name_edit_rate=0.0, seed=9)
+        )
+        emb = NameEncoder().encode(task)
+        pairs = task.test_index_pairs()
+        sim = cosine_similarity(emb.source[pairs[:, 0]], emb.target)
+        assert (sim.argmax(axis=1) == pairs[:, 1]).mean() > 0.9
+
+    def test_unnamed_entities_fall_back_to_ids(self, small_task):
+        # Internal ids never match across KGs, so they carry no signal —
+        # that just means the vectors exist and are unit norm.
+        task = small_task
+        task_no_names = type(task)(
+            task.source, task.target, task.split, name="nameless"
+        )
+        emb = NameEncoder().encode(task_no_names)
+        np.testing.assert_allclose(np.linalg.norm(emb.source, axis=1), 1.0)

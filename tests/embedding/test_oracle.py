@@ -1,0 +1,121 @@
+"""Tests for the oracle embedding sampler."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.oracle import OracleConfig, OracleEncoder
+from repro.similarity.metrics import cosine_similarity
+
+
+def hits_at_1(emb, task):
+    pairs = task.test_index_pairs()
+    sim = cosine_similarity(emb.source[pairs[:, 0]], emb.target)
+    return float((sim.argmax(axis=1) == pairs[:, 1]).mean())
+
+
+class TestOracleConfig:
+    def test_defaults_valid(self):
+        OracleConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"dim": 0}, {"noise": -0.1}, {"cluster_size": 0},
+         {"cluster_spread": -0.1}, {"noise_dispersion": -0.1},
+         {"smoothing": 1.0}],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            OracleConfig(**kwargs)
+
+
+class TestOracleEncoder:
+    def test_shapes(self, medium_task):
+        emb = OracleEncoder(OracleConfig(dim=32)).encode(medium_task)
+        assert emb.source.shape == (medium_task.source.num_entities, 32)
+        assert emb.target.shape == (medium_task.target.num_entities, 32)
+
+    def test_zero_noise_perfect_alignment(self, medium_task):
+        emb = OracleEncoder(
+            OracleConfig(noise=0.0, duplicate_jitter=0.0)
+        ).encode(medium_task)
+        assert hits_at_1(emb, medium_task) == 1.0
+
+    def test_noise_degrades_quality_monotonically(self, medium_task):
+        scores = [
+            hits_at_1(OracleEncoder(OracleConfig(noise=n, seed=0)).encode(medium_task),
+                      medium_task)
+            for n in (0.1, 0.6, 1.6)
+        ]
+        assert scores[0] > scores[1] > scores[2]
+
+    def test_deterministic(self, medium_task):
+        a = OracleEncoder(OracleConfig(seed=2)).encode(medium_task)
+        b = OracleEncoder(OracleConfig(seed=2)).encode(medium_task)
+        np.testing.assert_array_equal(a.source, b.source)
+
+    def test_seed_override(self, medium_task):
+        a = OracleEncoder(OracleConfig(seed=2), seed=5).encode(medium_task)
+        b = OracleEncoder(OracleConfig(seed=2), seed=6).encode(medium_task)
+        assert not np.array_equal(a.source, b.source)
+
+    def test_smoothing_compresses_similarities(self, medium_task):
+        def spread(smoothing):
+            emb = OracleEncoder(
+                OracleConfig(noise=0.3, smoothing=smoothing, seed=0)
+            ).encode(medium_task)
+            sim = cosine_similarity(emb.source, emb.target)
+            return sim.std()
+
+        assert spread(0.8) < spread(0.0)
+
+    def test_cluster_crowding_raises_offdiagonal_similarity(self, medium_task):
+        def mean_top5_gap(cluster_size):
+            emb = OracleEncoder(
+                OracleConfig(noise=0.2, cluster_size=cluster_size,
+                             cluster_spread=0.2, seed=0)
+            ).encode(medium_task)
+            pairs = medium_task.test_index_pairs()
+            sim = cosine_similarity(emb.source[pairs[:, 0]], emb.target)
+            top2 = np.sort(sim, axis=1)[:, -2:]
+            return float((top2[:, 1] - top2[:, 0]).mean())
+
+        # Clusters shrink the gap between the best and second-best score.
+        assert mean_top5_gap(8) < mean_top5_gap(1)
+
+    def test_non_one_to_one_copies_share_latents(self):
+        from repro.datasets.non_one_to_one import (
+            NonOneToOneConfig, generate_non_one_to_one_task,
+        )
+
+        task = generate_non_one_to_one_task(NonOneToOneConfig(num_entities=80, seed=3))
+        emb = OracleEncoder(OracleConfig(noise=0.1, seed=0)).encode(task)
+        # Two target copies of the same base entity are mutually similar.
+        sims_within = []
+        sims_across = []
+        groups: dict[str, list[int]] = {}
+        for idx, name in enumerate(task.target.entities):
+            groups.setdefault(name.split("_")[0], []).append(idx)
+        multi = [ids for ids in groups.values() if len(ids) > 1][:20]
+        for ids in multi:
+            sims_within.append(float(emb.target[ids[0]] @ emb.target[ids[1]]))
+            other = (ids[0] + 7) % task.target.num_entities
+            sims_across.append(float(emb.target[ids[0]] @ emb.target[other]))
+        assert np.mean(sims_within) > np.mean(sims_across)
+
+    def test_unmatchable_entities_less_similar_than_gold(self):
+        from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair
+        from repro.datasets.unmatchable import UnmatchableConfig, add_unmatchable_entities
+
+        base = generate_aligned_pair(KGPairConfig(num_entities=80, seed=4))
+        task = add_unmatchable_entities(base, UnmatchableConfig(seed=1))
+        emb = OracleEncoder(OracleConfig(noise=0.3, seed=0)).encode(task)
+        gold = task.test_index_pairs()
+        gold_sims = np.einsum(
+            "ij,ij->i", emb.source[gold[:, 0]], emb.target[gold[:, 1]]
+        )
+        unmatchable_ids = [task.source.entity_id(e) for e in task.unmatchable_source]
+        candidates = task.candidate_target_ids()
+        unmatchable_best = cosine_similarity(
+            emb.source[unmatchable_ids], emb.target[candidates]
+        ).max(axis=1)
+        assert gold_sims.mean() > unmatchable_best.mean()

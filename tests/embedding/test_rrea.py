@@ -1,0 +1,92 @@
+"""Tests for the RREA-style encoder."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.gcn import GCNEncoder
+from repro.embedding.rrea import RREAEncoder, relation_weighted_adjacency
+from repro.similarity.metrics import cosine_similarity
+
+
+def hits_at_1(embeddings, task):
+    test = task.test_index_pairs()
+    sim = cosine_similarity(embeddings.source[test[:, 0]], embeddings.target)
+    return float((sim.argmax(axis=1) == test[:, 1]).mean())
+
+
+class TestRelationWeightedAdjacency:
+    def test_rows_normalised(self, small_task):
+        adj = relation_weighted_adjacency(small_task.source)
+        row_sums = np.asarray(adj.sum(axis=1)).ravel()
+        np.testing.assert_allclose(row_sums, 1.0, atol=1e-9)
+
+    def test_rare_relations_weighted_higher(self):
+        from repro.kg.graph import KnowledgeGraph
+
+        # "common" labels 4 edges, "rare" labels 1.
+        triples = [("a", "common", f"b{i}") for i in range(4)]
+        triples.append(("a", "rare", "c"))
+        graph = KnowledgeGraph(triples)
+        adj = relation_weighted_adjacency(graph).toarray()
+        a = graph.entity_id("a")
+        rare_weight = adj[a, graph.entity_id("c")]
+        common_weight = adj[a, graph.entity_id("b0")]
+        assert rare_weight > common_weight
+
+    def test_empty_graph_identity(self):
+        from repro.kg.graph import KnowledgeGraph
+
+        graph = KnowledgeGraph([], entities=["a", "b"])
+        adj = relation_weighted_adjacency(graph)
+        np.testing.assert_array_equal(adj.toarray(), np.eye(2))
+
+
+class TestRREAEncoder:
+    def test_output_dim_is_layers_times_dim(self, small_task):
+        emb = RREAEncoder(dim=16, num_layers=2, bootstrap_rounds=0, seed=0).encode(small_task)
+        assert emb.dim == 16 * 3  # (layers + 1) concatenated
+
+    def test_stronger_than_gcn(self, medium_task):
+        gcn = GCNEncoder(seed=0).encode(medium_task)
+        rrea = RREAEncoder(seed=0).encode(medium_task)
+        assert hits_at_1(rrea, medium_task) >= hits_at_1(gcn, medium_task)
+
+    def test_bootstrap_grows_anchor_pool(self, medium_task):
+        encoder = RREAEncoder(bootstrap_rounds=2, seed=0)
+        encoder.encode(medium_task)
+        sizes = encoder.bootstrap_pool_sizes
+        assert len(sizes) == 3
+        assert sizes[-1] >= sizes[0]
+
+    def test_bootstrap_improves_or_holds(self, medium_task):
+        no_boot = RREAEncoder(bootstrap_rounds=0, seed=0).encode(medium_task)
+        boot = RREAEncoder(bootstrap_rounds=2, seed=0).encode(medium_task)
+        assert hits_at_1(boot, medium_task) >= hits_at_1(no_boot, medium_task) - 0.05
+
+    def test_deterministic(self, small_task):
+        a = RREAEncoder(seed=4).encode(small_task)
+        b = RREAEncoder(seed=4).encode(small_task)
+        np.testing.assert_array_equal(a.source, b.source)
+
+    def test_fine_tuning_records_losses(self, small_task):
+        encoder = RREAEncoder(fine_tune_epochs=4, bootstrap_rounds=1, seed=0)
+        encoder.encode(small_task)
+        # Fine-tuning runs once per bootstrap round (2 rounds here).
+        assert len(encoder.loss_history) == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"dim": 0}, {"num_layers": 0}, {"bootstrap_rounds": -1},
+         {"bootstrap_threshold": 1.5}],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            RREAEncoder(**kwargs)
+
+    def test_requires_seed_pairs(self, small_task):
+        from repro.kg.pair import AlignmentSplit, AlignmentTask
+
+        empty_split = AlignmentSplit((), (), small_task.split.all_links)
+        no_seed_task = AlignmentTask(small_task.source, small_task.target, empty_split)
+        with pytest.raises(ValueError, match="seed pair"):
+            RREAEncoder().encode(no_seed_task)

@@ -1,0 +1,113 @@
+"""Tests for the shared training machinery (Adam, negatives, margin loss)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.trainer import AdamOptimizer, margin_loss_and_grad, sample_negatives
+
+
+class TestAdamOptimizer:
+    def test_decreases_quadratic(self):
+        params = {"x": np.array([5.0])}
+        optimizer = AdamOptimizer(learning_rate=0.1)
+        for _ in range(300):
+            grads = {"x": 2.0 * params["x"]}
+            optimizer.update(params, grads)
+        assert abs(params["x"][0]) < 0.1
+
+    def test_unknown_grad_key_raises(self):
+        optimizer = AdamOptimizer()
+        with pytest.raises(KeyError, match="unknown parameters"):
+            optimizer.update({"a": np.zeros(2)}, {"b": np.zeros(2)})
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError, match="learning_rate"):
+            AdamOptimizer(learning_rate=0.0)
+
+    def test_updates_in_place(self):
+        params = {"x": np.ones(3)}
+        ref = params["x"]
+        AdamOptimizer(learning_rate=0.1).update(params, {"x": np.ones(3)})
+        assert params["x"] is ref
+
+    def test_partial_grads_allowed(self):
+        params = {"a": np.ones(2), "b": np.ones(2)}
+        AdamOptimizer().update(params, {"a": np.ones(2)})
+        np.testing.assert_array_equal(params["b"], np.ones(2))
+
+
+class TestSampleNegatives:
+    def test_shapes(self, rng):
+        neg_t, neg_s = sample_negatives(10, 50, 60, 5, rng)
+        assert neg_t.shape == (10, 5)
+        assert neg_s.shape == (10, 5)
+
+    def test_ranges(self, rng):
+        neg_t, neg_s = sample_negatives(100, 7, 9, 3, rng)
+        assert neg_t.min() >= 0 and neg_t.max() < 9
+        assert neg_s.min() >= 0 and neg_s.max() < 7
+
+    def test_invalid_count(self, rng):
+        with pytest.raises(ValueError, match="negatives_per_pair"):
+            sample_negatives(5, 10, 10, 0, rng)
+
+
+class TestMarginLoss:
+    def _setup(self, rng, n=20, d=8, pairs=6, negs=4):
+        source = rng.normal(size=(n, d))
+        target = rng.normal(size=(n, d))
+        seed_pairs = np.stack([np.arange(pairs), np.arange(pairs)], axis=1)
+        neg_t, neg_s = sample_negatives(pairs, n, n, negs, rng)
+        return source, target, seed_pairs, neg_t, neg_s
+
+    def test_zero_loss_when_aligned_and_margin_satisfied(self, rng):
+        # Seed pairs identical, negatives far away: every hinge inactive.
+        d = 4
+        base = rng.normal(size=(3, d))
+        source = np.vstack([base, base + 100.0])
+        target = np.vstack([base, base - 100.0])
+        seed_pairs = np.stack([np.arange(3), np.arange(3)], axis=1)
+        neg_t = np.full((3, 2), 4)
+        neg_s = np.full((3, 2), 4)
+        loss, d_src, d_tgt = margin_loss_and_grad(
+            source, target, seed_pairs, neg_t, neg_s, margin=1.0
+        )
+        assert loss == 0.0
+        np.testing.assert_array_equal(d_src, 0.0)
+        np.testing.assert_array_equal(d_tgt, 0.0)
+
+    def test_loss_positive_for_random_embeddings(self, rng):
+        source, target, pairs, neg_t, neg_s = self._setup(rng)
+        loss, _, _ = margin_loss_and_grad(source, target, pairs, neg_t, neg_s)
+        assert loss > 0.0
+
+    def test_gradient_matches_finite_differences(self, rng):
+        source, target, pairs, neg_t, neg_s = self._setup(rng, n=10, d=3, pairs=3, negs=2)
+        loss, d_src, d_tgt = margin_loss_and_grad(source, target, pairs, neg_t, neg_s)
+        eps = 1e-6
+        for idx in [(0, 0), (1, 2), (3, 1)]:
+            perturbed = source.copy()
+            perturbed[idx] += eps
+            loss_plus, _, _ = margin_loss_and_grad(perturbed, target, pairs, neg_t, neg_s)
+            numeric = (loss_plus - loss) / eps
+            assert numeric == pytest.approx(d_src[idx], abs=1e-3)
+        for idx in [(0, 1), (2, 0)]:
+            perturbed = target.copy()
+            perturbed[idx] += eps
+            loss_plus, _, _ = margin_loss_and_grad(source, perturbed, pairs, neg_t, neg_s)
+            numeric = (loss_plus - loss) / eps
+            assert numeric == pytest.approx(d_tgt[idx], abs=1e-3)
+
+    def test_descent_reduces_loss(self, rng):
+        source, target, pairs, neg_t, neg_s = self._setup(rng)
+        loss0, d_src, d_tgt = margin_loss_and_grad(source, target, pairs, neg_t, neg_s)
+        step = 0.5
+        loss1, _, _ = margin_loss_and_grad(
+            source - step * d_src, target - step * d_tgt, pairs, neg_t, neg_s
+        )
+        assert loss1 < loss0
+
+    def test_invalid_margin(self, rng):
+        source, target, pairs, neg_t, neg_s = self._setup(rng)
+        with pytest.raises(ValueError, match="margin"):
+            margin_loss_and_grad(source, target, pairs, neg_t, neg_s, margin=0.0)

@@ -1,0 +1,51 @@
+"""Tests for score-distribution diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.analysis import hubness_report, top_k_std
+
+
+class TestTopKStd:
+    def test_constant_rows_zero(self):
+        assert top_k_std(np.full((5, 10), 0.3)) == 0.0
+
+    def test_matches_manual(self, random_scores):
+        got = top_k_std(random_scores, k=5)
+        tops = np.sort(random_scores, axis=1)[:, -5:]
+        assert got == pytest.approx(tops.std(axis=1).mean())
+
+    def test_single_column_returns_zero(self):
+        assert top_k_std(np.ones((4, 1)), k=5) == 0.0
+
+    def test_discriminative_scores_have_higher_std(self, rng):
+        crowded = 0.5 + 0.01 * rng.random((10, 20))
+        spread = rng.random((10, 20))
+        assert top_k_std(spread) > top_k_std(crowded)
+
+
+class TestHubnessReport:
+    def test_uniform_diagonal_no_hubs(self, identity_scores):
+        report = hubness_report(identity_scores)
+        assert report.max_in_degree == 1
+        assert report.isolated_fraction == 0.0
+
+    def test_single_hub_detected(self):
+        scores = np.full((8, 8), 0.1)
+        scores[:, 3] = 0.9
+        report = hubness_report(scores)
+        assert report.max_in_degree == 8
+        assert report.isolated_fraction == pytest.approx(7 / 8)
+
+    def test_concentration_ordering(self, rng):
+        diagonal = np.eye(10) + 0.01 * rng.random((10, 10))
+        hubby = np.full((10, 10), 0.1)
+        hubby[:, 0] = 0.9
+        assert (
+            hubness_report(hubby).concentration
+            > hubness_report(diagonal).concentration
+        )
+
+    def test_concentration_bounds(self, random_scores):
+        report = hubness_report(random_scores)
+        assert 0.0 <= report.concentration <= 1.0

@@ -1,0 +1,94 @@
+"""Tests for decision explainability."""
+
+import numpy as np
+import pytest
+
+from repro.eval.explain import explain_decision, format_report
+
+
+@pytest.fixture()
+def hub_scores():
+    """Target 0 is a hub; the gold match for each query is the diagonal."""
+    n = 6
+    scores = np.full((n, n), 0.2)
+    np.fill_diagonal(scores, 0.55)
+    scores[:, 0] = 0.6
+    return scores
+
+
+class TestExplainDecision:
+    def test_candidates_sorted_by_raw_score(self, random_scores):
+        report = explain_decision(random_scores, query=3)
+        raw = [view.raw_score for view in report.candidates]
+        assert raw == sorted(raw, reverse=True)
+
+    def test_raw_ranks_consistent(self, random_scores):
+        report = explain_decision(random_scores, query=0)
+        assert report.candidates[0].raw_rank == 1
+        assert report.candidates[0].candidate == int(random_scores[0].argmax())
+
+    def test_greedy_choice_is_argmax(self, random_scores):
+        for query in (0, 5, 19):
+            report = explain_decision(random_scores, query=query)
+            assert report.greedy_choice == int(random_scores[query].argmax())
+
+    def test_hub_detected_in_notes(self, hub_scores):
+        report = explain_decision(hub_scores, query=2)
+        assert any("hub" in note for note in report.notes)
+        assert report.candidates[0].competing_queries > 0
+
+    def test_csls_overturn_reported(self, hub_scores):
+        report = explain_decision(hub_scores, query=2)
+        assert report.greedy_choice == 0         # everyone greedy-picks the hub
+        assert report.csls_choice == 2           # CSLS restores the diagonal
+        assert any("CSLS overturns" in note for note in report.notes)
+
+    def test_reciprocal_disagreement_reported(self, hub_scores):
+        report = explain_decision(hub_scores, query=3)
+        assert report.reciprocal_choice == 3
+        assert any("reciprocal" in note for note in report.notes)
+
+    def test_crowded_scores_note(self):
+        crowded = 0.5 + 0.001 * np.arange(36).reshape(6, 6)
+        report = explain_decision(crowded, query=0)
+        assert any("crowded" in note for note in report.notes)
+
+    def test_clean_decision_has_no_notes(self, identity_scores):
+        report = explain_decision(identity_scores, query=4)
+        assert report.greedy_choice == 4
+        assert report.csls_choice == 4
+        assert report.notes == ()
+
+    def test_best_accessor(self, hub_scores):
+        report = explain_decision(hub_scores, query=1)
+        assert report.best("raw") == report.greedy_choice
+        assert report.best("csls") == report.csls_choice
+        assert report.best("reciprocal") == report.reciprocal_choice
+        with pytest.raises(ValueError, match="strategy"):
+            report.best("quantum")
+
+    def test_invalid_query(self, random_scores):
+        with pytest.raises(ValueError, match="out of range"):
+            explain_decision(random_scores, query=99)
+
+    def test_top_k_clamped(self, random_scores):
+        report = explain_decision(random_scores, query=0, top_k=100)
+        assert len(report.candidates) == 20
+
+
+class TestFormatReport:
+    def test_plain_render(self, hub_scores):
+        report = explain_decision(hub_scores, query=2)
+        text = format_report(report)
+        assert "Decision report for query 2" in text
+        assert "hub" in text
+
+    def test_named_render(self, hub_scores):
+        report = explain_decision(hub_scores, query=2)
+        text = format_report(
+            report,
+            query_name="Berlin",
+            candidate_names={0: "Paris(hub)", 2: "Berlin_de"},
+        )
+        assert "Berlin" in text
+        assert "Paris(hub)" in text

@@ -1,0 +1,154 @@
+"""Tests for alignment metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import evaluate_pairs, hits_at_k, mean_reciprocal_rank
+
+
+class TestEvaluatePairs:
+    def test_perfect(self):
+        gold = [(0, 0), (1, 1)]
+        metrics = evaluate_pairs(gold, gold)
+        assert metrics.precision == metrics.recall == metrics.f1 == 1.0
+
+    def test_all_wrong(self):
+        metrics = evaluate_pairs([(0, 1)], [(0, 0)])
+        assert metrics.f1 == 0.0
+
+    def test_precision_recall_asymmetry(self):
+        # 1 correct of 2 predicted, gold has 4.
+        metrics = evaluate_pairs([(0, 0), (1, 2)], [(0, 0), (1, 1), (2, 2), (3, 3)])
+        assert metrics.precision == pytest.approx(0.5)
+        assert metrics.recall == pytest.approx(0.25)
+        assert metrics.f1 == pytest.approx(2 * 0.5 * 0.25 / 0.75)
+
+    def test_one_to_one_equality(self):
+        # Under 1-to-1 evaluation every query answered: P == R == F1
+        # (the identity the paper notes for Tables 4-5).
+        gold = [(i, i) for i in range(10)]
+        predicted = [(i, i) for i in range(7)] + [(i, i + 1) for i in range(7, 10)]
+        metrics = evaluate_pairs(predicted, gold)
+        assert metrics.precision == metrics.recall == metrics.f1
+
+    def test_duplicates_not_double_counted(self):
+        metrics = evaluate_pairs([(0, 0), (0, 0)], [(0, 0)])
+        assert metrics.num_predicted == 1
+        assert metrics.f1 == 1.0
+
+    def test_empty_prediction(self):
+        metrics = evaluate_pairs([], [(0, 0)])
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_empty_gold(self):
+        metrics = evaluate_pairs([(0, 0)], [])
+        assert metrics.recall == 0.0
+
+    def test_numpy_input(self):
+        metrics = evaluate_pairs(np.array([[0, 0]]), np.array([[0, 0]]))
+        assert metrics.f1 == 1.0
+
+    def test_as_row(self):
+        row = evaluate_pairs([(0, 0)], [(0, 0)]).as_row()
+        assert row == {"P": 1.0, "R": 1.0, "F1": 1.0}
+
+
+class TestHitsAtK:
+    def test_hits_at_1(self, identity_scores):
+        gold = np.arange(15)
+        assert hits_at_k(identity_scores, gold, k=1) == 1.0
+
+    def test_hits_at_k_monotone(self, random_scores, rng):
+        gold = rng.integers(0, 20, size=20)
+        values = [hits_at_k(random_scores, gold, k=k) for k in (1, 3, 5, 10, 20)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert values[-1] == 1.0
+
+    def test_manual_case(self):
+        scores = np.array([[0.3, 0.5, 0.2]])
+        assert hits_at_k(scores, [1], k=1) == 1.0
+        assert hits_at_k(scores, [0], k=1) == 0.0
+        assert hits_at_k(scores, [0], k=2) == 1.0
+
+    def test_shape_mismatch(self, random_scores):
+        with pytest.raises(ValueError, match="gold_targets"):
+            hits_at_k(random_scores, np.arange(3), k=1)
+
+    def test_invalid_k(self, random_scores):
+        with pytest.raises(ValueError, match="k must be"):
+            hits_at_k(random_scores, np.arange(20), k=0)
+
+    def test_empty(self):
+        assert hits_at_k(np.empty((0, 5)), np.empty(0, dtype=int), k=1) == 0.0
+
+
+class TestMRR:
+    def test_perfect(self, identity_scores):
+        assert mean_reciprocal_rank(identity_scores, np.arange(15)) == 1.0
+
+    def test_rank_two(self):
+        scores = np.array([[0.9, 0.5, 0.1]])
+        assert mean_reciprocal_rank(scores, [1]) == pytest.approx(0.5)
+
+    def test_bounded(self, random_scores, rng):
+        gold = rng.integers(0, 20, size=20)
+        mrr = mean_reciprocal_rank(random_scores, gold)
+        assert 1 / 20 <= mrr <= 1.0
+
+    def test_mrr_at_least_hits1(self, random_scores, rng):
+        gold = rng.integers(0, 20, size=20)
+        assert mean_reciprocal_rank(random_scores, gold) >= hits_at_k(
+            random_scores, gold, k=1
+        ) - 1e-12
+
+
+class TestRankingDiagnostics:
+    def test_perfect_space(self, identity_scores):
+        from repro.eval.metrics import ranking_diagnostics
+
+        gold = [(i, i) for i in range(15)]
+        diag = ranking_diagnostics(identity_scores, gold)
+        assert diag["hits@1"] == 1.0
+        assert diag["mrr"] == 1.0
+
+    def test_monotone_in_k(self, random_scores, rng):
+        from repro.eval.metrics import ranking_diagnostics
+
+        gold = [(i, int(rng.integers(0, 20))) for i in range(20)]
+        diag = ranking_diagnostics(random_scores, gold, ks=(1, 5, 10, 20))
+        assert diag["hits@1"] <= diag["hits@5"] <= diag["hits@10"] <= diag["hits@20"]
+        assert diag["hits@20"] == 1.0
+
+    def test_multi_gold_per_query(self):
+        import numpy as np
+
+        from repro.eval.metrics import ranking_diagnostics
+
+        scores = np.array([[0.9, 0.8, 0.1]])
+        diag = ranking_diagnostics(scores, [(0, 0), (0, 1)], ks=(1,))
+        # One of the two gold links is rank 1, the other rank 2.
+        assert diag["hits@1"] == 0.5
+        assert diag["mrr"] == (1.0 + 0.5) / 2
+
+    def test_empty_gold(self, random_scores):
+        from repro.eval.metrics import ranking_diagnostics
+
+        diag = ranking_diagnostics(random_scores, [])
+        assert diag["mrr"] == 0.0
+
+    def test_hits_gap_explains_matcher_headroom(self, medium_task, oracle_embeddings):
+        """hits@5 >> hits@1 is the raw-ranking headroom the global
+        matchers convert into F1 (the library's diagnostic purpose)."""
+        from repro.eval.metrics import ranking_diagnostics
+        from repro.similarity.metrics import similarity_matrix
+
+        pairs = medium_task.test_index_pairs()
+        scores = similarity_matrix(
+            oracle_embeddings.source[pairs[:, 0]],
+            oracle_embeddings.target[pairs[:, 1]],
+        )
+        gold = [(i, i) for i in range(len(pairs))]
+        diag = ranking_diagnostics(scores, gold)
+        assert diag["hits@5"] >= diag["hits@1"]

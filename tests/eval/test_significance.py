@@ -1,0 +1,122 @@
+"""Tests for bootstrap confidence intervals and paired comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import (
+    bootstrap_f1_interval,
+    paired_bootstrap_test,
+    per_query_outcomes,
+)
+
+
+class TestPerQueryOutcomes:
+    def test_basic(self):
+        predicted = [(0, 0), (1, 5), (2, 2)]
+        gold = [(0, 0), (1, 1), (2, 2)]
+        outcomes = per_query_outcomes(predicted, gold, num_queries=4)
+        np.testing.assert_array_equal(outcomes, [1, 0, 1, 0])
+
+    def test_mean_equals_f1_under_one_to_one(self):
+        from repro.eval.metrics import evaluate_pairs
+
+        predicted = [(i, i if i % 3 else i + 1) for i in range(9)]
+        gold = [(i, i) for i in range(9)]
+        outcomes = per_query_outcomes(predicted, gold, num_queries=9)
+        assert outcomes.mean() == pytest.approx(evaluate_pairs(predicted, gold).f1)
+
+    def test_missing_prediction_counts_zero(self):
+        outcomes = per_query_outcomes([(0, 0)], [(0, 0), (1, 1)], num_queries=2)
+        np.testing.assert_array_equal(outcomes, [1, 0])
+
+    def test_invalid_num_queries(self):
+        with pytest.raises(ValueError, match="num_queries"):
+            per_query_outcomes([], [], num_queries=0)
+
+
+class TestBootstrapInterval:
+    def test_point_is_mean(self, rng):
+        outcomes = rng.integers(0, 2, size=100).astype(float)
+        interval = bootstrap_f1_interval(outcomes, seed=0)
+        assert interval.point == pytest.approx(outcomes.mean())
+
+    def test_interval_brackets_point(self, rng):
+        outcomes = rng.integers(0, 2, size=100).astype(float)
+        interval = bootstrap_f1_interval(outcomes, seed=0)
+        assert interval.lower <= interval.point <= interval.upper
+
+    def test_degenerate_vector(self):
+        interval = bootstrap_f1_interval(np.ones(50), seed=0)
+        assert interval.lower == interval.upper == 1.0
+
+    def test_wider_at_higher_confidence(self, rng):
+        outcomes = rng.integers(0, 2, size=80).astype(float)
+        narrow = bootstrap_f1_interval(outcomes, confidence=0.8, seed=0)
+        wide = bootstrap_f1_interval(outcomes, confidence=0.99, seed=0)
+        assert (wide.upper - wide.lower) >= (narrow.upper - narrow.lower)
+
+    def test_narrower_with_more_data(self, rng):
+        small = bootstrap_f1_interval(
+            rng.integers(0, 2, size=30).astype(float), seed=0
+        )
+        large = bootstrap_f1_interval(
+            rng.integers(0, 2, size=3000).astype(float), seed=0
+        )
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_deterministic(self, rng):
+        outcomes = rng.integers(0, 2, size=50).astype(float)
+        a = bootstrap_f1_interval(outcomes, seed=7)
+        b = bootstrap_f1_interval(outcomes, seed=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            bootstrap_f1_interval(np.empty(0))
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_f1_interval(np.ones(5), confidence=1.0)
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_significant(self, rng):
+        b = rng.integers(0, 2, size=200).astype(float)
+        a = np.minimum(b + (rng.random(200) < 0.3), 1.0)  # a strictly better
+        comparison = paired_bootstrap_test(a, b, seed=0)
+        assert comparison.mean_difference > 0
+        assert comparison.significant
+        assert comparison.p_value < 0.05
+
+    def test_identical_not_significant(self, rng):
+        outcomes = rng.integers(0, 2, size=200).astype(float)
+        comparison = paired_bootstrap_test(outcomes, outcomes, seed=0)
+        assert comparison.mean_difference == 0.0
+        assert not comparison.significant
+
+    def test_tiny_difference_not_significant(self, rng):
+        b = rng.integers(0, 2, size=60).astype(float)
+        a = b.copy()
+        a[0] = 1.0
+        b[0] = 0.0
+        comparison = paired_bootstrap_test(a, b, seed=0)
+        assert not comparison.significant
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            paired_bootstrap_test(np.ones(3), np.ones(4))
+
+    def test_matcher_comparison_end_to_end(self, medium_task):
+        """Hun. vs DInf on crowded embeddings: a significant paired win."""
+        from repro.core import DInf, Hungarian
+        from repro.embedding.oracle import OracleConfig, OracleEncoder
+
+        emb = OracleEncoder(
+            OracleConfig(noise=0.45, cluster_size=8, cluster_spread=0.25, seed=3)
+        ).encode(medium_task)
+        pairs = medium_task.test_index_pairs()
+        src, tgt = emb.source[pairs[:, 0]], emb.target[pairs[:, 1]]
+        gold = [(i, i) for i in range(len(pairs))]
+        n = len(pairs)
+        hun = per_query_outcomes(Hungarian().match(src, tgt).pairs, gold, n)
+        dinf = per_query_outcomes(DInf().match(src, tgt).pairs, gold, n)
+        comparison = paired_bootstrap_test(hun, dinf, seed=0)
+        assert comparison.mean_difference > 0

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tables_choices(self):
+        args = build_parser().parse_args(["tables", "4"])
+        assert args.which == "4"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "9"])
+
+    def test_match_defaults(self):
+        args = build_parser().parse_args(["match", "dbp15k/zh_en"])
+        assert args.regime == "R"
+        assert args.matcher == "DInf"
+
+    def test_unknown_matcher_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["match", "x", "--matcher", "Magic"])
+
+
+class TestCommands:
+    def test_datasets_list(self, capsys):
+        assert main(["datasets", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "dbp15k/zh_en" in out
+        assert "fb_dbp_mul" in out
+
+    def test_datasets_export(self, tmp_path, capsys):
+        assert main([
+            "datasets", "export", "dbp15k/zh_en",
+            "--scale", "0.1", "-o", str(tmp_path / "dz"),
+        ]) == 0
+        assert (tmp_path / "dz" / "rel_triples_1").exists()
+        assert (tmp_path / "dz" / "test_links").exists()
+
+    def test_tables_3_prints(self, capsys):
+        assert main(["tables", "3", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Avg. degree" in out
+
+    def test_tables_output_directory(self, tmp_path, capsys):
+        assert main([
+            "tables", "3", "--scale", "0.2", "-o", str(tmp_path),
+        ]) == 0
+        assert (tmp_path / "table3.txt").exists()
+
+    def test_figures_6_prints(self, capsys):
+        assert main(["figures", "6", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+
+    def test_match_command(self, capsys):
+        assert main([
+            "match", "dbp15k/zh_en", "--regime", "R",
+            "--matcher", "CSLS", "--scale", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "CSLS on dbp15k/zh_en" in out
+        assert "F1=" in out
+
+    def test_match_with_fitted_matcher(self, capsys):
+        assert main([
+            "match", "dbp15k/zh_en", "--matcher", "RL", "--scale", "0.2",
+        ]) == 0
+        assert "RL on" in capsys.readouterr().out
+
+    def test_report_command(self, tmp_path, capsys):
+        assert main(["report", "-o", str(tmp_path / "rep"), "--scale", "0.15"]) == 0
+        report = tmp_path / "rep" / "REPORT.md"
+        assert report.exists()
+        content = report.read_text()
+        assert "Table 4" in content
+        assert "Figure 7" in content
+        assert (tmp_path / "rep" / "table6.txt").exists()

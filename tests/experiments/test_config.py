@@ -1,0 +1,43 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig(preset="dbp15k/zh_en")
+        assert config.input_regime == "R"
+        assert "DInf" in config.matchers
+
+    def test_invalid_regime(self):
+        with pytest.raises(ValueError, match="input_regime"):
+            ExperimentConfig(preset="x", input_regime="Z")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            ExperimentConfig(preset="x", scale=-1.0)
+
+    def test_empty_matchers(self):
+        with pytest.raises(ValueError, match="matchers"):
+            ExperimentConfig(preset="x", matchers=())
+
+    def test_options_for_unknown_matcher_rejected(self):
+        with pytest.raises(ValueError, match="not in this experiment"):
+            ExperimentConfig(
+                preset="x", matchers=("DInf",),
+                matcher_options={"CSLS": {"k": 2}},
+            )
+
+    def test_options_for_returns_copy(self):
+        config = ExperimentConfig(
+            preset="x", matchers=("CSLS",), matcher_options={"CSLS": {"k": 2}},
+        )
+        opts = config.options_for("CSLS")
+        opts["k"] = 99
+        assert config.options_for("CSLS")["k"] == 2
+
+    def test_options_for_missing_is_empty(self):
+        config = ExperimentConfig(preset="x")
+        assert config.options_for("DInf") == {}

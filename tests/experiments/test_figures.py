@@ -1,0 +1,47 @@
+"""Smoke tests for the figure generators (at reduced scale)."""
+
+from repro.experiments.figures import (
+    FigureResult,
+    figure4_top5_std,
+    figure6_csls_k,
+    figure7_sinkhorn_l,
+)
+
+
+class TestFigureResult:
+    def test_add_and_read(self):
+        figure = FigureResult(title="t")
+        figure.add_point("s", 1, 0.5)
+        figure.add_point("s", 2, 0.6)
+        assert figure.ys("s") == [0.5, 0.6]
+
+
+class TestFigure4:
+    def test_series_per_setting(self):
+        figure = figure4_top5_std(scale=0.25)
+        labels = [x for x, _ in figure.series["top5_std"]]
+        assert "R-DBP" in labels and "N-DBP" in labels
+
+    def test_values_positive(self):
+        figure = figure4_top5_std(scale=0.25)
+        assert all(y > 0 for _, y in figure.series["top5_std"])
+
+
+class TestFigure6:
+    def test_series_per_preset(self):
+        figure = figure6_csls_k(ks=(1, 5), presets=("dbp15k/zh_en",), scale=0.25)
+        assert "D-Z" in figure.series
+        assert len(figure.series["D-Z"]) == 2
+
+    def test_f1_in_range(self):
+        figure = figure6_csls_k(ks=(1, 10), presets=("dbp15k/zh_en",), scale=0.25)
+        assert all(0.0 <= y <= 1.0 for _, y in figure.series["D-Z"])
+
+
+class TestFigure7:
+    def test_f1_rises_with_l(self):
+        figure = figure7_sinkhorn_l(
+            ls=(1, 100), presets=("dbp15k/zh_en",), scale=0.4,
+        )
+        ys = figure.ys("D-Z")
+        assert ys[-1] >= ys[0] - 0.03

@@ -1,0 +1,76 @@
+"""Tests for embeddings/results persistence."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.base import UnifiedEmbeddings
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.persistence import (
+    load_embeddings,
+    load_result,
+    save_embeddings,
+    save_result,
+)
+from repro.experiments.runner import run_experiment
+
+
+class TestEmbeddingsRoundtrip:
+    def test_roundtrip_exact(self, rng, tmp_path):
+        emb = UnifiedEmbeddings(rng.normal(size=(10, 8)), rng.normal(size=(12, 8)))
+        path = save_embeddings(emb, tmp_path / "emb.npz")
+        loaded = load_embeddings(path)
+        np.testing.assert_array_equal(loaded.source, emb.source)
+        np.testing.assert_array_equal(loaded.target, emb.target)
+
+    def test_extension_appended(self, rng, tmp_path):
+        emb = UnifiedEmbeddings(rng.normal(size=(3, 4)), rng.normal(size=(3, 4)))
+        path = save_embeddings(emb, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_bad_archive_rejected(self, tmp_path):
+        np.savez(tmp_path / "bad.npz", other=np.ones(3))
+        with pytest.raises(ValueError, match="missing"):
+            load_embeddings(tmp_path / "bad.npz")
+
+    def test_creates_parent_dirs(self, rng, tmp_path):
+        emb = UnifiedEmbeddings(rng.normal(size=(2, 2)), rng.normal(size=(2, 2)))
+        path = save_embeddings(emb, tmp_path / "deep" / "dir" / "emb.npz")
+        assert path.exists()
+
+
+class TestResultRoundtrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ExperimentConfig(
+            preset="dbp15k/zh_en", input_regime="R",
+            matchers=("DInf", "CSLS"), scale=0.2,
+        )
+        return run_experiment(config)
+
+    def test_roundtrip_metrics(self, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        loaded = load_result(path)
+        for name in ("DInf", "CSLS"):
+            assert loaded.f1(name) == result.f1(name)
+            assert loaded.runs[name].seconds == result.runs[name].seconds
+            assert loaded.runs[name].peak_bytes == result.runs[name].peak_bytes
+
+    def test_roundtrip_config(self, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        loaded = load_result(path)
+        assert loaded.config.preset == result.config.preset
+        assert loaded.config.matchers == result.config.matchers
+        assert loaded.top5_std == result.top5_std
+
+    def test_json_is_readable(self, result, tmp_path):
+        import json
+
+        path = save_result(result, tmp_path / "result.json")
+        payload = json.loads(path.read_text())
+        assert "runs" in payload and "config" in payload
+
+    def test_improvements_recomputable(self, result, tmp_path):
+        path = save_result(result, tmp_path / "result.json")
+        loaded = load_result(path)
+        assert loaded.improvement_over()["DInf"] == pytest.approx(0.0)

@@ -1,0 +1,85 @@
+"""Tests for the calibrated embedding regimes."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.regimes import (
+    REGIME_GEOMETRY,
+    build_embeddings,
+    family_of_preset,
+    structural_geometry,
+)
+from repro.similarity.metrics import cosine_similarity
+
+
+def hits_at_1(emb, task):
+    pairs = task.test_index_pairs()
+    sim = cosine_similarity(emb.source[pairs[:, 0]], emb.target)
+    return float((sim.argmax(axis=1) == pairs[:, 1]).mean())
+
+
+class TestFamilyOfPreset:
+    def test_zoo_keys(self):
+        assert family_of_preset("srprs/en_fr") == "sparse"
+        assert family_of_preset("dbp15k/zh_en") == "dense"
+        assert family_of_preset("dwy100k/dbp_wd") == "dense"
+        assert family_of_preset("fb_dbp_mul") == "multi"
+
+    def test_display_names(self):
+        assert family_of_preset("S-F") == "sparse"
+        assert family_of_preset("D-Z") == "dense"
+        assert family_of_preset("FB_DBP_MUL") == "multi"
+
+
+class TestStructuralGeometry:
+    def test_all_regimes_registered(self):
+        regimes = {key[0] for key in REGIME_GEOMETRY}
+        assert regimes == {"R", "G"}
+
+    def test_unknown_regime_raises(self, small_task):
+        with pytest.raises(ValueError, match="unknown structural regime"):
+            structural_geometry("Z", small_task, "dense")
+
+    def test_degree_scaling(self, small_task):
+        dense = structural_geometry("R", small_task, "dense")
+        # small_task has avg degree ~4 < reference 4.5: noise scaled up.
+        assert dense.noise >= REGIME_GEOMETRY[("R", "dense")].noise
+
+
+class TestBuildEmbeddings:
+    def test_structural_regimes_shapes(self, medium_task):
+        for regime in ("R", "G"):
+            emb = build_embeddings(medium_task, regime, preset_name="dbp15k/x")
+            assert emb.source.shape[0] == medium_task.source.num_entities
+
+    def test_r_stronger_than_g(self, medium_task):
+        r = build_embeddings(medium_task, "R", preset_name="dbp15k/x")
+        g = build_embeddings(medium_task, "G", preset_name="dbp15k/x")
+        assert hits_at_1(r, medium_task) > hits_at_1(g, medium_task)
+
+    def test_name_regime_uses_name_encoder(self, medium_task):
+        from repro.embedding.name_encoder import NameEncoder
+
+        emb = build_embeddings(medium_task, "N", preset_name="dbp15k/x")
+        expected = NameEncoder().encode(medium_task)
+        np.testing.assert_array_equal(emb.source, expected.source)
+
+    def test_fused_regime_dim(self, medium_task):
+        n = build_embeddings(medium_task, "N", preset_name="dbp15k/x")
+        nr = build_embeddings(medium_task, "NR", preset_name="dbp15k/x")
+        r = build_embeddings(medium_task, "R", preset_name="dbp15k/x")
+        assert nr.dim == n.dim + r.dim
+
+    def test_trained_regimes_run(self, small_task):
+        for regime in ("gcn", "rrea"):
+            emb = build_embeddings(small_task, regime, preset_name="dbp15k/x")
+            assert emb.source.shape[0] == small_task.source.num_entities
+
+    def test_unknown_regime(self, small_task):
+        with pytest.raises(ValueError):
+            build_embeddings(small_task, "bert")
+
+    def test_seed_controls_structural_noise(self, medium_task):
+        a = build_embeddings(medium_task, "R", seed=1, preset_name="dbp15k/x")
+        b = build_embeddings(medium_task, "R", seed=2, preset_name="dbp15k/x")
+        assert not np.array_equal(a.source, b.source)

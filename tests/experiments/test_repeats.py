@@ -1,0 +1,57 @@
+"""Tests for multi-seed aggregation."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.repeats import AggregateStat, run_repeated
+
+
+@pytest.fixture(scope="module")
+def repeated():
+    config = ExperimentConfig(
+        preset="dbp15k/zh_en", input_regime="R",
+        matchers=("DInf", "Hun."), scale=0.3,
+    )
+    return run_repeated(config, seeds=(0, 1, 2))
+
+
+class TestAggregateStat:
+    def test_of(self):
+        stat = AggregateStat.of([0.2, 0.4, 0.6])
+        assert stat.mean == pytest.approx(0.4)
+        assert stat.minimum == 0.2
+        assert stat.maximum == 0.6
+
+    def test_single_value(self):
+        stat = AggregateStat.of([0.5])
+        assert stat.std == 0.0
+
+
+class TestRunRepeated:
+    def test_one_value_per_seed(self, repeated):
+        for matcher in ("DInf", "Hun."):
+            assert len(repeated.f1_by_seed[matcher]) == 3
+
+    def test_seeds_produce_variation(self, repeated):
+        values = repeated.f1_by_seed["DInf"]
+        assert len(set(values)) > 1  # embedding noise reseeded
+
+    def test_stat_bounds(self, repeated):
+        stat = repeated.stat("Hun.")
+        assert 0.0 <= stat.minimum <= stat.mean <= stat.maximum <= 1.0
+
+    def test_win_rate(self, repeated):
+        assert repeated.win_rate("Hun.", "DInf") >= 2 / 3
+
+    def test_consistent_order(self, repeated):
+        assert repeated.consistent_order("Hun.", "DInf", min_rate=0.6)
+
+    def test_as_rows(self, repeated):
+        rows = repeated.as_rows()
+        assert {row["matcher"] for row in rows} == {"DInf", "Hun."}
+        assert all("mean F1" in row for row in rows)
+
+    def test_empty_seeds_rejected(self):
+        config = ExperimentConfig(preset="dbp15k/zh_en", matchers=("DInf",))
+        with pytest.raises(ValueError, match="seeds"):
+            run_repeated(config, seeds=())

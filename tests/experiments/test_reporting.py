@@ -1,0 +1,60 @@
+"""Tests for table formatting."""
+
+from repro.experiments.reporting import format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == ""
+        assert format_table([], title="T") == "T\n"
+
+    def test_headers_from_first_row(self):
+        text = format_table([{"a": 1, "b": 2}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+
+    def test_floats_formatted(self):
+        text = format_table([{"x": 0.123456}])
+        assert "0.123" in text
+        assert "0.1234" not in text
+
+    def test_custom_float_format(self):
+        text = format_table([{"x": 0.5}], float_format="{:.1f}")
+        assert "0.5" in text
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}])
+        assert "b" in text.splitlines()[0]
+
+    def test_title_on_top(self):
+        text = format_table([{"a": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_alignment(self):
+        text = format_table([{"name": "x", "value": 1}, {"name": "longer", "value": 2}])
+        lines = text.splitlines()
+        # All rows same width per column: separator line width equals header.
+        assert len(lines[1]) == len(lines[2])
+
+    def test_none_rendered_empty(self):
+        text = format_table([{"a": None, "b": 1}])
+        assert text.splitlines()[-1].split() == ["1"]
+
+
+class TestGenerateReport:
+    def test_invalid_scale(self, tmp_path):
+        import pytest
+
+        from repro.experiments.report import generate_report
+
+        with pytest.raises(ValueError, match="scale"):
+            generate_report(tmp_path, scale=0.0)
+
+    def test_render_figure(self):
+        from repro.experiments.figures import FigureResult
+        from repro.experiments.report import render_figure
+
+        figure = FigureResult(title="Fig")
+        figure.add_point("s", 1, 0.25)
+        text = render_figure(figure)
+        assert "Fig" in text and "1:0.250" in text

@@ -1,0 +1,78 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    config = ExperimentConfig(
+        preset="dbp15k/zh_en", input_regime="R",
+        matchers=("DInf", "CSLS", "Hun."), scale=0.2, seed=0,
+    )
+    return run_experiment(config)
+
+
+class TestRunExperiment:
+    def test_all_matchers_present(self, small_result):
+        assert set(small_result.runs) == {"DInf", "CSLS", "Hun."}
+
+    def test_metrics_in_range(self, small_result):
+        for run in small_result.runs.values():
+            assert 0.0 <= run.metrics.f1 <= 1.0
+            assert run.seconds >= 0.0
+            assert run.peak_bytes > 0
+
+    def test_one_to_one_pr_equal(self, small_result):
+        # Classic setting: every query answered -> P == R.
+        for name in ("DInf", "CSLS"):
+            metrics = small_result.runs[name].metrics
+            assert metrics.precision == pytest.approx(metrics.recall)
+
+    def test_improvement_over_baseline(self, small_result):
+        improvements = small_result.improvement_over("DInf")
+        assert improvements["DInf"] == pytest.approx(0.0)
+
+    def test_top5_std_recorded(self, small_result):
+        assert small_result.top5_std > 0.0
+
+    def test_task_reuse(self):
+        from repro.datasets.zoo import load_preset
+
+        task = load_preset("dbp15k/zh_en", scale=0.2)
+        config = ExperimentConfig(
+            preset="dbp15k/zh_en", input_regime="R", matchers=("DInf",), scale=0.2,
+        )
+        a = run_experiment(config, task=task)
+        b = run_experiment(config)
+        assert a.f1("DInf") == pytest.approx(b.f1("DInf"))
+
+    def test_matcher_options_forwarded(self):
+        config = ExperimentConfig(
+            preset="dbp15k/zh_en", input_regime="R",
+            matchers=("Sink.",), matcher_options={"Sink.": {"iterations": 1}},
+            scale=0.2,
+        )
+        result = run_experiment(config)
+        assert "Sink." in result.runs
+
+    def test_rl_is_fitted(self):
+        config = ExperimentConfig(
+            preset="dbp15k/zh_en", input_regime="R", matchers=("RL",), scale=0.2,
+        )
+        result = run_experiment(config)
+        assert 0.0 <= result.f1("RL") <= 1.0
+
+    def test_unmatchable_setting_breaks_pr_equality(self):
+        config = ExperimentConfig(
+            preset="dbp15k_plus/zh_en", input_regime="R",
+            matchers=("DInf", "Hun."), scale=0.3,
+        )
+        result = run_experiment(config)
+        dinf = result.runs["DInf"].metrics
+        # DInf answers unmatchable queries too: precision < recall.
+        assert dinf.precision < dinf.recall
+        hun = result.runs["Hun."].metrics
+        assert hun.precision >= dinf.precision

@@ -1,0 +1,81 @@
+"""Smoke tests for the table generators (at reduced scale).
+
+The full-scale shape assertions live in the benchmark suite; here we
+check the plumbing — rows present, keys consistent, raw results wired.
+"""
+
+import pytest
+
+from repro.experiments.tables import (
+    table3_dataset_statistics,
+    table4_structure_only,
+    table7_unmatchable,
+    table8_non_one_to_one,
+)
+
+_FAST_MATCHERS = ("DInf", "CSLS", "Hun.")
+
+
+class TestTable3:
+    def test_one_row_per_preset(self):
+        table = table3_dataset_statistics(scale=0.2)
+        from repro.datasets.zoo import list_presets
+
+        assert len(table.rows) == len(list_presets())
+
+    def test_row_keys(self):
+        table = table3_dataset_statistics(scale=0.2)
+        assert {"preset", "#Entities", "#Triples"} <= set(table.rows[0])
+
+    def test_fb_preset_reports_non_one_to_one(self):
+        table = table3_dataset_statistics(scale=0.2)
+        fb_rows = [r for r in table.rows if r["preset"] == "fb_dbp_mul"]
+        assert fb_rows[0]["#non-1-to-1"] > 0
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return table4_structure_only(scale=0.25, matchers=_FAST_MATCHERS)
+
+    def test_row_per_matcher(self, table):
+        assert [row["matcher"] for row in table.rows] == list(_FAST_MATCHERS)
+
+    def test_all_cells_filled(self, table):
+        for row in table.rows:
+            for key, value in row.items():
+                if ":" in key and not key.endswith("Imp."):
+                    assert isinstance(value, float)
+
+    def test_results_accessible(self, table):
+        result = table.result("R", "dbp15k/zh_en")
+        assert result.f1("DInf") >= 0.0
+
+    def test_improvement_column_for_non_baseline(self, table):
+        csls_row = table.rows[1]
+        assert "R-DBP:Imp." in csls_row
+        dinf_row = table.rows[0]
+        assert "R-DBP:Imp." not in dinf_row
+
+
+class TestTable7:
+    def test_reports_both_regimes(self):
+        table = table7_unmatchable(scale=0.25, matchers=("DInf", "Hun."))
+        row = table.rows[0]
+        g_keys = [k for k in row if k.startswith("G:")]
+        r_keys = [k for k in row if k.startswith("R:")]
+        assert len(g_keys) == 4  # 3 datasets + time
+        assert len(r_keys) == 4
+
+
+class TestTable8:
+    def test_reports_precision_recall(self):
+        table = table8_non_one_to_one(scale=0.5, matchers=("DInf", "CSLS"))
+        row = table.rows[0]
+        assert {"G:P", "G:R", "G:F1", "R:P", "R:R", "R:F1"} <= set(row)
+
+    def test_recall_below_precision(self):
+        # One prediction per source vs multi-target gold: recall < precision.
+        table = table8_non_one_to_one(scale=0.5, matchers=("DInf",))
+        row = table.rows[0]
+        assert row["G:R"] < row["G:P"]

@@ -1,0 +1,75 @@
+"""Tests for validation-based hyper-parameter tuning."""
+
+import pytest
+
+from repro.experiments.regimes import build_embeddings
+from repro.experiments.tuning import suggested_grids, tune_all, tune_matcher
+
+
+@pytest.fixture(scope="module")
+def tuning_setting():
+    from repro.datasets.zoo import load_preset
+
+    task = load_preset("dbp15k/zh_en", scale=0.4)
+    embeddings = build_embeddings(task, "R", preset_name="dbp15k/zh_en")
+    return task, embeddings
+
+
+class TestTuneMatcher:
+    def test_returns_best_of_grid(self, tuning_setting):
+        task, embeddings = tuning_setting
+        outcome = tune_matcher(
+            "Sink.", task, embeddings,
+            grid=[{"iterations": 1}, {"iterations": 50}],
+        )
+        assert outcome.best_options in ({"iterations": 1}, {"iterations": 50})
+        assert len(outcome.trials) == 2
+        assert outcome.best_f1 == max(t.f1 for t in outcome.trials)
+
+    def test_ties_prefer_earlier_config(self, tuning_setting):
+        task, embeddings = tuning_setting
+        # Identical configs tie exactly: the first (cheaper-by-convention)
+        # entry must win.
+        outcome = tune_matcher(
+            "CSLS", task, embeddings, grid=[{"k": 1}, {"k": 1}],
+        )
+        assert outcome.best_options == {"k": 1}
+        assert outcome.trials[0].f1 == outcome.trials[1].f1
+
+    def test_empty_grid_rejected(self, tuning_setting):
+        task, embeddings = tuning_setting
+        with pytest.raises(ValueError, match="grid"):
+            tune_matcher("CSLS", task, embeddings, grid=[])
+
+    def test_no_validation_links_rejected(self, tuning_setting):
+        _, embeddings = tuning_setting
+        from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair
+
+        no_valid = generate_aligned_pair(
+            KGPairConfig(num_entities=200, validation_fraction=0.0, seed=3)
+        )
+        emb = build_embeddings(no_valid, "R", preset_name="dbp15k/x")
+        with pytest.raises(ValueError, match="validation"):
+            tune_matcher("CSLS", no_valid, emb, grid=[{"k": 1}])
+
+    def test_trials_record_time(self, tuning_setting):
+        task, embeddings = tuning_setting
+        outcome = tune_matcher("CSLS", task, embeddings, grid=[{"k": 1}])
+        assert outcome.trials[0].seconds >= 0.0
+
+
+class TestTuneAll:
+    def test_suggested_grids_cover_tunables(self):
+        grids = suggested_grids()
+        assert {"CSLS", "Sink.", "RInf-pb", "RL"} <= set(grids)
+
+    def test_tune_subset(self, tuning_setting):
+        task, embeddings = tuning_setting
+        outcomes = tune_all(task, embeddings, matchers=("CSLS",))
+        assert set(outcomes) == {"CSLS"}
+        assert "k" in outcomes["CSLS"].best_options
+
+    def test_unknown_matcher_rejected(self, tuning_setting):
+        task, embeddings = tuning_setting
+        with pytest.raises(ValueError, match="no suggested grid"):
+            tune_all(task, embeddings, matchers=("Magic",))

@@ -1,0 +1,126 @@
+"""End-to-end integration tests across the whole pipeline.
+
+Each test exercises a full path a user of the library would take:
+generate data -> build embeddings -> match -> evaluate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PAPER_MATCHERS, create_matcher
+from repro.datasets import load_preset
+from repro.eval import evaluate_pairs
+from repro.experiments import build_embeddings
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import _gold_local_pairs, run_experiment
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline_state(self):
+        task = load_preset("dbp15k/zh_en", scale=0.4)
+        embeddings = build_embeddings(task, "R", preset_name="dbp15k/zh_en")
+        queries = task.test_query_ids()
+        candidates = task.candidate_target_ids()
+        gold = _gold_local_pairs(task, queries, candidates)
+        return task, embeddings, queries, candidates, gold
+
+    @pytest.mark.parametrize("matcher_name", PAPER_MATCHERS)
+    def test_every_matcher_beats_chance(self, pipeline_state, matcher_name):
+        task, emb, queries, candidates, gold = pipeline_state
+        matcher = create_matcher(matcher_name)
+        result = matcher.match(emb.source[queries], emb.target[candidates])
+        metrics = evaluate_pairs(result.pairs, gold)
+        chance = 1.0 / len(candidates)
+        assert metrics.f1 > 10 * chance
+
+    def test_advanced_matchers_beat_dinf(self, pipeline_state):
+        task, emb, queries, candidates, gold = pipeline_state
+        src, tgt = emb.source[queries], emb.target[candidates]
+
+        def f1(name):
+            return evaluate_pairs(create_matcher(name).match(src, tgt).pairs, gold).f1
+
+        dinf = f1("DInf")
+        assert f1("Hun.") > dinf
+        assert f1("Sink.") > dinf
+        assert f1("CSLS") >= dinf
+
+    def test_trained_encoder_pipeline(self):
+        # The real (non-oracle) encoders drive the same pipeline.
+        task = load_preset("dbp15k/zh_en", scale=0.4)
+        emb = build_embeddings(task, "rrea", preset_name="dbp15k/zh_en")
+        queries = task.test_query_ids()
+        candidates = task.candidate_target_ids()
+        gold = _gold_local_pairs(task, queries, candidates)
+        result = create_matcher("CSLS").match(emb.source[queries], emb.target[candidates])
+        metrics = evaluate_pairs(result.pairs, gold)
+        assert metrics.f1 > 0.1
+
+    def test_name_fusion_improves_over_structure(self):
+        task = load_preset("srprs/dbp_yg", scale=0.4)
+        queries = task.test_query_ids()
+        candidates = task.candidate_target_ids()
+        gold = _gold_local_pairs(task, queries, candidates)
+
+        def f1(regime):
+            emb = build_embeddings(task, regime, preset_name="srprs/dbp_yg")
+            result = create_matcher("DInf").match(
+                emb.source[queries], emb.target[candidates]
+            )
+            return evaluate_pairs(result.pairs, gold).f1
+
+        assert f1("NR") > f1("R")
+
+
+class TestSettingsIntegration:
+    def test_unmatchable_setting_full_run(self):
+        config = ExperimentConfig(
+            preset="dbp15k_plus/ja_en", input_regime="R",
+            matchers=("DInf", "Hun.", "SMat"), scale=0.4,
+        )
+        result = run_experiment(config)
+        # Constrained matchers abstain on surplus sources: fewer
+        # predictions, better precision than greedy.
+        assert result.runs["Hun."].metrics.num_predicted <= (
+            result.runs["DInf"].metrics.num_predicted
+        )
+        assert result.runs["Hun."].metrics.precision > result.runs["DInf"].metrics.precision
+
+    def test_non_one_to_one_setting_full_run(self):
+        config = ExperimentConfig(
+            preset="fb_dbp_mul", input_regime="R",
+            matchers=("DInf", "Hun."), scale=0.6,
+        )
+        result = run_experiment(config)
+        # Recall is structurally capped: one answer per source, several
+        # gold targets per source.
+        assert result.runs["DInf"].metrics.recall < result.runs["DInf"].metrics.precision
+
+    def test_matcher_timing_accumulates_phases(self):
+        config = ExperimentConfig(
+            preset="dbp15k/zh_en", input_regime="R", matchers=("Sink.",), scale=0.3,
+        )
+        result = run_experiment(config)
+        assert result.runs["Sink."].seconds > 0.0
+
+
+class TestReproducibility:
+    def test_same_config_same_results(self):
+        config = ExperimentConfig(
+            preset="srprs/en_de", input_regime="G", matchers=("DInf", "RInf"),
+            scale=0.3, seed=3,
+        )
+        a = run_experiment(config)
+        b = run_experiment(config)
+        for name in ("DInf", "RInf"):
+            assert a.f1(name) == pytest.approx(b.f1(name))
+
+    def test_different_seed_different_embeddings(self):
+        base = dict(preset="srprs/en_de", input_regime="G",
+                    matchers=("DInf",), scale=0.3)
+        a = run_experiment(ExperimentConfig(**base, seed=1))
+        b = run_experiment(ExperimentConfig(**base, seed=2))
+        # Same dataset, different embedding noise: F1 may coincide but
+        # the top-5 std fingerprint of the score matrix will differ.
+        assert a.top5_std != b.top5_std

@@ -1,0 +1,84 @@
+"""The paper's Figure 1 / Example 1 as executable evidence.
+
+Three cases of EA:
+
+(a) identical KGs + ideal representation learning — even the simple
+    DInf algorithm attains perfect results;
+(b) structurally heterogeneous KGs — an ideal encoder still embeds
+    equivalent entities apart, DInf produces false pairs;
+(c) irregular embedding distributions (weak encoder on heterogeneous
+    KGs) — DInf falls well short, and the collective 1-to-1 matcher
+    restores a large share of the correct matches.
+"""
+
+import pytest
+
+from repro.core import DInf, Hungarian
+from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair
+from repro.embedding.oracle import OracleConfig, OracleEncoder
+from repro.eval import evaluate_pairs
+from repro.experiments.runner import _gold_local_pairs
+
+
+def run_case(heterogeneity, oracle):
+    task = generate_aligned_pair(
+        KGPairConfig(
+            num_entities=150, num_relations=10, average_degree=4.0,
+            heterogeneity=heterogeneity, seed=77,
+            name=f"fig1-{heterogeneity}",
+        )
+    )
+    embeddings = OracleEncoder(oracle).encode(task)
+    queries = task.test_query_ids()
+    candidates = task.candidate_target_ids()
+    src, tgt = embeddings.source[queries], embeddings.target[candidates]
+    gold = _gold_local_pairs(task, queries, candidates)
+    return {
+        "DInf": evaluate_pairs(DInf().match(src, tgt).pairs, gold).f1,
+        "Hun.": evaluate_pairs(Hungarian().match(src, tgt).pairs, gold).f1,
+    }
+
+
+class TestFigure1:
+    def test_case_a_identical_kgs_ideal_encoder(self):
+        """Identical structures + ideal encoder: DInf is already perfect."""
+        scores = run_case(
+            heterogeneity=0.0,
+            oracle=OracleConfig(noise=0.0, duplicate_jitter=0.0, seed=1),
+        )
+        assert scores["DInf"] == 1.0
+
+    def test_case_b_heterogeneous_kgs(self):
+        """Heterogeneity: equivalent entities embed apart, DInf errs,
+        and the 1-to-1 constraint already recovers part of the loss."""
+        scores = run_case(
+            heterogeneity=0.3,
+            oracle=OracleConfig(noise=0.45, cluster_size=8,
+                                cluster_spread=0.25, seed=1),
+        )
+        assert scores["DInf"] < 1.0
+        assert scores["Hun."] >= scores["DInf"]
+
+    def test_case_c_irregular_embeddings(self):
+        """Weak encoder on heterogeneous KGs: DInf falls hard; the
+        collective matcher restores many correct matches (the paper's
+        (u3, v3)/(u5, v5) restoration argument)."""
+        scores = run_case(
+            heterogeneity=0.3,
+            oracle=OracleConfig(noise=0.42, cluster_size=5, cluster_spread=0.2,
+                                smoothing=0.7, noise_dispersion=0.4, seed=1),
+        )
+        assert scores["DInf"] < 0.7
+        assert scores["Hun."] > scores["DInf"]
+
+    def test_cases_order_by_difficulty(self):
+        """F1 degrades monotonically from case (a) to case (c)."""
+        case_a = run_case(0.0, OracleConfig(noise=0.0, duplicate_jitter=0.0, seed=1))
+        case_b = run_case(
+            0.3, OracleConfig(noise=0.45, cluster_size=8, cluster_spread=0.25, seed=1)
+        )
+        case_c = run_case(
+            0.3, OracleConfig(noise=0.42, cluster_size=5, cluster_spread=0.2,
+                              smoothing=0.7, noise_dispersion=0.4, seed=1),
+        )
+        assert case_a["DInf"] > case_b["DInf"] > case_c["DInf"]

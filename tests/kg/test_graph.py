@@ -1,0 +1,137 @@
+"""Tests for the KnowledgeGraph data model."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.kg.graph import KnowledgeGraph, Triple
+
+
+@pytest.fixture()
+def toy_graph():
+    triples = [
+        Triple("a", "r1", "b"),
+        Triple("b", "r1", "c"),
+        Triple("a", "r2", "c"),
+        Triple("c", "r2", "d"),
+    ]
+    return KnowledgeGraph(triples, name="toy")
+
+
+class TestConstruction:
+    def test_counts(self, toy_graph):
+        assert toy_graph.num_entities == 4
+        assert toy_graph.num_relations == 2
+        assert toy_graph.num_triples == 4
+
+    def test_vocabulary_order_is_first_seen(self, toy_graph):
+        assert toy_graph.entities == ("a", "b", "c", "d")
+        assert toy_graph.relations == ("r1", "r2")
+
+    def test_duplicate_triples_collapsed(self):
+        graph = KnowledgeGraph([("a", "r", "b"), ("a", "r", "b")])
+        assert graph.num_triples == 1
+
+    def test_tuple_input_accepted(self):
+        graph = KnowledgeGraph([("x", "r", "y")])
+        assert graph.num_entities == 2
+
+    def test_preseeded_entities(self):
+        graph = KnowledgeGraph([("a", "r", "b")], entities=["z", "a", "b"])
+        assert graph.entities == ("z", "a", "b")
+        assert graph.entity_id("z") == 0
+
+    def test_isolated_entity_via_preseed(self):
+        graph = KnowledgeGraph([("a", "r", "b")], entities=["a", "b", "lonely"])
+        assert graph.has_entity("lonely")
+        assert graph.degrees()[graph.entity_id("lonely")] == 0
+
+    def test_empty_graph(self):
+        graph = KnowledgeGraph([])
+        assert graph.num_entities == 0
+        assert graph.num_triples == 0
+
+    def test_repr(self, toy_graph):
+        assert "toy" in repr(toy_graph)
+
+
+class TestLookup:
+    def test_entity_id_roundtrip(self, toy_graph):
+        for name in toy_graph.entities:
+            assert toy_graph.entities[toy_graph.entity_id(name)] == name
+
+    def test_relation_id(self, toy_graph):
+        assert toy_graph.relation_id("r2") == 1
+
+    def test_unknown_entity_raises(self, toy_graph):
+        with pytest.raises(KeyError):
+            toy_graph.entity_id("ghost")
+
+    def test_has_entity(self, toy_graph):
+        assert toy_graph.has_entity("a")
+        assert not toy_graph.has_entity("ghost")
+
+
+class TestTriples:
+    def test_iteration_roundtrip(self, toy_graph):
+        names = {tuple(t) for t in toy_graph.triples()}
+        assert ("a", "r1", "b") in names
+        assert len(names) == 4
+
+    def test_triple_ids_shape(self, toy_graph):
+        ids = toy_graph.triple_ids
+        assert ids.shape == (4, 3)
+        assert ids.dtype == np.int64
+
+    def test_triple_ids_is_copy(self, toy_graph):
+        ids = toy_graph.triple_ids
+        ids[0, 0] = 99
+        assert toy_graph.triple_ids[0, 0] != 99
+
+    def test_relation_triples(self, toy_graph):
+        counts = toy_graph.relation_triples()
+        assert counts == {"r1": 2, "r2": 2}
+
+
+class TestStructure:
+    def test_degrees(self, toy_graph):
+        deg = toy_graph.degrees()
+        # a: 2 triples, b: 2, c: 3, d: 1
+        assert deg.tolist() == [2, 2, 3, 1]
+
+    def test_average_degree(self, toy_graph):
+        assert toy_graph.average_degree() == pytest.approx(8 / 4)
+
+    def test_average_degree_empty(self):
+        assert KnowledgeGraph([]).average_degree() == 0.0
+
+    def test_adjacency_symmetric(self, toy_graph):
+        adj = toy_graph.adjacency()
+        assert (adj != adj.T).nnz == 0
+
+    def test_adjacency_binary(self, toy_graph):
+        adj = toy_graph.adjacency()
+        assert set(np.unique(adj.data)) <= {1.0}
+
+    def test_adjacency_self_loops(self, toy_graph):
+        adj = toy_graph.adjacency(add_self_loops=True)
+        np.testing.assert_array_equal(adj.diagonal(), 1.0)
+
+    def test_adjacency_without_self_loops(self, toy_graph):
+        adj = toy_graph.adjacency(add_self_loops=False)
+        np.testing.assert_array_equal(adj.diagonal(), 0.0)
+
+    def test_normalized_adjacency_rows(self, toy_graph):
+        norm = toy_graph.normalized_adjacency()
+        assert isinstance(norm, sp.csr_matrix)
+        # Symmetric normalisation keeps the matrix symmetric.
+        assert abs(norm - norm.T).max() < 1e-12
+        # Spectral radius of D^-1/2 (A+I) D^-1/2 is at most 1.
+        eigenvalue = np.max(np.abs(np.linalg.eigvalsh(norm.toarray())))
+        assert eigenvalue <= 1.0 + 1e-9
+
+    def test_neighbors(self, toy_graph):
+        assert set(toy_graph.neighbors("c")) == {"a", "b", "d"}
+
+    def test_neighbors_direction_agnostic(self, toy_graph):
+        assert "c" in toy_graph.neighbors("d")

@@ -1,0 +1,77 @@
+"""Tests for OpenEA-format serialization."""
+
+import pytest
+
+from repro.kg.io import load_alignment_task, load_knowledge_graph, save_alignment_task
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pair import AlignmentSplit, AlignmentTask
+
+
+@pytest.fixture()
+def roundtrip_task():
+    source = KnowledgeGraph([("s0", "r0", "s1"), ("s1", "r1", "s2")], name="source")
+    target = KnowledgeGraph([("t0", "q0", "t1"), ("t2", "q0", "t0")], name="target")
+    split = AlignmentSplit(
+        (("s0", "t0"),), (("s1", "t1"),), (("s2", "t2"),),
+    )
+    return AlignmentTask(source, target, split, name="rt")
+
+
+class TestRoundtrip:
+    def test_save_creates_files(self, roundtrip_task, tmp_path):
+        directory = save_alignment_task(roundtrip_task, tmp_path / "ds")
+        for name in (
+            "rel_triples_1", "rel_triples_2", "train_links", "valid_links", "test_links",
+        ):
+            assert (directory / name).exists()
+
+    def test_roundtrip_preserves_triples(self, roundtrip_task, tmp_path):
+        directory = save_alignment_task(roundtrip_task, tmp_path / "ds")
+        loaded = load_alignment_task(directory)
+        assert {tuple(t) for t in loaded.source.triples()} == {
+            tuple(t) for t in roundtrip_task.source.triples()
+        }
+        assert {tuple(t) for t in loaded.target.triples()} == {
+            tuple(t) for t in roundtrip_task.target.triples()
+        }
+
+    def test_roundtrip_preserves_splits(self, roundtrip_task, tmp_path):
+        directory = save_alignment_task(roundtrip_task, tmp_path / "ds")
+        loaded = load_alignment_task(directory)
+        assert loaded.split == roundtrip_task.split
+
+    def test_task_name_defaults_to_directory(self, roundtrip_task, tmp_path):
+        directory = save_alignment_task(roundtrip_task, tmp_path / "mydata")
+        assert load_alignment_task(directory).name == "mydata"
+
+    def test_generated_dataset_roundtrip(self, small_task, tmp_path):
+        directory = save_alignment_task(small_task, tmp_path / "gen")
+        loaded = load_alignment_task(directory)
+        assert loaded.source.num_triples == small_task.source.num_triples
+        assert set(loaded.split.test) == set(small_task.split.test)
+
+
+class TestLoadKnowledgeGraph:
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "triples"
+        path.write_text("a\tr\tb\n\nb\tr\tc\n", encoding="utf-8")
+        graph = load_knowledge_graph(path)
+        assert graph.num_triples == 2
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "triples"
+        path.write_text("a\tr\tb\nbroken line\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=":2:"):
+            load_knowledge_graph(path)
+
+    def test_unicode_entities(self, tmp_path):
+        path = tmp_path / "triples"
+        path.write_text("北京\tcapital_of\t中国\n", encoding="utf-8")
+        graph = load_knowledge_graph(path)
+        assert graph.has_entity("北京")
+
+    def test_malformed_links_raise(self, tmp_path, roundtrip_task):
+        directory = save_alignment_task(roundtrip_task, tmp_path / "ds")
+        (directory / "train_links").write_text("only_one_field\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="2 tab-separated"):
+            load_alignment_task(directory)

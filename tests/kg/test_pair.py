@@ -1,0 +1,147 @@
+"""Tests for alignment splits and tasks."""
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pair import AlignmentSplit, AlignmentTask, split_links
+
+
+def make_links(n):
+    return [(f"s{i}", f"t{i}") for i in range(n)]
+
+
+class TestAlignmentSplit:
+    def test_all_links(self):
+        split = AlignmentSplit((("a", "x"),), (("b", "y"),), (("c", "z"),))
+        assert split.all_links == (("a", "x"), ("b", "y"), ("c", "z"))
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            AlignmentSplit((("a", "x"),), (("a", "x"),), ())
+
+
+class TestSplitLinks:
+    def test_fractions_respected(self):
+        split = split_links(make_links(100), 0.2, 0.1, seed=0)
+        assert len(split.train) == 20
+        assert len(split.validation) == 10
+        assert len(split.test) == 70
+
+    def test_partition_is_complete(self):
+        links = make_links(50)
+        split = split_links(links, seed=1)
+        assert sorted(split.all_links) == sorted(links)
+
+    def test_deterministic(self):
+        a = split_links(make_links(30), seed=5)
+        b = split_links(make_links(30), seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = split_links(make_links(50), seed=1)
+        b = split_links(make_links(50), seed=2)
+        assert a.train != b.train
+
+    def test_duplicates_removed(self):
+        links = make_links(10) + make_links(10)
+        split = split_links(links, seed=0)
+        assert len(split.all_links) == 10
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            split_links(make_links(10), train_fraction=1.5)
+        with pytest.raises(ValueError):
+            split_links(make_links(10), train_fraction=0.8, validation_fraction=0.3)
+
+    def test_entity_disjoint_keeps_clusters_together(self):
+        # s0 links to t0 and t1: both links must land in the same split.
+        links = [("s0", "t0"), ("s0", "t1"), ("s1", "t2"), ("s2", "t3"), ("s3", "t4")]
+        for seed in range(10):
+            split = split_links(links, 0.4, 0.2, seed=seed, entity_disjoint=True)
+            for part in (split.train, split.validation, split.test):
+                has_first = ("s0", "t0") in part
+                has_second = ("s0", "t1") in part
+                assert has_first == has_second
+
+    def test_entity_disjoint_chain_cluster(self):
+        # s0-t0, s1-t0, s1-t1 chain: all three links share entities.
+        links = [("s0", "t0"), ("s1", "t0"), ("s1", "t1"), ("s2", "t2")]
+        split = split_links(links, 0.5, 0.0, seed=3, entity_disjoint=True)
+        chain = {("s0", "t0"), ("s1", "t0"), ("s1", "t1")}
+        for part in (split.train, split.validation, split.test):
+            overlap = chain & set(part)
+            assert overlap in (set(), chain)
+
+
+@pytest.fixture()
+def tiny_task():
+    source = KnowledgeGraph([("s0", "r", "s1"), ("s1", "r", "s2")], name="src")
+    target = KnowledgeGraph([("t0", "q", "t1"), ("t1", "q", "t2")], name="tgt")
+    split = AlignmentSplit((("s0", "t0"),), (("s1", "t1"),), (("s2", "t2"),))
+    return AlignmentTask(source, target, split, name="tiny")
+
+
+class TestAlignmentTask:
+    def test_seed_links(self, tiny_task):
+        assert tiny_task.seed_links == (("s0", "t0"),)
+
+    def test_index_pairs(self, tiny_task):
+        pairs = tiny_task.seed_index_pairs()
+        assert pairs.shape == (1, 2)
+        assert pairs[0, 0] == tiny_task.source.entity_id("s0")
+        assert pairs[0, 1] == tiny_task.target.entity_id("t0")
+
+    def test_test_source_ids(self, tiny_task):
+        ids = tiny_task.test_source_ids()
+        assert ids.tolist() == [tiny_task.source.entity_id("s2")]
+
+    def test_unknown_link_entity_rejected(self):
+        source = KnowledgeGraph([("s0", "r", "s1")])
+        target = KnowledgeGraph([("t0", "q", "t1")])
+        split = AlignmentSplit((("ghost", "t0"),), (), ())
+        with pytest.raises(ValueError, match="unknown source entity"):
+            AlignmentTask(source, target, split)
+
+    def test_display_name_fallback(self, tiny_task):
+        assert tiny_task.display_name("source", "s0") == "s0"
+
+    def test_display_name_lookup(self, tiny_task):
+        tiny_task.source_names["s0"] = "Berlin"
+        assert tiny_task.display_name("source", "s0") == "Berlin"
+
+    def test_display_name_bad_side(self, tiny_task):
+        with pytest.raises(ValueError, match="side"):
+            tiny_task.display_name("middle", "s0")
+
+    def test_query_ids_without_unmatchables(self, tiny_task):
+        np.testing.assert_array_equal(
+            tiny_task.test_query_ids(), tiny_task.test_source_ids()
+        )
+
+    def test_unmatchable_entities_extend_queries(self):
+        source = KnowledgeGraph([("s0", "r", "s1"), ("u0", "r", "s0")])
+        target = KnowledgeGraph([("t0", "q", "t1"), ("u1", "q", "t0")])
+        split = AlignmentSplit((), (), (("s0", "t0"), ("s1", "t1")))
+        task = AlignmentTask(
+            source, target, split,
+            unmatchable_source=("u0",), unmatchable_target=("u1",),
+        )
+        queries = set(task.test_query_ids().tolist())
+        assert source.entity_id("u0") in queries
+        candidates = set(task.candidate_target_ids().tolist())
+        assert target.entity_id("u1") in candidates
+
+    def test_unmatchable_must_not_be_linked(self):
+        source = KnowledgeGraph([("s0", "r", "s1")])
+        target = KnowledgeGraph([("t0", "q", "t1")])
+        split = AlignmentSplit((), (), (("s0", "t0"),))
+        with pytest.raises(ValueError, match="both linked and unmatchable"):
+            AlignmentTask(source, target, split, unmatchable_source=("s0",))
+
+    def test_unmatchable_must_exist(self):
+        source = KnowledgeGraph([("s0", "r", "s1")])
+        target = KnowledgeGraph([("t0", "q", "t1")])
+        split = AlignmentSplit((), (), (("s0", "t0"),))
+        with pytest.raises(ValueError, match="not in source KG"):
+            AlignmentTask(source, target, split, unmatchable_source=("ghost",))

@@ -1,0 +1,80 @@
+"""Tests for subtask sampling."""
+
+import pytest
+
+from repro.kg.sampling import sample_subtask
+
+
+class TestSampleSubtask:
+    def test_size_bounded(self, medium_task):
+        sub = sample_subtask(medium_task, num_links=20, hops=0, seed=0)
+        assert 20 <= len(sub.split.all_links) <= len(medium_task.split.all_links)
+        assert sub.source.num_entities < medium_task.source.num_entities
+
+    def test_links_remain_consistent(self, medium_task):
+        sub = sample_subtask(medium_task, num_links=25, seed=1)
+        for src, tgt in sub.split.all_links:
+            assert sub.source.has_entity(src)
+            assert sub.target.has_entity(tgt)
+
+    def test_split_membership_preserved(self, medium_task):
+        sub = sample_subtask(medium_task, num_links=30, seed=2)
+        assert set(sub.split.train) <= set(medium_task.split.train)
+        assert set(sub.split.test) <= set(medium_task.split.test)
+
+    def test_no_dangling_triples(self, medium_task):
+        sub = sample_subtask(medium_task, num_links=15, hops=1, seed=3)
+        for triple in sub.source.triples():
+            assert sub.source.has_entity(triple.subject)
+            assert sub.source.has_entity(triple.object)
+
+    def test_triples_are_subset(self, medium_task):
+        sub = sample_subtask(medium_task, num_links=15, hops=1, seed=3)
+        original = {tuple(t) for t in medium_task.source.triples()}
+        assert {tuple(t) for t in sub.source.triples()} <= original
+
+    def test_hops_grow_the_sample(self, medium_task):
+        small = sample_subtask(medium_task, num_links=10, hops=0, seed=4)
+        large = sample_subtask(medium_task, num_links=10, hops=2, seed=4)
+        assert large.source.num_entities >= small.source.num_entities
+
+    def test_deterministic(self, medium_task):
+        a = sample_subtask(medium_task, num_links=12, seed=5)
+        b = sample_subtask(medium_task, num_links=12, seed=5)
+        assert a.split == b.split
+
+    def test_names_restricted(self, medium_task):
+        sub = sample_subtask(medium_task, num_links=10, seed=6)
+        assert set(sub.source_names) <= set(sub.source.entities)
+
+    def test_num_links_clamped(self, medium_task):
+        sub = sample_subtask(medium_task, num_links=10**6, hops=0, seed=0)
+        assert len(sub.split.all_links) == len(medium_task.split.all_links)
+
+    def test_invalid_params(self, medium_task):
+        with pytest.raises(ValueError, match="num_links"):
+            sample_subtask(medium_task, num_links=0)
+        with pytest.raises(ValueError, match="hops"):
+            sample_subtask(medium_task, num_links=5, hops=-1)
+
+    def test_unmatchable_annotations_survive(self, medium_task):
+        from repro.datasets.unmatchable import UnmatchableConfig, add_unmatchable_entities
+
+        plus = add_unmatchable_entities(medium_task, UnmatchableConfig(seed=9))
+        sub = sample_subtask(plus, num_links=40, hops=2, seed=7)
+        for entity in sub.unmatchable_source:
+            assert sub.source.has_entity(entity)
+
+    def test_subtask_runs_through_pipeline(self, medium_task):
+        from repro.core import create_matcher
+        from repro.embedding import OracleConfig, OracleEncoder
+        from repro.pipeline import AlignmentPipeline
+
+        sub = sample_subtask(medium_task, num_links=60, hops=1, seed=8)
+        if not sub.split.test or not sub.split.train:
+            pytest.skip("sample landed without test/train links")
+        pipeline = AlignmentPipeline(
+            OracleEncoder(OracleConfig(noise=0.3)), create_matcher("DInf")
+        )
+        prediction = pipeline.align(sub)
+        assert 0.0 <= prediction.metrics.f1 <= 1.0

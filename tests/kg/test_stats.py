@@ -1,0 +1,50 @@
+"""Tests for Table 3 dataset statistics."""
+
+import pytest
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pair import AlignmentSplit, AlignmentTask
+from repro.kg.stats import dataset_statistics
+
+
+@pytest.fixture()
+def stats_task():
+    source = KnowledgeGraph([("s0", "r", "s1"), ("s1", "r", "s2")])
+    target = KnowledgeGraph([("t0", "q", "t1")])
+    split = AlignmentSplit(
+        (("s0", "t0"),), (), (("s1", "t1"), ("s2", "t1")),
+    )
+    return AlignmentTask(source, target, split, name="stats")
+
+
+class TestDatasetStatistics:
+    def test_counts_sum_both_sides(self, stats_task):
+        stats = dataset_statistics(stats_task)
+        assert stats.num_entities == 3 + 2
+        assert stats.num_relations == 2
+        assert stats.num_triples == 3
+
+    def test_gold_links(self, stats_task):
+        assert dataset_statistics(stats_task).num_gold_links == 3
+
+    def test_average_degree(self, stats_task):
+        stats = dataset_statistics(stats_task)
+        assert stats.average_degree == pytest.approx(2 * 3 / 5)
+
+    def test_non_one_to_one_detection(self, stats_task):
+        stats = dataset_statistics(stats_task)
+        # t1 appears in two links: those two are non-1-to-1, s0-t0 is 1-to-1.
+        assert stats.num_one_to_one_links == 1
+        assert stats.num_non_one_to_one_links == 2
+
+    def test_as_row_keys(self, stats_task):
+        row = dataset_statistics(stats_task).as_row()
+        assert row["dataset"] == "stats"
+        assert "#Entities" in row
+        assert "Avg. degree" in row
+
+    def test_generated_preset_statistics(self, small_task):
+        stats = dataset_statistics(small_task)
+        assert stats.num_gold_links == 60
+        assert stats.num_non_one_to_one_links == 0
+        assert stats.average_degree == pytest.approx(4.0, abs=1.0)

@@ -1,0 +1,120 @@
+"""Property-based tests for the extension matchers and chunked similarity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.blocking import BlockedMatcher
+from repro.core.greedy import DInf
+from repro.core.multi import MultiAnswerMatcher
+from repro.core.threshold import ThresholdMatcher
+from repro.similarity.chunked import chunked_top_k
+from repro.similarity.metrics import similarity_matrix
+from repro.similarity.topk import top_k_values
+
+score_matrices = st.tuples(st.integers(2, 10), st.integers(2, 10)).flatmap(
+    lambda shape: arrays(
+        np.float64, shape,
+        elements=st.floats(-1, 1, allow_nan=False, allow_infinity=False),
+    )
+)
+
+embedding_pairs = st.tuples(
+    st.integers(2, 15), st.integers(2, 15), st.integers(2, 6)
+).flatmap(
+    lambda dims: st.tuples(
+        arrays(np.float64, (dims[0], dims[2]),
+               elements=st.floats(-5, 5, allow_nan=False)),
+        arrays(np.float64, (dims[1], dims[2]),
+               elements=st.floats(-5, 5, allow_nan=False)),
+    )
+)
+
+
+class TestThresholdProperties:
+    @given(scores=score_matrices, threshold=st.floats(-2, 2, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_output_subset_of_inner(self, scores, threshold):
+        inner = DInf().match_scores(scores)
+        filtered = ThresholdMatcher(DInf(), threshold).match_scores(scores)
+        assert filtered.as_set() <= inner.as_set()
+
+    @given(scores=score_matrices,
+           low=st.floats(-2, 0, allow_nan=False),
+           high=st.floats(0, 2, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_threshold(self, scores, low, high):
+        loose = ThresholdMatcher(DInf(), low).match_scores(scores)
+        strict = ThresholdMatcher(DInf(), high).match_scores(scores)
+        assert strict.as_set() <= loose.as_set()
+
+    @given(scores=score_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_surviving_scores_at_threshold(self, scores):
+        threshold = float(np.median(scores))
+        result = ThresholdMatcher(DInf(), threshold).match_scores(scores)
+        assert np.all(result.scores >= threshold)
+
+
+class TestMultiAnswerProperties:
+    @given(scores=score_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_includes_greedy_choice(self, scores):
+        greedy = DInf().match_scores(scores).as_set()
+        multi = MultiAnswerMatcher().match_scores(scores).as_set()
+        assert greedy <= multi
+
+    @given(scores=score_matrices,
+           tight=st.floats(0.7, 1.0, exclude_max=False, allow_nan=False),
+           loose=st.floats(0.1, 0.7, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_mass_ratio(self, scores, tight, loose):
+        few = MultiAnswerMatcher(mass_ratio=tight).match_scores(scores).as_set()
+        many = MultiAnswerMatcher(mass_ratio=loose).match_scores(scores).as_set()
+        assert few <= many
+
+    @given(scores=score_matrices, top_k=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_answers_bounded_by_top_k(self, scores, top_k):
+        result = MultiAnswerMatcher(top_k=top_k).match_scores(scores)
+        per_source = np.bincount(result.pairs[:, 0], minlength=scores.shape[0])
+        assert per_source.max() <= top_k
+        assert per_source.min() >= 1  # never abstains entirely
+
+
+class TestBlockingProperties:
+    @given(data=embedding_pairs, blocks=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_valid_output(self, data, blocks):
+        source, target = data
+        # Degenerate all-zero inputs are rejected upstream; skip them.
+        if not np.any(source) or not np.any(target):
+            return
+        result = BlockedMatcher(DInf(), num_blocks=blocks).match(source, target)
+        if len(result.pairs):
+            assert result.pairs[:, 0].max() < source.shape[0]
+            assert result.pairs[:, 1].max() < target.shape[0]
+        sources = result.pairs[:, 0].tolist()
+        assert len(sources) == len(set(sources))
+
+    @given(data=embedding_pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_single_block_is_inner(self, data):
+        source, target = data
+        blocked = BlockedMatcher(DInf(), num_blocks=1).match(source, target)
+        plain = DInf().match(source, target)
+        assert blocked.as_set() == plain.as_set()
+
+
+class TestChunkedProperties:
+    @given(data=embedding_pairs, k=st.integers(1, 6),
+           chunk=st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_chunk_size_irrelevant(self, data, k, chunk):
+        source, target = data
+        indices, scores = chunked_top_k(source, target, k=k, chunk_size=chunk)
+        dense = similarity_matrix(source, target)
+        expected = top_k_values(dense, k)
+        np.testing.assert_allclose(scores, expected, atol=1e-9)

@@ -1,0 +1,75 @@
+"""Property-based verification of the native Hungarian solver.
+
+The strongest invariant available: on every random cost matrix the
+native Jonker-Volgenant solver must reach exactly the optimum scipy's
+C implementation reaches.
+"""
+
+import numpy as np
+import scipy.optimize
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.hungarian import solve_assignment_max, solve_assignment_min
+
+square_costs = st.integers(1, 12).flatmap(
+    lambda n: arrays(
+        np.float64, (n, n),
+        elements=st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+    )
+)
+
+rect_scores = st.tuples(st.integers(1, 10), st.integers(1, 10)).flatmap(
+    lambda shape: arrays(
+        np.float64, shape,
+        elements=st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+    )
+)
+
+
+class TestSolverOptimality:
+    @given(cost=square_costs)
+    @settings(max_examples=100, deadline=None)
+    def test_total_cost_matches_scipy(self, cost):
+        n = cost.shape[0]
+        ours = solve_assignment_min(cost)
+        rows, cols = scipy.optimize.linear_sum_assignment(cost)
+        np.testing.assert_allclose(
+            cost[np.arange(n), ours].sum(), cost[rows, cols].sum(), atol=1e-8
+        )
+
+    @given(cost=square_costs)
+    @settings(max_examples=100, deadline=None)
+    def test_output_is_permutation(self, cost):
+        assignment = solve_assignment_min(cost)
+        assert sorted(assignment.tolist()) == list(range(cost.shape[0]))
+
+    @given(cost=square_costs, shift=st.floats(-100, 100, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_shift_invariance(self, cost, shift):
+        # Adding a constant to every cost does not change the optimum set
+        # of totals (assignment may differ under ties, totals agree).
+        n = cost.shape[0]
+        base = solve_assignment_min(cost)
+        shifted = solve_assignment_min(cost + shift)
+        base_total = cost[np.arange(n), base].sum()
+        shifted_total = cost[np.arange(n), shifted].sum()
+        np.testing.assert_allclose(base_total, shifted_total, atol=1e-7)
+
+
+class TestRectangularMax:
+    @given(scores=rect_scores)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scipy_total(self, scores):
+        pairs, pair_scores = solve_assignment_max(scores)
+        rows, cols = scipy.optimize.linear_sum_assignment(scores, maximize=True)
+        np.testing.assert_allclose(
+            pair_scores.sum(), scores[rows, cols].sum(), atol=1e-8
+        )
+
+    @given(scores=rect_scores)
+    @settings(max_examples=50, deadline=None)
+    def test_pair_count_is_min_side(self, scores):
+        pairs, _ = solve_assignment_max(scores)
+        assert len(pairs) == min(scores.shape)

@@ -1,0 +1,94 @@
+"""Property-based tests for the KG substrate and dataset generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair, generate_kg
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pair import split_links
+
+triple_lists = st.lists(
+    st.tuples(
+        st.text(alphabet="abcdef", min_size=1, max_size=3),
+        st.sampled_from(["r0", "r1"]),
+        st.text(alphabet="abcdef", min_size=1, max_size=3),
+    ),
+    max_size=30,
+)
+
+
+class TestGraphProperties:
+    @given(triples=triple_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_degree_sum_is_twice_triples(self, triples):
+        graph = KnowledgeGraph(triples)
+        assert graph.degrees().sum() == 2 * graph.num_triples
+
+    @given(triples=triple_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_vocab_covers_triples(self, triples):
+        graph = KnowledgeGraph(triples)
+        for triple in graph.triples():
+            assert graph.has_entity(triple.subject)
+            assert graph.has_entity(triple.object)
+
+    @given(triples=triple_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_adjacency_diag_and_symmetry(self, triples):
+        graph = KnowledgeGraph(triples)
+        if graph.num_entities == 0:
+            return
+        adj = graph.adjacency()
+        assert (adj != adj.T).nnz == 0
+
+
+class TestSplitProperties:
+    @given(
+        n=st.integers(1, 60),
+        train=st.floats(0, 0.7),
+        valid=st.floats(0, 0.3),
+        seed=st.integers(0, 100),
+        disjoint=st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_split_is_partition(self, n, train, valid, seed, disjoint):
+        links = [(f"s{i}", f"t{i}") for i in range(n)]
+        split = split_links(links, train, valid, seed=seed, entity_disjoint=disjoint)
+        assert sorted(split.all_links) == sorted(links)
+        assert not (set(split.train) & set(split.test))
+
+
+class TestGeneratorProperties:
+    @given(
+        n=st.integers(10, 80),
+        degree=st.floats(1.5, 6.0),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_kg_size_and_connectivity(self, n, degree, seed):
+        import networkx as nx
+
+        graph = generate_kg(n, 4, degree, seed=seed)
+        assert graph.num_entities == n
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(n))
+        for head, _, tail in graph.triple_ids:
+            nx_graph.add_edge(int(head), int(tail))
+        assert nx.is_connected(nx_graph)
+
+    @given(
+        n=st.integers(10, 60),
+        heterogeneity=st.floats(0, 0.5),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_aligned_pair_links_bijective(self, n, heterogeneity, seed):
+        task = generate_aligned_pair(
+            KGPairConfig(num_entities=n, heterogeneity=heterogeneity, seed=seed)
+        )
+        links = task.split.all_links
+        sources = [s for s, _ in links]
+        targets = [t for _, t in links]
+        assert len(set(sources)) == n
+        assert len(set(targets)) == n

@@ -1,0 +1,100 @@
+"""Property-based tests over all matching algorithms.
+
+These check the structural invariants every matcher must satisfy on any
+finite score matrix: pairs index into the matrix, greedy-family matchers
+answer every source, constrained matchers respect 1-to-1, and reported
+scores equal the matrix entries at the matched cells (for the matchers
+that score with the raw matrix).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.registry import create_matcher
+
+score_matrices = st.tuples(st.integers(2, 10), st.integers(2, 10)).flatmap(
+    lambda shape: arrays(
+        np.float64, shape, elements=st.floats(-1, 1, allow_nan=False, allow_infinity=False)
+    )
+)
+
+GREEDY_FAMILY = ("DInf", "CSLS", "RInf", "RInf-wr", "RInf-pb", "Sink.", "RL")
+CONSTRAINED = ("Hun.", "SMat")
+ALL_MATCHERS = GREEDY_FAMILY + CONSTRAINED
+
+
+@pytest.mark.parametrize("name", ALL_MATCHERS)
+class TestUniversalInvariants:
+    @given(scores=score_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_pairs_index_into_matrix(self, name, scores):
+        matcher = create_matcher(name)
+        result = matcher.match_scores(scores)
+        if len(result.pairs):
+            assert result.pairs[:, 0].min() >= 0
+            assert result.pairs[:, 0].max() < scores.shape[0]
+            assert result.pairs[:, 1].min() >= 0
+            assert result.pairs[:, 1].max() < scores.shape[1]
+
+    @given(scores=score_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_at_most_one_answer_per_source(self, name, scores):
+        result = create_matcher(name).match_scores(scores)
+        sources = result.pairs[:, 0].tolist()
+        assert len(sources) == len(set(sources))
+
+    @given(scores=score_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, name, scores):
+        a = create_matcher(name).match_scores(scores)
+        b = create_matcher(name).match_scores(scores)
+        assert a.as_set() == b.as_set()
+
+
+@pytest.mark.parametrize("name", GREEDY_FAMILY)
+class TestGreedyFamilyInvariants:
+    @given(scores=score_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_every_source_answered(self, name, scores):
+        result = create_matcher(name).match_scores(scores)
+        assert sorted(result.pairs[:, 0].tolist()) == list(range(scores.shape[0]))
+
+
+@pytest.mark.parametrize("name", CONSTRAINED)
+class TestConstrainedInvariants:
+    @given(scores=score_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_one_to_one(self, name, scores):
+        result = create_matcher(name).match_scores(scores)
+        targets = result.pairs[:, 1].tolist()
+        assert len(targets) == len(set(targets))
+
+    @given(scores=score_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_min_side(self, name, scores):
+        result = create_matcher(name).match_scores(scores)
+        assert len(result.pairs) <= min(scores.shape)
+
+
+class TestScoreReporting:
+    @given(scores=score_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_dinf_scores_are_matrix_entries(self, scores):
+        result = create_matcher("DInf").match_scores(scores)
+        np.testing.assert_allclose(
+            result.scores, scores[result.pairs[:, 0], result.pairs[:, 1]]
+        )
+
+    @given(scores=score_matrices)
+    @settings(max_examples=25, deadline=None)
+    def test_hungarian_total_optimal_vs_greedy_permutation(self, scores):
+        # The Hungarian total is at least the total of any specific
+        # permutation (identity, when square).
+        if scores.shape[0] != scores.shape[1]:
+            return
+        result = create_matcher("Hun.").match_scores(scores)
+        identity_total = np.trace(scores)
+        assert result.scores.sum() >= identity_total - 1e-9

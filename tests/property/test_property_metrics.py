@@ -1,0 +1,85 @@
+"""Property-based tests for evaluation metrics and score transforms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.csls import csls_scores
+from repro.core.sinkhorn import sinkhorn_scores
+from repro.eval.metrics import evaluate_pairs
+
+pair_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=30
+)
+
+score_matrices = st.tuples(st.integers(2, 10), st.integers(2, 10)).flatmap(
+    lambda shape: arrays(
+        np.float64, shape,
+        elements=st.floats(-1, 1, allow_nan=False, allow_infinity=False),
+    )
+)
+
+
+class TestMetricProperties:
+    @given(predicted=pair_lists, gold=pair_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, predicted, gold):
+        metrics = evaluate_pairs(predicted, gold)
+        assert 0.0 <= metrics.precision <= 1.0
+        assert 0.0 <= metrics.recall <= 1.0
+        assert 0.0 <= metrics.f1 <= 1.0
+
+    @given(predicted=pair_lists, gold=pair_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_f1_between_p_and_r(self, predicted, gold):
+        metrics = evaluate_pairs(predicted, gold)
+        low = min(metrics.precision, metrics.recall)
+        high = max(metrics.precision, metrics.recall)
+        assert low - 1e-12 <= metrics.f1 <= high + 1e-12
+
+    @given(gold=pair_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_self_evaluation_perfect(self, gold):
+        if not gold:
+            return
+        metrics = evaluate_pairs(gold, gold)
+        assert metrics.f1 == 1.0
+
+    @given(predicted=pair_lists, gold=pair_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry_of_correct_count(self, predicted, gold):
+        a = evaluate_pairs(predicted, gold)
+        b = evaluate_pairs(gold, predicted)
+        assert a.num_correct == b.num_correct
+
+
+class TestTransformProperties:
+    @given(scores=score_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_csls_preserves_finiteness(self, scores):
+        assert np.all(np.isfinite(csls_scores(scores, k=1)))
+
+    @given(scores=score_matrices, shift=st.floats(-5, 5, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_csls_shift_invariant_decisions(self, scores, shift):
+        # Adding a constant to all scores shifts phi identically, so the
+        # rescaled matrix changes by a constant: argmax decisions hold.
+        base = csls_scores(scores, k=1)
+        shifted = csls_scores(scores + shift, k=1)
+        np.testing.assert_allclose(shifted - base, shift * 0.0 + (shifted - base)[0, 0],
+                                   atol=1e-9)
+
+    @given(scores=score_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_sinkhorn_rows_and_columns_near_stochastic(self, scores):
+        out = sinkhorn_scores(scores, iterations=30, temperature=0.5)
+        np.testing.assert_allclose(out.sum(axis=0), 1.0, atol=1e-6)
+        # Rows approach uniform mass n_source/n_target distribution.
+        assert np.all(out >= 0)
+
+    @given(scores=score_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_sinkhorn_finite(self, scores):
+        out = sinkhorn_scores(scores, iterations=50, temperature=0.02)
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,114 @@
+"""Property-based tests for the similarity layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.similarity.metrics import (
+    cosine_similarity,
+    euclidean_similarity,
+    manhattan_similarity,
+)
+from repro.similarity.topk import top_k_mean, top_k_values
+
+
+def embedding_matrices(max_rows=12, max_dim=6):
+    shape = st.tuples(
+        st.integers(1, max_rows), st.integers(1, max_rows), st.integers(1, max_dim)
+    )
+    return shape.flatmap(
+        lambda s: st.tuples(
+            arrays(np.float64, (s[0], s[2]),
+                   elements=st.floats(-10, 10, allow_nan=False)),
+            arrays(np.float64, (s[1], s[2]),
+                   elements=st.floats(-10, 10, allow_nan=False)),
+        )
+    )
+
+
+class TestCosineProperties:
+    @given(embedding_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, matrices):
+        a, b = matrices
+        sim = cosine_similarity(a, b)
+        assert np.all(sim >= -1.0 - 1e-9)
+        assert np.all(sim <= 1.0 + 1e-9)
+
+    @given(embedding_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, matrices):
+        a, b = matrices
+        np.testing.assert_allclose(
+            cosine_similarity(a, b), cosine_similarity(b, a).T, atol=1e-9
+        )
+
+    @given(embedding_matrices(), st.floats(0.1, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_scale_invariance(self, matrices, scale):
+        # Rows whose norm sits near the zero-guard epsilon legitimately
+        # break scale invariance (they clamp to "zero vector" on one side
+        # of the scaling only); snap tiny values to exact zero, which IS
+        # scale invariant.
+        a, b = matrices
+        a = np.where(np.abs(a) < 1e-6, 0.0, a)
+        b = np.where(np.abs(b) < 1e-6, 0.0, b)
+        np.testing.assert_allclose(
+            cosine_similarity(a, b), cosine_similarity(scale * a, b), atol=1e-6
+        )
+
+
+class TestDistanceProperties:
+    @given(embedding_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_euclidean_nonpositive_and_symmetric(self, matrices):
+        a, b = matrices
+        sim = euclidean_similarity(a, b)
+        assert np.all(sim <= 1e-9)
+        np.testing.assert_allclose(sim, euclidean_similarity(b, a).T, atol=1e-6)
+
+    @given(embedding_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_manhattan_dominates_euclidean(self, matrices):
+        # |x|_2 <= |x|_1, so -manhattan <= -euclidean.  Tolerance covers
+        # the matmul-identity rounding in the euclidean path (~sqrt(eps)).
+        a, b = matrices
+        assert np.all(
+            manhattan_similarity(a, b) <= euclidean_similarity(a, b) + 1e-5
+        )
+
+    @given(embedding_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_translation_invariance(self, matrices):
+        a, b = matrices
+        shift = np.ones(a.shape[1])
+        np.testing.assert_allclose(
+            euclidean_similarity(a, b),
+            euclidean_similarity(a + shift, b + shift),
+            atol=1e-6,
+        )
+
+
+class TestTopKProperties:
+    @given(
+        arrays(np.float64, (8, 10), elements=st.floats(-100, 100, allow_nan=False)),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_topk_subset_of_row(self, scores, k):
+        top = top_k_values(scores, k)
+        for row_idx in range(scores.shape[0]):
+            row_values = scores[row_idx].tolist()
+            for value in top[row_idx]:
+                assert any(np.isclose(value, rv) for rv in row_values)
+
+    @given(
+        arrays(np.float64, (8, 10), elements=st.floats(-100, 100, allow_nan=False)),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mean_bounded_by_extremes(self, scores, k):
+        means = top_k_mean(scores, k)
+        assert np.all(means <= scores.max(axis=1) + 1e-9)
+        assert np.all(means >= scores.min(axis=1) - 1e-9)

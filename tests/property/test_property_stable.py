@@ -1,0 +1,56 @@
+"""Property-based verification of Gale-Shapley stability."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.stable import gale_shapley, is_stable
+
+score_matrices = st.tuples(st.integers(1, 10), st.integers(1, 10)).flatmap(
+    lambda shape: arrays(
+        np.float64, shape,
+        elements=st.floats(0, 1, allow_nan=False, allow_infinity=False),
+    )
+)
+
+
+class TestStabilityInvariant:
+    @given(scores=score_matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_output_always_stable(self, scores):
+        pairs, _ = gale_shapley(scores)
+        assert is_stable(scores, pairs)
+
+    @given(scores=score_matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_matching_is_injective_both_ways(self, scores):
+        pairs, _ = gale_shapley(scores)
+        assert len(set(pairs[:, 0].tolist())) == len(pairs)
+        assert len(set(pairs[:, 1].tolist())) == len(pairs)
+
+    @given(scores=score_matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_min_side_when_preferences_total(self, scores):
+        # Every source ranks every target, so deferred acceptance fills
+        # the smaller side completely.
+        pairs, _ = gale_shapley(scores)
+        assert len(pairs) == min(scores.shape)
+
+    @given(
+        scores=st.tuples(st.integers(1, 8), st.integers(1, 8)).flatmap(
+            lambda shape: arrays(
+                np.float64, shape,
+                # Well-spaced grid values: the affine transform below must
+                # not create or break ties through float rounding.
+                elements=st.integers(0, 1000).map(lambda v: v / 1000.0),
+            )
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_transform_invariance(self, scores):
+        # Stability depends only on preference *order*: applying a strictly
+        # increasing transform leaves the matching unchanged.
+        pairs_raw, _ = gale_shapley(scores)
+        pairs_scaled, _ = gale_shapley(3.0 * scores + 7.0)
+        assert {tuple(p) for p in pairs_raw} == {tuple(p) for p in pairs_scaled}

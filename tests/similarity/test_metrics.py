@@ -1,0 +1,118 @@
+"""Tests for the similarity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.metrics import (
+    SIMILARITY_METRICS,
+    cosine_similarity,
+    euclidean_similarity,
+    manhattan_similarity,
+    similarity_matrix,
+)
+
+
+class TestCosine:
+    def test_identical_vectors_score_one(self, rng):
+        x = rng.normal(size=(5, 8))
+        sim = cosine_similarity(x, x)
+        np.testing.assert_allclose(np.diag(sim), 1.0, atol=1e-12)
+
+    def test_orthogonal_vectors_score_zero(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        assert cosine_similarity(a, b)[0, 0] == pytest.approx(0.0)
+
+    def test_opposite_vectors_score_minus_one(self):
+        a = np.array([[1.0, 2.0]])
+        assert cosine_similarity(a, -a)[0, 0] == pytest.approx(-1.0)
+
+    def test_range_bounded(self, rng):
+        sim = cosine_similarity(rng.normal(size=(10, 6)), rng.normal(size=(12, 6)))
+        assert sim.min() >= -1.0 - 1e-12
+        assert sim.max() <= 1.0 + 1e-12
+
+    def test_scale_invariance(self, rng):
+        a = rng.normal(size=(4, 5))
+        b = rng.normal(size=(6, 5))
+        np.testing.assert_allclose(
+            cosine_similarity(a, b), cosine_similarity(3.0 * a, 0.5 * b), atol=1e-12
+        )
+
+    def test_zero_vector_yields_zero_similarity(self):
+        a = np.zeros((1, 3))
+        b = np.array([[1.0, 0.0, 0.0]])
+        assert cosine_similarity(a, b)[0, 0] == pytest.approx(0.0)
+
+    def test_shape(self, rng):
+        sim = cosine_similarity(rng.normal(size=(3, 4)), rng.normal(size=(7, 4)))
+        assert sim.shape == (3, 7)
+
+    def test_dim_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="embedding dimension"):
+            cosine_similarity(rng.normal(size=(3, 4)), rng.normal(size=(3, 5)))
+
+
+class TestEuclidean:
+    def test_self_distance_zero(self, rng):
+        x = rng.normal(size=(6, 4))
+        np.testing.assert_allclose(np.diag(euclidean_similarity(x, x)), 0.0, atol=1e-6)
+
+    def test_matches_direct_computation(self, rng):
+        a = rng.normal(size=(5, 3))
+        b = rng.normal(size=(7, 3))
+        expected = -np.linalg.norm(a[:, None, :] - b[None, :, :], axis=2)
+        np.testing.assert_allclose(euclidean_similarity(a, b), expected, atol=1e-9)
+
+    def test_higher_means_closer(self):
+        query = np.array([[0.0, 0.0]])
+        targets = np.array([[1.0, 0.0], [5.0, 0.0]])
+        sim = euclidean_similarity(query, targets)
+        assert sim[0, 0] > sim[0, 1]
+
+    def test_never_positive(self, rng):
+        sim = euclidean_similarity(rng.normal(size=(4, 3)), rng.normal(size=(4, 3)))
+        assert sim.max() <= 0.0
+
+
+class TestManhattan:
+    def test_matches_direct_computation(self, rng):
+        a = rng.normal(size=(5, 3))
+        b = rng.normal(size=(6, 3))
+        expected = -np.abs(a[:, None, :] - b[None, :, :]).sum(axis=2)
+        np.testing.assert_allclose(manhattan_similarity(a, b), expected, atol=1e-12)
+
+    def test_chunking_consistent(self, rng):
+        # Large enough to trigger the chunked path.
+        a = rng.normal(size=(300, 64))
+        b = rng.normal(size=(200, 64))
+        expected = -np.abs(a[:, None, :] - b[None, :, :]).sum(axis=2)
+        np.testing.assert_allclose(manhattan_similarity(a, b), expected, atol=1e-9)
+
+    def test_self_distance_zero(self, rng):
+        x = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(np.diag(manhattan_similarity(x, x)), 0.0, atol=1e-12)
+
+
+class TestSimilarityMatrix:
+    def test_registry_contains_all_metrics(self):
+        assert set(SIMILARITY_METRICS) == {"cosine", "euclidean", "manhattan"}
+
+    @pytest.mark.parametrize("metric", ["cosine", "euclidean", "manhattan"])
+    def test_dispatch(self, metric, rng):
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(5, 3))
+        expected = SIMILARITY_METRICS[metric](a, b)
+        np.testing.assert_array_equal(similarity_matrix(a, b, metric=metric), expected)
+
+    def test_unknown_metric_raises(self, rng):
+        with pytest.raises(ValueError, match="unknown similarity metric"):
+            similarity_matrix(rng.normal(size=(2, 2)), rng.normal(size=(2, 2)), "chebyshev")
+
+    def test_all_metrics_rank_gold_first_on_clean_data(self, rng):
+        # All three metrics agree when targets are noisy copies of sources.
+        source = rng.normal(size=(10, 16))
+        target = source + 0.01 * rng.normal(size=(10, 16))
+        for metric in SIMILARITY_METRICS:
+            sim = similarity_matrix(source, target, metric=metric)
+            np.testing.assert_array_equal(sim.argmax(axis=1), np.arange(10))

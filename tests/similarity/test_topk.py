@@ -1,0 +1,74 @@
+"""Tests for the partial-sort top-k helpers."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.topk import top_k_indices, top_k_mean, top_k_values
+
+
+class TestTopKValues:
+    def test_sorted_descending(self, random_scores):
+        top = top_k_values(random_scores, 5)
+        assert np.all(np.diff(top, axis=1) <= 0)
+
+    def test_matches_full_sort(self, random_scores):
+        top = top_k_values(random_scores, 4)
+        expected = np.sort(random_scores, axis=1)[:, ::-1][:, :4]
+        np.testing.assert_allclose(top, expected)
+
+    def test_axis_zero(self, random_scores):
+        top = top_k_values(random_scores, 3, axis=0)
+        expected = np.sort(random_scores.T, axis=1)[:, ::-1][:, :3]
+        np.testing.assert_allclose(top, expected)
+
+    def test_k_larger_than_axis_clamps(self, random_scores):
+        top = top_k_values(random_scores, 100)
+        assert top.shape == (20, 20)
+
+    def test_k_one(self, random_scores):
+        top = top_k_values(random_scores, 1)
+        np.testing.assert_allclose(top[:, 0], random_scores.max(axis=1))
+
+    def test_invalid_k_raises(self, random_scores):
+        with pytest.raises(ValueError, match="k must be"):
+            top_k_values(random_scores, 0)
+
+    def test_invalid_axis_raises(self, random_scores):
+        with pytest.raises(ValueError, match="axis"):
+            top_k_values(random_scores, 2, axis=2)
+
+
+class TestTopKIndices:
+    def test_best_first(self, random_scores):
+        idx = top_k_indices(random_scores, 3)
+        np.testing.assert_array_equal(idx[:, 0], random_scores.argmax(axis=1))
+
+    def test_indices_retrieve_values(self, random_scores):
+        idx = top_k_indices(random_scores, 5)
+        values = np.take_along_axis(random_scores, idx, axis=1)
+        np.testing.assert_allclose(values, top_k_values(random_scores, 5))
+
+    def test_axis_zero(self, random_scores):
+        idx = top_k_indices(random_scores, 2, axis=0)
+        np.testing.assert_array_equal(idx[:, 0], random_scores.argmax(axis=0))
+
+    def test_indices_unique_per_row(self, random_scores):
+        idx = top_k_indices(random_scores, 8)
+        for row in idx:
+            assert len(set(row.tolist())) == 8
+
+
+class TestTopKMean:
+    def test_matches_manual_mean(self, random_scores):
+        got = top_k_mean(random_scores, 4)
+        expected = np.sort(random_scores, axis=1)[:, -4:].mean(axis=1)
+        np.testing.assert_allclose(got, expected)
+
+    def test_k1_equals_max(self, random_scores):
+        np.testing.assert_allclose(top_k_mean(random_scores, 1), random_scores.max(axis=1))
+
+    def test_monotone_in_k(self, random_scores):
+        # The mean of a larger top-k set can only decrease.
+        means = [top_k_mean(random_scores, k) for k in (1, 3, 5, 10)]
+        for smaller, larger in zip(means, means[1:]):
+            assert np.all(larger <= smaller + 1e-12)

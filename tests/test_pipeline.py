@@ -1,0 +1,93 @@
+"""Tests for the high-level alignment pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import create_matcher
+from repro.embedding import NameEncoder, OracleConfig, OracleEncoder
+from repro.pipeline import AlignmentPipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline_prediction(request):
+    from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair
+
+    task = generate_aligned_pair(
+        KGPairConfig(num_entities=120, seed=31, name="pipe")
+    )
+    pipeline = AlignmentPipeline(
+        OracleEncoder(OracleConfig(noise=0.3, seed=1)), create_matcher("CSLS")
+    )
+    return task, pipeline.align(task)
+
+
+class TestAlignmentPipeline:
+    def test_returns_named_pairs(self, pipeline_prediction):
+        task, prediction = pipeline_prediction
+        for source, target in prediction.pairs:
+            assert task.source.has_entity(source)
+            assert task.target.has_entity(target)
+
+    def test_metrics_consistent_with_pairs(self, pipeline_prediction):
+        task, prediction = pipeline_prediction
+        gold = set(task.test_links)
+        correct = sum(1 for pair in prediction.pairs if pair in gold)
+        assert prediction.metrics.num_correct == correct
+
+    def test_answers_every_test_query(self, pipeline_prediction):
+        task, prediction = pipeline_prediction
+        assert len(prediction.pairs) == len(task.test_query_ids())
+
+    def test_scores_aligned(self, pipeline_prediction):
+        _, prediction = pipeline_prediction
+        assert len(prediction.scores) == len(prediction.pairs)
+
+    def test_as_dict(self, pipeline_prediction):
+        _, prediction = pipeline_prediction
+        mapping = prediction.as_dict()
+        assert len(mapping) == len(prediction.pairs)
+
+    def test_reuses_supplied_embeddings(self, pipeline_prediction):
+        task, _ = pipeline_prediction
+        encoder = OracleEncoder(OracleConfig(noise=0.3, seed=1))
+        embeddings = encoder.encode(task)
+        pipeline = AlignmentPipeline(encoder, create_matcher("DInf"))
+        prediction = pipeline.align(task, embeddings=embeddings)
+        assert prediction.embeddings is embeddings
+
+    def test_rejects_misaligned_embeddings(self, pipeline_prediction):
+        task, _ = pipeline_prediction
+        from repro.embedding.base import UnifiedEmbeddings
+
+        bad = UnifiedEmbeddings(np.ones((3, 4)), np.ones((3, 4)))
+        pipeline = AlignmentPipeline(
+            OracleEncoder(), create_matcher("DInf")
+        )
+        with pytest.raises(ValueError, match="source entities"):
+            pipeline.align(task, embeddings=bad)
+
+    def test_fits_learnable_matcher(self, pipeline_prediction):
+        task, _ = pipeline_prediction
+        matcher = create_matcher("RL", episodes=2)
+        pipeline = AlignmentPipeline(OracleEncoder(OracleConfig(noise=0.3)), matcher)
+        pipeline.align(task)
+        assert len(matcher.reward_history) == 2
+
+    def test_name_encoder_pipeline(self, pipeline_prediction):
+        task, _ = pipeline_prediction
+        pipeline = AlignmentPipeline(NameEncoder(), create_matcher("DInf"))
+        prediction = pipeline.align(task)
+        assert prediction.metrics.f1 > 0.3  # names carry signal
+
+    def test_task_without_test_links_rejected(self):
+        from repro.kg.graph import KnowledgeGraph
+        from repro.kg.pair import AlignmentSplit, AlignmentTask
+
+        source = KnowledgeGraph([("a", "r", "b")])
+        target = KnowledgeGraph([("x", "q", "y")])
+        task = AlignmentTask(
+            source, target, AlignmentSplit((("a", "x"),), (), ())
+        )
+        pipeline = AlignmentPipeline(OracleEncoder(), create_matcher("DInf"))
+        with pytest.raises(ValueError, match="no test queries"):
+            pipeline.align(task)

@@ -1,0 +1,60 @@
+"""Tests for the analytical memory tracker."""
+
+import numpy as np
+import pytest
+
+from repro.utils.memory import MemoryTracker, matrix_bytes
+
+
+class TestMatrixBytes:
+    def test_single_matrix(self):
+        assert matrix_bytes((10, 10)) == 800
+
+    def test_multiple_shapes(self):
+        assert matrix_bytes((2, 3), (4,)) == (6 + 4) * 8
+
+    def test_dtype(self):
+        assert matrix_bytes((10, 10), dtype=np.float32) == 400
+
+
+class TestMemoryTracker:
+    def test_peak_tracks_concurrent_total(self):
+        tracker = MemoryTracker()
+        tracker.allocate("a", 100)
+        tracker.allocate("b", 200)
+        tracker.release("a")
+        tracker.allocate("c", 50)
+        assert tracker.peak_bytes == 300
+        assert tracker.current_bytes == 250
+
+    def test_reallocate_same_name_replaces(self):
+        tracker = MemoryTracker()
+        tracker.allocate("x", 100)
+        tracker.allocate("x", 40)
+        assert tracker.current_bytes == 40
+
+    def test_release_unknown_is_noop(self):
+        tracker = MemoryTracker()
+        tracker.release("ghost")
+        assert tracker.current_bytes == 0
+
+    def test_negative_allocation_raises(self):
+        tracker = MemoryTracker()
+        with pytest.raises(ValueError, match="non-negative"):
+            tracker.allocate("bad", -1)
+
+    def test_allocate_array(self):
+        tracker = MemoryTracker()
+        tracker.allocate_array("arr", np.zeros((5, 5)))
+        assert tracker.current_bytes == 200
+
+    def test_peak_gib(self):
+        tracker = MemoryTracker()
+        tracker.allocate("big", 2**30)
+        assert tracker.peak_gib == pytest.approx(1.0)
+
+    def test_fits_within(self):
+        tracker = MemoryTracker()
+        tracker.allocate("a", 100)
+        assert tracker.fits_within(100)
+        assert not tracker.fits_within(99)

@@ -1,0 +1,74 @@
+"""Tests for deterministic RNG handling."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_is_deterministic(self):
+        a = ensure_rng(None).random(5)
+        b = ensure_rng(None).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(17).random(5)
+        b = ensure_rng(17).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passed_through(self):
+        gen = np.random.default_rng(3)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        seed = np.int64(11)
+        a = ensure_rng(seed).random(3)
+        b = ensure_rng(11).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            ensure_rng("not-a-seed")
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(1.5)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+    def test_streams_are_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_given_seed(self):
+        first = [g.random(3) for g in spawn_rngs(9, 3)]
+        second = [g.random(3) for g in spawn_rngs(9, 3)]
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_consumes_parent_stream(self):
+        parent = np.random.default_rng(0)
+        spawn_rngs(parent, 2)
+        # Parent stream advanced: spawning twice from the same parent
+        # yields different children.
+        children_a = [g.random(2) for g in spawn_rngs(parent, 2)]
+        children_b = [g.random(2) for g in spawn_rngs(parent, 2)]
+        assert not all(
+            np.array_equal(x, y) for x, y in zip(children_a, children_b)
+        )

@@ -1,0 +1,62 @@
+"""Tests for the stopwatch instrumentation."""
+
+import time
+
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_starts_empty(self):
+        watch = Stopwatch()
+        assert watch.total == 0.0
+        assert watch.seconds("anything") == 0.0
+
+    def test_measures_elapsed(self):
+        watch = Stopwatch()
+        with watch.measure("sleep"):
+            time.sleep(0.01)
+        assert watch.seconds("sleep") >= 0.009
+
+    def test_accumulates_same_phase(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch.measure("loop"):
+                time.sleep(0.003)
+        assert watch.seconds("loop") >= 0.008
+
+    def test_total_sums_phases(self):
+        watch = Stopwatch()
+        with watch.measure("a"):
+            time.sleep(0.002)
+        with watch.measure("b"):
+            time.sleep(0.002)
+        assert abs(watch.total - (watch.seconds("a") + watch.seconds("b"))) < 1e-9
+
+    def test_records_on_exception(self):
+        watch = Stopwatch()
+        try:
+            with watch.measure("boom"):
+                time.sleep(0.002)
+                raise RuntimeError("expected")
+        except RuntimeError:
+            pass
+        assert watch.seconds("boom") > 0.0
+
+    def test_as_dict_snapshot(self):
+        watch = Stopwatch()
+        with watch.measure("x"):
+            pass
+        snapshot = watch.as_dict()
+        snapshot["x"] = 999.0
+        assert watch.seconds("x") != 999.0
+
+
+class TestTimed:
+    def test_sets_seconds(self):
+        with timed() as t:
+            time.sleep(0.01)
+        assert t.seconds >= 0.009
+
+    def test_zero_before_exit(self):
+        with timed() as t:
+            assert t.seconds == 0.0

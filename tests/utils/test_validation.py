@@ -1,0 +1,78 @@
+"""Tests for boundary validation of embeddings and score matrices."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_embedding_matrix,
+    check_score_matrix,
+    check_shape_compatible,
+)
+
+
+class TestCheckEmbeddingMatrix:
+    def test_passes_valid(self):
+        out = check_embedding_matrix(np.ones((3, 4)))
+        assert out.shape == (3, 4)
+        assert out.dtype == np.float64
+
+    def test_coerces_lists(self):
+        out = check_embedding_matrix([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_embedding_matrix(np.ones(5))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_embedding_matrix(np.ones((2, 2, 2)))
+
+    def test_rejects_empty_rows(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_embedding_matrix(np.ones((0, 4)))
+
+    def test_rejects_empty_dims(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_embedding_matrix(np.ones((4, 0)))
+
+    def test_rejects_nan(self):
+        bad = np.ones((2, 2))
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            check_embedding_matrix(bad)
+
+    def test_rejects_inf(self):
+        bad = np.ones((2, 2))
+        bad[1, 1] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            check_embedding_matrix(bad)
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="myname"):
+            check_embedding_matrix(np.ones(3), name="myname")
+
+
+class TestCheckScoreMatrix:
+    def test_passes_valid(self):
+        out = check_score_matrix(np.zeros((2, 3)))
+        assert out.shape == (2, 3)
+
+    def test_rejects_nan(self):
+        bad = np.zeros((2, 2))
+        bad[0, 1] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            check_score_matrix(bad)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_score_matrix(np.zeros(4))
+
+
+class TestShapeCompatible:
+    def test_matching_dims_pass(self):
+        check_shape_compatible(np.ones((2, 8)), np.ones((5, 8)))
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError, match="embedding dimension"):
+            check_shape_compatible(np.ones((2, 8)), np.ones((5, 7)))
