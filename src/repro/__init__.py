@@ -39,6 +39,7 @@ from repro.embedding import UnifiedEmbeddings
 from repro.eval import AlignmentMetrics, evaluate_pairs
 from repro.kg import AlignmentTask, KnowledgeGraph
 from repro.pipeline import AlignmentPipeline, AlignmentPrediction
+from repro.similarity import SimilarityEngine
 
 __version__ = "1.0.0"
 
@@ -50,6 +51,7 @@ __all__ = [
     "KnowledgeGraph",
     "MatchResult",
     "Matcher",
+    "SimilarityEngine",
     "UnifiedEmbeddings",
     "__version__",
     "available_matchers",

@@ -39,6 +39,7 @@ from repro.experiments.tables import (
     table8_non_one_to_one,
 )
 from repro.kg.io import save_alignment_task
+from repro.similarity.engine import SimilarityEngine
 
 _TABLES: dict[str, Callable] = {
     "3": table3_dataset_statistics,
@@ -96,6 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="embedding regime (R/G/N/NR/gcn/rrea)")
     match.add_argument("--matcher", default="DInf", choices=available_matchers())
     match.add_argument("--scale", type=float, default=1.0)
+    match.add_argument("--workers", type=int, default=1,
+                       help="threads for the similarity engine (0 = all cores)")
+    match.add_argument("--dtype", choices=["float32", "float64"], default="float64",
+                       help="similarity compute precision (float32 halves "
+                            "memory bandwidth on the score matrix)")
+    match.add_argument("--no-cache", action="store_true",
+                       help="disable the engine's score-matrix cache")
     return parser
 
 
@@ -116,23 +124,37 @@ def _emit_figure(name: str, scale: float) -> None:
         print(f"  {series}: {rendered}")
 
 
-def _run_match(preset: str, regime: str, matcher_name: str, scale: float) -> None:
+def _run_match(
+    preset: str,
+    regime: str,
+    matcher_name: str,
+    scale: float,
+    workers: int = 1,
+    dtype: str = "float64",
+    no_cache: bool = False,
+) -> None:
     task = load_preset(preset, scale=scale)
     embeddings = build_embeddings(task, regime, preset_name=preset)
     queries = task.test_query_ids()
     candidates = task.candidate_target_ids()
     matcher = create_matcher(matcher_name)
-    fit = getattr(matcher, "fit", None)
-    if fit is not None and len(task.seed_index_pairs()):
-        fit(embeddings.source, embeddings.target, task.seed_index_pairs())
-    result = matcher.match(embeddings.source[queries], embeddings.target[candidates])
-    metrics = evaluate_pairs(
-        result.pairs, _gold_local_pairs(task, queries, candidates)
-    )
-    print(f"{matcher_name} on {preset} ({regime} regime)")
-    print(f"  precision={metrics.precision:.3f} recall={metrics.recall:.3f} "
-          f"F1={metrics.f1:.3f}")
-    print(f"  time={result.seconds:.3f}s peak={result.peak_bytes / 2**20:.1f}MiB")
+    with SimilarityEngine(workers=workers, dtype=dtype, cache=not no_cache) as engine:
+        matcher.engine = engine
+        fit = getattr(matcher, "fit", None)
+        if fit is not None and len(task.seed_index_pairs()):
+            fit(embeddings.source, embeddings.target, task.seed_index_pairs())
+        result = matcher.match(
+            embeddings.source[queries], embeddings.target[candidates]
+        )
+        metrics = evaluate_pairs(
+            result.pairs, _gold_local_pairs(task, queries, candidates)
+        )
+        print(f"{matcher_name} on {preset} ({regime} regime)")
+        print(f"  precision={metrics.precision:.3f} recall={metrics.recall:.3f} "
+              f"F1={metrics.f1:.3f}")
+        print(f"  time={result.seconds:.3f}s peak={result.peak_bytes / 2**20:.1f}MiB")
+        print(f"  engine: workers={engine.workers} dtype={engine.dtype.name} "
+              f"cache={engine.cache_info()}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -161,7 +183,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"report written to {path}")
         return 0
     if args.command == "match":
-        _run_match(args.preset, args.regime, args.matcher, args.scale)
+        _run_match(
+            args.preset, args.regime, args.matcher, args.scale,
+            workers=args.workers, dtype=args.dtype, no_cache=args.no_cache,
+        )
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")
 

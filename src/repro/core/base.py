@@ -18,11 +18,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.similarity.metrics import similarity_matrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.similarity.engine import SimilarityEngine
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_embedding_matrix, check_score_matrix
@@ -72,9 +75,26 @@ class Matcher(ABC):
     #: Short display name used in tables ("DInf", "CSLS", ...).
     name: str = "matcher"
 
+    #: Optional shared :class:`~repro.similarity.engine.SimilarityEngine`.
+    #: When set, the matcher derives S through the engine — parallel,
+    #: dtype-tuned, and cached across every matcher sharing the engine —
+    #: instead of the serial :func:`similarity_matrix`.  Assign freely
+    #: after construction; the harness attaches one engine per sweep.
+    engine: "SimilarityEngine | None" = None
+
     @abstractmethod
     def match(self, source: np.ndarray, target: np.ndarray) -> MatchResult:
         """Match source rows to target rows; see :class:`MatchResult`."""
+
+    def _similarity(
+        self, source: np.ndarray, target: np.ndarray, metric: str | None = None
+    ) -> np.ndarray:
+        """Score matrix via the attached engine, or serially without one."""
+        if metric is None:
+            metric = getattr(self, "metric", "cosine")
+        if self.engine is not None:
+            return self.engine.similarity(source, target, metric=metric)
+        return similarity_matrix(source, target, metric=metric)
 
     def match_scores(self, scores: np.ndarray) -> MatchResult:
         """Match from a precomputed pairwise score matrix.
@@ -111,10 +131,12 @@ class PipelineMatcher(Matcher):
         transform: ScoreTransform | None = None,
         decoder: DecodeStrategy | None = None,
         name: str | None = None,
+        engine: "SimilarityEngine | None" = None,
     ) -> None:
         self.metric = metric
         self._transform_fn = transform
         self._decoder_fn = decoder
+        self.engine = engine
         if name is not None:
             self.name = name
 
@@ -143,7 +165,7 @@ class PipelineMatcher(Matcher):
         watch = Stopwatch()
         memory = MemoryTracker()
         with watch.measure("similarity"):
-            scores = similarity_matrix(source, target, metric=self.metric)
+            scores = self._similarity(source, target)
         memory.allocate_array("similarity", scores)
         return self._finish(scores, watch, memory)
 

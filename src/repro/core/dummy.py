@@ -59,10 +59,13 @@ class DummyPaddedMatcher(Matcher):
         self.name = f"{inner.name}+dummy"
 
     def match(self, source: np.ndarray, target: np.ndarray) -> MatchResult:
-        from repro.similarity.metrics import similarity_matrix
-
-        metric = getattr(self.inner, "metric", "cosine")
-        scores = similarity_matrix(source, target, metric=metric)
+        # Share the inner matcher's engine when the wrapper has none of
+        # its own, so padded sweeps still hit the cross-matcher cache.
+        if self.engine is None and getattr(self.inner, "engine", None) is not None:
+            self.engine = self.inner.engine
+        scores = self._similarity(
+            source, target, metric=getattr(self.inner, "metric", "cosine")
+        )
         return self.match_scores(scores)
 
     def match_scores(self, scores: np.ndarray) -> MatchResult:

@@ -52,11 +52,9 @@ class MultiAnswerMatcher(Matcher):
         self.metric = metric
 
     def match(self, source: np.ndarray, target: np.ndarray) -> MatchResult:
-        from repro.similarity.metrics import similarity_matrix
-
         source = check_embedding_matrix(source, "source")
         target = check_embedding_matrix(target, "target")
-        scores = similarity_matrix(source, target, metric=self.metric)
+        scores = self._similarity(source, target)
         return self.match_scores(scores)
 
     def match_scores(self, scores: np.ndarray) -> MatchResult:

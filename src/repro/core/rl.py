@@ -100,15 +100,11 @@ class RLMatcher(PipelineMatcher):
         sources (against the seed-target candidate pool) with reward 1
         for picking the gold target.
         """
-        from repro.similarity.metrics import similarity_matrix
-
         seed_pairs = np.asarray(seed_pairs, dtype=np.int64).reshape(-1, 2)
         if len(seed_pairs) == 0:
             raise ValueError("fit requires at least one seed pair")
         rng = ensure_rng(self.seed)
-        scores = similarity_matrix(
-            source[seed_pairs[:, 0]], target[seed_pairs[:, 1]], metric=self.metric
-        )
+        scores = self._similarity(source[seed_pairs[:, 0]], target[seed_pairs[:, 1]])
         gold = np.arange(len(seed_pairs))  # row i's gold target is column i
         relatedness, target_affinity = _profile_similarities(scores)
         self.reward_history = []

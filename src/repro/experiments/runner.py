@@ -28,7 +28,7 @@ from repro.eval.metrics import AlignmentMetrics, evaluate_pairs, ranking_diagnos
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.regimes import build_embeddings
 from repro.kg.pair import AlignmentTask
-from repro.similarity.metrics import similarity_matrix
+from repro.similarity.engine import SimilarityEngine
 
 
 @dataclass(frozen=True)
@@ -70,12 +70,19 @@ class ExperimentResult:
 
 
 def run_experiment(
-    config: ExperimentConfig, task: AlignmentTask | None = None
+    config: ExperimentConfig,
+    task: AlignmentTask | None = None,
+    engine: SimilarityEngine | None = None,
 ) -> ExperimentResult:
     """Execute ``config`` and return the per-matcher results.
 
     ``task`` may be supplied to reuse a generated dataset across several
     configs (the tables sweep regimes over the same presets).
+
+    ``engine`` may be supplied to control parallelism, compute dtype, and
+    caching; by default a serial caching engine is created per call, so
+    the base score matrix is computed once and shared by every matcher in
+    the sweep instead of being rebuilt per matcher.
     """
     if task is None:
         task = load_preset(config.preset, scale=config.scale)
@@ -88,8 +95,11 @@ def run_experiment(
     source_slice = embeddings.source[queries]
     target_slice = embeddings.target[candidates]
 
+    owns_engine = engine is None
+    if engine is None:
+        engine = SimilarityEngine()
     gold = _gold_local_pairs(task, queries, candidates)
-    raw_scores = similarity_matrix(source_slice, target_slice, metric=config.metric)
+    raw_scores = engine.similarity(source_slice, target_slice, metric=config.metric)
 
     result = ExperimentResult(
         config=config,
@@ -97,17 +107,24 @@ def run_experiment(
         top5_std=top_k_std(raw_scores, k=5),
         ranking=ranking_diagnostics(raw_scores, gold),
     )
-    for name in config.matchers:
-        matcher = create_matcher(name, metric=config.metric, **config.options_for(name))
-        _maybe_fit(matcher, embeddings, task)
-        match = matcher.match(source_slice, target_slice)
-        metrics = evaluate_pairs(match.pairs, gold)
-        result.runs[name] = MatcherRun(
-            matcher=name,
-            metrics=metrics,
-            seconds=match.seconds,
-            peak_bytes=match.peak_bytes,
-        )
+    try:
+        for name in config.matchers:
+            matcher = create_matcher(
+                name, metric=config.metric, **config.options_for(name)
+            )
+            matcher.engine = engine
+            _maybe_fit(matcher, embeddings, task)
+            match = matcher.match(source_slice, target_slice)
+            metrics = evaluate_pairs(match.pairs, gold)
+            result.runs[name] = MatcherRun(
+                matcher=name,
+                metrics=metrics,
+                seconds=match.seconds,
+                peak_bytes=match.peak_bytes,
+            )
+    finally:
+        if owns_engine:
+            engine.close()
     return result
 
 

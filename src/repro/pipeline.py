@@ -25,6 +25,7 @@ from repro.core.base import Matcher, MatchResult
 from repro.embedding.base import EmbeddingModel, UnifiedEmbeddings
 from repro.eval.metrics import AlignmentMetrics, evaluate_pairs
 from repro.kg.pair import AlignmentTask
+from repro.similarity.engine import SimilarityEngine
 
 
 @dataclass
@@ -40,7 +41,7 @@ class AlignmentPrediction:
     #: The raw matcher output (instrumentation included).
     raw: MatchResult
     #: The unified embeddings used (reusable for diagnostics).
-    embeddings: UnifiedEmbeddings = field(repr=False, default=None)
+    embeddings: UnifiedEmbeddings | None = field(repr=False, default=None)
 
     def as_dict(self) -> dict[str, str]:
         """Source -> target mapping (later pairs win on duplicates)."""
@@ -48,11 +49,24 @@ class AlignmentPrediction:
 
 
 class AlignmentPipeline:
-    """Representation learning + embedding matching, end to end."""
+    """Representation learning + embedding matching, end to end.
 
-    def __init__(self, encoder: EmbeddingModel, matcher: Matcher) -> None:
+    ``engine`` optionally supplies a shared
+    :class:`~repro.similarity.engine.SimilarityEngine`: the matcher then
+    derives S through it (parallel workers, float32 mode, and a score
+    cache that pays off when several pipelines share one embedding space).
+    """
+
+    def __init__(
+        self,
+        encoder: EmbeddingModel,
+        matcher: Matcher,
+        engine: "SimilarityEngine | None" = None,
+    ) -> None:
         self.encoder = encoder
         self.matcher = matcher
+        if engine is not None:
+            self.matcher.engine = engine
 
     def align(
         self, task: AlignmentTask, embeddings: UnifiedEmbeddings | None = None

@@ -9,23 +9,29 @@ better" holds uniformly (paper footnote 3).
 """
 
 from repro.similarity.chunked import chunked_argmax, chunked_csls_top_k, chunked_top_k
+from repro.similarity.engine import EngineStats, SimilarityEngine, fingerprint
 from repro.similarity.metrics import (
     SIMILARITY_METRICS,
     cosine_similarity,
     euclidean_similarity,
     manhattan_similarity,
+    prepare_metric,
     similarity_matrix,
 )
 from repro.similarity.topk import top_k_indices, top_k_mean, top_k_values
 
 __all__ = [
     "SIMILARITY_METRICS",
+    "EngineStats",
+    "SimilarityEngine",
     "chunked_argmax",
     "chunked_csls_top_k",
     "chunked_top_k",
     "cosine_similarity",
     "euclidean_similarity",
+    "fingerprint",
     "manhattan_similarity",
+    "prepare_metric",
     "similarity_matrix",
     "top_k_indices",
     "top_k_mean",

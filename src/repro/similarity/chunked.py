@@ -9,27 +9,62 @@ is ``chunk_size x n_target`` regardless of n_source:
 * :func:`chunked_argmax` — just the greedy decision, O(chunk) memory
   (a DInf that never materialises the matrix);
 * :func:`chunked_csls_top_k` — top-k under CSLS rescaling, with the phi
-  statistics accumulated in two streaming passes.
+  statistics accumulated in two streaming passes (or one pass plus a
+  block replay when the blocks fit in memory — see ``reuse_blocks``).
 
 All three accept any registered similarity metric and are exact — no
-approximation is involved, only scheduling.
+approximation is involved, only scheduling.  ``workers`` schedules the
+independent row chunks across a thread pool (BLAS releases the GIL);
+because chunks are combined in chunk order, results are identical for
+any worker count.  ``dtype`` selects the compute precision: float64 is
+the validated default, float32 halves memory traffic at ~1e-6 relative
+error.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.similarity.metrics import similarity_matrix
+from repro.similarity.metrics import prepare_metric
+from repro.utils.parallel import map_chunks, row_chunks
 from repro.utils.validation import check_embedding_matrix, check_shape_compatible
 
+#: Auto block-reuse ceiling for :func:`chunked_csls_top_k`, in score-matrix
+#: elements (2**24 = 128 MiB at float64).  Below this the pass-1 blocks are
+#: kept and replayed in pass 2 instead of recomputing every similarity twice.
+DEFAULT_REUSE_ELEMS = 2**24
 
-def _check_inputs(source: np.ndarray, target: np.ndarray, chunk_size: int):
+
+def _check_inputs(
+    source: np.ndarray,
+    target: np.ndarray,
+    chunk_size: int,
+    dtype: np.dtype | str | None,
+):
     source = check_embedding_matrix(source, "source")
     target = check_embedding_matrix(target, "target")
     check_shape_compatible(source, target)
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if dtype is not None:
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"dtype must be float32 or float64, got {dtype}")
+        source = source.astype(dtype, copy=False)
+        target = target.astype(dtype, copy=False)
     return source, target
+
+
+def _best_first_top_k(block: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Top-``k`` per row of ``block``, ordered best-first."""
+    n_cols = block.shape[1]
+    part = np.argpartition(block, n_cols - k, axis=1)[:, -k:]
+    part_scores = np.take_along_axis(block, part, axis=1)
+    order = np.argsort(-part_scores, axis=1)
+    return (
+        np.take_along_axis(part, order, axis=1),
+        np.take_along_axis(part_scores, order, axis=1),
+    )
 
 
 def chunked_top_k(
@@ -38,27 +73,29 @@ def chunked_top_k(
     k: int,
     chunk_size: int = 1024,
     metric: str = "cosine",
+    workers: int | None = 1,
+    dtype: np.dtype | str = np.float64,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Exact top-``k`` candidates per source, computed in row chunks.
 
     Returns ``(indices, scores)`` of shape (n_source, k), both ordered
-    best-first.  Peak memory is one ``chunk_size x n_target`` block.
+    best-first.  Peak memory is one ``chunk_size x n_target`` block per
+    in-flight worker.
     """
-    source, target = _check_inputs(source, target, chunk_size)
+    source, target = _check_inputs(source, target, chunk_size, dtype)
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     n_source, n_target = source.shape[0], target.shape[0]
     k = min(k, n_target)
+    kernel = prepare_metric(metric, source, target)
     indices = np.empty((n_source, k), dtype=np.int64)
-    scores = np.empty((n_source, k), dtype=np.float64)
-    for start in range(0, n_source, chunk_size):
-        stop = min(start + chunk_size, n_source)
-        block = similarity_matrix(source[start:stop], target, metric=metric)
-        part = np.argpartition(block, n_target - k, axis=1)[:, -k:]
-        part_scores = np.take_along_axis(block, part, axis=1)
-        order = np.argsort(-part_scores, axis=1)
-        indices[start:stop] = np.take_along_axis(part, order, axis=1)
-        scores[start:stop] = np.take_along_axis(part_scores, order, axis=1)
+    scores = np.empty((n_source, k), dtype=source.dtype)
+
+    def work(rows: slice) -> None:
+        block = kernel(rows)
+        indices[rows], scores[rows] = _best_first_top_k(block, k)
+
+    map_chunks(work, row_chunks(n_source, chunk_size), workers)
     return indices, scores
 
 
@@ -67,10 +104,13 @@ def chunked_argmax(
     target: np.ndarray,
     chunk_size: int = 1024,
     metric: str = "cosine",
+    workers: int | None = 1,
+    dtype: np.dtype | str = np.float64,
 ) -> tuple[np.ndarray, np.ndarray]:
     """The greedy (DInf) decision per source without the full matrix."""
     indices, scores = chunked_top_k(
-        source, target, k=1, chunk_size=chunk_size, metric=metric
+        source, target, k=1, chunk_size=chunk_size, metric=metric,
+        workers=workers, dtype=dtype,
     )
     return indices[:, 0], scores[:, 0]
 
@@ -82,47 +122,72 @@ def chunked_csls_top_k(
     csls_k: int = 1,
     chunk_size: int = 1024,
     metric: str = "cosine",
+    workers: int | None = 1,
+    dtype: np.dtype | str = np.float64,
+    reuse_blocks: bool | None = None,
+    reuse_elems: int = DEFAULT_REUSE_ELEMS,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Exact top-``k`` candidates under CSLS rescaling, streamed.
 
-    Two passes: the first accumulates each side's top-``csls_k`` mean
-    similarity (the phi vectors of Equation 1), the second rescales each
-    chunk with the precomputed phis and extracts the top-k.
+    Pass 1 accumulates each side's top-``csls_k`` mean similarity (the
+    phi vectors of Equation 1); pass 2 rescales each chunk with the
+    precomputed phis and extracts the top-k.
+
+    ``reuse_blocks`` controls whether the pass-1 similarity blocks are
+    held and replayed in pass 2 (halving the similarity work at the cost
+    of O(n_source x n_target) memory) or recomputed (true streaming).
+    The default ``None`` reuses automatically when the full matrix fits
+    within ``reuse_elems`` elements; callers with an engine-level cache
+    should pass ``True``, since they have already budgeted for holding S.
     """
-    source, target = _check_inputs(source, target, chunk_size)
+    source, target = _check_inputs(source, target, chunk_size, dtype)
     if k < 1 or csls_k < 1:
         raise ValueError(f"k and csls_k must be >= 1, got {k}, {csls_k}")
     n_source, n_target = source.shape[0], target.shape[0]
     k = min(k, n_target)
     csls_k_eff_t = min(csls_k, n_target)
     csls_k_eff_s = min(csls_k, n_source)
+    if reuse_blocks is None:
+        reuse_blocks = n_source * n_target <= reuse_elems
 
-    # Pass 1: phi vectors, streamed over source chunks.  phi_source needs
-    # each row's top-csls_k; phi_target needs each column's — accumulated
-    # as a running top-csls_k buffer per target.
-    phi_source = np.empty(n_source)
-    target_top = np.full((n_target, csls_k_eff_s), -np.inf)
-    for start in range(0, n_source, chunk_size):
-        stop = min(start + chunk_size, n_source)
-        block = similarity_matrix(source[start:stop], target, metric=metric)
-        row_part = np.partition(block, n_target - csls_k_eff_t, axis=1)[:, -csls_k_eff_t:]
-        phi_source[start:stop] = row_part.mean(axis=1)
-        # Merge this chunk's columns into the running per-target top list.
-        combined = np.concatenate([target_top, block.T], axis=1)
-        width = combined.shape[1]
-        target_top = np.partition(combined, width - csls_k_eff_s, axis=1)[:, -csls_k_eff_s:]
-    phi_target = target_top.mean(axis=1)
+    kernel = prepare_metric(metric, source, target)
+    chunks = row_chunks(n_source, chunk_size)
 
-    # Pass 2: rescale chunkwise and take the top-k.
+    # Pass 1: phi vectors.  phi_source needs each row's top-csls_k mean;
+    # phi_target needs each column's, gathered as one per-chunk column
+    # top-list and merged in chunk order (worker-count independent).
+    def pass1(rows: slice):
+        block = kernel(rows)
+        row_part = np.partition(block, n_target - csls_k_eff_t, axis=1)
+        phi_rows = row_part[:, -csls_k_eff_t:].mean(axis=1)
+        col_top_k = min(csls_k_eff_s, block.shape[0])
+        col_top = np.partition(block.T, block.shape[0] - col_top_k, axis=1)
+        col_top = col_top[:, -col_top_k:]
+        return phi_rows, col_top, block if reuse_blocks else None
+
+    first_pass = map_chunks(pass1, chunks, workers)
+    phi_source = np.concatenate([phi for phi, _, _ in first_pass])
+    col_tops = np.concatenate([top for _, top, _ in first_pass], axis=1)
+    if col_tops.shape[1] > csls_k_eff_s:
+        col_tops = np.partition(
+            col_tops, col_tops.shape[1] - csls_k_eff_s, axis=1
+        )[:, -csls_k_eff_s:]
+    phi_target = col_tops.mean(axis=1)
+    saved_blocks = [block for _, _, block in first_pass]
+    del first_pass
+
+    # Pass 2: rescale chunkwise and take the top-k, replaying saved
+    # blocks when available instead of recomputing each similarity.
     indices = np.empty((n_source, k), dtype=np.int64)
-    scores = np.empty((n_source, k), dtype=np.float64)
-    for start in range(0, n_source, chunk_size):
-        stop = min(start + chunk_size, n_source)
-        block = similarity_matrix(source[start:stop], target, metric=metric)
-        rescaled = 2.0 * block - phi_source[start:stop, None] - phi_target[None, :]
-        part = np.argpartition(rescaled, n_target - k, axis=1)[:, -k:]
-        part_scores = np.take_along_axis(rescaled, part, axis=1)
-        order = np.argsort(-part_scores, axis=1)
-        indices[start:stop] = np.take_along_axis(part, order, axis=1)
-        scores[start:stop] = np.take_along_axis(part_scores, order, axis=1)
+    scores = np.empty((n_source, k), dtype=source.dtype)
+
+    def pass2(item: tuple[int, slice]) -> None:
+        position, rows = item
+        block = saved_blocks[position]
+        if block is None:
+            block = kernel(rows)
+        rescaled = 2.0 * block - phi_source[rows, None] - phi_target[None, :]
+        indices[rows], scores[rows] = _best_first_top_k(rescaled, k)
+
+    map_chunks(pass2, list(enumerate(chunks)), workers)
     return indices, scores

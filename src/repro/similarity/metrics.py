@@ -3,6 +3,20 @@
 All metrics return an ``(n_source, n_target)`` matrix where larger values
 mean "more likely equivalent", matching the paper's convention.  Distances
 are negated so downstream code never has to branch on metric direction.
+
+Each metric is factored into a *prepared kernel* (:func:`prepare_metric`):
+a one-time preparation over the full inputs (row normalisation, squared
+norms) plus a function that computes any row block of ``S``.  The public
+functions compute the single full-matrix block; the chunked helpers and
+the :class:`~repro.similarity.engine.SimilarityEngine` schedule many
+blocks, serially or across threads.  Preparation is row-independent, so
+a block's values do not depend on how the rows were chunked — except for
+the BLAS matmul inside the cosine/euclidean kernels, whose summation
+order may vary with the block height (documented on the engine).
+
+Kernels preserve the floating dtype of their inputs: the public API
+validates to float64 (exactly the historical behaviour), while the
+engine may feed float32 views to halve memory bandwidth.
 """
 
 from __future__ import annotations
@@ -11,9 +25,97 @@ from typing import Callable
 
 import numpy as np
 
+from repro.utils.parallel import DEFAULT_CHUNK_ELEMS, rows_per_chunk
 from repro.utils.validation import check_embedding_matrix, check_shape_compatible
 
 _EPS = 1e-12
+
+#: A prepared kernel: maps a source-row slice to that block of ``S``.
+BlockKernel = Callable[[slice], np.ndarray]
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Rows scaled to unit L2 norm; zero rows are left at zero."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.maximum(norms, _EPS)
+
+
+def _prepare_cosine(source: np.ndarray, target: np.ndarray) -> BlockKernel:
+    normalized_source = _normalize_rows(source)
+    normalized_target_t = _normalize_rows(target).T
+
+    def block(rows: slice) -> np.ndarray:
+        return normalized_source[rows] @ normalized_target_t
+
+    return block
+
+
+def _prepare_euclidean(source: np.ndarray, target: np.ndarray) -> BlockKernel:
+    # ||u - v||^2 = ||u||^2 + ||v||^2 - 2 u.v, computed without the n^2 x d
+    # intermediate that a broadcasted subtraction would need.
+    sq_source = np.sum(source**2, axis=1)
+    sq_target = np.sum(target**2, axis=1)
+
+    def block(rows: slice) -> np.ndarray:
+        squared = sq_source[rows, None] + sq_target[None, :]
+        squared -= 2.0 * (source[rows] @ target.T)
+        np.maximum(squared, 0.0, out=squared)
+        np.sqrt(squared, out=squared)
+        np.negative(squared, out=squared)
+        return squared
+
+    return block
+
+
+def _prepare_manhattan(
+    source: np.ndarray, target: np.ndarray, chunk_elems: int
+) -> BlockKernel:
+    n_target, dim = target.shape[0], target.shape[1]
+    # L1 has no matmul shortcut; bound the (rows x n_target x dim)
+    # broadcast intermediate to ~chunk_elems elements per inner step.
+    inner_rows = rows_per_chunk(n_target * dim, chunk_elems)
+
+    def block(rows: slice) -> np.ndarray:
+        sub = source[rows]
+        result = np.empty((sub.shape[0], n_target), dtype=sub.dtype)
+        for start in range(0, sub.shape[0], inner_rows):
+            stop = min(start + inner_rows, sub.shape[0])
+            diffs = np.abs(sub[start:stop, None, :] - target[None, :, :])
+            result[start:stop] = -diffs.sum(axis=2)
+        return result
+
+    return block
+
+
+def prepare_metric(
+    metric: str,
+    source: np.ndarray,
+    target: np.ndarray,
+    chunk_elems: int = DEFAULT_CHUNK_ELEMS,
+) -> BlockKernel:
+    """One-time preparation of ``metric`` over validated inputs.
+
+    Returns a kernel computing any source-row block of ``S``.  Inputs
+    must already be validated and dtype-cast by the caller — this is the
+    engine-facing seam below the public API.  ``chunk_elems`` bounds the
+    broadcast intermediate of metrics without a matmul form (Manhattan).
+    """
+    if metric == "cosine":
+        return _prepare_cosine(source, target)
+    if metric == "euclidean":
+        return _prepare_euclidean(source, target)
+    if metric == "manhattan":
+        return _prepare_manhattan(source, target, chunk_elems)
+    known = ", ".join(sorted(SIMILARITY_METRICS))
+    raise ValueError(f"unknown similarity metric {metric!r}; known metrics: {known}")
+
+
+def _full(metric: str, source: np.ndarray, target: np.ndarray, **kwargs) -> np.ndarray:
+    source = check_embedding_matrix(source, "source")
+    target = check_embedding_matrix(target, "target")
+    check_shape_compatible(source, target)
+    kernel = prepare_metric(metric, source, target, **kwargs)
+    return kernel(slice(0, source.shape[0]))
 
 
 def cosine_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
@@ -22,44 +124,27 @@ def cosine_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
     The paper's default metric (Section 4.2).  Zero vectors are treated as
     having zero similarity to everything rather than raising.
     """
-    source = check_embedding_matrix(source, "source")
-    target = check_embedding_matrix(target, "target")
-    check_shape_compatible(source, target)
-    source_norm = np.linalg.norm(source, axis=1, keepdims=True)
-    target_norm = np.linalg.norm(target, axis=1, keepdims=True)
-    normalized_source = source / np.maximum(source_norm, _EPS)
-    normalized_target = target / np.maximum(target_norm, _EPS)
-    return normalized_source @ normalized_target.T
+    return _full("cosine", source, target)
 
 
 def euclidean_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
     """Negated Euclidean distance matrix (higher means closer)."""
-    source = check_embedding_matrix(source, "source")
-    target = check_embedding_matrix(target, "target")
-    check_shape_compatible(source, target)
-    # ||u - v||^2 = ||u||^2 + ||v||^2 - 2 u.v, computed without the n^2 x d
-    # intermediate that a broadcasted subtraction would need.
-    sq_source = np.sum(source**2, axis=1)[:, None]
-    sq_target = np.sum(target**2, axis=1)[None, :]
-    squared = sq_source + sq_target - 2.0 * (source @ target.T)
-    np.maximum(squared, 0.0, out=squared)
-    return -np.sqrt(squared)
+    return _full("euclidean", source, target)
 
 
-def manhattan_similarity(source: np.ndarray, target: np.ndarray) -> np.ndarray:
-    """Negated Manhattan (L1) distance matrix (higher means closer)."""
-    source = check_embedding_matrix(source, "source")
-    target = check_embedding_matrix(target, "target")
-    check_shape_compatible(source, target)
-    # L1 has no matmul shortcut; chunk the broadcast to bound peak memory.
-    n_source = source.shape[0]
-    result = np.empty((n_source, target.shape[0]), dtype=np.float64)
-    chunk = max(1, 2**22 // max(1, target.shape[0] * source.shape[1]))
-    for start in range(0, n_source, chunk):
-        stop = min(start + chunk, n_source)
-        diffs = np.abs(source[start:stop, None, :] - target[None, :, :])
-        result[start:stop] = -diffs.sum(axis=2)
-    return result
+def manhattan_similarity(
+    source: np.ndarray,
+    target: np.ndarray,
+    chunk_elems: int = DEFAULT_CHUNK_ELEMS,
+) -> np.ndarray:
+    """Negated Manhattan (L1) distance matrix (higher means closer).
+
+    ``chunk_elems`` bounds the broadcasted ``rows x n_target x dim``
+    difference tensor to roughly that many elements (the same budget the
+    similarity engine uses for its chunk-size policy), trading peak
+    memory against per-chunk overhead.
+    """
+    return _full("manhattan", source, target, chunk_elems=chunk_elems)
 
 
 #: Registry used by :func:`similarity_matrix` and the experiment configs.

@@ -1,0 +1,99 @@
+"""Thread-pool scheduling for row-chunked numpy kernels.
+
+The similarity hot path is numpy/BLAS matrix algebra, which releases the
+GIL, so plain threads give near-linear speedup without the pickling and
+memory-duplication costs of processes.  This module centralises the
+three policies every chunked kernel shares:
+
+* :func:`resolve_workers` — how many threads a ``workers`` setting means;
+* :func:`rows_per_chunk` / :func:`row_chunks` — how a row range is cut
+  into independent work items (the *chunk grid*);
+* :func:`map_chunks` — how the work items are scheduled.
+
+Determinism contract: the chunk grid is a function of the problem shape
+and the chunk policy only — never of the worker count.  Results are
+combined in chunk order, so a kernel scheduled over 1, 2, or 4 workers
+produces bitwise-identical output for the same grid.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+#: Default per-chunk working-set budget, in array *elements* (not bytes).
+#: At float64 this is 32 MiB per chunk — big enough that BLAS runs at
+#: full throughput, small enough that a handful of in-flight chunks fit
+#: comfortably in memory alongside the output matrix.
+DEFAULT_CHUNK_ELEMS = 2**22
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` setting to a concrete thread count.
+
+    ``None`` or ``0`` means "all available cores"; any positive integer
+    is taken literally; negatives are rejected.
+    """
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = all cores), got {workers}")
+    return int(workers)
+
+
+def rows_per_chunk(
+    elems_per_row: int,
+    chunk_elems: int = DEFAULT_CHUNK_ELEMS,
+    *,
+    min_rows: int = 1,
+) -> int:
+    """Rows per chunk so each chunk's working set is ~``chunk_elems``.
+
+    ``elems_per_row`` is the number of array elements one row of the
+    kernel's intermediate materialises (e.g. ``n_target`` for a score
+    block, ``n_target * dim`` for a broadcasted difference).  At least
+    ``min_rows`` rows are always returned so progress is guaranteed.
+    """
+    if chunk_elems < 1:
+        raise ValueError(f"chunk_elems must be >= 1, got {chunk_elems}")
+    return max(min_rows, chunk_elems // max(1, elems_per_row))
+
+
+def row_chunks(n_rows: int, chunk_rows: int) -> list[slice]:
+    """Cut ``range(n_rows)`` into consecutive slices of ``chunk_rows``."""
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    return [
+        slice(start, min(start + chunk_rows, n_rows))
+        for start in range(0, n_rows, chunk_rows)
+    ]
+
+
+def map_chunks(
+    func: Callable[[_T], _R],
+    items: Sequence[_T] | Iterable[_T],
+    workers: int | None = 1,
+    pool: ThreadPoolExecutor | None = None,
+) -> list[_R]:
+    """Apply ``func`` to every item, possibly across a thread pool.
+
+    Results come back in item order regardless of scheduling, which is
+    what makes worker count invisible to downstream numerics.  With one
+    worker (and no external ``pool``) no pool is created at all — the
+    serial path has zero threading overhead.
+
+    ``pool`` lets a long-lived owner (the similarity engine) reuse its
+    executor across calls instead of paying pool startup per call.
+    """
+    items = list(items)
+    if pool is not None:
+        return list(pool.map(func, items))
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    with ThreadPoolExecutor(max_workers=min(n_workers, len(items))) as executor:
+        return list(executor.map(func, items))

@@ -1,0 +1,218 @@
+"""Tests for the parallel similarity engine and its score-matrix cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import PAPER_MATCHERS, create_matcher
+from repro.similarity.engine import SimilarityEngine, fingerprint
+from repro.similarity.metrics import similarity_matrix
+
+
+@pytest.fixture()
+def embeddings(rng):
+    return rng.normal(size=(64, 16)), rng.normal(size=(48, 16))
+
+
+class TestFingerprint:
+    def test_deterministic_and_content_sensitive(self, rng):
+        a = rng.normal(size=(5, 3))
+        assert fingerprint(a) == fingerprint(a.copy())
+        b = a.copy()
+        b[0, 0] += 1.0
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_shape_sensitive(self):
+        flat = np.arange(12.0)
+        assert fingerprint(flat.reshape(3, 4)) != fingerprint(flat.reshape(4, 3))
+
+    def test_noncontiguous_input(self, rng):
+        a = rng.normal(size=(8, 6))
+        assert fingerprint(a[:, ::2]) == fingerprint(np.ascontiguousarray(a[:, ::2]))
+
+
+class TestEngineResults:
+    @pytest.mark.parametrize("metric", ["cosine", "euclidean", "manhattan"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_default_policy_bitwise_equals_serial(self, embeddings, metric, workers):
+        # With the default chunk policy this problem is a single chunk, so
+        # the engine result is bitwise-identical to similarity_matrix.
+        source, target = embeddings
+        with SimilarityEngine(workers=workers) as engine:
+            scores = engine.similarity(source, target, metric=metric)
+        np.testing.assert_array_equal(
+            scores, similarity_matrix(source, target, metric=metric)
+        )
+
+    @pytest.mark.parametrize("metric", ["cosine", "euclidean", "manhattan"])
+    @pytest.mark.parametrize("chunk_rows", [1, 7, 13])
+    def test_worker_count_invisible_on_fixed_grid(self, embeddings, metric, chunk_rows):
+        source, target = embeddings
+        results = []
+        for workers in (1, 2, 4):
+            with SimilarityEngine(workers=workers, chunk_rows=chunk_rows) as engine:
+                results.append(engine.similarity(source, target, metric=metric))
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], results[2])
+        np.testing.assert_allclose(
+            results[0], similarity_matrix(source, target, metric=metric), atol=1e-12
+        )
+
+    def test_float32_mode(self, embeddings):
+        source, target = embeddings
+        with SimilarityEngine(dtype="float32", workers=2) as engine:
+            scores = engine.similarity(source, target)
+        assert scores.dtype == np.float32
+        np.testing.assert_allclose(
+            scores, similarity_matrix(source, target), atol=1e-5
+        )
+
+    def test_invalid_settings(self):
+        with pytest.raises(ValueError, match="dtype"):
+            SimilarityEngine(dtype=np.int32)
+        with pytest.raises(ValueError, match="cache_size"):
+            SimilarityEngine(cache_size=0)
+        with pytest.raises(ValueError, match="chunk_rows"):
+            SimilarityEngine(chunk_rows=0)
+        with pytest.raises(ValueError, match="workers"):
+            SimilarityEngine(workers=-1)
+
+    def test_unknown_metric(self, embeddings):
+        source, target = embeddings
+        with SimilarityEngine() as engine:
+            with pytest.raises(ValueError, match="unknown similarity metric"):
+                engine.similarity(source, target, metric="chebyshev")
+
+
+class TestEngineCache:
+    def test_hit_and_miss_counters(self, embeddings):
+        source, target = embeddings
+        with SimilarityEngine() as engine:
+            first = engine.similarity(source, target)
+            second = engine.similarity(source, target)
+            assert second is first
+            assert engine.stats.hits == 1
+            assert engine.stats.misses == 1
+            assert engine.stats.computations == 1
+
+    def test_key_includes_metric_and_inputs(self, embeddings, rng):
+        source, target = embeddings
+        with SimilarityEngine() as engine:
+            engine.similarity(source, target, metric="cosine")
+            engine.similarity(source, target, metric="euclidean")
+            engine.similarity(rng.normal(size=source.shape), target)
+            assert engine.stats.computations == 3
+            assert engine.stats.hits == 0
+
+    def test_cached_matrix_is_readonly(self, embeddings):
+        source, target = embeddings
+        with SimilarityEngine() as engine:
+            scores = engine.similarity(source, target)
+            with pytest.raises((ValueError, RuntimeError)):
+                scores[0, 0] = 42.0
+
+    def test_lru_eviction(self, embeddings, rng):
+        source, target = embeddings
+        with SimilarityEngine(cache_size=1) as engine:
+            engine.similarity(source, target)
+            engine.similarity(rng.normal(size=source.shape), target)
+            assert engine.stats.evictions == 1
+            engine.similarity(source, target)  # evicted -> recompute
+            assert engine.stats.computations == 3
+
+    def test_cache_disabled(self, embeddings):
+        source, target = embeddings
+        with SimilarityEngine(cache=False) as engine:
+            first = engine.similarity(source, target)
+            second = engine.similarity(source, target)
+            assert first is not second
+            assert engine.stats.hits == 0
+            assert engine.stats.computations == 2
+            assert engine.cache_info()["entries"] == 0
+            # Uncached results stay writable: the caller owns them.
+            first[0, 0] = 0.0
+
+    def test_clear_cache(self, embeddings):
+        source, target = embeddings
+        with SimilarityEngine() as engine:
+            engine.similarity(source, target)
+            engine.clear_cache()
+            assert engine.cache_info()["entries"] == 0
+            engine.similarity(source, target)
+            assert engine.stats.computations == 2
+
+
+class TestEngineChunkedEntryPoints:
+    def test_top_k_matches_dense(self, embeddings):
+        from repro.similarity.topk import top_k_values
+
+        source, target = embeddings
+        with SimilarityEngine(workers=2) as engine:
+            _, scores = engine.top_k(source, target, k=5, chunk_size=7)
+        dense = similarity_matrix(source, target)
+        np.testing.assert_allclose(scores, top_k_values(dense, 5), atol=1e-12)
+
+    def test_csls_top_k_matches_dense(self, embeddings):
+        from repro.core.csls import csls_scores
+        from repro.similarity.topk import top_k_values
+
+        source, target = embeddings
+        with SimilarityEngine(workers=2) as engine:
+            _, scores = engine.csls_top_k(source, target, k=3, csls_k=2, chunk_size=11)
+        dense = csls_scores(similarity_matrix(source, target), k=2)
+        np.testing.assert_allclose(scores, top_k_values(dense, 3), atol=1e-9)
+
+
+class TestSharedEngineSweep:
+    """Tier-1-safe benchmark smoke: the cross-matcher cache contract.
+
+    Small n, no timing assertions — regressions in the engine's sharing
+    behaviour are caught structurally, without wall-clock flakiness.
+    """
+
+    def test_seven_matcher_sweep_computes_similarity_once(self, rng):
+        source = rng.normal(size=(40, 12))
+        target = rng.normal(size=(40, 12))
+        baseline = {
+            name: create_matcher(name).match(source, target).as_set()
+            for name in PAPER_MATCHERS
+        }
+        with SimilarityEngine(workers=2) as engine:
+            for name in PAPER_MATCHERS:
+                matcher = create_matcher(name)
+                matcher.engine = engine
+                result = matcher.match(source, target)
+                # Sharing one S must not change any matcher's decisions.
+                assert result.as_set() == baseline[name], name
+            # The base similarity matrix was computed exactly once; every
+            # other matcher was served from the cache.
+            assert engine.stats.computations == 1
+            assert engine.stats.misses == 1
+            assert engine.stats.hits == len(PAPER_MATCHERS) - 1
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_parallel_sweep_matches_serial_exactly(self, rng, workers):
+        source = rng.normal(size=(33, 8))
+        target = rng.normal(size=(29, 8))
+        with SimilarityEngine(workers=workers, chunk_rows=5) as engine:
+            parallel = engine.similarity(source, target)
+        with SimilarityEngine(workers=1, chunk_rows=5) as engine:
+            serial = engine.similarity(source, target)
+        np.testing.assert_array_equal(parallel, serial)
+
+
+class TestRunnerIntegration:
+    def test_run_experiment_shares_engine_across_matchers(self, rng):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_experiment
+
+        config = ExperimentConfig(
+            preset="dbp15k/zh_en",
+            matchers=("DInf", "CSLS", "Sink."),
+            scale=0.02,
+        )
+        with SimilarityEngine(workers=2) as engine:
+            result = run_experiment(config, engine=engine)
+            # One computation serves the diagnostics pass plus every matcher.
+            assert engine.stats.computations == 1
+            assert engine.stats.hits == len(config.matchers)
+        assert set(result.runs) == set(config.matchers)

@@ -1,0 +1,86 @@
+"""Tests for the thread-pool chunk scheduling utilities."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.utils.parallel import (
+    DEFAULT_CHUNK_ELEMS,
+    map_chunks,
+    resolve_workers,
+    row_chunks,
+    rows_per_chunk,
+)
+
+
+class TestResolveWorkers:
+    def test_literal_counts(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+
+    @pytest.mark.parametrize("setting", [None, 0])
+    def test_all_cores(self, setting):
+        assert resolve_workers(setting) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(-2)
+
+
+class TestRowsPerChunk:
+    def test_budget_respected(self):
+        rows = rows_per_chunk(1000, chunk_elems=10_000)
+        assert rows == 10
+
+    def test_at_least_min_rows(self):
+        assert rows_per_chunk(10**9, chunk_elems=16) == 1
+        assert rows_per_chunk(10**9, chunk_elems=16, min_rows=5) == 5
+
+    def test_default_budget(self):
+        assert rows_per_chunk(1) == DEFAULT_CHUNK_ELEMS
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError, match="chunk_elems"):
+            rows_per_chunk(10, chunk_elems=0)
+
+
+class TestRowChunks:
+    def test_covers_range_exactly(self):
+        chunks = row_chunks(10, 3)
+        assert chunks == [slice(0, 3), slice(3, 6), slice(6, 9), slice(9, 10)]
+
+    def test_single_chunk(self):
+        assert row_chunks(5, 100) == [slice(0, 5)]
+
+    def test_empty(self):
+        assert row_chunks(0, 4) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="chunk_rows"):
+            row_chunks(10, 0)
+
+
+class TestMapChunks:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_order_preserved(self, workers):
+        items = list(range(20))
+        assert map_chunks(lambda x: x * x, items, workers) == [x * x for x in items]
+
+    def test_serial_path_uses_calling_thread(self):
+        seen = []
+        map_chunks(lambda _: seen.append(threading.current_thread()), [1, 2], 1)
+        assert all(thread is threading.main_thread() for thread in seen)
+
+    def test_external_pool_reused(self):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            result = map_chunks(lambda x: x + 1, [1, 2, 3], workers=1, pool=pool)
+        assert result == [2, 3, 4]
+
+    def test_parallel_actually_runs_in_workers(self):
+        names = map_chunks(
+            lambda _: threading.current_thread() is threading.main_thread(),
+            list(range(8)),
+            workers=4,
+        )
+        assert not any(names)
