@@ -36,9 +36,17 @@ Quickstart::
 from repro.core import MatchResult, Matcher, available_matchers, create_matcher
 from repro.datasets import list_presets, load_preset
 from repro.embedding import UnifiedEmbeddings
+from repro.errors import (
+    ConvergenceError,
+    DataIntegrityError,
+    DeadlineExceeded,
+    MatcherError,
+    ResourceBudgetExceeded,
+)
 from repro.eval import AlignmentMetrics, evaluate_pairs
 from repro.kg import AlignmentTask, KnowledgeGraph
 from repro.pipeline import AlignmentPipeline, AlignmentPrediction
+from repro.runtime import RunSupervisor, SupervisorPolicy
 from repro.similarity import SimilarityEngine
 
 __version__ = "1.0.0"
@@ -48,10 +56,17 @@ __all__ = [
     "AlignmentPipeline",
     "AlignmentPrediction",
     "AlignmentTask",
+    "ConvergenceError",
+    "DataIntegrityError",
+    "DeadlineExceeded",
     "KnowledgeGraph",
     "MatchResult",
     "Matcher",
+    "MatcherError",
+    "ResourceBudgetExceeded",
+    "RunSupervisor",
     "SimilarityEngine",
+    "SupervisorPolicy",
     "UnifiedEmbeddings",
     "__version__",
     "available_matchers",

@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro datasets list         # preset catalogue
     python -m repro datasets export dbp15k/zh_en -o data/dz   # OpenEA files
     python -m repro match dbp15k/zh_en --regime R --matcher CSLS
+    python -m repro match dbp15k/zh_en --matcher Hun. \
+        --timeout 30 --memory-budget 512 --retries 2 --on-error fallback
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from typing import Callable, Sequence
 
 from repro.core.registry import available_matchers, create_matcher
 from repro.datasets.zoo import list_presets, load_preset
+from repro.errors import MatcherError
 from repro.eval.metrics import evaluate_pairs
 from repro.experiments.figures import (
     figure4_top5_std,
@@ -39,6 +42,7 @@ from repro.experiments.tables import (
     table8_non_one_to_one,
 )
 from repro.kg.io import save_alignment_task
+from repro.runtime.supervisor import RunSupervisor, SupervisorPolicy
 from repro.similarity.engine import SimilarityEngine
 
 _TABLES: dict[str, Callable] = {
@@ -104,6 +108,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "memory bandwidth on the score matrix)")
     match.add_argument("--no-cache", action="store_true",
                        help="disable the engine's score-matrix cache")
+    match.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="wall-clock deadline per matcher attempt")
+    match.add_argument("--memory-budget", type=float, default=None, metavar="MIB",
+                       help="peak declared working-set budget in MiB")
+    match.add_argument("--on-error", choices=["raise", "skip", "fallback"],
+                       default="raise",
+                       help="terminal-failure handling: raise exits non-zero, "
+                            "skip reports the failure, fallback walks the "
+                            "degradation ladder (Hun.->Greedy, Sink.->CSLS)")
+    match.add_argument("--retries", type=int, default=0,
+                       help="extra attempts for retryable failures "
+                            "(e.g. Sinkhorn divergence, retried at a higher "
+                            "temperature with deterministic backoff)")
     return parser
 
 
@@ -132,29 +149,57 @@ def _run_match(
     workers: int = 1,
     dtype: str = "float64",
     no_cache: bool = False,
-) -> None:
+    policy: SupervisorPolicy | None = None,
+) -> int:
     task = load_preset(preset, scale=scale)
     embeddings = build_embeddings(task, regime, preset_name=preset)
     queries = task.test_query_ids()
     candidates = task.candidate_target_ids()
     matcher = create_matcher(matcher_name)
+    supervisor = RunSupervisor(policy or SupervisorPolicy())
     with SimilarityEngine(workers=workers, dtype=dtype, cache=not no_cache) as engine:
         matcher.engine = engine
         fit = getattr(matcher, "fit", None)
         if fit is not None and len(task.seed_index_pairs()):
             fit(embeddings.source, embeddings.target, task.seed_index_pairs())
-        result = matcher.match(
-            embeddings.source[queries], embeddings.target[candidates]
+        run = supervisor.run(
+            matcher,
+            embeddings.source[queries],
+            embeddings.target[candidates],
+            name=matcher_name,
+            context={"preset": preset, "regime": regime},
         )
+        if not run.ok:
+            # on_error="skip" (raise propagates before we get here).
+            print(f"match failed: {run.describe()}", file=sys.stderr)
+            return 1
+        result = run.result
         metrics = evaluate_pairs(
             result.pairs, _gold_local_pairs(task, queries, candidates)
         )
+        executed = run.executed
         print(f"{matcher_name} on {preset} ({regime} regime)")
+        if run.degraded:
+            print(f"  DEGRADED: {run.describe()}")
+        elif len(run.attempts) > 1:
+            print(f"  retried: {len(run.attempts)} attempts")
         print(f"  precision={metrics.precision:.3f} recall={metrics.recall:.3f} "
-              f"F1={metrics.f1:.3f}")
+              f"F1={metrics.f1:.3f}" + (f" (by {executed})" if run.degraded else ""))
         print(f"  time={result.seconds:.3f}s peak={result.peak_bytes / 2**20:.1f}MiB")
         print(f"  engine: workers={engine.workers} dtype={engine.dtype.name} "
               f"cache={engine.cache_info()}")
+    return 0
+
+
+def _match_policy(args: argparse.Namespace) -> SupervisorPolicy:
+    """Supervisor policy from the ``match`` subcommand's flags."""
+    budget = args.memory_budget
+    return SupervisorPolicy(
+        timeout=args.timeout,
+        memory_budget=int(budget * 2**20) if budget is not None else None,
+        retries=args.retries,
+        on_error=args.on_error,
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -183,11 +228,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"report written to {path}")
         return 0
     if args.command == "match":
-        _run_match(
-            args.preset, args.regime, args.matcher, args.scale,
-            workers=args.workers, dtype=args.dtype, no_cache=args.no_cache,
-        )
-        return 0
+        try:
+            return _run_match(
+                args.preset, args.regime, args.matcher, args.scale,
+                workers=args.workers, dtype=args.dtype, no_cache=args.no_cache,
+                policy=_match_policy(args),
+            )
+        except MatcherError as err:
+            # --on-error raise tripped: one-line summary, non-zero exit.
+            print(
+                f"match failed: {type(err).__name__}: {err}", file=sys.stderr
+            )
+            return 1
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -12,7 +12,7 @@ from typing import Callable
 
 from repro.core.base import Matcher
 from repro.core.csls import CSLS
-from repro.core.greedy import DInf
+from repro.core.greedy import DInf, Greedy
 from repro.core.hungarian import Hungarian
 from repro.core.rinf import RInf, RInfPb, RInfWr
 from repro.core.multi import MultiAnswerMatcher
@@ -32,6 +32,10 @@ _FACTORIES: dict[str, Callable[..., Matcher]] = {
     "RL": RLMatcher,
     # Extensions beyond the surveyed seven (see DESIGN.md):
     "Multi": MultiAnswerMatcher,
+    # Degradation-ladder terminal (see repro.runtime.supervisor): plain
+    # greedy decoding under its own name so fallback results are never
+    # conflated with the DInf baseline rows.
+    "Greedy": Greedy,
 }
 
 #: The seven algorithms of the paper's main comparison, in table order.

@@ -10,7 +10,13 @@ Sinkhorn matrix implicitly enforces the 1-to-1 constraint *progressively*
 
 ``temperature`` is the entropic-regularisation strength: smaller values
 sharpen the operation towards the exact assignment (Hungarian) at the
-cost of needing more iterations to converge.
+cost of needing more iterations to converge.  Below roughly 1e-300 the
+kernel ``S / temperature`` overflows to infinity before the log-space
+normalisation can stabilise it; the iteration then degenerates to NaN.
+That failure is *retryable at a higher temperature* — the supervised
+runtime (:mod:`repro.runtime.supervisor`) catches the resulting
+:class:`~repro.errors.ConvergenceError` and re-runs with the
+temperature multiplied by its policy's ``temperature_factor``.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import numpy as np
 
 from repro.core.base import PipelineMatcher
 from repro.core.greedy import greedy_match
+from repro.errors import ConvergenceError
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_score_matrix
@@ -39,11 +46,34 @@ def sinkhorn_scores(
         raise ValueError(f"iterations must be >= 0, got {iterations}")
     if temperature <= 0:
         raise ValueError(f"temperature must be positive, got {temperature}")
-    log_kernel = scores / temperature
-    for _ in range(iterations):
+    # Overflow here is handled by the guard below, not by numpy warnings.
+    with np.errstate(over="ignore"):
+        log_kernel = scores / temperature
+    _check_converged(log_kernel, temperature, iteration=0)
+    for iteration in range(1, iterations + 1):
         log_kernel = log_kernel - _logsumexp(log_kernel, axis=1, keepdims=True)  # rows
         log_kernel = log_kernel - _logsumexp(log_kernel, axis=0, keepdims=True)  # cols
+        _check_converged(log_kernel, temperature, iteration)
     return np.exp(log_kernel)
+
+
+def _check_converged(log_kernel: np.ndarray, temperature: float, iteration: int) -> None:
+    """Post-iteration guard: diverged kernels raise instead of flowing on.
+
+    Without this, an overflow at small temperature (``S / temperature``
+    -> inf -> NaN under normalisation) silently feeds NaNs into the
+    greedy decoder, whose argmax then emits arbitrary pairs.  The typed
+    :class:`~repro.errors.ConvergenceError` carries the temperature and
+    iteration so the supervisor can retry at a softer temperature.
+    """
+    if np.all(np.isfinite(log_kernel)):
+        return
+    raise ConvergenceError(
+        "Sinkhorn kernel diverged to non-finite values at iteration "
+        f"{iteration} (temperature={temperature:g}); retry at a higher temperature",
+        temperature=temperature,
+        iteration=iteration,
+    )
 
 
 def _logsumexp(matrix: np.ndarray, axis: int, keepdims: bool) -> np.ndarray:

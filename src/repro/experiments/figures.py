@@ -8,11 +8,13 @@ plots; the benchmark suite prints them and asserts the qualitative shape
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.registry import PAPER_MATCHERS
 from repro.datasets.zoo import DBP15K_PRESETS, SRPRS_PRESETS
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
+from repro.runtime.supervisor import SupervisorPolicy
 
 
 @dataclass
@@ -63,11 +65,15 @@ def figure5_efficiency(
     scale: float = 1.0,
     seed: int = 0,
     matchers: tuple[str, ...] = PAPER_MATCHERS,
+    policy: SupervisorPolicy | None = None,
+    matcher_factory: Callable | None = None,
 ) -> FigureResult:
     """Figure 5: time (s) and declared peak memory (MiB) per matcher.
 
     Averaged over the DBP15K-like and SRPRS-like presets per regime,
-    like the paper's per-setting averages.
+    like the paper's per-setting averages.  Under a supervised sweep a
+    failed matcher contributes no points for that setting (the series
+    simply has a gap) instead of aborting the figure.
     """
     figure = FigureResult(title="Figure 5: efficiency comparison")
     settings = (
@@ -77,20 +83,28 @@ def figure5_efficiency(
         ("G-SRP", "G", SRPRS_PRESETS),
     )
     for label, regime, presets in settings:
-        totals = {name: [0.0, 0.0] for name in matchers}
+        totals = {name: [0.0, 0.0, 0] for name in matchers}
         for preset in presets:
             config = ExperimentConfig(
                 preset=preset, input_regime=regime, matchers=matchers,
                 scale=scale, seed=seed,
             )
-            result = run_experiment(config)
+            result = run_experiment(
+                config, policy=policy, matcher_factory=matcher_factory
+            )
             for name in matchers:
-                run = result.runs[name]
+                run = result.runs.get(name)
+                if run is None:
+                    continue
                 totals[name][0] += run.seconds
                 totals[name][1] += run.peak_bytes / 2**20
+                totals[name][2] += 1
         for name in matchers:
-            figure.add_point(f"time:{name}", label, totals[name][0] / len(presets))
-            figure.add_point(f"memory:{name}", label, totals[name][1] / len(presets))
+            seconds, mib, completed = totals[name]
+            if not completed:
+                continue
+            figure.add_point(f"time:{name}", label, seconds / completed)
+            figure.add_point(f"memory:{name}", label, mib / completed)
     return figure
 
 

@@ -11,11 +11,21 @@ Implements the paper's evaluation protocol (Section 4.2 and Section 5):
 4. map the matched pairs back to entity ids and score them against the
    gold test links (precision / recall / F1), recording wall-clock time
    and peak declared memory.
+
+With a :class:`~repro.runtime.supervisor.SupervisorPolicy` (or a
+ready-made :class:`~repro.runtime.supervisor.RunSupervisor`) supplied,
+every matcher becomes a supervised, bounded unit of work: a failing or
+over-budget matcher is retried, degraded down the ladder, or recorded
+as a :class:`FailedRun` in :attr:`ExperimentResult.failures` while the
+sweep *continues* — one diverging Sinkhorn run no longer aborts a whole
+table's worth of accumulated results.  Without a policy the seed
+behaviour is unchanged (exceptions propagate immediately).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -23,11 +33,13 @@ from repro.core.base import Matcher
 from repro.core.registry import create_matcher
 from repro.embedding.base import UnifiedEmbeddings
 from repro.datasets.zoo import load_preset
+from repro.errors import MatcherError, as_matcher_error
 from repro.eval.analysis import top_k_std
 from repro.eval.metrics import AlignmentMetrics, evaluate_pairs, ranking_diagnostics
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.regimes import build_embeddings
 from repro.kg.pair import AlignmentTask
+from repro.runtime.supervisor import RunSupervisor, SupervisorPolicy
 from repro.similarity.engine import SimilarityEngine
 
 
@@ -39,10 +51,49 @@ class MatcherRun:
     metrics: AlignmentMetrics
     seconds: float
     peak_bytes: int
+    #: Name of the degradation-ladder matcher that actually produced the
+    #: result, or None when the requested matcher ran to completion.
+    fallback: str | None = None
+    #: Total supervised attempts across the fallback chain (1 = clean).
+    attempts: int = 1
 
     @property
     def f1(self) -> float:
         return self.metrics.f1
+
+    @property
+    def degraded(self) -> bool:
+        return self.fallback is not None
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """Ledger entry for a matcher that failed under supervision."""
+
+    matcher: str
+    #: The terminal (or degradation-triggering) typed error.
+    error: MatcherError
+    #: "skipped" (no result) or "fallback" (a ladder matcher delivered).
+    resolution: str
+    #: The ladder matcher that delivered a result, if any.
+    fallback: str | None = None
+    #: Supervised attempts consumed before resolution.
+    attempts: int = 1
+
+    @property
+    def error_type(self) -> str:
+        return type(self.error).__name__
+
+    @property
+    def message(self) -> str:
+        return str(self.error)
+
+    def describe(self) -> str:
+        """One-line ledger rendering for reports and CLI output."""
+        line = f"{self.matcher}: {self.error_type}: {self.error}"
+        if self.fallback is not None:
+            line += f" -> degraded to {self.fallback}"
+        return line
 
 
 @dataclass
@@ -52,6 +103,10 @@ class ExperimentResult:
     config: ExperimentConfig
     task_name: str
     runs: dict[str, MatcherRun] = field(default_factory=dict)
+    #: Failure ledger: requested matcher name -> its supervised failure.
+    #: A matcher appears here *and* in ``runs`` when a ladder fallback
+    #: delivered its result; only here when it produced nothing.
+    failures: dict[str, FailedRun] = field(default_factory=dict)
     #: Mean std of the top-5 raw similarity scores (Figure 4 statistic).
     top5_std: float = 0.0
     #: Hits@k / MRR of the gold links under the raw scores — a property
@@ -62,17 +117,21 @@ class ExperimentResult:
         return self.runs[matcher].f1
 
     def improvement_over(self, baseline: str = "DInf") -> dict[str, float]:
-        """Relative F1 improvement of each matcher over ``baseline``."""
-        base = self.runs[baseline].f1
-        if base <= 0:
+        """Relative F1 improvement of each completed matcher over ``baseline``."""
+        base_run = self.runs.get(baseline)
+        if base_run is None or base_run.f1 <= 0:
             return {name: 0.0 for name in self.runs}
-        return {name: run.f1 / base - 1.0 for name, run in self.runs.items()}
+        return {name: run.f1 / base_run.f1 - 1.0 for name, run in self.runs.items()}
 
 
 def run_experiment(
     config: ExperimentConfig,
     task: AlignmentTask | None = None,
     engine: SimilarityEngine | None = None,
+    *,
+    policy: SupervisorPolicy | None = None,
+    supervisor: RunSupervisor | None = None,
+    matcher_factory: Callable[..., Matcher] | None = None,
 ) -> ExperimentResult:
     """Execute ``config`` and return the per-matcher results.
 
@@ -83,6 +142,15 @@ def run_experiment(
     caching; by default a serial caching engine is created per call, so
     the base score matrix is computed once and shared by every matcher in
     the sweep instead of being rebuilt per matcher.
+
+    ``policy`` / ``supervisor`` enable the fault-tolerant runtime: each
+    matcher runs under deadline, memory budget, retry, and degradation
+    per the policy, failures land in :attr:`ExperimentResult.failures`
+    and the sweep continues (unless the policy says ``raise``).
+
+    ``matcher_factory`` replaces the registry factory — the hook the
+    fault-injection harness (:func:`repro.testing.faulty_factory`) uses;
+    production code never needs it.
     """
     if task is None:
         task = load_preset(config.preset, scale=config.scale)
@@ -95,6 +163,9 @@ def run_experiment(
     source_slice = embeddings.source[queries]
     target_slice = embeddings.target[candidates]
 
+    factory = matcher_factory or create_matcher
+    if supervisor is None and policy is not None:
+        supervisor = RunSupervisor(policy, matcher_factory=factory)
     owns_engine = engine is None
     if engine is None:
         engine = SimilarityEngine()
@@ -109,23 +180,85 @@ def run_experiment(
     )
     try:
         for name in config.matchers:
-            matcher = create_matcher(
-                name, metric=config.metric, **config.options_for(name)
-            )
+            matcher = factory(name, metric=config.metric, **config.options_for(name))
             matcher.engine = engine
-            _maybe_fit(matcher, embeddings, task)
-            match = matcher.match(source_slice, target_slice)
-            metrics = evaluate_pairs(match.pairs, gold)
-            result.runs[name] = MatcherRun(
-                matcher=name,
-                metrics=metrics,
-                seconds=match.seconds,
-                peak_bytes=match.peak_bytes,
+            if supervisor is None:
+                _maybe_fit(matcher, embeddings, task)
+                match = matcher.match(source_slice, target_slice)
+                metrics = evaluate_pairs(match.pairs, gold)
+                result.runs[name] = MatcherRun(
+                    matcher=name,
+                    metrics=metrics,
+                    seconds=match.seconds,
+                    peak_bytes=match.peak_bytes,
+                )
+                continue
+            _run_supervised(
+                result, supervisor, matcher, name, source_slice, target_slice,
+                gold, embeddings, task,
             )
     finally:
         if owns_engine:
             engine.close()
     return result
+
+
+def _run_supervised(
+    result: ExperimentResult,
+    supervisor: RunSupervisor,
+    matcher: Matcher,
+    name: str,
+    source_slice: np.ndarray,
+    target_slice: np.ndarray,
+    gold: list[tuple[int, int]],
+    embeddings: UnifiedEmbeddings,
+    task: AlignmentTask,
+) -> None:
+    """One matcher under supervision; records a run, a failure, or both."""
+    context = {
+        "preset": result.config.preset,
+        "regime": result.config.input_regime,
+        "task": result.task_name,
+    }
+    try:
+        _maybe_fit(matcher, embeddings, task)
+    except Exception as err:  # noqa: BLE001 - typed into the ledger
+        error = as_matcher_error(err, matcher=name, stage="fit", **context)
+        if supervisor.policy.on_error == "raise":
+            raise error from err
+        result.failures[name] = FailedRun(
+            matcher=name, error=error, resolution="skipped", attempts=1
+        )
+        return
+    run = supervisor.run(
+        matcher, source_slice, target_slice, name=name, context=context
+    )
+    if run.ok:
+        result.runs[name] = MatcherRun(
+            matcher=name,
+            metrics=evaluate_pairs(run.result.pairs, gold),
+            seconds=run.result.seconds,
+            peak_bytes=run.result.peak_bytes,
+            fallback=run.executed if run.degraded else None,
+            attempts=len(run.attempts),
+        )
+        if run.degraded:
+            # Never silently: a degraded cell is both a result and a
+            # ledger entry naming what broke and who substituted.
+            result.failures[name] = FailedRun(
+                matcher=name,
+                error=run.error,
+                resolution="fallback",
+                fallback=run.executed,
+                attempts=len(run.attempts),
+            )
+    else:
+        result.failures[name] = FailedRun(
+            matcher=name,
+            error=run.error,
+            resolution="skipped",
+            attempts=len(run.attempts),
+        )
 
 
 def _maybe_fit(matcher: Matcher, embeddings: UnifiedEmbeddings, task: AlignmentTask) -> None:
@@ -149,9 +282,11 @@ def _gold_local_pairs(
     for source_id, target_id in task.test_index_pairs():
         try:
             gold.append((query_pos[int(source_id)], candidate_pos[int(target_id)]))
-        except KeyError:
+        except KeyError as err:
+            side = "query" if int(source_id) not in query_pos else "candidate"
             raise ValueError(
-                "test link references an entity outside the query/candidate sets; "
+                f"test link ({int(source_id)}, {int(target_id)}) references "
+                f"entity {err.args[0]} outside the {side} set; "
                 "the task's split is inconsistent"
-            )
+            ) from err
     return gold

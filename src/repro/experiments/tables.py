@@ -4,11 +4,17 @@ Each ``tableN_*`` function sweeps the relevant presets/regimes through
 the runner and returns a :class:`TableResult` whose ``rows`` print like
 the paper's table and whose ``results`` keep the raw per-run records for
 shape assertions in the benchmark suite.
+
+Under a supervised sweep (``policy=`` forwarded to the runner) a matcher
+may fail and leave no run; its cells render as :data:`FAILED_CELL`
+(``"—"``) instead of crashing the table, and the failure stays in the
+per-result ledger (``ExperimentResult.failures``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.registry import PAPER_MATCHERS
 from repro.datasets.zoo import (
@@ -21,6 +27,10 @@ from repro.datasets.zoo import (
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.kg.stats import dataset_statistics
+from repro.runtime.supervisor import SupervisorPolicy
+
+#: Rendering of a cell whose matcher failed under supervision.
+FAILED_CELL = "—"
 
 
 @dataclass
@@ -65,13 +75,17 @@ def _group_sweep(
     matchers: tuple[str, ...],
     scale: float,
     seed: int,
+    policy: SupervisorPolicy | None = None,
+    matcher_factory: Callable | None = None,
 ) -> None:
     for preset in presets:
         config = ExperimentConfig(
             preset=preset, input_regime=regime, matchers=matchers,
             scale=scale, seed=seed,
         )
-        table.results[(regime, preset)] = run_experiment(config)
+        table.results[(regime, preset)] = run_experiment(
+            config, policy=policy, matcher_factory=matcher_factory
+        )
 
 
 def _matcher_rows(
@@ -79,20 +93,33 @@ def _matcher_rows(
     groups: list[tuple[str, str, tuple[str, ...]]],
     matchers: tuple[str, ...],
 ) -> None:
-    """One row per matcher: F1 per (group, preset) column + per-group Imp."""
+    """One row per matcher: F1 per (group, preset) column + per-group Imp.
+
+    Matchers that failed under supervision have no run in that cell's
+    result; their F1 and Imp. cells render as :data:`FAILED_CELL`.
+    """
     for matcher in matchers:
         row: dict[str, object] = {"matcher": matcher}
         for group_label, regime, presets in groups:
             improvements = []
+            failed = False
             for preset in presets:
                 result = table.results[(regime, preset)]
-                row[f"{group_label}:{result.task_name}"] = result.f1(matcher)
+                run = result.runs.get(matcher)
+                if run is None:
+                    row[f"{group_label}:{result.task_name}"] = FAILED_CELL
+                    failed = True
+                    continue
+                row[f"{group_label}:{result.task_name}"] = run.f1
                 if matcher != "DInf":
                     improvements.append(result.improvement_over()[matcher])
-            if matcher != "DInf" and improvements:
-                row[f"{group_label}:Imp."] = (
-                    f"{sum(improvements) / len(improvements) * 100:+.1f}%"
-                )
+            if matcher != "DInf":
+                if failed:
+                    row[f"{group_label}:Imp."] = FAILED_CELL
+                elif improvements:
+                    row[f"{group_label}:Imp."] = (
+                        f"{sum(improvements) / len(improvements) * 100:+.1f}%"
+                    )
         table.rows.append(row)
 
 
@@ -100,6 +127,8 @@ def table4_structure_only(
     scale: float = 1.0,
     seed: int = 0,
     matchers: tuple[str, ...] = PAPER_MATCHERS,
+    policy: SupervisorPolicy | None = None,
+    matcher_factory: Callable | None = None,
 ) -> TableResult:
     """Table 4: F1 with structure-only embeddings (R-/G- regimes)."""
     table = TableResult(title="Table 4: F1, structural information only")
@@ -113,7 +142,7 @@ def table4_structure_only(
     for _, regime, presets in groups:
         todo = tuple(p for p in presets if (regime, p) not in seen)
         seen.update((regime, p) for p in todo)
-        _group_sweep(table, regime, todo, matchers, scale, seed)
+        _group_sweep(table, regime, todo, matchers, scale, seed, policy, matcher_factory)
     _matcher_rows(table, groups, matchers)
     return table
 
@@ -127,6 +156,8 @@ def table5_auxiliary_information(
     scale: float = 1.0,
     seed: int = 0,
     matchers: tuple[str, ...] = PAPER_MATCHERS,
+    policy: SupervisorPolicy | None = None,
+    matcher_factory: Callable | None = None,
 ) -> TableResult:
     """Table 5: F1 with name embeddings (N-) and name+structure (NR-)."""
     table = TableResult(title="Table 5: F1, auxiliary (name) information")
@@ -137,7 +168,7 @@ def table5_auxiliary_information(
         ("NR-SRP", "NR", TABLE5_SRPRS),
     ]
     for _, regime, presets in groups:
-        _group_sweep(table, regime, presets, matchers, scale, seed)
+        _group_sweep(table, regime, presets, matchers, scale, seed, policy, matcher_factory)
     _matcher_rows(table, groups, matchers)
     return table
 
@@ -159,10 +190,12 @@ def table6_large_scale(
     scale: float = 1.0,
     seed: int = 0,
     matchers: tuple[str, ...] = TABLE6_MATCHERS,
+    policy: SupervisorPolicy | None = None,
+    matcher_factory: Callable | None = None,
 ) -> TableResult:
     """Table 6: F1 + time + memory feasibility on the DWY100K-like presets."""
     table = TableResult(title="Table 6: large-scale results (G- regime)")
-    _group_sweep(table, "G", DWY100K_PRESETS, matchers, scale, seed)
+    _group_sweep(table, "G", DWY100K_PRESETS, matchers, scale, seed, policy, matcher_factory)
 
     budgets: dict[str, float] = {}
     for preset in DWY100K_PRESETS:
@@ -176,19 +209,26 @@ def table6_large_scale(
         row: dict[str, object] = {"matcher": matcher}
         seconds = []
         fits = True
+        failed = False
         improvements = []
         for preset in DWY100K_PRESETS:
             result = table.results[("G", preset)]
-            run = result.runs[matcher]
+            run = result.runs.get(matcher)
+            if run is None:
+                row[result.task_name] = FAILED_CELL
+                failed = True
+                continue
             row[result.task_name] = run.f1
             seconds.append(run.seconds)
             fits = fits and run.peak_bytes <= budgets[preset]
             if matcher != "DInf":
                 improvements.append(result.improvement_over()[matcher])
-        if improvements:
+        if failed:
+            row["Imp."] = FAILED_CELL
+        elif improvements:
             row["Imp."] = f"{sum(improvements) / len(improvements) * 100:+.1f}%"
-        row["T"] = sum(seconds) / len(seconds)
-        row["Mem."] = "Yes" if fits else "No"
+        row["T"] = sum(seconds) / len(seconds) if seconds else FAILED_CELL
+        row["Mem."] = FAILED_CELL if failed else ("Yes" if fits else "No")
         table.rows.append(row)
     # SMat's preference lists exceed any reasonable budget at this scale;
     # the paper reports it as infeasible ("/") and so do we.
@@ -213,21 +253,29 @@ def table7_unmatchable(
     scale: float = 1.0,
     seed: int = 0,
     matchers: tuple[str, ...] = PAPER_MATCHERS,
+    policy: SupervisorPolicy | None = None,
+    matcher_factory: Callable | None = None,
 ) -> TableResult:
     """Table 7: F1 on the unmatchable-entity datasets (DBP15K+)."""
     table = TableResult(title="Table 7: F1 with unmatchable entities (DBP15K+)")
     for regime in ("G", "R"):
-        _group_sweep(table, regime, DBP15K_PLUS_PRESETS, matchers, scale, seed)
+        _group_sweep(
+            table, regime, DBP15K_PLUS_PRESETS, matchers, scale, seed,
+            policy, matcher_factory,
+        )
     for matcher in matchers:
         row: dict[str, object] = {"matcher": matcher}
         for regime in ("G", "R"):
             seconds = []
             for preset in DBP15K_PLUS_PRESETS:
                 result = table.results[(regime, preset)]
-                run = result.runs[matcher]
+                run = result.runs.get(matcher)
+                if run is None:
+                    row[f"{regime}:{result.task_name}"] = FAILED_CELL
+                    continue
                 row[f"{regime}:{result.task_name}"] = run.f1
                 seconds.append(run.seconds)
-            row[f"{regime}:T"] = sum(seconds) / len(seconds)
+            row[f"{regime}:T"] = sum(seconds) / len(seconds) if seconds else FAILED_CELL
         table.rows.append(row)
     return table
 
@@ -240,15 +288,24 @@ def table8_non_one_to_one(
     scale: float = 1.0,
     seed: int = 0,
     matchers: tuple[str, ...] = PAPER_MATCHERS,
+    policy: SupervisorPolicy | None = None,
+    matcher_factory: Callable | None = None,
 ) -> TableResult:
     """Table 8: P/R/F1 on the non-1-to-1 dataset (FB_DBP_MUL)."""
     table = TableResult(title="Table 8: non-1-to-1 alignment (FB_DBP_MUL)")
     for regime in ("G", "R"):
-        _group_sweep(table, regime, ("fb_dbp_mul",), matchers, scale, seed)
+        _group_sweep(
+            table, regime, ("fb_dbp_mul",), matchers, scale, seed,
+            policy, matcher_factory,
+        )
     for matcher in matchers:
         row: dict[str, object] = {"matcher": matcher}
         for regime in ("G", "R"):
-            run = table.results[(regime, "fb_dbp_mul")].runs[matcher]
+            run = table.results[(regime, "fb_dbp_mul")].runs.get(matcher)
+            if run is None:
+                for column in ("P", "R", "F1", "T"):
+                    row[f"{regime}:{column}"] = FAILED_CELL
+                continue
             row[f"{regime}:P"] = run.metrics.precision
             row[f"{regime}:R"] = run.metrics.recall
             row[f"{regime}:F1"] = run.metrics.f1

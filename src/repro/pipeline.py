@@ -25,6 +25,7 @@ from repro.core.base import Matcher, MatchResult
 from repro.embedding.base import EmbeddingModel, UnifiedEmbeddings
 from repro.eval.metrics import AlignmentMetrics, evaluate_pairs
 from repro.kg.pair import AlignmentTask
+from repro.runtime.supervisor import RunSupervisor, SupervisedRun, SupervisorPolicy
 from repro.similarity.engine import SimilarityEngine
 
 
@@ -42,6 +43,14 @@ class AlignmentPrediction:
     raw: MatchResult
     #: The unified embeddings used (reusable for diagnostics).
     embeddings: UnifiedEmbeddings | None = field(repr=False, default=None)
+    #: Supervision record when the pipeline ran under a policy: attempt
+    #: ledger, fallback chain, and the triggering error (if degraded).
+    supervision: SupervisedRun | None = field(repr=False, default=None)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether a degradation-ladder fallback produced this prediction."""
+        return self.supervision is not None and self.supervision.degraded
 
     def as_dict(self) -> dict[str, str]:
         """Source -> target mapping (later pairs win on duplicates)."""
@@ -55,6 +64,15 @@ class AlignmentPipeline:
     :class:`~repro.similarity.engine.SimilarityEngine`: the matcher then
     derives S through it (parallel workers, float32 mode, and a score
     cache that pays off when several pipelines share one embedding space).
+
+    ``policy`` (or a ready-made ``supervisor``) turns the matching stage
+    into a supervised, bounded unit of work — deadline, memory budget,
+    retry, degradation ladder; see :mod:`repro.runtime.supervisor`.  A
+    terminal failure raises its typed :class:`~repro.errors.MatcherError`
+    regardless of ``policy.on_error`` (a single-matcher pipeline has no
+    partial result to continue with); a successful fallback returns a
+    prediction whose :attr:`AlignmentPrediction.supervision` records the
+    degradation.
     """
 
     def __init__(
@@ -62,11 +80,16 @@ class AlignmentPipeline:
         encoder: EmbeddingModel,
         matcher: Matcher,
         engine: "SimilarityEngine | None" = None,
+        policy: SupervisorPolicy | None = None,
+        supervisor: RunSupervisor | None = None,
     ) -> None:
         self.encoder = encoder
         self.matcher = matcher
         if engine is not None:
             self.matcher.engine = engine
+        if supervisor is None and policy is not None:
+            supervisor = RunSupervisor(policy)
+        self.supervisor = supervisor
 
     def align(
         self, task: AlignmentTask, embeddings: UnifiedEmbeddings | None = None
@@ -96,9 +119,21 @@ class AlignmentPipeline:
             raise ValueError("task has no test queries or candidates to align")
 
         self._fit_matcher(task, embeddings)
-        result = self.matcher.match(
-            embeddings.source[queries], embeddings.target[candidates]
-        )
+        supervision: SupervisedRun | None = None
+        if self.supervisor is None:
+            result = self.matcher.match(
+                embeddings.source[queries], embeddings.target[candidates]
+            )
+        else:
+            supervision = self.supervisor.run(
+                self.matcher,
+                embeddings.source[queries],
+                embeddings.target[candidates],
+                context={"task": task.name},
+            )
+            if not supervision.ok:
+                raise supervision.error
+            result = supervision.result
 
         gold = self._gold(task, queries, candidates)
         metrics = evaluate_pairs(result.pairs, gold)
@@ -115,6 +150,7 @@ class AlignmentPipeline:
             metrics=metrics,
             raw=result,
             embeddings=embeddings,
+            supervision=supervision,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,27 @@
+"""Fault-tolerant matching runtime.
+
+:mod:`repro.runtime.supervisor` turns every ``matcher.match()`` call
+into a supervised, bounded unit of work — wall-clock deadline, memory
+budget, bounded retry with deterministic backoff, and a degradation
+ladder that swaps optimal matchers for cheaper ones instead of failing
+the whole sweep.  The same supervisor later bounds per-request work in
+the serving path.
+"""
+
+from repro.runtime.supervisor import (
+    DEGRADATION_LADDER,
+    AttemptRecord,
+    RunSupervisor,
+    SupervisedRun,
+    SupervisorPolicy,
+    backoff_schedule,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "DEGRADATION_LADDER",
+    "RunSupervisor",
+    "SupervisedRun",
+    "SupervisorPolicy",
+    "backoff_schedule",
+]

@@ -1,0 +1,29 @@
+"""Deterministic fault-injection harness for chaos-testing the runtime.
+
+Everything here lives outside the production import graph: neither the
+supervisor nor the experiment runner imports :mod:`repro.testing`, so
+the clean path pays zero import cost.  Chaos suites plug injectors in
+from the outside via ``run_experiment(matcher_factory=...)``.
+"""
+
+from repro.testing.faults import (
+    AllocationFailure,
+    EmbeddingCorruptor,
+    FaultInjector,
+    ForcedConvergenceFailure,
+    KernelStall,
+    corrupt_embeddings,
+    default_injectors,
+    faulty_factory,
+)
+
+__all__ = [
+    "AllocationFailure",
+    "EmbeddingCorruptor",
+    "FaultInjector",
+    "ForcedConvergenceFailure",
+    "KernelStall",
+    "corrupt_embeddings",
+    "default_injectors",
+    "faulty_factory",
+]

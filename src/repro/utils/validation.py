@@ -4,27 +4,50 @@ Embedding matching operates on two kinds of dense inputs — embedding
 matrices and pairwise score matrices.  Validating them once at the
 library boundary keeps the algorithm implementations free of repeated
 shape checks and produces consistent error messages.
+
+Non-finite failures raise :class:`~repro.errors.DataIntegrityError`
+(still a ``ValueError``) and pinpoint the corruption — how many entries
+are bad and where the first one sits — which is the primary debugging
+breadcrumb once fault injection starts producing NaNs on purpose.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import DataIntegrityError
+
+
+def _check_finite(array: np.ndarray, name: str) -> None:
+    """Raise a located :class:`DataIntegrityError` on non-finite entries."""
+    finite = np.isfinite(array)
+    if finite.all():
+        return
+    bad = ~finite
+    bad_count = int(bad.sum())
+    row, col = (int(i) for i in np.unravel_index(int(np.flatnonzero(bad)[0]), array.shape))
+    raise DataIntegrityError(
+        f"{name} contains {bad_count} non-finite value(s) out of {array.size}; "
+        f"first at (row {row}, col {col})",
+        bad_count=bad_count,
+        first_bad=(row, col),
+    )
+
 
 def check_embedding_matrix(embeddings: np.ndarray, name: str = "embeddings") -> np.ndarray:
     """Validate a 2-D float embedding matrix and return it as float64.
 
-    Raises ``ValueError`` for wrong rank, empty dimensions, or non-finite
-    entries, which otherwise surface deep inside matrix algebra with
-    opaque messages.
+    Raises ``ValueError`` for wrong rank or empty dimensions and
+    :class:`~repro.errors.DataIntegrityError` (a ``ValueError``
+    subclass) for non-finite entries, which otherwise surface deep
+    inside matrix algebra with opaque messages.
     """
     array = np.asarray(embeddings, dtype=np.float64)
     if array.ndim != 2:
         raise ValueError(f"{name} must be 2-D (entities x dims), got shape {array.shape}")
     if array.shape[0] == 0 or array.shape[1] == 0:
         raise ValueError(f"{name} must be non-empty, got shape {array.shape}")
-    if not np.all(np.isfinite(array)):
-        raise ValueError(f"{name} contains non-finite values")
+    _check_finite(array, name)
     return array
 
 
@@ -35,8 +58,7 @@ def check_score_matrix(scores: np.ndarray, name: str = "scores") -> np.ndarray:
         raise ValueError(f"{name} must be 2-D (source x target), got shape {array.shape}")
     if array.shape[0] == 0 or array.shape[1] == 0:
         raise ValueError(f"{name} must be non-empty, got shape {array.shape}")
-    if not np.all(np.isfinite(array)):
-        raise ValueError(f"{name} contains non-finite values")
+    _check_finite(array, name)
     return array
 
 

@@ -53,3 +53,19 @@ class TestRegistry:
     def test_register_duplicate_rejected(self):
         with pytest.raises(ValueError, match="already registered"):
             register_matcher("DInf", lambda: None)
+
+
+class TestGreedyLadderTerminal:
+    def test_greedy_registered(self):
+        matcher = create_matcher("Greedy")
+        assert matcher.name == "Greedy"
+
+    def test_greedy_matches_dinf_output(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        source = rng.normal(size=(6, 4))
+        target = rng.normal(size=(7, 4))
+        greedy = create_matcher("Greedy").match(source, target)
+        dinf = create_matcher("DInf").match(source, target)
+        assert greedy.as_set() == dinf.as_set()

@@ -86,3 +86,37 @@ class TestSinkhornMatcher:
             Sinkhorn(iterations=-5)
         with pytest.raises(ValueError):
             Sinkhorn(temperature=-1.0)
+
+
+class TestDivergenceGuard:
+    def test_denormal_temperature_raises_typed_error(self):
+        from repro.errors import ConvergenceError
+
+        scores = np.array([[1.0, 0.0], [0.0, 1.0]])
+        # 1e-320 is denormal: S / temperature overflows before the
+        # log-space normalisation can stabilise it.
+        with pytest.raises(ConvergenceError) as excinfo:
+            sinkhorn_scores(scores, iterations=5, temperature=1e-320)
+        assert excinfo.value.temperature == pytest.approx(1e-320)
+        assert excinfo.value.iteration == 0
+        assert "temperature" in str(excinfo.value)
+
+    def test_error_names_iteration_and_temperature(self):
+        from repro.errors import ConvergenceError
+
+        scores = np.array([[1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(ConvergenceError, match="iteration 0"):
+            sinkhorn_scores(scores, iterations=3, temperature=5e-310)
+
+    def test_matcher_surfaces_convergence_error(self):
+        from repro.errors import ConvergenceError
+
+        rng = np.random.default_rng(0)
+        source = rng.normal(size=(4, 3))
+        with pytest.raises(ConvergenceError):
+            Sinkhorn(iterations=2, temperature=1e-320).match(source, source)
+
+    def test_healthy_temperatures_unaffected(self):
+        scores = np.array([[1.0, 0.0], [0.0, 1.0]])
+        out = sinkhorn_scores(scores, iterations=50, temperature=0.02)
+        assert np.all(np.isfinite(out))

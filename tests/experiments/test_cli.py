@@ -81,3 +81,53 @@ class TestCommands:
         assert "Table 4" in content
         assert "Figure 7" in content
         assert (tmp_path / "rep" / "table6.txt").exists()
+
+
+class TestSupervisedMatch:
+    def test_parser_accepts_robustness_flags(self):
+        args = build_parser().parse_args([
+            "match", "dbp15k/zh_en", "--timeout", "30",
+            "--memory-budget", "512", "--on-error", "fallback", "--retries", "2",
+        ])
+        assert args.timeout == 30.0
+        assert args.memory_budget == 512.0
+        assert args.on_error == "fallback"
+        assert args.retries == 2
+
+    def test_on_error_raise_exits_nonzero_with_summary(self, capsys):
+        # A 100-byte budget fails every matcher; raise -> one-line summary.
+        code = main([
+            "match", "dbp15k/zh_en", "--matcher", "DInf", "--scale", "0.2",
+            "--memory-budget", "0.0001", "--on-error", "raise",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # exactly one line
+        assert "match failed" in err
+        assert "ResourceBudgetExceeded" in err
+
+    def test_on_error_skip_also_exits_nonzero(self, capsys):
+        code = main([
+            "match", "dbp15k/zh_en", "--matcher", "DInf", "--scale", "0.2",
+            "--memory-budget", "0.0001", "--on-error", "skip",
+        ])
+        assert code == 1
+        assert "match failed" in capsys.readouterr().err
+
+    def test_fallback_degrades_and_reports(self, capsys):
+        from repro.datasets.zoo import load_preset
+
+        task = load_preset("dbp15k/zh_en", scale=0.2)
+        n = len(task.test_query_ids())
+        m = len(task.candidate_target_ids())
+        # Fits the similarity matrix (Greedy) but not Hun.'s padded cost.
+        budget_mib = 2.5 * n * m * 8 / 2**20
+        code = main([
+            "match", "dbp15k/zh_en", "--matcher", "Hun.", "--scale", "0.2",
+            "--memory-budget", str(budget_mib), "--on-error", "fallback",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        assert "Greedy" in out
+        assert "F1=" in out

@@ -76,3 +76,21 @@ class TestRunExperiment:
         assert dinf.precision < dinf.recall
         hun = result.runs["Hun."].metrics
         assert hun.precision >= dinf.precision
+
+
+class TestGoldLocalPairsDiagnostics:
+    def test_inconsistent_split_names_entity_and_chains_cause(self):
+        import numpy as np
+
+        from repro.datasets.zoo import load_preset
+        from repro.experiments.runner import _gold_local_pairs
+
+        task = load_preset("dbp15k/zh_en", scale=0.2)
+        queries = task.test_query_ids()[:-1]  # drop one gold source
+        candidates = task.candidate_target_ids()
+        with pytest.raises(ValueError) as excinfo:
+            _gold_local_pairs(task, queries, candidates)
+        dropped = int(task.test_query_ids()[-1])
+        assert str(dropped) in str(excinfo.value)
+        assert "query" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, KeyError)

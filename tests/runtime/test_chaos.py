@@ -1,0 +1,236 @@
+"""Chaos suite: supervised sweeps survive injected faults.
+
+The contract (ISSUE 2 acceptance criteria): with faults injected into
+any single matcher, ``run_experiment`` returns results for all remaining
+matchers, ``ExperimentResult.failures`` names the failed matcher with
+its typed error, and a ``Hun.`` deadline breach yields a recorded
+``Greedy`` fallback result — all deterministic under a fixed seed.
+
+The exhaustive every-matcher x every-injector sweep is marked ``chaos``
+(deselect with ``-m 'not chaos'``); the contract tests themselves run on
+a tiny preset and stay in tier-1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import available_matchers
+from repro.errors import (
+    ConvergenceError,
+    DataIntegrityError,
+    DeadlineExceeded,
+    MatcherError,
+    ResourceBudgetExceeded,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.tables import FAILED_CELL, TableResult, _matcher_rows
+from repro.runtime.supervisor import SupervisorPolicy
+from repro.testing.faults import (
+    AllocationFailure,
+    EmbeddingCorruptor,
+    ForcedConvergenceFailure,
+    KernelStall,
+    default_injectors,
+    faulty_factory,
+)
+
+MATCHERS = ("DInf", "CSLS", "Hun.")
+SCALE = 0.2
+
+
+def _config(matchers=MATCHERS, **overrides):
+    defaults = dict(
+        preset="dbp15k/zh_en", input_regime="R", matchers=matchers,
+        scale=SCALE, seed=0,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestSweepContinuesPastFailure:
+    def test_single_sabotaged_matcher_does_not_abort_sweep(self):
+        factory = faulty_factory({"CSLS": AllocationFailure()})
+        result = run_experiment(
+            _config(),
+            policy=SupervisorPolicy(on_error="skip"),
+            matcher_factory=factory,
+        )
+        # Everyone else completed...
+        assert set(result.runs) == {"DInf", "Hun."}
+        # ...and the ledger names the casualty with its typed error.
+        assert set(result.failures) == {"CSLS"}
+        failure = result.failures["CSLS"]
+        assert failure.resolution == "skipped"
+        assert isinstance(failure.error, ResourceBudgetExceeded)
+        assert "CSLS" in failure.describe()
+
+    def test_clean_sweep_has_empty_ledger(self):
+        result = run_experiment(_config(), policy=SupervisorPolicy(on_error="skip"))
+        assert set(result.runs) == set(MATCHERS)
+        assert result.failures == {}
+
+    def test_raise_policy_preserves_seed_behaviour(self):
+        factory = faulty_factory({"CSLS": AllocationFailure()})
+        with pytest.raises(MatcherError):
+            run_experiment(
+                _config(),
+                policy=SupervisorPolicy(on_error="raise"),
+                matcher_factory=factory,
+            )
+
+    def test_unsupervised_run_still_propagates(self):
+        factory = faulty_factory({"CSLS": AllocationFailure()})
+        with pytest.raises(MemoryError):
+            run_experiment(_config(), matcher_factory=factory)
+
+    def test_corrupted_embeddings_are_typed_in_ledger(self):
+        factory = faulty_factory({"DInf": EmbeddingCorruptor(fraction=0.05, seed=1)})
+        result = run_experiment(
+            _config(),
+            policy=SupervisorPolicy(on_error="skip"),
+            matcher_factory=factory,
+        )
+        assert isinstance(result.failures["DInf"].error, DataIntegrityError)
+        assert result.failures["DInf"].error.bad_count > 0
+        assert set(result.runs) == {"CSLS", "Hun."}
+
+    def test_deterministic_under_fixed_seed(self):
+        def sweep():
+            factory = faulty_factory(
+                {"CSLS": EmbeddingCorruptor(fraction=0.05, seed=3)}
+            )
+            result = run_experiment(
+                _config(),
+                policy=SupervisorPolicy(on_error="skip", seed=5),
+                matcher_factory=factory,
+            )
+            return (
+                sorted(result.runs),
+                {name: result.runs[name].f1 for name in result.runs},
+                sorted(result.failures),
+                {n: f.error_type for n, f in result.failures.items()},
+            )
+
+        assert sweep() == sweep()
+
+
+class TestFallbackRecorded:
+    def test_hun_deadline_breach_yields_recorded_greedy_fallback(self):
+        # The acceptance-criteria scenario: Hun. stalls past its
+        # deadline, the sweep records a Greedy fallback result.
+        factory = faulty_factory({"Hun.": KernelStall(seconds=0.6)})
+        result = run_experiment(
+            _config(),
+            policy=SupervisorPolicy(timeout=0.1, on_error="fallback"),
+            matcher_factory=factory,
+        )
+        assert set(result.runs) == set(MATCHERS)
+        run = result.runs["Hun."]
+        assert run.degraded and run.fallback == "Greedy"
+        failure = result.failures["Hun."]
+        assert failure.resolution == "fallback"
+        assert failure.fallback == "Greedy"
+        assert isinstance(failure.error, DeadlineExceeded)
+        # The fallback result is a real matching, scored like any other.
+        assert 0.0 <= run.f1 <= 1.0
+        # And the degraded matcher matches what Greedy/DInf produces
+        # (same decoding on the same scores).
+        assert run.f1 == pytest.approx(result.runs["DInf"].f1)
+
+    def test_budget_breach_fallback(self):
+        # A tight budget fails Hun. (padded cost matrix) but not the
+        # cheap decoders; the ladder swaps in Greedy.
+        probe = run_experiment(_config(matchers=("DInf", "Hun.")))
+        hun_peak = probe.runs["Hun."].peak_bytes
+        dinf_peak = probe.runs["DInf"].peak_bytes
+        assert dinf_peak < hun_peak
+        budget = (dinf_peak + hun_peak) // 2
+        result = run_experiment(
+            _config(matchers=("DInf", "Hun.")),
+            policy=SupervisorPolicy(memory_budget=budget, on_error="fallback"),
+        )
+        run = result.runs["Hun."]
+        assert run.degraded and run.fallback == "Greedy"
+        assert isinstance(result.failures["Hun."].error, ResourceBudgetExceeded)
+        assert not result.runs["DInf"].degraded
+
+    def test_retry_then_success_leaves_no_ledger_entry(self):
+        factory = faulty_factory({"CSLS": ForcedConvergenceFailure(failures=1)})
+        result = run_experiment(
+            _config(),
+            policy=SupervisorPolicy(retries=2, backoff_base=0.0, on_error="skip"),
+            matcher_factory=factory,
+        )
+        assert set(result.runs) == set(MATCHERS)
+        assert result.failures == {}
+        assert result.runs["CSLS"].attempts == 2
+
+
+class TestTableRendering:
+    def test_failed_cells_render_as_dash(self):
+        # A table over supervised results renders missing runs as "—".
+        factory = faulty_factory({"CSLS": AllocationFailure()})
+        table = TableResult(title="test")
+        for preset in ("dbp15k/zh_en",):
+            config = _config(preset=preset)
+            table.results[("R", preset)] = run_experiment(
+                config,
+                policy=SupervisorPolicy(on_error="skip"),
+                matcher_factory=factory,
+            )
+        _matcher_rows(table, [("R-DBP", "R", ("dbp15k/zh_en",))], MATCHERS)
+        by_matcher = {row["matcher"]: row for row in table.rows}
+        csls_cells = [v for k, v in by_matcher["CSLS"].items() if k != "matcher"]
+        assert all(cell == FAILED_CELL for cell in csls_cells)
+        dinf_cells = [v for k, v in by_matcher["DInf"].items() if k != "matcher"]
+        assert all(isinstance(cell, float) for cell in dinf_cells)
+
+    def test_format_table_accepts_failed_cells(self):
+        from repro.experiments.reporting import format_table
+
+        rows = [{"matcher": "CSLS", "F1": FAILED_CELL}, {"matcher": "DInf", "F1": 0.5}]
+        rendered = format_table(rows, title="t")
+        assert FAILED_CELL in rendered
+
+
+@pytest.mark.chaos
+class TestChaosMatrix:
+    """Every registry matcher under every injector: the sweep never dies."""
+
+    @pytest.mark.parametrize(
+        "injector", default_injectors(stall_seconds=0.3), ids=lambda i: i.name
+    )
+    @pytest.mark.parametrize("victim", available_matchers())
+    def test_sweep_survives(self, victim, injector):
+        matchers = tuple(dict.fromkeys(("DInf", victim)))
+        factory = faulty_factory({victim: injector})
+        policy = SupervisorPolicy(
+            timeout=0.1 if isinstance(injector, KernelStall) else None,
+            retries=0,
+            on_error="fallback",
+            seed=0,
+        )
+        result = run_experiment(
+            _config(matchers=matchers), policy=policy, matcher_factory=factory
+        )
+        if victim != "DInf":
+            assert "DInf" in result.runs  # bystander always completes
+            assert not result.runs["DInf"].degraded
+        if isinstance(injector, KernelStall):
+            # Deadline breach: either a recorded fallback or a ledger entry.
+            failure = result.failures[victim]
+            assert isinstance(failure.error, DeadlineExceeded)
+            if failure.resolution == "fallback":
+                assert result.runs[victim].fallback == failure.fallback
+        elif isinstance(injector, AllocationFailure):
+            failure = result.failures[victim]
+            assert isinstance(failure.error, ResourceBudgetExceeded)
+        elif isinstance(injector, EmbeddingCorruptor):
+            failure = result.failures[victim]
+            assert isinstance(failure.error, DataIntegrityError)
+        else:  # ForcedConvergenceFailure with retries=0
+            failure = result.failures[victim]
+            assert isinstance(failure.error, ConvergenceError)
+        # Failure ledger is populated and typed for every sabotaged run.
+        assert result.failures[victim].matcher == victim

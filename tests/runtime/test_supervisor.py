@@ -1,0 +1,355 @@
+"""Tests for the supervised matching runtime (errors + RunSupervisor)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.base import Matcher, MatchResult
+from repro.core.greedy import DInf
+from repro.core.registry import create_matcher
+from repro.core.sinkhorn import Sinkhorn
+from repro.errors import (
+    ConvergenceError,
+    DataIntegrityError,
+    DeadlineExceeded,
+    MatcherError,
+    ResourceBudgetExceeded,
+    as_matcher_error,
+)
+from repro.runtime.supervisor import (
+    DEGRADATION_LADDER,
+    RunSupervisor,
+    SupervisorPolicy,
+    backoff_schedule,
+)
+from repro.utils.memory import MemoryTracker
+from repro.utils.timing import Stopwatch
+
+
+def _embeddings(n=6, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    source = rng.normal(size=(n, d))
+    return source, source.copy()  # identical spaces: greedy is exact
+
+
+class _StallingMatcher(Matcher):
+    """Sleeps (finite) before delegating to greedy — watchdog target."""
+
+    name = "Stall"
+
+    def __init__(self, seconds=0.3):
+        self.seconds = seconds
+        self.metric = "cosine"
+
+    def match(self, source, target):
+        time.sleep(self.seconds)
+        return DInf().match(source, target)
+
+
+class _FlakyMatcher(Matcher):
+    """Raises ConvergenceError for the first ``failures`` calls."""
+
+    name = "Flaky"
+
+    def __init__(self, failures=1):
+        self.failures = failures
+        self.calls = 0
+
+    def match(self, source, target):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise ConvergenceError("flaky", temperature=0.01, iteration=3)
+        return DInf().match(source, target)
+
+
+class _HungryMatcher(Matcher):
+    """Declares a huge working set — budget-breach target."""
+
+    name = "Hungry"
+
+    def __init__(self, nbytes=2**30):
+        self.nbytes = nbytes
+        self.metric = "cosine"
+
+    def match(self, source, target):
+        memory = MemoryTracker()
+        memory.allocate("huge", self.nbytes)
+        result = DInf().match(source, target)
+        return MatchResult(
+            result.pairs, result.scores, stopwatch=Stopwatch(), memory=memory
+        )
+
+
+class TestErrorTaxonomy:
+    def test_matcher_name_in_rendering(self):
+        err = MatcherError("boom", matcher="Hun.")
+        assert "[Hun.]" in str(err)
+        assert "boom" in str(err)
+
+    def test_annotate_fills_only_blanks(self):
+        err = MatcherError("boom", matcher="Hun.", context={"attempt": 1})
+        err.annotate("Sink.", attempt=2, preset="x")
+        assert err.matcher == "Hun."
+        assert err.context == {"attempt": 1, "preset": "x"}
+
+    def test_convergence_is_retryable_others_not(self):
+        assert ConvergenceError("x").retryable
+        assert not DeadlineExceeded("x").retryable
+        assert not ResourceBudgetExceeded("x").retryable
+        assert not DataIntegrityError("x").retryable
+
+    def test_data_integrity_is_value_error(self):
+        assert isinstance(DataIntegrityError("x"), ValueError)
+
+    def test_as_matcher_error_wraps_memoryerror_as_budget(self):
+        wrapped = as_matcher_error(MemoryError("oom"), matcher="Hun.")
+        assert isinstance(wrapped, ResourceBudgetExceeded)
+        assert wrapped.matcher == "Hun."
+
+    def test_as_matcher_error_passthrough_annotates(self):
+        original = ConvergenceError("diverged")
+        wrapped = as_matcher_error(original, matcher="Sink.", preset="p")
+        assert wrapped is original
+        assert wrapped.matcher == "Sink."
+        assert wrapped.context["preset"] == "p"
+
+
+class TestPolicyValidation:
+    def test_bad_on_error(self):
+        with pytest.raises(ValueError, match="on_error"):
+            SupervisorPolicy(on_error="explode")
+
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            SupervisorPolicy(timeout=0)
+
+    def test_bad_retries(self):
+        with pytest.raises(ValueError, match="retries"):
+            SupervisorPolicy(retries=-1)
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError, match="memory_budget"):
+            SupervisorPolicy(memory_budget=-5)
+
+
+class TestCleanPath:
+    def test_success_passthrough(self):
+        source, target = _embeddings()
+        run = RunSupervisor().run(DInf(), source, target)
+        assert run.ok and not run.degraded
+        assert run.executed == "DInf"
+        assert run.chain == ["DInf"]
+        assert len(run.attempts) == 1 and run.attempts[0].ok
+        assert run.error is None
+        assert len(run.result.pairs) == len(source)
+
+    def test_no_timeout_runs_inline(self):
+        # Without a timeout the matcher must run on the calling thread
+        # (zero watchdog overhead on the clean path).
+        import threading
+
+        calling = threading.current_thread().name
+        seen = {}
+
+        class Probe(DInf):
+            def match(self, source, target):
+                seen["thread"] = threading.current_thread().name
+                return super().match(source, target)
+
+        source, target = _embeddings()
+        RunSupervisor().run(Probe(), source, target)
+        assert seen["thread"] == calling
+
+
+class TestDeadline:
+    def test_deadline_breach_raises(self):
+        source, target = _embeddings()
+        supervisor = RunSupervisor(SupervisorPolicy(timeout=0.05))
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            supervisor.run(_StallingMatcher(0.5), source, target)
+        assert excinfo.value.deadline_seconds == 0.05
+        assert excinfo.value.matcher == "Stall"
+
+    def test_fast_run_unaffected_by_timeout(self):
+        source, target = _embeddings()
+        supervisor = RunSupervisor(SupervisorPolicy(timeout=30.0))
+        run = supervisor.run(DInf(), source, target)
+        assert run.ok and not run.degraded
+
+
+class TestMemoryBudget:
+    def test_budget_breach_raises(self):
+        source, target = _embeddings()
+        supervisor = RunSupervisor(SupervisorPolicy(memory_budget=2**20))
+        with pytest.raises(ResourceBudgetExceeded) as excinfo:
+            supervisor.run(_HungryMatcher(2**30), source, target)
+        assert excinfo.value.peak_bytes >= 2**30
+        assert excinfo.value.budget_bytes == 2**20
+
+    def test_budget_breach_skip_records(self):
+        source, target = _embeddings()
+        supervisor = RunSupervisor(
+            SupervisorPolicy(memory_budget=2**20, on_error="skip")
+        )
+        run = supervisor.run(_HungryMatcher(), source, target)
+        assert not run.ok
+        assert isinstance(run.error, ResourceBudgetExceeded)
+        assert "FAILED" in run.describe()
+
+
+class TestRetry:
+    def test_retry_recovers_flaky_matcher(self):
+        source, target = _embeddings()
+        sleeps = []
+        supervisor = RunSupervisor(
+            SupervisorPolicy(retries=2), sleep=sleeps.append
+        )
+        run = supervisor.run(_FlakyMatcher(failures=2), source, target)
+        assert run.ok
+        assert len(run.attempts) == 3
+        assert [a.ok for a in run.attempts] == [False, False, True]
+        assert sleeps == [a.backoff for a in run.attempts[:2]]
+        assert all(s > 0 for s in sleeps)
+
+    def test_retries_exhausted_raises(self):
+        source, target = _embeddings()
+        supervisor = RunSupervisor(SupervisorPolicy(retries=1), sleep=lambda s: None)
+        with pytest.raises(ConvergenceError):
+            supervisor.run(_FlakyMatcher(failures=5), source, target)
+
+    def test_non_retryable_never_retried(self):
+        source, target = _embeddings()
+        source[0, 0] = np.nan  # DataIntegrityError at the boundary
+        supervisor = RunSupervisor(
+            SupervisorPolicy(retries=3, on_error="skip"), sleep=lambda s: None
+        )
+        run = supervisor.run(DInf(), source, target)
+        assert not run.ok
+        assert isinstance(run.error, DataIntegrityError)
+        assert len(run.attempts) == 1
+
+    def test_schedule_deterministic_per_seed(self):
+        # Same seed -> same attempt schedule; different seed -> different.
+        a = backoff_schedule(SupervisorPolicy(retries=4, seed=7))
+        b = backoff_schedule(SupervisorPolicy(retries=4, seed=7))
+        c = backoff_schedule(SupervisorPolicy(retries=4, seed=8))
+        assert a == b
+        assert a != c
+        assert len(a) == 4
+        # Exponential envelope: each delay sits within its jitter band.
+        policy = SupervisorPolicy(retries=4, seed=7)
+        for i, delay in enumerate(a):
+            low = policy.backoff_base * policy.backoff_factor**i
+            assert low <= delay <= low * (1 + policy.backoff_jitter)
+
+    def test_same_seed_same_recorded_backoffs(self):
+        source, target = _embeddings()
+
+        def attempt_backoffs():
+            sleeps = []
+            supervisor = RunSupervisor(
+                SupervisorPolicy(retries=3, seed=11), sleep=sleeps.append
+            )
+            supervisor.run(_FlakyMatcher(failures=3), source, target)
+            return sleeps
+
+        assert attempt_backoffs() == attempt_backoffs()
+
+    def test_sinkhorn_temperature_softened_per_retry(self):
+        source, target = _embeddings()
+        # 1e-320 is denormal: S / temperature overflows immediately.
+        matcher = Sinkhorn(iterations=5, temperature=1e-320)
+        supervisor = RunSupervisor(
+            SupervisorPolicy(retries=1, temperature_factor=1e300),
+            sleep=lambda s: None,
+        )
+        run = supervisor.run(matcher, source, target)
+        # One divergence, then the softened retry converges.
+        assert run.ok
+        assert len(run.attempts) == 2
+        assert isinstance(run.attempts[0].error, ConvergenceError)
+        assert matcher.temperature > 1e-320
+
+
+class TestDegradationLadder:
+    def test_hun_deadline_degrades_to_greedy(self):
+        source, target = _embeddings(n=8)
+        hun = create_matcher("Hun.")
+        stalled = _StallingMatcher(0.5)
+        stalled.name = "Hun."
+        stalled.metric = hun.metric
+        supervisor = RunSupervisor(
+            SupervisorPolicy(timeout=0.05, on_error="fallback")
+        )
+        run = supervisor.run(stalled, source, target, name="Hun.")
+        assert run.ok and run.degraded
+        assert run.executed == "Greedy"
+        assert run.fallback_from == "Hun."
+        assert run.chain == ["Hun.", "Greedy"]
+        assert isinstance(run.error, DeadlineExceeded)
+        assert "degraded to Greedy" in run.describe()
+        # The fallback actually matched (identical spaces -> exact).
+        gold = {(i, i) for i in range(len(source))}
+        assert run.result.as_set() == gold
+
+    def test_budget_breach_walks_ladder(self):
+        source, target = _embeddings()
+        hungry = _HungryMatcher()
+        hungry.name = "Sink."
+        supervisor = RunSupervisor(
+            SupervisorPolicy(memory_budget=2**20, on_error="fallback")
+        )
+        run = supervisor.run(hungry, source, target, name="Sink.")
+        assert run.ok and run.degraded
+        assert run.executed == "CSLS"  # Sink. -> CSLS per the ladder
+
+    def test_ladder_terminal_failure_is_recorded(self):
+        # Greedy has no fallback: a breach there fails the run.
+        source, target = _embeddings()
+        hungry = _HungryMatcher()
+        hungry.name = "Greedy"
+        supervisor = RunSupervisor(
+            SupervisorPolicy(memory_budget=2**20, on_error="fallback")
+        )
+        run = supervisor.run(hungry, source, target, name="Greedy")
+        assert not run.ok
+        assert isinstance(run.error, ResourceBudgetExceeded)
+
+    def test_non_breach_errors_do_not_degrade(self):
+        # fallback mode only ladders deadline/budget breaches; a data
+        # integrity failure is recorded, not papered over.
+        source, target = _embeddings()
+        source[1, 2] = np.inf
+        hun = create_matcher("Hun.")
+        supervisor = RunSupervisor(SupervisorPolicy(on_error="fallback"))
+        run = supervisor.run(hun, source, target)
+        assert not run.ok
+        assert isinstance(run.error, DataIntegrityError)
+        assert run.chain == ["Hun."]
+
+    def test_fallback_inherits_engine_and_metric(self):
+        from repro.similarity.engine import SimilarityEngine
+
+        source, target = _embeddings()
+        hungry = _HungryMatcher()
+        hungry.name = "Hun."
+        hungry.metric = "euclidean"
+        with SimilarityEngine() as engine:
+            hungry.engine = engine
+            supervisor = RunSupervisor(
+                SupervisorPolicy(memory_budget=2**20, on_error="fallback")
+            )
+            run = supervisor.run(hungry, source, target, name="Hun.")
+            assert run.ok and run.executed == "Greedy"
+
+    def test_default_ladder_is_total_and_terminates(self):
+        # Every chain reaches a matcher with no further fallback.
+        for start in DEGRADATION_LADDER:
+            seen = [start]
+            current = start
+            while current in DEGRADATION_LADDER:
+                current = DEGRADATION_LADDER[current]
+                assert current not in seen, f"ladder cycle via {seen}"
+                seen.append(current)
+            assert current == "Greedy"

@@ -76,3 +76,35 @@ class TestShapeCompatible:
     def test_mismatch_raises(self):
         with pytest.raises(ValueError, match="embedding dimension"):
             check_shape_compatible(np.ones((2, 8)), np.ones((5, 7)))
+
+
+class TestNonFiniteDiagnostics:
+    def test_reports_count_and_first_position(self):
+        from repro.errors import DataIntegrityError
+
+        bad = np.ones((4, 5))
+        bad[1, 3] = np.nan
+        bad[2, 0] = np.inf
+        bad[3, 4] = -np.inf
+        with pytest.raises(DataIntegrityError) as excinfo:
+            check_embedding_matrix(bad, name="emb")
+        err = excinfo.value
+        assert err.bad_count == 3
+        assert err.first_bad == (1, 3)
+        assert "3 non-finite" in str(err)
+        assert "(row 1, col 3)" in str(err)
+
+    def test_score_matrix_same_diagnostics(self):
+        from repro.errors import DataIntegrityError
+
+        bad = np.zeros((2, 2))
+        bad[0, 1] = np.nan
+        with pytest.raises(DataIntegrityError) as excinfo:
+            check_score_matrix(bad)
+        assert excinfo.value.bad_count == 1
+        assert excinfo.value.first_bad == (0, 1)
+
+    def test_still_a_value_error(self):
+        bad = np.full((2, 2), np.nan)
+        with pytest.raises(ValueError, match="non-finite"):
+            check_score_matrix(bad)
