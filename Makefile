@@ -1,0 +1,29 @@
+# Developer entry points.  The default `make check` is the suite CI
+# runs on every change: the full test tree minus the exhaustive chaos
+# sweeps, which includes the property/metamorphic and obs suites.
+
+PY := PYTHONPATH=src python -m
+
+.PHONY: check test property obs chaos bench bench-obs
+
+check:
+	$(PY) pytest -q -m "not chaos"
+
+# Tier-1: everything, fail fast (the acceptance gate).
+test:
+	$(PY) pytest -x -q
+
+property:
+	$(PY) pytest -q tests/property
+
+obs:
+	$(PY) pytest -q -m obs
+
+chaos:
+	$(PY) pytest -q -m chaos
+
+bench:
+	cd benchmarks && PYTHONPATH=../src python -m pytest -q
+
+bench-obs:
+	cd benchmarks && PYTHONPATH=../src python -m pytest -q test_obs_overhead.py

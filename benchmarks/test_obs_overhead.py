@@ -1,0 +1,147 @@
+"""Observability overhead micro-benchmark.
+
+Times the two hottest instrumented paths — the engine's chunked
+similarity computation and the per-iteration Sinkhorn loop — against
+uninstrumented reference implementations of the *same* work, with the
+default null recorder installed.  Records min-of-N wall-clock for the
+disabled-tracing, enabled-tracing, and reference variants into
+``benchmarks/results/BENCH_obs.json``, and asserts the disabled-tracing
+overhead stays under the 5 % budget (DESIGN.md §7).
+
+Min-of-N is deliberate: the minimum is the least noisy estimator of the
+true cost on a shared machine, and the overhead being measured is a
+constant few function calls per span site.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.sinkhorn import _EPS, sinkhorn_scores
+from repro.obs import trace
+from repro.similarity.engine import SimilarityEngine
+from repro.similarity.metrics import prepare_metric
+from repro.utils.parallel import map_chunks, row_chunks
+
+from conftest import RESULTS_DIR
+
+pytestmark = pytest.mark.obs
+
+OVERHEAD_BUDGET = 1.05  # disabled tracing must cost < 5 %
+
+ENGINE_N, ENGINE_DIM, ENGINE_CHUNK = 2000, 128, 128
+SINKHORN_N, SINKHORN_ITERATIONS = 300, 100
+REPEATS = 5
+
+
+def _min_of(func, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _engine_embeddings():
+    rng = np.random.default_rng(0)
+    source = rng.normal(size=(ENGINE_N, ENGINE_DIM))
+    target = source + 0.3 * rng.normal(size=(ENGINE_N, ENGINE_DIM))
+    return source, target
+
+
+def _reference_similarity(source, target):
+    """The engine's compute path with every obs call stripped."""
+    source = source.astype(np.float64, copy=False)
+    target = target.astype(np.float64, copy=False)
+    kernel = prepare_metric("cosine", source, target)
+    out = np.empty((source.shape[0], target.shape[0]), dtype=np.float64)
+    chunks = row_chunks(source.shape[0], ENGINE_CHUNK)
+
+    def work(rows):
+        out[rows] = kernel(rows)
+
+    map_chunks(work, chunks, workers=1)
+    return out
+
+
+def _reference_sinkhorn(scores, iterations, temperature):
+    """sinkhorn_scores with the span/metric/guard-event calls stripped."""
+
+    def logsumexp(matrix, axis):
+        peak = matrix.max(axis=axis, keepdims=True)
+        return peak + np.log(
+            np.maximum(np.exp(matrix - peak).sum(axis=axis, keepdims=True), _EPS)
+        )
+
+    log_kernel = scores / temperature
+    assert np.all(np.isfinite(log_kernel))
+    for _ in range(iterations):
+        log_kernel = log_kernel - logsumexp(log_kernel, axis=1)
+        log_kernel = log_kernel - logsumexp(log_kernel, axis=0)
+        assert np.all(np.isfinite(log_kernel))
+    return np.exp(log_kernel)
+
+
+def test_disabled_tracing_overhead_under_budget():
+    assert not trace.tracing_enabled()  # the default the budget applies to
+
+    source, target = _engine_embeddings()
+    rng = np.random.default_rng(1)
+    sinkhorn_input = rng.normal(size=(SINKHORN_N, SINKHORN_N))
+
+    record = {"budget_ratio": OVERHEAD_BUDGET, "repeats": REPEATS, "paths": {}}
+
+    # -- engine similarity: one span + N chunk spans per computation ----
+    with SimilarityEngine(workers=1, cache=False, chunk_rows=ENGINE_CHUNK) as engine:
+        np.testing.assert_allclose(  # same work before timing it
+            engine.similarity(source, target), _reference_similarity(source, target)
+        )
+        disabled = _min_of(lambda: engine.similarity(source, target))
+        reference = _min_of(lambda: _reference_similarity(source, target))
+        with trace.recording():
+            enabled = _min_of(lambda: engine.similarity(source, target))
+    record["paths"]["engine.similarity"] = {
+        "n": ENGINE_N, "dim": ENGINE_DIM, "chunk_rows": ENGINE_CHUNK,
+        "reference_seconds": reference,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "disabled_ratio": disabled / reference,
+    }
+
+    # -- sinkhorn: one span per iteration -------------------------------
+    np.testing.assert_allclose(
+        sinkhorn_scores(sinkhorn_input, SINKHORN_ITERATIONS, 0.1),
+        _reference_sinkhorn(sinkhorn_input, SINKHORN_ITERATIONS, 0.1),
+    )
+    disabled = _min_of(
+        lambda: sinkhorn_scores(sinkhorn_input, SINKHORN_ITERATIONS, 0.1)
+    )
+    reference = _min_of(
+        lambda: _reference_sinkhorn(sinkhorn_input, SINKHORN_ITERATIONS, 0.1)
+    )
+    with trace.recording():
+        enabled = _min_of(
+            lambda: sinkhorn_scores(sinkhorn_input, SINKHORN_ITERATIONS, 0.1)
+        )
+    record["paths"]["sinkhorn"] = {
+        "n": SINKHORN_N, "iterations": SINKHORN_ITERATIONS,
+        "reference_seconds": reference,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "disabled_ratio": disabled / reference,
+    }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_obs.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+
+    for path, entry in record["paths"].items():
+        assert entry["disabled_ratio"] < OVERHEAD_BUDGET, (
+            f"{path}: disabled-tracing overhead "
+            f"{(entry['disabled_ratio'] - 1) * 100:.1f}% exceeds the "
+            f"{(OVERHEAD_BUDGET - 1) * 100:.0f}% budget"
+        )

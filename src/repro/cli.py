@@ -10,12 +10,15 @@ Usage (after ``pip install -e .``)::
     python -m repro match dbp15k/zh_en --regime R --matcher CSLS
     python -m repro match dbp15k/zh_en --matcher Hun. \
         --timeout 30 --memory-budget 512 --retries 2 --on-error fallback
+    python -m repro match dbp15k/zh_en --matcher Sink. --profile out.json
+    python -m repro profile summarize out.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -42,6 +45,9 @@ from repro.experiments.tables import (
     table8_non_one_to_one,
 )
 from repro.kg.io import save_alignment_task
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.profile import build_profile, load_profile, summarize, write_profile
 from repro.runtime.supervisor import RunSupervisor, SupervisorPolicy
 from repro.similarity.engine import SimilarityEngine
 
@@ -121,6 +127,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="extra attempts for retryable failures "
                             "(e.g. Sinkhorn divergence, retried at a higher "
                             "temperature with deterministic backoff)")
+    match.add_argument("--profile", type=Path, default=None, metavar="PATH",
+                       help="record the run under the tracing layer and "
+                            "write a schema-versioned JSON profile (spans, "
+                            "events, metric counters) to PATH")
+
+    profile = subparsers.add_parser(
+        "profile", help="inspect observability profiles"
+    )
+    profile_sub = profile.add_subparsers(dest="profile_command", required=True)
+    summ = profile_sub.add_parser(
+        "summarize", help="render a profile JSON as a flame-style text summary"
+    )
+    summ.add_argument("path", type=Path)
     return parser
 
 
@@ -150,6 +169,7 @@ def _run_match(
     dtype: str = "float64",
     no_cache: bool = False,
     policy: SupervisorPolicy | None = None,
+    profile_path: Path | None = None,
 ) -> int:
     task = load_preset(preset, scale=scale)
     embeddings = build_embeddings(task, regime, preset_name=preset)
@@ -159,16 +179,21 @@ def _run_match(
     supervisor = RunSupervisor(policy or SupervisorPolicy())
     with SimilarityEngine(workers=workers, dtype=dtype, cache=not no_cache) as engine:
         matcher.engine = engine
-        fit = getattr(matcher, "fit", None)
-        if fit is not None and len(task.seed_index_pairs()):
-            fit(embeddings.source, embeddings.target, task.seed_index_pairs())
-        run = supervisor.run(
-            matcher,
-            embeddings.source[queries],
-            embeddings.target[candidates],
-            name=matcher_name,
-            context={"preset": preset, "regime": regime},
-        )
+        recorder = registry = None
+        with ExitStack() as stack:
+            if profile_path is not None:
+                recorder = stack.enter_context(obs_trace.recording())
+                registry = stack.enter_context(obs_metrics.scoped())
+            fit = getattr(matcher, "fit", None)
+            if fit is not None and len(task.seed_index_pairs()):
+                fit(embeddings.source, embeddings.target, task.seed_index_pairs())
+            run = supervisor.run(
+                matcher,
+                embeddings.source[queries],
+                embeddings.target[candidates],
+                name=matcher_name,
+                context={"preset": preset, "regime": regime},
+            )
         if not run.ok:
             # on_error="skip" (raise propagates before we get here).
             print(f"match failed: {run.describe()}", file=sys.stderr)
@@ -188,6 +213,22 @@ def _run_match(
         print(f"  time={result.seconds:.3f}s peak={result.peak_bytes / 2**20:.1f}MiB")
         print(f"  engine: workers={engine.workers} dtype={engine.dtype.name} "
               f"cache={engine.cache_info()}")
+        if profile_path is not None:
+            document = build_profile(
+                recorder,
+                registry,
+                meta={
+                    "preset": preset,
+                    "regime": regime,
+                    "matcher": matcher_name,
+                    "executed": executed,
+                    "scale": scale,
+                    "workers": engine.workers,
+                    "dtype": engine.dtype.name,
+                },
+            )
+            written = write_profile(profile_path, document)
+            print(f"  profile written to {written}")
     return 0
 
 
@@ -232,7 +273,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_match(
                 args.preset, args.regime, args.matcher, args.scale,
                 workers=args.workers, dtype=args.dtype, no_cache=args.no_cache,
-                policy=_match_policy(args),
+                policy=_match_policy(args), profile_path=args.profile,
             )
         except MatcherError as err:
             # --on-error raise tripped: one-line summary, non-zero exit.
@@ -240,6 +281,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"match failed: {type(err).__name__}: {err}", file=sys.stderr
             )
             return 1
+    if args.command == "profile":
+        try:
+            print(summarize(load_profile(args.path)))
+        except (OSError, ValueError) as err:
+            print(f"cannot summarize {args.path}: {err}", file=sys.stderr)
+            return 1
+        return 0
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
 from repro.similarity.metrics import similarity_matrix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -160,30 +161,38 @@ class PipelineMatcher(Matcher):
 
     def match(self, source: np.ndarray, target: np.ndarray) -> MatchResult:
         """Full pipeline from embeddings."""
-        source = check_embedding_matrix(source, "source")
-        target = check_embedding_matrix(target, "target")
-        watch = Stopwatch()
-        memory = MemoryTracker()
-        with watch.measure("similarity"):
-            scores = self._similarity(source, target)
-        memory.allocate_array("similarity", scores)
-        return self._finish(scores, watch, memory)
+        with obs_trace.span("matcher.match", matcher=self.name, metric=self.metric):
+            source = check_embedding_matrix(source, "source")
+            target = check_embedding_matrix(target, "target")
+            watch = Stopwatch()
+            memory = MemoryTracker()
+            with watch.measure("similarity"), obs_trace.span(
+                "matcher.score", matcher=self.name
+            ):
+                scores = self._similarity(source, target)
+            memory.allocate_array("similarity", scores)
+            return self._finish(scores, watch, memory)
 
     def match_scores(self, scores: np.ndarray) -> MatchResult:
         """Pipeline from a precomputed score matrix (skips the metric)."""
-        scores = check_score_matrix(scores)
-        watch = Stopwatch()
-        memory = MemoryTracker()
-        memory.allocate_array("similarity", scores)
-        return self._finish(scores, watch, memory)
+        with obs_trace.span("matcher.match", matcher=self.name, metric="precomputed"):
+            scores = check_score_matrix(scores)
+            watch = Stopwatch()
+            memory = MemoryTracker()
+            memory.allocate_array("similarity", scores)
+            return self._finish(scores, watch, memory)
 
     def _finish(
         self, scores: np.ndarray, watch: Stopwatch, memory: MemoryTracker
     ) -> MatchResult:
         # Transforms declare their own working-set allocations; the base
         # pipeline only accounts for the similarity matrix itself.
-        with watch.measure("transform"):
+        with watch.measure("transform"), obs_trace.span(
+            "matcher.rescale", matcher=self.name
+        ):
             transformed = self._transform(scores, watch, memory)
-        with watch.measure("decode"):
+        with watch.measure("decode"), obs_trace.span(
+            "matcher.assign", matcher=self.name
+        ):
             pairs, pair_scores = self._decode(transformed, watch, memory)
         return MatchResult(pairs, pair_scores, stopwatch=watch, memory=memory)

@@ -26,6 +26,8 @@ import numpy as np
 from repro.core.base import PipelineMatcher
 from repro.core.greedy import greedy_match
 from repro.errors import ConvergenceError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_score_matrix
@@ -51,9 +53,11 @@ def sinkhorn_scores(
         log_kernel = scores / temperature
     _check_converged(log_kernel, temperature, iteration=0)
     for iteration in range(1, iterations + 1):
-        log_kernel = log_kernel - _logsumexp(log_kernel, axis=1, keepdims=True)  # rows
-        log_kernel = log_kernel - _logsumexp(log_kernel, axis=0, keepdims=True)  # cols
-        _check_converged(log_kernel, temperature, iteration)
+        with obs_trace.span("sinkhorn.iter", k=iteration):
+            log_kernel = log_kernel - _logsumexp(log_kernel, axis=1, keepdims=True)  # rows
+            log_kernel = log_kernel - _logsumexp(log_kernel, axis=0, keepdims=True)  # cols
+            _check_converged(log_kernel, temperature, iteration)
+    obs_metrics.get_metrics().inc("sinkhorn.iterations", iterations)
     return np.exp(log_kernel)
 
 
@@ -68,6 +72,8 @@ def _check_converged(log_kernel: np.ndarray, temperature: float, iteration: int)
     """
     if np.all(np.isfinite(log_kernel)):
         return
+    obs_metrics.get_metrics().inc("sinkhorn.divergences")
+    obs_trace.event("sinkhorn.diverged", temperature=temperature, iteration=iteration)
     raise ConvergenceError(
         "Sinkhorn kernel diverged to non-finite values at iteration "
         f"{iteration} (temperature={temperature:g}); retry at a higher temperature",

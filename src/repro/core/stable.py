@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import PipelineMatcher
+from repro.obs import metrics as obs_metrics
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_score_matrix
@@ -46,12 +47,14 @@ def gale_shapley(scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     next_proposal = np.zeros(n_source, dtype=np.int64)
     engaged_to = np.full(n_target, -1, dtype=np.int64)  # target -> source
     free = list(range(n_source))
+    proposals = 0
 
     while free:
         source = free.pop()
         while next_proposal[source] < n_target:
             target = source_prefs[source, next_proposal[source]]
             next_proposal[source] += 1
+            proposals += 1
             holder = engaged_to[target]
             if holder < 0:
                 engaged_to[target] = source
@@ -62,6 +65,7 @@ def gale_shapley(scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
                 break
         # else: source exhausted its list and stays unmatched.
 
+    obs_metrics.get_metrics().inc("stable.proposals", proposals)
     matched_targets = np.flatnonzero(engaged_to >= 0)
     pairs = np.stack([engaged_to[matched_targets], matched_targets], axis=1)
     # Report in source order for readability.

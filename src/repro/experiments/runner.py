@@ -39,6 +39,9 @@ from repro.eval.metrics import AlignmentMetrics, evaluate_pairs, ranking_diagnos
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.regimes import build_embeddings
 from repro.kg.pair import AlignmentTask
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.profile import build_profile
 from repro.runtime.supervisor import RunSupervisor, SupervisorPolicy
 from repro.similarity.engine import SimilarityEngine
 
@@ -112,6 +115,10 @@ class ExperimentResult:
     #: Hits@k / MRR of the gold links under the raw scores — a property
     #: of the embedding space, the ceiling raw ranking offers matchers.
     ranking: dict[str, float] = field(default_factory=dict)
+    #: Per-cell observability profiles (requested matcher name -> the
+    #: schema-versioned document of :func:`repro.obs.profile.build_profile`),
+    #: populated only when ``run_experiment(..., profile=True)``.
+    profiles: dict[str, dict] = field(default_factory=dict)
 
     def f1(self, matcher: str) -> float:
         return self.runs[matcher].f1
@@ -132,6 +139,7 @@ def run_experiment(
     policy: SupervisorPolicy | None = None,
     supervisor: RunSupervisor | None = None,
     matcher_factory: Callable[..., Matcher] | None = None,
+    profile: bool = False,
 ) -> ExperimentResult:
     """Execute ``config`` and return the per-matcher results.
 
@@ -151,6 +159,11 @@ def run_experiment(
     ``matcher_factory`` replaces the registry factory — the hook the
     fault-injection harness (:func:`repro.testing.faulty_factory`) uses;
     production code never needs it.
+
+    ``profile=True`` wraps every matcher cell in a fresh trace recorder
+    and scoped metrics registry, attaching one schema-versioned profile
+    document per matcher to :attr:`ExperimentResult.profiles` — the
+    evidence trail behind the cell's time/memory numbers.
     """
     if task is None:
         task = load_preset(config.preset, scale=config.scale)
@@ -182,20 +195,38 @@ def run_experiment(
         for name in config.matchers:
             matcher = factory(name, metric=config.metric, **config.options_for(name))
             matcher.engine = engine
-            if supervisor is None:
-                _maybe_fit(matcher, embeddings, task)
-                match = matcher.match(source_slice, target_slice)
-                metrics = evaluate_pairs(match.pairs, gold)
-                result.runs[name] = MatcherRun(
-                    matcher=name,
-                    metrics=metrics,
-                    seconds=match.seconds,
-                    peak_bytes=match.peak_bytes,
+
+            def run_cell(matcher: Matcher = matcher, name: str = name) -> None:
+                if supervisor is None:
+                    _maybe_fit(matcher, embeddings, task)
+                    match = matcher.match(source_slice, target_slice)
+                    result.runs[name] = MatcherRun(
+                        matcher=name,
+                        metrics=evaluate_pairs(match.pairs, gold),
+                        seconds=match.seconds,
+                        peak_bytes=match.peak_bytes,
+                    )
+                    return
+                _run_supervised(
+                    result, supervisor, matcher, name, source_slice, target_slice,
+                    gold, embeddings, task,
                 )
+
+            if not profile:
+                run_cell()
                 continue
-            _run_supervised(
-                result, supervisor, matcher, name, source_slice, target_slice,
-                gold, embeddings, task,
+            with obs_trace.recording() as recorder, obs_metrics.scoped() as registry:
+                run_cell()
+            result.profiles[name] = build_profile(
+                recorder,
+                registry,
+                meta={
+                    "matcher": name,
+                    "preset": config.preset,
+                    "regime": config.input_regime,
+                    "task": task.name,
+                    "seed": config.seed,
+                },
             )
     finally:
         if owns_engine:
@@ -224,6 +255,8 @@ def _run_supervised(
         _maybe_fit(matcher, embeddings, task)
     except Exception as err:  # noqa: BLE001 - typed into the ledger
         error = as_matcher_error(err, matcher=name, stage="fit", **context)
+        obs_metrics.get_metrics().inc("runner.fit_failures")
+        obs_trace.event("runner.fit_failure", matcher=name, error=type(error).__name__)
         if supervisor.policy.on_error == "raise":
             raise error from err
         result.failures[name] = FailedRun(

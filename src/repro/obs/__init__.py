@@ -1,0 +1,58 @@
+"""Observability: tracing spans, process metrics, and run profiles.
+
+Zero-dependency instrumentation for the matching hot paths:
+
+* :mod:`repro.obs.trace` — nestable spans collected into a per-run tree
+  (wall/CPU time, peak-RSS delta, counters); disabled by default via a
+  no-op recorder.
+* :mod:`repro.obs.metrics` — process-wide named counters/gauges/timers
+  (engine cache hits, Sinkhorn iterations, supervisor retries).
+* :mod:`repro.obs.profile` — schema-versioned JSON profile documents
+  plus a flame-style text summary (``repro profile summarize``).
+"""
+
+from repro.obs.metrics import MetricsRegistry, get_metrics, scoped
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    PROFILE_VERSION,
+    build_profile,
+    load_profile,
+    summarize,
+    validate_profile,
+    write_profile,
+)
+from repro.obs.trace import (
+    NullRecorder,
+    Span,
+    TraceRecorder,
+    event,
+    get_recorder,
+    install,
+    recording,
+    span,
+    tracing_enabled,
+    uninstall,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "get_metrics",
+    "scoped",
+    "PROFILE_SCHEMA",
+    "PROFILE_VERSION",
+    "build_profile",
+    "load_profile",
+    "summarize",
+    "validate_profile",
+    "write_profile",
+    "NullRecorder",
+    "Span",
+    "TraceRecorder",
+    "event",
+    "get_recorder",
+    "install",
+    "recording",
+    "span",
+    "tracing_enabled",
+    "uninstall",
+]

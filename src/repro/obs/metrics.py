@@ -1,0 +1,115 @@
+"""Process-wide named counters, gauges, and timers.
+
+Where :mod:`repro.obs.trace` answers "where did this run spend its
+time", the metrics registry answers "how often did the interesting
+things happen": kernel chunk counts, engine cache hits and misses,
+Sinkhorn iterations, supervisor retries and degradations.  Counters are
+plain dictionary increments at coarse (per-run, per-event) granularity,
+so the registry is always on — there is no hot-loop cost to disable.
+
+Components read the active registry through :func:`get_metrics` at
+event time, so a run profiled under :func:`scoped` sees only its own
+counts::
+
+    with scoped() as registry:
+        run_matcher()
+    registry.counter("supervisor.retries")      # this run's retries only
+
+Instrumented call sites use the dotted-name taxonomy documented in
+DESIGN.md §7: ``engine.*`` for the similarity engine, ``sinkhorn.*``
+for the Sinkhorn kernel, ``supervisor.*`` for the runtime.  Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges, and accumulating timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._timers: dict[str, list[float]] = {}  # name -> [seconds, count]
+
+    # -- writers -------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the ``name`` counter (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the ``name`` gauge to its most recent ``value``."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the enclosed block's wall time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                entry = self._timers.setdefault(name, [0.0, 0])
+                entry[0] += elapsed
+                entry[1] += 1
+
+    # -- readers -------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current value of the ``name`` counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, dict[str, float] | dict[str, dict[str, float]]]:
+        """JSON-ready copy of every counter, gauge, and timer."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": {
+                    name: {"seconds": seconds, "count": count}
+                    for name, (seconds, count) in self._timers.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Zero every counter, gauge, and timer."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+
+_global = MetricsRegistry()
+_active = _global
+
+
+def get_metrics() -> MetricsRegistry:
+    """The active registry (the process-wide default unless scoped)."""
+    return _active
+
+
+@contextmanager
+def scoped(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Swap in ``registry`` (or a fresh one) as the active registry.
+
+    Restores the previous registry on exit, so a profiled run's counts
+    are isolated from the process-wide totals — and from other profiled
+    runs in the same process.
+    """
+    global _active
+    previous = _active
+    _active = registry or MetricsRegistry()
+    try:
+        yield _active
+    finally:
+        _active = previous

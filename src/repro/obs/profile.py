@@ -1,0 +1,222 @@
+"""Schema-versioned run profiles: JSON document + flame-style summary.
+
+A *profile* is the machine-readable evidence trail behind a run: the
+trace tree collected by a :class:`~repro.obs.trace.TraceRecorder`, the
+metric snapshot of the run's :class:`~repro.obs.metrics.MetricsRegistry`,
+and caller-supplied metadata (preset, regime, matcher), all under a
+versioned schema so downstream tooling can detect incompatible changes.
+
+Schema version policy (see DESIGN.md §7): ``version`` is bumped when a
+required key is removed or its type changes; purely additive keys do
+not bump it.  :func:`validate_profile` checks the structural contract
+and is what ``repro profile summarize`` and the test suite run against
+every emitted document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.trace import TraceRecorder
+
+#: Document identifier; consumers reject anything else.
+PROFILE_SCHEMA = "repro.profile"
+#: Bumped on breaking changes only (removed/retyped required keys).
+PROFILE_VERSION = 1
+
+_SPAN_KEYS = {
+    "name": str,
+    "attrs": dict,
+    "wall_seconds": (int, float),
+    "cpu_seconds": (int, float),
+    "rss_delta_bytes": int,
+    "counters": dict,
+    "children": list,
+}
+
+
+def build_profile(
+    recorder: TraceRecorder,
+    metrics: MetricsRegistry | None = None,
+    meta: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the profile document for one recorded run."""
+    return {
+        "schema": PROFILE_SCHEMA,
+        "version": PROFILE_VERSION,
+        "meta": dict(meta or {}),
+        "spans": [root.as_dict() for root in recorder.roots],
+        "events": [dict(event) for event in recorder.events],
+        "metrics": (metrics or get_metrics()).snapshot(),
+    }
+
+
+def validate_profile(document: Any) -> dict[str, Any]:
+    """Check ``document`` against the profile schema; return it.
+
+    Raises ``ValueError`` naming the first structural violation — the
+    guard every consumer (CLI summarizer, tests) runs before trusting a
+    document.
+    """
+    if not isinstance(document, dict):
+        raise ValueError(f"profile must be a JSON object, got {type(document).__name__}")
+    if document.get("schema") != PROFILE_SCHEMA:
+        raise ValueError(
+            f"unknown profile schema {document.get('schema')!r}; "
+            f"expected {PROFILE_SCHEMA!r}"
+        )
+    if document.get("version") != PROFILE_VERSION:
+        raise ValueError(
+            f"unsupported profile version {document.get('version')!r}; "
+            f"this library reads version {PROFILE_VERSION}"
+        )
+    for key, kind in (("meta", dict), ("spans", list), ("events", list), ("metrics", dict)):
+        if not isinstance(document.get(key), kind):
+            raise ValueError(f"profile {key!r} must be a {kind.__name__}")
+    for span in document["spans"]:
+        _validate_span(span, path="spans")
+    for event in document["events"]:
+        if not isinstance(event, dict) or not isinstance(event.get("name"), str):
+            raise ValueError(f"malformed event entry: {event!r}")
+    for section in ("counters", "gauges", "timers"):
+        if not isinstance(document["metrics"].get(section), dict):
+            raise ValueError(f"profile metrics must contain a {section!r} mapping")
+    return document
+
+
+def _validate_span(span: Any, path: str) -> None:
+    if not isinstance(span, dict):
+        raise ValueError(f"{path}: span must be an object, got {type(span).__name__}")
+    for key, kind in _SPAN_KEYS.items():
+        if key not in span:
+            raise ValueError(f"{path}: span is missing required key {key!r}")
+        if not isinstance(span[key], kind):
+            raise ValueError(f"{path}.{key}: expected {kind}, got {type(span[key]).__name__}")
+    for child in span["children"]:
+        _validate_span(child, path=f"{path}.{span['name']}")
+
+
+def write_profile(path: Path | str, document: Mapping[str, Any]) -> Path:
+    """Serialise ``document`` (validated) to ``path`` as indented JSON."""
+    document = validate_profile(dict(document))
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    return path
+
+
+def load_profile(path: Path | str) -> dict[str, Any]:
+    """Read and validate a profile document from ``path``."""
+    return validate_profile(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def summarize(document: Mapping[str, Any], max_depth: int = 6) -> str:
+    """Human flame-style summary of a profile document.
+
+    One line per distinct span name and depth — same-named siblings are
+    merged flame-graph style (a hundred ``sinkhorn.iter`` spans render
+    as one ``x100`` line) — with wall time, share of the enclosing
+    root, CPU time, and counters; followed by the event tally and the
+    metric counters.
+    """
+    document = validate_profile(dict(document))
+    lines: list[str] = []
+    meta = document["meta"]
+    if meta:
+        rendered = "  ".join(f"{key}={value}" for key, value in meta.items())
+        lines.append(f"profile ({rendered})")
+    else:
+        lines.append("profile")
+
+    lines.append("-- spans " + "-" * 50)
+    for root in _merge_siblings(document["spans"]):
+        total = root["wall_seconds"] or 1e-12
+        for depth, span in _walk(root, max_depth):
+            share = 100.0 * span["wall_seconds"] / total
+            extras = ""
+            if span["calls"] > 1:
+                extras += f"  x{span['calls']}"
+            if span["counters"]:
+                extras += "  " + " ".join(
+                    f"{name}={_fmt_count(value)}" for name, value in sorted(span["counters"].items())
+                )
+            if span["rss_delta_bytes"]:
+                extras += f"  +rss={span['rss_delta_bytes'] / 2**20:.1f}MiB"
+            lines.append(
+                f"{'  ' * depth}{span['name']:<{max(1, 30 - 2 * depth)}} "
+                f"{span['wall_seconds'] * 1000:9.2f}ms {share:5.1f}% "
+                f"cpu={span['cpu_seconds'] * 1000:.2f}ms{extras}"
+            )
+
+    if document["events"]:
+        lines.append("-- events " + "-" * 49)
+        tally: dict[str, int] = {}
+        for entry in document["events"]:
+            tally[entry["name"]] = tally.get(entry["name"], 0) + 1
+        for name, count in sorted(tally.items()):
+            lines.append(f"{name:<40} x{count}")
+
+    counters = document["metrics"]["counters"]
+    if counters:
+        lines.append("-- counters " + "-" * 47)
+        for name, value in sorted(counters.items()):
+            lines.append(f"{name:<40} {_fmt_count(value)}")
+    timers = document["metrics"]["timers"]
+    if timers:
+        lines.append("-- timers " + "-" * 49)
+        for name, entry in sorted(timers.items()):
+            lines.append(
+                f"{name:<40} {entry['seconds'] * 1000:9.2f}ms x{int(entry['count'])}"
+            )
+    return "\n".join(lines)
+
+
+def _merge_siblings(spans: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Flame-graph merge: same-named siblings summed into one frame.
+
+    Timings, RSS deltas, and counters add; ``calls`` counts the merged
+    occurrences; children of merged spans are pooled and merged
+    recursively.  First-occurrence order is preserved.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for span in spans:
+        frame = merged.get(span["name"])
+        if frame is None:
+            merged[span["name"]] = frame = {
+                "name": span["name"],
+                "attrs": dict(span["attrs"]),
+                "wall_seconds": 0.0,
+                "cpu_seconds": 0.0,
+                "rss_delta_bytes": 0,
+                "counters": {},
+                "calls": 0,
+                "_children": [],
+            }
+        frame["wall_seconds"] += span["wall_seconds"]
+        frame["cpu_seconds"] += span["cpu_seconds"]
+        frame["rss_delta_bytes"] += span["rss_delta_bytes"]
+        frame["calls"] += 1
+        for name, value in span["counters"].items():
+            frame["counters"][name] = frame["counters"].get(name, 0) + value
+        frame["_children"].extend(span["children"])
+    for frame in merged.values():
+        frame["children"] = _merge_siblings(frame.pop("_children"))
+    return list(merged.values())
+
+
+def _walk(span: Mapping[str, Any], max_depth: int) -> Iterator[tuple[int, Mapping[str, Any]]]:
+    """Depth-first (depth, span) pairs down to ``max_depth``."""
+    stack: list[tuple[int, Mapping[str, Any]]] = [(0, span)]
+    while stack:
+        depth, current = stack.pop()
+        yield depth, current
+        if depth + 1 <= max_depth:
+            for child in reversed(current["children"]):
+                stack.append((depth + 1, child))
+
+
+def _fmt_count(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:.3f}"

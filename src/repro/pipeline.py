@@ -25,6 +25,9 @@ from repro.core.base import Matcher, MatchResult
 from repro.embedding.base import EmbeddingModel, UnifiedEmbeddings
 from repro.eval.metrics import AlignmentMetrics, evaluate_pairs
 from repro.kg.pair import AlignmentTask
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.profile import build_profile
 from repro.runtime.supervisor import RunSupervisor, SupervisedRun, SupervisorPolicy
 from repro.similarity.engine import SimilarityEngine
 
@@ -46,6 +49,9 @@ class AlignmentPrediction:
     #: Supervision record when the pipeline ran under a policy: attempt
     #: ledger, fallback chain, and the triggering error (if degraded).
     supervision: SupervisedRun | None = field(repr=False, default=None)
+    #: Observability profile document (spans, events, metric snapshot)
+    #: when the pipeline ran with ``align(..., profile=True)``.
+    profile: dict | None = field(repr=False, default=None)
 
     @property
     def degraded(self) -> bool:
@@ -92,14 +98,30 @@ class AlignmentPipeline:
         self.supervisor = supervisor
 
     def align(
-        self, task: AlignmentTask, embeddings: UnifiedEmbeddings | None = None
+        self,
+        task: AlignmentTask,
+        embeddings: UnifiedEmbeddings | None = None,
+        profile: bool = False,
     ) -> AlignmentPrediction:
         """Run the full pipeline on ``task``.
 
         ``embeddings`` may be supplied to reuse a previous encoding (e.g.
         when comparing matchers on the same space); otherwise the
         pipeline's encoder is invoked.
+
+        ``profile=True`` records the matching stage under a fresh trace
+        recorder and scoped metrics registry and attaches the resulting
+        schema-versioned document to :attr:`AlignmentPrediction.profile`.
         """
+        if profile:
+            with obs_trace.recording() as recorder, obs_metrics.scoped() as registry:
+                prediction = self.align(task, embeddings, profile=False)
+            prediction.profile = build_profile(
+                recorder,
+                registry,
+                meta={"task": task.name, "matcher": self.matcher.name},
+            )
+            return prediction
         if embeddings is None:
             embeddings = self.encoder.encode(task)
         if embeddings.source.shape[0] != task.source.num_entities:

@@ -48,6 +48,8 @@ from repro.errors import (
     ResourceBudgetExceeded,
     as_matcher_error,
 )
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.utils.rng import ensure_rng
 
 _ON_ERROR = ("raise", "skip", "fallback")
@@ -209,6 +211,13 @@ class RunSupervisor:
     registry's :func:`~repro.core.registry.create_matcher`); ``sleep``
     is injectable so tests can assert the backoff schedule without
     actually waiting.
+
+    Every attempt, retry, degradation hop, and terminal failure is also
+    emitted through the observability layer: ``supervisor.*`` counters
+    on ``metrics`` (the active :func:`~repro.obs.metrics.get_metrics`
+    registry unless one is injected) and point events on the installed
+    trace recorder — so a profile document carries the same story as
+    the runner's :class:`~repro.experiments.runner.FailedRun` ledger.
     """
 
     def __init__(
@@ -217,11 +226,17 @@ class RunSupervisor:
         *,
         matcher_factory: Callable[..., Matcher] | None = None,
         sleep: Callable[[float], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.policy = policy or SupervisorPolicy()
         self._factory = matcher_factory or create_matcher
         self._sleep = sleep if sleep is not None else time.sleep
         self._schedule = backoff_schedule(self.policy)
+        self._metrics = metrics
+
+    def _registry(self) -> MetricsRegistry:
+        """The injected metrics registry, or the active process one."""
+        return self._metrics if self._metrics is not None else get_metrics()
 
     # -- public API ----------------------------------------------------
 
@@ -244,18 +259,38 @@ class RunSupervisor:
         run = SupervisedRun(requested=requested)
         context = dict(context or {})
         current, current_name = matcher, requested
+        registry = self._registry()
         while True:
             run.chain.append(current_name)
             error = self._attempt_with_retries(run, current, current_name, source, target, context)
             if error is None:
+                registry.inc("supervisor.runs")
+                if run.degraded:
+                    # The ledger's resolution="fallback" entries: runs
+                    # whose result came from a ladder substitute.
+                    registry.inc("supervisor.degraded_runs")
                 return run
             run.error = error
             fallback_name = self._fallback_for(current_name)
             if self.policy.on_error == "fallback" and fallback_name is not None and self._breached(error):
                 fallback = self._build_fallback(fallback_name, current)
                 if fallback is not None:
+                    registry.inc("supervisor.degradations")
+                    obs_trace.event(
+                        "supervisor.degrade",
+                        matcher=current_name,
+                        fallback=fallback_name,
+                        error=type(error).__name__,
+                    )
                     current, current_name = fallback, fallback_name
                     continue
+            # The ledger's resolution="skipped" entries plus raised runs.
+            registry.inc("supervisor.failed_runs")
+            obs_trace.event(
+                "supervisor.failure",
+                matcher=requested,
+                error=type(error).__name__,
+            )
             if self.policy.on_error == "raise":
                 raise error
             return run
@@ -273,6 +308,7 @@ class RunSupervisor:
     ) -> MatcherError | None:
         """All attempts of one matcher; returns its terminal error or None."""
         error: MatcherError | None = None
+        registry = self._registry()
         for attempt in range(1, self.policy.retries + 2):
             start = time.perf_counter()
             try:
@@ -281,6 +317,7 @@ class RunSupervisor:
                 error = exc
                 retrying = exc.retryable and attempt <= self.policy.retries
                 backoff = self._schedule[attempt - 1] if retrying else 0.0
+                registry.inc("supervisor.attempts")
                 run.attempts.append(
                     AttemptRecord(
                         matcher=name,
@@ -292,10 +329,19 @@ class RunSupervisor:
                 )
                 if not retrying:
                     return error
+                registry.inc("supervisor.retries")
+                obs_trace.event(
+                    "supervisor.retry",
+                    matcher=name,
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                    backoff=backoff,
+                )
                 self._soften(matcher)
                 if backoff > 0:
                     self._sleep(backoff)
                 continue
+            registry.inc("supervisor.attempts")
             run.attempts.append(
                 AttemptRecord(
                     matcher=name,

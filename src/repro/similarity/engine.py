@@ -47,6 +47,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.similarity.chunked import chunked_csls_top_k, chunked_top_k
 from repro.similarity.metrics import prepare_metric
 from repro.utils.parallel import (
@@ -221,8 +223,14 @@ class SimilarityEngine:
                 if entry is not None:
                     self._cache.move_to_end(key)
                     self.stats.hits += 1
+                    obs_metrics.get_metrics().inc("engine.cache.hits")
+                    obs_trace.event(
+                        "engine.cache.hit", metric=metric, nbytes=entry.nbytes
+                    )
                     return entry.matrix
             self.stats.misses += 1
+            obs_metrics.get_metrics().inc("engine.cache.misses")
+            obs_trace.event("engine.cache.miss", metric=metric)
         scores = self._compute(source, target, metric)
         if key is not None:
             scores.setflags(write=False)
@@ -232,6 +240,7 @@ class SimilarityEngine:
                 while len(self._cache) > self.cache_size:
                     self._cache.popitem(last=False)
                     self.stats.evictions += 1
+                    obs_metrics.get_metrics().inc("engine.cache.evictions")
         return scores
 
     def _compute(
@@ -240,15 +249,33 @@ class SimilarityEngine:
         source = source.astype(self.dtype, copy=False)
         target = target.astype(self.dtype, copy=False)
         n_source, n_target = source.shape[0], target.shape[0]
-        kernel = prepare_metric(metric, source, target, chunk_elems=self.chunk_elems)
-        chunk = self.chunk_rows or rows_per_chunk(n_target, self.chunk_elems)
-        out = np.empty((n_source, n_target), dtype=self.dtype)
+        with obs_trace.span(
+            "engine.similarity",
+            metric=metric,
+            rows=n_source,
+            cols=n_target,
+            dtype=self.dtype.name,
+            workers=self.workers,
+        ) as span:
+            kernel = prepare_metric(metric, source, target, chunk_elems=self.chunk_elems)
+            chunk = self.chunk_rows or rows_per_chunk(n_target, self.chunk_elems)
+            out = np.empty((n_source, n_target), dtype=self.dtype)
+            chunks = row_chunks(n_source, chunk)
 
-        def work(rows: slice) -> None:
-            out[rows] = kernel(rows)
+            def work(rows: slice) -> None:
+                # Chunk kernels run on pool threads, so the parent is pinned
+                # explicitly (the span stack is thread-local).
+                with obs_trace.span(
+                    "engine.chunk", parent=span, start=rows.start, stop=rows.stop
+                ):
+                    out[rows] = kernel(rows)
 
-        map_chunks(work, row_chunks(n_source, chunk), self.workers, self._executor())
+            map_chunks(work, chunks, self.workers, self._executor())
+            span.count("chunks", len(chunks))
         self.stats.computations += 1
+        registry = obs_metrics.get_metrics()
+        registry.inc("engine.computations")
+        registry.inc("engine.chunks", len(chunks))
         return out
 
     # -- chunked entry points ------------------------------------------

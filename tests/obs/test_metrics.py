@@ -1,0 +1,88 @@
+"""Tests for the metrics registry: counters, gauges, timers, scoping."""
+
+import threading
+
+import pytest
+
+from repro.obs import metrics
+
+pytestmark = pytest.mark.obs
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        registry = metrics.MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 2.5)
+        assert registry.counter("a") == 3.5
+        assert registry.counter("never") == 0
+
+    def test_gauge_keeps_latest(self):
+        registry = metrics.MetricsRegistry()
+        registry.gauge("temp", 0.02)
+        registry.gauge("temp", 0.2)
+        assert registry.snapshot()["gauges"]["temp"] == 0.2
+
+    def test_timer_accumulates_seconds_and_count(self):
+        registry = metrics.MetricsRegistry()
+        with registry.timer("t"):
+            pass
+        with registry.timer("t"):
+            pass
+        entry = registry.snapshot()["timers"]["t"]
+        assert entry["count"] == 2
+        assert entry["seconds"] >= 0
+
+    def test_snapshot_is_a_copy(self):
+        registry = metrics.MetricsRegistry()
+        registry.inc("a")
+        snap = registry.snapshot()
+        snap["counters"]["a"] = 999
+        assert registry.counter("a") == 1
+
+    def test_reset_zeroes_everything(self):
+        registry = metrics.MetricsRegistry()
+        registry.inc("a")
+        registry.gauge("g", 1)
+        with registry.timer("t"):
+            pass
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+
+    def test_thread_safe_increments(self):
+        registry = metrics.MetricsRegistry()
+
+        def hammer():
+            for _ in range(1000):
+                registry.inc("n")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("n") == 4000
+
+
+class TestScoping:
+    def test_scoped_isolates_counts(self):
+        outer = metrics.get_metrics()
+        before = outer.counter("scoped.test")
+        with metrics.scoped() as registry:
+            assert metrics.get_metrics() is registry
+            metrics.get_metrics().inc("scoped.test")
+            assert registry.counter("scoped.test") == 1
+        assert metrics.get_metrics() is outer
+        assert outer.counter("scoped.test") == before
+
+    def test_scoped_restores_on_error(self):
+        outer = metrics.get_metrics()
+        with pytest.raises(RuntimeError):
+            with metrics.scoped():
+                raise RuntimeError("boom")
+        assert metrics.get_metrics() is outer
+
+    def test_scoped_accepts_existing_registry(self):
+        mine = metrics.MetricsRegistry()
+        with metrics.scoped(mine) as registry:
+            assert registry is mine

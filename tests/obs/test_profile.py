@@ -1,0 +1,119 @@
+"""Tests for profile documents: schema, validation, round trip, summary."""
+
+import json
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    PROFILE_VERSION,
+    build_profile,
+    load_profile,
+    summarize,
+    validate_profile,
+    write_profile,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _recorded_run():
+    registry = obs_metrics.MetricsRegistry()
+    with trace.recording() as recorder, obs_metrics.scoped(registry):
+        with trace.span("matcher.match", matcher="CSLS") as sp:
+            with trace.span("matcher.score"):
+                pass
+            for i in range(3):
+                with trace.span("sinkhorn.iter", k=i):
+                    pass
+            sp.count("chunks", 2)
+        trace.event("engine.cache.hit", metric="cosine")
+        obs_metrics.get_metrics().inc("engine.cache.hits")
+    return recorder, registry
+
+
+class TestBuildAndValidate:
+    def test_document_shape(self):
+        recorder, registry = _recorded_run()
+        doc = build_profile(recorder, registry, meta={"preset": "x"})
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["version"] == PROFILE_VERSION
+        assert doc["meta"] == {"preset": "x"}
+        assert len(doc["spans"]) == 1
+        assert doc["events"][0]["name"] == "engine.cache.hit"
+        assert doc["metrics"]["counters"]["engine.cache.hits"] == 1
+        validate_profile(doc)
+
+    def test_document_is_json_serialisable(self):
+        recorder, registry = _recorded_run()
+        json.dumps(build_profile(recorder, registry))
+
+    def test_build_defaults_to_active_registry(self):
+        with obs_metrics.scoped() as registry:
+            registry.inc("only.here")
+            doc = build_profile(trace.TraceRecorder())
+        assert doc["metrics"]["counters"]["only.here"] == 1
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d.update(schema="other"), "schema"),
+            (lambda d: d.update(version=999), "version"),
+            (lambda d: d.update(spans={}), "spans"),
+            (lambda d: d.pop("metrics"), "metrics"),
+            (lambda d: d["spans"][0].pop("wall_seconds"), "wall_seconds"),
+            (lambda d: d["spans"][0]["children"][0].pop("name"), "name"),
+            (lambda d: d["metrics"].pop("counters"), "counters"),
+            (lambda d: d["events"].append({"no-name": True}), "event"),
+        ],
+    )
+    def test_validation_rejects_malformed(self, mutate, message):
+        recorder, registry = _recorded_run()
+        doc = build_profile(recorder, registry)
+        mutate(doc)
+        with pytest.raises(ValueError, match=message):
+            validate_profile(doc)
+
+    def test_validation_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_profile([1, 2, 3])
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        recorder, registry = _recorded_run()
+        doc = build_profile(recorder, registry, meta={"matcher": "CSLS"})
+        path = write_profile(tmp_path / "sub" / "prof.json", doc)
+        assert path.exists()
+        loaded = load_profile(path)
+        assert loaded == doc
+
+    def test_write_rejects_malformed(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_profile(tmp_path / "bad.json", {"schema": "nope"})
+        assert not (tmp_path / "bad.json").exists()
+
+
+class TestSummarize:
+    def test_summary_mentions_spans_events_counters(self):
+        recorder, registry = _recorded_run()
+        doc = build_profile(recorder, registry, meta={"preset": "zoo"})
+        text = summarize(doc)
+        assert "matcher.match" in text
+        assert "matcher.score" in text
+        assert "preset=zoo" in text
+        assert "engine.cache.hit" in text
+        assert "engine.cache.hits" in text
+
+    def test_summary_merges_same_named_siblings(self):
+        recorder, registry = _recorded_run()
+        text = summarize(build_profile(recorder, registry))
+        # 100%-per-iteration noise collapses into one aggregate line.
+        assert text.count("sinkhorn.iter") == 1
+        assert "x3" in text
+
+    def test_summary_of_empty_profile(self):
+        doc = build_profile(trace.TraceRecorder(), obs_metrics.MetricsRegistry())
+        assert "profile" in summarize(doc)

@@ -1,0 +1,142 @@
+"""Tests for the tracing layer: span trees, null recorder, threading."""
+
+import threading
+
+import pytest
+
+from repro.obs import trace
+
+pytestmark = pytest.mark.obs
+
+
+class TestDisabledByDefault:
+    def test_null_recorder_installed_by_default(self):
+        assert not trace.tracing_enabled()
+        assert isinstance(trace.get_recorder(), trace.NullRecorder)
+
+    def test_disabled_span_is_shared_noop(self):
+        with trace.span("anything", key="value") as sp:
+            sp.count("n", 3)
+            sp.annotate(extra=1)
+        assert sp is trace.NULL_SPAN
+        # A second call hands out the very same object: no allocation.
+        assert trace.span("other") is trace.get_recorder().span("other")
+
+    def test_disabled_event_is_noop(self):
+        trace.event("ignored", a=1)  # must not raise or record anywhere
+
+
+class TestRecording:
+    def test_recording_installs_and_restores(self):
+        with trace.recording() as recorder:
+            assert trace.tracing_enabled()
+            assert trace.get_recorder() is recorder
+        assert not trace.tracing_enabled()
+
+    def test_recording_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with trace.recording():
+                raise RuntimeError("boom")
+        assert not trace.tracing_enabled()
+
+    def test_recording_is_reentrant(self):
+        with trace.recording() as outer:
+            with trace.span("outer-span"):
+                pass
+            with trace.recording() as inner:
+                with trace.span("inner-span"):
+                    pass
+            # Back to the outer recorder after the inner run.
+            assert trace.get_recorder() is outer
+            with trace.span("outer-again"):
+                pass
+        assert [s.name for s in outer.roots] == ["outer-span", "outer-again"]
+        assert [s.name for s in inner.roots] == ["inner-span"]
+
+
+class TestSpanTree:
+    def test_nesting_follows_with_blocks(self):
+        with trace.recording() as recorder:
+            with trace.span("parent", level=1):
+                with trace.span("child"):
+                    with trace.span("grandchild"):
+                        pass
+                with trace.span("sibling"):
+                    pass
+        (root,) = recorder.roots
+        assert root.name == "parent"
+        assert root.attrs == {"level": 1}
+        assert [c.name for c in root.children] == ["child", "sibling"]
+        assert [g.name for g in root.children[0].children] == ["grandchild"]
+
+    def test_timings_and_counters_recorded(self):
+        with trace.recording() as recorder:
+            with trace.span("work") as sp:
+                sum(range(1000))
+                sp.count("items", 5)
+                sp.count("items", 2)
+                sp.annotate(note="done")
+        (root,) = recorder.roots
+        assert root.wall_seconds > 0
+        assert root.cpu_seconds >= 0
+        assert root.rss_delta_bytes >= 0
+        assert root.counters == {"items": 7}
+        assert root.attrs["note"] == "done"
+
+    def test_explicit_parent_attaches_across_threads(self):
+        with trace.recording() as recorder:
+            with trace.span("scheduler") as parent:
+                def worker(i):
+                    with trace.span("chunk", parent=parent, index=i):
+                        pass
+                threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        (root,) = recorder.roots
+        assert sorted(c.attrs["index"] for c in root.children) == [0, 1, 2, 3]
+        assert all(c.name == "chunk" for c in root.children)
+
+    def test_parentless_span_on_worker_thread_becomes_root(self):
+        with trace.recording() as recorder:
+            with trace.span("main-root"):
+                def run():
+                    with trace.span("orphan"):
+                        pass
+                t = threading.Thread(target=run)
+                t.start()
+                t.join()
+        names = sorted(s.name for s in recorder.roots)
+        assert names == ["main-root", "orphan"]
+
+    def test_find_and_walk(self):
+        with trace.recording() as recorder:
+            with trace.span("a"):
+                with trace.span("b"):
+                    pass
+                with trace.span("b"):
+                    pass
+        assert len(recorder.find("b")) == 2
+        assert [s.name for s in recorder.walk()] == ["a", "b", "b"]
+
+    def test_events_ordered_with_offsets(self):
+        with trace.recording() as recorder:
+            trace.event("first", k=1)
+            trace.event("second")
+        assert [e["name"] for e in recorder.events] == ["first", "second"]
+        assert recorder.events[0]["attrs"] == {"k": 1}
+        assert recorder.events[0]["seconds"] <= recorder.events[1]["seconds"]
+
+    def test_as_dict_round_trips_shape(self):
+        with trace.recording() as recorder:
+            with trace.span("root", tag="x") as sp:
+                sp.count("n", 1)
+                with trace.span("leaf"):
+                    pass
+        doc = recorder.roots[0].as_dict()
+        assert doc["name"] == "root"
+        assert doc["attrs"] == {"tag": "x"}
+        assert doc["counters"] == {"n": 1}
+        assert doc["children"][0]["name"] == "leaf"
+        assert doc["children"][0]["children"] == []

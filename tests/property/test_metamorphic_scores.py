@@ -1,0 +1,157 @@
+"""Metamorphic properties of the score transforms.
+
+Each test applies a known-output-preserving change to the input score
+matrix and asserts the transform's behaviour follows the algebra:
+
+* CSLS is affine-equivariant — ``CSLS(aS + b) = a CSLS(S)`` for a > 0,
+  so the induced ranking (and the greedy prediction) cannot move;
+* RInf's preference ranks depend only on score *order*, which positive
+  affine maps preserve;
+* the Sinkhorn operator is shift-invariant, temperature-covariant under
+  scaling, and drives the kernel towards a doubly-stochastic matrix.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.csls import csls_scores
+from repro.core.registry import create_matcher
+from repro.core.rinf import preference_scores, rank_matrix, reciprocal_rank_scores
+from repro.core.sinkhorn import sinkhorn_scores
+
+# Binary-fraction grid values (v / 2^9) with power-of-two scales and
+# dyadic shifts: every affine map below is then computed *exactly* in
+# float64, so the transforms must preserve tie structure bit-for-bit —
+# no rounding can create or break a tie.
+grid_matrices = st.tuples(st.integers(2, 9), st.integers(2, 9)).flatmap(
+    lambda shape: arrays(
+        np.float64, shape, elements=st.integers(-512, 512).map(lambda v: v / 512.0)
+    )
+)
+
+square_grid_matrices = st.integers(2, 8).flatmap(
+    lambda n: arrays(
+        np.float64, (n, n), elements=st.integers(-512, 512).map(lambda v: v / 512.0)
+    )
+)
+
+scales = st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0])
+shifts = st.sampled_from([-2.0, -0.5, 0.0, 0.75, 3.0])
+
+#: Figure 7's iteration sweep plus the defaults-neighbourhood temperatures.
+FIGURE7_ITERATIONS = (1, 5, 10, 50, 100)
+TEMPERATURES = (0.02, 0.05, 0.1, 1.0)
+
+
+class TestCSLSAffineEquivariance:
+    @given(scores=grid_matrices, a=scales, b=shifts)
+    @settings(max_examples=50, deadline=None)
+    def test_matrix_scales_linearly(self, scores, a, b):
+        # CSLS(aS + b) = a CSLS(S): the shift cancels between 2S and the
+        # two neighbourhood means, the scale factors out.
+        np.testing.assert_allclose(
+            csls_scores(a * scores + b), a * csls_scores(scores), atol=1e-9
+        )
+
+    @given(scores=grid_matrices, a=scales, b=shifts)
+    @settings(max_examples=50, deadline=None)
+    def test_prediction_unchanged(self, scores, a, b):
+        base = create_matcher("CSLS").match_scores(scores)
+        transformed = create_matcher("CSLS").match_scores(a * scores + b)
+        assert transformed.as_set() == base.as_set()
+
+    @given(scores=grid_matrices, a=scales, b=shifts, k=st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_holds_for_any_neighbourhood_width(self, scores, a, b, k):
+        if k > min(scores.shape):
+            k = min(scores.shape)
+        np.testing.assert_allclose(
+            csls_scores(a * scores + b, k=k), a * csls_scores(scores, k=k), atol=1e-9
+        )
+
+
+class TestRInfAffineInvariance:
+    @given(scores=grid_matrices, a=scales, b=shifts)
+    @settings(max_examples=50, deadline=None)
+    def test_preference_ranks_unchanged(self, scores, a, b):
+        # p = S - max + 1 maps to a(p - 1) + 1 under aS + b: strictly
+        # increasing in p, so both directions' rank matrices are frozen.
+        p_st, p_ts = preference_scores(scores)
+        q_st, q_ts = preference_scores(a * scores + b)
+        np.testing.assert_array_equal(rank_matrix(q_st, axis=1), rank_matrix(p_st, axis=1))
+        np.testing.assert_array_equal(rank_matrix(q_ts, axis=0), rank_matrix(p_ts, axis=0))
+
+    @given(scores=grid_matrices, a=scales, b=shifts)
+    @settings(max_examples=50, deadline=None)
+    def test_reciprocal_matrix_identical(self, scores, a, b):
+        np.testing.assert_array_equal(
+            reciprocal_rank_scores(a * scores + b), reciprocal_rank_scores(scores)
+        )
+
+    @given(scores=grid_matrices, a=scales, b=shifts)
+    @settings(max_examples=25, deadline=None)
+    def test_prediction_unchanged(self, scores, a, b):
+        base = create_matcher("RInf").match_scores(scores)
+        transformed = create_matcher("RInf").match_scores(a * scores + b)
+        assert transformed.as_set() == base.as_set()
+
+
+class TestSinkhornDoublyStochastic:
+    # Row sums converge geometrically at a temperature-dependent rate:
+    # near-tied assignments (gap ~ temperature) are the slow cases, so
+    # the tolerance after l=100 widens as the temperature drops.
+    ROW_TOLERANCE = {0.02: 0.1, 0.05: 0.05, 0.1: 0.03, 1.0: 1e-9}
+
+    @pytest.mark.parametrize("temperature", TEMPERATURES)
+    @given(scores=square_grid_matrices)
+    @settings(max_examples=10, deadline=None)
+    def test_converged_kernel_doubly_stochastic(self, temperature, scores):
+        kernel = sinkhorn_scores(scores, iterations=100, temperature=temperature)
+        np.testing.assert_allclose(kernel.sum(axis=0), 1.0, atol=1e-9)
+        np.testing.assert_allclose(
+            kernel.sum(axis=1), 1.0, atol=self.ROW_TOLERANCE[temperature]
+        )
+        assert (kernel >= 0).all()
+
+    @pytest.mark.parametrize("iterations", FIGURE7_ITERATIONS)
+    @given(scores=square_grid_matrices)
+    @settings(max_examples=10, deadline=None)
+    def test_column_sums_exact_after_any_iteration_count(self, iterations, scores):
+        # Each iteration ends on the column normalisation, so column sums
+        # are unit at every l of Figure 7's sweep; row sums only converge.
+        kernel = sinkhorn_scores(scores, iterations=iterations, temperature=0.1)
+        np.testing.assert_allclose(kernel.sum(axis=0), 1.0, atol=1e-9)
+
+    @given(scores=square_grid_matrices)
+    @settings(max_examples=20, deadline=None)
+    def test_row_deviation_shrinks_with_iterations(self, scores):
+        def deviation(iterations):
+            kernel = sinkhorn_scores(scores, iterations=iterations, temperature=0.1)
+            return np.abs(kernel.sum(axis=1) - 1.0).max()
+
+        assert deviation(100) <= deviation(1) + 1e-9
+
+    @given(scores=square_grid_matrices, b=shifts)
+    @settings(max_examples=25, deadline=None)
+    def test_shift_invariance(self, scores, b):
+        # A constant shift adds b/temperature to the log kernel and is
+        # removed by the very first normalisation.
+        np.testing.assert_allclose(
+            sinkhorn_scores(scores + b, iterations=10, temperature=0.1),
+            sinkhorn_scores(scores, iterations=10, temperature=0.1),
+            atol=1e-9,
+        )
+
+    @given(scores=square_grid_matrices, a=scales)
+    @settings(max_examples=25, deadline=None)
+    def test_scale_temperature_covariance(self, scores, a):
+        # Scaling the scores by a is the same operation as dividing the
+        # temperature by a: only S / temperature enters the kernel.
+        np.testing.assert_allclose(
+            sinkhorn_scores(a * scores, iterations=10, temperature=a * 0.1),
+            sinkhorn_scores(scores, iterations=10, temperature=0.1),
+            atol=1e-9,
+        )

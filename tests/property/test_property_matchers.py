@@ -9,15 +9,26 @@ that score with the raw matrix).
 
 import numpy as np
 import pytest
+import scipy.optimize
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.core.registry import create_matcher
+from repro.utils.rng import ensure_rng
 
 score_matrices = st.tuples(st.integers(2, 10), st.integers(2, 10)).flatmap(
     lambda shape: arrays(
         np.float64, shape, elements=st.floats(-1, 1, allow_nan=False, allow_infinity=False)
+    )
+)
+
+# Low-cardinality integer scores: dense ties and degenerate (constant)
+# rows are the norm, not the exception — the regime where assignment
+# solvers disagree if tie-breaking is buggy.
+tied_score_matrices = st.tuples(st.integers(2, 9), st.integers(2, 9)).flatmap(
+    lambda shape: arrays(
+        np.float64, shape, elements=st.integers(0, 3).map(float)
     )
 )
 
@@ -98,3 +109,157 @@ class TestScoreReporting:
         result = create_matcher("Hun.").match_scores(scores)
         identity_total = np.trace(scores)
         assert result.scores.sum() >= identity_total - 1e-9
+
+
+class TestHungarianDifferential:
+    """Native Hungarian vs scipy: equal optimum on every matrix."""
+
+    @given(scores=score_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_total_equals_scipy(self, scores):
+        result = create_matcher("Hun.").match_scores(scores)
+        rows, cols = scipy.optimize.linear_sum_assignment(scores, maximize=True)
+        np.testing.assert_allclose(
+            result.scores.sum(), scores[rows, cols].sum(), atol=1e-8
+        )
+
+    @given(scores=tied_score_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_total_equals_scipy_under_heavy_ties(self, scores):
+        # With ties the chosen *assignments* may legitimately differ; the
+        # optimum total must not.
+        result = create_matcher("Hun.").match_scores(scores)
+        rows, cols = scipy.optimize.linear_sum_assignment(scores, maximize=True)
+        np.testing.assert_allclose(
+            result.scores.sum(), scores[rows, cols].sum(), atol=1e-8
+        )
+        assert len(result.pairs) == min(scores.shape)
+
+    @given(size=st.integers(2, 8), value=st.floats(-5, 5, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_constant_matrix_degenerate_case(self, size, value):
+        # Fully degenerate: every assignment is optimal; both solvers
+        # must still produce a complete one with the same total.
+        scores = np.full((size, size), value)
+        result = create_matcher("Hun.").match_scores(scores)
+        assert len(result.pairs) == size
+        np.testing.assert_allclose(result.scores.sum(), size * value, atol=1e-8)
+
+
+class TestStableMatchBlockingPairs:
+    """Gale-Shapley output admits zero blocking pairs.
+
+    The blocking-pair count here is computed independently of the
+    library's own ``is_stable`` helper, so a shared bug cannot hide.
+    """
+
+    @staticmethod
+    def _blocking_pairs(scores, pairs):
+        match_of_source = {int(r): int(c) for r, c in pairs}
+        match_of_target = {int(c): int(r) for r, c in pairs}
+        blocking = []
+        for i in range(scores.shape[0]):
+            for j in range(scores.shape[1]):
+                if match_of_source.get(i) == j:
+                    continue
+                i_prefers = (
+                    i not in match_of_source
+                    or scores[i, j] > scores[i, match_of_source[i]]
+                )
+                j_prefers = (
+                    j not in match_of_target
+                    or scores[i, j] > scores[match_of_target[j], j]
+                )
+                if i_prefers and j_prefers:
+                    blocking.append((i, j))
+        return blocking
+
+    @given(scores=score_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_zero_blocking_pairs(self, scores):
+        result = create_matcher("SMat").match_scores(scores)
+        assert self._blocking_pairs(scores, result.pairs) == []
+
+    @given(scores=tied_score_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_zero_blocking_pairs_under_ties(self, scores):
+        # Blocking requires *strict* preference on both sides, so ties
+        # never block; the matching must still be stable.
+        result = create_matcher("SMat").match_scores(scores)
+        assert self._blocking_pairs(scores, result.pairs) == []
+
+
+def _embedding_pair(seed, n_source, n_target, dim=8):
+    """Continuous Gaussian embeddings: ties are measure-zero, so the
+    equivariance checks below are exact set comparisons."""
+    rng = ensure_rng(seed)
+    return (
+        rng.standard_normal((n_source, dim)),
+        rng.standard_normal((n_target, dim)),
+    )
+
+
+@pytest.mark.parametrize("name", ["DInf", "CSLS", "RInf-wr"])
+class TestPermutationEquivariance:
+    """Shuffling entity order must only relabel the matching.
+
+    If ``match(S, T)`` emits (r, c), then ``match(S[p], T[q])`` must emit
+    the same entity pairs under the new labels: these matchers score
+    entities by geometry (and, for CSLS/RInf, neighbourhood statistics
+    that are themselves order-free), never by row index.
+    """
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_source=st.integers(3, 12),
+        n_target=st.integers(3, 12),
+        perm_seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_row_and_column_shuffle(self, name, seed, n_source, n_target, perm_seed):
+        source, target = _embedding_pair(seed, n_source, n_target)
+        perm_rng = ensure_rng(perm_seed)
+        p = perm_rng.permutation(n_source)
+        q = perm_rng.permutation(n_target)
+
+        base = create_matcher(name).match(source, target)
+        shuffled = create_matcher(name).match(source[p], target[q])
+        # Shuffled row r is original entity p[r] (and likewise columns),
+        # so mapping the shuffled pairs through (p, q) recovers the
+        # original matching.
+        relabelled = {(int(p[r]), int(q[c])) for r, c in shuffled.pairs}
+        assert relabelled == base.as_set()
+
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(3, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_identity_shuffle_is_noop(self, name, seed, n):
+        source, target = _embedding_pair(seed, n, n)
+        a = create_matcher(name).match(source, target)
+        b = create_matcher(name).match(source.copy(), target.copy())
+        assert a.as_set() == b.as_set()
+
+
+class TestRInfPermutationEquivariance:
+    """RInf is equivariant whenever its preferences are tie-free.
+
+    Equation 2 pins every column champion's preference at exactly 1.0,
+    so a source that tops two columns creates *structural* ties in a row
+    of P_st, and the stable rank sort then breaks them by index order —
+    which a shuffle changes.  Champions are distinct (ties measure-zero)
+    when the two spaces are nearly aligned, the regime entity-alignment
+    embeddings actually live in; there RInf must be fully equivariant.
+    """
+
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(3, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_row_and_column_shuffle_on_aligned_spaces(self, seed, n):
+        rng = ensure_rng(seed)
+        source = rng.standard_normal((n, 8))
+        target = source + 0.01 * rng.standard_normal((n, 8))
+        p = rng.permutation(n)
+        q = rng.permutation(n)
+
+        base = create_matcher("RInf").match(source, target)
+        shuffled = create_matcher("RInf").match(source[p], target[q])
+        relabelled = {(int(p[r]), int(q[c])) for r, c in shuffled.pairs}
+        assert relabelled == base.as_set()

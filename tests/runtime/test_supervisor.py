@@ -353,3 +353,123 @@ class TestDegradationLadder:
                 assert current not in seen, f"ladder cycle via {seen}"
                 seen.append(current)
             assert current == "Greedy"
+
+
+class TestMetricsLedgerConsistency:
+    """supervisor.* counters tell the same story as the run ledger.
+
+    Every count is cross-checked against the :class:`SupervisedRun`
+    record produced by the same call, via a registry injected into the
+    supervisor — no reliance on (or pollution of) the process-global one.
+    """
+
+    @staticmethod
+    def _supervisor(policy, registry, **kwargs):
+        from repro.obs.metrics import MetricsRegistry
+
+        assert isinstance(registry, MetricsRegistry)
+        return RunSupervisor(policy, metrics=registry, **kwargs)
+
+    @staticmethod
+    def _registry():
+        from repro.obs.metrics import MetricsRegistry
+
+        return MetricsRegistry()
+
+    def test_clean_run_counts(self):
+        source, target = _embeddings()
+        registry = self._registry()
+        run = self._supervisor(SupervisorPolicy(), registry).run(DInf(), source, target)
+        assert registry.counter("supervisor.attempts") == len(run.attempts) == 1
+        assert registry.counter("supervisor.runs") == 1
+        assert registry.counter("supervisor.retries") == 0
+        assert registry.counter("supervisor.degradations") == 0
+        assert registry.counter("supervisor.degraded_runs") == 0
+        assert registry.counter("supervisor.failed_runs") == 0
+
+    def test_retry_counts_match_attempt_ledger(self):
+        source, target = _embeddings()
+        registry = self._registry()
+        supervisor = self._supervisor(
+            SupervisorPolicy(retries=2), registry, sleep=lambda s: None
+        )
+        run = supervisor.run(_FlakyMatcher(failures=2), source, target)
+        assert run.ok
+        assert registry.counter("supervisor.attempts") == len(run.attempts) == 3
+        failed_attempts = sum(1 for a in run.attempts if not a.ok)
+        assert registry.counter("supervisor.retries") == failed_attempts == 2
+        assert registry.counter("supervisor.runs") == 1
+        assert registry.counter("supervisor.failed_runs") == 0
+
+    def test_degradation_counts_match_chain(self):
+        source, target = _embeddings()
+        hungry = _HungryMatcher()
+        hungry.name = "Sink."
+        registry = self._registry()
+        supervisor = self._supervisor(
+            SupervisorPolicy(memory_budget=2**20, on_error="fallback"), registry
+        )
+        run = supervisor.run(hungry, source, target, name="Sink.")
+        assert run.ok and run.degraded
+        # One hop per extra ladder entry in the chain.
+        assert registry.counter("supervisor.degradations") == len(run.chain) - 1
+        assert registry.counter("supervisor.degraded_runs") == 1
+        assert registry.counter("supervisor.runs") == 1
+        assert registry.counter("supervisor.attempts") == len(run.attempts)
+        assert registry.counter("supervisor.failed_runs") == 0
+
+    def test_terminal_failure_counts(self):
+        source, target = _embeddings()
+        registry = self._registry()
+        supervisor = self._supervisor(
+            SupervisorPolicy(memory_budget=2**20, on_error="skip"), registry
+        )
+        run = supervisor.run(_HungryMatcher(), source, target)
+        assert not run.ok
+        assert registry.counter("supervisor.failed_runs") == 1
+        assert registry.counter("supervisor.runs") == 0
+        assert registry.counter("supervisor.attempts") == len(run.attempts) == 1
+
+    def test_raise_mode_still_counts_failure(self):
+        source, target = _embeddings()
+        registry = self._registry()
+        supervisor = self._supervisor(SupervisorPolicy(memory_budget=2**20), registry)
+        with pytest.raises(ResourceBudgetExceeded):
+            supervisor.run(_HungryMatcher(), source, target)
+        assert registry.counter("supervisor.failed_runs") == 1
+        assert registry.counter("supervisor.runs") == 0
+
+    def test_counts_accumulate_across_runs(self):
+        source, target = _embeddings()
+        registry = self._registry()
+        supervisor = self._supervisor(SupervisorPolicy(), registry)
+        for _ in range(3):
+            supervisor.run(DInf(), source, target)
+        assert registry.counter("supervisor.runs") == 3
+        assert registry.counter("supervisor.attempts") == 3
+
+    def test_uninjected_supervisor_uses_active_registry(self):
+        from repro.obs import metrics as obs_metrics
+
+        source, target = _embeddings()
+        with obs_metrics.scoped() as registry:
+            RunSupervisor().run(DInf(), source, target)
+        assert registry.counter("supervisor.runs") == 1
+        assert registry.counter("supervisor.attempts") == 1
+
+    def test_degrade_and_retry_events_traced(self):
+        from repro.obs import trace
+
+        source, target = _embeddings()
+        hungry = _HungryMatcher()
+        hungry.name = "Hun."
+        supervisor = self._supervisor(
+            SupervisorPolicy(memory_budget=2**20, on_error="fallback"),
+            self._registry(),
+        )
+        with trace.recording() as recorder:
+            supervisor.run(hungry, source, target, name="Hun.")
+        (event,) = [e for e in recorder.events if e["name"] == "supervisor.degrade"]
+        assert event["attrs"]["matcher"] == "Hun."
+        assert event["attrs"]["fallback"] == "Greedy"
+        assert event["attrs"]["error"] == "ResourceBudgetExceeded"
