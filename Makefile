@@ -1,13 +1,23 @@
 # Developer entry points.  The default `make check` is the suite CI
-# runs on every change: the full test tree minus the exhaustive chaos
-# sweeps, which includes the property/metamorphic and obs suites.
+# runs on every change: lint plus the full test tree minus the
+# exhaustive chaos sweeps, which includes the property/metamorphic and
+# obs suites.
 
 PY := PYTHONPATH=src python -m
 
-.PHONY: check test property obs chaos bench bench-obs
+.PHONY: check lint test property obs chaos bench bench-obs bench-check
 
-check:
+check: lint
 	$(PY) pytest -q -m "not chaos"
+
+# Ruff config lives in pyproject.toml.  The local toolchain may not
+# ship ruff; skip with a notice rather than fail (CI always runs it).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed locally; skipping (CI enforces it)"; \
+	fi
 
 # Tier-1: everything, fail fast (the acceptance gate).
 test:
@@ -27,3 +37,8 @@ bench:
 
 bench-obs:
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q test_obs_overhead.py
+
+# Re-run the timed benchmarks and fail on >25% regression against the
+# committed BENCH_*.json baselines (see benchmarks/check_regression.py).
+bench-check:
+	PYTHONPATH=src python benchmarks/check_regression.py

@@ -1,0 +1,158 @@
+"""Bench-regression gate: re-run the timed benchmarks and diff the numbers.
+
+The engine-speedup and obs-overhead benchmarks write their measurements
+to ``benchmarks/results/BENCH_engine.json`` / ``BENCH_obs.json``; those
+committed files are the performance baseline.  This script
+
+1. snapshots the committed baselines,
+2. re-runs the two benchmark modules (which overwrite the files),
+3. compares every ``*seconds*`` leaf of the fresh run against the
+   baseline, failing when a timing regressed beyond the tolerance band,
+4. restores the committed baselines so the working tree stays clean
+   (pass ``--update`` to keep the fresh numbers as the new baseline).
+
+Tolerance: a timing fails only when it is **both** more than
+``--tolerance`` (default 25%) slower than the baseline **and** more
+than ``--floor`` (default 0.05 s) slower in absolute terms — the floor
+keeps millisecond-scale timings from tripping the gate on scheduler
+noise.  Faster-than-baseline numbers never fail.
+
+Usage (or ``make bench-check``)::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+RESULTS_DIR = BENCH_DIR / "results"
+BASELINES = ("BENCH_engine.json", "BENCH_obs.json")
+BENCH_MODULES = ("test_engine_speedup.py", "test_obs_overhead.py")
+
+
+def flatten(document: object, prefix: str = "") -> dict[str, float]:
+    """Dotted-path -> value for every numeric leaf of a JSON document."""
+    leaves: dict[str, float] = {}
+    if isinstance(document, dict):
+        for key, value in document.items():
+            leaves.update(flatten(value, f"{prefix}{key}." if prefix or key else key))
+    elif isinstance(document, (int, float)) and not isinstance(document, bool):
+        leaves[prefix.rstrip(".")] = float(document)
+    return leaves
+
+
+def timing_paths(leaves: dict[str, float]) -> dict[str, float]:
+    """Only the leaves that are wall-clock timings."""
+    return {
+        path: value for path, value in leaves.items() if "seconds" in path
+    }
+
+
+def compare(
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    tolerance: float,
+    floor: float,
+) -> list[str]:
+    """Human-readable failure lines, empty when the gate passes."""
+    failures = []
+    for path, old in sorted(baseline.items()):
+        new = fresh.get(path)
+        if new is None:
+            failures.append(f"MISSING  {path}: baseline {old:.4f}s has no fresh value")
+            continue
+        if new > old * (1.0 + tolerance) and new - old > floor:
+            failures.append(
+                f"SLOWER   {path}: {old:.4f}s -> {new:.4f}s "
+                f"(+{(new / old - 1.0) * 100.0:.0f}%, band is +{tolerance * 100:.0f}%)"
+            )
+    return failures
+
+
+def run_benchmarks() -> int:
+    """Re-run the timed benchmark modules; returns the pytest exit code."""
+    command = [
+        sys.executable, "-m", "pytest", "-q", *BENCH_MODULES,
+    ]
+    env = dict(os.environ)
+    src = str(BENCH_DIR.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(command, cwd=BENCH_DIR, env=env)
+    return completed.returncode
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="relative slowdown band (0.25 = fail beyond +25%%)",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=0.05,
+        help="absolute slowdown floor in seconds (noise guard)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="keep the fresh numbers as the new committed baseline",
+    )
+    args = parser.parse_args(argv)
+
+    missing = [name for name in BASELINES if not (RESULTS_DIR / name).exists()]
+    if missing:
+        print(f"no committed baseline for {', '.join(missing)}; run `make bench` first")
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="bench-baseline-") as checkpoint:
+        for name in BASELINES:
+            shutil.copy2(RESULTS_DIR / name, Path(checkpoint) / name)
+        exit_code = run_benchmarks()
+        if exit_code != 0:
+            print(f"benchmark run failed (pytest exit {exit_code}); gate not evaluated")
+            for name in BASELINES:
+                shutil.copy2(Path(checkpoint) / name, RESULTS_DIR / name)
+            return exit_code
+
+        failures: list[str] = []
+        for name in BASELINES:
+            baseline = timing_paths(
+                flatten(json.loads((Path(checkpoint) / name).read_text("utf-8")))
+            )
+            fresh = timing_paths(
+                flatten(json.loads((RESULTS_DIR / name).read_text("utf-8")))
+            )
+            failures.extend(
+                f"{name}: {line}"
+                for line in compare(baseline, fresh, args.tolerance, args.floor)
+            )
+
+        if not args.update:
+            for name in BASELINES:
+                shutil.copy2(Path(checkpoint) / name, RESULTS_DIR / name)
+
+    if args.update:
+        # Rebaselining: the fresh numbers are the new truth by definition.
+        print("bench-check rebaselined; review and commit the BENCH_*.json diffs")
+        for line in failures:
+            print(f"  was outside band: {line}")
+        return 0
+    if failures:
+        print("bench-check FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("bench-check passed (baselines restored)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,14 +6,14 @@ BlockedMatcher extension bounds the working set to one block's matrices
 trade-off across block counts on the DWY100K-like preset.
 """
 
-from conftest import run_once
-
 from repro.core import create_matcher
 from repro.core.blocking import BlockedMatcher
 from repro.datasets import load_preset
 from repro.eval import evaluate_pairs
 from repro.experiments import build_embeddings, format_table
 from repro.experiments.runner import _gold_local_pairs
+
+from conftest import run_once
 
 
 def run_ablation():

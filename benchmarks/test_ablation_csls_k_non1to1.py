@@ -9,9 +9,9 @@ The sweep covers both algorithms that carry the k normaliser: CSLS
 (Equation 1) and RInf (the Equation 2 top-k generalisation).
 """
 
-from conftest import run_once
-
 from repro.experiments import ExperimentConfig, run_experiment
+
+from conftest import run_once
 
 KS = (1, 2, 5, 10)
 

@@ -6,13 +6,14 @@ time gap between pure numpy and C (the asymptotic class is the same).
 """
 
 import numpy as np
-from conftest import run_once
 
 from repro.core import Hungarian
 from repro.datasets import load_preset
 from repro.eval import evaluate_pairs
 from repro.experiments import build_embeddings, format_table
 from repro.experiments.runner import _gold_local_pairs
+
+from conftest import run_once
 
 
 def run_ablation():

@@ -6,9 +6,9 @@ normalised embeddings the three metrics produce closely matched F1, with
 cosine at least as good as the alternatives.
 """
 
-from conftest import run_once
-
 from repro.experiments import ExperimentConfig, format_table, run_experiment
+
+from conftest import run_once
 
 METRICS = ("cosine", "euclidean", "manhattan")
 

@@ -8,14 +8,14 @@ every single-answer matcher on recall — and on F1 — on the
 FB_DBP_MUL-style dataset, the paper's suggested probabilistic direction.
 """
 
-from conftest import run_once
-
 from repro.core import create_matcher
 from repro.core.multi import MultiAnswerMatcher
 from repro.datasets import load_preset
 from repro.eval import evaluate_pairs
 from repro.experiments import build_embeddings, format_table
 from repro.experiments.runner import _gold_local_pairs
+
+from conftest import run_once
 
 
 def run_ablation():

@@ -9,13 +9,13 @@ Two knobs the paper's analysis attributes RL's behaviour to:
    1-to-1 gold links and misfires on non-1-to-1 ones (Table 8).
 """
 
-from conftest import run_once
-
 from repro.core.rl import RLMatcher
 from repro.datasets import load_preset
 from repro.eval import evaluate_pairs
-from repro.experiments import build_embeddings, format_table
+from repro.experiments import build_embeddings
 from repro.experiments.runner import _gold_local_pairs
+
+from conftest import run_once
 
 
 def _setting(preset, regime):

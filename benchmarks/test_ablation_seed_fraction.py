@@ -11,14 +11,14 @@ representation quality are separable concerns, the premise of the
 paper's whole factor-isolation methodology.
 """
 
-from conftest import run_once
-
 from repro.core import DInf, Hungarian
 from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair
 from repro.embedding import GCNEncoder, RREAEncoder
 from repro.eval import evaluate_pairs
 from repro.experiments import format_table
 from repro.experiments.runner import _gold_local_pairs
+
+from conftest import run_once
 
 FRACTIONS = (0.05, 0.1, 0.2, 0.3)
 

@@ -9,7 +9,6 @@ gap to the Hungarian matcher without its O(n^3) cost.
 """
 
 import numpy as np
-from conftest import run_once
 
 from repro.core import DInf, Hungarian, ThresholdMatcher, calibrate_threshold
 from repro.datasets import load_preset
@@ -17,6 +16,8 @@ from repro.eval import evaluate_pairs
 from repro.experiments import build_embeddings, format_table
 from repro.experiments.runner import _gold_local_pairs
 from repro.similarity import similarity_matrix
+
+from conftest import run_once
 
 
 def run_ablation():

@@ -6,15 +6,14 @@ attribute text leave it unable to compete with dedicated embedding
 matching.  We reproduce the comparison on the D-Z-like preset.
 """
 
-import numpy as np
-from conftest import run_once
-
 from repro.baselines.deep_em import DeepEMBaseline, DeepEMConfig
 from repro.core import create_matcher
 from repro.datasets import load_preset
 from repro.eval import evaluate_pairs
 from repro.experiments import build_embeddings
 from repro.experiments.runner import _gold_local_pairs
+
+from conftest import run_once
 
 
 def run_comparison():

@@ -5,9 +5,9 @@ produce crowded top scores (low STD); the name-informed settings produce
 discriminative ones (high STD).
 """
 
-from conftest import run_once
-
 from repro.experiments import figure4_top5_std
+
+from conftest import run_once
 
 
 def test_figure4_top5_std(benchmark, save_artifact):

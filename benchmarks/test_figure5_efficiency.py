@@ -11,9 +11,10 @@ Shape expectations from the paper:
 """
 
 import numpy as np
-from conftest import run_once
 
 from repro.experiments import figure5_efficiency
+
+from conftest import run_once
 
 MATCHERS = ("DInf", "CSLS", "RInf", "Sink.", "Hun.", "SMat", "RL")
 

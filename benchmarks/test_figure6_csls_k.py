@@ -5,9 +5,9 @@ pairwise scores less distinctive, so F1 is non-increasing in k — k=1 is
 the best choice.
 """
 
-from conftest import run_once
-
 from repro.experiments import figure6_csls_k
+
+from conftest import run_once
 
 
 def test_figure6_csls_k(benchmark, save_artifact):

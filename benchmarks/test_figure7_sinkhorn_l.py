@@ -5,9 +5,9 @@ constraint progressively better, so F1 rises with l and saturates by
 l ~ 100.
 """
 
-from conftest import run_once
-
 from repro.experiments import figure7_sinkhorn_l
+
+from conftest import run_once
 
 
 def test_figure7_sinkhorn_l(benchmark, save_artifact):

@@ -7,8 +7,6 @@ Hungarian-over-DInf gap is statistically significant on a single run's
 shared query set.
 """
 
-from conftest import run_once
-
 from repro.core import DInf, Hungarian
 from repro.datasets import load_preset
 from repro.eval.significance import paired_bootstrap_test, per_query_outcomes
@@ -19,6 +17,8 @@ from repro.experiments import (
     run_repeated,
 )
 from repro.experiments.runner import _gold_local_pairs
+
+from conftest import run_once
 
 SEEDS = (0, 1, 2, 3, 4)
 

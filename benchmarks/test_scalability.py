@@ -8,10 +8,11 @@ and the cheap RInf variants growing no faster than full RInf.
 """
 
 import numpy as np
-from conftest import run_once
 
 from repro.core import create_matcher
 from repro.experiments import format_table
+
+from conftest import run_once
 
 SIZES = (100, 200, 400, 800)
 MATCHERS = ("DInf", "CSLS", "RInf", "RInf-wr", "Sink.", "Hun.", "SMat")

@@ -1,8 +1,8 @@
 """Benchmark: regenerate Table 3 (dataset statistics)."""
 
-from conftest import run_once
-
 from repro.experiments import format_table, table3_dataset_statistics
+
+from conftest import run_once
 
 
 def test_table3_dataset_statistics(benchmark, save_artifact):

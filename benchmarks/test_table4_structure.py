@@ -11,10 +11,11 @@ Shape expectations from the paper:
 """
 
 import numpy as np
-from conftest import run_once
 
 from repro.datasets.zoo import DBP15K_PRESETS, SRPRS_PRESETS
 from repro.experiments import format_table, table4_structure_only
+
+from conftest import run_once
 
 GROUPS = (
     ("R", DBP15K_PRESETS), ("R", SRPRS_PRESETS),

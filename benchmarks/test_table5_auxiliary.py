@@ -12,7 +12,6 @@ Shape expectations from the paper:
 """
 
 import numpy as np
-from conftest import run_once
 
 from repro.datasets.zoo import DBP15K_PRESETS
 from repro.experiments import format_table
@@ -21,6 +20,8 @@ from repro.experiments.tables import (
     table4_structure_only,
     table5_auxiliary_information,
 )
+
+from conftest import run_once
 
 
 def group_mean_f1(table, regime, presets, matcher):

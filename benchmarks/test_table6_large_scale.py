@@ -11,10 +11,10 @@ Shape expectations from the paper:
    variants far cheaper than full RInf.
 """
 
-from conftest import run_once
-
 from repro.experiments import format_table, table6_large_scale
 from repro.experiments.tables import DWY_LABELS
+
+from conftest import run_once
 
 
 def test_table6_large_scale(benchmark, save_artifact):

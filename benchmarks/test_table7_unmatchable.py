@@ -11,7 +11,6 @@ Shape expectations from the paper:
 """
 
 import numpy as np
-from conftest import run_once
 
 from repro.datasets.zoo import DBP15K_PRESETS
 from repro.experiments import format_table
@@ -20,6 +19,8 @@ from repro.experiments.tables import (
     table4_structure_only,
     table7_unmatchable,
 )
+
+from conftest import run_once
 
 
 def group_mean(table, regime, matcher):

@@ -10,9 +10,9 @@ Shape expectations from the paper:
 3. Precision exceeds recall for every method.
 """
 
-from conftest import run_once
-
 from repro.experiments import format_table, table8_non_one_to_one
+
+from conftest import run_once
 
 
 def test_table8_non_one_to_one(benchmark, save_artifact):

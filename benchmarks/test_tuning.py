@@ -6,11 +6,11 @@ checks the tuned choices transfer: the validation-selected configuration
 performs within noise of the best test-set configuration.
 """
 
-from conftest import run_once
-
 from repro.datasets import load_preset
 from repro.experiments import ExperimentConfig, build_embeddings, run_experiment
 from repro.experiments.tuning import suggested_grids, tune_matcher
+
+from conftest import run_once
 
 
 def run_tuning():

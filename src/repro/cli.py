@@ -11,6 +11,9 @@ Usage (after ``pip install -e .``)::
     python -m repro match dbp15k/zh_en --matcher Hun. \
         --timeout 30 --memory-budget 512 --retries 2 --on-error fallback
     python -m repro match dbp15k/zh_en --matcher Sink. --profile out.json
+    python -m repro match dbp15k/zh_en --matcher CSLS --index ivf --k 50 --nprobe 4
+    python -m repro index build dbp15k/zh_en --regime R -o out/zh_en.ivf.json
+    python -m repro index stats out/zh_en.ivf.json
     python -m repro profile summarize out.json
 """
 
@@ -44,6 +47,7 @@ from repro.experiments.tables import (
     table7_unmatchable,
     table8_non_one_to_one,
 )
+from repro.index import INDEX_KINDS, IndexConfig, IVFIndex, build_candidates
 from repro.kg.io import save_alignment_task
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -127,10 +131,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="extra attempts for retryable failures "
                             "(e.g. Sinkhorn divergence, retried at a higher "
                             "temperature with deterministic backoff)")
+    match.add_argument("--sparse-k", type=int, default=None, metavar="K",
+                       help="with --on-error fallback: on a memory-budget "
+                            "breach, retry the same matcher sparsely on its "
+                            "top-K candidate lists before any ladder hop")
     match.add_argument("--profile", type=Path, default=None, metavar="PATH",
                        help="record the run under the tracing layer and "
                             "write a schema-versioned JSON profile (spans, "
                             "events, metric counters) to PATH")
+    match.add_argument("--index", choices=INDEX_KINDS, default=None,
+                       help="run the sparse matching path on candidate "
+                            "lists: 'exact' streams the true top-k, 'ivf' "
+                            "probes an inverted-file index — no dense n x n "
+                            "matrix for sparse-aware matchers")
+    match.add_argument("--k", type=int, default=50,
+                       help="candidates kept per source row (with --index)")
+    match.add_argument("--nprobe", type=int, default=4,
+                       help="inverted lists scanned per query (--index ivf)")
+    match.add_argument("--clusters", type=int, default=16,
+                       help="coarse-quantizer clusters (--index ivf)")
+
+    index = subparsers.add_parser(
+        "index", help="build and inspect ANN candidate indexes"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    build = index_sub.add_parser(
+        "build", help="train an IVF index on a preset's target embeddings"
+    )
+    build.add_argument("preset")
+    build.add_argument("--regime", default="R",
+                       help="embedding regime (R/G/N/NR/gcn/rrea)")
+    build.add_argument("--output", "-o", type=Path, required=True)
+    build.add_argument("--scale", type=float, default=1.0)
+    build.add_argument("--clusters", type=int, default=16)
+    build.add_argument("--metric", default="cosine")
+    stats = index_sub.add_parser(
+        "stats", help="print a saved index's structure statistics"
+    )
+    stats.add_argument("path", type=Path)
 
     profile = subparsers.add_parser(
         "profile", help="inspect observability profiles"
@@ -170,6 +208,7 @@ def _run_match(
     no_cache: bool = False,
     policy: SupervisorPolicy | None = None,
     profile_path: Path | None = None,
+    index_config: IndexConfig | None = None,
 ) -> int:
     task = load_preset(preset, scale=scale)
     embeddings = build_embeddings(task, regime, preset_name=preset)
@@ -187,12 +226,22 @@ def _run_match(
             fit = getattr(matcher, "fit", None)
             if fit is not None and len(task.seed_index_pairs()):
                 fit(embeddings.source, embeddings.target, task.seed_index_pairs())
+            candidate_set = None
+            if index_config is not None:
+                candidate_set = build_candidates(
+                    embeddings.source[queries],
+                    embeddings.target[candidates],
+                    index_config,
+                    engine=engine,
+                    metric=getattr(matcher, "metric", "cosine"),
+                )
             run = supervisor.run(
                 matcher,
                 embeddings.source[queries],
                 embeddings.target[candidates],
                 name=matcher_name,
                 context={"preset": preset, "regime": regime},
+                candidates=candidate_set,
             )
         if not run.ok:
             # on_error="skip" (raise propagates before we get here).
@@ -211,6 +260,11 @@ def _run_match(
         print(f"  precision={metrics.precision:.3f} recall={metrics.recall:.3f} "
               f"F1={metrics.f1:.3f}" + (f" (by {executed})" if run.degraded else ""))
         print(f"  time={result.seconds:.3f}s peak={result.peak_bytes / 2**20:.1f}MiB")
+        if candidate_set is not None:
+            gold_pairs = _gold_local_pairs(task, queries, candidates)
+            print(f"  index: kind={index_config.kind} k={index_config.k} "
+                  f"nnz={candidate_set.nnz} "
+                  f"recall={candidate_set.recall(gold_pairs):.3f}")
         print(f"  engine: workers={engine.workers} dtype={engine.dtype.name} "
               f"cache={engine.cache_info()}")
         if profile_path is not None:
@@ -232,6 +286,46 @@ def _run_match(
     return 0
 
 
+def _run_index_build(args: argparse.Namespace) -> int:
+    """Train an IVF index on a preset's candidate-target embeddings."""
+    task = load_preset(args.preset, scale=args.scale)
+    embeddings = build_embeddings(task, args.regime, preset_name=args.preset)
+    targets = embeddings.target[task.candidate_target_ids()]
+    index = IVFIndex(
+        n_clusters=min(args.clusters, targets.shape[0]), metric=args.metric
+    )
+    index.train(targets).add(targets)
+    written = index.save(args.output)
+    print(f"index written to {written}")
+    _print_index_stats(index)
+    return 0
+
+
+def _run_index_stats(path: Path) -> int:
+    try:
+        index = IVFIndex.load(path)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"cannot load index {path}: {err}", file=sys.stderr)
+        return 1
+    _print_index_stats(index)
+    return 0
+
+
+def _print_index_stats(index: IVFIndex) -> None:
+    for key, value in index.stats().items():
+        rendered = f"{value:.3f}" if isinstance(value, float) else value
+        print(f"  {key}={rendered}")
+
+
+def _match_index_config(args: argparse.Namespace) -> IndexConfig | None:
+    """Candidate-generation config from the ``match`` subcommand's flags."""
+    if args.index is None:
+        return None
+    return IndexConfig(
+        kind=args.index, k=args.k, nprobe=args.nprobe, n_clusters=args.clusters
+    )
+
+
 def _match_policy(args: argparse.Namespace) -> SupervisorPolicy:
     """Supervisor policy from the ``match`` subcommand's flags."""
     budget = args.memory_budget
@@ -240,6 +334,7 @@ def _match_policy(args: argparse.Namespace) -> SupervisorPolicy:
         memory_budget=int(budget * 2**20) if budget is not None else None,
         retries=args.retries,
         on_error=args.on_error,
+        sparse_k=args.sparse_k,
     )
 
 
@@ -274,6 +369,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.preset, args.regime, args.matcher, args.scale,
                 workers=args.workers, dtype=args.dtype, no_cache=args.no_cache,
                 policy=_match_policy(args), profile_path=args.profile,
+                index_config=_match_index_config(args),
             )
         except MatcherError as err:
             # --on-error raise tripped: one-line summary, non-zero exit.
@@ -281,6 +377,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"match failed: {type(err).__name__}: {err}", file=sys.stderr
             )
             return 1
+    if args.command == "index":
+        if args.index_command == "build":
+            return _run_index_build(args)
+        return _run_index_stats(args.path)
     if args.command == "profile":
         try:
             print(summarize(load_profile(args.path)))

@@ -26,6 +26,7 @@ from repro.obs import trace as obs_trace
 from repro.similarity.metrics import similarity_matrix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.index.candidates import CandidateSet
     from repro.similarity.engine import SimilarityEngine
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch
@@ -104,6 +105,26 @@ class Matcher(ABC):
         it, which covers every algorithm in this library.
         """
         raise NotImplementedError(f"{type(self).__name__} requires embeddings")
+
+    def match_candidates(self, candidates: "CandidateSet") -> MatchResult:
+        """Match from sparse top-k candidate lists.
+
+        The default falls back to the dense path — the candidate set is
+        densified (counted on the ``sparse.densify`` obs metric) and fed
+        to :meth:`match_scores`.  This keeps Hungarian/Sinkhorn usable on
+        indexed candidates; the O(n k) matchers override it with a truly
+        sparse path.
+        """
+        return self.match_scores(candidates.densify())
+
+    @property
+    def supports_sparse(self) -> bool:
+        """Whether this matcher has a real sparse path (no densify).
+
+        The degradation ladder uses this to decide if a memory-budget
+        breach can be survived by re-running the same matcher sparsely.
+        """
+        return type(self).match_candidates is not Matcher.match_candidates
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

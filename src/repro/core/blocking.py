@@ -26,6 +26,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import MatchResult, Matcher
+from repro.similarity.topk import top1_indices
+from repro.utils.kmeans import centroid_distances, kmeans_centroids, nearest_centroid
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import (
@@ -33,6 +35,30 @@ from repro.utils.validation import (
     check_score_matrix,
     check_shape_compatible,
 )
+
+
+def best_suitor_blocks(
+    scores: np.ndarray, num_blocks: int
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Best-suitor bucketing of a score matrix (RInf-pb's partition).
+
+    Targets are bucketed by their best suitor (each column's top-1
+    source) and each source joins the bucket of its own best option
+    (each row's top-1 target).  Both top-1 passes are computed exactly
+    once here — the shared pass that :class:`BlockedMatcher` and
+    :class:`~repro.core.rinf.RInfPb` previously each derived on their
+    own.  Returns ``(target_blocks, source_block)``: the list of target
+    index arrays per block, and each source row's block id.
+    """
+    n_source, n_target = scores.shape
+    best_suitor = top1_indices(scores, axis=0)  # per target, its best source
+    best_option = top1_indices(scores, axis=1)  # per source, its best target
+    target_order = np.argsort(best_suitor, kind="stable")
+    target_blocks = np.array_split(target_order, num_blocks)
+    block_of_target = np.empty(n_target, dtype=np.int64)
+    for block_id, block in enumerate(target_blocks):
+        block_of_target[block] = block_id
+    return target_blocks, block_of_target[best_option]
 
 
 class BlockedMatcher(Matcher):
@@ -67,9 +93,9 @@ class BlockedMatcher(Matcher):
 
         with watch.measure("blocking"):
             num_blocks = min(self.num_blocks, target.shape[0])
-            centroids, center = _kmeans_centroids(target, num_blocks)
+            centroids, center = kmeans_centroids(target, num_blocks)
             target_blocks = self._assign_with_overlap(target, centroids, center)
-            source_block = _nearest_centroid(source, centroids, center)
+            source_block = nearest_centroid(source, centroids, center)
 
         pairs: list[np.ndarray] = []
         scores: list[np.ndarray] = []
@@ -101,12 +127,7 @@ class BlockedMatcher(Matcher):
         memory.allocate_array("similarity", scores_matrix)
         n_source, n_target = scores_matrix.shape
         num_blocks = min(self.num_blocks, n_source, n_target)
-        target_order = np.argsort(scores_matrix.argmax(axis=0), kind="stable")
-        target_blocks = np.array_split(target_order, num_blocks)
-        block_of_target = np.empty(n_target, dtype=np.int64)
-        for block_id, block in enumerate(target_blocks):
-            block_of_target[block] = block_id
-        source_block = block_of_target[scores_matrix.argmax(axis=1)]
+        target_blocks, source_block = best_suitor_blocks(scores_matrix, num_blocks)
 
         pairs: list[np.ndarray] = []
         scores: list[np.ndarray] = []
@@ -138,7 +159,7 @@ class BlockedMatcher(Matcher):
         almost as close as its nearest; the ``overlap`` fraction of the
         most boundary-like targets is duplicated into the runner-up block.
         """
-        distances = _centroid_distances(target, centroids, center)
+        distances = centroid_distances(target, centroids, center)
         nearest = distances.argmin(axis=1)
         blocks = [np.flatnonzero(nearest == b) for b in range(len(centroids))]
         if self.overlap <= 0 or len(centroids) < 2:
@@ -180,58 +201,3 @@ class BlockedMatcher(Matcher):
         return MatchResult(
             all_pairs[keep], all_scores[keep], stopwatch=watch, memory=memory
         )
-
-
-def _kmeans_centroids(
-    matrix: np.ndarray, k: int, iterations: int = 8
-) -> tuple[np.ndarray, np.ndarray]:
-    """Deterministic mini k-means over centered embeddings.
-
-    The data is centered first: embedding spaces often share a large
-    common component (encoder oversmoothing) that carries no identity
-    signal, and clustering the raw vectors would slice along it.
-    k-means++-style greedy farthest-point seeding keeps the result
-    deterministic and well spread.
-    """
-    center = matrix.mean(axis=0)
-    centered = matrix - center
-    # Farthest-point seeding from a fixed start.
-    chosen = [0]
-    distances = np.linalg.norm(centered - centered[0], axis=1)
-    for _ in range(1, k):
-        next_idx = int(distances.argmax())
-        chosen.append(next_idx)
-        distances = np.minimum(
-            distances, np.linalg.norm(centered - centered[next_idx], axis=1)
-        )
-    centroids = centered[chosen].copy()
-
-    for _ in range(iterations):
-        assignment = _centroid_distances(centered, centroids, np.zeros_like(center)).argmin(axis=1)
-        for b in range(k):
-            members = centered[assignment == b]
-            if len(members):
-                centroids[b] = members.mean(axis=0)
-    return centroids, center
-
-
-def _centroid_distances(
-    matrix: np.ndarray, centroids: np.ndarray, center: np.ndarray
-) -> np.ndarray:
-    """Squared distances to each centroid.
-
-    ``center`` is the target-space mean the centroids were fitted under;
-    sources are shifted by the *same* mean so both sides live in one
-    coordinate frame.
-    """
-    data = matrix - center
-    sq_data = np.sum(data**2, axis=1)[:, None]
-    sq_centroids = np.sum(centroids**2, axis=1)[None, :]
-    return sq_data + sq_centroids - 2.0 * (data @ centroids.T)
-
-
-def _nearest_centroid(
-    matrix: np.ndarray, centroids: np.ndarray, center: np.ndarray
-) -> np.ndarray:
-    """Nearest-centroid block id per row of ``matrix``."""
-    return _centroid_distances(matrix, centroids, center).argmin(axis=1)

@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import PipelineMatcher
+from repro.core.base import MatchResult, PipelineMatcher
 from repro.core.greedy import greedy_decoder
+from repro.core.sparse import sparse_csls, sparse_match
+from repro.index.candidates import CandidateSet
 from repro.similarity.topk import top_k_mean
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch
@@ -56,3 +58,11 @@ class CSLS(PipelineMatcher):
         rescaled = csls_scores(scores, k=self.k)
         memory.allocate_array("csls", rescaled)
         return rescaled
+
+    def match_candidates(self, candidates: CandidateSet) -> MatchResult:
+        """O(n k) CSLS: both phi vectors estimated from the stored entries."""
+        return sparse_match(
+            candidates,
+            transform=lambda working: sparse_csls(working, k=self.k),
+            name=self.name,
+        )

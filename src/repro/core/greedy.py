@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import PipelineMatcher
+from repro.core.base import MatchResult, PipelineMatcher
+from repro.core.sparse import sparse_match
+from repro.index.candidates import CandidateSet
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_score_matrix
@@ -50,6 +52,10 @@ class DInf(PipelineMatcher):
 
     def __init__(self, metric: str = "cosine") -> None:
         super().__init__(metric=metric, decoder=greedy_decoder)
+
+    def match_candidates(self, candidates: CandidateSet) -> MatchResult:
+        """O(n) sparse greedy: each row's best stored candidate."""
+        return sparse_match(candidates, name=self.name)
 
 
 class Greedy(DInf):

@@ -14,8 +14,8 @@ from repro.core.base import Matcher
 from repro.core.csls import CSLS
 from repro.core.greedy import DInf, Greedy
 from repro.core.hungarian import Hungarian
-from repro.core.rinf import RInf, RInfPb, RInfWr
 from repro.core.multi import MultiAnswerMatcher
+from repro.core.rinf import RInf, RInfPb, RInfWr
 from repro.core.rl import RLMatcher
 from repro.core.sinkhorn import Sinkhorn
 from repro.core.stable import StableMatch

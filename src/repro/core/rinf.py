@@ -25,8 +25,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import PipelineMatcher
+from repro.core.base import MatchResult, PipelineMatcher
+from repro.core.blocking import best_suitor_blocks
 from repro.core.greedy import greedy_match
+from repro.core.sparse import sparse_match, sparse_rinf_wr
+from repro.index.candidates import CandidateSet
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_score_matrix
@@ -161,6 +164,10 @@ class RInfWr(PipelineMatcher):
     ) -> tuple[np.ndarray, np.ndarray]:
         return greedy_match(scores)
 
+    def match_candidates(self, candidates: CandidateSet) -> MatchResult:
+        """O(n k) RInf-wr: fused preference over the stored entries."""
+        return sparse_match(candidates, transform=sparse_rinf_wr, name=self.name)
+
 
 class RInfPb(PipelineMatcher):
     """RInf with progressive blocking (memory-bounded ranking).
@@ -192,13 +199,9 @@ class RInfPb(PipelineMatcher):
         # Global preference context: cheap O(n) vectors.
         column_best = scores.max(axis=0, keepdims=True)
         row_best = scores.max(axis=1, keepdims=True)
-        # Bucket targets by best suitor; sources follow their argmax target.
-        target_order = np.argsort(scores.argmax(axis=0), kind="stable")
-        target_blocks = np.array_split(target_order, num_blocks)
-        block_of_target = np.empty(n_target, dtype=np.int64)
-        for block_id, block in enumerate(target_blocks):
-            block_of_target[block] = block_id
-        source_block = block_of_target[scores.argmax(axis=1)]
+        # Bucket targets by best suitor; sources follow their argmax target
+        # (the shared top-1 pass, computed once in the helper).
+        target_blocks, source_block = best_suitor_blocks(scores, num_blocks)
 
         pairs: list[np.ndarray] = []
         pair_scores: list[np.ndarray] = []

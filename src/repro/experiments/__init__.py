@@ -10,10 +10,11 @@ shape expectations on.
 """
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.regimes import (
-    REGIME_GEOMETRY,
-    build_embeddings,
-    family_of_preset,
+from repro.experiments.figures import (
+    figure4_top5_std,
+    figure5_efficiency,
+    figure6_csls_k,
+    figure7_sinkhorn_l,
 )
 from repro.experiments.persistence import (
     load_embeddings,
@@ -21,10 +22,14 @@ from repro.experiments.persistence import (
     save_embeddings,
     save_result,
 )
+from repro.experiments.regimes import (
+    REGIME_GEOMETRY,
+    build_embeddings,
+    family_of_preset,
+)
 from repro.experiments.repeats import AggregateStat, RepeatedResult, run_repeated
 from repro.experiments.report import generate_report
 from repro.experiments.reporting import format_table
-from repro.experiments.tuning import TuningOutcome, suggested_grids, tune_all, tune_matcher
 from repro.experiments.runner import ExperimentResult, MatcherRun, run_experiment
 from repro.experiments.tables import (
     table3_dataset_statistics,
@@ -34,12 +39,7 @@ from repro.experiments.tables import (
     table7_unmatchable,
     table8_non_one_to_one,
 )
-from repro.experiments.figures import (
-    figure4_top5_std,
-    figure5_efficiency,
-    figure6_csls_k,
-    figure7_sinkhorn_l,
-)
+from repro.experiments.tuning import TuningOutcome, suggested_grids, tune_all, tune_matcher
 
 __all__ = [
     "ExperimentConfig",

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import numpy as np
 
 from repro.embedding.base import UnifiedEmbeddings
 from repro.embedding.fusion import fuse_embeddings

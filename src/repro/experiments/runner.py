@@ -31,13 +31,15 @@ import numpy as np
 
 from repro.core.base import Matcher
 from repro.core.registry import create_matcher
-from repro.embedding.base import UnifiedEmbeddings
 from repro.datasets.zoo import load_preset
+from repro.embedding.base import UnifiedEmbeddings
 from repro.errors import MatcherError, as_matcher_error
 from repro.eval.analysis import top_k_std
 from repro.eval.metrics import AlignmentMetrics, evaluate_pairs, ranking_diagnostics
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.regimes import build_embeddings
+from repro.index.candidates import CandidateSet
+from repro.index.config import IndexConfig, build_candidates
 from repro.kg.pair import AlignmentTask
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -136,6 +138,7 @@ def run_experiment(
     task: AlignmentTask | None = None,
     engine: SimilarityEngine | None = None,
     *,
+    candidates: "CandidateSet | IndexConfig | None" = None,
     policy: SupervisorPolicy | None = None,
     supervisor: RunSupervisor | None = None,
     matcher_factory: Callable[..., Matcher] | None = None,
@@ -150,6 +153,16 @@ def run_experiment(
     caching; by default a serial caching engine is created per call, so
     the base score matrix is computed once and shared by every matcher in
     the sweep instead of being rebuilt per matcher.
+
+    ``candidates`` switches the sweep onto the sparse matching path: a
+    prebuilt :class:`~repro.index.candidates.CandidateSet`, or an
+    :class:`~repro.index.config.IndexConfig` describing how to build one
+    (exact streamed top-k or the IVF index) from the sliced embeddings.
+    Matchers then run :meth:`~repro.core.base.Matcher.match_candidates`
+    — O(n k) for the sparse-aware ones, a counted densify for the rest —
+    and the score diagnostics (``top5_std`` / ``ranking``) come from the
+    candidate lists, so no dense n x n matrix is ever built for the
+    sparse-aware matchers.
 
     ``policy`` / ``supervisor`` enable the fault-tolerant runtime: each
     matcher runs under deadline, memory budget, retry, and degradation
@@ -172,9 +185,9 @@ def run_experiment(
     )
 
     queries = task.test_query_ids()
-    candidates = task.candidate_target_ids()
+    candidate_ids = task.candidate_target_ids()
     source_slice = embeddings.source[queries]
-    target_slice = embeddings.target[candidates]
+    target_slice = embeddings.target[candidate_ids]
 
     factory = matcher_factory or create_matcher
     if supervisor is None and policy is not None:
@@ -182,14 +195,32 @@ def run_experiment(
     owns_engine = engine is None
     if engine is None:
         engine = SimilarityEngine()
-    gold = _gold_local_pairs(task, queries, candidates)
-    raw_scores = engine.similarity(source_slice, target_slice, metric=config.metric)
+    gold = _gold_local_pairs(task, queries, candidate_ids)
+    candidate_set: CandidateSet | None = None
+    if isinstance(candidates, IndexConfig):
+        candidate_set = build_candidates(
+            source_slice, target_slice, candidates, engine=engine, metric=config.metric
+        )
+    elif candidates is not None:
+        candidate_set = candidates
+
+    if candidate_set is None:
+        raw_scores = engine.similarity(
+            source_slice, target_slice, metric=config.metric
+        )
+        top5_std = top_k_std(raw_scores, k=5)
+        ranking = ranking_diagnostics(raw_scores, gold)
+    else:
+        # Sparse diagnostics: same statistics, computed from the stored
+        # candidate entries — the dense matrix is never materialised.
+        top5_std = candidate_set.top5_std()
+        ranking = candidate_set.ranking_diagnostics(gold)
 
     result = ExperimentResult(
         config=config,
         task_name=task.name,
-        top5_std=top_k_std(raw_scores, k=5),
-        ranking=ranking_diagnostics(raw_scores, gold),
+        top5_std=top5_std,
+        ranking=ranking,
     )
     try:
         for name in config.matchers:
@@ -199,7 +230,10 @@ def run_experiment(
             def run_cell(matcher: Matcher = matcher, name: str = name) -> None:
                 if supervisor is None:
                     _maybe_fit(matcher, embeddings, task)
-                    match = matcher.match(source_slice, target_slice)
+                    if candidate_set is None:
+                        match = matcher.match(source_slice, target_slice)
+                    else:
+                        match = matcher.match_candidates(candidate_set)
                     result.runs[name] = MatcherRun(
                         matcher=name,
                         metrics=evaluate_pairs(match.pairs, gold),
@@ -209,7 +243,7 @@ def run_experiment(
                     return
                 _run_supervised(
                     result, supervisor, matcher, name, source_slice, target_slice,
-                    gold, embeddings, task,
+                    gold, embeddings, task, candidate_set,
                 )
 
             if not profile:
@@ -244,6 +278,7 @@ def _run_supervised(
     gold: list[tuple[int, int]],
     embeddings: UnifiedEmbeddings,
     task: AlignmentTask,
+    candidate_set: CandidateSet | None = None,
 ) -> None:
     """One matcher under supervision; records a run, a failure, or both."""
     context = {
@@ -264,7 +299,12 @@ def _run_supervised(
         )
         return
     run = supervisor.run(
-        matcher, source_slice, target_slice, name=name, context=context
+        matcher,
+        source_slice,
+        target_slice,
+        name=name,
+        context=context,
+        candidates=candidate_set,
     )
     if run.ok:
         result.runs[name] = MatcherRun(

@@ -1,0 +1,27 @@
+"""ANN candidate index and sparse top-k candidate sets.
+
+The first path through the stack that never allocates an n x n matrix:
+
+* :mod:`repro.index.candidates` — :class:`CandidateSet`, the CSR-like
+  per-source top-k container the sparse matchers decode;
+* :mod:`repro.index.ivf` — :class:`IVFIndex`, a from-scratch numpy IVF
+  index (shared mini k-means quantizer, exact rescoring, obs
+  instrumentation, JSON persistence);
+* :mod:`repro.index.config` — :class:`IndexConfig` +
+  :func:`build_candidates`, the one-argument handle the runner,
+  pipeline, and CLI accept.
+"""
+
+from repro.index.candidates import CandidateSet
+from repro.index.config import INDEX_KINDS, IndexConfig, build_candidates
+from repro.index.ivf import IVF_FORMAT, IVF_VERSION, IVFIndex
+
+__all__ = [
+    "CandidateSet",
+    "INDEX_KINDS",
+    "IndexConfig",
+    "build_candidates",
+    "IVF_FORMAT",
+    "IVF_VERSION",
+    "IVFIndex",
+]

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.base import Matcher, MatchResult
 from repro.embedding.base import EmbeddingModel, UnifiedEmbeddings
 from repro.eval.metrics import AlignmentMetrics, evaluate_pairs
+from repro.index.config import IndexConfig, build_candidates
 from repro.kg.pair import AlignmentTask
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -79,6 +80,13 @@ class AlignmentPipeline:
     partial result to continue with); a successful fallback returns a
     prediction whose :attr:`AlignmentPrediction.supervision` records the
     degradation.
+
+    ``index`` (an :class:`~repro.index.config.IndexConfig`) switches the
+    matching stage onto the sparse path: candidate lists are built per
+    the config (exact streamed top-k or the IVF index) and the matcher
+    runs :meth:`~repro.core.base.Matcher.match_candidates` on them —
+    O(n k) working set for the sparse-aware matchers instead of the
+    dense n x n score matrix.
     """
 
     def __init__(
@@ -88,6 +96,7 @@ class AlignmentPipeline:
         engine: "SimilarityEngine | None" = None,
         policy: SupervisorPolicy | None = None,
         supervisor: RunSupervisor | None = None,
+        index: IndexConfig | None = None,
     ) -> None:
         self.encoder = encoder
         self.matcher = matcher
@@ -96,6 +105,7 @@ class AlignmentPipeline:
         if supervisor is None and policy is not None:
             supervisor = RunSupervisor(policy)
         self.supervisor = supervisor
+        self.index = index
 
     def align(
         self,
@@ -141,17 +151,30 @@ class AlignmentPipeline:
             raise ValueError("task has no test queries or candidates to align")
 
         self._fit_matcher(task, embeddings)
+        source_slice = embeddings.source[queries]
+        target_slice = embeddings.target[candidates]
+        candidate_set = None
+        if self.index is not None:
+            candidate_set = build_candidates(
+                source_slice,
+                target_slice,
+                self.index,
+                engine=self.matcher.engine,
+                metric=getattr(self.matcher, "metric", "cosine"),
+            )
         supervision: SupervisedRun | None = None
         if self.supervisor is None:
-            result = self.matcher.match(
-                embeddings.source[queries], embeddings.target[candidates]
-            )
+            if candidate_set is None:
+                result = self.matcher.match(source_slice, target_slice)
+            else:
+                result = self.matcher.match_candidates(candidate_set)
         else:
             supervision = self.supervisor.run(
                 self.matcher,
-                embeddings.source[queries],
-                embeddings.target[candidates],
+                source_slice,
+                target_slice,
                 context={"task": task.name},
+                candidates=candidate_set,
             )
             if not supervision.ok:
                 raise supervision.error

@@ -25,6 +25,11 @@ work:
   ``on_error="fallback"``, optimal matchers fall back to cheaper ones
   (``Hun.`` -> ``Greedy``, ``Sink.`` -> ``CSLS``); the fallback chain is
   recorded on the :class:`SupervisedRun`, never applied silently.
+* **Dense -> sparse rung** — with ``policy.sparse_k`` set, a *memory*
+  breach by a sparse-capable matcher (``Matcher.supports_sparse``) first
+  retries the *same algorithm* on top-``sparse_k`` candidate lists —
+  O(n k) working set instead of n x n — before any ladder hop swaps the
+  algorithm.  The chain records the rung as ``"<name>+sparse"``.
 
 The supervisor never imports the fault-injection harness; chaos testing
 plugs in from the outside via the runner's ``matcher_factory`` hook.
@@ -36,9 +41,12 @@ import threading
 import time
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.index.candidates import CandidateSet
 
 from repro.core.base import Matcher, MatchResult
 from repro.core.registry import create_matcher
@@ -97,6 +105,11 @@ class SupervisorPolicy:
     #: failure and returns no result, "fallback" walks the ladder on
     #: deadline/budget breaches (and skips on other failure modes).
     on_error: str = "raise"
+    #: Candidate-list width for the dense -> sparse degradation rung.
+    #: When set (and ``on_error="fallback"``), a memory-budget breach by
+    #: a sparse-capable matcher retries the same matcher on its top-k
+    #: candidate lists before any ladder hop; None disables the rung.
+    sparse_k: int | None = None
     #: Seed of the backoff-jitter stream (same seed -> same schedule).
     seed: int = 0
     #: Matcher name -> cheaper replacement (see :data:`DEGRADATION_LADDER`).
@@ -119,6 +132,8 @@ class SupervisorPolicy:
             raise ValueError(
                 "backoff_base/backoff_jitter must be >= 0 and backoff_factor >= 1"
             )
+        if self.sparse_k is not None and self.sparse_k < 1:
+            raise ValueError(f"sparse_k must be >= 1, got {self.sparse_k}")
 
 
 def backoff_schedule(policy: SupervisorPolicy) -> list[float]:
@@ -248,8 +263,13 @@ class RunSupervisor:
         *,
         name: str | None = None,
         context: Mapping[str, Any] | None = None,
+        candidates: "CandidateSet | None" = None,
     ) -> SupervisedRun:
         """Execute ``matcher.match(source, target)`` under the policy.
+
+        With ``candidates`` supplied the matcher runs its sparse path
+        (:meth:`~repro.core.base.Matcher.match_candidates`) on those
+        lists instead of matching the dense embeddings.
 
         Returns a :class:`SupervisedRun`; with ``on_error="raise"`` a
         terminal failure propagates as its typed
@@ -262,7 +282,9 @@ class RunSupervisor:
         registry = self._registry()
         while True:
             run.chain.append(current_name)
-            error = self._attempt_with_retries(run, current, current_name, source, target, context)
+            error = self._attempt_with_retries(
+                run, current, current_name, source, target, context, candidates
+            )
             if error is None:
                 registry.inc("supervisor.runs")
                 if run.degraded:
@@ -271,6 +293,18 @@ class RunSupervisor:
                     registry.inc("supervisor.degraded_runs")
                 return run
             run.error = error
+            sparse = self._sparse_rung(current, current_name, source, target, error, candidates)
+            if sparse is not None:
+                registry.inc("supervisor.sparse_degradations")
+                obs_trace.event(
+                    "supervisor.degrade_sparse",
+                    matcher=current_name,
+                    k=self.policy.sparse_k,
+                    error=type(error).__name__,
+                )
+                candidates = sparse
+                current_name = f"{current_name}+sparse"
+                continue
             fallback_name = self._fallback_for(current_name)
             if self.policy.on_error == "fallback" and fallback_name is not None and self._breached(error):
                 fallback = self._build_fallback(fallback_name, current)
@@ -282,6 +316,10 @@ class RunSupervisor:
                         fallback=fallback_name,
                         error=type(error).__name__,
                     )
+                    if candidates is not None:
+                        # The hop inherits the sparse rung's candidate
+                        # lists; keep the marker so the chain stays honest.
+                        fallback_name = f"{fallback_name}+sparse"
                     current, current_name = fallback, fallback_name
                     continue
             # The ledger's resolution="skipped" entries plus raised runs.
@@ -297,6 +335,53 @@ class RunSupervisor:
 
     # -- internals -----------------------------------------------------
 
+    def _sparse_rung(
+        self,
+        matcher: Matcher,
+        name: str,
+        source: np.ndarray,
+        target: np.ndarray,
+        error: MatcherError,
+        candidates: "CandidateSet | None",
+    ) -> "CandidateSet | None":
+        """Candidate lists for the dense -> sparse rung, or None.
+
+        The rung applies only to a *memory* breach (a deadline breach
+        means the algorithm is too slow; shrinking its input is the
+        ladder's job), only once (``candidates is None``), and only for
+        matchers with a real sparse path.  A failure while building the
+        lists disables the rung rather than masking the original error.
+        """
+        if (
+            self.policy.on_error != "fallback"
+            or self.policy.sparse_k is None
+            or candidates is not None
+            or not isinstance(error, ResourceBudgetExceeded)
+            or not matcher.supports_sparse
+        ):
+            return None
+        try:
+            if matcher.engine is not None:
+                return matcher.engine.top_k_candidates(
+                    source,
+                    target,
+                    self.policy.sparse_k,
+                    metric=getattr(matcher, "metric", "cosine"),
+                )
+            from repro.index.candidates import CandidateSet
+            from repro.similarity.chunked import chunked_top_k
+
+            indices, scores = chunked_top_k(
+                source,
+                target,
+                self.policy.sparse_k,
+                metric=getattr(matcher, "metric", "cosine"),
+            )
+            return CandidateSet.from_topk(indices, scores, n_targets=target.shape[0])
+        except Exception:  # noqa: BLE001 - the original breach stays primary
+            obs_trace.event("supervisor.sparse_rung_failed", matcher=name)
+            return None
+
     def _attempt_with_retries(
         self,
         run: SupervisedRun,
@@ -305,14 +390,19 @@ class RunSupervisor:
         source: np.ndarray,
         target: np.ndarray,
         context: Mapping[str, Any],
+        candidates: "CandidateSet | None" = None,
     ) -> MatcherError | None:
         """All attempts of one matcher; returns its terminal error or None."""
         error: MatcherError | None = None
         registry = self._registry()
+        if candidates is None:
+            invoke = lambda: matcher.match(source, target)  # noqa: E731
+        else:
+            invoke = lambda: matcher.match_candidates(candidates)  # noqa: E731
         for attempt in range(1, self.policy.retries + 2):
             start = time.perf_counter()
             try:
-                result = self._bounded_match(matcher, name, source, target, attempt, context)
+                result = self._bounded_match(invoke, name, attempt, context)
             except MatcherError as exc:
                 error = exc
                 retrying = exc.retryable and attempt <= self.policy.retries
@@ -358,19 +448,17 @@ class RunSupervisor:
 
     def _bounded_match(
         self,
-        matcher: Matcher,
+        invoke: Callable[[], MatchResult],
         name: str,
-        source: np.ndarray,
-        target: np.ndarray,
         attempt: int,
         context: Mapping[str, Any],
     ) -> MatchResult:
         """One attempt under deadline + budget; errors come back typed."""
         try:
             if self.policy.timeout is None:
-                result = matcher.match(source, target)
+                result = invoke()
             else:
-                result = self._match_with_deadline(matcher, name, source, target)
+                result = self._match_with_deadline(invoke, name)
         except BaseException as exc:  # noqa: BLE001 - typed and re-raised
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
@@ -387,7 +475,7 @@ class RunSupervisor:
         return result
 
     def _match_with_deadline(
-        self, matcher: Matcher, name: str, source: np.ndarray, target: np.ndarray
+        self, invoke: Callable[[], MatchResult], name: str
     ) -> MatchResult:
         """Run on a watchdog-supervised worker thread; abandon on overrun.
 
@@ -401,7 +489,7 @@ class RunSupervisor:
 
         def worker() -> None:
             try:
-                outcome["result"] = matcher.match(source, target)
+                outcome["result"] = invoke()
             except BaseException as exc:  # noqa: BLE001 - ferried to caller
                 outcome["error"] = exc
             finally:
@@ -434,7 +522,9 @@ class RunSupervisor:
         return isinstance(error, (DeadlineExceeded, ResourceBudgetExceeded))
 
     def _fallback_for(self, name: str) -> str | None:
-        return self.policy.fallbacks.get(name)
+        # A "+sparse" rung keeps its base matcher's ladder entry, so a
+        # still-breaching sparse run can degrade the algorithm next.
+        return self.policy.fallbacks.get(name.removesuffix("+sparse"))
 
     def _build_fallback(self, name: str, failed: Matcher) -> Matcher | None:
         """Instantiate the ladder replacement, inheriting metric + engine."""

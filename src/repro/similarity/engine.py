@@ -51,6 +51,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.similarity.chunked import chunked_csls_top_k, chunked_top_k
 from repro.similarity.metrics import prepare_metric
+from repro.similarity.topk import top_k_indices
 from repro.utils.parallel import (
     DEFAULT_CHUNK_ELEMS,
     map_chunks,
@@ -308,6 +309,56 @@ class SimilarityEngine:
             workers=self.workers,
             dtype=self.dtype,
         )
+
+    def top_k_candidates(
+        self,
+        source: np.ndarray,
+        target: np.ndarray,
+        k: int,
+        metric: str = "cosine",
+        chunk_size: int | None = None,
+    ) -> "CandidateSet":
+        """Exact top-``k`` candidate lists as a sparse ``CandidateSet``.
+
+        The sparse matching path's front door.  A cached S for this
+        (source, target, metric) problem is reused — deriving top-k from
+        the cached matrix is O(n^2) selection, not O(n^2 d) computation,
+        and counts as a cache hit — otherwise the streamed
+        :meth:`top_k` kernel runs and no n x n array is ever allocated.
+        The derived candidate lists themselves are not cached (k/n the
+        size of S and cheap to regenerate).
+        """
+        from repro.index.candidates import CandidateSet  # index layers above similarity
+
+        source = check_embedding_matrix(source, "source")
+        target = check_embedding_matrix(target, "target")
+        check_shape_compatible(source, target)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        n_target = target.shape[0]
+        k = min(k, n_target)
+        if self.cache_enabled:
+            key = self._cache_key(source, target, metric)
+            with self._lock:
+                entry = self._cache.get(key)
+                if entry is not None:
+                    self._cache.move_to_end(key)
+                    self.stats.hits += 1
+            if entry is not None:
+                obs_metrics.get_metrics().inc("engine.cache.hits")
+                obs_trace.event("engine.topk.from_cache", metric=metric, k=k)
+                indices = top_k_indices(entry.matrix, k, axis=1)
+                scores = np.take_along_axis(entry.matrix, indices, axis=1)
+                return CandidateSet.from_topk(
+                    indices, scores.astype(np.float64), n_targets=n_target
+                )
+        with obs_trace.span(
+            "engine.topk", metric=metric, rows=source.shape[0], cols=n_target, k=k
+        ):
+            indices, scores = self.top_k(
+                source, target, k, metric=metric, chunk_size=chunk_size
+            )
+        return CandidateSet.from_topk(indices, scores, n_targets=n_target)
 
     def csls_top_k(
         self,

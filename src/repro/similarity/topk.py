@@ -53,3 +53,17 @@ def top_k_indices(scores: np.ndarray, k: int, axis: int = 1) -> np.ndarray:
 def top_k_mean(scores: np.ndarray, k: int, axis: int = 1) -> np.ndarray:
     """Mean of the top-``k`` scores along ``axis`` (the CSLS phi vector)."""
     return top_k_values(scores, k, axis=axis).mean(axis=1)
+
+
+def top1_indices(scores: np.ndarray, axis: int = 1) -> np.ndarray:
+    """Index of the single largest score along ``axis``.
+
+    The top-1 special case skips the argpartition machinery — one argmax
+    pass — and pins the tie rule (lowest index wins) that the best-suitor
+    bucketing in :mod:`repro.core.blocking` relies on for reproducible
+    block assignments.
+    """
+    scores = check_score_matrix(scores)
+    if axis not in (0, 1):
+        raise ValueError(f"axis must be 0 or 1, got {axis}")
+    return scores.argmax(axis=axis)

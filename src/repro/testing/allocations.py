@@ -1,0 +1,84 @@
+"""Allocation guard: prove a code path never materialises a dense matrix.
+
+The sparse matching path's whole reason to exist is that it works in
+O(n k) memory; a silent ``densify()`` (or any other n x n temporary
+built through numpy's allocating constructors) would defeat it while
+every test still passes on small inputs.  :func:`forbid_allocations`
+patches ``np.empty`` / ``np.zeros`` / ``np.ones`` / ``np.full`` so any
+allocation at or above a threshold raises :class:`DenseAllocationError`
+— the sparse-path tests run matchers under the guard with the threshold
+set to ``n_sources * n_targets``.
+
+Scope: the guard sees allocations made through the ``numpy`` namespace
+from Python (which covers :meth:`CandidateSet.densify`, the engine's
+output buffers, and every transform in :mod:`repro.core`); it cannot
+see C-level temporaries inside ufuncs or BLAS.  That is the right
+granularity here — the n x n buffers the paper's Table 6 blames are all
+explicit Python-side allocations.
+
+Like the rest of :mod:`repro.testing`, nothing in the production import
+graph imports this module.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+#: The patched allocating constructors (name -> original).
+_CONSTRUCTORS = ("empty", "zeros", "ones", "full")
+
+
+class DenseAllocationError(AssertionError):
+    """An allocation at or above the guarded threshold was attempted."""
+
+
+def _shape_elements(shape: object) -> int:
+    if isinstance(shape, (int, np.integer)):
+        return max(int(shape), 0)
+    try:
+        return math.prod(max(int(side), 0) for side in shape)  # type: ignore[union-attr]
+    except TypeError:
+        return 0
+
+
+@contextmanager
+def forbid_allocations(threshold_elements: int) -> Iterator[None]:
+    """Fail any numpy constructor allocation of >= ``threshold_elements``.
+
+    Usage::
+
+        with forbid_allocations(n * n):
+            matcher.match_candidates(candidates)   # must stay sparse
+
+    The patch is process-global while active (numpy's module attributes
+    are shared), so keep guarded blocks single-threaded and short.
+    """
+    if threshold_elements < 1:
+        raise ValueError(
+            f"threshold_elements must be >= 1, got {threshold_elements}"
+        )
+    originals = {name: getattr(np, name) for name in _CONSTRUCTORS}
+
+    def guarded(name: str, original):
+        def wrapped(shape, *args, **kwargs):
+            elements = _shape_elements(shape)
+            if elements >= threshold_elements:
+                raise DenseAllocationError(
+                    f"np.{name}({shape!r}) would allocate {elements} elements; "
+                    f"the guard forbids >= {threshold_elements}"
+                )
+            return original(shape, *args, **kwargs)
+
+        return wrapped
+
+    for name, original in originals.items():
+        setattr(np, name, guarded(name, original))
+    try:
+        yield
+    finally:
+        for name, original in originals.items():
+            setattr(np, name, original)

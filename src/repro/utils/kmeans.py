@@ -1,0 +1,77 @@
+"""Deterministic mini k-means — the shared coarse quantizer.
+
+Both sub-quadratic candidate-generation paths in this library partition
+an embedding space with the same clustering primitive: embedding-space
+blocking (:class:`repro.core.blocking.BlockedMatcher`) and the IVF
+candidate index (:class:`repro.index.IVFIndex`).  Factoring it here
+keeps the two paths bit-identical on the quantizer they share — an index
+trained with ``n_clusters`` probes exactly the partition a blocked
+matcher with ``num_blocks`` would have formed.
+
+The fit is O(n d k) with no n^2 matrix, and fully deterministic:
+k-means++-style greedy farthest-point seeding from a fixed start, a
+fixed iteration count, and no randomness anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kmeans_centroids(
+    matrix: np.ndarray, k: int, iterations: int = 8
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic mini k-means over centered embeddings.
+
+    The data is centered first: embedding spaces often share a large
+    common component (encoder oversmoothing) that carries no identity
+    signal, and clustering the raw vectors would slice along it.
+    Farthest-point seeding keeps the result deterministic and well
+    spread.  Returns ``(centroids, center)``; the centroids live in the
+    centered frame, so queries must be shifted by the same ``center``
+    (see :func:`centroid_distances`).
+    """
+    center = matrix.mean(axis=0)
+    centered = matrix - center
+    # Farthest-point seeding from a fixed start.
+    chosen = [0]
+    distances = np.linalg.norm(centered - centered[0], axis=1)
+    for _ in range(1, k):
+        next_idx = int(distances.argmax())
+        chosen.append(next_idx)
+        distances = np.minimum(
+            distances, np.linalg.norm(centered - centered[next_idx], axis=1)
+        )
+    centroids = centered[chosen].copy()
+
+    for _ in range(iterations):
+        assignment = centroid_distances(
+            centered, centroids, np.zeros_like(center)
+        ).argmin(axis=1)
+        for b in range(k):
+            members = centered[assignment == b]
+            if len(members):
+                centroids[b] = members.mean(axis=0)
+    return centroids, center
+
+
+def centroid_distances(
+    matrix: np.ndarray, centroids: np.ndarray, center: np.ndarray
+) -> np.ndarray:
+    """Squared distances to each centroid.
+
+    ``center`` is the mean the centroids were fitted under; query rows
+    are shifted by the *same* mean so both sides live in one coordinate
+    frame.
+    """
+    data = matrix - center
+    sq_data = np.sum(data**2, axis=1)[:, None]
+    sq_centroids = np.sum(centroids**2, axis=1)[None, :]
+    return sq_data + sq_centroids - 2.0 * (data @ centroids.T)
+
+
+def nearest_centroid(
+    matrix: np.ndarray, centroids: np.ndarray, center: np.ndarray
+) -> np.ndarray:
+    """Nearest-centroid cluster id per row of ``matrix``."""
+    return centroid_distances(matrix, centroids, center).argmin(axis=1)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import DInf, Hungarian, create_matcher
-from repro.core.blocking import BlockedMatcher
+from repro.core.blocking import BlockedMatcher, best_suitor_blocks
 
 
 @pytest.fixture()
@@ -79,6 +79,51 @@ class TestEmbeddingBlocking:
         # 1-to-1 within blocks; dedupe keeps it injective per source.
         sources = result.pairs[:, 0].tolist()
         assert len(sources) == len(set(sources))
+
+
+class TestBestSuitorBlocks:
+    """Pin the shared helper to the formulation it was factored out of.
+
+    ``BlockedMatcher.match_scores`` and ``RInfPb`` used to derive the
+    best-suitor bucketing inline with argmax + stable argsort; the
+    helper must keep producing bit-identical block assignments.
+    """
+
+    @pytest.mark.parametrize("num_blocks", [1, 3, 5])
+    def test_matches_inline_formulation(self, rng, num_blocks):
+        scores = rng.random((40, 35))
+        target_blocks, source_block = best_suitor_blocks(scores, num_blocks)
+        best_suitor = scores.argmax(axis=0)
+        best_option = scores.argmax(axis=1)
+        expected_blocks = np.array_split(
+            np.argsort(best_suitor, kind="stable"), num_blocks
+        )
+        block_of_target = np.empty(scores.shape[1], dtype=np.int64)
+        for block_id, block in enumerate(expected_blocks):
+            block_of_target[block] = block_id
+        assert len(target_blocks) == num_blocks
+        for got, want in zip(target_blocks, expected_blocks):
+            np.testing.assert_array_equal(got, want)
+        np.testing.assert_array_equal(source_block, block_of_target[best_option])
+
+    def test_partition_is_exhaustive_and_disjoint(self, rng):
+        scores = rng.random((20, 17))
+        target_blocks, source_block = best_suitor_blocks(scores, 4)
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate(target_blocks)), np.arange(17)
+        )
+        assert source_block.shape == (20,)
+        assert source_block.min() >= 0
+        assert source_block.max() < 4
+
+    def test_ties_resolved_stably(self):
+        # All-equal scores: argmax is index 0 everywhere, the stable sort
+        # must keep targets in natural order.
+        scores = np.ones((6, 6))
+        target_blocks, source_block = best_suitor_blocks(scores, 2)
+        np.testing.assert_array_equal(target_blocks[0], [0, 1, 2])
+        np.testing.assert_array_equal(target_blocks[1], [3, 4, 5])
+        np.testing.assert_array_equal(source_block, np.zeros(6))
 
 
 class TestScoreBlocking:

@@ -1,10 +1,9 @@
 """Tests for dummy-node augmentation."""
 
 import numpy as np
-import pytest
 
-from repro.core.dummy import DummyPaddedMatcher, pad_with_dummies, strip_dummy_pairs
 from repro.core.base import MatchResult
+from repro.core.dummy import DummyPaddedMatcher, pad_with_dummies, strip_dummy_pairs
 from repro.core.hungarian import Hungarian
 from repro.core.stable import StableMatch
 

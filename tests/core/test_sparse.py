@@ -1,0 +1,131 @@
+"""Sparse matching path: kernel/dense parity, quality, and O(n k) memory."""
+
+import numpy as np
+import pytest
+
+from repro.core.csls import CSLS, csls_scores
+from repro.core.greedy import DInf, Greedy
+from repro.core.hungarian import Hungarian
+from repro.core.rinf import RInfWr
+from repro.core.sinkhorn import Sinkhorn
+from repro.core.sparse import sparse_csls
+from repro.index import CandidateSet
+from repro.obs.metrics import get_metrics
+from repro.similarity.chunked import chunked_top_k
+from repro.similarity.metrics import similarity_matrix
+from repro.similarity.topk import top_k_indices
+from repro.testing import forbid_allocations
+
+SPARSE_MATCHERS = [DInf, Greedy, CSLS, RInfWr]
+
+
+def full_candidate_set(scores):
+    """Every cell of a dense matrix as a candidate set (k = n_targets)."""
+    n_targets = scores.shape[1]
+    indices = top_k_indices(scores, n_targets)
+    values = np.take_along_axis(scores, indices, axis=1)
+    return CandidateSet.from_topk(indices, values, n_targets)
+
+
+def aligned_embeddings(rng, size, dim=32, noise=0.3):
+    latent = rng.normal(size=(size, dim))
+    source = latent + noise * rng.normal(size=(size, dim))
+    target = latent + noise * rng.normal(size=(size, dim))
+    return source, target
+
+
+def hits_at_1(result, size):
+    matched = {tuple(pair) for pair in result.pairs}
+    return sum((i, i) in matched for i in range(size)) / size
+
+
+class TestKernelParity:
+    """At k = n_targets the sparse kernels must reproduce dense algebra."""
+
+    def test_sparse_csls_equals_dense_rescaling(self, rng):
+        scores = rng.random((15, 12))
+        rescaled = sparse_csls(full_candidate_set(scores), k=1).densify()
+        np.testing.assert_allclose(rescaled, csls_scores(scores, k=1))
+
+    def test_sparse_csls_k3_equals_dense_rescaling(self, rng):
+        scores = rng.random((10, 10))
+        rescaled = sparse_csls(full_candidate_set(scores), k=3).densify()
+        np.testing.assert_allclose(rescaled, csls_scores(scores, k=3))
+
+    def test_sparse_rinf_wr_matches_dense_decode(self, rng):
+        scores = rng.random((20, 20))
+        sparse = RInfWr().match_candidates(full_candidate_set(scores))
+        dense = RInfWr().match_scores(scores)
+        np.testing.assert_array_equal(sparse.pairs, dense.pairs)
+
+    @pytest.mark.parametrize("matcher_cls", SPARSE_MATCHERS)
+    def test_full_set_decode_equals_dense(self, rng, matcher_cls):
+        scores = rng.random((18, 14))
+        matcher = matcher_cls()
+        sparse = matcher.match_candidates(full_candidate_set(scores))
+        dense = matcher.match_scores(scores)
+        np.testing.assert_array_equal(sparse.pairs, dense.pairs)
+
+
+class TestSparseQuality:
+    """Acceptance gate: sparse Hits@1 within 1 point of dense at k=50."""
+
+    @pytest.mark.parametrize("matcher_cls", SPARSE_MATCHERS)
+    def test_hits_at_1_within_one_point_of_dense(self, rng, matcher_cls):
+        size = 400
+        source, target = aligned_embeddings(rng, size)
+        scores = similarity_matrix(source, target)
+        ids, vals = chunked_top_k(source, target, 50)
+        candidates = CandidateSet.from_topk(ids, vals, size)
+        matcher = matcher_cls()
+        dense_hits = hits_at_1(matcher.match_scores(scores), size)
+        sparse_hits = hits_at_1(matcher.match_candidates(candidates), size)
+        assert dense_hits > 0.5  # the task is actually solvable
+        assert abs(dense_hits - sparse_hits) <= 0.01
+
+
+class TestMemoryDiscipline:
+    """The sparse path must never materialise an n x n array."""
+
+    @pytest.mark.parametrize("matcher_cls", SPARSE_MATCHERS)
+    def test_never_allocates_dense_matrix(self, rng, matcher_cls):
+        size = 400
+        source, target = aligned_embeddings(rng, size, dim=16)
+        ids, vals = chunked_top_k(source, target, 50)
+        candidates = CandidateSet.from_topk(ids, vals, size)
+        registry = get_metrics()
+        densifies = registry.counter("sparse.densify")
+        with forbid_allocations(size * size):
+            result = matcher_cls().match_candidates(candidates)
+        assert registry.counter("sparse.densify") == densifies
+        assert len(result.pairs) == size
+
+    def test_sparse_counters_increment(self, rng):
+        scores = rng.random((8, 8))
+        registry = get_metrics()
+        matches = registry.counter("sparse.matches")
+        entries = registry.counter("sparse.entries")
+        candidates = full_candidate_set(scores)
+        DInf().match_candidates(candidates)
+        assert registry.counter("sparse.matches") == matches + 1
+        assert registry.counter("sparse.entries") == entries + candidates.nnz
+
+
+class TestDensifyFallback:
+    """Matchers without a sparse kernel transparently densify (and say so)."""
+
+    def test_hungarian_falls_back_through_densify(self, rng):
+        scores = rng.random((10, 10))
+        candidates = full_candidate_set(scores)
+        registry = get_metrics()
+        before = registry.counter("sparse.densify")
+        sparse = Hungarian().match_candidates(candidates)
+        assert registry.counter("sparse.densify") == before + 1
+        dense = Hungarian().match_scores(scores)
+        np.testing.assert_array_equal(sparse.pairs, dense.pairs)
+
+    def test_supports_sparse_flags(self):
+        for matcher_cls in SPARSE_MATCHERS:
+            assert matcher_cls().supports_sparse, matcher_cls.__name__
+        assert not Hungarian().supports_sparse
+        assert not Sinkhorn().supports_sparse

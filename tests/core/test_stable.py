@@ -1,7 +1,6 @@
 """Tests for stable matching (Gale-Shapley / SMat)."""
 
 import numpy as np
-import pytest
 
 from repro.core.stable import StableMatch, gale_shapley, is_stable
 

@@ -1,6 +1,5 @@
 """Tests for the correlated KG-pair generator."""
 
-import numpy as np
 import pytest
 
 from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair, generate_kg

@@ -72,7 +72,6 @@ class TestGCNEncoder:
         assert hits_at_1(tuned, medium_task) >= hits_at_1(plain, medium_task) - 0.1
 
     def test_requires_seed_pairs(self, small_task):
-        from dataclasses import replace
 
         from repro.kg.pair import AlignmentSplit, AlignmentTask
 

@@ -131,3 +131,48 @@ class TestSupervisedMatch:
         assert "DEGRADED" in out
         assert "Greedy" in out
         assert "F1=" in out
+
+
+class TestIndexCommands:
+    def test_match_accepts_index_flags(self):
+        args = build_parser().parse_args([
+            "match", "dbp15k/zh_en", "--index", "ivf",
+            "--k", "30", "--nprobe", "2", "--clusters", "8",
+        ])
+        assert args.index == "ivf"
+        assert args.k == 30
+        assert args.nprobe == 2
+
+    def test_match_rejects_unknown_index(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["match", "x", "--index", "annoy"])
+
+    def test_match_with_ivf_index_reports_recall(self, capsys):
+        assert main([
+            "match", "dbp15k/zh_en", "--regime", "R", "--matcher", "CSLS",
+            "--scale", "0.2", "--index", "ivf", "--k", "30", "--nprobe", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "index: kind=ivf" in out
+        assert "recall=" in out
+        assert "F1=" in out
+
+    def test_match_with_exact_index(self, capsys):
+        assert main([
+            "match", "dbp15k/zh_en", "--regime", "R", "--matcher", "DInf",
+            "--scale", "0.2", "--index", "exact", "--k", "20",
+        ]) == 0
+        assert "kind=exact" in capsys.readouterr().out
+
+    def test_index_build_and_stats_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "zh_en.index.json"
+        assert main([
+            "index", "build", "dbp15k/zh_en", "--regime", "R",
+            "--scale", "0.2", "--clusters", "4", "-o", str(path),
+        ]) == 0
+        assert path.exists()
+        build_out = capsys.readouterr().out
+        assert "ntotal" in build_out
+        assert main(["index", "stats", str(path)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "n_clusters" in stats_out

@@ -80,7 +80,6 @@ class TestRunExperiment:
 
 class TestGoldLocalPairsDiagnostics:
     def test_inconsistent_split_names_entity_and_chains_cause(self):
-        import numpy as np
 
         from repro.datasets.zoo import load_preset
         from repro.experiments.runner import _gold_local_pairs
@@ -94,3 +93,59 @@ class TestGoldLocalPairsDiagnostics:
         assert str(dropped) in str(excinfo.value)
         assert "query" in str(excinfo.value)
         assert isinstance(excinfo.value.__cause__, KeyError)
+
+
+class TestSparseCandidates:
+    """run_experiment(candidates=...) routes the sweep onto the sparse path."""
+
+    @pytest.fixture(scope="class")
+    def task_and_config(self):
+        from repro.datasets.zoo import load_preset
+
+        config = ExperimentConfig(
+            preset="dbp15k/zh_en", input_regime="R",
+            matchers=("DInf", "CSLS", "RInf-wr"), scale=0.1, seed=0,
+        )
+        return load_preset("dbp15k/zh_en", scale=0.1), config
+
+    def test_exact_candidates_match_dense_f1(self, task_and_config):
+        from repro.index import IndexConfig
+
+        task, config = task_and_config
+        dense = run_experiment(config, task=task)
+        sparse = run_experiment(
+            config, task=task, candidates=IndexConfig(kind="exact", k=50)
+        )
+        for name in config.matchers:
+            assert abs(dense.f1(name) - sparse.f1(name)) <= 0.01, name
+        # Score-spread diagnostics exist on the sparse path too.
+        assert sparse.top5_std > 0.0
+
+    def test_ivf_candidates_stay_competitive(self, task_and_config):
+        from repro.index import IndexConfig
+
+        task, config = task_and_config
+        dense = run_experiment(config, task=task)
+        sparse = run_experiment(
+            config, task=task,
+            candidates=IndexConfig(kind="ivf", k=50, nprobe=4, n_clusters=8),
+        )
+        for name in config.matchers:
+            assert sparse.f1(name) >= dense.f1(name) - 0.02, name
+
+    def test_dense_only_matcher_densifies_once(self, task_and_config):
+        from repro.index import IndexConfig
+        from repro.obs.metrics import get_metrics
+
+        task, _ = task_and_config
+        config = ExperimentConfig(
+            preset="dbp15k/zh_en", input_regime="R",
+            matchers=("Hun.",), scale=0.1, seed=0,
+        )
+        registry = get_metrics()
+        before = registry.counter("sparse.densify")
+        result = run_experiment(
+            config, task=task, candidates=IndexConfig(kind="exact", k=50)
+        )
+        assert registry.counter("sparse.densify") == before + 1
+        assert 0.0 <= result.f1("Hun.") <= 1.0

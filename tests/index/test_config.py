@@ -1,0 +1,59 @@
+"""IndexConfig + build_candidates: the one-argument sparse-path handle."""
+
+import numpy as np
+import pytest
+
+from repro.index import IndexConfig, build_candidates
+from repro.similarity.chunked import chunked_top_k
+from repro.similarity.engine import SimilarityEngine
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            IndexConfig(kind="annoy")
+
+    @pytest.mark.parametrize("field", ["k", "nprobe", "n_clusters"])
+    def test_positive_knobs(self, field):
+        with pytest.raises(ValueError, match=field):
+            IndexConfig(**{field: 0})
+
+
+class TestBuildCandidates:
+    def test_exact_matches_chunked_top_k(self, rng):
+        source = rng.normal(size=(40, 8))
+        target = rng.normal(size=(30, 8))
+        cands = build_candidates(source, target, IndexConfig(kind="exact", k=5))
+        ids, scores = chunked_top_k(source, target, 5)
+        np.testing.assert_array_equal(cands.indices.reshape(40, 5), ids)
+        np.testing.assert_allclose(cands.scores.reshape(40, 5), scores)
+
+    def test_exact_through_engine_counts_cache_hit(self, rng):
+        source = rng.normal(size=(20, 8))
+        target = rng.normal(size=(15, 8))
+        with SimilarityEngine() as engine:
+            dense = engine.similarity(source, target)
+            cands = build_candidates(
+                source, target, IndexConfig(kind="exact", k=4), engine=engine
+            )
+            assert engine.stats.hits == 1
+        best = cands.best_per_row()
+        np.testing.assert_array_equal(best[1], dense.argmax(axis=1))
+
+    def test_ivf_clamps_clusters_and_respects_k(self, rng):
+        source = rng.normal(size=(25, 8))
+        target = rng.normal(size=(10, 8))
+        cands = build_candidates(
+            source, target, IndexConfig(kind="ivf", k=4, nprobe=64, n_clusters=64)
+        )
+        assert cands.n_sources == 25
+        assert cands.n_targets == 10
+        assert cands.k_max <= 4
+
+    def test_metric_override_wins(self, rng):
+        source = rng.normal(size=(12, 6))
+        target = rng.normal(size=(12, 6))
+        config = IndexConfig(kind="exact", k=3, metric="euclidean")
+        cands = build_candidates(source, target, config, metric="cosine")
+        ids, scores = chunked_top_k(source, target, 3, metric="euclidean")
+        np.testing.assert_allclose(cands.scores.reshape(12, 3), scores)

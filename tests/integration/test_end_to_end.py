@@ -4,7 +4,6 @@ Each test exercises a full path a user of the library would take:
 generate data -> build embeddings -> match -> evaluate.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import PAPER_MATCHERS, create_matcher

@@ -11,7 +11,6 @@ Three cases of EA:
     restores a large share of the correct matches.
 """
 
-import pytest
 
 from repro.core import DInf, Hungarian
 from repro.datasets.synthetic import KGPairConfig, generate_aligned_pair

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.kg.io import load_alignment_task, load_knowledge_graph, save_alignment_task
 from repro.kg.graph import KnowledgeGraph
+from repro.kg.io import load_alignment_task, load_knowledge_graph, save_alignment_task
 from repro.kg.pair import AlignmentSplit, AlignmentTask
 
 

@@ -1,6 +1,5 @@
 """End-to-end observability: spans and metrics through the real stack."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main

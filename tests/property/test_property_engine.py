@@ -82,13 +82,21 @@ class TestEngineEqualsSerial:
     @given(embedding_pairs())
     @settings(max_examples=15, deadline=None)
     def test_float32_allclose(self, metric, matrices):
+        # Euclidean needs a looser bound: the kernel expands
+        # ||u-v||^2 = ||u||^2 + ||v||^2 - 2 u.v, so for nearly-equal rows
+        # the float32 cancellation error is ~ulp(||u||^2 + ||v||^2) —
+        # up to ~1e-4 at these input ranges — and the final sqrt
+        # amplifies it to ~sqrt(1e-4) = 1e-2 when the true distance is
+        # near zero.  Cosine is bounded by 1 and Manhattan sums exact
+        # absolute differences, so 5e-4 holds for both.
+        atol = 2e-2 if metric == "euclidean" else 5e-4
         source, target = matrices
         serial = similarity_matrix(source, target, metric=metric)
         for workers in WORKER_COUNTS:
             with SimilarityEngine(workers=workers, dtype=np.float32) as engine:
                 scores = engine.similarity(source, target, metric=metric)
             assert scores.dtype == np.float32
-            np.testing.assert_allclose(scores, serial, atol=5e-4)
+            np.testing.assert_allclose(scores, serial, atol=atol)
 
 
 class TestChunkedEqualsSerial:

@@ -1,7 +1,6 @@
 """Property-based tests for the extension matchers and chunked similarity."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays

@@ -1,6 +1,5 @@
 """Property-based tests for the KG substrate and dataset generators."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -11,7 +11,6 @@ The exhaustive every-matcher x every-injector sweep is marked ``chaos``
 a tiny preset and stay in tier-1.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.registry import available_matchers

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.base import Matcher, MatchResult
+from repro.core.csls import CSLS
 from repro.core.greedy import DInf
 from repro.core.registry import create_matcher
 from repro.core.sinkhorn import Sinkhorn
@@ -17,6 +18,7 @@ from repro.errors import (
     ResourceBudgetExceeded,
     as_matcher_error,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.supervisor import (
     DEGRADATION_LADDER,
     RunSupervisor,
@@ -473,3 +475,129 @@ class TestMetricsLedgerConsistency:
         assert event["attrs"]["matcher"] == "Hun."
         assert event["attrs"]["fallback"] == "Greedy"
         assert event["attrs"]["error"] == "ResourceBudgetExceeded"
+
+
+class _HungrySparse(CSLS):
+    """Sparse-capable matcher whose *dense* path declares a huge footprint."""
+
+    def __init__(self):
+        super().__init__()
+        self.name = "CSLS"
+
+    def match(self, source, target):
+        memory = MemoryTracker()
+        memory.allocate("huge", 2**30)
+        result = DInf().match(source, target)
+        return MatchResult(
+            result.pairs, result.scores, stopwatch=Stopwatch(), memory=memory
+        )
+
+
+class _HungryEverywhere(_HungrySparse):
+    """Breaches the budget on the dense *and* the sparse path."""
+
+    def match_candidates(self, candidates):
+        memory = MemoryTracker()
+        memory.allocate("huge", 2**30)
+        result = super().match_candidates(candidates)
+        return MatchResult(
+            result.pairs, result.scores, stopwatch=Stopwatch(), memory=memory
+        )
+
+
+class _BrokenEngine:
+    def top_k_candidates(self, *args, **kwargs):
+        raise RuntimeError("engine down")
+
+
+class TestSparseRung:
+    """The dense -> sparse degradation rung (policy.sparse_k)."""
+
+    POLICY = dict(memory_budget=2**20, on_error="fallback", sparse_k=5)
+
+    def test_sparse_k_validated(self):
+        with pytest.raises(ValueError, match="sparse_k"):
+            SupervisorPolicy(sparse_k=0)
+
+    def test_memory_breach_retries_same_algorithm_sparsely(self):
+        source, target = _embeddings(n=12)
+        registry = MetricsRegistry()
+        supervisor = RunSupervisor(SupervisorPolicy(**self.POLICY), metrics=registry)
+        run = supervisor.run(_HungrySparse(), source, target)
+        assert run.ok
+        assert run.chain == ["CSLS", "CSLS+sparse"]
+        assert run.executed == "CSLS+sparse"
+        assert len(run.result.pairs) == 12
+        assert registry.counter("supervisor.sparse_degradations") == 1
+        assert registry.counter("supervisor.degradations") == 0
+
+    def test_rung_fires_at_most_once_then_ladder_keeps_marker(self):
+        source, target = _embeddings(n=10)
+        registry = MetricsRegistry()
+        supervisor = RunSupervisor(SupervisorPolicy(**self.POLICY), metrics=registry)
+        run = supervisor.run(_HungryEverywhere(), source, target)
+        # Sparse CSLS breaches too; the ladder hop (Greedy) inherits the
+        # candidate lists and the chain says so.
+        assert run.chain == ["CSLS", "CSLS+sparse", "Greedy+sparse"]
+        assert run.ok
+        assert registry.counter("supervisor.sparse_degradations") == 1
+        assert registry.counter("supervisor.degradations") == 1
+
+    def test_deadline_breach_never_takes_the_rung(self):
+        source, target = _embeddings()
+        supervisor = RunSupervisor(
+            SupervisorPolicy(
+                timeout=0.05, on_error="skip", sparse_k=5, retries=0
+            )
+        )
+        stalling = _StallingMatcher(seconds=0.4)
+        run = supervisor.run(stalling, source, target)
+        assert not run.ok
+        assert isinstance(run.error, DeadlineExceeded)
+        assert run.chain == ["Stall"]
+
+    def test_dense_only_matcher_skips_the_rung(self):
+        source, target = _embeddings()
+        supervisor = RunSupervisor(
+            SupervisorPolicy(memory_budget=2**20, on_error="skip", sparse_k=5)
+        )
+        run = supervisor.run(_HungryMatcher(), source, target)
+        assert not run.ok
+        assert isinstance(run.error, ResourceBudgetExceeded)
+        assert run.chain == ["Hungry"]
+
+    def test_without_sparse_k_the_ladder_runs_as_before(self):
+        source, target = _embeddings()
+        registry = MetricsRegistry()
+        supervisor = RunSupervisor(
+            SupervisorPolicy(memory_budget=2**20, on_error="fallback"),
+            metrics=registry,
+        )
+        run = supervisor.run(_HungrySparse(), source, target)
+        assert run.chain == ["CSLS", "Greedy"]
+        assert registry.counter("supervisor.sparse_degradations") == 0
+
+    def test_candidate_build_failure_keeps_original_error(self):
+        source, target = _embeddings()
+        matcher = _HungrySparse()
+        matcher.name = "HungrySp"  # no ladder entry: failure must surface
+        matcher.engine = _BrokenEngine()
+        supervisor = RunSupervisor(
+            SupervisorPolicy(memory_budget=2**20, on_error="skip", sparse_k=5)
+        )
+        run = supervisor.run(matcher, source, target, name="HungrySp")
+        assert not run.ok
+        assert isinstance(run.error, ResourceBudgetExceeded)
+        assert run.chain == ["HungrySp"]
+
+    def test_caller_supplied_candidates_run_sparse_directly(self):
+        source, target = _embeddings(n=8)
+        from repro.index.candidates import CandidateSet
+        from repro.similarity.chunked import chunked_top_k
+
+        indices, scores = chunked_top_k(source, target, 3)
+        candidates = CandidateSet.from_topk(indices, scores, n_targets=8)
+        run = RunSupervisor().run(CSLS(), source, target, candidates=candidates)
+        assert run.ok
+        assert run.chain == ["CSLS"]
+        assert len(run.result.pairs) == 8

@@ -161,6 +161,39 @@ class TestEngineChunkedEntryPoints:
         dense = csls_scores(similarity_matrix(source, target), k=2)
         np.testing.assert_allclose(scores, top_k_values(dense, 3), atol=1e-9)
 
+    def test_top_k_candidates_matches_streamed_kernel(self, embeddings):
+        from repro.similarity.chunked import chunked_top_k
+
+        source, target = embeddings
+        with SimilarityEngine(cache=False) as engine:
+            cands = engine.top_k_candidates(source, target, k=5)
+        ids, scores = chunked_top_k(source, target, 5)
+        np.testing.assert_array_equal(cands.indices.reshape(64, 5), ids)
+        np.testing.assert_allclose(cands.scores.reshape(64, 5), scores)
+        assert engine.stats.hits == 0
+
+    def test_top_k_candidates_served_from_cache(self, embeddings):
+        source, target = embeddings
+        with SimilarityEngine() as engine:
+            dense = engine.similarity(source, target)
+            cands = engine.top_k_candidates(source, target, k=5)
+            assert engine.stats.hits == 1
+        from repro.similarity.topk import top_k_values
+
+        np.testing.assert_allclose(
+            cands.scores.reshape(64, 5), top_k_values(dense, 5)
+        )
+
+    def test_top_k_candidates_clamps_k(self, embeddings):
+        source, target = embeddings
+        with SimilarityEngine(cache=False) as engine:
+            cands = engine.top_k_candidates(source, target, k=10_000)
+        assert cands.k_max == target.shape[0]
+        with SimilarityEngine(cache=False) as engine, pytest.raises(
+            ValueError, match="k must be"
+        ):
+            engine.top_k_candidates(source, target, k=0)
+
 
 class TestSharedEngineSweep:
     """Tier-1-safe benchmark smoke: the cross-matcher cache contract.

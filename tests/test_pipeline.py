@@ -91,3 +91,33 @@ class TestAlignmentPipeline:
         pipeline = AlignmentPipeline(OracleEncoder(), create_matcher("DInf"))
         with pytest.raises(ValueError, match="no test queries"):
             pipeline.align(task)
+
+
+class TestSparseIndexPipeline:
+    def test_index_config_matches_dense_quality(self, pipeline_prediction):
+        from repro.index import IndexConfig
+
+        task, dense_prediction = pipeline_prediction
+        pipeline = AlignmentPipeline(
+            OracleEncoder(OracleConfig(noise=0.3, seed=1)),
+            create_matcher("CSLS"),
+            index=IndexConfig(kind="ivf", k=30, nprobe=4, n_clusters=8),
+        )
+        sparse_prediction = pipeline.align(task)
+        assert abs(sparse_prediction.metrics.f1 - dense_prediction.metrics.f1) <= 0.01
+
+    def test_index_with_supervisor_passes_candidates(self, pipeline_prediction):
+        from repro.index import IndexConfig
+        from repro.runtime.supervisor import SupervisorPolicy
+
+        task, _ = pipeline_prediction
+        pipeline = AlignmentPipeline(
+            OracleEncoder(OracleConfig(noise=0.3, seed=1)),
+            create_matcher("DInf"),
+            policy=SupervisorPolicy(on_error="raise"),
+            index=IndexConfig(kind="exact", k=20),
+        )
+        prediction = pipeline.align(task)
+        assert prediction.supervision is not None
+        assert prediction.supervision.ok
+        assert prediction.metrics.f1 > 0.5

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.greedy import DInf
-from repro.core.registry import create_matcher
 from repro.core.sinkhorn import Sinkhorn
 from repro.errors import ConvergenceError, DataIntegrityError
 from repro.testing.faults import (
