@@ -5,7 +5,8 @@
 
 PY := PYTHONPATH=src python -m
 
-.PHONY: check lint test property obs chaos bench bench-obs bench-check
+.PHONY: check lint test property obs chaos bench bench-obs bench-check \
+	drift reference-update
 
 check: lint
 	$(PY) pytest -q -m "not chaos"
@@ -42,3 +43,16 @@ bench-obs:
 # committed BENCH_*.json baselines (see benchmarks/check_regression.py).
 bench-check:
 	PYTHONPATH=src python benchmarks/check_regression.py
+
+# Accuracy drift gate: re-run the canonical seeded sweep into a fresh
+# ledger and check it against the committed reference bands.
+drift:
+	rm -f /tmp/repro-drift-ledger.jsonl
+	$(PY) repro runs record --ledger /tmp/repro-drift-ledger.jsonl
+	$(PY) repro runs drift --ledger /tmp/repro-drift-ledger.jsonl
+
+# Rebaseline the drift gate after an intentional accuracy change:
+# regenerates benchmarks/results/ledger_seed0.jsonl and
+# REFERENCE_accuracy.json; review the diff and commit both.
+reference-update:
+	PYTHONPATH=src python benchmarks/update_reference.py

@@ -1,0 +1,83 @@
+"""Regenerate the committed drift-watch reference state.
+
+Runs the canonical seeded sweep (:func:`repro.obs.drift.reference_configs`)
+into a fresh ``benchmarks/results/ledger_seed0.jsonl`` and rebuilds
+``benchmarks/results/REFERENCE_accuracy.json`` from it with the default
+tolerance bands and ordering constraints.  Invoked by
+``make reference-update``; run it whenever an intentional accuracy change
+lands (see EXPERIMENTS.md), review the diff, and commit both files.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/update_reference.py [--results DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.runner import run_experiment
+from repro.obs.drift import (
+    DEFAULT_LEDGER_PATH,
+    DEFAULT_REFERENCE_PATH,
+    build_reference,
+    check_drift,
+    reference_configs,
+    write_reference,
+)
+from repro.obs.ledger import RunLedger
+from repro.obs.provenance import provenance
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results", type=Path, default=Path("benchmarks/results"),
+        help="directory holding the committed ledger and reference files",
+    )
+    args = parser.parse_args(argv)
+
+    ledger_path = args.results / DEFAULT_LEDGER_PATH.name
+    reference_path = args.results / DEFAULT_REFERENCE_PATH.name
+    if ledger_path.exists():
+        ledger_path.unlink()  # the reference ledger is regenerated whole
+    ledger = RunLedger(ledger_path)
+
+    configs = reference_configs()
+    for config in configs:
+        result = run_experiment(config, ledger=ledger)
+        print(
+            f"swept {config.preset} ({config.input_regime} regime): "
+            f"{len(result.runs)} ok, {len(result.failures)} failed"
+        )
+
+    records = ledger.records()
+    reference = build_reference(
+        records,
+        source={
+            "configs": [
+                {
+                    "preset": c.preset,
+                    "input_regime": c.input_regime,
+                    "scale": c.scale,
+                    "seed": c.seed,
+                }
+                for c in configs
+            ],
+            "provenance": provenance(),
+        },
+    )
+    written = write_reference(reference_path, reference)
+    print(f"ledger written to {ledger_path} ({len(records)} records)")
+    print(f"reference written to {written} ({len(reference['cells'])} cells)")
+
+    # Sanity: the freshly generated pair must agree with itself.
+    report = check_drift(records, reference)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

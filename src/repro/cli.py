@@ -12,14 +12,20 @@ Usage (after ``pip install -e .``)::
         --timeout 30 --memory-budget 512 --retries 2 --on-error fallback
     python -m repro match dbp15k/zh_en --matcher Sink. --profile out.json
     python -m repro match dbp15k/zh_en --matcher CSLS --index ivf --k 50 --nprobe 4
+    python -m repro match dbp15k/zh_en --matcher Hun. --ledger runs.jsonl --events -
     python -m repro index build dbp15k/zh_en --regime R -o out/zh_en.ivf.json
     python -m repro index stats out/zh_en.ivf.json
     python -m repro profile summarize out.json
+    python -m repro explain dbp15k/zh_en --query 3        # Appendix D case study
+    python -m repro runs list --ledger runs.jsonl
+    python -m repro runs record --ledger runs.jsonl       # canonical seeded sweep
+    python -m repro runs drift                            # gate vs committed bands
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from contextlib import ExitStack
 from pathlib import Path
@@ -28,6 +34,7 @@ from typing import Callable, Sequence
 from repro.core.registry import available_matchers, create_matcher
 from repro.datasets.zoo import list_presets, load_preset
 from repro.errors import MatcherError
+from repro.eval.explain import explain_decision, format_report
 from repro.eval.metrics import evaluate_pairs
 from repro.experiments.figures import (
     figure4_top5_std,
@@ -38,7 +45,7 @@ from repro.experiments.figures import (
 from repro.experiments.regimes import build_embeddings
 from repro.experiments.report import generate_report
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import _gold_local_pairs
+from repro.experiments.runner import _gold_local_pairs, run_experiment
 from repro.experiments.tables import (
     table3_dataset_statistics,
     table4_structure_only,
@@ -49,8 +56,17 @@ from repro.experiments.tables import (
 )
 from repro.index import INDEX_KINDS, IndexConfig, IVFIndex, build_candidates
 from repro.kg.io import save_alignment_task
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.drift import (
+    DEFAULT_LEDGER_PATH,
+    DEFAULT_REFERENCE_PATH,
+    check_drift,
+    load_reference,
+    reference_configs,
+)
+from repro.obs.ledger import RunLedger, as_ledger, build_record, fingerprint_payload
 from repro.obs.profile import build_profile, load_profile, summarize, write_profile
 from repro.runtime.supervisor import RunSupervisor, SupervisorPolicy
 from repro.similarity.engine import SimilarityEngine
@@ -139,6 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record the run under the tracing layer and "
                             "write a schema-versioned JSON profile (spans, "
                             "events, metric counters) to PATH")
+    match.add_argument("--ledger", type=Path, default=None, metavar="PATH",
+                       help="append one provenance-stamped record for this "
+                            "run to the JSONL run ledger at PATH "
+                            "(see 'repro runs')")
+    match.add_argument("--events", default=None, metavar="PATH",
+                       help="stream live telemetry events: '-' renders "
+                            "human-readable lines on stderr, anything else "
+                            "appends JSONL to that path")
     match.add_argument("--index", choices=INDEX_KINDS, default=None,
                        help="run the sparse matching path on candidate "
                             "lists: 'exact' streams the true top-k, 'ivf' "
@@ -178,6 +202,55 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="render a profile JSON as a flame-style text summary"
     )
     summ.add_argument("path", type=Path)
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="explain one query's matching decision (paper Appendix D)",
+    )
+    explain.add_argument("preset")
+    explain.add_argument("--query", type=int, required=True, metavar="ID",
+                         help="test-query row to explain (0-based position "
+                              "in the preset's test split)")
+    explain.add_argument("--regime", default="R",
+                         help="embedding regime (R/G/N/NR/gcn/rrea)")
+    explain.add_argument("--scale", type=float, default=1.0)
+    explain.add_argument("--top-k", type=int, default=5,
+                         help="candidates listed in the report")
+    explain.add_argument("--csls-k", type=int, default=2,
+                         help="CSLS neighbourhood size for the rescaled view")
+
+    runs = subparsers.add_parser(
+        "runs", help="inspect run-ledger files and watch for accuracy drift"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="one line per ledger record, oldest first"
+    )
+    runs_list.add_argument("--ledger", type=Path, default=DEFAULT_LEDGER_PATH)
+    runs_list.add_argument("--status", choices=["ok", "degraded", "failed"],
+                           default=None, help="only records with this status")
+    runs_show = runs_sub.add_parser(
+        "show", help="full JSON of one record, by run id (or unique prefix)"
+    )
+    runs_show.add_argument("run_id")
+    runs_show.add_argument("--ledger", type=Path, default=DEFAULT_LEDGER_PATH)
+    runs_diff = runs_sub.add_parser(
+        "diff", help="per-cell metric deltas between two ledgers' latest records"
+    )
+    runs_diff.add_argument("old", type=Path)
+    runs_diff.add_argument("new", type=Path)
+    runs_record = runs_sub.add_parser(
+        "record",
+        help="run the canonical seeded reference sweep, appending to a ledger",
+    )
+    runs_record.add_argument("--ledger", type=Path, required=True)
+    runs_drift = runs_sub.add_parser(
+        "drift",
+        help="check a ledger's latest records against committed reference "
+             "bands; exits nonzero on violation",
+    )
+    runs_drift.add_argument("--ledger", type=Path, default=DEFAULT_LEDGER_PATH)
+    runs_drift.add_argument("--reference", type=Path, default=DEFAULT_REFERENCE_PATH)
     return parser
 
 
@@ -209,17 +282,29 @@ def _run_match(
     policy: SupervisorPolicy | None = None,
     profile_path: Path | None = None,
     index_config: IndexConfig | None = None,
+    ledger_path: Path | None = None,
+    events_spec: str | None = None,
 ) -> int:
     task = load_preset(preset, scale=scale)
     embeddings = build_embeddings(task, regime, preset_name=preset)
     queries = task.test_query_ids()
     candidates = task.candidate_target_ids()
     matcher = create_matcher(matcher_name)
+    metric = getattr(matcher, "metric", "cosine")
+    if not isinstance(metric, str):
+        metric = "cosine"
     supervisor = RunSupervisor(policy or SupervisorPolicy())
+    run_ledger = as_ledger(ledger_path)
     with SimilarityEngine(workers=workers, dtype=dtype, cache=not no_cache) as engine:
         matcher.engine = engine
         recorder = registry = None
         with ExitStack() as stack:
+            if events_spec is not None:
+                sink = (
+                    obs_events.HumanSink() if events_spec == "-"
+                    else obs_events.JsonlSink(events_spec)
+                )
+                stack.enter_context(obs_events.emitting(sink))
             if profile_path is not None:
                 recorder = stack.enter_context(obs_trace.recording())
                 registry = stack.enter_context(obs_metrics.scoped())
@@ -246,6 +331,11 @@ def _run_match(
         if not run.ok:
             # on_error="skip" (raise propagates before we get here).
             print(f"match failed: {run.describe()}", file=sys.stderr)
+            if run_ledger is not None:
+                run_ledger.append(_match_record(
+                    preset=preset, regime=regime, matcher_name=matcher_name,
+                    scale=scale, metric=metric, run=run, engine=engine,
+                ))
             return 1
         result = run.result
         metrics = evaluate_pairs(
@@ -267,6 +357,7 @@ def _run_match(
                   f"recall={candidate_set.recall(gold_pairs):.3f}")
         print(f"  engine: workers={engine.workers} dtype={engine.dtype.name} "
               f"cache={engine.cache_info()}")
+        profile_written: Path | None = None
         if profile_path is not None:
             document = build_profile(
                 recorder,
@@ -281,9 +372,63 @@ def _run_match(
                     "dtype": engine.dtype.name,
                 },
             )
-            written = write_profile(profile_path, document)
-            print(f"  profile written to {written}")
+            profile_written = write_profile(profile_path, document)
+            print(f"  profile written to {profile_written}")
+        if run_ledger is not None:
+            run_ledger.append(_match_record(
+                preset=preset, regime=regime, matcher_name=matcher_name,
+                scale=scale, metric=metric, run=run, metrics=metrics,
+                engine=engine, profile_path=profile_written,
+            ))
     return 0
+
+
+def _match_record(
+    *,
+    preset: str,
+    regime: str,
+    matcher_name: str,
+    scale: float,
+    metric: str,
+    run,
+    metrics=None,
+    engine: SimilarityEngine | None = None,
+    profile_path: Path | None = None,
+) -> dict:
+    """One ledger record for a ``repro match`` invocation."""
+    status = "failed" if not run.ok else ("degraded" if run.degraded else "ok")
+    error = None
+    if run.error is not None:
+        error = {"type": type(run.error).__name__, "message": str(run.error)}
+    result = run.result
+    return build_record(
+        fingerprint=fingerprint_payload({
+            "preset": preset, "regime": regime, "matcher": matcher_name,
+            "scale": scale, "metric": metric,
+        }),
+        preset=preset,
+        regime=regime,
+        task=preset,
+        matcher=matcher_name,
+        # `repro match` builds embeddings at the regime default seed.
+        seed=0,
+        scale=scale,
+        metric=metric,
+        status=status,
+        metrics=None if metrics is None else {
+            "precision": metrics.precision,
+            "recall": metrics.recall,
+            "f1": metrics.f1,
+        },
+        seconds=result.seconds if result is not None else 0.0,
+        peak_bytes=result.peak_bytes if result is not None else 0,
+        attempts=len(run.attempts),
+        fallback=run.executed if run.degraded else None,
+        chain=list(run.chain),
+        error=error,
+        engine=engine.cache_info() if engine is not None else None,
+        profile_path=str(profile_path) if profile_path is not None else None,
+    )
 
 
 def _run_index_build(args: argparse.Namespace) -> int:
@@ -338,6 +483,153 @@ def _match_policy(args: argparse.Namespace) -> SupervisorPolicy:
     )
 
 
+def _run_explain(args: argparse.Namespace) -> int:
+    """Render one query's decision report (the paper's Appendix D view)."""
+    task = load_preset(args.preset, scale=args.scale)
+    embeddings = build_embeddings(task, args.regime, preset_name=args.preset)
+    queries = task.test_query_ids()
+    candidates = task.candidate_target_ids()
+    if not 0 <= args.query < len(queries):
+        print(
+            f"--query must be in [0, {len(queries)}) for {args.preset} "
+            f"at scale {args.scale}",
+            file=sys.stderr,
+        )
+        return 1
+    with SimilarityEngine() as engine:
+        scores = engine.similarity(
+            embeddings.source[queries], embeddings.target[candidates]
+        )
+    try:
+        report = explain_decision(
+            scores, args.query, top_k=args.top_k, csls_k=args.csls_k
+        )
+    except ValueError as err:
+        print(f"cannot explain query {args.query}: {err}", file=sys.stderr)
+        return 1
+    candidate_names = {
+        pos: task.target.entities[int(entity)]
+        for pos, entity in enumerate(candidates)
+    }
+    query_name = task.source.entities[int(queries[args.query])]
+    print(format_report(
+        report, query_name=query_name, candidate_names=candidate_names
+    ))
+    return 0
+
+
+def _read_ledger(path: Path) -> list[dict] | None:
+    """Load and validate a ledger file; report problems on stderr."""
+    ledger = RunLedger(path)
+    if not ledger.path.exists():
+        print(f"no ledger at {path}", file=sys.stderr)
+        return None
+    try:
+        return ledger.records()
+    except ValueError as err:
+        print(f"corrupt ledger: {err}", file=sys.stderr)
+        return None
+
+
+def _record_line(record: dict) -> str:
+    """One ``runs list`` line: identity, status, accuracy, cost."""
+    metrics = record["metrics"] or {}
+    f1 = metrics.get("f1")
+    f1_text = f"f1={f1:.3f}" if f1 is not None else "f1=  -  "
+    cell = f"{record['preset']}/{record['regime']}"
+    return (
+        f"{record['run_id'][:12]}  {record['created_at']}  "
+        f"{record['status']:<8s} {cell:<24s} {record['matcher']:<8s} "
+        f"{f1_text}  {record['seconds']:7.3f}s"
+    )
+
+
+def _runs_list(args: argparse.Namespace) -> int:
+    records = _read_ledger(args.ledger)
+    if records is None:
+        return 1
+    for record in records:
+        if args.status is not None and record["status"] != args.status:
+            continue
+        print(_record_line(record))
+    return 0
+
+
+def _runs_show(args: argparse.Namespace) -> int:
+    records = _read_ledger(args.ledger)
+    if records is None:
+        return 1
+    matches = [r for r in records if r["run_id"].startswith(args.run_id)]
+    if not matches:
+        print(f"no record with run id {args.run_id!r}", file=sys.stderr)
+        return 1
+    if len(matches) > 1 and any(r["run_id"] != matches[0]["run_id"] for r in matches):
+        print(f"run id prefix {args.run_id!r} is ambiguous "
+              f"({len(matches)} records)", file=sys.stderr)
+        return 1
+    print(json.dumps(matches[-1], indent=2, sort_keys=False))
+    return 0
+
+
+def _cell_f1(record: dict) -> float | None:
+    return (record["metrics"] or {}).get("f1")
+
+
+def _runs_diff(args: argparse.Namespace) -> int:
+    old_records = _read_ledger(args.old)
+    new_records = _read_ledger(args.new)
+    if old_records is None or new_records is None:
+        return 1
+    old = RunLedger(args.old).latest_cells()
+    new = RunLedger(args.new).latest_cells()
+    for key in sorted(set(old) | set(new)):
+        label = "/".join(key)
+        if key not in old:
+            f1 = _cell_f1(new[key])
+            value = f"{f1:.3f}" if f1 is not None else new[key]["status"]
+            print(f"+ {label}: only in {args.new} (f1={value})")
+        elif key not in new:
+            print(f"- {label}: only in {args.old}")
+        else:
+            f1_old, f1_new = _cell_f1(old[key]), _cell_f1(new[key])
+            if f1_old is None or f1_new is None:
+                print(f"! {label}: {old[key]['status']} -> {new[key]['status']}")
+            else:
+                delta = f1_new - f1_old
+                marker = "=" if abs(delta) < 1e-9 else "!"
+                print(f"{marker} {label}: f1 {f1_old:.3f} -> {f1_new:.3f} "
+                      f"({delta:+.3f})")
+    return 0
+
+
+def _runs_record(args: argparse.Namespace) -> int:
+    """Run the canonical seeded sweep, appending one record per cell."""
+    ledger = RunLedger(args.ledger)
+    for config in reference_configs():
+        result = run_experiment(config, ledger=ledger)
+        print(
+            f"recorded {config.preset} ({config.input_regime} regime, "
+            f"seed={config.seed}, scale={config.scale}): "
+            f"{len(result.runs)} ok, {len(result.failures)} failed"
+        )
+    print(f"ledger at {args.ledger}")
+    return 0
+
+
+def _runs_drift(args: argparse.Namespace) -> int:
+    try:
+        reference = load_reference(args.reference)
+    except (OSError, ValueError) as err:
+        print(f"cannot load reference {args.reference}: {err}", file=sys.stderr)
+        return 1
+    records = _read_ledger(args.ledger)
+    if records is None:
+        return 1
+    report = check_drift(records, reference)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "tables":
@@ -370,6 +662,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 workers=args.workers, dtype=args.dtype, no_cache=args.no_cache,
                 policy=_match_policy(args), profile_path=args.profile,
                 index_config=_match_index_config(args),
+                ledger_path=args.ledger, events_spec=args.events,
             )
         except MatcherError as err:
             # --on-error raise tripped: one-line summary, non-zero exit.
@@ -388,6 +681,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"cannot summarize {args.path}: {err}", file=sys.stderr)
             return 1
         return 0
+    if args.command == "explain":
+        return _run_explain(args)
+    if args.command == "runs":
+        handlers = {
+            "list": _runs_list,
+            "show": _runs_show,
+            "diff": _runs_diff,
+            "record": _runs_record,
+            "drift": _runs_drift,
+        }
+        return handlers[args.runs_command](args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

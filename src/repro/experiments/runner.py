@@ -24,7 +24,9 @@ behaviour is unchanged (exceptions propagate immediately).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -41,8 +43,10 @@ from repro.experiments.regimes import build_embeddings
 from repro.index.candidates import CandidateSet
 from repro.index.config import IndexConfig, build_candidates
 from repro.kg.pair import AlignmentTask
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.ledger import RunLedger, as_ledger, build_record, config_fingerprint
 from repro.obs.profile import build_profile
 from repro.runtime.supervisor import RunSupervisor, SupervisorPolicy
 from repro.similarity.engine import SimilarityEngine
@@ -61,6 +65,12 @@ class MatcherRun:
     fallback: str | None = None
     #: Total supervised attempts across the fallback chain (1 = clean).
     attempts: int = 1
+    #: Matchers tried in order under supervision (e.g. ``("Hun.",
+    #: "Greedy")`` after one ladder hop); empty for unsupervised runs.
+    chain: tuple[str, ...] = ()
+    #: Process CPU seconds across the cell, measured only when a run
+    #: ledger is recording (None otherwise — the clean path stays free).
+    cpu_seconds: float | None = None
 
     @property
     def f1(self) -> float:
@@ -84,6 +94,8 @@ class FailedRun:
     fallback: str | None = None
     #: Supervised attempts consumed before resolution.
     attempts: int = 1
+    #: Matchers tried in order before the run resolved.
+    chain: tuple[str, ...] = ()
 
     @property
     def error_type(self) -> str:
@@ -143,6 +155,7 @@ def run_experiment(
     supervisor: RunSupervisor | None = None,
     matcher_factory: Callable[..., Matcher] | None = None,
     profile: bool = False,
+    ledger: "RunLedger | Path | str | None" = None,
 ) -> ExperimentResult:
     """Execute ``config`` and return the per-matcher results.
 
@@ -177,7 +190,23 @@ def run_experiment(
     and scoped metrics registry, attaching one schema-versioned profile
     document per matcher to :attr:`ExperimentResult.profiles` — the
     evidence trail behind the cell's time/memory numbers.
+
+    ``ledger`` (a :class:`~repro.obs.ledger.RunLedger` or a path)
+    appends one durable, provenance-stamped record per matcher cell —
+    including failed and degraded cells — as the sweep progresses; see
+    :mod:`repro.obs.ledger`.  The sweep also emits live telemetry
+    events (:mod:`repro.obs.events`) throughout; with no sink installed
+    both features cost a branch per cell.
     """
+    run_ledger = as_ledger(ledger)
+    obs_events.emit(
+        "experiment.start",
+        preset=config.preset,
+        regime=config.input_regime,
+        seed=config.seed,
+        scale=config.scale,
+        matchers=len(config.matchers),
+    )
     if task is None:
         task = load_preset(config.preset, scale=config.scale)
     embeddings = build_embeddings(
@@ -215,6 +244,14 @@ def run_experiment(
         # candidate entries — the dense matrix is never materialised.
         top5_std = candidate_set.top5_std()
         ranking = candidate_set.ranking_diagnostics(gold)
+    obs_events.emit(
+        "experiment.scores_ready",
+        preset=config.preset,
+        regime=config.input_regime,
+        top5_std=top5_std,
+        hits1=ranking.get("hits@1", 0.0),
+        sparse=candidate_set is not None,
+    )
 
     result = ExperimentResult(
         config=config,
@@ -222,6 +259,7 @@ def run_experiment(
         top5_std=top5_std,
         ranking=ranking,
     )
+    fingerprint = config_fingerprint(config) if run_ledger is not None else ""
     try:
         for name in config.matchers:
             matcher = factory(name, metric=config.metric, **config.options_for(name))
@@ -246,26 +284,142 @@ def run_experiment(
                     gold, embeddings, task, candidate_set,
                 )
 
+            obs_events.emit(
+                "matcher.start",
+                matcher=name,
+                preset=config.preset,
+                regime=config.input_regime,
+            )
+            cpu0 = time.process_time() if run_ledger is not None else 0.0
             if not profile:
                 run_cell()
-                continue
-            with obs_trace.recording() as recorder, obs_metrics.scoped() as registry:
-                run_cell()
-            result.profiles[name] = build_profile(
-                recorder,
-                registry,
-                meta={
-                    "matcher": name,
-                    "preset": config.preset,
-                    "regime": config.input_regime,
-                    "task": task.name,
-                    "seed": config.seed,
-                },
-            )
+            else:
+                with obs_trace.recording() as recorder, obs_metrics.scoped() as registry:
+                    run_cell()
+                result.profiles[name] = build_profile(
+                    recorder,
+                    registry,
+                    meta={
+                        "matcher": name,
+                        "preset": config.preset,
+                        "regime": config.input_regime,
+                        "task": task.name,
+                        "seed": config.seed,
+                    },
+                )
+            _emit_cell_finished(result, name)
+            if run_ledger is not None:
+                _append_cell_record(
+                    run_ledger,
+                    result,
+                    name,
+                    fingerprint,
+                    cpu_seconds=time.process_time() - cpu0,
+                    engine=engine,
+                )
     finally:
         if owns_engine:
             engine.close()
+    obs_events.emit(
+        "experiment.finish",
+        preset=config.preset,
+        regime=config.input_regime,
+        ok=sum(1 for run in result.runs.values() if not run.degraded),
+        degraded=sum(1 for run in result.runs.values() if run.degraded),
+        failed=sum(1 for f in result.failures.values() if f.resolution == "skipped"),
+    )
     return result
+
+
+def _emit_cell_finished(result: ExperimentResult, name: str) -> None:
+    """One ``matcher.finish`` telemetry event per completed cell."""
+    if not obs_events.enabled():
+        return
+    run = result.runs.get(name)
+    if run is not None:
+        obs_events.emit(
+            "matcher.finish",
+            matcher=name,
+            status="degraded" if run.degraded else "ok",
+            f1=run.f1,
+            seconds=run.seconds,
+            fallback=run.fallback,
+        )
+        return
+    failure = result.failures.get(name)
+    obs_events.emit(
+        "matcher.finish",
+        matcher=name,
+        status="failed",
+        error=failure.error_type if failure is not None else None,
+    )
+
+
+def _append_cell_record(
+    ledger: RunLedger,
+    result: ExperimentResult,
+    name: str,
+    fingerprint: str,
+    *,
+    cpu_seconds: float,
+    engine: SimilarityEngine,
+) -> None:
+    """Durable ledger record for one matcher cell (clean, degraded, or failed)."""
+    config = result.config
+    common = {
+        "fingerprint": fingerprint,
+        "preset": config.preset,
+        "regime": config.input_regime,
+        "task": result.task_name,
+        "seed": config.seed,
+        "scale": config.scale,
+        "metric": config.metric,
+        "ranking": result.ranking,
+        "top5_std": result.top5_std,
+        "engine": engine.cache_info(),
+    }
+    run = result.runs.get(name)
+    failure = result.failures.get(name)
+    error = None
+    if failure is not None:
+        error = {"type": failure.error_type, "message": failure.message}
+    if run is not None:
+        result.runs[name] = run = replace(run, cpu_seconds=cpu_seconds)
+        ledger.append(
+            build_record(
+                matcher=name,
+                status="degraded" if run.degraded else "ok",
+                metrics={
+                    "precision": run.metrics.precision,
+                    "recall": run.metrics.recall,
+                    "f1": run.metrics.f1,
+                },
+                seconds=run.seconds,
+                cpu_seconds=cpu_seconds,
+                peak_bytes=run.peak_bytes,
+                attempts=run.attempts,
+                fallback=run.fallback,
+                chain=list(run.chain),
+                error=error,
+                **common,
+            )
+        )
+        return
+    if failure is None:  # pragma: no cover - every cell resolves one way
+        return
+    ledger.append(
+        build_record(
+            matcher=name,
+            status="failed",
+            metrics=None,
+            cpu_seconds=cpu_seconds,
+            attempts=failure.attempts,
+            fallback=failure.fallback,
+            chain=list(failure.chain),
+            error=error,
+            **common,
+        )
+    )
 
 
 def _run_supervised(
@@ -292,6 +446,7 @@ def _run_supervised(
         error = as_matcher_error(err, matcher=name, stage="fit", **context)
         obs_metrics.get_metrics().inc("runner.fit_failures")
         obs_trace.event("runner.fit_failure", matcher=name, error=type(error).__name__)
+        obs_events.emit("runner.fit_failure", matcher=name, error=type(error).__name__)
         if supervisor.policy.on_error == "raise":
             raise error from err
         result.failures[name] = FailedRun(
@@ -314,6 +469,7 @@ def _run_supervised(
             peak_bytes=run.result.peak_bytes,
             fallback=run.executed if run.degraded else None,
             attempts=len(run.attempts),
+            chain=tuple(run.chain),
         )
         if run.degraded:
             # Never silently: a degraded cell is both a result and a
@@ -324,6 +480,7 @@ def _run_supervised(
                 resolution="fallback",
                 fallback=run.executed,
                 attempts=len(run.attempts),
+                chain=tuple(run.chain),
             )
     else:
         result.failures[name] = FailedRun(
@@ -331,6 +488,7 @@ def _run_supervised(
             error=run.error,
             resolution="skipped",
             attempts=len(run.attempts),
+            chain=tuple(run.chain),
         )
 
 

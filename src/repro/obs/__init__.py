@@ -9,9 +9,38 @@ Zero-dependency instrumentation for the matching hot paths:
   (engine cache hits, Sinkhorn iterations, supervisor retries).
 * :mod:`repro.obs.profile` — schema-versioned JSON profile documents
   plus a flame-style text summary (``repro profile summarize``).
+* :mod:`repro.obs.events` — live telemetry: progress/heartbeat events
+  from runner/supervisor/engine through pluggable sinks (human-readable
+  stderr, JSONL file, in-memory); disabled by default.
+* :mod:`repro.obs.ledger` — append-only, schema-versioned JSONL run
+  ledger: one provenance-stamped record per matcher run
+  (``repro runs list/show/diff``).
+* :mod:`repro.obs.drift` — accuracy drift gate comparing ledger records
+  against committed reference bands (``repro runs drift``).
+* :mod:`repro.obs.provenance` — the shared git/interpreter/library
+  stamp carried by ledger records and profile documents.
 """
 
+from repro.obs.drift import DriftReport, Violation, check_drift
+from repro.obs.events import (
+    Event,
+    EventSink,
+    HumanSink,
+    JsonlSink,
+    MemorySink,
+    emit,
+    emitting,
+)
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    LEDGER_VERSION,
+    RunLedger,
+    build_record,
+    config_fingerprint,
+    validate_record,
+)
 from repro.obs.metrics import MetricsRegistry, get_metrics, scoped
+from repro.obs.provenance import provenance
 from repro.obs.profile import (
     PROFILE_SCHEMA,
     PROFILE_VERSION,
@@ -35,6 +64,23 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DriftReport",
+    "Violation",
+    "check_drift",
+    "Event",
+    "EventSink",
+    "HumanSink",
+    "JsonlSink",
+    "MemorySink",
+    "emit",
+    "emitting",
+    "LEDGER_SCHEMA",
+    "LEDGER_VERSION",
+    "RunLedger",
+    "build_record",
+    "config_fingerprint",
+    "validate_record",
+    "provenance",
     "MetricsRegistry",
     "get_metrics",
     "scoped",

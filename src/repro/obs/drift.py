@@ -1,0 +1,319 @@
+"""Accuracy drift watch: ledger records vs. committed reference bands.
+
+Benchmarking studies (OpenEA; Dao et al.) make the same methodological
+point as EXPERIMENTS.md: reproducible comparison needs explicit
+tolerance bands, not eyeballed tables.  This module is that gate for the
+reproduction's own history.  A *reference document*
+(``benchmarks/results/REFERENCE_accuracy.json``) commits, per
+(preset, regime, matcher) cell, the seed-0 F1 and Hits@1 with a
+tolerance band, plus the paper's qualitative *ordering* constraints
+("Sink. >= DInf on R-DBP"); :func:`check_drift` compares the latest
+ledger record of each cell against those bands and reports every
+violation with the offending matcher, metric, observed value, and band.
+``repro runs drift`` exits nonzero on any violation — the CI job that
+turns an accuracy regression into a red build instead of a published
+wrong table.
+
+The canonical seeded sweep behind the committed reference lives in
+:func:`reference_configs`; ``make reference-update`` regenerates both
+the seed-0 ledger and the reference document from it (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs.ledger import RECORD_STATUSES, cell_key
+
+#: Document identifier; readers reject anything else.
+REFERENCE_SCHEMA = "repro.reference_accuracy"
+#: Bumped on breaking changes only (removed/retyped required keys).
+REFERENCE_VERSION = 1
+
+#: Default committed artifact locations (repo-relative), shared by the
+#: CLI defaults, the Makefile targets, and the CI drift job.
+DEFAULT_REFERENCE_PATH = Path("benchmarks/results/REFERENCE_accuracy.json")
+DEFAULT_LEDGER_PATH = Path("benchmarks/results/ledger_seed0.jsonl")
+
+#: Per-metric tolerance applied when building a reference.  The sweeps
+#: are deterministic under a fixed seed, but BLAS summation order and
+#: argmax tie-breaks may shift a few decisions across platforms, so the
+#: bands absorb small wobble while catching real regressions.
+DEFAULT_TOLERANCES: Mapping[str, float] = {"f1": 0.05, "hits@1": 0.05}
+
+
+def reference_configs() -> list["ExperimentConfig"]:
+    """The canonical seeded sweep the committed reference is built from.
+
+    Small enough for CI (three sweeps, well under a minute) yet wide
+    enough to cover the paper's headline shapes: a dense DBP preset
+    under both the strong (R) and weak (G) encoder regimes, and a sparse
+    SRPRS preset under R.
+    """
+    from repro.experiments.config import ExperimentConfig
+
+    return [
+        ExperimentConfig(preset="dbp15k/zh_en", input_regime="R", scale=0.5, seed=0),
+        ExperimentConfig(preset="dbp15k/zh_en", input_regime="G", scale=0.5, seed=0),
+        ExperimentConfig(preset="srprs/en_fr", input_regime="R", scale=0.5, seed=0),
+    ]
+
+
+#: Ordering constraints mirroring EXPERIMENTS.md's asserted shapes.
+#: Each says: on (preset, regime), ``higher``'s metric must be at least
+#: ``lower``'s minus ``margin``.
+DEFAULT_ORDERINGS: tuple[dict[str, Any], ...] = (
+    {"preset": "dbp15k/zh_en", "regime": "R", "higher": "Sink.", "lower": "DInf",
+     "metric": "f1", "margin": 0.0},
+    {"preset": "dbp15k/zh_en", "regime": "R", "higher": "Hun.", "lower": "DInf",
+     "metric": "f1", "margin": 0.0},
+    {"preset": "dbp15k/zh_en", "regime": "G", "higher": "Sink.", "lower": "DInf",
+     "metric": "f1", "margin": 0.0},
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One drift-gate failure, naming exactly what moved and by how much."""
+
+    #: "band" (metric left its tolerance band), "ordering" (a
+    #: qualitative constraint flipped), "missing" (no ledger record for
+    #: a reference cell), or "failed" (the cell's latest run failed).
+    kind: str
+    preset: str
+    regime: str
+    matcher: str
+    metric: str
+    observed: float | None = None
+    expected_low: float | None = None
+    expected_high: float | None = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        cell = f"{self.preset}/{self.regime}/{self.matcher}"
+        if self.kind == "band":
+            observed = "missing" if self.observed is None else f"{self.observed:.4f}"
+            return (
+                f"{cell}: {self.metric}={observed} outside "
+                f"[{self.expected_low:.4f}, {self.expected_high:.4f}]"
+            )
+        if self.kind == "ordering":
+            return f"{cell}: ordering violated — {self.detail}"
+        if self.kind == "missing":
+            return f"{cell}: no ledger record for reference cell"
+        return f"{cell}: latest run failed ({self.detail})"
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one drift check: every violation plus a cell tally."""
+
+    violations: list[Violation] = field(default_factory=list)
+    cells_checked: int = 0
+    orderings_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        lines = [
+            f"drift check: {self.cells_checked} cells, "
+            f"{self.orderings_checked} orderings, "
+            f"{len(self.violations)} violation(s)"
+        ]
+        lines.extend(f"  DRIFT {v.describe()}" for v in self.violations)
+        if self.ok:
+            lines.append("  all cells within reference bands")
+        return "\n".join(lines)
+
+
+def build_reference(
+    records: Iterable[Mapping[str, Any]],
+    *,
+    tolerances: Mapping[str, float] = DEFAULT_TOLERANCES,
+    orderings: Iterable[Mapping[str, Any]] = DEFAULT_ORDERINGS,
+    source: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Reference document from a seeded ledger's successful records.
+
+    Each completed cell contributes its F1 and (space-level) Hits@1 with
+    the per-metric tolerance; ``orderings`` are copied through after
+    checking they refer to recorded cells.  ``source`` is free-form
+    metadata describing the generating run (seed, scale, git SHA).
+    """
+    cells: dict[str, dict[str, Any]] = {}
+    latest: dict[tuple[str, str, str], Mapping[str, Any]] = {}
+    for record in records:
+        latest[cell_key(record)] = record
+    for (preset, regime, matcher), record in sorted(latest.items()):
+        if record["status"] == "failed":
+            continue
+        metrics = {"f1": record["metrics"]["f1"]}
+        if "hits@1" in record["ranking"]:
+            metrics["hits@1"] = record["ranking"]["hits@1"]
+        cells["|".join((preset, regime, matcher))] = {
+            "metrics": metrics,
+            "tolerance": {name: tolerances.get(name, 0.05) for name in metrics},
+        }
+    if not cells:
+        raise ValueError("cannot build a reference from zero successful records")
+    orderings = [dict(entry) for entry in orderings]
+    for entry in orderings:
+        for side in ("higher", "lower"):
+            key = "|".join((entry["preset"], entry["regime"], entry[side]))
+            if key not in cells:
+                raise ValueError(f"ordering refers to unrecorded cell {key!r}")
+    return {
+        "schema": REFERENCE_SCHEMA,
+        "version": REFERENCE_VERSION,
+        "source": dict(source or {}),
+        "cells": cells,
+        "orderings": orderings,
+    }
+
+
+def validate_reference(document: Any) -> dict[str, Any]:
+    """Check a reference document's structural contract; return it."""
+    if not isinstance(document, dict):
+        raise ValueError(
+            f"reference must be a JSON object, got {type(document).__name__}"
+        )
+    if document.get("schema") != REFERENCE_SCHEMA:
+        raise ValueError(
+            f"unknown reference schema {document.get('schema')!r}; "
+            f"expected {REFERENCE_SCHEMA!r}"
+        )
+    if document.get("version") != REFERENCE_VERSION:
+        raise ValueError(
+            f"unsupported reference version {document.get('version')!r}; "
+            f"this library reads version {REFERENCE_VERSION}"
+        )
+    if not isinstance(document.get("cells"), dict) or not document["cells"]:
+        raise ValueError("reference 'cells' must be a non-empty mapping")
+    for key, cell in document["cells"].items():
+        if len(key.split("|")) != 3:
+            raise ValueError(f"reference cell key {key!r} is not 'preset|regime|matcher'")
+        if not isinstance(cell, dict) or not isinstance(cell.get("metrics"), dict):
+            raise ValueError(f"reference cell {key!r} must carry a 'metrics' mapping")
+        if not isinstance(cell.get("tolerance"), dict):
+            raise ValueError(f"reference cell {key!r} must carry a 'tolerance' mapping")
+    if not isinstance(document.get("orderings"), list):
+        raise ValueError("reference 'orderings' must be a list")
+    for entry in document["orderings"]:
+        for field_name in ("preset", "regime", "higher", "lower", "metric"):
+            if not isinstance(entry.get(field_name), str):
+                raise ValueError(f"reference ordering missing {field_name!r}: {entry!r}")
+    return document
+
+
+def load_reference(path: Path | str) -> dict[str, Any]:
+    """Read and validate a reference document."""
+    return validate_reference(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def write_reference(path: Path | str, document: Mapping[str, Any]) -> Path:
+    """Serialise a validated reference document as indented JSON."""
+    document = validate_reference(dict(document))
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def _observed(record: Mapping[str, Any], metric: str) -> float | None:
+    """A record's value for a reference metric (F1 from the matcher's
+    own metrics, Hits@k/MRR from the space-level ranking diagnostics)."""
+    if metric in ("precision", "recall", "f1"):
+        metrics = record["metrics"]
+        return None if metrics is None else float(metrics[metric])
+    value = record["ranking"].get(metric)
+    return None if value is None else float(value)
+
+
+def check_drift(
+    records: Iterable[Mapping[str, Any]],
+    reference: Mapping[str, Any],
+) -> DriftReport:
+    """Compare the latest record of every reference cell against its bands.
+
+    Degraded runs are compared like clean ones (their numbers are real,
+    and a fallback that tanks accuracy *is* drift); a cell whose latest
+    record is ``"failed"``, or that has no record at all, is itself a
+    violation — silence is not a pass.
+    """
+    reference = validate_reference(dict(reference))
+    latest: dict[tuple[str, str, str], Mapping[str, Any]] = {}
+    for record in records:
+        if record["status"] not in RECORD_STATUSES:  # pragma: no cover - validated
+            continue
+        latest[cell_key(record)] = record
+    report = DriftReport()
+
+    for key, cell in sorted(reference["cells"].items()):
+        preset, regime, matcher = key.split("|")
+        report.cells_checked += 1
+        record = latest.get((preset, regime, matcher))
+        if record is None:
+            report.violations.append(
+                Violation(kind="missing", preset=preset, regime=regime,
+                          matcher=matcher, metric="-")
+            )
+            continue
+        if record["status"] == "failed":
+            error = record["error"] or {}
+            report.violations.append(
+                Violation(
+                    kind="failed", preset=preset, regime=regime, matcher=matcher,
+                    metric="-",
+                    detail=f"{error.get('type', '?')}: {error.get('message', '')}",
+                )
+            )
+            continue
+        for metric, expected in cell["metrics"].items():
+            tolerance = float(cell["tolerance"].get(metric, 0.0))
+            observed = _observed(record, metric)
+            low, high = float(expected) - tolerance, float(expected) + tolerance
+            if observed is None or not (low <= observed <= high):
+                report.violations.append(
+                    Violation(
+                        kind="band", preset=preset, regime=regime, matcher=matcher,
+                        metric=metric, observed=observed,
+                        expected_low=low, expected_high=high,
+                    )
+                )
+
+    for entry in reference["orderings"]:
+        report.orderings_checked += 1
+        preset, regime = entry["preset"], entry["regime"]
+        metric = entry["metric"]
+        margin = float(entry.get("margin", 0.0))
+        high_rec = latest.get((preset, regime, entry["higher"]))
+        low_rec = latest.get((preset, regime, entry["lower"]))
+        high_val = _observed(high_rec, metric) if high_rec else None
+        low_val = _observed(low_rec, metric) if low_rec else None
+        if high_val is None or low_val is None:
+            report.violations.append(
+                Violation(
+                    kind="ordering", preset=preset, regime=regime,
+                    matcher=entry["higher"], metric=metric,
+                    detail=f"{entry['higher']} or {entry['lower']} has no usable record",
+                )
+            )
+            continue
+        if high_val < low_val - margin:
+            report.violations.append(
+                Violation(
+                    kind="ordering", preset=preset, regime=regime,
+                    matcher=entry["higher"], metric=metric, observed=high_val,
+                    detail=(
+                        f"{entry['higher']} {metric}={high_val:.4f} < "
+                        f"{entry['lower']} {metric}={low_val:.4f} - {margin:g}"
+                    ),
+                )
+            )
+    return report

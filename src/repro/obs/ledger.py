@@ -1,0 +1,293 @@
+"""Append-only, schema-versioned JSONL run ledger.
+
+The paper's campaign is comparative — seven matchers judged by who wins
+and by how much — and comparisons are only trustworthy when every number
+survives its process.  A :class:`RunLedger` is the durable record: one
+JSON line per matcher run, carrying the experiment coordinates (preset,
+regime, matcher, seed, scale, metric), a config fingerprint (the
+ledger's analogue of the similarity engine's content-hash cache key),
+full provenance (git SHA + dirty flag, python/numpy/scipy versions),
+accuracy (precision/recall/F1 plus the space-level Hits@k/MRR
+diagnostics), cost (wall/CPU seconds, peak declared bytes), the engine's
+cache counters, and — for supervised runs — the retry/degradation chain
+and typed error.  Failed runs are first-class records (status
+``"failed"``/``"degraded"``), so ``repro runs list`` surfaces what broke
+alongside what worked.
+
+Appending is *opt-in* (``run_experiment(..., ledger=...)``,
+``AlignmentPipeline(..., ledger=...)``, ``repro match --ledger PATH``)
+and append-only: records are never rewritten, so a ledger file is a
+time-ordered history that ``repro runs list/show/diff/drift`` and the
+drift gate (:mod:`repro.obs.drift`) consume directly.
+
+Schema policy mirrors the profile document's (DESIGN.md §7): ``version``
+bumps only when a required key is removed or retyped; additive keys do
+not bump it.  :func:`validate_record` is the structural contract every
+reader and writer runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import uuid
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+from repro.obs.provenance import provenance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import ExperimentConfig
+
+#: Document identifier; readers reject anything else.
+LEDGER_SCHEMA = "repro.run_ledger"
+#: Bumped on breaking changes only (removed/retyped required keys).
+LEDGER_VERSION = 1
+
+#: Every record's required keys and their JSON types.
+_RECORD_KEYS: dict[str, type | tuple[type, ...]] = {
+    "schema": str,
+    "version": int,
+    "run_id": str,
+    "created_at": str,
+    "fingerprint": str,
+    "preset": str,
+    "regime": str,
+    "task": str,
+    "matcher": str,
+    "seed": int,
+    "scale": (int, float),
+    "metric": str,
+    "status": str,
+    "metrics": (dict, type(None)),
+    "ranking": dict,
+    "top5_std": (int, float),
+    "seconds": (int, float),
+    "cpu_seconds": (int, float, type(None)),
+    "peak_bytes": int,
+    "attempts": int,
+    "fallback": (str, type(None)),
+    "chain": list,
+    "error": (dict, type(None)),
+    "engine": (dict, type(None)),
+    "profile_path": (str, type(None)),
+    "provenance": dict,
+}
+
+#: A run either completed cleanly, completed via a degradation-ladder
+#: fallback (result + recorded breach), or produced nothing.
+RECORD_STATUSES = ("ok", "degraded", "failed")
+
+
+def config_fingerprint(config: "ExperimentConfig") -> str:
+    """Content digest of an experiment configuration.
+
+    Same construction as the engine's embedding fingerprint (blake2b over
+    a canonical byte rendering), applied to the config's identity fields
+    — two runs share a fingerprint iff they describe the same cell
+    family, which is what ``repro runs diff`` keys on.
+    """
+    return fingerprint_payload(
+        {
+            "preset": config.preset,
+            "input_regime": config.input_regime,
+            "matchers": list(config.matchers),
+            "matcher_options": {
+                name: dict(options)
+                for name, options in sorted(config.matcher_options.items())
+            },
+            "scale": config.scale,
+            "seed": config.seed,
+            "metric": config.metric,
+        }
+    )
+
+
+def fingerprint_payload(payload: Mapping[str, Any]) -> str:
+    """blake2b digest of a canonical JSON rendering of ``payload``.
+
+    The generic form behind :func:`config_fingerprint`; the pipeline
+    uses it directly (its identity is task + matcher + metric, not an
+    :class:`ExperimentConfig`).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(json.dumps(payload, sort_keys=True, default=repr).encode())
+    return digest.hexdigest()
+
+
+def new_run_id() -> str:
+    """Unique id for one appended record."""
+    return uuid.uuid4().hex
+
+
+def utc_now() -> str:
+    """ISO-8601 UTC timestamp for ``created_at``."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def build_record(
+    *,
+    fingerprint: str,
+    preset: str,
+    regime: str,
+    task: str,
+    matcher: str,
+    seed: int,
+    scale: float,
+    metric: str,
+    status: str,
+    metrics: Mapping[str, float] | None,
+    ranking: Mapping[str, float] | None = None,
+    top5_std: float = 0.0,
+    seconds: float = 0.0,
+    cpu_seconds: float | None = None,
+    peak_bytes: int = 0,
+    attempts: int = 1,
+    fallback: str | None = None,
+    chain: list[str] | None = None,
+    error: Mapping[str, str] | None = None,
+    engine: Mapping[str, Any] | None = None,
+    profile_path: str | None = None,
+) -> dict[str, Any]:
+    """Assemble (and validate) one ledger record.
+
+    ``metrics`` is ``None`` exactly when the run produced nothing
+    (status ``"failed"``); ``error`` is ``{"type": ..., "message": ...}``
+    for failed and degraded runs.
+    """
+    record = {
+        "schema": LEDGER_SCHEMA,
+        "version": LEDGER_VERSION,
+        "run_id": new_run_id(),
+        "created_at": utc_now(),
+        "fingerprint": fingerprint,
+        "preset": preset,
+        "regime": regime,
+        "task": task,
+        "matcher": matcher,
+        "seed": int(seed),
+        "scale": float(scale),
+        "metric": metric,
+        "status": status,
+        "metrics": dict(metrics) if metrics is not None else None,
+        "ranking": dict(ranking or {}),
+        "top5_std": float(top5_std),
+        "seconds": float(seconds),
+        "cpu_seconds": float(cpu_seconds) if cpu_seconds is not None else None,
+        "peak_bytes": int(peak_bytes),
+        "attempts": int(attempts),
+        "fallback": fallback,
+        "chain": list(chain or []),
+        "error": dict(error) if error is not None else None,
+        "engine": dict(engine) if engine is not None else None,
+        "profile_path": profile_path,
+        "provenance": provenance(),
+    }
+    return validate_record(record)
+
+
+def validate_record(record: Any) -> dict[str, Any]:
+    """Check ``record`` against the ledger schema; return it.
+
+    Raises ``ValueError`` naming the first structural violation — run by
+    both the writer (:meth:`RunLedger.append`) and every reader, so a
+    corrupt line can never silently enter a comparison.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(f"ledger record must be a JSON object, got {type(record).__name__}")
+    if record.get("schema") != LEDGER_SCHEMA:
+        raise ValueError(
+            f"unknown ledger schema {record.get('schema')!r}; expected {LEDGER_SCHEMA!r}"
+        )
+    if record.get("version") != LEDGER_VERSION:
+        raise ValueError(
+            f"unsupported ledger version {record.get('version')!r}; "
+            f"this library reads version {LEDGER_VERSION}"
+        )
+    for key, kind in _RECORD_KEYS.items():
+        if key not in record:
+            raise ValueError(f"ledger record is missing required key {key!r}")
+        if not isinstance(record[key], kind):
+            raise ValueError(
+                f"ledger record {key!r}: expected {kind}, got {type(record[key]).__name__}"
+            )
+    if record["status"] not in RECORD_STATUSES:
+        raise ValueError(
+            f"ledger record status must be one of {RECORD_STATUSES}, "
+            f"got {record['status']!r}"
+        )
+    if record["status"] == "failed" and record["metrics"] is not None:
+        raise ValueError("a failed record carries no metrics (got some)")
+    if record["status"] != "failed" and record["metrics"] is None:
+        raise ValueError(f"a {record['status']!r} record must carry metrics")
+    if record["status"] != "ok" and record["error"] is None:
+        raise ValueError(f"a {record['status']!r} record must carry its error")
+    if record["error"] is not None and not isinstance(record["error"].get("type"), str):
+        raise ValueError("ledger record error must carry a string 'type'")
+    return record
+
+
+def cell_key(record: Mapping[str, Any]) -> tuple[str, str, str]:
+    """The (preset, regime, matcher) cell a record belongs to."""
+    return (record["preset"], record["regime"], record["matcher"])
+
+
+class RunLedger:
+    """One append-only JSONL ledger file.
+
+    Construction never touches the filesystem; the file is created on
+    first :meth:`append`.  Reading validates every line and reports the
+    offending line number on corruption.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunLedger({str(self.path)!r})"
+
+    def append(self, record: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate ``record`` and append it as one JSON line."""
+        record = validate_record(dict(record))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=False) + "\n")
+        return record
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.records())
+
+    def records(self) -> list[dict[str, Any]]:
+        """Every record in append order (validated)."""
+        if not self.path.exists():
+            return []
+        records: list[dict[str, Any]] = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    records.append(validate_record(json.loads(line)))
+                except ValueError as err:
+                    raise ValueError(f"{self.path}:{lineno}: {err}") from err
+        return records
+
+    def latest_cells(self) -> dict[tuple[str, str, str], dict[str, Any]]:
+        """Most recent record per (preset, regime, matcher) cell.
+
+        Append order is time order, so "latest" is simply the last line
+        for the cell — the view the drift gate compares against the
+        reference bands.
+        """
+        latest: dict[tuple[str, str, str], dict[str, Any]] = {}
+        for record in self.records():
+            latest[cell_key(record)] = record
+        return latest
+
+
+def as_ledger(ledger: "RunLedger | Path | str | None") -> RunLedger | None:
+    """Coerce the ``ledger=`` argument accepted by runner/pipeline/CLI."""
+    if ledger is None or isinstance(ledger, RunLedger):
+        return ledger
+    return RunLedger(ledger)

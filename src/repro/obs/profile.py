@@ -11,6 +11,14 @@ required key is removed or its type changes; purely additive keys do
 not bump it.  :func:`validate_profile` checks the structural contract
 and is what ``repro profile summarize`` and the test suite run against
 every emitted document.
+
+Version history: **1** — meta/spans/events/metrics.  **2** — adds the
+required ``provenance`` block (git SHA + dirty flag, python/numpy/scipy
+versions; the same shape the run ledger stamps, built by
+:func:`repro.obs.provenance.provenance`), closing the gap where a
+profile document recorded *what* happened but not *which code* did it.
+:func:`load_profile` stays backward compatible: version-1 documents
+validate and load with ``provenance`` absent.
 """
 
 from __future__ import annotations
@@ -20,12 +28,15 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping
 
 from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.provenance import provenance
 from repro.obs.trace import TraceRecorder
 
 #: Document identifier; consumers reject anything else.
 PROFILE_SCHEMA = "repro.profile"
 #: Bumped on breaking changes only (removed/retyped required keys).
-PROFILE_VERSION = 1
+PROFILE_VERSION = 2
+#: Older versions :func:`validate_profile` still accepts.
+_READABLE_VERSIONS = (1, PROFILE_VERSION)
 
 _SPAN_KEYS = {
     "name": str,
@@ -48,6 +59,7 @@ def build_profile(
         "schema": PROFILE_SCHEMA,
         "version": PROFILE_VERSION,
         "meta": dict(meta or {}),
+        "provenance": provenance(),
         "spans": [root.as_dict() for root in recorder.roots],
         "events": [dict(event) for event in recorder.events],
         "metrics": (metrics or get_metrics()).snapshot(),
@@ -68,14 +80,16 @@ def validate_profile(document: Any) -> dict[str, Any]:
             f"unknown profile schema {document.get('schema')!r}; "
             f"expected {PROFILE_SCHEMA!r}"
         )
-    if document.get("version") != PROFILE_VERSION:
+    if document.get("version") not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported profile version {document.get('version')!r}; "
-            f"this library reads version {PROFILE_VERSION}"
+            f"this library reads versions {_READABLE_VERSIONS}"
         )
     for key, kind in (("meta", dict), ("spans", list), ("events", list), ("metrics", dict)):
         if not isinstance(document.get(key), kind):
             raise ValueError(f"profile {key!r} must be a {kind.__name__}")
+    if document["version"] >= 2 and not isinstance(document.get("provenance"), dict):
+        raise ValueError("profile 'provenance' must be a dict (required from version 2)")
     for span in document["spans"]:
         _validate_span(span, path="spans")
     for event in document["events"]:
@@ -130,6 +144,13 @@ def summarize(document: Mapping[str, Any], max_depth: int = 6) -> str:
         lines.append(f"profile ({rendered})")
     else:
         lines.append("profile")
+    stamp = document.get("provenance")
+    if stamp:
+        line = f"python={stamp.get('python')}  numpy={stamp.get('numpy')}"
+        git = stamp.get("git")
+        if git:
+            line += f"  git={git['sha'][:12]}" + ("+dirty" if git.get("dirty") else "")
+        lines.append(line)
 
     lines.append("-- spans " + "-" * 50)
     for root in _merge_siblings(document["spans"]):

@@ -1,0 +1,83 @@
+"""Run provenance: who computed this, with what code, on what stack.
+
+Benchmarking studies of entity alignment (OpenEA, the EntMatcher study
+itself) are only reproducible when every number can be traced back to
+the exact code revision and library stack that produced it.  This
+module builds that stamp once per process and shares it between the two
+durable artifact formats — ledger records (:mod:`repro.obs.ledger`) and
+profile documents (:mod:`repro.obs.profile`) — so the provenance block
+has one shape everywhere:
+
+``{"python": ..., "numpy": ..., "scipy": ..., "platform": ...,
+"git": {"sha": ..., "dirty": ...} | None}``
+
+``git`` is ``None`` outside a git checkout (e.g. an installed wheel);
+everything else is always present.  The git lookup shells out once and
+is cached — appending a thousand ledger records costs one subprocess,
+not a thousand.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+try:  # pragma: no cover - scipy is a hard dependency, but stay graceful
+    import scipy
+    _SCIPY_VERSION: str | None = scipy.__version__
+except ImportError:  # pragma: no cover
+    _SCIPY_VERSION = None
+
+#: Cached git stamp per resolved directory (one subprocess per process,
+#: not one per record).
+_GIT_CACHE: dict[str, dict[str, Any] | None] = {}
+
+
+def git_revision(root: Path | str | None = None) -> dict[str, Any] | None:
+    """``{"sha": ..., "dirty": ...}`` for the checkout at ``root``.
+
+    ``root`` defaults to the working directory.  Returns ``None`` when
+    git is missing, the directory is not a repository, or the lookup
+    fails for any other reason — provenance never breaks a run.
+    """
+    key = str(Path(root) if root is not None else Path.cwd())
+    if key not in _GIT_CACHE:
+        _GIT_CACHE[key] = _query_git(key)
+    return _GIT_CACHE[key]
+
+
+def _query_git(root: str) -> dict[str, Any] | None:
+    try:
+        sha = subprocess.run(
+            ["git", "-C", root, "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "-C", root, "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if not sha:
+        return None
+    return {"sha": sha, "dirty": bool(status.strip())}
+
+
+def clear_git_cache() -> None:
+    """Forget cached git stamps (tests that fake repositories use this)."""
+    _GIT_CACHE.clear()
+
+
+def provenance(root: Path | str | None = None) -> dict[str, Any]:
+    """The full provenance block shared by ledger records and profiles."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": _SCIPY_VERSION,
+        "platform": platform.platform(),
+        "git": git_revision(root),
+    }

@@ -26,8 +26,10 @@ from repro.embedding.base import EmbeddingModel, UnifiedEmbeddings
 from repro.eval.metrics import AlignmentMetrics, evaluate_pairs
 from repro.index.config import IndexConfig, build_candidates
 from repro.kg.pair import AlignmentTask
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.ledger import RunLedger, as_ledger, build_record, fingerprint_payload
 from repro.obs.profile import build_profile
 from repro.runtime.supervisor import RunSupervisor, SupervisedRun, SupervisorPolicy
 from repro.similarity.engine import SimilarityEngine
@@ -87,6 +89,12 @@ class AlignmentPipeline:
     runs :meth:`~repro.core.base.Matcher.match_candidates` on them —
     O(n k) working set for the sparse-aware matchers instead of the
     dense n x n score matrix.
+
+    ``ledger`` (a :class:`~repro.obs.ledger.RunLedger` or a path)
+    appends one durable, provenance-stamped record per :meth:`align`
+    call — the same record shape the experiment runner writes, with the
+    task name standing in for the preset and the regime recorded as
+    ``"pipeline"``.
     """
 
     def __init__(
@@ -97,6 +105,7 @@ class AlignmentPipeline:
         policy: SupervisorPolicy | None = None,
         supervisor: RunSupervisor | None = None,
         index: IndexConfig | None = None,
+        ledger: "RunLedger | str | None" = None,
     ) -> None:
         self.encoder = encoder
         self.matcher = matcher
@@ -106,6 +115,7 @@ class AlignmentPipeline:
             supervisor = RunSupervisor(policy)
         self.supervisor = supervisor
         self.index = index
+        self.ledger = as_ledger(ledger)
 
     def align(
         self,
@@ -132,6 +142,9 @@ class AlignmentPipeline:
                 meta={"task": task.name, "matcher": self.matcher.name},
             )
             return prediction
+        obs_events.emit(
+            "pipeline.align.start", task=task.name, matcher=self.matcher.name
+        )
         if embeddings is None:
             embeddings = self.encoder.encode(task)
         if embeddings.source.shape[0] != task.source.num_entities:
@@ -177,6 +190,13 @@ class AlignmentPipeline:
                 candidates=candidate_set,
             )
             if not supervision.ok:
+                # The failure still earns its durable record before the
+                # typed error propagates — silence is not an outcome.
+                self._record(task, supervision=supervision)
+                obs_events.emit(
+                    "pipeline.align.finish", task=task.name, status="failed",
+                    error=type(supervision.error).__name__,
+                )
                 raise supervision.error
             result = supervision.result
 
@@ -189,6 +209,11 @@ class AlignmentPipeline:
             )
             for row, col in result.pairs
         ]
+        self._record(task, supervision=supervision, metrics=metrics, result=result)
+        obs_events.emit(
+            "pipeline.align.finish", task=task.name, status="ok",
+            f1=metrics.f1, pairs=len(named),
+        )
         return AlignmentPrediction(
             pairs=named,
             scores=result.scores.copy(),
@@ -199,6 +224,59 @@ class AlignmentPipeline:
         )
 
     # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        task: AlignmentTask,
+        supervision: SupervisedRun | None,
+        metrics: AlignmentMetrics | None = None,
+        result: MatchResult | None = None,
+    ) -> None:
+        """Append one ledger record for this align() call (if opted in)."""
+        if self.ledger is None:
+            return
+        matcher_name = self.matcher.name
+        metric = getattr(self.matcher, "metric", "cosine")
+        degraded = supervision is not None and supervision.degraded
+        if metrics is None:
+            status = "failed"
+        else:
+            status = "degraded" if degraded else "ok"
+        error = None
+        if supervision is not None and supervision.error is not None:
+            error = {
+                "type": type(supervision.error).__name__,
+                "message": str(supervision.error),
+            }
+        engine = self.matcher.engine
+        self.ledger.append(
+            build_record(
+                fingerprint=fingerprint_payload(
+                    {"task": task.name, "matcher": matcher_name, "metric": metric}
+                ),
+                preset=task.name,
+                regime="pipeline",
+                task=task.name,
+                matcher=matcher_name,
+                # The pipeline has no sweep seed; -1 marks "not applicable".
+                seed=-1,
+                scale=1.0,
+                metric=metric if isinstance(metric, str) else "cosine",
+                status=status,
+                metrics=None if metrics is None else {
+                    "precision": metrics.precision,
+                    "recall": metrics.recall,
+                    "f1": metrics.f1,
+                },
+                seconds=result.seconds if result is not None else 0.0,
+                peak_bytes=result.peak_bytes if result is not None else 0,
+                attempts=len(supervision.attempts) if supervision is not None else 1,
+                fallback=supervision.executed if degraded else None,
+                chain=list(supervision.chain) if supervision is not None else [],
+                error=error,
+                engine=engine.cache_info() if engine is not None else None,
+            )
+        )
 
     def _fit_matcher(self, task: AlignmentTask, embeddings: UnifiedEmbeddings) -> None:
         fit = getattr(self.matcher, "fit", None)

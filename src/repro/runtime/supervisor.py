@@ -56,11 +56,21 @@ from repro.errors import (
     ResourceBudgetExceeded,
     as_matcher_error,
 )
+from repro.obs import events as obs_events
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.utils.rng import ensure_rng
 
 _ON_ERROR = ("raise", "skip", "fallback")
+
+
+def _signal(name: str, **attrs: Any) -> None:
+    """One supervisor signal, delivered to both observability planes:
+    the trace recorder (for the post-hoc profile document) and the live
+    event stream (for whoever is watching the sweep right now)."""
+    obs_trace.event(name, **attrs)
+    obs_events.emit(name, **attrs)
+
 
 #: Default degradation ladder: each entry maps a matcher to the cheaper
 #: one that replaces it after a deadline/budget breach.  The ladder
@@ -296,7 +306,7 @@ class RunSupervisor:
             sparse = self._sparse_rung(current, current_name, source, target, error, candidates)
             if sparse is not None:
                 registry.inc("supervisor.sparse_degradations")
-                obs_trace.event(
+                _signal(
                     "supervisor.degrade_sparse",
                     matcher=current_name,
                     k=self.policy.sparse_k,
@@ -310,7 +320,7 @@ class RunSupervisor:
                 fallback = self._build_fallback(fallback_name, current)
                 if fallback is not None:
                     registry.inc("supervisor.degradations")
-                    obs_trace.event(
+                    _signal(
                         "supervisor.degrade",
                         matcher=current_name,
                         fallback=fallback_name,
@@ -324,7 +334,7 @@ class RunSupervisor:
                     continue
             # The ledger's resolution="skipped" entries plus raised runs.
             registry.inc("supervisor.failed_runs")
-            obs_trace.event(
+            _signal(
                 "supervisor.failure",
                 matcher=requested,
                 error=type(error).__name__,
@@ -379,7 +389,7 @@ class RunSupervisor:
             )
             return CandidateSet.from_topk(indices, scores, n_targets=target.shape[0])
         except Exception:  # noqa: BLE001 - the original breach stays primary
-            obs_trace.event("supervisor.sparse_rung_failed", matcher=name)
+            _signal("supervisor.sparse_rung_failed", matcher=name)
             return None
 
     def _attempt_with_retries(
@@ -420,7 +430,7 @@ class RunSupervisor:
                 if not retrying:
                     return error
                 registry.inc("supervisor.retries")
-                obs_trace.event(
+                _signal(
                     "supervisor.retry",
                     matcher=name,
                     attempt=attempt,

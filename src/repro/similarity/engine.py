@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.similarity.chunked import chunked_csls_top_k, chunked_top_k
@@ -277,6 +278,16 @@ class SimilarityEngine:
         registry = obs_metrics.get_metrics()
         registry.inc("engine.computations")
         registry.inc("engine.chunks", len(chunks))
+        # Once per computed matrix (the cold path only), so the live
+        # stream sees "score matrix ready" without touching the chunk loop.
+        obs_events.emit(
+            "engine.scores_ready",
+            metric=metric,
+            rows=n_source,
+            cols=n_target,
+            dtype=self.dtype.name,
+            chunks=len(chunks),
+        )
         return out
 
     # -- chunked entry points ------------------------------------------

@@ -176,3 +176,169 @@ class TestIndexCommands:
         assert main(["index", "stats", str(path)]) == 0
         stats_out = capsys.readouterr().out
         assert "n_clusters" in stats_out
+
+
+class TestExplainCommand:
+    def test_explain_prints_decision_report(self, capsys):
+        assert main([
+            "explain", "dbp15k/zh_en", "--query", "3", "--scale", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Decision report for" in out
+        assert "greedy ->" in out
+        assert "CSLS ->" in out
+
+    def test_explain_rejects_out_of_range_query(self, capsys):
+        assert main([
+            "explain", "dbp15k/zh_en", "--query", "100000", "--scale", "0.2",
+        ]) == 1
+        assert "--query must be in" in capsys.readouterr().err
+
+    def test_explain_honours_top_k(self, capsys):
+        assert main([
+            "explain", "dbp15k/zh_en", "--query", "0", "--scale", "0.2",
+            "--top-k", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Header + choices + column header + 3 candidate rows (+ notes).
+        candidate_rows = [
+            line for line in out.splitlines() if line.startswith("  t")
+        ]
+        assert len(candidate_rows) == 3
+
+
+class TestLedgerAndEventsFlags:
+    ARGS = ["match", "dbp15k/zh_en", "--matcher", "CSLS", "--scale", "0.2"]
+
+    def test_match_ledger_appends_ok_record(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        path = tmp_path / "runs.jsonl"
+        assert main([*self.ARGS, "--ledger", str(path)]) == 0
+        records = RunLedger(path).records()
+        assert len(records) == 1
+        record = records[0]
+        assert record["status"] == "ok"
+        assert record["matcher"] == "CSLS"
+        out = capsys.readouterr().out
+        assert f"F1={record['metrics']['f1']:.3f}" in out
+
+    def test_match_ledger_records_skip_failure(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        path = tmp_path / "runs.jsonl"
+        assert main([
+            *self.ARGS, "--ledger", str(path),
+            "--memory-budget", "0.0001", "--on-error", "skip",
+        ]) == 1
+        capsys.readouterr()
+        (record,) = RunLedger(path).records()
+        assert record["status"] == "failed"
+        assert record["metrics"] is None
+        assert record["error"]["type"] == "ResourceBudgetExceeded"
+
+    def test_match_ledger_links_profile_document(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        ledger = tmp_path / "runs.jsonl"
+        profile = tmp_path / "prof.json"
+        assert main([
+            *self.ARGS, "--ledger", str(ledger), "--profile", str(profile),
+        ]) == 0
+        capsys.readouterr()
+        (record,) = RunLedger(ledger).records()
+        assert record["profile_path"] == str(profile)
+        assert profile.exists()
+
+    def test_match_events_dash_streams_to_stderr(self, capsys):
+        assert main([*self.ARGS, "--events", "-"]) == 0
+        err = capsys.readouterr().err
+        assert "engine.scores_ready" in err
+
+    def test_match_events_path_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        assert main([*self.ARGS, "--events", str(path)]) == 0
+        capsys.readouterr()
+        names = [
+            json.loads(line)["name"]
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert "engine.scores_ready" in names
+
+
+class TestRunsCommands:
+    def _seeded_ledger(self, tmp_path):
+        from repro.obs.ledger import RunLedger, build_record
+
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        for matcher, f1 in (("DInf", 0.5), ("CSLS", 0.6)):
+            ledger.append(build_record(
+                fingerprint="abc", preset="dbp15k/zh_en", regime="R",
+                task="dbp15k/zh_en", matcher=matcher, seed=0, scale=0.5,
+                metric="cosine", status="ok",
+                metrics={"precision": f1, "recall": f1, "f1": f1},
+                ranking={"hits@1": f1, "mrr": f1},
+            ))
+        return path
+
+    def test_runs_list_prints_one_line_per_record(self, tmp_path, capsys):
+        path = self._seeded_ledger(tmp_path)
+        assert main(["runs", "list", "--ledger", str(path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert "DInf" in lines[0] and "f1=0.500" in lines[0]
+        assert "CSLS" in lines[1]
+
+    def test_runs_list_filters_by_status(self, tmp_path, capsys):
+        path = self._seeded_ledger(tmp_path)
+        assert main([
+            "runs", "list", "--ledger", str(path), "--status", "failed",
+        ]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+    def test_runs_list_missing_ledger_fails(self, tmp_path, capsys):
+        assert main([
+            "runs", "list", "--ledger", str(tmp_path / "no.jsonl"),
+        ]) == 1
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_runs_show_accepts_unique_prefix(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.ledger import RunLedger
+
+        path = self._seeded_ledger(tmp_path)
+        run_id = RunLedger(path).records()[0]["run_id"]
+        assert main(["runs", "show", run_id[:8], "--ledger", str(path)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["run_id"] == run_id
+        assert document["matcher"] == "DInf"
+
+    def test_runs_show_unknown_id_fails(self, tmp_path, capsys):
+        path = self._seeded_ledger(tmp_path)
+        assert main(["runs", "show", "zzzz", "--ledger", str(path)]) == 1
+        assert "no record" in capsys.readouterr().err
+
+    def test_runs_diff_reports_deltas_and_additions(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger, build_record
+
+        old = self._seeded_ledger(tmp_path)
+        new = tmp_path / "new" / "runs.jsonl"
+        ledger = RunLedger(new)
+        for matcher, f1 in (("DInf", 0.5), ("CSLS", 0.4), ("Hun.", 0.7)):
+            ledger.append(build_record(
+                fingerprint="abc", preset="dbp15k/zh_en", regime="R",
+                task="dbp15k/zh_en", matcher=matcher, seed=0, scale=0.5,
+                metric="cosine", status="ok",
+                metrics={"precision": f1, "recall": f1, "f1": f1},
+                ranking={"hits@1": f1},
+            ))
+        assert main(["runs", "diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "! dbp15k/zh_en/R/CSLS: f1 0.600 -> 0.400 (-0.200)" in out
+        assert "= dbp15k/zh_en/R/DInf" in out
+        assert "+ dbp15k/zh_en/R/Hun." in out
+

@@ -1,0 +1,207 @@
+"""Tests for the drift gate: reference building, band checks, CLI exit."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.drift import (
+    DEFAULT_ORDERINGS,
+    build_reference,
+    check_drift,
+    load_reference,
+    reference_configs,
+    validate_reference,
+    write_reference,
+)
+from repro.obs.ledger import build_record
+
+pytestmark = pytest.mark.obs
+
+
+def _record(matcher="CSLS", regime="R", f1=0.7, hits1=0.6, **overrides):
+    defaults = dict(
+        fingerprint="abc",
+        preset="dbp15k/zh_en",
+        regime=regime,
+        task="dbp15k/zh_en",
+        matcher=matcher,
+        seed=0,
+        scale=0.5,
+        metric="cosine",
+        status="ok",
+        metrics={"precision": f1, "recall": f1, "f1": f1},
+        ranking={"hits@1": hits1, "mrr": hits1},
+    )
+    defaults.update(overrides)
+    return build_record(**defaults)
+
+
+def _reference(records, **kwargs):
+    kwargs.setdefault("orderings", ())
+    return build_reference(records, **kwargs)
+
+
+class TestBuildReference:
+    def test_cells_carry_metrics_and_tolerances(self):
+        reference = _reference([_record()])
+        validate_reference(reference)
+        cell = reference["cells"]["dbp15k/zh_en|R|CSLS"]
+        assert cell["metrics"] == {"f1": 0.7, "hits@1": 0.6}
+        assert cell["tolerance"]["f1"] == 0.05
+
+    def test_latest_record_per_cell_wins(self):
+        reference = _reference([_record(f1=0.1), _record(f1=0.9)])
+        assert reference["cells"]["dbp15k/zh_en|R|CSLS"]["metrics"]["f1"] == 0.9
+
+    def test_failed_records_contribute_nothing(self):
+        failed = _record(
+            matcher="Hun.", status="failed", metrics=None,
+            error={"type": "DeadlineExceeded", "message": ""},
+        )
+        reference = _reference([_record(), failed])
+        assert "dbp15k/zh_en|R|Hun." not in reference["cells"]
+
+    def test_zero_successful_records_is_an_error(self):
+        with pytest.raises(ValueError, match="zero successful"):
+            _reference([])
+
+    def test_ordering_must_reference_recorded_cells(self):
+        with pytest.raises(ValueError, match="unrecorded cell"):
+            build_reference([_record()], orderings=DEFAULT_ORDERINGS)
+
+    def test_round_trip_through_disk(self, tmp_path):
+        reference = _reference([_record()])
+        path = write_reference(tmp_path / "ref.json", reference)
+        assert load_reference(path) == reference
+
+
+class TestCheckDrift:
+    def test_matching_ledger_is_clean(self):
+        records = [_record(), _record(matcher="DInf", f1=0.5, hits1=0.4)]
+        report = check_drift(records, _reference(records))
+        assert report.ok
+        assert report.cells_checked == 2
+        assert "within reference bands" in report.describe()
+
+    def test_in_band_wobble_passes(self):
+        reference = _reference([_record(f1=0.7)])
+        report = check_drift([_record(f1=0.66, hits1=0.64)], reference)
+        assert report.ok
+
+    def test_band_violation_names_cell_metric_and_band(self):
+        reference = _reference([_record(f1=0.7)])
+        report = check_drift([_record(f1=0.4, hits1=0.6)], reference)
+        assert not report.ok
+        violation = report.violations[0]
+        assert (violation.kind, violation.metric) == ("band", "f1")
+        text = report.describe()
+        assert "dbp15k/zh_en/R/CSLS" in text
+        assert "f1=0.4000" in text
+        assert "[0.6500, 0.7500]" in text
+
+    def test_improvement_beyond_band_is_also_drift(self):
+        # A jump outside the band in either direction means the committed
+        # reference no longer describes reality — rebaseline explicitly.
+        reference = _reference([_record(f1=0.5, hits1=0.5)])
+        report = check_drift([_record(f1=0.9, hits1=0.5)], reference)
+        assert not report.ok
+
+    def test_missing_cell_is_a_violation(self):
+        reference = _reference([_record(), _record(matcher="DInf")])
+        report = check_drift([_record()], reference)
+        assert [v.kind for v in report.violations] == ["missing"]
+        assert report.violations[0].matcher == "DInf"
+
+    def test_failed_cell_is_a_violation(self):
+        reference = _reference([_record()])
+        failed = _record(
+            status="failed", metrics=None,
+            error={"type": "DeadlineExceeded", "message": "slow"},
+        )
+        report = check_drift([failed], reference)
+        assert [v.kind for v in report.violations] == ["failed"]
+        assert "DeadlineExceeded" in report.describe()
+
+    def test_ordering_flip_is_a_violation(self):
+        records = [
+            _record(matcher="Sink.", f1=0.8),
+            _record(matcher="DInf", f1=0.5),
+        ]
+        orderings = [{
+            "preset": "dbp15k/zh_en", "regime": "R",
+            "higher": "Sink.", "lower": "DInf", "metric": "f1", "margin": 0.0,
+        }]
+        reference = build_reference(records, orderings=orderings)
+        assert check_drift(records, reference).ok
+        flipped = [
+            _record(matcher="Sink.", f1=0.45),
+            _record(matcher="DInf", f1=0.5),
+        ]
+        # Widen the check to the ordering alone: keep bands satisfied.
+        reference["cells"]["dbp15k/zh_en|R|Sink."]["metrics"] = {"f1": 0.45}
+        reference["cells"]["dbp15k/zh_en|R|DInf"]["metrics"] = {"f1": 0.5}
+        report = check_drift(flipped, reference)
+        assert [v.kind for v in report.violations] == ["ordering"]
+        assert "Sink." in report.describe() and "DInf" in report.describe()
+
+    def test_degraded_runs_are_compared_like_clean_ones(self):
+        degraded = _record(
+            status="degraded", fallback="Greedy",
+            error={"type": "DeadlineExceeded", "message": ""},
+        )
+        assert check_drift([degraded], _reference([_record()])).ok
+
+
+class TestReferenceConfigs:
+    def test_canonical_sweep_is_seeded_and_subunit_scale(self):
+        configs = reference_configs()
+        assert len(configs) >= 3
+        assert all(c.seed == 0 for c in configs)
+        assert all(0 < c.scale <= 1.0 for c in configs)
+        regimes = {(c.preset, c.input_regime) for c in configs}
+        assert ("dbp15k/zh_en", "R") in regimes
+        assert ("dbp15k/zh_en", "G") in regimes
+
+
+class TestDriftCli:
+    """`repro runs drift` against the *committed* reference artifacts."""
+
+    def test_committed_seed0_ledger_is_clean(self, capsys):
+        assert main(["runs", "drift"]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero_naming_the_cell(
+        self, tmp_path, capsys
+    ):
+        source = load_reference("benchmarks/results/REFERENCE_accuracy.json")
+        regressed = tmp_path / "regressed.jsonl"
+        with open("benchmarks/results/ledger_seed0.jsonl", encoding="utf-8") as f:
+            lines = [json.loads(line) for line in f]
+        for record in lines:
+            if (
+                record["matcher"] == "Sink."
+                and record["regime"] == "R"
+                and record["preset"] == "dbp15k/zh_en"
+            ):
+                record["metrics"]["f1"] -= 0.2
+                record["ranking"]["hits@1"] -= 0.2
+        regressed.write_text(
+            "".join(json.dumps(r) + "\n" for r in lines), encoding="utf-8"
+        )
+        assert main(["runs", "drift", "--ledger", str(regressed)]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out
+        assert "dbp15k/zh_en/R/Sink." in out  # the offending cell...
+        assert "f1=" in out and "outside [" in out  # ...metric and band
+        assert source["cells"]["dbp15k/zh_en|R|Sink."]["metrics"]["f1"] > 0
+
+    def test_missing_ledger_fails_with_message(self, tmp_path, capsys):
+        assert main(["runs", "drift", "--ledger", str(tmp_path / "no.jsonl")]) == 1
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_corrupt_reference_fails_with_message(self, tmp_path, capsys):
+        bad = tmp_path / "ref.json"
+        bad.write_text('{"schema": "wrong"}', encoding="utf-8")
+        assert main(["runs", "drift", "--reference", str(bad)]) == 1
+        assert "cannot load reference" in capsys.readouterr().err

@@ -1,0 +1,187 @@
+"""Tests for the live event stream: ordering, scoping, sink behaviour."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import events
+
+
+pytestmark = pytest.mark.obs
+
+
+class FailingSink(events.EventSink):
+    def __init__(self):
+        self.closed = False
+
+    def handle(self, event):
+        raise RuntimeError("boom")
+
+    def close(self):
+        self.closed = True
+
+
+class TestEmit:
+    def test_disabled_by_default(self):
+        assert not events.enabled()
+        events.emit("nobody.listening", x=1)  # must be a silent no-op
+
+    def test_emitting_scopes_the_sink(self):
+        with events.emitting() as sink:
+            assert events.enabled()
+            events.emit("inside", value=1)
+        assert not events.enabled()
+        events.emit("outside")
+        assert sink.names() == ["inside"]
+
+    def test_events_are_ordered_and_contiguous(self):
+        with events.emitting() as sink:
+            for i in range(5):
+                events.emit("tick", i=i)
+        seqs = [event.seq for event in sink.events]
+        assert seqs == sorted(seqs)
+        assert seqs == list(range(seqs[0], seqs[0] + 5))
+        assert [event.attrs["i"] for event in sink.events] == list(range(5))
+
+    def test_every_sink_sees_every_event(self):
+        first, second = events.MemorySink(), events.MemorySink()
+        with events.emitting(first, second):
+            events.emit("shared", k="v")
+        assert first.names() == second.names() == ["shared"]
+        assert first.events[0].seq == second.events[0].seq
+
+    def test_failing_sink_is_dropped_not_fatal(self, capsys):
+        bad = FailingSink()
+        good = events.MemorySink()
+        with events.emitting(bad, good):
+            events.emit("first")
+            events.emit("second")
+        assert good.names() == ["first", "second"]
+        assert "FailingSink" in capsys.readouterr().err
+        assert bad.closed
+
+    def test_event_as_dict_round_trips_json(self):
+        with events.emitting() as sink:
+            events.emit("serialise", f1=0.5, matcher="Hun.")
+        payload = json.loads(json.dumps(sink.events[0].as_dict()))
+        assert payload["name"] == "serialise"
+        assert payload["attrs"] == {"f1": 0.5, "matcher": "Hun."}
+
+
+class TestSinks:
+    def test_human_sink_renders_one_line(self):
+        stream = io.StringIO()
+        sink = events.HumanSink(stream)
+        with events.emitting(sink):
+            events.emit("matcher.finish", matcher="Hun.", f1=0.88642)
+        line = stream.getvalue()
+        assert line.endswith("\n") and line.count("\n") == 1
+        assert "matcher.finish" in line
+        assert "matcher=Hun." in line
+        assert "f1=0.886" in line  # floats render at 3 decimals
+
+    def test_jsonl_sink_appends_valid_lines(self, tmp_path):
+        path = tmp_path / "nested" / "events.jsonl"
+        with events.emitting(events.JsonlSink(path)):
+            events.emit("a", n=1)
+            events.emit("b", n=2)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert [entry["name"] for entry in parsed] == ["a", "b"]
+        assert parsed[0]["seq"] < parsed[1]["seq"]
+
+    def test_jsonl_sink_lazy_file_creation(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        with events.emitting(events.JsonlSink(path)):
+            pass  # no events emitted
+        assert not path.exists()
+
+    def test_remove_sink_is_idempotent(self):
+        sink = events.MemorySink()
+        events.add_sink(sink)
+        events.remove_sink(sink)
+        events.remove_sink(sink)  # absent: no-op
+        assert not events.enabled()
+
+
+class TestDeterminism:
+    def test_names_and_attrs_repeat_across_runs(self):
+        """The deterministic contract: same emits, same stream (minus
+        seq offsets and elapsed wall offsets)."""
+
+        def run():
+            with events.emitting() as sink:
+                events.emit("start", preset="p")
+                events.emit("finish", ok=3, failed=0)
+            return [(e.name, dict(e.attrs)) for e in sink.events]
+
+        assert run() == run()
+
+
+class TestRunnerStream:
+    def _sweep(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_experiment
+
+        config = ExperimentConfig(
+            preset="dbp15k/zh_en", input_regime="R",
+            matchers=("DInf", "CSLS"), scale=0.2, seed=0,
+        )
+        with events.emitting() as sink:
+            run_experiment(config)
+        return sink
+
+    def test_sweep_emits_canonical_sequence(self):
+        names = self._sweep().names()
+        assert names[0] == "experiment.start"
+        assert names[-1] == "experiment.finish"
+        assert "engine.scores_ready" in names
+        assert "experiment.scores_ready" in names
+        assert names.count("matcher.start") == 2
+        assert names.count("matcher.finish") == 2
+        # Every matcher.start precedes its matcher.finish.
+        assert names.index("matcher.start") < names.index("matcher.finish")
+
+    def test_sweep_events_carry_useful_attrs(self):
+        sink = self._sweep()
+        by_name = {}
+        for event in sink.events:
+            by_name.setdefault(event.name, event)
+        assert by_name["experiment.start"].attrs["preset"] == "dbp15k/zh_en"
+        finish = [e for e in sink.events if e.name == "matcher.finish"]
+        assert all(e.attrs["status"] == "ok" for e in finish)
+        assert all(0.0 <= e.attrs["f1"] <= 1.0 for e in finish)
+        tallies = by_name["experiment.finish"].attrs
+        assert (tallies["ok"], tallies["degraded"], tallies["failed"]) == (2, 0, 0)
+
+    def test_sweep_stream_is_deterministic(self):
+        def names_and_statuses(sink):
+            return [
+                (e.name, e.attrs.get("status"), e.attrs.get("matcher"))
+                for e in sink.events
+            ]
+
+        assert names_and_statuses(self._sweep()) == names_and_statuses(self._sweep())
+
+    def test_degradation_signal_reaches_the_stream(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_experiment
+        from repro.runtime.supervisor import SupervisorPolicy
+        from repro.testing.faults import KernelStall, faulty_factory
+
+        config = ExperimentConfig(
+            preset="dbp15k/zh_en", input_regime="R",
+            matchers=("Hun.",), scale=0.2, seed=0,
+        )
+        with events.emitting() as sink:
+            run_experiment(
+                config,
+                policy=SupervisorPolicy(timeout=0.1, on_error="fallback"),
+                matcher_factory=faulty_factory({"Hun.": KernelStall(seconds=0.6)}),
+            )
+        names = sink.names()
+        assert "supervisor.degrade" in names
+        finish = [e for e in sink.events if e.name == "matcher.finish"][-1]
+        assert finish.attrs["status"] == "degraded"
+        assert finish.attrs["fallback"] == "Greedy"

@@ -81,6 +81,39 @@ class TestBuildAndValidate:
             validate_profile([1, 2, 3])
 
 
+class TestProvenance:
+    def test_document_carries_provenance_stamp(self):
+        recorder, registry = _recorded_run()
+        doc = build_profile(recorder, registry)
+        assert doc["version"] == 2
+        assert doc["provenance"]["python"]
+        assert doc["provenance"]["numpy"]
+
+    def test_version1_documents_still_validate_and_load(self, tmp_path):
+        recorder, registry = _recorded_run()
+        doc = build_profile(recorder, registry)
+        doc["version"] = 1
+        del doc["provenance"]  # a v1 writer never produced the block
+        validate_profile(doc)
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert load_profile(path)["version"] == 1
+        summarize(doc)  # renders without a provenance line
+
+    def test_version2_requires_provenance(self):
+        recorder, registry = _recorded_run()
+        doc = build_profile(recorder, registry)
+        del doc["provenance"]
+        with pytest.raises(ValueError, match="provenance"):
+            validate_profile(doc)
+
+    def test_summary_includes_provenance_line(self):
+        recorder, registry = _recorded_run()
+        text = summarize(build_profile(recorder, registry))
+        assert "python=" in text
+        assert "numpy=" in text
+
+
 class TestRoundTrip:
     def test_write_then_load(self, tmp_path):
         recorder, registry = _recorded_run()

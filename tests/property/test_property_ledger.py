@@ -1,0 +1,115 @@
+"""Property-based tests for the run ledger's schema contract.
+
+Two invariants hold for arbitrary well-formed inputs: a record built
+from any valid field combination validates and survives the JSONL round
+trip bit-for-bit, and any single structural mutation (dropped required
+key, retyped value, illegal status combination) is rejected by
+:func:`validate_record` — the writer and every reader share that gate,
+so no corruption can silently enter a comparison.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.obs.ledger import (
+    _RECORD_KEYS,
+    RECORD_STATUSES,
+    RunLedger,
+    build_record,
+    validate_record,
+)
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-/.",
+    min_size=1,
+    max_size=20,
+)
+
+unit_floats = st.floats(0.0, 1.0, allow_nan=False)
+
+
+@st.composite
+def records(draw):
+    status = draw(st.sampled_from(RECORD_STATUSES))
+    f1 = draw(unit_floats)
+    metrics = None
+    if status != "failed":
+        metrics = {"precision": f1, "recall": f1, "f1": f1}
+    error = None
+    if status != "ok":
+        error = {"type": draw(names), "message": draw(st.text(max_size=30))}
+    return build_record(
+        fingerprint=draw(names),
+        preset=draw(names),
+        regime=draw(st.sampled_from(["R", "G", "N", "NR", "pipeline"])),
+        task=draw(names),
+        matcher=draw(names),
+        seed=draw(st.integers(-1, 10_000)),
+        scale=draw(st.floats(0.01, 2.0, allow_nan=False)),
+        metric=draw(st.sampled_from(["cosine", "euclidean", "inner"])),
+        status=status,
+        metrics=metrics,
+        ranking={"hits@1": draw(unit_floats), "mrr": draw(unit_floats)},
+        top5_std=draw(unit_floats),
+        seconds=draw(st.floats(0, 1e4, allow_nan=False)),
+        cpu_seconds=draw(st.none() | st.floats(0, 1e4, allow_nan=False)),
+        peak_bytes=draw(st.integers(0, 2**40)),
+        attempts=draw(st.integers(1, 9)),
+        fallback=draw(st.none() | names),
+        chain=draw(st.lists(names, max_size=4)),
+        error=error,
+        engine=draw(st.none() | st.fixed_dictionaries({"hits": st.integers(0, 100)})),
+        profile_path=draw(st.none() | names),
+    )
+
+
+class TestRoundTrip:
+    @given(record=records())
+    @settings(max_examples=60, deadline=None)
+    def test_build_validate_serialise_round_trip(self, record):
+        assert validate_record(record) is record
+        assert json.loads(json.dumps(record)) == record
+
+    @given(batch=st.lists(records(), min_size=1, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_ledger_file_round_trip(self, batch, tmp_path_factory):
+        path = tmp_path_factory.mktemp("ledger") / "runs.jsonl"
+        ledger = RunLedger(path)
+        for record in batch:
+            ledger.append(record)
+        assert ledger.records() == batch
+
+
+class TestMutationRejection:
+    @given(record=records(), key=st.sampled_from(sorted(_RECORD_KEYS)))
+    @settings(max_examples=80, deadline=None)
+    def test_any_dropped_required_key_is_rejected(self, record, key):
+        mutated = dict(record)
+        del mutated[key]
+        with pytest.raises(ValueError):
+            validate_record(mutated)
+
+    @given(record=records(), key=st.sampled_from(sorted(_RECORD_KEYS)))
+    @settings(max_examples=80, deadline=None)
+    def test_any_retyped_required_key_is_rejected(self, record, key):
+        mutated = dict(record)
+        # An object() is no valid JSON type, so it can never satisfy the
+        # declared type tuple for any key.
+        mutated[key] = object()
+        with pytest.raises(ValueError):
+            validate_record(mutated)
+
+    @given(record=records())
+    @settings(max_examples=40, deadline=None)
+    def test_status_metric_consistency_is_enforced(self, record):
+        mutated = dict(record)
+        if mutated["status"] == "failed":
+            mutated["metrics"] = {"f1": 0.5}  # failed runs carry no metrics
+        else:
+            mutated["metrics"] = None  # completed runs must carry them
+        with pytest.raises(ValueError):
+            validate_record(mutated)

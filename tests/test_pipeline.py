@@ -121,3 +121,57 @@ class TestSparseIndexPipeline:
         assert prediction.supervision is not None
         assert prediction.supervision.ok
         assert prediction.metrics.f1 > 0.5
+
+
+class TestPipelineObservability:
+    def test_align_appends_one_ledger_record(self, pipeline_prediction, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        task, _ = pipeline_prediction
+        path = tmp_path / "pipe.jsonl"
+        pipeline = AlignmentPipeline(
+            OracleEncoder(OracleConfig(noise=0.3, seed=1)),
+            create_matcher("CSLS"),
+            ledger=str(path),
+        )
+        prediction = pipeline.align(task)
+        (record,) = RunLedger(path).records()
+        assert record["regime"] == "pipeline"
+        assert record["preset"] == task.name
+        assert record["matcher"] == "CSLS"
+        assert record["seed"] == -1  # pipelines have no sweep seed
+        assert record["metrics"]["f1"] == pytest.approx(prediction.metrics.f1)
+
+    def test_failed_align_still_earns_its_record(self, pipeline_prediction, tmp_path):
+        from repro.errors import MatcherError
+        from repro.obs.ledger import RunLedger
+        from repro.runtime.supervisor import SupervisorPolicy
+
+        task, _ = pipeline_prediction
+        path = tmp_path / "pipe.jsonl"
+        pipeline = AlignmentPipeline(
+            OracleEncoder(OracleConfig(noise=0.3, seed=1)),
+            create_matcher("Hun."),
+            policy=SupervisorPolicy(memory_budget=64, on_error="skip"),
+            ledger=str(path),
+        )
+        with pytest.raises(MatcherError):
+            pipeline.align(task)
+        (record,) = RunLedger(path).records()
+        assert record["status"] == "failed"
+        assert record["metrics"] is None
+        assert record["error"]["type"]
+
+    def test_align_emits_start_and_finish_events(self, pipeline_prediction):
+        from repro.obs import events
+
+        task, _ = pipeline_prediction
+        pipeline = AlignmentPipeline(
+            OracleEncoder(OracleConfig(noise=0.3, seed=1)), create_matcher("DInf")
+        )
+        with events.emitting() as sink:
+            pipeline.align(task)
+        names = sink.names()
+        assert names[0] == "pipeline.align.start"
+        assert names[-1] == "pipeline.align.finish"
+        assert sink.events[-1].attrs["status"] == "ok"
