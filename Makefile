@@ -6,7 +6,7 @@
 PY := PYTHONPATH=src python -m
 
 .PHONY: check lint test property obs chaos bench bench-obs bench-check \
-	drift reference-update
+	bench-scale-smoke drift reference-update
 
 check: lint
 	$(PY) pytest -q -m "not chaos"
@@ -38,6 +38,11 @@ bench:
 
 bench-obs:
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q test_obs_overhead.py
+
+# Out-of-core scale benchmark at CI-sized scales (~20x smaller); writes
+# BENCH_scale_smoke.json, never the committed full-scale baseline.
+bench-scale-smoke:
+	cd benchmarks && REPRO_SCALE_SMOKE=1 PYTHONPATH=../src python -m pytest -q test_scale.py
 
 # Re-run the timed benchmarks and fail on >25% regression against the
 # committed BENCH_*.json baselines (see benchmarks/check_regression.py).

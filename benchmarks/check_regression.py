@@ -1,21 +1,35 @@
 """Bench-regression gate: re-run the timed benchmarks and diff the numbers.
 
-The engine-speedup and obs-overhead benchmarks write their measurements
-to ``benchmarks/results/BENCH_engine.json`` / ``BENCH_obs.json``; those
-committed files are the performance baseline.  This script
+The engine-speedup, obs-overhead, and out-of-core-scale benchmarks write
+their measurements to ``benchmarks/results/BENCH_engine.json`` /
+``BENCH_obs.json`` / ``BENCH_scale.json``; those committed files are the
+performance baseline.  This script
 
 1. snapshots the committed baselines,
-2. re-runs the two benchmark modules (which overwrite the files),
-3. compares every ``*seconds*`` leaf of the fresh run against the
-   baseline, failing when a timing regressed beyond the tolerance band,
+2. re-runs the benchmark modules (which overwrite the files),
+3. compares every gated leaf of the fresh run against the baseline,
+   failing on a regression beyond its tolerance band,
 4. restores the committed baselines so the working tree stays clean
    (pass ``--update`` to keep the fresh numbers as the new baseline).
 
-Tolerance: a timing fails only when it is **both** more than
-``--tolerance`` (default 25%) slower than the baseline **and** more
-than ``--floor`` (default 0.05 s) slower in absolute terms — the floor
-keeps millisecond-scale timings from tripping the gate on scheduler
-noise.  Faster-than-baseline numbers never fail.
+Three families of leaves are gated, each with its own direction:
+
+* ``*seconds*`` — wall-clock timings, lower is better.  Fails only when
+  **both** more than ``--tolerance`` (default 25%) slower than the
+  baseline **and** more than ``--floor`` (default 0.05 s) slower in
+  absolute terms — the floor keeps millisecond-scale timings from
+  tripping the gate on scheduler noise.
+* ``*per_second*`` — throughput rates, higher is better.  Fails when the
+  fresh rate drops below ``1 - --rate-tolerance`` (default 60%) of the
+  baseline; hardware varies far more than a single box's run-to-run
+  noise, so the band is wide.
+* ``*rss_bytes*`` — measured peak RSS, lower is better.  Fails only when
+  **both** more than ``--rss-tolerance`` (default 50%) above baseline
+  **and** more than ``--rss-floor`` (default 256 MiB) above it in
+  absolute terms — the pair catches an accidental n x n materialisation
+  (gigabytes) while ignoring allocator jitter.
+
+Faster / leaner-than-baseline numbers never fail.
 
 Usage (or ``make bench-check``)::
 
@@ -36,8 +50,8 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 RESULTS_DIR = BENCH_DIR / "results"
-BASELINES = ("BENCH_engine.json", "BENCH_obs.json")
-BENCH_MODULES = ("test_engine_speedup.py", "test_obs_overhead.py")
+BASELINES = ("BENCH_engine.json", "BENCH_obs.json", "BENCH_scale.json")
+BENCH_MODULES = ("test_engine_speedup.py", "test_obs_overhead.py", "test_scale.py")
 
 
 def flatten(document: object, prefix: str = "") -> dict[str, float]:
@@ -58,6 +72,20 @@ def timing_paths(leaves: dict[str, float]) -> dict[str, float]:
     }
 
 
+def rate_paths(leaves: dict[str, float]) -> dict[str, float]:
+    """Only the throughput leaves (higher is better)."""
+    return {
+        path: value for path, value in leaves.items() if "per_second" in path
+    }
+
+
+def rss_paths(leaves: dict[str, float]) -> dict[str, float]:
+    """Only the measured peak-RSS leaves (lower is better)."""
+    return {
+        path: value for path, value in leaves.items() if "rss_bytes" in path
+    }
+
+
 def compare(
     baseline: dict[str, float],
     fresh: dict[str, float],
@@ -74,6 +102,49 @@ def compare(
         if new > old * (1.0 + tolerance) and new - old > floor:
             failures.append(
                 f"SLOWER   {path}: {old:.4f}s -> {new:.4f}s "
+                f"(+{(new / old - 1.0) * 100.0:.0f}%, band is +{tolerance * 100:.0f}%)"
+            )
+    return failures
+
+
+def compare_rates(
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    tolerance: float,
+) -> list[str]:
+    """Throughput gate: fresh rate must stay within the band below baseline."""
+    failures = []
+    for path, old in sorted(baseline.items()):
+        new = fresh.get(path)
+        if new is None:
+            failures.append(f"MISSING  {path}: baseline {old:.1f}/s has no fresh value")
+            continue
+        if new < old * (1.0 - tolerance):
+            failures.append(
+                f"SLOWER   {path}: {old:.1f}/s -> {new:.1f}/s "
+                f"({(new / old - 1.0) * 100.0:.0f}%, band is -{tolerance * 100:.0f}%)"
+            )
+    return failures
+
+
+def compare_rss(
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    tolerance: float,
+    floor_bytes: float,
+) -> list[str]:
+    """Peak-RSS gate: flags growth that smells like an n x n allocation."""
+    failures = []
+    for path, old in sorted(baseline.items()):
+        new = fresh.get(path)
+        if new is None:
+            failures.append(
+                f"MISSING  {path}: baseline {old / 2**20:.0f}MiB has no fresh value"
+            )
+            continue
+        if new > old * (1.0 + tolerance) and new - old > floor_bytes:
+            failures.append(
+                f"BIGGER   {path}: {old / 2**20:.0f}MiB -> {new / 2**20:.0f}MiB "
                 f"(+{(new / old - 1.0) * 100.0:.0f}%, band is +{tolerance * 100:.0f}%)"
             )
     return failures
@@ -102,6 +173,19 @@ def main(argv: list[str] | None = None) -> int:
         help="absolute slowdown floor in seconds (noise guard)",
     )
     parser.add_argument(
+        "--rate-tolerance", type=float, default=0.6,
+        help="allowed throughput drop for *per_second* leaves "
+             "(0.6 = fail below 40%% of baseline)",
+    )
+    parser.add_argument(
+        "--rss-tolerance", type=float, default=0.5,
+        help="relative peak-RSS growth band (0.5 = fail beyond +50%%)",
+    )
+    parser.add_argument(
+        "--rss-floor", type=float, default=256 * 2**20,
+        help="absolute peak-RSS growth floor in bytes (noise guard)",
+    )
+    parser.add_argument(
         "--update", action="store_true",
         help="keep the fresh numbers as the new committed baseline",
     )
@@ -124,15 +208,29 @@ def main(argv: list[str] | None = None) -> int:
 
         failures: list[str] = []
         for name in BASELINES:
-            baseline = timing_paths(
-                flatten(json.loads((Path(checkpoint) / name).read_text("utf-8")))
+            baseline = flatten(
+                json.loads((Path(checkpoint) / name).read_text("utf-8"))
             )
-            fresh = timing_paths(
-                flatten(json.loads((RESULTS_DIR / name).read_text("utf-8")))
+            fresh = flatten(json.loads((RESULTS_DIR / name).read_text("utf-8")))
+            failures.extend(
+                f"{name}: {line}"
+                for line in compare(
+                    timing_paths(baseline), timing_paths(fresh),
+                    args.tolerance, args.floor,
+                )
             )
             failures.extend(
                 f"{name}: {line}"
-                for line in compare(baseline, fresh, args.tolerance, args.floor)
+                for line in compare_rates(
+                    rate_paths(baseline), rate_paths(fresh), args.rate_tolerance
+                )
+            )
+            failures.extend(
+                f"{name}: {line}"
+                for line in compare_rss(
+                    rss_paths(baseline), rss_paths(fresh),
+                    args.rss_tolerance, args.rss_floor,
+                )
             )
 
         if not args.update:

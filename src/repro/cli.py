@@ -129,6 +129,19 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--scale", type=float, default=1.0)
     match.add_argument("--workers", type=int, default=1,
                        help="threads for the similarity engine (0 = all cores)")
+    match.add_argument("--backend", choices=["thread", "process"], default="thread",
+                       help="shard execution backend: 'process' scores shards "
+                            "in spawned workers over shared memory (bitwise-"
+                            "identical to 'thread' at every worker count)")
+    match.add_argument("--shard-rows", type=int, default=None, metavar="ROWS",
+                       help="rows per similarity shard (default: sized from "
+                            "the chunk/memory budget)")
+    match.add_argument("--sharded-k", type=int, default=None, metavar="K",
+                       help="with --on-error fallback: on a memory-budget "
+                            "breach, rebuild the problem as blocked top-K "
+                            "candidate lists (IVF coarse-to-fine) and rerun "
+                            "the same matcher sparsely — the dense->sharded "
+                            "rung, tried before --sparse-k's rung")
     match.add_argument("--dtype", choices=["float32", "float64"], default="float64",
                        help="similarity compute precision (float32 halves "
                             "memory bandwidth on the score matrix)")
@@ -189,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--scale", type=float, default=1.0)
     build.add_argument("--clusters", type=int, default=16)
     build.add_argument("--metric", default="cosine")
+    build.add_argument("--events", default=None, metavar="PATH",
+                       help="stream build progress events (k-means rounds, "
+                            "list fill): '-' renders human-readable lines on "
+                            "stderr, anything else appends JSONL to that path")
     stats = index_sub.add_parser(
         "stats", help="print a saved index's structure statistics"
     )
@@ -284,6 +301,8 @@ def _run_match(
     index_config: IndexConfig | None = None,
     ledger_path: Path | None = None,
     events_spec: str | None = None,
+    backend: str = "thread",
+    shard_rows: int | None = None,
 ) -> int:
     task = load_preset(preset, scale=scale)
     embeddings = build_embeddings(task, regime, preset_name=preset)
@@ -293,9 +312,17 @@ def _run_match(
     metric = getattr(matcher, "metric", "cosine")
     if not isinstance(metric, str):
         metric = "cosine"
-    supervisor = RunSupervisor(policy or SupervisorPolicy())
+    policy = policy or SupervisorPolicy()
+    supervisor = RunSupervisor(policy)
     run_ledger = as_ledger(ledger_path)
-    with SimilarityEngine(workers=workers, dtype=dtype, cache=not no_cache) as engine:
+    with SimilarityEngine(
+        workers=workers,
+        dtype=dtype,
+        cache=not no_cache,
+        backend=backend,
+        memory_budget=policy.memory_budget,
+        chunk_rows=shard_rows,
+    ) as engine:
         matcher.engine = engine
         recorder = registry = None
         with ExitStack() as stack:
@@ -428,6 +455,7 @@ def _match_record(
         error=error,
         engine=engine.cache_info() if engine is not None else None,
         profile_path=str(profile_path) if profile_path is not None else None,
+        resources=engine.resource_info() if engine is not None else None,
     )
 
 
@@ -439,7 +467,15 @@ def _run_index_build(args: argparse.Namespace) -> int:
     index = IVFIndex(
         n_clusters=min(args.clusters, targets.shape[0]), metric=args.metric
     )
-    index.train(targets).add(targets)
+    with ExitStack() as stack:
+        events_spec = getattr(args, "events", None)
+        if events_spec is not None:
+            sink = (
+                obs_events.HumanSink() if events_spec == "-"
+                else obs_events.JsonlSink(events_spec)
+            )
+            stack.enter_context(obs_events.emitting(sink))
+        index.train(targets).add(targets)
     written = index.save(args.output)
     print(f"index written to {written}")
     _print_index_stats(index)
@@ -480,6 +516,7 @@ def _match_policy(args: argparse.Namespace) -> SupervisorPolicy:
         retries=args.retries,
         on_error=args.on_error,
         sparse_k=args.sparse_k,
+        sharded_k=args.sharded_k,
     )
 
 
@@ -663,6 +700,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 policy=_match_policy(args), profile_path=args.profile,
                 index_config=_match_index_config(args),
                 ledger_path=args.ledger, events_spec=args.events,
+                backend=args.backend, shard_rows=args.shard_rows,
             )
         except MatcherError as err:
             # --on-error raise tripped: one-line summary, non-zero exit.

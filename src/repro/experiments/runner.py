@@ -377,6 +377,7 @@ def _append_cell_record(
         "ranking": result.ranking,
         "top5_std": result.top5_std,
         "engine": engine.cache_info(),
+        "resources": engine.resource_info(),
     }
     run = result.runs.get(name)
     failure = result.failures.get(name)

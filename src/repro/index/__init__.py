@@ -9,9 +9,13 @@ The first path through the stack that never allocates an n x n matrix:
   instrumentation, JSON persistence);
 * :mod:`repro.index.config` — :class:`IndexConfig` +
   :func:`build_candidates`, the one-argument handle the runner,
-  pipeline, and CLI accept.
+  pipeline, and CLI accept;
+* :mod:`repro.index.blocked` — :func:`blocked_candidates`, coarse-to-
+  fine candidate generation in memory-budgeted row batches (the
+  out-of-core front end).
 """
 
+from repro.index.blocked import blocked_candidates, default_clusters, default_nprobe
 from repro.index.candidates import CandidateSet
 from repro.index.config import INDEX_KINDS, IndexConfig, build_candidates
 from repro.index.ivf import IVF_FORMAT, IVF_VERSION, IVFIndex
@@ -20,7 +24,10 @@ __all__ = [
     "CandidateSet",
     "INDEX_KINDS",
     "IndexConfig",
+    "blocked_candidates",
     "build_candidates",
+    "default_clusters",
+    "default_nprobe",
     "IVF_FORMAT",
     "IVF_VERSION",
     "IVFIndex",

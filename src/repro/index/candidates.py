@@ -108,6 +108,30 @@ class CandidateSet:
             scores[indptr[i]:indptr[i + 1]] = np.asarray(row_scores, dtype=np.float64)[order]
         return cls(indptr, indices, scores, n_targets)
 
+    @classmethod
+    def vstack(cls, parts: list["CandidateSet"]) -> "CandidateSet":
+        """Concatenate row-batched sets into one (same ``n_targets``).
+
+        The assembly step of blocked candidate generation: each batch of
+        source rows is searched independently, then the per-batch sets
+        stack into the full set.  Row order is the concatenation order.
+        """
+        if not parts:
+            raise ValueError("vstack needs at least one CandidateSet")
+        n_targets = parts[0].n_targets
+        if any(part.n_targets != n_targets for part in parts):
+            raise ValueError("vstack parts must share n_targets")
+        if len(parts) == 1:
+            return parts[0]
+        offsets = np.cumsum([0] + [part.nnz for part in parts])
+        indptr = np.concatenate(
+            [parts[0].indptr]
+            + [part.indptr[1:] + offset for part, offset in zip(parts[1:], offsets[1:])]
+        )
+        indices = np.concatenate([part.indices for part in parts])
+        scores = np.concatenate([part.scores for part in parts])
+        return cls(indptr, indices, scores, n_targets)
+
     # -- shape & accounting --------------------------------------------
 
     @property
@@ -223,11 +247,41 @@ class CandidateSet:
         score, so no decoder ever prefers a non-candidate.  Each call
         increments the ``sparse.densify`` obs counter, which the
         sparse-path tests pin to zero.
+
+        Under an active supervisor budget
+        (:func:`repro.runtime.budget.active_budget`), a matrix that
+        would not fit raises
+        :class:`~repro.errors.ResourceBudgetExceeded` *before*
+        allocating — and a raw ``MemoryError`` from the allocation is
+        rewrapped the same way — so the degradation ladder catches the
+        breach instead of the process dying on it.
         """
+        from repro.errors import ResourceBudgetExceeded
+        # Function-level import: candidates sits below the runtime
+        # package, whose __init__ pulls in the supervisor and, through
+        # the registry, the sparse kernels that operate on this class.
+        from repro.runtime.budget import active_budget
+
+        dense_bytes = self.n_sources * self.n_targets * 8
+        budget = active_budget()
+        if budget is not None and dense_bytes > budget:
+            raise ResourceBudgetExceeded(
+                f"densify would materialise {dense_bytes} bytes "
+                f"({self.n_sources} x {self.n_targets}) against a "
+                f"{budget}-byte budget",
+                peak_bytes=dense_bytes,
+                budget_bytes=budget,
+            )
         obs_metrics.get_metrics().inc("sparse.densify")
         if fill is None:
             fill = float(self.scores.min()) - 1.0 if self.nnz else 0.0
-        dense = np.full((self.n_sources, self.n_targets), fill, dtype=np.float64)
+        try:
+            dense = np.full((self.n_sources, self.n_targets), fill, dtype=np.float64)
+        except MemoryError as error:
+            raise ResourceBudgetExceeded(
+                f"densify failed to allocate {dense_bytes} bytes: {error}",
+                peak_bytes=dense_bytes,
+            ) from error
         dense[self.row_of_entry(), self.indices] = self.scores
         return dense
 

@@ -28,6 +28,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.index.candidates import CandidateSet
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.similarity.metrics import prepare_metric
@@ -83,17 +84,42 @@ class IVFIndex:
         return None if self._centroids is None else self._centroids.shape[1]
 
     def train(self, vectors: np.ndarray) -> "IVFIndex":
-        """Fit the coarse quantizer on ``vectors`` (O(n d k), no n^2)."""
+        """Fit the coarse quantizer on ``vectors`` (O(n d k), no n^2).
+
+        With an event sink installed, every assignment round emits
+        ``index.train.round`` (round number, points that changed
+        cluster), so a multi-minute build at 100k+ vectors is no longer
+        silent.  The hook never changes the fit.
+        """
         vectors = check_embedding_matrix(vectors, "vectors")
         k = min(self.n_clusters, vectors.shape[0])
+        obs_events.emit(
+            "index.train.start",
+            n=vectors.shape[0],
+            clusters=k,
+            iterations=self.train_iterations,
+        )
+        on_round = None
+        if obs_events.enabled():
+            iterations = self.train_iterations
+
+            def on_round(round_index: int, moved: int) -> None:
+                obs_events.emit(
+                    "index.train.round",
+                    round=round_index,
+                    of=iterations,
+                    moved=moved,
+                )
+
         with obs_trace.span("index.train", n=vectors.shape[0], clusters=k):
             self._centroids, self._center = kmeans_centroids(
-                vectors, k, iterations=self.train_iterations
+                vectors, k, iterations=self.train_iterations, on_round=on_round
             )
         self.n_clusters = k
         self._vectors = None
         self._assignments = None
         self._lists = []
+        obs_events.emit("index.train.finish", clusters=k)
         return self
 
     def add(self, vectors: np.ndarray) -> "IVFIndex":
@@ -113,6 +139,17 @@ class IVFIndex:
         self._lists = [
             np.flatnonzero(assignments == c) for c in range(self.n_clusters)
         ]
+        if obs_events.enabled():
+            sizes = np.array([len(lst) for lst in self._lists])
+            obs_events.emit(
+                "index.lists_filled",
+                n=vectors.shape[0],
+                lists=len(self._lists),
+                min=int(sizes.min()),
+                mean=float(sizes.mean()),
+                max=int(sizes.max()),
+                empty=int((sizes == 0).sum()),
+            )
         return self
 
     # -- search --------------------------------------------------------

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.obs.provenance import provenance
+from repro.utils.memory import peak_rss_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.config import ExperimentConfig
@@ -43,7 +44,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Document identifier; readers reject anything else.
 LEDGER_SCHEMA = "repro.run_ledger"
 #: Bumped on breaking changes only (removed/retyped required keys).
-LEDGER_VERSION = 1
+#: v2 adds the required ``resources`` block (measured peak RSS plus the
+#: engine's backend/worker/shard configuration).
+LEDGER_VERSION = 2
+#: Versions this build reads.  v1 records (no ``resources``) stay
+#: readable — the same back-compat posture as the profiles v1 -> v2 bump.
+_READABLE_VERSIONS = (1, LEDGER_VERSION)
 
 #: Every record's required keys and their JSON types.
 _RECORD_KEYS: dict[str, type | tuple[type, ...]] = {
@@ -73,7 +79,12 @@ _RECORD_KEYS: dict[str, type | tuple[type, ...]] = {
     "engine": (dict, type(None)),
     "profile_path": (str, type(None)),
     "provenance": dict,
+    "resources": dict,
 }
+
+#: Keys required only from the version that introduced them, so older
+#: records keep validating (the back-compat half of the v1 -> v2 bump).
+_KEYS_SINCE_VERSION: dict[str, int] = {"resources": 2}
 
 #: A run either completed cleanly, completed via a degradation-ladder
 #: fallback (result + recorded breach), or produced nothing.
@@ -121,6 +132,23 @@ def new_run_id() -> str:
     return uuid.uuid4().hex
 
 
+def default_resources() -> dict[str, Any]:
+    """The v2 ``resources`` block with serial defaults and measured RSS.
+
+    ``peak_rss_bytes`` comes from :func:`repro.utils.memory.
+    peak_rss_bytes` — the same module the supervisor's analytic budgets
+    live in, so the ledger's measured number and the budget's declared
+    number share one home and one unit.  Callers with an engine merge
+    its ``resource_info()`` over these defaults.
+    """
+    return {
+        "backend": "thread",
+        "workers": 1,
+        "shards": 0,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
 def utc_now() -> str:
     """ISO-8601 UTC timestamp for ``created_at``."""
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
@@ -149,12 +177,15 @@ def build_record(
     error: Mapping[str, str] | None = None,
     engine: Mapping[str, Any] | None = None,
     profile_path: str | None = None,
+    resources: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble (and validate) one ledger record.
 
     ``metrics`` is ``None`` exactly when the run produced nothing
     (status ``"failed"``); ``error`` is ``{"type": ..., "message": ...}``
-    for failed and degraded runs.
+    for failed and degraded runs.  ``resources`` (engine backend/worker/
+    shard configuration) is merged over :func:`default_resources`, so
+    the measured peak RSS is always present.
     """
     record = {
         "schema": LEDGER_SCHEMA,
@@ -183,6 +214,7 @@ def build_record(
         "engine": dict(engine) if engine is not None else None,
         "profile_path": profile_path,
         "provenance": provenance(),
+        "resources": {**default_resources(), **dict(resources or {})},
     }
     return validate_record(record)
 
@@ -200,12 +232,15 @@ def validate_record(record: Any) -> dict[str, Any]:
         raise ValueError(
             f"unknown ledger schema {record.get('schema')!r}; expected {LEDGER_SCHEMA!r}"
         )
-    if record.get("version") != LEDGER_VERSION:
+    if record.get("version") not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported ledger version {record.get('version')!r}; "
-            f"this library reads version {LEDGER_VERSION}"
+            f"this library reads versions {_READABLE_VERSIONS}"
         )
+    version = record["version"]
     for key, kind in _RECORD_KEYS.items():
+        if version < _KEYS_SINCE_VERSION.get(key, 0):
+            continue  # key postdates this record's schema version
         if key not in record:
             raise ValueError(f"ledger record is missing required key {key!r}")
         if not isinstance(record[key], kind):

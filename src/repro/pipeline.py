@@ -275,6 +275,7 @@ class AlignmentPipeline:
                 chain=list(supervision.chain) if supervision is not None else [],
                 error=error,
                 engine=engine.cache_info() if engine is not None else None,
+                resources=engine.resource_info() if engine is not None else None,
             )
         )
 

@@ -1,0 +1,47 @@
+"""Ambient memory budget shared between the supervisor and lower layers.
+
+The supervisor knows the policy's memory budget; the code that actually
+materialises dense matrices (``CandidateSet.densify``, matcher fallback
+paths) lives several layers below and has no policy in scope.  Rather
+than threading a budget argument through every matcher signature, the
+supervisor publishes the active budget here for the duration of an
+attempt, and the low layers consult it before allocating.
+
+The stack is a plain module-level list, *not* a :mod:`contextvars`
+variable: the supervisor's deadline path runs the matcher on a worker
+thread, and context variables do not propagate to threads started inside
+the scope.  A module-level stack is visible from any thread, which is
+exactly the semantics a process-wide budget wants.  Nesting pushes; the
+innermost (most recently entered) budget wins.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_BUDGETS: list[int] = []
+
+
+def active_budget() -> int | None:
+    """The innermost active memory budget in bytes, or ``None``."""
+    return _BUDGETS[-1] if _BUDGETS else None
+
+
+@contextmanager
+def budget_scope(budget_bytes: int | None) -> Iterator[None]:
+    """Publish ``budget_bytes`` as the active budget for this scope.
+
+    ``None`` is a no-op scope, so callers can wrap unconditionally with
+    whatever their policy holds.
+    """
+    if budget_bytes is None:
+        yield
+        return
+    if budget_bytes < 1:
+        raise ValueError(f"budget_bytes must be >= 1, got {budget_bytes}")
+    _BUDGETS.append(int(budget_bytes))
+    try:
+        yield
+    finally:
+        _BUDGETS.pop()

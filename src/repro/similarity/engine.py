@@ -42,8 +42,9 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import get_context
 
 import numpy as np
 
@@ -52,10 +53,16 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.similarity.chunked import chunked_csls_top_k, chunked_top_k
 from repro.similarity.metrics import prepare_metric
+from repro.similarity.sharded import (
+    PROCESS_MIN_ELEMS,
+    process_sharded_similarity,
+    score_shard,
+)
 from repro.similarity.topk import top_k_indices
 from repro.utils.parallel import (
     DEFAULT_CHUNK_ELEMS,
     map_chunks,
+    plan_shards,
     resolve_workers,
     row_chunks,
     rows_per_chunk,
@@ -130,6 +137,21 @@ class SimilarityEngine:
         Explicit rows-per-chunk override; ``None`` derives it from
         ``chunk_elems``.  Part of the determinism contract — results
         depend on the grid, never on ``workers``.
+    backend:
+        ``"thread"`` (default) or ``"process"``.  The process backend
+        runs shard workers over shared memory; it engages only when
+        ``workers > 1``, the problem exceeds ``process_threshold``
+        output elements, and the plan has more than one shard —
+        otherwise threads run the identical shard grid.  Scores are
+        bitwise-identical either way.
+    memory_budget:
+        Per-shard working-set budget in bytes.  Setting it switches
+        ``similarity`` onto the 2-D shard grid of
+        :func:`~repro.utils.parallel.plan_shards`.
+    shard_cols:
+        Explicit columns-per-shard override for the 2-D grid (also
+        activates it).  Like ``chunk_rows``, part of the grid policy —
+        never worker-dependent.
     """
 
     def __init__(
@@ -140,6 +162,11 @@ class SimilarityEngine:
         cache_size: int = 4,
         chunk_elems: int = DEFAULT_CHUNK_ELEMS,
         chunk_rows: int | None = None,
+        backend: str = "thread",
+        memory_budget: int | None = None,
+        shard_cols: int | None = None,
+        process_threshold: int = PROCESS_MIN_ELEMS,
+        mp_context: str = "spawn",
     ) -> None:
         self.workers = resolve_workers(workers)
         self.dtype = np.dtype(dtype)
@@ -149,22 +176,38 @@ class SimilarityEngine:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         if chunk_rows is not None and chunk_rows < 1:
             raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
+        if memory_budget is not None and memory_budget < 1:
+            raise ValueError(f"memory_budget must be >= 1 byte, got {memory_budget}")
+        if shard_cols is not None and shard_cols < 1:
+            raise ValueError(f"shard_cols must be >= 1, got {shard_cols}")
         self.cache_enabled = bool(cache)
         self.cache_size = cache_size
         self.chunk_elems = chunk_elems
         self.chunk_rows = chunk_rows
+        self.backend = backend
+        self.memory_budget = memory_budget
+        self.shard_cols = shard_cols
+        self.process_threshold = process_threshold
+        self.mp_context = mp_context
         self.stats = EngineStats()
         self._cache: OrderedDict[CacheKey, _CacheEntry] = OrderedDict()
         self._lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessPoolExecutor | None = None
+        self._last_compute: dict[str, object] = {}
 
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the worker pool and drop cached matrices."""
+        """Shut down the worker pools and drop cached matrices."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
         self.clear_cache()
 
     def __enter__(self) -> "SimilarityEngine":
@@ -181,6 +224,15 @@ class SimilarityEngine:
                 max_workers=self.workers, thread_name_prefix="simeng"
             )
         return self._pool
+
+    def _process_executor(self) -> ProcessPoolExecutor:
+        if self._process_pool is None:
+            # Spawn, not fork: forking a process whose BLAS has started
+            # threads can deadlock the child inside the kernel.
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=get_context(self.mp_context)
+            )
+        return self._process_pool
 
     # -- cache ---------------------------------------------------------
 
@@ -245,6 +297,15 @@ class SimilarityEngine:
                     obs_metrics.get_metrics().inc("engine.cache.evictions")
         return scores
 
+    @property
+    def _sharded(self) -> bool:
+        """Whether ``similarity`` runs on the 2-D shard grid."""
+        return (
+            self.backend == "process"
+            or self.memory_budget is not None
+            or self.shard_cols is not None
+        )
+
     def _compute(
         self, source: np.ndarray, target: np.ndarray, metric: str
     ) -> np.ndarray:
@@ -258,26 +319,34 @@ class SimilarityEngine:
             cols=n_target,
             dtype=self.dtype.name,
             workers=self.workers,
+            backend=self.backend,
         ) as span:
-            kernel = prepare_metric(metric, source, target, chunk_elems=self.chunk_elems)
-            chunk = self.chunk_rows or rows_per_chunk(n_target, self.chunk_elems)
-            out = np.empty((n_source, n_target), dtype=self.dtype)
-            chunks = row_chunks(n_source, chunk)
+            if self._sharded:
+                out, n_chunks = self._compute_sharded(source, target, metric, span)
+            else:
+                kernel = prepare_metric(
+                    metric, source, target, chunk_elems=self.chunk_elems
+                )
+                chunk = self.chunk_rows or rows_per_chunk(n_target, self.chunk_elems)
+                out = np.empty((n_source, n_target), dtype=self.dtype)
+                chunks = row_chunks(n_source, chunk)
 
-            def work(rows: slice) -> None:
-                # Chunk kernels run on pool threads, so the parent is pinned
-                # explicitly (the span stack is thread-local).
-                with obs_trace.span(
-                    "engine.chunk", parent=span, start=rows.start, stop=rows.stop
-                ):
-                    out[rows] = kernel(rows)
+                def work(rows: slice) -> None:
+                    # Chunk kernels run on pool threads, so the parent is
+                    # pinned explicitly (the span stack is thread-local).
+                    with obs_trace.span(
+                        "engine.chunk", parent=span, start=rows.start, stop=rows.stop
+                    ):
+                        out[rows] = kernel(rows)
 
-            map_chunks(work, chunks, self.workers, self._executor())
-            span.count("chunks", len(chunks))
+                map_chunks(work, chunks, self.workers, self._executor())
+                n_chunks = len(chunks)
+                self._last_compute = {"backend": "thread", "shards": n_chunks}
+            span.count("chunks", n_chunks)
         self.stats.computations += 1
         registry = obs_metrics.get_metrics()
         registry.inc("engine.computations")
-        registry.inc("engine.chunks", len(chunks))
+        registry.inc("engine.chunks", n_chunks)
         # Once per computed matrix (the cold path only), so the live
         # stream sees "score matrix ready" without touching the chunk loop.
         obs_events.emit(
@@ -286,9 +355,81 @@ class SimilarityEngine:
             rows=n_source,
             cols=n_target,
             dtype=self.dtype.name,
-            chunks=len(chunks),
+            chunks=n_chunks,
         )
         return out
+
+    def _compute_sharded(
+        self, source: np.ndarray, target: np.ndarray, metric: str, span
+    ) -> tuple[np.ndarray, int]:
+        """Score over the 2-D shard grid, on threads or shard processes.
+
+        Both backends run :func:`~repro.similarity.sharded.score_shard`
+        over the identical plan, so the choice never shows in the bits.
+        """
+        n_source, n_target = source.shape[0], target.shape[0]
+        plan = plan_shards(
+            n_source,
+            n_target,
+            chunk_rows=self.chunk_rows,
+            chunk_cols=self.shard_cols,
+            memory_budget=self.memory_budget,
+            itemsize=self.dtype.itemsize,
+            chunk_elems=self.chunk_elems,
+        )
+        use_processes = (
+            self.backend == "process"
+            and self.workers > 1
+            and len(plan) > 1
+            and n_source * n_target >= self.process_threshold
+        )
+        if use_processes:
+            out, seconds = process_sharded_similarity(
+                source,
+                target,
+                metric,
+                plan,
+                pool=self._process_executor(),
+                chunk_elems=self.chunk_elems,
+            )
+            for shard, shard_seconds in zip(plan, seconds):
+                obs_trace.event(
+                    "engine.shard",
+                    backend="process",
+                    rows=f"{shard.rows.start}:{shard.rows.stop}",
+                    cols=f"{shard.cols.start}:{shard.cols.stop}",
+                    seconds=round(shard_seconds, 6),
+                )
+            executed = "process"
+        else:
+            out = np.empty((n_source, n_target), dtype=self.dtype)
+
+            def work(shard) -> None:
+                with obs_trace.span(
+                    "engine.shard",
+                    parent=span,
+                    backend="thread",
+                    rows=f"{shard.rows.start}:{shard.rows.stop}",
+                    cols=f"{shard.cols.start}:{shard.cols.stop}",
+                ):
+                    out[shard.rows, shard.cols] = score_shard(
+                        source, target, metric, shard, self.chunk_elems
+                    )
+
+            map_chunks(work, plan, self.workers, self._executor())
+            executed = "thread"
+        self._last_compute = {"backend": executed, "shards": len(plan)}
+        return out, len(plan)
+
+    def resource_info(self) -> dict[str, object]:
+        """Backend/worker configuration and last shard count (for ledgers)."""
+        info: dict[str, object] = {
+            "backend": self.backend,
+            "workers": self.workers,
+            "shards": 0,
+        }
+        info.update(self._last_compute)
+        return info
 
     # -- chunked entry points ------------------------------------------
 

@@ -1,0 +1,23 @@
+"""Out-of-core embedding storage.
+
+Embeddings at DWY100K scale and beyond should live on disk once and be
+mapped, not copied, into every process that scores them.  This package
+provides the memmap-backed :class:`EmbeddingStore` used by the sharded
+matching path.
+"""
+
+from repro.storage.memmap import (
+    HEADER_BYTES,
+    STORE_FORMAT,
+    STORE_MAGIC,
+    STORE_VERSION,
+    EmbeddingStore,
+)
+
+__all__ = [
+    "HEADER_BYTES",
+    "STORE_FORMAT",
+    "STORE_MAGIC",
+    "STORE_VERSION",
+    "EmbeddingStore",
+]

@@ -1,0 +1,229 @@
+"""Memmap-backed embedding store with a schema-versioned header.
+
+File layout::
+
+    [ 8 bytes magic ][ JSON header, space-padded to HEADER_BYTES - 8 ]
+    [ raw row-major array buffer ]
+
+The header records the schema version, dtype, shape, and element order,
+and every open validates all four plus the file size, so a truncated or
+foreign file fails loudly instead of yielding garbage embeddings.  The
+body is read through :class:`numpy.memmap`, so :meth:`rows` hands out
+zero-copy row-shard views — the page cache, not the Python heap, holds
+the embeddings, and multiple worker processes mapping the same store
+share the physical pages.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+STORE_MAGIC = b"REPROEMB"
+STORE_FORMAT = "repro.embedding_store"
+STORE_VERSION = 1
+#: Versions this build can read.
+_READABLE_VERSIONS = (STORE_VERSION,)
+#: Fixed header region: magic + padded JSON.  The body starts here, so
+#: the data offset never depends on header contents.
+HEADER_BYTES = 4096
+_ALLOWED_DTYPES = ("float32", "float64")
+
+
+def _build_header(shape: tuple[int, int], dtype: np.dtype) -> bytes:
+    payload = {
+        "format": STORE_FORMAT,
+        "version": STORE_VERSION,
+        "dtype": dtype.name,
+        "shape": list(shape),
+        "order": "C",
+    }
+    encoded = json.dumps(payload, sort_keys=True).encode("ascii")
+    room = HEADER_BYTES - len(STORE_MAGIC)
+    if len(encoded) > room:  # pragma: no cover - needs absurd shapes
+        raise ValueError(f"store header too large ({len(encoded)} > {room} bytes)")
+    return STORE_MAGIC + encoded.ljust(room, b" ")
+
+
+def _check_matrix(shape: tuple[int, ...], dtype: np.dtype) -> tuple[int, int]:
+    if len(shape) != 2:
+        raise ValueError(f"embedding store holds 2-D matrices, got shape {shape}")
+    n_rows, dim = int(shape[0]), int(shape[1])
+    if n_rows < 0 or dim < 1:
+        raise ValueError(f"invalid store shape {shape}")
+    if dtype.name not in _ALLOWED_DTYPES:
+        raise ValueError(
+            f"embedding store dtype must be one of {_ALLOWED_DTYPES}, got {dtype.name}"
+        )
+    return n_rows, dim
+
+
+def _read_header(path: Path) -> dict:
+    with open(path, "rb") as handle:
+        head = handle.read(HEADER_BYTES)
+    if len(head) < HEADER_BYTES or not head.startswith(STORE_MAGIC):
+        raise ValueError(f"{path} is not a repro embedding store (bad magic)")
+    try:
+        header = json.loads(head[len(STORE_MAGIC):].decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"{path} has a corrupt store header: {error}") from error
+    if not isinstance(header, dict) or header.get("format") != STORE_FORMAT:
+        raise ValueError(f"{path} header is not {STORE_FORMAT!r}")
+    if header.get("version") not in _READABLE_VERSIONS:
+        raise ValueError(
+            f"{path} has store version {header.get('version')!r}; "
+            f"this build reads {_READABLE_VERSIONS}"
+        )
+    if header.get("order") != "C":
+        raise ValueError(f"{path} has unsupported element order {header.get('order')!r}")
+    if header.get("dtype") not in _ALLOWED_DTYPES:
+        raise ValueError(f"{path} has unsupported dtype {header.get('dtype')!r}")
+    shape = header.get("shape")
+    if (
+        not isinstance(shape, list)
+        or len(shape) != 2
+        or not all(isinstance(side, int) and side >= 0 for side in shape)
+    ):
+        raise ValueError(f"{path} has invalid shape {shape!r}")
+    return header
+
+
+class EmbeddingStore:
+    """A 2-D embedding matrix persisted to disk and accessed via memmap.
+
+    Construct through :meth:`write` (persist an in-memory array),
+    :meth:`create` (allocate an empty store to fill row-band by
+    row-band), or :meth:`open` (map an existing file).  Instances are
+    context managers; :meth:`close` drops the mapping.
+    """
+
+    def __init__(self, path: Path, mmap: np.memmap, header: dict):
+        self.path = path
+        self.header = header
+        self._mmap: np.memmap | None = mmap
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def write(cls, path: str | Path, array: np.ndarray) -> "EmbeddingStore":
+        """Persist ``array`` to ``path`` and return the mapped store."""
+        array = np.asarray(array)
+        _check_matrix(array.shape, array.dtype)
+        path = Path(path)
+        with open(path, "wb") as handle:
+            handle.write(_build_header(array.shape, array.dtype))
+            np.ascontiguousarray(array).tofile(handle)
+        return cls.open(path)
+
+    @classmethod
+    def create(
+        cls, path: str | Path, shape: tuple[int, int], dtype: str | np.dtype = "float32"
+    ) -> "EmbeddingStore":
+        """Allocate a zero-filled writable store (fill via ``rows``)."""
+        dtype = np.dtype(dtype)
+        n_rows, dim = _check_matrix(tuple(shape), dtype)
+        path = Path(path)
+        with open(path, "wb") as handle:
+            handle.write(_build_header((n_rows, dim), dtype))
+            handle.truncate(HEADER_BYTES + n_rows * dim * dtype.itemsize)
+        return cls.open(path, mode="r+")
+
+    @classmethod
+    def open(cls, path: str | Path, mode: str = "r") -> "EmbeddingStore":
+        """Map an existing store, validating header and file size."""
+        if mode not in ("r", "r+"):
+            raise ValueError(f"mode must be 'r' or 'r+', got {mode!r}")
+        path = Path(path)
+        header = _read_header(path)
+        dtype = np.dtype(header["dtype"])
+        shape = (header["shape"][0], header["shape"][1])
+        expected = HEADER_BYTES + shape[0] * shape[1] * dtype.itemsize
+        actual = path.stat().st_size
+        if actual != expected:
+            raise ValueError(
+                f"{path} is truncated or padded: {actual} bytes on disk, "
+                f"header promises {expected}"
+            )
+        mmap = np.memmap(path, dtype=dtype, mode=mode, offset=HEADER_BYTES, shape=shape)
+        return cls(path, mmap, header)
+
+    # -- array access --------------------------------------------------
+
+    @property
+    def _map(self) -> np.memmap:
+        if self._mmap is None:
+            raise ValueError(f"embedding store {self.path} is closed")
+        return self._mmap
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return tuple(self._map.shape)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._map.dtype
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of embedding data on disk (header excluded)."""
+        return int(self._map.nbytes)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __getitem__(self, key) -> np.ndarray:
+        return self._map[key]
+
+    def __setitem__(self, key, value) -> None:
+        self._map[key] = value
+
+    def rows(self, rows: slice) -> np.ndarray:
+        """Zero-copy view of a row shard (no page is touched until read)."""
+        if not isinstance(rows, slice):
+            raise TypeError(f"rows() takes a slice, got {type(rows).__name__}")
+        return self._map[rows]
+
+    def row_shards(self, chunk_rows: int) -> Iterator[tuple[slice, np.ndarray]]:
+        """Iterate ``(slice, view)`` row bands of ``chunk_rows`` rows."""
+        from repro.utils.parallel import row_chunks
+
+        for band in row_chunks(self.n_rows, chunk_rows):
+            yield band, self.rows(band)
+
+    def as_array(self) -> np.ndarray:
+        """The whole store as one (memmap-backed) array view."""
+        return self._map[:]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def flush(self) -> None:
+        """Push written pages to disk (writable stores)."""
+        self._map.flush()
+
+    def close(self) -> None:
+        """Drop the mapping; subsequent access raises."""
+        if self._mmap is not None:
+            if self._mmap.mode != "r":
+                self._mmap.flush()
+            self._mmap = None
+
+    def __enter__(self) -> "EmbeddingStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._mmap is None else f"{self.shape} {self.dtype.name}"
+        return f"EmbeddingStore({self.path.name}: {state})"

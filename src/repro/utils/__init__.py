@@ -6,7 +6,7 @@ and provide the lightweight instrumentation used by the efficiency
 experiments (Figure 5 and Table 6 of the paper).
 """
 
-from repro.utils.memory import MemoryTracker, matrix_bytes
+from repro.utils.memory import MemoryTracker, matrix_bytes, peak_rss_bytes
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
 from repro.utils.timing import Stopwatch, timed
 from repro.utils.validation import (
@@ -24,6 +24,7 @@ __all__ = [
     "check_shape_compatible",
     "ensure_rng",
     "matrix_bytes",
+    "peak_rss_bytes",
     "spawn_rngs",
     "timed",
 ]

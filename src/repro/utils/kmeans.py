@@ -15,11 +15,16 @@ fixed iteration count, and no randomness anywhere.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 
 def kmeans_centroids(
-    matrix: np.ndarray, k: int, iterations: int = 8
+    matrix: np.ndarray,
+    k: int,
+    iterations: int = 8,
+    on_round: Callable[[int, int], None] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Deterministic mini k-means over centered embeddings.
 
@@ -30,6 +35,11 @@ def kmeans_centroids(
     spread.  Returns ``(centroids, center)``; the centroids live in the
     centered frame, so queries must be shifted by the same ``center``
     (see :func:`centroid_distances`).
+
+    ``on_round(round_index, moved)`` is called after each assignment
+    round with the 1-based round number and how many points changed
+    cluster — a progress hook, so this module needs no dependency on the
+    telemetry layer.  Passing it never changes the fit.
     """
     center = matrix.mean(axis=0)
     centered = matrix - center
@@ -44,7 +54,8 @@ def kmeans_centroids(
         )
     centroids = centered[chosen].copy()
 
-    for _ in range(iterations):
+    previous = None
+    for round_index in range(iterations):
         assignment = centroid_distances(
             centered, centroids, np.zeros_like(center)
         ).argmin(axis=1)
@@ -52,6 +63,14 @@ def kmeans_centroids(
             members = centered[assignment == b]
             if len(members):
                 centroids[b] = members.mean(axis=0)
+        if on_round is not None:
+            moved = (
+                len(assignment)
+                if previous is None
+                else int(np.count_nonzero(assignment != previous))
+            )
+            on_round(round_index + 1, moved)
+            previous = assignment
     return centroids, center
 
 

@@ -10,6 +10,7 @@ that is deterministic and test-friendly.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -60,3 +61,20 @@ class MemoryTracker:
     def fits_within(self, budget_bytes: int) -> bool:
         """Whether the run stayed within ``budget_bytes`` (Table 6 "Mem.")."""
         return self.peak_bytes <= budget_bytes
+
+
+def peak_rss_bytes() -> int:
+    """Measured process-lifetime peak resident set size, in bytes.
+
+    Complements the *declared* accounting above: trackers bound what a
+    matcher says it materialises; this reports what the OS actually saw.
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; returns 0 on
+    platforms without ``resource``.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1 if sys.platform == "darwin" else 1024
+    return int(peak) * scale

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
 #: Default per-chunk working-set budget, in array *elements* (not bytes).
@@ -27,6 +28,12 @@ from typing import Callable, Iterable, Sequence, TypeVar
 #: full throughput, small enough that a handful of in-flight chunks fit
 #: comfortably in memory alongside the output matrix.
 DEFAULT_CHUNK_ELEMS = 2**22
+
+#: How many shard working sets a memory budget must cover: the tile
+#: being written, the kernel's intermediate, and headroom for a couple
+#: of in-flight shards.  A fixed constant — never the worker count —
+#: so the planner's grid stays independent of scheduling.
+SHARD_BUDGET_FACTOR = 4
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -70,6 +77,72 @@ def row_chunks(n_rows: int, chunk_rows: int) -> list[slice]:
     return [
         slice(start, min(start + chunk_rows, n_rows))
         for start in range(0, n_rows, chunk_rows)
+    ]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One row x column tile of a 2-D problem.
+
+    A shard owns a disjoint rectangle of the output, so shards can be
+    scored in any order (and on any executor) without synchronisation.
+    """
+
+    rows: slice
+    cols: slice
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(n_rows, n_cols) of this tile."""
+        return (self.rows.stop - self.rows.start, self.cols.stop - self.cols.start)
+
+    @property
+    def elems(self) -> int:
+        """Output elements this tile materialises."""
+        n_rows, n_cols = self.shape
+        return n_rows * n_cols
+
+
+def plan_shards(
+    n_rows: int,
+    n_cols: int,
+    *,
+    chunk_rows: int | None = None,
+    chunk_cols: int | None = None,
+    memory_budget: int | None = None,
+    itemsize: int = 8,
+    chunk_elems: int = DEFAULT_CHUNK_ELEMS,
+) -> list[Shard]:
+    """Cut an ``n_rows x n_cols`` problem into a deterministic shard grid.
+
+    2-D generalisation of :func:`row_chunks`: when a row band alone would
+    blow the working-set budget (very wide targets), columns are split
+    too.  ``memory_budget`` (bytes) caps the per-shard working set at
+    ``memory_budget / SHARD_BUDGET_FACTOR``; without it the element
+    budget ``chunk_elems`` applies.  Explicit ``chunk_rows`` /
+    ``chunk_cols`` override the derived tile sides.
+
+    Same determinism contract as the 1-D grid: the plan is a function of
+    the problem shape and this policy only — never of worker count or
+    backend — and shards are emitted in row-major order.
+    """
+    if n_rows < 0 or n_cols < 0:
+        raise ValueError(f"shape must be non-negative, got ({n_rows}, {n_cols})")
+    if memory_budget is not None:
+        if memory_budget < 1:
+            raise ValueError(f"memory_budget must be >= 1 byte, got {memory_budget}")
+        shard_elems = max(1, memory_budget // (SHARD_BUDGET_FACTOR * max(1, itemsize)))
+        shard_elems = min(shard_elems, chunk_elems)
+    else:
+        shard_elems = chunk_elems
+    if n_rows == 0 or n_cols == 0:
+        return []
+    cols_per = chunk_cols if chunk_cols is not None else min(n_cols, shard_elems)
+    rows_per = chunk_rows if chunk_rows is not None else max(1, shard_elems // cols_per)
+    return [
+        Shard(rows, cols)
+        for rows in row_chunks(n_rows, rows_per)
+        for cols in row_chunks(n_cols, cols_per)
     ]
 
 

@@ -114,18 +114,27 @@ class TestMemoryDiscipline:
 class TestDensifyFallback:
     """Matchers without a sparse kernel transparently densify (and say so)."""
 
-    def test_hungarian_falls_back_through_densify(self, rng):
+    def test_sinkhorn_falls_back_through_densify(self, rng):
         scores = rng.random((10, 10))
         candidates = full_candidate_set(scores)
         registry = get_metrics()
         before = registry.counter("sparse.densify")
-        sparse = Hungarian().match_candidates(candidates)
+        sparse = Sinkhorn().match_candidates(candidates)
         assert registry.counter("sparse.densify") == before + 1
-        dense = Hungarian().match_scores(scores)
+        dense = Sinkhorn().match_scores(scores)
         np.testing.assert_array_equal(sparse.pairs, dense.pairs)
+
+    def test_hungarian_no_longer_densifies(self, rng):
+        # The LAPJVsp solver gave Hungarian a native sparse kernel; the
+        # densify fallback must stay untouched on its candidate path.
+        scores = rng.random((10, 10))
+        registry = get_metrics()
+        before = registry.counter("sparse.densify")
+        Hungarian().match_candidates(full_candidate_set(scores))
+        assert registry.counter("sparse.densify") == before
 
     def test_supports_sparse_flags(self):
         for matcher_cls in SPARSE_MATCHERS:
             assert matcher_cls().supports_sparse, matcher_cls.__name__
-        assert not Hungarian().supports_sparse
+        assert Hungarian().supports_sparse
         assert not Sinkhorn().supports_sparse

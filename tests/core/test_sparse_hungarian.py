@@ -1,0 +1,186 @@
+"""Differential tests for the sparse (LAPJVsp-style) Hungarian solver.
+
+The solver must agree with the dense Jonker-Volgenant solver and with
+scipy wherever the problems coincide (full candidate sets), degrade
+gracefully where they cannot (truncated candidate graphs: maximum
+cardinality first, then maximum score, with an explicit shortfall), and
+hold the O(n k) memory discipline the out-of-core path exists for.
+"""
+
+import numpy as np
+import pytest
+import scipy.optimize
+
+from repro.core.hungarian import Hungarian, SparseAssignment, solve_assignment_sparse
+from repro.index import CandidateSet
+from repro.obs.metrics import get_metrics
+from repro.similarity.chunked import chunked_top_k
+from repro.similarity.metrics import similarity_matrix
+from repro.similarity.topk import top_k_indices
+from repro.testing import forbid_allocations
+
+BIG_NEGATIVE = -1e9
+
+
+def full_candidate_set(scores):
+    n_targets = scores.shape[1]
+    indices = top_k_indices(scores, n_targets)
+    values = np.take_along_axis(scores, indices, axis=1)
+    return CandidateSet.from_topk(indices, values, n_targets)
+
+def truncated_candidate_set(scores, k):
+    indices = top_k_indices(scores, k)
+    values = np.take_along_axis(scores, indices, axis=1)
+    return CandidateSet.from_topk(indices, values, scores.shape[1])
+
+
+def aligned_embeddings(rng, size, dim=32, noise=0.3):
+    latent = rng.normal(size=(size, dim))
+    source = latent + noise * rng.normal(size=(size, dim))
+    target = latent + noise * rng.normal(size=(size, dim))
+    return source, target
+
+
+def hits_at_1(result, size):
+    matched = {tuple(pair) for pair in result.pairs}
+    return sum((i, i) in matched for i in range(size)) / size
+
+
+def scipy_total_on_candidates(candidates):
+    """Optimal real-arc total via scipy on the big-negative densified matrix."""
+    dense = np.full((candidates.n_sources, candidates.n_targets), BIG_NEGATIVE)
+    for row in range(candidates.n_sources):
+        ids, vals = candidates.row(row)
+        dense[row, ids] = vals
+    rows, cols = scipy.optimize.linear_sum_assignment(dense, maximize=True)
+    real = dense[rows, cols] > BIG_NEGATIVE / 2
+    return dense[rows, cols][real].sum(), int(real.sum())
+
+
+class TestFullSetDifferential:
+    """On complete candidate graphs the three solvers coincide."""
+
+    @pytest.mark.parametrize("shape", [(12, 12), (9, 14), (14, 9)])
+    def test_total_matches_dense_and_scipy(self, rng, shape):
+        for trial in range(5):
+            scores = rng.random(shape)
+            sparse = solve_assignment_sparse(full_candidate_set(scores))
+            rows, cols = scipy.optimize.linear_sum_assignment(scores, maximize=True)
+            assert sparse.pair_scores.sum() == pytest.approx(
+                scores[rows, cols].sum(), abs=1e-9
+            )
+            assert len(sparse.pairs) == min(shape)
+            # Rows beyond the column count necessarily abstain.
+            assert sparse.shortfall == max(0, shape[0] - shape[1])
+
+    def test_square_total_matches_dense_solver(self, rng):
+        scores = rng.random((15, 15))
+        sparse = solve_assignment_sparse(full_candidate_set(scores))
+        dense = Hungarian().match_scores(scores)
+        assert sparse.pair_scores.sum() == pytest.approx(
+            dense.scores.sum(), abs=1e-9
+        )
+
+    def test_handles_ties(self):
+        scores = np.zeros((6, 6))
+        sparse = solve_assignment_sparse(full_candidate_set(scores))
+        assert sorted(sparse.pairs[:, 0].tolist()) == list(range(6))
+        assert sorted(sparse.pairs[:, 1].tolist()) == list(range(6))
+
+    def test_handles_negative_scores(self, rng):
+        scores = rng.normal(size=(10, 10))
+        sparse = solve_assignment_sparse(full_candidate_set(scores))
+        rows, cols = scipy.optimize.linear_sum_assignment(scores, maximize=True)
+        assert sparse.pair_scores.sum() == pytest.approx(
+            scores[rows, cols].sum(), abs=1e-9
+        )
+
+    def test_one_to_one_always(self, rng):
+        scores = rng.random((20, 20))
+        sparse = solve_assignment_sparse(full_candidate_set(scores))
+        assert len(set(sparse.pairs[:, 0].tolist())) == len(sparse.pairs)
+        assert len(set(sparse.pairs[:, 1].tolist())) == len(sparse.pairs)
+
+
+class TestTruncatedDifferential:
+    """On top-k graphs: optimal over the arcs that exist."""
+
+    @pytest.mark.parametrize("k", [3, 5, 8])
+    def test_total_matches_scipy_on_densified(self, rng, k):
+        for trial in range(5):
+            scores = rng.random((16, 16))
+            candidates = truncated_candidate_set(scores, k)
+            sparse = solve_assignment_sparse(candidates)
+            expected_total, expected_matches = scipy_total_on_candidates(candidates)
+            assert len(sparse.pairs) == expected_matches
+            assert sparse.pair_scores.sum() == pytest.approx(expected_total, abs=1e-9)
+
+    def test_infeasible_rows_become_shortfall(self):
+        # Two rows compete for the single existing column; the better
+        # row wins, the other abstains.
+        indptr = np.array([0, 1, 2])
+        indices = np.array([0, 0])
+        values = np.array([0.9, 0.4])
+        candidates = CandidateSet(indptr, indices, values, n_targets=3)
+        sparse = solve_assignment_sparse(candidates)
+        assert sparse.shortfall == 1
+        np.testing.assert_array_equal(sparse.pairs, [[0, 0]])
+
+    def test_empty_rows_abstain(self, rng):
+        scores = rng.random((4, 4))
+        candidates = truncated_candidate_set(scores, 2)
+        hollow = CandidateSet(
+            np.array([0, *candidates.indptr[1:-1], candidates.indptr[-2]]),
+            candidates.indices[: candidates.indptr[-2]],
+            candidates.scores[: candidates.indptr[-2]],
+            n_targets=4,
+        )
+        # Last row now has no candidates at all.
+        sparse = solve_assignment_sparse(hollow)
+        assert sparse.shortfall >= 1
+        assert all(row != 3 for row, _ in sparse.pairs)
+
+    def test_empty_problem(self):
+        empty = CandidateSet(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64),
+                             np.empty(0), n_targets=0)
+        sparse = solve_assignment_sparse(empty)
+        assert isinstance(sparse, SparseAssignment)
+        assert len(sparse.pairs) == 0
+        assert sparse.shortfall == 0
+
+
+class TestMatcherIntegration:
+    def test_hits_at_1_within_one_point_of_dense_at_k50(self, rng):
+        size = 400
+        source, target = aligned_embeddings(rng, size)
+        scores = similarity_matrix(source, target)
+        ids, vals = chunked_top_k(source, target, 50)
+        candidates = CandidateSet.from_topk(ids, vals, size)
+        matcher = Hungarian()
+        dense_hits = hits_at_1(matcher.match_scores(scores), size)
+        registry = get_metrics()
+        densifies = registry.counter("sparse.densify")
+        with forbid_allocations(size * size):
+            sparse_result = matcher.match_candidates(candidates)
+        assert registry.counter("sparse.densify") == densifies
+        sparse_hits = hits_at_1(sparse_result, size)
+        assert dense_hits > 0.5  # the task is actually solvable
+        assert abs(dense_hits - sparse_hits) <= 0.01
+
+    def test_counters_and_shortfall_signal(self):
+        indptr = np.array([0, 1, 2])
+        indices = np.array([0, 0])
+        values = np.array([0.9, 0.4])
+        candidates = CandidateSet(indptr, indices, values, n_targets=2)
+        registry = get_metrics()
+        solves = registry.counter("hungarian.sparse.solves")
+        shortfalls = registry.counter("hungarian.sparse.shortfall")
+        Hungarian().match_candidates(candidates)
+        assert registry.counter("hungarian.sparse.solves") == solves + 1
+        assert registry.counter("hungarian.sparse.shortfall") == shortfalls + 1
+
+    def test_result_carries_cost_accounting(self, rng):
+        scores = rng.random((10, 10))
+        result = Hungarian().match_candidates(full_candidate_set(scores))
+        assert result.seconds >= 0.0
+        assert result.peak_bytes > 0

@@ -140,7 +140,7 @@ class TestSparseCandidates:
         task, _ = task_and_config
         config = ExperimentConfig(
             preset="dbp15k/zh_en", input_regime="R",
-            matchers=("Hun.",), scale=0.1, seed=0,
+            matchers=("Sink.",), scale=0.1, seed=0,
         )
         registry = get_metrics()
         before = registry.counter("sparse.densify")
@@ -148,4 +148,23 @@ class TestSparseCandidates:
             config, task=task, candidates=IndexConfig(kind="exact", k=50)
         )
         assert registry.counter("sparse.densify") == before + 1
+        assert 0.0 <= result.f1("Sink.") <= 1.0
+
+    def test_hungarian_runs_sparse_on_candidates(self, task_and_config):
+        from repro.index import IndexConfig
+        from repro.obs.metrics import get_metrics
+
+        task, _ = task_and_config
+        config = ExperimentConfig(
+            preset="dbp15k/zh_en", input_regime="R",
+            matchers=("Hun.",), scale=0.1, seed=0,
+        )
+        registry = get_metrics()
+        densifies = registry.counter("sparse.densify")
+        solves = registry.counter("hungarian.sparse.solves")
+        result = run_experiment(
+            config, task=task, candidates=IndexConfig(kind="exact", k=50)
+        )
+        assert registry.counter("sparse.densify") == densifies
+        assert registry.counter("hungarian.sparse.solves") == solves + 1
         assert 0.0 <= result.f1("Hun.") <= 1.0

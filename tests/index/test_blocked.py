@@ -1,0 +1,177 @@
+"""Blocked (coarse-to-fine) candidate generation and CandidateSet.vstack."""
+
+import numpy as np
+import pytest
+
+from repro.index import CandidateSet, blocked_candidates, default_clusters, default_nprobe
+from repro.index.ivf import IVFIndex
+from repro.obs import events as obs_events
+from repro.similarity.chunked import chunked_top_k
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+@pytest.fixture
+def problem(rng):
+    latent = rng.normal(size=(80, 12))
+    source = latent + 0.05 * rng.normal(size=(80, 12))
+    target = latent + 0.05 * rng.normal(size=(80, 12))
+    return source, target
+
+
+class TestVstack:
+    def test_vstack_equals_unsplit_set(self, rng):
+        scores = rng.random((20, 15))
+        from repro.similarity.topk import top_k_indices
+
+        indices = top_k_indices(scores, 4)
+        values = np.take_along_axis(scores, indices, axis=1)
+        whole = CandidateSet.from_topk(indices, values, 15)
+        parts = [
+            CandidateSet.from_topk(indices[a:b], values[a:b], 15)
+            for a, b in [(0, 7), (7, 13), (13, 20)]
+        ]
+        stacked = CandidateSet.vstack(parts)
+        np.testing.assert_array_equal(stacked.indptr, whole.indptr)
+        np.testing.assert_array_equal(stacked.indices, whole.indices)
+        np.testing.assert_array_equal(stacked.scores, whole.scores)
+
+    def test_single_part_is_identity(self, rng):
+        scores = rng.random((5, 5))
+        from repro.similarity.topk import top_k_indices
+
+        indices = top_k_indices(scores, 2)
+        values = np.take_along_axis(scores, indices, axis=1)
+        part = CandidateSet.from_topk(indices, values, 5)
+        assert CandidateSet.vstack([part]) is part
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateSet.vstack([])
+
+    def test_mismatched_targets_rejected(self, rng):
+        from repro.similarity.topk import top_k_indices
+
+        scores = rng.random((4, 6))
+        indices = top_k_indices(scores, 2)
+        values = np.take_along_axis(scores, indices, axis=1)
+        a = CandidateSet.from_topk(indices, values, 6)
+        b = CandidateSet.from_topk(indices, values, 7)
+        with pytest.raises(ValueError, match="n_targets"):
+            CandidateSet.vstack([a, b])
+
+
+class TestBlockedCandidates:
+    def test_batching_never_changes_candidate_identity(self, problem):
+        source, target = problem
+        one_shot = blocked_candidates(source, target, 5, n_clusters=6, nprobe=6)
+        # A budget this small forces many row batches.
+        batched = blocked_candidates(
+            source, target, 5, n_clusters=6, nprobe=6, memory_budget=2048
+        )
+        np.testing.assert_array_equal(batched.indptr, one_shot.indptr)
+        np.testing.assert_array_equal(batched.indices, one_shot.indices)
+        # BLAS may reduce in a different order per batch shape: identity
+        # is exact, scores agree to roundoff.
+        np.testing.assert_allclose(
+            batched.scores, one_shot.scores, rtol=0, atol=1e-12
+        )
+
+    def test_equal_budgets_are_bitwise_reproducible(self, problem):
+        source, target = problem
+        first = blocked_candidates(
+            source, target, 5, n_clusters=6, nprobe=6, memory_budget=2048
+        )
+        second = blocked_candidates(
+            source, target, 5, n_clusters=6, nprobe=6, memory_budget=2048
+        )
+        np.testing.assert_array_equal(first.indices, second.indices)
+        np.testing.assert_array_equal(first.scores, second.scores)
+
+    def test_full_probe_recovers_exact_top_k(self, problem):
+        source, target = problem
+        candidates = blocked_candidates(
+            source, target, 3, n_clusters=4, nprobe=4
+        )
+        ids, _ = chunked_top_k(source, target, 3)
+        for row in range(source.shape[0]):
+            got, _ = candidates.row(row)
+            assert set(got.tolist()) == set(ids[row].tolist())
+
+    def test_default_sizing_helpers(self):
+        assert default_clusters(0) == 1
+        assert default_clusters(100) == 10
+        assert default_clusters(10**9) == 4096
+        assert default_nprobe(1) == 1
+        assert default_nprobe(64) == 8
+
+    def test_empty_problem_returns_empty_set(self):
+        empty = np.empty((0, 4))
+        candidates = blocked_candidates(empty, np.zeros((5, 4)), 2)
+        assert candidates.nnz == 0
+
+    def test_k_validated(self, problem):
+        source, target = problem
+        with pytest.raises(ValueError, match="k"):
+            blocked_candidates(source, target, 0)
+
+    def test_accepts_embedding_stores(self, tmp_path, problem):
+        from repro.storage import EmbeddingStore
+
+        source, target = problem
+        source_store = EmbeddingStore.write(tmp_path / "s.bin", source)
+        target_store = EmbeddingStore.write(tmp_path / "t.bin", target)
+        from_store = blocked_candidates(
+            source_store, target_store, 4, n_clusters=4, nprobe=4
+        )
+        from_arrays = blocked_candidates(source, target, 4, n_clusters=4, nprobe=4)
+        np.testing.assert_array_equal(from_store.indices, from_arrays.indices)
+        source_store.close()
+        target_store.close()
+
+    def test_recall_is_usable_at_default_sizing(self, problem):
+        source, target = problem
+        candidates = blocked_candidates(source, target, 5)
+        gold = np.column_stack([np.arange(80), np.arange(80)])
+        assert candidates.recall(gold) >= 0.9
+
+
+class TestBuildProgressEvents:
+    def test_train_and_fill_emit_progress(self, problem):
+        _, target = problem
+        sink = obs_events.MemorySink()
+        with obs_events.emitting(sink):
+            IVFIndex(n_clusters=4, train_iterations=3).train(target).add(target)
+        names = [event.name for event in sink.events]
+        assert names.count("index.train.start") == 1
+        assert names.count("index.train.round") == 3
+        assert names.count("index.train.finish") == 1
+        assert names.count("index.lists_filled") == 1
+        rounds = [e for e in sink.events if e.name == "index.train.round"]
+        assert [e.attrs["round"] for e in rounds] == [1, 2, 3]
+        assert all(e.attrs["of"] == 3 for e in rounds)
+        fill = next(e for e in sink.events if e.name == "index.lists_filled")
+        assert fill.attrs["n"] == 80
+        assert fill.attrs["lists"] == 4
+
+    def test_blocked_batches_emit_progress(self, problem):
+        source, target = problem
+        sink = obs_events.MemorySink()
+        with obs_events.emitting(sink):
+            blocked_candidates(
+                source, target, 3, n_clusters=4, nprobe=4, memory_budget=2048
+            )
+        batches = [e for e in sink.events if e.name == "index.blocked.batch"]
+        assert len(batches) > 1
+        assert batches[0].attrs["start"] == 0
+        assert batches[-1].attrs["stop"] == 80
+        assert all(e.attrs["of"] == 80 for e in batches)
+
+    def test_no_sink_means_no_event_cost(self, problem):
+        # The quiet path: builds run exactly as before with no sink.
+        _, target = problem
+        index = IVFIndex(n_clusters=4, train_iterations=2).train(target).add(target)
+        assert index.ntotal == 80

@@ -103,6 +103,69 @@ class TestRecordSchema:
         assert config_fingerprint(base) != config_fingerprint(_config(scale=0.4))
 
 
+class TestSchemaV2Resources:
+    """The v1 -> v2 bump: required ``resources`` block, v1 stays readable."""
+
+    def test_v2_record_carries_measured_resources(self):
+        record = _record()
+        assert record["version"] == 2
+        resources = record["resources"]
+        assert resources["backend"] == "thread"
+        assert resources["workers"] == 1
+        assert resources["shards"] == 0
+        assert isinstance(resources["peak_rss_bytes"], int)
+        assert resources["peak_rss_bytes"] >= 0
+
+    def test_engine_resources_merge_over_defaults(self):
+        record = _record(resources={"backend": "process", "workers": 4, "shards": 9})
+        resources = record["resources"]
+        assert resources["backend"] == "process"
+        assert resources["workers"] == 4
+        assert resources["shards"] == 9
+        assert "peak_rss_bytes" in resources  # measured default survives
+
+    def test_v1_record_without_resources_still_validates(self):
+        record = _record()
+        record.pop("resources")
+        record["version"] = 1
+        validate_record(record)  # must not raise
+
+    def test_v2_record_missing_resources_rejected(self):
+        record = _record()
+        record.pop("resources")
+        with pytest.raises(ValueError, match="resources"):
+            validate_record(record)
+
+    def test_unknown_version_still_rejected(self):
+        record = _record()
+        record["version"] = 3
+        with pytest.raises(ValueError, match="version"):
+            validate_record(record)
+
+    def test_committed_reference_ledger_stays_readable(self):
+        # The drift gate's committed ledger predates the bump; reading it
+        # is the live proof of v1 back-compat.
+        from repro.obs.drift import DEFAULT_LEDGER_PATH
+
+        records = RunLedger(DEFAULT_LEDGER_PATH).records()
+        assert records
+        assert all(record["version"] == 1 for record in records)
+
+    def test_match_cli_record_reports_engine_resources(self, tmp_path):
+        from repro.cli import main
+
+        ledger_path = tmp_path / "runs.jsonl"
+        code = main([
+            "match", "dbp15k/zh_en", "--matcher", "DInf", "--scale", "0.2",
+            "--workers", "2", "--ledger", str(ledger_path),
+        ])
+        assert code == 0
+        (record,) = RunLedger(ledger_path).records()
+        assert record["resources"]["workers"] == 2
+        assert record["resources"]["backend"] == "thread"
+        assert record["resources"]["peak_rss_bytes"] > 0
+
+
 class TestRunLedger:
     def test_append_then_read_round_trip(self, tmp_path):
         ledger = RunLedger(tmp_path / "sub" / "runs.jsonl")

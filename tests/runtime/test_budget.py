@@ -1,0 +1,73 @@
+"""Ambient memory budget: scope semantics and the densify refusal path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ResourceBudgetExceeded
+from repro.index import CandidateSet
+from repro.obs.metrics import get_metrics
+from repro.runtime.budget import active_budget, budget_scope
+from repro.similarity.topk import top_k_indices
+
+
+def _candidates(n=32):
+    rng = np.random.default_rng(3)
+    scores = rng.random((n, n))
+    indices = top_k_indices(scores, n)
+    values = np.take_along_axis(scores, indices, axis=1)
+    return CandidateSet.from_topk(indices, values, n)
+
+
+class TestBudgetScope:
+    def test_no_scope_means_no_budget(self):
+        assert active_budget() is None
+
+    def test_scope_publishes_and_restores(self):
+        with budget_scope(1024):
+            assert active_budget() == 1024
+        assert active_budget() is None
+
+    def test_scopes_nest_innermost_wins(self):
+        with budget_scope(2048):
+            with budget_scope(512):
+                assert active_budget() == 512
+            assert active_budget() == 2048
+
+    def test_none_budget_is_a_no_op(self):
+        with budget_scope(None):
+            assert active_budget() is None
+
+    def test_restores_after_an_exception(self):
+        with pytest.raises(RuntimeError):
+            with budget_scope(64):
+                raise RuntimeError("boom")
+        assert active_budget() is None
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            with budget_scope(0):
+                pass  # pragma: no cover
+
+
+class TestDensifyUnderBudget:
+    def test_densify_refuses_before_allocating(self):
+        candidates = _candidates(32)  # dense = 32*32*8 = 8192 bytes
+        registry = get_metrics()
+        densifies = registry.counter("sparse.densify")
+        with budget_scope(4096):
+            with pytest.raises(ResourceBudgetExceeded) as excinfo:
+                candidates.densify()
+        # Refused up front: the densify counter never moved.
+        assert registry.counter("sparse.densify") == densifies
+        assert excinfo.value.peak_bytes == 32 * 32 * 8
+        assert excinfo.value.budget_bytes == 4096
+
+    def test_densify_proceeds_within_budget(self):
+        candidates = _candidates(8)  # dense = 512 bytes
+        with budget_scope(10_000):
+            dense = candidates.densify()
+        assert dense.shape == (8, 8)
+
+    def test_densify_unbudgeted_is_unchanged(self):
+        dense = _candidates(8).densify()
+        assert dense.shape == (8, 8)

@@ -601,3 +601,99 @@ class TestSparseRung:
         assert run.ok
         assert run.chain == ["CSLS"]
         assert len(run.result.pairs) == 8
+
+
+class TestShardedRung:
+    """The dense -> sharded rung (policy.sharded_k), tried before sparse."""
+
+    POLICY = dict(memory_budget=2**20, on_error="fallback", sharded_k=5)
+
+    def test_sharded_k_validated(self):
+        with pytest.raises(ValueError, match="sharded_k"):
+            SupervisorPolicy(sharded_k=0)
+
+    def test_memory_breach_reruns_on_blocked_candidates(self):
+        source, target = _embeddings(n=12)
+        registry = MetricsRegistry()
+        supervisor = RunSupervisor(SupervisorPolicy(**self.POLICY), metrics=registry)
+        run = supervisor.run(_HungrySparse(), source, target)
+        assert run.ok
+        assert run.chain == ["CSLS", "CSLS+sharded"]
+        assert run.executed == "CSLS+sharded"
+        assert len(run.result.pairs) == 12
+        assert registry.counter("supervisor.sharded_degradations") == 1
+        assert registry.counter("supervisor.sparse_degradations") == 0
+        assert registry.counter("supervisor.degradations") == 0
+
+    def test_sharded_rung_outranks_the_sparse_rung(self):
+        source, target = _embeddings(n=12)
+        registry = MetricsRegistry()
+        supervisor = RunSupervisor(
+            SupervisorPolicy(**self.POLICY, sparse_k=5), metrics=registry
+        )
+        run = supervisor.run(_HungrySparse(), source, target)
+        assert run.chain == ["CSLS", "CSLS+sharded"]
+        assert registry.counter("supervisor.sharded_degradations") == 1
+        assert registry.counter("supervisor.sparse_degradations") == 0
+
+    def test_ladder_hop_keeps_the_sharded_marker(self):
+        source, target = _embeddings(n=10)
+        registry = MetricsRegistry()
+        supervisor = RunSupervisor(SupervisorPolicy(**self.POLICY), metrics=registry)
+        run = supervisor.run(_HungryEverywhere(), source, target)
+        assert run.chain == ["CSLS", "CSLS+sharded", "Greedy+sharded"]
+        assert run.ok
+        assert registry.counter("supervisor.sharded_degradations") == 1
+        assert registry.counter("supervisor.degradations") == 1
+
+    def test_dense_only_matcher_skips_the_rung(self):
+        source, target = _embeddings()
+        supervisor = RunSupervisor(
+            SupervisorPolicy(memory_budget=2**20, on_error="skip", sharded_k=5)
+        )
+        run = supervisor.run(_HungryMatcher(), source, target)
+        assert not run.ok
+        assert isinstance(run.error, ResourceBudgetExceeded)
+        assert run.chain == ["Hungry"]
+
+    def test_deadline_breach_never_takes_the_rung(self):
+        source, target = _embeddings()
+        supervisor = RunSupervisor(
+            SupervisorPolicy(
+                timeout=0.05, on_error="fallback", sharded_k=5, retries=0
+            )
+        )
+        run = supervisor.run(_StallingMatcher(seconds=0.4), source, target)
+        assert "Stall+sharded" not in run.chain
+
+    def test_densify_mid_run_is_caught_as_budget_breach(self):
+        # The policy budget is ambient during the attempt: a matcher that
+        # densifies a candidate set bigger than the budget raises a typed
+        # ResourceBudgetExceeded (never a raw MemoryError), and the
+        # ladder handles it like any other breach.
+        from repro.index.candidates import CandidateSet
+        from repro.similarity.chunked import chunked_top_k
+
+        class _Densifier(Matcher):
+            name = "Sink."
+            metric = "cosine"
+
+            def match(self, source, target):  # pragma: no cover - unused
+                raise AssertionError("sparse path expected")
+
+            def match_candidates(self, candidates):
+                candidates.densify()
+                raise AssertionError("densify should have refused")
+
+        source, target = _embeddings(n=64)
+        indices, scores = chunked_top_k(source, target, 3)
+        candidates = CandidateSet.from_topk(indices, scores, n_targets=64)
+        supervisor = RunSupervisor(
+            # Budget below the 64 x 64 x 8 = 32 KiB dense matrix, above
+            # the k=3 candidate footprint of the CSLS fallback.
+            SupervisorPolicy(memory_budget=16_384, on_error="fallback")
+        )
+        run = supervisor.run(_Densifier(), source, target, candidates=candidates)
+        assert run.ok
+        assert run.chain == ["Sink.", "CSLS+sparse"]
+        assert isinstance(run.error, ResourceBudgetExceeded) or run.error is None

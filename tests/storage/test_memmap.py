@@ -1,0 +1,147 @@
+"""Memmap embedding store: round-trip, validation, and zero-copy views."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.storage import HEADER_BYTES, STORE_VERSION, EmbeddingStore
+from repro.storage.memmap import STORE_MAGIC, _build_header
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def _write(tmp_path, array, name="emb.npy"):
+    path = tmp_path / name
+    EmbeddingStore.write(path, array)
+    return path
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_write_then_open_restores_exact_bytes(self, tmp_path, rng, dtype):
+        array = rng.normal(size=(17, 5)).astype(dtype)
+        path = _write(tmp_path, array)
+        with EmbeddingStore.open(path) as store:
+            assert store.shape == (17, 5)
+            assert store.dtype == np.dtype(dtype)
+            np.testing.assert_array_equal(store.as_array(), array)
+
+    def test_empty_store_round_trips(self, tmp_path):
+        array = np.empty((0, 4), dtype=np.float32)
+        path = _write(tmp_path, array)
+        with EmbeddingStore.open(path) as store:
+            assert store.n_rows == 0
+            assert store.dim == 4
+            assert len(store) == 0
+
+    def test_create_fill_reopen(self, tmp_path, rng):
+        path = tmp_path / "emb.npy"
+        array = rng.normal(size=(9, 3)).astype(np.float32)
+        with EmbeddingStore.create(path, (9, 3), dtype="float32") as store:
+            store[:] = array
+            store.flush()
+        with EmbeddingStore.open(path) as store:
+            np.testing.assert_array_equal(store.as_array(), array)
+
+    def test_file_layout_is_header_plus_raw_rows(self, tmp_path, rng):
+        array = rng.normal(size=(4, 2)).astype(np.float64)
+        path = _write(tmp_path, array)
+        raw = path.read_bytes()
+        assert raw[: len(STORE_MAGIC)] == STORE_MAGIC
+        header = json.loads(raw[len(STORE_MAGIC):HEADER_BYTES])
+        assert header["version"] == STORE_VERSION
+        assert header["dtype"] == "float64"
+        assert header["shape"] == [4, 2]
+        assert raw[HEADER_BYTES:] == array.tobytes()
+
+
+class TestValidation:
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="2-D"):
+            EmbeddingStore.write(tmp_path / "x.npy", np.zeros(5, dtype=np.float32))
+
+    def test_unsupported_dtype_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="dtype"):
+            EmbeddingStore.write(
+                tmp_path / "x.npy", np.zeros((2, 2), dtype=np.int64)
+            )
+
+    def test_bad_magic_rejected(self, tmp_path, rng):
+        path = _write(tmp_path, rng.normal(size=(3, 2)).astype(np.float32))
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"XXXX"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="embedding store"):
+            EmbeddingStore.open(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "x.npy"
+        header = _build_header((1, 1), np.dtype(np.float32))
+        header = header.replace(b'"version": 1', b'"version": 9')
+        path.write_bytes(header.ljust(HEADER_BYTES, b" ") + b"\x00" * 4)
+        with pytest.raises(ValueError, match="version"):
+            EmbeddingStore.open(path)
+
+    def test_truncated_payload_rejected(self, tmp_path, rng):
+        path = _write(tmp_path, rng.normal(size=(8, 4)).astype(np.float32))
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-8])
+        with pytest.raises(ValueError, match="truncated or padded"):
+            EmbeddingStore.open(path)
+
+    def test_padded_payload_rejected(self, tmp_path, rng):
+        path = _write(tmp_path, rng.normal(size=(8, 4)).astype(np.float32))
+        path.write_bytes(path.read_bytes() + b"\x00" * 16)
+        with pytest.raises(ValueError, match="truncated or padded"):
+            EmbeddingStore.open(path)
+
+    def test_garbage_header_rejected(self, tmp_path):
+        path = tmp_path / "x.npy"
+        path.write_bytes(STORE_MAGIC + b"{not json" + b" " * HEADER_BYTES)
+        with pytest.raises(ValueError, match="header"):
+            EmbeddingStore.open(path)
+
+
+class TestViews:
+    def test_rows_is_zero_copy(self, tmp_path, rng):
+        array = rng.normal(size=(20, 6)).astype(np.float32)
+        path = _write(tmp_path, array)
+        with EmbeddingStore.open(path) as store:
+            view = store.rows(slice(5, 15))
+            assert np.shares_memory(view, store.as_array())
+            np.testing.assert_array_equal(view, array[5:15])
+
+    def test_rows_requires_a_slice(self, tmp_path, rng):
+        path = _write(tmp_path, rng.normal(size=(4, 2)).astype(np.float32))
+        with EmbeddingStore.open(path) as store:
+            with pytest.raises(TypeError, match="slice"):
+                store.rows([0, 1])
+
+    def test_row_shards_cover_exactly_once(self, tmp_path, rng):
+        array = rng.normal(size=(23, 3)).astype(np.float64)
+        path = _write(tmp_path, array)
+        with EmbeddingStore.open(path) as store:
+            bands = list(store.row_shards(chunk_rows=7))
+            starts = [band.start for band, _ in bands]
+            stops = [band.stop for band, _ in bands]
+            assert starts == [0, 7, 14, 21]
+            assert stops == [7, 14, 21, 23]
+            rebuilt = np.concatenate([view for _, view in bands])
+            np.testing.assert_array_equal(rebuilt, array)
+
+    def test_closed_store_refuses_access(self, tmp_path, rng):
+        path = _write(tmp_path, rng.normal(size=(4, 2)).astype(np.float32))
+        store = EmbeddingStore.open(path)
+        store.close()
+        with pytest.raises(ValueError, match="closed"):
+            store.as_array()
+
+    def test_read_only_mapping_rejects_writes(self, tmp_path, rng):
+        path = _write(tmp_path, rng.normal(size=(4, 2)).astype(np.float32))
+        with EmbeddingStore.open(path) as store:
+            with pytest.raises((ValueError, RuntimeError)):
+                store.as_array()[0, 0] = 1.0
