@@ -5,11 +5,11 @@
 
 PY := PYTHONPATH=src python -m
 
-.PHONY: check lint test property obs chaos bench bench-obs bench-check \
-	bench-scale-smoke drift reference-update
+.PHONY: check lint test property obs chaos chaos-crash bench bench-obs \
+	bench-check bench-scale-smoke drift reference-update
 
 check: lint
-	$(PY) pytest -q -m "not chaos"
+	$(PY) pytest -q -m "not chaos and not chaos_crash"
 
 # Ruff config lives in pyproject.toml.  The local toolchain may not
 # ship ruff; skip with a notice rather than fail (CI always runs it).
@@ -32,6 +32,11 @@ obs:
 
 chaos:
 	$(PY) pytest -q -m chaos
+
+# Crash-recovery matrix: torn writes, SIGKILL'd pool workers, and
+# kill-resume round trips (real process spawns, so slower than tier-1).
+chaos-crash:
+	$(PY) pytest -q -m chaos_crash
 
 bench:
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q

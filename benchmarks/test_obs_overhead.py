@@ -40,6 +40,7 @@ pytestmark = pytest.mark.obs
 
 OVERHEAD_BUDGET = 1.05  # disabled tracing must cost < 5 %
 SWEEP_BUDGET = 1.02  # disabled ledger+events must cost < 2 % of a sweep
+DURABLE_BUDGET = 1.05  # fsync'd ledger appends must cost < 5 % of a sweep
 
 ENGINE_N, ENGINE_DIM, ENGINE_CHUNK = 2000, 128, 128
 SINKHORN_N, SINKHORN_ITERATIONS = 300, 100
@@ -216,4 +217,61 @@ def test_disabled_ledger_and_events_overhead_under_budget(tmp_path):
         f"{n_events} disabled emit() calls at {per_call * 1e9:.0f}ns imply "
         f"{(implied_ratio - 1) * 100:.2f}% sweep overhead; budget is "
         f"{(SWEEP_BUDGET - 1) * 100:.0f}%"
+    )
+
+
+def test_durable_append_overhead_under_budget(tmp_path):
+    """``--durable`` fsync'd ledger appends must stay under 5 % of a sweep.
+
+    A sweep appends one record per matcher cell, so the durable surcharge
+    is ``cells x (durable_append - plain_append)``.  Price both append
+    variants over repeated real appends (min-of-N over batches, so each
+    sample amortises the open/seek cost the same way the sweep does) and
+    require the implied surcharge under 5 % of the sweep's wall time.
+    """
+    from repro.obs.ledger import build_record
+
+    config = ExperimentConfig(
+        preset="dbp15k/zh_en", input_regime="R", scale=0.2, seed=0
+    )
+    run_experiment(config)  # warm dataset/embedding construction paths
+    sweep_seconds = _min_of(lambda: run_experiment(config), repeats=3)
+    n_records = len(config.matchers)
+
+    record = build_record(
+        fingerprint="bench", preset=config.preset, regime="R",
+        task=config.preset, matcher="CSLS", seed=0, scale=config.scale,
+        metric="cosine", status="ok",
+        metrics={"precision": 0.5, "recall": 0.5, "f1": 0.5},
+        ranking={"hits@1": 0.5},
+    )
+    batch = 50
+
+    def _append_batch(durable):
+        ledger = RunLedger(tmp_path / f"bench-{durable}.jsonl", durable=durable)
+        ledger.path.unlink(missing_ok=True)
+        for _ in range(batch):
+            ledger.append(record)
+
+    plain = _min_of(lambda: _append_batch(False)) / batch
+    durable = _min_of(lambda: _append_batch(True)) / batch
+
+    implied_overhead = n_records * max(durable - plain, 0.0)
+    implied_ratio = 1.0 + implied_overhead / sweep_seconds
+    _merge_results("durable_append", {
+        "budget_ratio": DURABLE_BUDGET,
+        "preset": config.preset,
+        "scale": config.scale,
+        "sweep_seconds": sweep_seconds,
+        "ledger_records_per_sweep": n_records,
+        "plain_append_seconds": plain,
+        "durable_append_seconds": durable,
+        "implied_durable_ratio": implied_ratio,
+    })
+
+    assert implied_ratio < DURABLE_BUDGET, (
+        f"{n_records} durable appends at {durable * 1e3:.2f}ms "
+        f"(vs {plain * 1e3:.2f}ms plain) imply "
+        f"{(implied_ratio - 1) * 100:.2f}% sweep overhead; budget is "
+        f"{(DURABLE_BUDGET - 1) * 100:.0f}%"
     )

@@ -20,6 +20,9 @@ Usage (after ``pip install -e .``)::
     python -m repro runs list --ledger runs.jsonl
     python -m repro runs record --ledger runs.jsonl       # canonical seeded sweep
     python -m repro runs drift                            # gate vs committed bands
+    python -m repro runs fsck --ledger runs.jsonl --repair  # truncate a torn tail
+    python -m repro store verify out/embeddings.npy.store # checksum an embedding store
+    python -m repro match dbp15k/zh_en --matcher Hun. --ledger runs.jsonl --resume
 """
 
 from __future__ import annotations
@@ -33,7 +36,7 @@ from typing import Callable, Sequence
 
 from repro.core.registry import available_matchers, create_matcher
 from repro.datasets.zoo import list_presets, load_preset
-from repro.errors import MatcherError
+from repro.errors import DataIntegrityError, MatcherError
 from repro.eval.explain import explain_decision, format_report
 from repro.eval.metrics import evaluate_pairs
 from repro.experiments.figures import (
@@ -66,10 +69,12 @@ from repro.obs.drift import (
     load_reference,
     reference_configs,
 )
-from repro.obs.ledger import RunLedger, as_ledger, build_record, fingerprint_payload
+from repro.experiments.resume import ResumePolicy
+from repro.obs.ledger import RunLedger, build_record, fingerprint_payload
 from repro.obs.profile import build_profile, load_profile, summarize, write_profile
 from repro.runtime.supervisor import RunSupervisor, SupervisorPolicy
 from repro.similarity.engine import SimilarityEngine
+from repro.storage import EmbeddingStore
 
 _TABLES: dict[str, Callable] = {
     "3": table3_dataset_statistics,
@@ -172,6 +177,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append one provenance-stamped record for this "
                             "run to the JSONL run ledger at PATH "
                             "(see 'repro runs')")
+    match.add_argument("--resume", action="store_true",
+                       help="with --ledger: skip the run if the ledger already "
+                            "holds an 'ok' record for this exact cell "
+                            "(preset/regime/matcher/scale/metric); failed and "
+                            "degraded cells re-run.  Reads the ledger "
+                            "tolerantly, so a crash-torn tail does not block "
+                            "resuming")
+    match.add_argument("--durable", action="store_true",
+                       help="fsync every ledger append (WAL durability): an "
+                            "acknowledged record survives a crash or power "
+                            "cut")
     match.add_argument("--events", default=None, metavar="PATH",
                        help="stream live telemetry events: '-' renders "
                             "human-readable lines on stderr, anything else "
@@ -268,6 +284,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runs_drift.add_argument("--ledger", type=Path, default=DEFAULT_LEDGER_PATH)
     runs_drift.add_argument("--reference", type=Path, default=DEFAULT_REFERENCE_PATH)
+    runs_fsck = runs_sub.add_parser(
+        "fsck",
+        help="check a ledger for corruption; --repair truncates a torn tail "
+             "(preserved in a .bak sidecar).  Exit 0 clean/repaired, 1 torn "
+             "tail unrepaired, 2 mid-file corruption",
+    )
+    runs_fsck.add_argument("--ledger", type=Path, default=DEFAULT_LEDGER_PATH)
+    runs_fsck.add_argument("--repair", action="store_true",
+                           help="truncate a torn tail after copying it to "
+                                "<ledger>.bak")
+
+    store = subparsers.add_parser(
+        "store", help="inspect memmap embedding stores"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="recompute an embedding store's payload checksum against its "
+             "header; exits nonzero on corruption",
+    )
+    store_verify.add_argument("path", type=Path)
     return parser
 
 
@@ -303,18 +340,36 @@ def _run_match(
     events_spec: str | None = None,
     backend: str = "thread",
     shard_rows: int | None = None,
+    resume: bool = False,
+    durable: bool = False,
 ) -> int:
-    task = load_preset(preset, scale=scale)
-    embeddings = build_embeddings(task, regime, preset_name=preset)
-    queries = task.test_query_ids()
-    candidates = task.candidate_target_ids()
     matcher = create_matcher(matcher_name)
     metric = getattr(matcher, "metric", "cosine")
     if not isinstance(metric, str):
         metric = "cosine"
+    if resume:
+        if ledger_path is None:
+            print("--resume requires --ledger", file=sys.stderr)
+            return 2
+        prior = _match_resume_record(
+            ledger_path, preset, regime, matcher_name, scale, metric
+        )
+        if prior is not None:
+            print(
+                f"{matcher_name} on {preset} ({regime} regime): skipped — "
+                f"ledger already holds an '{prior['status']}' record "
+                f"(run {prior['run_id'][:12]}, {prior['created_at']})"
+            )
+            return 0
+    task = load_preset(preset, scale=scale)
+    embeddings = build_embeddings(task, regime, preset_name=preset)
+    queries = task.test_query_ids()
+    candidates = task.candidate_target_ids()
     policy = policy or SupervisorPolicy()
     supervisor = RunSupervisor(policy)
-    run_ledger = as_ledger(ledger_path)
+    run_ledger = (
+        RunLedger(ledger_path, durable=durable) if ledger_path is not None else None
+    )
     with SimilarityEngine(
         workers=workers,
         dtype=dtype,
@@ -459,6 +514,38 @@ def _match_record(
     )
 
 
+def _match_resume_record(
+    ledger_path: Path,
+    preset: str,
+    regime: str,
+    matcher_name: str,
+    scale: float,
+    metric: str,
+) -> dict | None:
+    """The prior ledger record that lets ``--resume`` skip this run, or None.
+
+    Same keying as the resumable sweep: the cell's config fingerprint
+    (here ``repro match``'s identity payload) plus the matcher name;
+    the latest record wins and the default :class:`ResumePolicy`
+    decides (skip ``ok``, re-run ``failed``/``degraded``).  The ledger
+    is read tolerantly — resuming after a crash is the whole point.
+    """
+    ledger = RunLedger(ledger_path)
+    if not ledger.path.exists():
+        return None
+    fingerprint = fingerprint_payload({
+        "preset": preset, "regime": regime, "matcher": matcher_name,
+        "scale": scale, "metric": metric,
+    })
+    policy = ResumePolicy()
+    latest: dict | None = None
+    for record in ledger.records(strict=False):
+        if record["fingerprint"] != fingerprint or record["matcher"] != matcher_name:
+            continue
+        latest = record if policy.satisfied_by(record["status"]) else None
+    return latest
+
+
 def _run_index_build(args: argparse.Namespace) -> int:
     """Train an IVF index on a preset's candidate-target embeddings."""
     task = load_preset(args.preset, scale=args.scale)
@@ -556,16 +643,32 @@ def _run_explain(args: argparse.Namespace) -> int:
 
 
 def _read_ledger(path: Path) -> list[dict] | None:
-    """Load and validate a ledger file; report problems on stderr."""
+    """Load and validate a ledger file; report problems on stderr.
+
+    Tolerant of a torn tail (an interrupted final append): the complete
+    records are used and the tear is reported as a warning with the
+    repair command — so a crash mid-sweep never takes ``runs
+    list/show/diff/drift`` down with it.  Mid-file corruption still
+    fails hard.
+    """
     ledger = RunLedger(path)
     if not ledger.path.exists():
         print(f"no ledger at {path}", file=sys.stderr)
         return None
     try:
-        return ledger.records()
+        scan = ledger.scan()
     except ValueError as err:
         print(f"corrupt ledger: {err}", file=sys.stderr)
         return None
+    if scan.torn is not None:
+        print(
+            f"warning: {path}:{scan.torn.lineno}: {scan.torn.reason}; "
+            f"using {len(scan.records)} complete record"
+            f"{'s' if len(scan.records) != 1 else ''} "
+            f"(run 'repro runs fsck --repair' to clean up)",
+            file=sys.stderr,
+        )
+    return scan.records
 
 
 def _record_line(record: dict) -> str:
@@ -617,8 +720,8 @@ def _runs_diff(args: argparse.Namespace) -> int:
     new_records = _read_ledger(args.new)
     if old_records is None or new_records is None:
         return 1
-    old = RunLedger(args.old).latest_cells()
-    new = RunLedger(args.new).latest_cells()
+    old = RunLedger(args.old).latest_cells(strict=False)
+    new = RunLedger(args.new).latest_cells(strict=False)
     for key in sorted(set(old) | set(new)):
         label = "/".join(key)
         if key not in old:
@@ -650,6 +753,65 @@ def _runs_record(args: argparse.Namespace) -> int:
             f"{len(result.runs)} ok, {len(result.failures)} failed"
         )
     print(f"ledger at {args.ledger}")
+    return 0
+
+
+def _runs_fsck(args: argparse.Namespace) -> int:
+    """Check a ledger for torn/corrupt lines; optionally repair the tail."""
+    ledger = RunLedger(args.ledger)
+    if not ledger.path.exists():
+        print(f"no ledger at {args.ledger}", file=sys.stderr)
+        return 1
+    report = ledger.fsck(repair=args.repair)
+    if report.error is not None:
+        print(f"UNREPAIRABLE: {report.error}", file=sys.stderr)
+        print(
+            "mid-file corruption cannot be truncated away without losing "
+            "good records; restore the ledger from backup",
+            file=sys.stderr,
+        )
+        return 2
+    if report.torn is None:
+        print(f"{args.ledger}: clean ({report.n_records} records)")
+        return 0
+    if report.repaired:
+        print(
+            f"{args.ledger}: repaired — truncated {report.torn.nbytes} torn "
+            f"bytes at line {report.torn.lineno} "
+            f"(preserved in {report.backup}); {report.n_records} records remain"
+        )
+        return 0
+    print(
+        f"{args.ledger}:{report.torn.lineno}: {report.torn.reason}; "
+        f"{report.n_records} complete records; re-run with --repair to "
+        f"truncate the tail into {args.ledger}.bak",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _store_verify(args: argparse.Namespace) -> int:
+    """Recompute an embedding store's checksum against its header."""
+    try:
+        with EmbeddingStore.open(args.path) as store:
+            report = store.verify()
+    except OSError as err:
+        print(f"cannot open store {args.path}: {err}", file=sys.stderr)
+        return 1
+    except DataIntegrityError as err:
+        print(f"CORRUPT: {err}", file=sys.stderr)
+        return 1
+    if not report["verified"]:
+        print(
+            f"{args.path}: no checksum recorded (written before the "
+            f"durability layer, or created and never sealed); payload "
+            f"hashes to {report['algorithm']}:{report['computed']}"
+        )
+        return 0
+    print(
+        f"{args.path}: ok — {report['nbytes']} payload bytes match "
+        f"{report['algorithm']}:{report['computed']}"
+    )
     return 0
 
 
@@ -701,6 +863,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 index_config=_match_index_config(args),
                 ledger_path=args.ledger, events_spec=args.events,
                 backend=args.backend, shard_rows=args.shard_rows,
+                resume=args.resume, durable=args.durable,
             )
         except MatcherError as err:
             # --on-error raise tripped: one-line summary, non-zero exit.
@@ -728,8 +891,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             "diff": _runs_diff,
             "record": _runs_record,
             "drift": _runs_drift,
+            "fsck": _runs_fsck,
         }
         return handlers[args.runs_command](args)
+    if args.command == "store":
+        return _store_verify(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -29,6 +29,7 @@ from repro.experiments.regimes import (
 )
 from repro.experiments.repeats import AggregateStat, RepeatedResult, run_repeated
 from repro.experiments.report import generate_report
+from repro.experiments.resume import ResumePolicy, satisfied_cells
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import ExperimentResult, MatcherRun, run_experiment
 from repro.experiments.tables import (
@@ -54,6 +55,8 @@ __all__ = [
     "figure7_sinkhorn_l",
     "AggregateStat",
     "RepeatedResult",
+    "ResumePolicy",
+    "satisfied_cells",
     "format_table",
     "generate_report",
     "run_repeated",

@@ -1,0 +1,74 @@
+"""Resume bookkeeping for interrupted sweeps.
+
+A killed sweep leaves behind exactly one durable trace: the run ledger's
+per-cell records (the reason :meth:`~repro.obs.ledger.RunLedger.append`
+can fsync).  Resuming is therefore pure bookkeeping over that ledger —
+no checkpoint files, no partial state: a cell is identified by its
+config fingerprint (blake2b over the config's identity fields, the same
+digest ``repro runs diff`` keys on) plus the requested matcher name, and
+a cell whose *latest* record satisfies the :class:`ResumePolicy` is
+skipped with a ``matcher.skipped`` event instead of re-run.
+
+Determinism makes this sound: the whole pipeline is seeded, so the cells
+a resumed sweep re-runs produce bitwise-identical numbers to the cells
+an uninterrupted sweep would have produced — the property the
+kill-resume round-trip test pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.ledger import RunLedger
+
+
+@dataclass(frozen=True)
+class ResumePolicy:
+    """Which prior cell outcomes satisfy a resumed sweep.
+
+    ``ok`` cells are always skipped — re-running them is the one thing a
+    resume must never do.  ``failed`` and ``degraded`` cells re-run by
+    default (the crash may *be* why they failed); flip the flags to
+    accept them as final instead.
+    """
+
+    rerun_failed: bool = True
+    rerun_degraded: bool = True
+
+    def satisfied_by(self, status: str) -> bool:
+        """Whether a latest-record ``status`` lets the cell be skipped."""
+        if status == "ok":
+            return True
+        if status == "degraded":
+            return not self.rerun_degraded
+        if status == "failed":
+            return not self.rerun_failed
+        return False
+
+
+def satisfied_cells(
+    ledger: RunLedger,
+    fingerprint: str,
+    policy: ResumePolicy | None = None,
+) -> dict[str, dict[str, Any]]:
+    """Matcher name -> latest ledger record for cells a resume may skip.
+
+    Reads the ledger tolerantly (``strict=False``) — the ledger of a
+    *crashed* sweep is exactly where a torn tail lives, and the torn
+    record is simply a cell that never completed.  Only records whose
+    fingerprint matches this config count; within a cell the latest
+    record wins, so an earlier failure followed by a clean re-run is
+    satisfied, and a later failure after an old success re-runs (under
+    the default policy).
+    """
+    policy = policy or ResumePolicy()
+    satisfied: dict[str, dict[str, Any]] = {}
+    for record in ledger.records(strict=False):
+        if record["fingerprint"] != fingerprint:
+            continue
+        if policy.satisfied_by(record["status"]):
+            satisfied[record["matcher"]] = record
+        else:
+            satisfied.pop(record["matcher"], None)
+    return satisfied

@@ -46,6 +46,7 @@ from repro.kg.pair import AlignmentTask
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.experiments.resume import ResumePolicy, satisfied_cells
 from repro.obs.ledger import RunLedger, as_ledger, build_record, config_fingerprint
 from repro.obs.profile import build_profile
 from repro.runtime.supervisor import RunSupervisor, SupervisorPolicy
@@ -133,6 +134,11 @@ class ExperimentResult:
     #: schema-versioned document of :func:`repro.obs.profile.build_profile`),
     #: populated only when ``run_experiment(..., profile=True)``.
     profiles: dict[str, dict] = field(default_factory=dict)
+    #: Cells satisfied by a prior run and skipped on resume: requested
+    #: matcher name -> the prior ledger record that satisfied it.  A
+    #: skipped cell appears in no other map — its numbers live in the
+    #: resume ledger, not in this result.
+    skipped: dict[str, dict] = field(default_factory=dict)
 
     def f1(self, matcher: str) -> float:
         return self.runs[matcher].f1
@@ -156,6 +162,8 @@ def run_experiment(
     matcher_factory: Callable[..., Matcher] | None = None,
     profile: bool = False,
     ledger: "RunLedger | Path | str | None" = None,
+    resume: "RunLedger | Path | str | None" = None,
+    resume_policy: ResumePolicy | None = None,
 ) -> ExperimentResult:
     """Execute ``config`` and return the per-matcher results.
 
@@ -197,8 +205,19 @@ def run_experiment(
     :mod:`repro.obs.ledger`.  The sweep also emits live telemetry
     events (:mod:`repro.obs.events`) throughout; with no sink installed
     both features cost a branch per cell.
+
+    ``resume`` (typically the same ledger a killed sweep was appending
+    to) turns the run into a *resumed* sweep: cells of this config —
+    keyed by config fingerprint + matcher name — whose latest ledger
+    status satisfies ``resume_policy`` (default: skip ``ok``, re-run
+    ``failed``/``degraded``) are skipped with a ``matcher.skipped``
+    event and land in :attr:`ExperimentResult.skipped`; only the
+    remaining cells execute (and append to ``ledger``, when given).
+    The resume ledger is read tolerantly, so a tail torn by the crash
+    does not block recovery.
     """
     run_ledger = as_ledger(ledger)
+    resume_ledger = as_ledger(resume)
     obs_events.emit(
         "experiment.start",
         preset=config.preset,
@@ -259,9 +278,25 @@ def run_experiment(
         top5_std=top5_std,
         ranking=ranking,
     )
-    fingerprint = config_fingerprint(config) if run_ledger is not None else ""
+    need_fingerprint = run_ledger is not None or resume_ledger is not None
+    fingerprint = config_fingerprint(config) if need_fingerprint else ""
+    satisfied: dict[str, dict] = {}
+    if resume_ledger is not None:
+        satisfied = satisfied_cells(resume_ledger, fingerprint, resume_policy)
     try:
         for name in config.matchers:
+            prior = satisfied.get(name)
+            if prior is not None:
+                result.skipped[name] = prior
+                obs_events.emit(
+                    "matcher.skipped",
+                    matcher=name,
+                    preset=config.preset,
+                    regime=config.input_regime,
+                    status=prior["status"],
+                    run_id=prior["run_id"],
+                )
+                continue
             matcher = factory(name, metric=config.metric, **config.options_for(name))
             matcher.engine = engine
 
@@ -327,6 +362,7 @@ def run_experiment(
         ok=sum(1 for run in result.runs.values() if not run.degraded),
         degraded=sum(1 for run in result.runs.values() if run.degraded),
         failed=sum(1 for f in result.failures.values() if f.resolution == "skipped"),
+        skipped=len(result.skipped),
     )
     return result
 

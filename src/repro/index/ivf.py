@@ -27,17 +27,25 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.errors import DataIntegrityError
 from repro.index.candidates import CandidateSet
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.similarity.metrics import prepare_metric
+from repro.storage.durable import atomic_write, payload_checksum, verify_checksum
 from repro.utils.kmeans import centroid_distances, kmeans_centroids, nearest_centroid
 from repro.utils.validation import check_embedding_matrix
 
 #: Persistence format tag and version (bumped on breaking layout change).
 IVF_FORMAT = "repro-ivf"
 IVF_VERSION = 1
+
+
+def _document_checksum(document: dict) -> str:
+    """Digest of the index document's content (every key but ``checksum``)."""
+    body = {key: value for key, value in document.items() if key != "checksum"}
+    return payload_checksum(json.dumps(body, sort_keys=True).encode("utf-8"))
 
 
 class IVFIndex:
@@ -255,7 +263,14 @@ class IVFIndex:
     # -- persistence ---------------------------------------------------
 
     def save(self, path: str | Path) -> Path:
-        """Write the trained index (quantizer + vectors + lists) as JSON."""
+        """Write the trained index (quantizer + vectors + lists) as JSON.
+
+        The document lands through the atomic temp-file + rename
+        protocol and carries a blake2b ``checksum`` over its own content
+        (the canonical JSON of every key except ``checksum``), so a torn
+        write never leaves a half-index and silent corruption is caught
+        at :meth:`load`.
+        """
         if self._vectors is None:
             raise RuntimeError("IVFIndex.save called before train()/add()")
         document = {
@@ -269,24 +284,47 @@ class IVFIndex:
             "vectors": self._vectors.tolist(),
             "assignments": self._assignments.tolist(),
         }
+        document["checksum"] = _document_checksum(document)
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(document) + "\n", encoding="utf-8")
+        atomic_write(path, json.dumps(document) + "\n")
         return path
 
     @classmethod
     def load(cls, path: str | Path) -> "IVFIndex":
-        """Reload an index written by :meth:`save`."""
-        document = json.loads(Path(path).read_text(encoding="utf-8"))
-        if document.get("format") != IVF_FORMAT:
+        """Reload an index written by :meth:`save`.
+
+        Validation order: JSON well-formedness, format tag, version,
+        then content checksum — version mismatches are reported as such
+        even though an edited version field also invalidates the digest.
+        Documents without a ``checksum`` key (pre-durability writers)
+        load unverified.
+        """
+        path = Path(path)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise DataIntegrityError(
+                f"{path}: IVF index document is not valid JSON ({error}); "
+                f"the file is truncated or corrupt"
+            ) from error
+        if not isinstance(document, dict) or document.get("format") != IVF_FORMAT:
             raise ValueError(
                 f"{path} is not a {IVF_FORMAT} document "
-                f"(format={document.get('format')!r})"
+                f"(format={document.get('format') if isinstance(document, dict) else None!r})"
             )
         if document.get("version") != IVF_VERSION:
             raise ValueError(
                 f"unsupported {IVF_FORMAT} version {document.get('version')!r}; "
                 f"this build reads version {IVF_VERSION}"
+            )
+        recorded = document.get("checksum")
+        if recorded is not None:
+            body = {key: value for key, value in document.items() if key != "checksum"}
+            verify_checksum(
+                path,
+                recorded,
+                json.dumps(body, sort_keys=True).encode("utf-8"),
+                artifact="IVF index",
             )
         index = cls(
             n_clusters=int(document["n_clusters"]),

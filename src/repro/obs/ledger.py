@@ -30,12 +30,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import uuid
+from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.obs.provenance import provenance
+from repro.storage.durable import fsync_dir, fsync_file
 from repro.utils.memory import peak_rss_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -268,57 +271,225 @@ def cell_key(record: Mapping[str, Any]) -> tuple[str, str, str]:
     return (record["preset"], record["regime"], record["matcher"])
 
 
-class RunLedger:
-    """One append-only JSONL ledger file.
+#: Characters a torn or padded tail may be made of without being JSON.
+_PADDING_BYTES = b" \t\r\x00"
 
-    Construction never touches the filesystem; the file is created on
-    first :meth:`append`.  Reading validates every line and reports the
-    offending line number on corruption.
+
+@dataclass(frozen=True)
+class TornTail:
+    """A corrupt *final* line: everything before it parsed cleanly.
+
+    ``byte_offset`` is where the torn tail starts — truncating the file
+    there (what ``fsck --repair`` does, after copying the tail to a
+    ``.bak`` sidecar) restores a fully valid ledger.
     """
 
-    def __init__(self, path: Path | str) -> None:
+    lineno: int
+    byte_offset: int
+    nbytes: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class LedgerScan:
+    """Result of one tolerant pass over a ledger file."""
+
+    records: list[dict[str, Any]]
+    torn: TornTail | None
+
+
+@dataclass(frozen=True)
+class FsckReport:
+    """Outcome of :meth:`RunLedger.fsck`.
+
+    ``error`` is set for mid-file corruption (unrepairable without
+    losing good records — fsck refuses); ``torn`` describes a
+    recoverable tail; ``repaired``/``backup`` record what ``repair=True``
+    did.
+    """
+
+    path: Path
+    n_records: int
+    torn: TornTail | None = None
+    repaired: bool = False
+    backup: Path | None = None
+    error: str | None = None
+
+    @property
+    def clean(self) -> bool:
+        return self.error is None and (self.torn is None or self.repaired)
+
+
+class RunLedger:
+    """One append-only JSONL ledger file with WAL-style durability.
+
+    Construction never touches the filesystem; the file is created on
+    first :meth:`append`.  ``durable=True`` (per-ledger default, or
+    per-append override) fsyncs every append, so an acknowledged record
+    survives a crash — the torn-write window shrinks to the one line in
+    flight, which :meth:`records` in tolerant mode and :meth:`fsck`
+    recover from.  Reading validates every line; a corrupt line in the
+    *middle* of the file (records after it parsed fine, so this was
+    never an interrupted append) always raises with ``path:lineno``.
+    """
+
+    def __init__(self, path: Path | str, durable: bool = False) -> None:
         self.path = Path(path)
+        self.durable = durable
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RunLedger({str(self.path)!r})"
 
-    def append(self, record: Mapping[str, Any]) -> dict[str, Any]:
-        """Validate ``record`` and append it as one JSON line."""
+    def append(
+        self, record: Mapping[str, Any], durable: bool | None = None
+    ) -> dict[str, Any]:
+        """Validate ``record`` and append it as one JSON line.
+
+        With ``durable`` (argument, falling back to the ledger's
+        default) the line is fsynced before returning — and on first
+        creation the parent directory too, so the file's existence
+        itself survives a power cut.
+        """
+        durable = self.durable if durable is None else durable
         record = validate_record(dict(record))
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        created = not self.path.exists()
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=False) + "\n")
+            if durable:
+                fsync_file(handle)
+        if durable and created:
+            fsync_dir(self.path.parent)
         return record
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
         return iter(self.records())
 
-    def records(self) -> list[dict[str, Any]]:
-        """Every record in append order (validated)."""
-        if not self.path.exists():
-            return []
-        records: list[dict[str, Any]] = []
-        with self.path.open("r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                if not line.strip():
-                    continue
-                try:
-                    records.append(validate_record(json.loads(line)))
-                except ValueError as err:
-                    raise ValueError(f"{self.path}:{lineno}: {err}") from err
-        return records
+    def scan(self) -> LedgerScan:
+        """Tolerant pass: every complete record, plus the torn tail if any.
 
-    def latest_cells(self) -> dict[tuple[str, str, str], dict[str, Any]]:
+        Only the *final* line may be bad (an interrupted append tears at
+        most the last line); a bad line with valid records after it is
+        mid-file corruption and raises ``ValueError`` with
+        ``path:lineno`` — no tolerance mode hides it.  A final segment
+        without its trailing newline that still parses and validates is
+        accepted as complete.
+        """
+        if not self.path.exists():
+            return LedgerScan([], None)
+        raw = self.path.read_bytes()
+        records: list[dict[str, Any]] = []
+        # Candidate torn tail: (lineno, offset, nbytes, reason).  Promoted
+        # to mid-file corruption if any content line follows it.
+        candidate: tuple[int, int, int, str] | None = None
+        # Padding-only lines are skipped mid-file (legacy blank-line
+        # tolerance) but a padded *tail* is reported as torn.
+        padding: tuple[int, int, int] | None = None
+        lineno = 0
+        pos = 0
+        total = len(raw)
+        while pos < total:
+            end = raw.find(b"\n", pos)
+            nxt = total if end == -1 else end + 1
+            line = raw[pos : total if end == -1 else end]
+            lineno += 1
+            if line.strip(_PADDING_BYTES) == b"":
+                # Bare blank separators (legacy tolerance) pass silently;
+                # whitespace/NUL padding is remembered in case it is the
+                # tail a torn write left behind.
+                if line != b"":
+                    padding = (lineno, pos, nxt - pos)
+                pos = nxt
+                continue
+            if candidate is not None:
+                bad_lineno, _, _, reason = candidate
+                raise ValueError(
+                    f"{self.path}:{bad_lineno}: {reason} (followed by further "
+                    f"content — mid-file corruption, not a torn tail)"
+                )
+            padding = None
+            try:
+                records.append(validate_record(json.loads(line.decode("utf-8"))))
+            except (UnicodeDecodeError, json.JSONDecodeError, ValueError) as err:
+                candidate = (lineno, pos, nxt - pos, str(err))
+            pos = nxt
+        torn: TornTail | None = None
+        if candidate is not None:
+            bad_lineno, offset, nbytes, reason = candidate
+            torn = TornTail(bad_lineno, offset, nbytes, f"torn final line: {reason}")
+        elif padding is not None:
+            pad_lineno, offset, nbytes = padding
+            torn = TornTail(
+                pad_lineno, offset, nbytes, "blank-padded final line (torn write)"
+            )
+        return LedgerScan(records, torn)
+
+    def records(self, strict: bool = True) -> list[dict[str, Any]]:
+        """Every complete record in append order (validated).
+
+        ``strict=True`` (default) raises on a torn tail, reporting the
+        line, how many complete records are recoverable, and the repair
+        command; ``strict=False`` returns the complete records and
+        leaves the torn tail for :meth:`fsck`.  Mid-file corruption
+        raises in both modes.
+        """
+        scan = self.scan()
+        if strict and scan.torn is not None:
+            raise ValueError(
+                f"{self.path}:{scan.torn.lineno}: {scan.torn.reason}; "
+                f"{len(scan.records)} complete record"
+                f"{'s' if len(scan.records) != 1 else ''} recoverable; "
+                f"run 'repro runs fsck --repair' to truncate the torn tail"
+            )
+        return scan.records
+
+    def latest_cells(
+        self, strict: bool = True
+    ) -> dict[tuple[str, str, str], dict[str, Any]]:
         """Most recent record per (preset, regime, matcher) cell.
 
         Append order is time order, so "latest" is simply the last line
         for the cell — the view the drift gate compares against the
-        reference bands.
+        reference bands.  ``strict=False`` tolerates a torn tail (the
+        resume path reads crashed ledgers through this).
         """
         latest: dict[tuple[str, str, str], dict[str, Any]] = {}
-        for record in self.records():
+        for record in self.records(strict=strict):
             latest[cell_key(record)] = record
         return latest
+
+    def fsck(self, repair: bool = False) -> FsckReport:
+        """Check (and optionally repair) the ledger file.
+
+        A clean or missing file reports ``n_records`` and nothing else.
+        A torn tail is reported; with ``repair=True`` the tail bytes are
+        copied to a ``<ledger>.bak`` sidecar, the file is truncated at
+        the tear, and both file and directory are fsynced.  Mid-file
+        corruption is *never* repaired (truncating there would discard
+        good records); it comes back as ``error``.
+        """
+        try:
+            scan = self.scan()
+        except ValueError as err:
+            return FsckReport(self.path, 0, error=str(err))
+        if scan.torn is None:
+            return FsckReport(self.path, len(scan.records))
+        if not repair:
+            return FsckReport(self.path, len(scan.records), torn=scan.torn)
+        backup = self.path.with_name(self.path.name + ".bak")
+        raw = self.path.read_bytes()
+        backup.write_bytes(raw[scan.torn.byte_offset :])
+        with self.path.open("r+b") as handle:
+            handle.truncate(scan.torn.byte_offset)
+            os.fsync(handle.fileno())
+        fsync_dir(self.path.parent)
+        return FsckReport(
+            self.path,
+            len(scan.records),
+            torn=scan.torn,
+            repaired=True,
+            backup=backup,
+        )
 
 
 def as_ledger(ledger: "RunLedger | Path | str | None") -> RunLedger | None:

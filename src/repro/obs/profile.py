@@ -30,6 +30,7 @@ from typing import Any, Iterator, Mapping
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.provenance import provenance
 from repro.obs.trace import TraceRecorder
+from repro.storage.durable import atomic_write
 
 #: Document identifier; consumers reject anything else.
 PROFILE_SCHEMA = "repro.profile"
@@ -114,12 +115,16 @@ def _validate_span(span: Any, path: str) -> None:
 
 
 def write_profile(path: Path | str, document: Mapping[str, Any]) -> Path:
-    """Serialise ``document`` (validated) to ``path`` as indented JSON."""
+    """Serialise ``document`` (validated) to ``path`` as indented JSON.
+
+    Lands through the atomic temp-file + rename protocol
+    (:func:`~repro.storage.durable.atomic_write`): a crash mid-write
+    never leaves a half-profile under this name.
+    """
     document = validate_profile(dict(document))
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n", encoding="utf-8")
-    return path
+    return atomic_write(
+        Path(path), json.dumps(document, indent=2, sort_keys=False) + "\n"
+    )
 
 
 def load_profile(path: Path | str) -> dict[str, Any]:

@@ -48,6 +48,7 @@ from multiprocessing import get_context
 
 import numpy as np
 
+from repro.errors import WorkerCrashedError
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -234,6 +235,36 @@ class SimilarityEngine:
             )
         return self._process_pool
 
+    def _discard_process_pool(self) -> None:
+        """Drop a (possibly broken) process pool, reaping its workers.
+
+        Pools are only discarded after a worker crash, so survivors are
+        abandoned mid-task: kill them first so the blocking shutdown
+        returns promptly and no executor management thread outlives the
+        engine — a thread left behind by a fire-and-forget shutdown can
+        deadlock interpreter exit.
+        """
+        pool = self._process_pool
+        if pool is None:
+            return
+        self._process_pool = None
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            if process.is_alive():
+                process.kill()
+        pool.shutdown(wait=True, cancel_futures=True)
+
+    def degrade_to_threads(self) -> None:
+        """Flip the engine to the thread backend (worker-crash containment).
+
+        Called by the supervisor's process -> thread rung after a
+        :class:`~repro.errors.WorkerCrashedError`: the thread backend
+        runs the identical shard grid with bitwise-identical scores and
+        has no child processes to lose.  The broken process pool is
+        discarded.
+        """
+        self._discard_process_pool()
+        self.backend = "thread"
+
     # -- cache ---------------------------------------------------------
 
     def clear_cache(self) -> None:
@@ -384,14 +415,22 @@ class SimilarityEngine:
             and n_source * n_target >= self.process_threshold
         )
         if use_processes:
-            out, seconds = process_sharded_similarity(
-                source,
-                target,
-                metric,
-                plan,
-                pool=self._process_executor(),
-                chunk_elems=self.chunk_elems,
-            )
+            try:
+                out, seconds = process_sharded_similarity(
+                    source,
+                    target,
+                    metric,
+                    plan,
+                    pool=self._process_executor(),
+                    chunk_elems=self.chunk_elems,
+                )
+            except WorkerCrashedError:
+                # A broken ProcessPoolExecutor is dead for good — every
+                # later submit would raise.  Discard it so a retry (or
+                # the supervisor's process -> thread rung followed by a
+                # later flip back) starts from a fresh pool.
+                self._discard_process_pool()
+                raise
             for shard, shard_seconds in zip(plan, seconds):
                 obs_trace.event(
                     "engine.shard",

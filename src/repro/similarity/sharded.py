@@ -26,11 +26,13 @@ before returning, so no shared memory outlives a call.
 from __future__ import annotations
 
 import time
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.errors import WorkerCrashedError
 from repro.similarity.metrics import prepare_metric
 from repro.utils.parallel import DEFAULT_CHUNK_ELEMS, Shard
 
@@ -128,7 +130,12 @@ def process_sharded_similarity(
 
     ``seconds`` holds per-shard worker-side wall time in shard order, for
     the caller to emit as trace events.  All shared segments are created
-    and unlinked here; the returned matrix is a private copy.
+    and unlinked here — including when a worker dies mid-shard — so no
+    shared memory ever outlives a call.  A dead worker (SIGKILL, OOM
+    kill: the executor reports a broken pool rather than hanging on
+    results that cannot arrive) surfaces as a typed
+    :class:`~repro.errors.WorkerCrashedError` carrying whatever exit
+    codes the pool still knows.
     """
     n_source, n_target = source.shape[0], target.shape[0]
     segments: list[shared_memory.SharedMemory] = []
@@ -145,7 +152,18 @@ def process_sharded_similarity(
             (source_spec, target_spec, out_spec, metric, chunk_elems, shard)
             for shard in shards
         ]
-        seconds = list(pool.map(_run_shard, tasks))
+        try:
+            seconds = list(pool.map(_run_shard, tasks))
+        except BrokenExecutor as error:
+            exitcodes = _dead_exitcodes(pool)
+            raise WorkerCrashedError(
+                f"shard worker process died mid-computation "
+                f"({len(shards)} shards in flight"
+                + (f", worker exit codes {exitcodes}" if exitcodes else "")
+                + f"): {error}",
+                backend="process",
+                exitcodes=exitcodes,
+            ) from error
         out_view = np.ndarray(
             (n_source, n_target), dtype=source.dtype, buffer=out_segment.buf
         )
@@ -155,3 +173,21 @@ def process_sharded_similarity(
             segment.close()
             segment.unlink()
     return result, seconds
+
+
+def _dead_exitcodes(pool) -> tuple[int, ...]:
+    """Best-effort nonzero exit codes of a broken pool's dead workers.
+
+    ``ProcessPoolExecutor`` keeps its worker ``Process`` objects in the
+    private ``_processes`` map until shutdown; other pool types simply
+    yield no codes.
+    """
+    try:
+        processes = getattr(pool, "_processes", None) or {}
+        return tuple(
+            process.exitcode
+            for process in list(processes.values())
+            if process.exitcode not in (None, 0)
+        )
+    except Exception:  # pragma: no cover - purely diagnostic path
+        return ()

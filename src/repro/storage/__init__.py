@@ -6,6 +6,16 @@ provides the memmap-backed :class:`EmbeddingStore` used by the sharded
 matching path.
 """
 
+from repro.storage.durable import (
+    CHECKSUM_ALGORITHM,
+    CHECKSUM_DIGEST_SIZE,
+    atomic_write,
+    atomic_writer,
+    fsync_dir,
+    fsync_file,
+    payload_checksum,
+    verify_checksum,
+)
 from repro.storage.memmap import (
     HEADER_BYTES,
     STORE_FORMAT,
@@ -15,9 +25,17 @@ from repro.storage.memmap import (
 )
 
 __all__ = [
+    "CHECKSUM_ALGORITHM",
+    "CHECKSUM_DIGEST_SIZE",
     "HEADER_BYTES",
     "STORE_FORMAT",
     "STORE_MAGIC",
     "STORE_VERSION",
     "EmbeddingStore",
+    "atomic_write",
+    "atomic_writer",
+    "fsync_dir",
+    "fsync_file",
+    "payload_checksum",
+    "verify_checksum",
 ]

@@ -5,13 +5,24 @@ File layout::
     [ 8 bytes magic ][ JSON header, space-padded to HEADER_BYTES - 8 ]
     [ raw row-major array buffer ]
 
-The header records the schema version, dtype, shape, and element order,
-and every open validates all four plus the file size, so a truncated or
-foreign file fails loudly instead of yielding garbage embeddings.  The
-body is read through :class:`numpy.memmap`, so :meth:`rows` hands out
-zero-copy row-shard views — the page cache, not the Python heap, holds
-the embeddings, and multiple worker processes mapping the same store
-share the physical pages.
+The header records the schema version, dtype, shape, element order, and
+(for stores persisted through :meth:`EmbeddingStore.write`) a blake2b
+content checksum of the payload, and every open validates the metadata
+plus the file size, so a truncated or foreign file fails loudly instead
+of yielding garbage embeddings.  The body is read through
+:class:`numpy.memmap`, so :meth:`rows` hands out zero-copy row-shard
+views — the page cache, not the Python heap, holds the embeddings, and
+multiple worker processes mapping the same store share the physical
+pages.
+
+Durability: :meth:`write` and :meth:`create` land through the atomic
+temp-file + rename protocol (:mod:`repro.storage.durable`), so a crash
+mid-write leaves either the previous complete store or the new one,
+never a torn blend; corruption *inside* a well-formed file is caught by
+the checksum (``open(verify=True)``, :meth:`verify`, or ``repro store
+verify``) and surfaces as a typed
+:class:`~repro.errors.DataIntegrityError` naming the path and both
+digests.
 """
 
 from __future__ import annotations
@@ -21,6 +32,15 @@ from pathlib import Path
 from typing import Iterator
 
 import numpy as np
+
+from repro.errors import DataIntegrityError
+from repro.storage.durable import (
+    CHECKSUM_ALGORITHM,
+    atomic_writer,
+    fsync_file,
+    payload_checksum,
+    verify_checksum,
+)
 
 STORE_MAGIC = b"REPROEMB"
 STORE_FORMAT = "repro.embedding_store"
@@ -33,7 +53,9 @@ HEADER_BYTES = 4096
 _ALLOWED_DTYPES = ("float32", "float64")
 
 
-def _build_header(shape: tuple[int, int], dtype: np.dtype) -> bytes:
+def _build_header(
+    shape: tuple[int, int], dtype: np.dtype, checksum: str | None = None
+) -> bytes:
     payload = {
         "format": STORE_FORMAT,
         "version": STORE_VERSION,
@@ -41,11 +63,27 @@ def _build_header(shape: tuple[int, int], dtype: np.dtype) -> bytes:
         "shape": list(shape),
         "order": "C",
     }
+    if checksum is not None:
+        # Additive key: stores written before the durability layer (and
+        # `create`d stores still being filled) simply carry no checksum.
+        payload["checksum"] = {"algorithm": CHECKSUM_ALGORITHM, "digest": checksum}
     encoded = json.dumps(payload, sort_keys=True).encode("ascii")
     room = HEADER_BYTES - len(STORE_MAGIC)
     if len(encoded) > room:  # pragma: no cover - needs absurd shapes
         raise ValueError(f"store header too large ({len(encoded)} > {room} bytes)")
     return STORE_MAGIC + encoded.ljust(room, b" ")
+
+
+def _payload_view(array: np.ndarray) -> bytes | memoryview:
+    """The raw payload bytes of ``array`` for hashing/writing (zero-copy).
+
+    Empty arrays short-circuit to ``b""`` — a zero-sized memoryview
+    cannot be cast to an unsigned-byte view.
+    """
+    array = np.ascontiguousarray(array)
+    if array.size == 0:
+        return b""
+    return memoryview(array).cast("B")
 
 
 def _check_matrix(shape: tuple[int, ...], dtype: np.dtype) -> tuple[int, int]:
@@ -65,39 +103,56 @@ def _read_header(path: Path) -> dict:
     with open(path, "rb") as handle:
         head = handle.read(HEADER_BYTES)
     if len(head) < HEADER_BYTES or not head.startswith(STORE_MAGIC):
-        raise ValueError(f"{path} is not a repro embedding store (bad magic)")
+        raise DataIntegrityError(
+            f"{path} is not a repro embedding store (bad magic)"
+        )
     try:
         header = json.loads(head[len(STORE_MAGIC):].decode("ascii"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise ValueError(f"{path} has a corrupt store header: {error}") from error
+        raise DataIntegrityError(
+            f"{path} has a corrupt store header: {error}"
+        ) from error
     if not isinstance(header, dict) or header.get("format") != STORE_FORMAT:
-        raise ValueError(f"{path} header is not {STORE_FORMAT!r}")
+        raise DataIntegrityError(f"{path} header is not {STORE_FORMAT!r}")
     if header.get("version") not in _READABLE_VERSIONS:
-        raise ValueError(
+        raise DataIntegrityError(
             f"{path} has store version {header.get('version')!r}; "
             f"this build reads {_READABLE_VERSIONS}"
         )
     if header.get("order") != "C":
-        raise ValueError(f"{path} has unsupported element order {header.get('order')!r}")
+        raise DataIntegrityError(
+            f"{path} has unsupported element order {header.get('order')!r}"
+        )
     if header.get("dtype") not in _ALLOWED_DTYPES:
-        raise ValueError(f"{path} has unsupported dtype {header.get('dtype')!r}")
+        raise DataIntegrityError(
+            f"{path} has unsupported dtype {header.get('dtype')!r}"
+        )
     shape = header.get("shape")
     if (
         not isinstance(shape, list)
         or len(shape) != 2
         or not all(isinstance(side, int) and side >= 0 for side in shape)
     ):
-        raise ValueError(f"{path} has invalid shape {shape!r}")
+        raise DataIntegrityError(f"{path} has invalid shape {shape!r}")
+    checksum = header.get("checksum")
+    if checksum is not None and (
+        not isinstance(checksum, dict)
+        or checksum.get("algorithm") != CHECKSUM_ALGORITHM
+        or not isinstance(checksum.get("digest"), str)
+    ):
+        raise DataIntegrityError(f"{path} has an invalid checksum block {checksum!r}")
     return header
 
 
 class EmbeddingStore:
     """A 2-D embedding matrix persisted to disk and accessed via memmap.
 
-    Construct through :meth:`write` (persist an in-memory array),
-    :meth:`create` (allocate an empty store to fill row-band by
-    row-band), or :meth:`open` (map an existing file).  Instances are
-    context managers; :meth:`close` drops the mapping.
+    Construct through :meth:`write` (persist an in-memory array,
+    checksummed), :meth:`create` (allocate an empty store to fill
+    row-band by row-band; call :meth:`update_checksum` once filled), or
+    :meth:`open` (map an existing file, optionally verifying the
+    checksum).  Instances are context managers; :meth:`close` drops the
+    mapping.
     """
 
     def __init__(self, path: Path, mmap: np.memmap, header: dict):
@@ -109,31 +164,51 @@ class EmbeddingStore:
 
     @classmethod
     def write(cls, path: str | Path, array: np.ndarray) -> "EmbeddingStore":
-        """Persist ``array`` to ``path`` and return the mapped store."""
-        array = np.asarray(array)
+        """Persist ``array`` to ``path`` atomically and return the mapped store.
+
+        The payload checksum is embedded in the header, and the bytes
+        land via temp-file + fsync + rename — a crash mid-write can
+        never leave a half-store under this name.
+        """
+        array = np.ascontiguousarray(np.asarray(array))
         _check_matrix(array.shape, array.dtype)
         path = Path(path)
-        with open(path, "wb") as handle:
-            handle.write(_build_header(array.shape, array.dtype))
-            np.ascontiguousarray(array).tofile(handle)
+        digest = payload_checksum(_payload_view(array))
+        with atomic_writer(path) as handle:
+            handle.write(_build_header(array.shape, array.dtype, checksum=digest))
+            handle.write(_payload_view(array))
         return cls.open(path)
 
     @classmethod
     def create(
         cls, path: str | Path, shape: tuple[int, int], dtype: str | np.dtype = "float32"
     ) -> "EmbeddingStore":
-        """Allocate a zero-filled writable store (fill via ``rows``)."""
+        """Allocate a zero-filled writable store (fill via ``rows``).
+
+        Created atomically, but with *no* checksum — the content is
+        about to be overwritten band by band.  Call
+        :meth:`update_checksum` after the final band to seal the store.
+        """
         dtype = np.dtype(dtype)
         n_rows, dim = _check_matrix(tuple(shape), dtype)
         path = Path(path)
-        with open(path, "wb") as handle:
+        with atomic_writer(path) as handle:
             handle.write(_build_header((n_rows, dim), dtype))
+            handle.flush()
             handle.truncate(HEADER_BYTES + n_rows * dim * dtype.itemsize)
         return cls.open(path, mode="r+")
 
     @classmethod
-    def open(cls, path: str | Path, mode: str = "r") -> "EmbeddingStore":
-        """Map an existing store, validating header and file size."""
+    def open(
+        cls, path: str | Path, mode: str = "r", verify: bool = False
+    ) -> "EmbeddingStore":
+        """Map an existing store, validating header and file size.
+
+        ``verify=True`` additionally recomputes the payload checksum
+        against the header's recorded digest (an O(file size) read —
+        off the default open path on purpose) and raises
+        :class:`~repro.errors.DataIntegrityError` on mismatch.
+        """
         if mode not in ("r", "r+"):
             raise ValueError(f"mode must be 'r' or 'r+', got {mode!r}")
         path = Path(path)
@@ -143,12 +218,71 @@ class EmbeddingStore:
         expected = HEADER_BYTES + shape[0] * shape[1] * dtype.itemsize
         actual = path.stat().st_size
         if actual != expected:
-            raise ValueError(
+            raise DataIntegrityError(
                 f"{path} is truncated or padded: {actual} bytes on disk, "
-                f"header promises {expected}"
+                f"header promises {expected} "
+                f"({shape[0]} x {shape[1]} {dtype.name} + {HEADER_BYTES} B header, "
+                f"{actual - expected:+d} B); run `repro store verify` to diagnose"
             )
         mmap = np.memmap(path, dtype=dtype, mode=mode, offset=HEADER_BYTES, shape=shape)
-        return cls(path, mmap, header)
+        store = cls(path, mmap, header)
+        if verify:
+            store.verify()
+        return store
+
+    # -- integrity -----------------------------------------------------
+
+    @property
+    def checksum(self) -> str | None:
+        """The header's recorded payload digest, or None when unsealed."""
+        block = self.header.get("checksum")
+        return None if block is None else block["digest"]
+
+    def verify(self) -> dict[str, object]:
+        """Recompute the payload checksum against the recorded digest.
+
+        Returns a report dict (``path``, ``nbytes``, ``algorithm``,
+        ``recorded``, ``computed``, ``verified``).  A store without a
+        recorded checksum (written before the durability layer, or
+        ``create``d and never sealed) reports ``verified=False`` with
+        ``recorded=None`` rather than failing; a mismatch raises
+        :class:`~repro.errors.DataIntegrityError` naming the path and
+        both digests.
+        """
+        payload = _payload_view(self._map)
+        recorded = self.checksum
+        if recorded is None:
+            computed = payload_checksum(payload)
+        else:
+            computed = verify_checksum(
+                self.path, recorded, payload, artifact="embedding store"
+            )
+        return {
+            "path": str(self.path),
+            "nbytes": self.nbytes,
+            "algorithm": CHECKSUM_ALGORITHM,
+            "recorded": recorded,
+            "computed": computed,
+            "verified": recorded is not None,
+        }
+
+    def update_checksum(self) -> str:
+        """Seal a writable store: flush, recompute, and record the digest.
+
+        The 4 KiB header region is rewritten in place (a single aligned
+        write) and fsynced; the payload itself is untouched.  Returns
+        the new digest.
+        """
+        if self._map.mode == "r":
+            raise ValueError(f"embedding store {self.path} is read-only")
+        self.flush()
+        digest = payload_checksum(_payload_view(self._map))
+        header = _build_header(self.shape, self.dtype, checksum=digest)
+        with open(self.path, "r+b") as handle:
+            handle.write(header)
+            fsync_file(handle)
+        self.header = _read_header(self.path)
+        return digest
 
     # -- array access --------------------------------------------------
 

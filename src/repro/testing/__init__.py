@@ -15,9 +15,12 @@ from repro.testing.faults import (
     FaultInjector,
     ForcedConvergenceFailure,
     KernelStall,
+    KilledWorkerInjector,
+    TornWriteInjector,
     corrupt_embeddings,
     default_injectors,
     faulty_factory,
+    kill_current_worker,
 )
 
 __all__ = [
@@ -28,7 +31,10 @@ __all__ = [
     "FaultInjector",
     "ForcedConvergenceFailure",
     "KernelStall",
+    "KilledWorkerInjector",
+    "TornWriteInjector",
     "corrupt_embeddings",
     "default_injectors",
     "faulty_factory",
+    "kill_current_worker",
 ]

@@ -16,7 +16,18 @@ in one specific, *deterministic* way:
   exercising the retry path;
 * :class:`AllocationFailure` — raises ``MemoryError`` as a real
   allocator would, which the supervisor maps to
-  :class:`~repro.errors.ResourceBudgetExceeded`.
+  :class:`~repro.errors.ResourceBudgetExceeded`;
+* :class:`KilledWorkerInjector` — raises
+  :class:`~repro.errors.WorkerCrashedError` for the first N calls, the
+  signature a SIGKILL'd shard worker leaves, exercising the supervisor's
+  process -> thread rung without spawning real processes.
+
+The durability chaos suite also needs crashes that happen to *files*
+rather than matchers: :class:`TornWriteInjector` interrupts a write at a
+deterministic byte offset (and can retroactively tear an existing file),
+simulating the torn artifacts a power cut leaves behind; the module-level
+:func:`kill_current_worker` is a real-SIGKILL payload importable by
+spawned pool workers.
 
 Per-install state (RNG streams, call counters) lives in the wrapper
 closure, so one injector instance drives many matchers through the
@@ -26,15 +37,18 @@ deterministic under its seed.
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 from abc import ABC, abstractmethod
+from pathlib import Path
 from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
 from repro.core.base import Matcher, MatchResult
 from repro.core.registry import create_matcher
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, WorkerCrashedError
 from repro.utils.rng import ensure_rng
 
 
@@ -190,6 +204,117 @@ class AllocationFailure(FaultInjector):
             )
 
         return match
+
+
+class KilledWorkerInjector(FaultInjector):
+    """Raises :class:`WorkerCrashedError` for the first N calls.
+
+    The in-process stand-in for a SIGKILL'd shard worker: the error
+    carries the backend and a plausible exit code (``-SIGKILL``), so the
+    supervisor's process -> thread rung fires exactly as it would for a
+    real broken pool — without the test paying spawn costs.  Later calls
+    delegate cleanly (the "thread backend completes the run" half of the
+    scenario).
+    """
+
+    name = "killed-worker"
+
+    def __init__(self, failures: int = 1, exitcode: int = -signal.SIGKILL) -> None:
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        self.failures = failures
+        self.exitcode = exitcode
+
+    def _wrap(self, matcher, inner):
+        calls = {"n": 0}
+
+        def match(source: np.ndarray, target: np.ndarray) -> MatchResult:
+            calls["n"] += 1
+            if calls["n"] <= self.failures:
+                raise WorkerCrashedError(
+                    f"injected worker crash on call {calls['n']}/{self.failures} "
+                    f"(worker exit code {self.exitcode})",
+                    backend="process",
+                    exitcodes=(self.exitcode,),
+                )
+            return inner(source, target)
+
+        return match
+
+
+class TornWriteInjector:
+    """Deterministically interrupted writes — the power-cut simulator.
+
+    Not a :class:`FaultInjector` (it sabotages files, not matchers).
+    ``seed`` and ``fraction`` pick the tear point: a write of N bytes is
+    cut at ``offset = max(1, floor(u * N))`` with ``u`` drawn from the
+    seeded stream, so every (seed, payload-size) pair tears at the same
+    byte forever — the property that makes a crash-matrix suite
+    reproducible.  ``offset`` pins the tear point exactly, overriding
+    the stream.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        fraction: float | None = None,
+        offset: int | None = None,
+    ) -> None:
+        if fraction is not None and not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if offset is not None and offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        self.seed = seed
+        self.fraction = fraction
+        self.offset = offset
+        self._rng = ensure_rng(seed)
+
+    def tear_offset(self, nbytes: int) -> int:
+        """The byte offset this injector tears a write of ``nbytes`` at."""
+        if self.offset is not None:
+            return min(self.offset, nbytes)
+        u = self.fraction if self.fraction is not None else float(self._rng.random())
+        return min(nbytes, max(1, int(u * nbytes))) if nbytes else 0
+
+    def torn_write(self, path: Path | str, payload: bytes) -> int:
+        """Write only the pre-tear prefix of ``payload`` to ``path``.
+
+        What an in-place (non-atomic) write interrupted by a crash leaves
+        behind.  Returns the number of bytes that made it to disk.
+        """
+        offset = self.tear_offset(len(payload))
+        Path(path).write_bytes(payload[:offset])
+        return offset
+
+    def tear_file(self, path: Path | str) -> int:
+        """Truncate an existing file at the injector's tear point.
+
+        The retroactive form: let the real (atomic) writer finish, then
+        simulate the crash by cutting the *visible* file — how the suite
+        tears artifacts whose writers no longer expose a torn window.
+        Returns the new size.
+        """
+        path = Path(path)
+        offset = self.tear_offset(path.stat().st_size)
+        with path.open("r+b") as handle:
+            handle.truncate(offset)
+        return offset
+
+    def __repr__(self) -> str:
+        return (
+            f"TornWriteInjector(seed={self.seed}, fraction={self.fraction}, "
+            f"offset={self.offset})"
+        )
+
+
+def kill_current_worker() -> None:  # pragma: no cover - dies by design
+    """SIGKILL the calling process — submit to a pool to break it for real.
+
+    Importable by spawn-context workers (unlike a test-local lambda), so
+    the chaos suite can prove the no-hang guarantee against an actual
+    dead process rather than a simulated one.
+    """
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 def default_injectors(stall_seconds: float = 0.2) -> list[FaultInjector]:

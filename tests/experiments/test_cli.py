@@ -342,3 +342,134 @@ class TestRunsCommands:
         assert "= dbp15k/zh_en/R/DInf" in out
         assert "+ dbp15k/zh_en/R/Hun." in out
 
+
+
+class TestDurabilityCommands:
+    """``runs fsck``, ``store verify``, and ``match --resume/--durable``."""
+
+    MATCH = ["match", "dbp15k/zh_en", "--matcher", "CSLS", "--scale", "0.2"]
+
+    def _ledger(self, tmp_path, torn=False):
+        from repro.obs.ledger import RunLedger, build_record
+
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        for matcher in ("DInf", "CSLS"):
+            ledger.append(build_record(
+                fingerprint="abc", preset="dbp15k/zh_en", regime="R",
+                task="dbp15k/zh_en", matcher=matcher, seed=0, scale=0.5,
+                metric="cosine", status="ok",
+                metrics={"precision": 0.5, "recall": 0.5, "f1": 0.5},
+                ranking={"hits@1": 0.5},
+            ))
+        if torn:
+            with path.open("ab") as handle:
+                handle.write(b'{"schema": "repro.run_ledger", "vers')
+        return path
+
+    def test_fsck_clean_ledger_exits_zero(self, tmp_path, capsys):
+        path = self._ledger(tmp_path)
+        assert main(["runs", "fsck", "--ledger", str(path)]) == 0
+        assert "clean (2 records)" in capsys.readouterr().out
+
+    def test_fsck_missing_ledger_exits_one(self, tmp_path, capsys):
+        assert main(["runs", "fsck", "--ledger", str(tmp_path / "no.jsonl")]) == 1
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_fsck_reports_torn_tail_without_repair(self, tmp_path, capsys):
+        path = self._ledger(tmp_path, torn=True)
+        size_before = path.stat().st_size
+        assert main(["runs", "fsck", "--ledger", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "torn final line" in err and "--repair" in err
+        assert path.stat().st_size == size_before
+
+    def test_fsck_repair_truncates_into_bak_sidecar(self, tmp_path, capsys):
+        path = self._ledger(tmp_path, torn=True)
+        assert main(["runs", "fsck", "--ledger", str(path), "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out and "2 records remain" in out
+        backup = path.with_name("runs.jsonl.bak")
+        assert backup.exists()
+        assert backup.read_bytes().startswith(b'{"schema"')
+        # The ledger is clean again.
+        assert main(["runs", "fsck", "--ledger", str(path)]) == 0
+
+    def test_fsck_mid_file_corruption_exits_two(self, tmp_path, capsys):
+        path = self._ledger(tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines.insert(1, b"garbage\n")
+        path.write_bytes(b"".join(lines))
+        assert main(["runs", "fsck", "--ledger", str(path), "--repair"]) == 2
+        assert "UNREPAIRABLE" in capsys.readouterr().err
+
+    def test_runs_list_survives_torn_tail_with_warning(self, tmp_path, capsys):
+        path = self._ledger(tmp_path, torn=True)
+        assert main(["runs", "list", "--ledger", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 2
+        assert "torn final line" in captured.err
+        assert "fsck --repair" in captured.err
+
+    def test_store_verify_ok(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.storage import EmbeddingStore
+
+        path = tmp_path / "emb.bin"
+        EmbeddingStore.write(
+            path, np.random.default_rng(0).normal(size=(6, 3)).astype(np.float32)
+        ).close()
+        assert main(["store", "verify", str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_store_verify_detects_corruption(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.storage import HEADER_BYTES, EmbeddingStore
+
+        path = tmp_path / "emb.bin"
+        EmbeddingStore.write(
+            path, np.random.default_rng(0).normal(size=(6, 3)).astype(np.float32)
+        ).close()
+        raw = bytearray(path.read_bytes())
+        raw[HEADER_BYTES + 3] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert main(["store", "verify", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "CORRUPT" in err and "checksum mismatch" in err
+
+    def test_store_verify_missing_file(self, tmp_path, capsys):
+        assert main(["store", "verify", str(tmp_path / "no.bin")]) == 1
+        assert "cannot open" in capsys.readouterr().err
+
+    def test_store_verify_unsealed_store(self, tmp_path, capsys):
+        from repro.storage import EmbeddingStore
+
+        path = tmp_path / "emb.bin"
+        EmbeddingStore.create(path, (4, 2)).close()
+        assert main(["store", "verify", str(path)]) == 0
+        assert "no checksum recorded" in capsys.readouterr().out
+
+    def test_match_resume_requires_ledger(self, capsys):
+        assert main([*self.MATCH, "--resume"]) == 2
+        assert "--resume requires --ledger" in capsys.readouterr().err
+
+    def test_match_resume_skips_satisfied_cell(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        path = tmp_path / "runs.jsonl"
+        assert main([*self.MATCH, "--ledger", str(path), "--durable"]) == 0
+        (record,) = RunLedger(path).records()
+        capsys.readouterr()
+        assert main([*self.MATCH, "--ledger", str(path), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out
+        assert record["run_id"][:12] in out
+        assert len(RunLedger(path).records()) == 1  # nothing re-appended
+
+    def test_match_resume_with_empty_ledger_runs(self, tmp_path, capsys):
+        path = tmp_path / "runs.jsonl"
+        assert main([*self.MATCH, "--ledger", str(path), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "skipped" not in out and "F1=" in out

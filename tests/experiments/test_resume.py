@@ -1,0 +1,186 @@
+"""Resumable sweeps: policy, ledger bookkeeping, kill-resume round trip.
+
+The acceptance scenario: a sweep killed after N of M cells, restarted
+with ``resume=`` pointing at the same ledger, skips the N finished cells
+(with ``matcher.skipped`` events), completes only the remaining cells,
+and the final per-cell metrics are bitwise-identical to an uninterrupted
+run — determinism is what makes resuming sound.
+"""
+
+import json
+
+import pytest
+
+from repro.core.registry import create_matcher
+from repro.experiments import ResumePolicy, satisfied_cells
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.obs import events as obs_events
+from repro.obs.ledger import RunLedger, build_record, config_fingerprint
+
+MATCHERS = ("DInf", "CSLS", "Greedy")
+
+
+def _config(**overrides):
+    defaults = dict(
+        preset="dbp15k/zh_en", input_regime="R",
+        matchers=MATCHERS, scale=0.2, seed=0,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def _record(fingerprint, matcher, status="ok", f1=0.5):
+    error = None if status == "ok" else {"type": "MatcherError", "message": "boom"}
+    metrics = None if status == "failed" else {
+        "precision": f1, "recall": f1, "f1": f1,
+    }
+    return build_record(
+        fingerprint=fingerprint, preset="dbp15k/zh_en", regime="R",
+        task="dbp15k/zh_en", matcher=matcher, seed=0, scale=0.2,
+        metric="cosine", status=status, metrics=metrics,
+        ranking={"hits@1": f1}, error=error,
+    )
+
+
+class TestResumePolicy:
+    def test_ok_is_always_satisfied(self):
+        assert ResumePolicy().satisfied_by("ok")
+        assert ResumePolicy(rerun_failed=False, rerun_degraded=False).satisfied_by("ok")
+
+    def test_failed_and_degraded_rerun_by_default(self):
+        policy = ResumePolicy()
+        assert not policy.satisfied_by("failed")
+        assert not policy.satisfied_by("degraded")
+
+    def test_flags_accept_prior_failures_as_final(self):
+        policy = ResumePolicy(rerun_failed=False, rerun_degraded=False)
+        assert policy.satisfied_by("failed")
+        assert policy.satisfied_by("degraded")
+
+    def test_unknown_status_never_satisfies(self):
+        assert not ResumePolicy().satisfied_by("mystery")
+
+
+class TestSatisfiedCells:
+    def test_matches_fingerprint_and_keeps_latest(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        ledger.append(_record("fp-a", "DInf", status="failed"))
+        ledger.append(_record("fp-a", "DInf", status="ok"))  # later retry won
+        ledger.append(_record("fp-a", "CSLS", status="ok"))
+        ledger.append(_record("fp-b", "Greedy", status="ok"))  # other config
+        satisfied = satisfied_cells(ledger, "fp-a")
+        assert set(satisfied) == {"DInf", "CSLS"}
+        assert satisfied["DInf"]["status"] == "ok"
+
+    def test_later_failure_invalidates_earlier_success(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        ledger.append(_record("fp", "DInf", status="ok"))
+        ledger.append(_record("fp", "DInf", status="failed"))
+        assert satisfied_cells(ledger, "fp") == {}
+        relaxed = satisfied_cells(ledger, "fp", ResumePolicy(rerun_failed=False))
+        assert set(relaxed) == {"DInf"}
+
+    def test_reads_torn_ledger_tolerantly(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        ledger.append(_record("fp", "DInf"))
+        with ledger.path.open("ab") as handle:
+            handle.write(json.dumps(_record("fp", "CSLS")).encode()[:25])
+        satisfied = satisfied_cells(ledger, "fp")
+        assert set(satisfied) == {"DInf"}  # the torn cell never completed
+
+    def test_missing_ledger_satisfies_nothing(self, tmp_path):
+        assert satisfied_cells(RunLedger(tmp_path / "absent.jsonl"), "fp") == {}
+
+
+class TestKillResumeRoundTrip:
+    def _interrupting_factory(self, kill_on):
+        """A registry factory that simulates SIGKILL at one cell."""
+
+        def factory(name, **kwargs):
+            if name == kill_on:
+                raise KeyboardInterrupt(f"injected kill at cell {name!r}")
+            return create_matcher(name, **kwargs)
+
+        return factory
+
+    def test_interrupted_sweep_resumes_and_matches_uninterrupted(self, tmp_path):
+        config = _config()
+
+        # The ground truth: one uninterrupted sweep.
+        baseline_ledger = RunLedger(tmp_path / "baseline.jsonl")
+        baseline = run_experiment(config, ledger=baseline_ledger)
+        assert set(baseline.runs) == set(MATCHERS)
+
+        # The crash: killed while starting cell 2 of 3.  The durable
+        # ledger already holds cell 1; tear its tail for good measure —
+        # the crash may have interrupted an append as well.
+        ledger = RunLedger(tmp_path / "runs.jsonl", durable=True)
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment(
+                config, ledger=ledger,
+                matcher_factory=self._interrupting_factory("CSLS"),
+            )
+        with ledger.path.open("ab") as handle:
+            handle.write(b'{"schema": "repro.run_l')
+        assert [r["matcher"] for r in ledger.records(strict=False)] == ["DInf"]
+
+        # Recovery: fsck the torn tail away, then resume off the ledger.
+        report = ledger.fsck(repair=True)
+        assert report.repaired and report.n_records == 1
+        with obs_events.emitting(obs_events.MemorySink()) as sink:
+            resumed = run_experiment(config, ledger=ledger, resume=ledger)
+
+        # Only the unfinished cells ran; cell 1 was skipped via its record.
+        assert set(resumed.skipped) == {"DInf"}
+        assert set(resumed.runs) == {"CSLS", "Greedy"}
+        skipped_events = [e for e in sink.events if e.name == "matcher.skipped"]
+        assert [e.attrs["matcher"] for e in skipped_events] == ["DInf"]
+        assert skipped_events[0].attrs["status"] == "ok"
+        started = [
+            e.attrs["matcher"] for e in sink.events if e.name == "matcher.start"
+        ]
+        assert started == ["CSLS", "Greedy"]
+
+        # Bitwise-identical numbers: the re-run cells against the
+        # uninterrupted result, and the combined ledger per cell.
+        for name in ("CSLS", "Greedy"):
+            assert resumed.runs[name].metrics == baseline.runs[name].metrics
+        final = {key[2]: rec for key, rec in ledger.latest_cells().items()}
+        reference = {
+            key[2]: rec for key, rec in baseline_ledger.latest_cells().items()
+        }
+        assert set(final) == set(MATCHERS)
+        for name in MATCHERS:
+            assert final[name]["metrics"] == reference[name]["metrics"]
+            assert final[name]["ranking"] == reference[name]["ranking"]
+        assert resumed.skipped["DInf"]["metrics"] == reference["DInf"]["metrics"]
+
+    def test_fully_satisfied_sweep_skips_every_cell(self, tmp_path):
+        config = _config(matchers=("DInf", "CSLS"))
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        run_experiment(config, ledger=ledger)
+        resumed = run_experiment(config, resume=ledger)
+        assert set(resumed.skipped) == {"DInf", "CSLS"}
+        assert resumed.runs == {}
+
+    def test_resume_ignores_other_configs_records(self, tmp_path):
+        config = _config(matchers=("DInf",))
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        ledger.append(_record("some-other-fingerprint", "DInf"))
+        resumed = run_experiment(config, resume=ledger)
+        assert resumed.skipped == {}
+        assert set(resumed.runs) == {"DInf"}
+
+    def test_resume_policy_controls_failed_cells(self, tmp_path):
+        config = _config(matchers=("DInf",))
+        fingerprint = config_fingerprint(config)
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        ledger.append(_record(fingerprint, "DInf", status="failed"))
+        rerun = run_experiment(config, resume=ledger)
+        assert set(rerun.runs) == {"DInf"}  # default: failures re-run
+        accepted = run_experiment(
+            config, resume=ledger, resume_policy=ResumePolicy(rerun_failed=False)
+        )
+        assert set(accepted.skipped) == {"DInf"}
+        assert accepted.runs == {}

@@ -1,0 +1,109 @@
+"""Tests for the crash-safe persistence primitives.
+
+The atomic-writer contract is all-or-nothing: a clean exit replaces the
+destination in one rename, any exception leaves the destination exactly
+as it was and removes the temp sibling.  The checksum helpers are the
+shared corruption detector every durable artifact embeds.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import DataIntegrityError
+from repro.storage.durable import (
+    CHECKSUM_ALGORITHM,
+    CHECKSUM_DIGEST_SIZE,
+    atomic_write,
+    atomic_writer,
+    payload_checksum,
+    verify_checksum,
+)
+
+
+class TestAtomicWrite:
+    def test_round_trips_bytes(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        assert atomic_write(path, b"payload") == path
+        assert path.read_bytes() == b"payload"
+
+    def test_encodes_text_as_utf8(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write(path, "π = 3.14159\n")
+        assert path.read_text(encoding="utf-8") == "π = 3.14159\n"
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "artifact.bin"
+        atomic_write(path, b"x")
+        assert path.read_bytes() == b"x"
+
+    def test_replaces_existing_file_completely(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        path.write_bytes(b"a much longer previous payload")
+        atomic_write(path, b"short")
+        assert path.read_bytes() == b"short"
+
+    def test_leaves_no_temp_siblings_behind(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        atomic_write(path, b"payload")
+        assert os.listdir(tmp_path) == ["artifact.bin"]
+
+
+class TestAtomicWriterFailure:
+    def test_exception_leaves_missing_target_missing(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        with pytest.raises(RuntimeError, match="crash"):
+            with atomic_writer(path) as handle:
+                handle.write(b"half a pay")
+                raise RuntimeError("injected crash mid-write")
+        assert not path.exists()
+        assert os.listdir(tmp_path) == []  # temp sibling cleaned up
+
+    def test_exception_leaves_previous_contents_intact(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        path.write_bytes(b"the previous complete file")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path) as handle:
+                handle.write(b"new but torn")
+                raise RuntimeError("injected crash mid-write")
+        assert path.read_bytes() == b"the previous complete file"
+        assert os.listdir(tmp_path) == ["artifact.bin"]
+
+    def test_nothing_visible_until_clean_exit(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        with atomic_writer(path) as handle:
+            handle.write(b"payload")
+            assert not path.exists()  # still the invisible temp sibling
+        assert path.read_bytes() == b"payload"
+
+
+class TestChecksums:
+    def test_digest_is_deterministic_and_sized(self):
+        digest = payload_checksum(b"embedding bytes")
+        assert digest == payload_checksum(b"embedding bytes")
+        assert len(digest) == 2 * CHECKSUM_DIGEST_SIZE  # hex
+        assert digest != payload_checksum(b"embedding bytez")
+
+    def test_accepts_memoryview(self):
+        payload = b"zero-copy hashing"
+        assert payload_checksum(memoryview(payload)) == payload_checksum(payload)
+
+    def test_verify_returns_digest_on_match(self, tmp_path):
+        payload = b"content"
+        digest = payload_checksum(payload)
+        assert verify_checksum(tmp_path / "f", digest, payload) == digest
+
+    def test_verify_mismatch_names_path_and_both_digests(self, tmp_path):
+        path = tmp_path / "store.bin"
+        recorded = payload_checksum(b"what was written")
+        with pytest.raises(DataIntegrityError) as excinfo:
+            verify_checksum(path, recorded, b"what is on disk", artifact="store")
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "store checksum mismatch" in message
+        assert f"{CHECKSUM_ALGORITHM}:{recorded}" in message
+        assert f"{CHECKSUM_ALGORITHM}:{payload_checksum(b'what is on disk')}" in message
+
+    def test_mismatch_is_a_value_error_for_legacy_callers(self, tmp_path):
+        with pytest.raises(ValueError):
+            verify_checksum(tmp_path / "f", payload_checksum(b"a"), b"b")

@@ -5,6 +5,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.errors import DataIntegrityError
 from repro.storage import HEADER_BYTES, STORE_VERSION, EmbeddingStore
 from repro.storage.memmap import STORE_MAGIC, _build_header
 
@@ -145,3 +146,98 @@ class TestViews:
         with EmbeddingStore.open(path) as store:
             with pytest.raises((ValueError, RuntimeError)):
                 store.as_array()[0, 0] = 1.0
+
+
+class TestChecksum:
+    def test_write_records_a_checksum_that_verifies(self, tmp_path, rng):
+        path = _write(tmp_path, rng.normal(size=(6, 3)).astype(np.float32))
+        with EmbeddingStore.open(path, verify=True) as store:
+            assert store.checksum is not None
+            report = store.verify()
+        assert report["verified"] is True
+        assert report["recorded"] == report["computed"] == store.checksum
+        assert report["path"] == str(path)
+
+    def test_flipped_payload_byte_fails_verification(self, tmp_path, rng):
+        path = _write(tmp_path, rng.normal(size=(6, 3)).astype(np.float32))
+        raw = bytearray(path.read_bytes())
+        raw[HEADER_BYTES + 5] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(DataIntegrityError, match="checksum mismatch"):
+            EmbeddingStore.open(path, verify=True)
+        # The default open stays O(header): corruption inside the payload
+        # is only caught when verification is requested.
+        EmbeddingStore.open(path).close()
+
+    def test_store_without_checksum_reports_unverified(self, tmp_path, rng):
+        array = rng.normal(size=(5, 2)).astype(np.float32)
+        path = tmp_path / "legacy.npy"
+        # A pre-durability store: valid header, no checksum block.
+        payload = array.tobytes()
+        path.write_bytes(_build_header(array.shape, array.dtype) + payload)
+        with EmbeddingStore.open(path, verify=True) as store:  # must not raise
+            assert store.checksum is None
+            report = store.verify()
+        assert report["verified"] is False
+        assert report["recorded"] is None
+
+    def test_create_then_seal_with_update_checksum(self, tmp_path, rng):
+        path = tmp_path / "emb.npy"
+        array = rng.normal(size=(7, 3)).astype(np.float32)
+        with EmbeddingStore.create(path, (7, 3), dtype="float32") as store:
+            assert store.checksum is None  # unsealed while being filled
+            store[:] = array
+            digest = store.update_checksum()
+            assert store.checksum == digest
+        with EmbeddingStore.open(path, verify=True) as store:
+            np.testing.assert_array_equal(store.as_array(), array)
+
+    def test_update_checksum_rejects_read_only_store(self, tmp_path, rng):
+        path = _write(tmp_path, rng.normal(size=(3, 2)).astype(np.float32))
+        with EmbeddingStore.open(path) as store:
+            with pytest.raises(ValueError, match="read-only"):
+                store.update_checksum()
+
+    def test_empty_store_checksum_round_trips(self, tmp_path):
+        path = _write(tmp_path, np.empty((0, 4), dtype=np.float32))
+        with EmbeddingStore.open(path, verify=True) as store:
+            assert store.verify()["verified"] is True
+
+
+class TestTruncationDiagnostics:
+    def test_truncation_error_reports_byte_accounting(self, tmp_path, rng):
+        path = _write(tmp_path, rng.normal(size=(8, 4)).astype(np.float32))
+        expected = path.stat().st_size
+        with path.open("r+b") as handle:
+            handle.truncate(expected - 8)
+        with pytest.raises(DataIntegrityError) as excinfo:
+            EmbeddingStore.open(path)
+        message = str(excinfo.value)
+        assert "truncated or padded" in message
+        assert f"{expected - 8} bytes on disk" in message
+        assert f"header promises {expected}" in message
+        assert "-8 B" in message
+        assert "repro store verify" in message
+
+    def test_crash_before_rename_leaves_previous_store_intact(
+        self, tmp_path, rng, monkeypatch
+    ):
+        path = tmp_path / "emb.npy"
+        before = rng.normal(size=(4, 2)).astype(np.float32)
+        EmbeddingStore.write(path, before).close()
+
+        # Crash the protocol at the last possible moment: the payload is
+        # fully written and fsynced, the rename never happens.
+        def crashing_replace(src, dst):
+            raise OSError("injected crash during os.replace")
+
+        monkeypatch.setattr("repro.storage.durable.os.replace", crashing_replace)
+        with pytest.raises(OSError, match="injected crash"):
+            EmbeddingStore.write(path, rng.normal(size=(9, 9)).astype(np.float32))
+        monkeypatch.undo()
+
+        import os
+
+        assert os.listdir(tmp_path) == ["emb.npy"]  # temp sibling removed
+        with EmbeddingStore.open(path, verify=True) as store:
+            np.testing.assert_array_equal(store.as_array(), before)

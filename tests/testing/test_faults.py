@@ -1,19 +1,24 @@
 """Tests for the deterministic fault-injection harness."""
 
+import signal
+
 import numpy as np
 import pytest
 
 from repro.core.greedy import DInf
 from repro.core.sinkhorn import Sinkhorn
-from repro.errors import ConvergenceError, DataIntegrityError
+from repro.errors import ConvergenceError, DataIntegrityError, WorkerCrashedError
 from repro.testing.faults import (
     AllocationFailure,
     EmbeddingCorruptor,
     ForcedConvergenceFailure,
     KernelStall,
+    KilledWorkerInjector,
+    TornWriteInjector,
     corrupt_embeddings,
     default_injectors,
     faulty_factory,
+    kill_current_worker,
 )
 
 
@@ -148,3 +153,72 @@ class TestFaultyFactory:
             result = matcher.match(source, target)
             assert len(result.pairs) == len(source)
             assert engine.stats.misses == 1  # S went through the engine
+
+
+class TestKilledWorkerInjector:
+    def test_raises_typed_crash_then_delegates(self):
+        source, target = _embeddings()
+        matcher = KilledWorkerInjector(failures=2).install(DInf())
+        for call in (1, 2):
+            with pytest.raises(WorkerCrashedError) as excinfo:
+                matcher.match(source, target)
+            assert excinfo.value.backend == "process"
+            assert excinfo.value.exitcodes == (-signal.SIGKILL,)
+        result = matcher.match(source, target)  # third call is clean
+        assert len(result.pairs) == len(source)
+
+    def test_custom_exitcode_carried(self):
+        source, target = _embeddings()
+        matcher = KilledWorkerInjector(failures=1, exitcode=-6).install(DInf())
+        with pytest.raises(WorkerCrashedError) as excinfo:
+            matcher.match(source, target)
+        assert excinfo.value.exitcodes == (-6,)
+
+    def test_failures_validated(self):
+        with pytest.raises(ValueError, match="failures"):
+            KilledWorkerInjector(failures=0)
+
+
+class TestTornWriteInjector:
+    def test_same_seed_same_tear_offsets(self):
+        a = [TornWriteInjector(seed=5).tear_offset(n) for n in (10, 100, 1000)]
+        b = [TornWriteInjector(seed=5).tear_offset(n) for n in (10, 100, 1000)]
+        assert a == b
+        assert all(1 <= offset <= n for offset, n in zip(a, (10, 100, 1000)))
+
+    def test_fraction_and_offset_overrides(self):
+        assert TornWriteInjector(fraction=0.5).tear_offset(100) == 50
+        assert TornWriteInjector(offset=7).tear_offset(100) == 7
+        assert TornWriteInjector(offset=7).tear_offset(3) == 3  # clamped
+
+    def test_zero_byte_write_tears_nowhere(self):
+        assert TornWriteInjector(seed=0).tear_offset(0) == 0
+
+    def test_torn_write_leaves_only_the_prefix(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        payload = bytes(range(100))
+        offset = TornWriteInjector(fraction=0.25).torn_write(path, payload)
+        assert offset == 25
+        assert path.read_bytes() == payload[:25]
+
+    def test_tear_file_truncates_in_place(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        path.write_bytes(bytes(range(80)))
+        size = TornWriteInjector(fraction=0.5).tear_file(path)
+        assert size == 40
+        assert path.read_bytes() == bytes(range(40))
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError, match="fraction"):
+            TornWriteInjector(fraction=1.5)
+        with pytest.raises(ValueError, match="offset"):
+            TornWriteInjector(offset=-1)
+
+    def test_kill_current_worker_is_importable_by_spawn_workers(self):
+        # The payload must be a module-level function (a lambda cannot
+        # cross a spawn pickle boundary); calling it here would, well,
+        # kill the test process.
+        from repro.testing import faults
+
+        assert faults.kill_current_worker is kill_current_worker
+        assert kill_current_worker.__module__ == "repro.testing.faults"
