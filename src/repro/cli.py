@@ -351,9 +351,14 @@ def _run_match(
         if ledger_path is None:
             print("--resume requires --ledger", file=sys.stderr)
             return 2
-        prior = _match_resume_record(
-            ledger_path, preset, regime, matcher_name, scale, metric
-        )
+        try:
+            prior = _match_resume_record(
+                ledger_path, preset, regime, matcher_name, scale, metric
+            )
+        except ValueError as err:
+            print(f"corrupt ledger: {err}", file=sys.stderr)
+            print("run 'repro runs fsck' to diagnose", file=sys.stderr)
+            return 1
         if prior is not None:
             print(
                 f"{matcher_name} on {preset} ({regime} regime): skipped — "
@@ -794,6 +799,14 @@ def _store_verify(args: argparse.Namespace) -> int:
     """Recompute an embedding store's checksum against its header."""
     try:
         with EmbeddingStore.open(args.path) as store:
+            if store.seal_state == "unsealed":
+                print(
+                    f"UNSEALED: {args.path} was created but never sealed "
+                    f"(interrupted mid-fill, or missing update_checksum()); "
+                    f"contents cannot be trusted — rebuild the store",
+                    file=sys.stderr,
+                )
+                return 1
             report = store.verify()
     except OSError as err:
         print(f"cannot open store {args.path}: {err}", file=sys.stderr)
@@ -804,8 +817,8 @@ def _store_verify(args: argparse.Namespace) -> int:
     if not report["verified"]:
         print(
             f"{args.path}: no checksum recorded (written before the "
-            f"durability layer, or created and never sealed); payload "
-            f"hashes to {report['algorithm']}:{report['computed']}"
+            f"durability layer); payload hashes to "
+            f"{report['algorithm']}:{report['computed']}"
         )
         return 0
     print(

@@ -349,11 +349,19 @@ class RunLedger:
         default) the line is fsynced before returning — and on first
         creation the parent directory too, so the file's existence
         itself survives a power cut.
+
+        A tail without its trailing newline — exactly what a crash
+        mid-append leaves — is healed first, never appended onto: a
+        complete final record gets its newline back, a torn fragment is
+        moved to a ``.bak`` sidecar (the fsck repair), and mid-file
+        corruption raises rather than burying the damage deeper.
         """
         durable = self.durable if durable is None else durable
         record = validate_record(dict(record))
         self.path.parent.mkdir(parents=True, exist_ok=True)
         created = not self.path.exists()
+        if not created:
+            self._heal_tail(durable)
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=False) + "\n")
             if durable:
@@ -361,6 +369,35 @@ class RunLedger:
         if durable and created:
             fsync_dir(self.path.parent)
         return record
+
+    def _heal_tail(self, durable: bool) -> None:
+        """Make the file end in a newline before an append lands.
+
+        Appending onto a newline-less tail would concatenate the new
+        record into the old bytes — silently losing it, and turning the
+        merged line into mid-file corruption once a further record
+        follows.  Three cases: a complete final record that merely lost
+        its newline is finished with one; a torn fragment goes through
+        the same repair as ``fsck --repair`` (tail to a ``.bak``
+        sidecar, file truncated at the tear); mid-file corruption
+        propagates from :meth:`scan` untouched.
+        """
+        with self.path.open("rb") as handle:
+            size = handle.seek(0, os.SEEK_END)
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+        scan = self.scan()
+        if scan.torn is not None:
+            self._repair_torn_tail(scan.torn)
+            return
+        with self.path.open("r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            handle.write(b"\n")
+            if durable:
+                os.fsync(handle.fileno())
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
         return iter(self.records())
@@ -463,10 +500,12 @@ class RunLedger:
 
         A clean or missing file reports ``n_records`` and nothing else.
         A torn tail is reported; with ``repair=True`` the tail bytes are
-        copied to a ``<ledger>.bak`` sidecar, the file is truncated at
-        the tear, and both file and directory are fsynced.  Mid-file
-        corruption is *never* repaired (truncating there would discard
-        good records); it comes back as ``error``.
+        copied to a ``<ledger>.bak`` sidecar (``.bak.1``, ``.bak.2``,
+        ... when earlier repairs already claimed the name — a repair
+        never discards what a previous one preserved), the file is
+        truncated at the tear, and both file and directory are fsynced.
+        Mid-file corruption is *never* repaired (truncating there would
+        discard good records); it comes back as ``error``.
         """
         try:
             scan = self.scan()
@@ -476,13 +515,7 @@ class RunLedger:
             return FsckReport(self.path, len(scan.records))
         if not repair:
             return FsckReport(self.path, len(scan.records), torn=scan.torn)
-        backup = self.path.with_name(self.path.name + ".bak")
-        raw = self.path.read_bytes()
-        backup.write_bytes(raw[scan.torn.byte_offset :])
-        with self.path.open("r+b") as handle:
-            handle.truncate(scan.torn.byte_offset)
-            os.fsync(handle.fileno())
-        fsync_dir(self.path.parent)
+        backup = self._repair_torn_tail(scan.torn)
         return FsckReport(
             self.path,
             len(scan.records),
@@ -490,6 +523,26 @@ class RunLedger:
             repaired=True,
             backup=backup,
         )
+
+    def _backup_path(self) -> Path:
+        """First unclaimed ``.bak`` sidecar name for a torn-tail repair."""
+        backup = self.path.with_name(self.path.name + ".bak")
+        counter = 0
+        while backup.exists():
+            counter += 1
+            backup = self.path.with_name(f"{self.path.name}.bak.{counter}")
+        return backup
+
+    def _repair_torn_tail(self, torn: TornTail) -> Path:
+        """Copy the torn tail to a fresh sidecar and truncate at the tear."""
+        backup = self._backup_path()
+        raw = self.path.read_bytes()
+        backup.write_bytes(raw[torn.byte_offset :])
+        with self.path.open("r+b") as handle:
+            handle.truncate(torn.byte_offset)
+            os.fsync(handle.fileno())
+        fsync_dir(self.path.parent)
+        return backup
 
 
 def as_ledger(ledger: "RunLedger | Path | str | None") -> RunLedger | None:

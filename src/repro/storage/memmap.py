@@ -53,8 +53,16 @@ HEADER_BYTES = 4096
 _ALLOWED_DTYPES = ("float32", "float64")
 
 
+#: Sentinel for "no checksum key at all" — the legacy (pre-durability)
+#: header shape.  Distinct from an explicit ``"checksum": null``, which
+#: marks a ``create``d store that has not been sealed yet.
+_NO_CHECKSUM = object()
+
+
 def _build_header(
-    shape: tuple[int, int], dtype: np.dtype, checksum: str | None = None
+    shape: tuple[int, int],
+    dtype: np.dtype,
+    checksum: str | None | object = _NO_CHECKSUM,
 ) -> bytes:
     payload = {
         "format": STORE_FORMAT,
@@ -63,9 +71,11 @@ def _build_header(
         "shape": list(shape),
         "order": "C",
     }
-    if checksum is not None:
-        # Additive key: stores written before the durability layer (and
-        # `create`d stores still being filled) simply carry no checksum.
+    if checksum is None:
+        # Explicit unsealed marker: the store is mid-fill, and a crash
+        # here must stay distinguishable from a healthy legacy store.
+        payload["checksum"] = None
+    elif checksum is not _NO_CHECKSUM:
         payload["checksum"] = {"algorithm": CHECKSUM_ALGORITHM, "digest": checksum}
     encoded = json.dumps(payload, sort_keys=True).encode("ascii")
     room = HEADER_BYTES - len(STORE_MAGIC)
@@ -185,15 +195,18 @@ class EmbeddingStore:
     ) -> "EmbeddingStore":
         """Allocate a zero-filled writable store (fill via ``rows``).
 
-        Created atomically, but with *no* checksum — the content is
-        about to be overwritten band by band.  Call
-        :meth:`update_checksum` after the final band to seal the store.
+        Created atomically, with an explicit *unsealed* marker
+        (``"checksum": null``) in place of a digest — the content is
+        about to be overwritten band by band, and until
+        :meth:`update_checksum` seals the store after the final band,
+        :meth:`verify` treats it as a possible mid-fill crash, not a
+        healthy pre-durability legacy store.
         """
         dtype = np.dtype(dtype)
         n_rows, dim = _check_matrix(tuple(shape), dtype)
         path = Path(path)
         with atomic_writer(path) as handle:
-            handle.write(_build_header((n_rows, dim), dtype))
+            handle.write(_build_header((n_rows, dim), dtype, checksum=None))
             handle.flush()
             handle.truncate(HEADER_BYTES + n_rows * dim * dtype.itemsize)
         return cls.open(path, mode="r+")
@@ -238,17 +251,40 @@ class EmbeddingStore:
         block = self.header.get("checksum")
         return None if block is None else block["digest"]
 
+    @property
+    def seal_state(self) -> str:
+        """``"sealed"``, ``"unsealed"``, or ``"legacy"``.
+
+        Sealed stores carry a digest; unsealed stores carry the explicit
+        ``"checksum": null`` marker :meth:`create` writes (mid-fill, or
+        a crash left them that way); legacy stores predate the
+        durability layer and have no checksum key at all.
+        """
+        if "checksum" not in self.header:
+            return "legacy"
+        return "sealed" if self.header["checksum"] is not None else "unsealed"
+
     def verify(self) -> dict[str, object]:
         """Recompute the payload checksum against the recorded digest.
 
         Returns a report dict (``path``, ``nbytes``, ``algorithm``,
-        ``recorded``, ``computed``, ``verified``).  A store without a
-        recorded checksum (written before the durability layer, or
-        ``create``d and never sealed) reports ``verified=False`` with
-        ``recorded=None`` rather than failing; a mismatch raises
-        :class:`~repro.errors.DataIntegrityError` naming the path and
-        both digests.
+        ``recorded``, ``computed``, ``verified``, ``state``).  A legacy
+        store (written before the durability layer, no checksum key)
+        reports ``verified=False`` with ``recorded=None`` rather than
+        failing; an *unsealed* store (``create``d, never sealed by
+        :meth:`update_checksum` — indistinguishable from a mid-fill
+        crash) raises :class:`~repro.errors.DataIntegrityError`, as does
+        a digest mismatch, naming the path and both digests.
         """
+        state = self.seal_state
+        if state == "unsealed":
+            raise DataIntegrityError(
+                f"{self.path} was created but never sealed (no "
+                f"update_checksum() after the final band) — a crash "
+                f"mid-fill leaves exactly this state, so the contents "
+                f"cannot be trusted; rebuild the store or reseal it if "
+                f"the fill is known complete"
+            )
         payload = _payload_view(self._map)
         recorded = self.checksum
         if recorded is None:
@@ -264,6 +300,7 @@ class EmbeddingStore:
             "recorded": recorded,
             "computed": computed,
             "verified": recorded is not None,
+            "state": state,
         }
 
     def update_checksum(self) -> str:

@@ -443,17 +443,53 @@ class TestDurabilityCommands:
         assert main(["store", "verify", str(tmp_path / "no.bin")]) == 1
         assert "cannot open" in capsys.readouterr().err
 
-    def test_store_verify_unsealed_store(self, tmp_path, capsys):
+    def test_store_verify_unsealed_store_fails(self, tmp_path, capsys):
         from repro.storage import EmbeddingStore
 
         path = tmp_path / "emb.bin"
         EmbeddingStore.create(path, (4, 2)).close()
+        assert main(["store", "verify", str(path)]) == 1
+        assert "UNSEALED" in capsys.readouterr().err
+
+    def test_store_verify_legacy_store_without_checksum(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.storage import EmbeddingStore
+        from repro.storage.memmap import _build_header
+
+        array = np.ones((4, 2), dtype=np.float32)
+        path = tmp_path / "emb.bin"
+        # Pre-durability store: valid header, no checksum key at all.
+        path.write_bytes(_build_header(array.shape, array.dtype) + array.tobytes())
         assert main(["store", "verify", str(path)]) == 0
         assert "no checksum recorded" in capsys.readouterr().out
 
     def test_match_resume_requires_ledger(self, capsys):
         assert main([*self.MATCH, "--resume"]) == 2
         assert "--resume requires --ledger" in capsys.readouterr().err
+
+    def test_match_resume_mid_file_corruption_is_a_friendly_error(
+        self, tmp_path, capsys
+    ):
+        path = self._ledger(tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines.insert(1, b"garbage\n")
+        path.write_bytes(b"".join(lines))
+        assert main([*self.MATCH, "--ledger", str(path), "--resume"]) == 1
+        err = capsys.readouterr().err
+        assert "corrupt ledger" in err and "fsck" in err
+
+    def test_match_resume_appends_cleanly_after_torn_tail(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        path = self._ledger(tmp_path, torn=True)
+        # Resume against the crashed ledger: the torn tail is healed into
+        # a .bak sidecar and the new record lands as its own line.
+        assert main([*self.MATCH, "--ledger", str(path), "--resume"]) == 0
+        records = RunLedger(path).records()  # strict: fully valid again
+        assert len(records) == 3
+        assert records[-1]["matcher"] == "CSLS"
+        assert path.with_name("runs.jsonl.bak").exists()
 
     def test_match_resume_skips_satisfied_cell(self, tmp_path, capsys):
         from repro.obs.ledger import RunLedger

@@ -135,6 +135,65 @@ class TestTornTail:
             assert ledger.scan().torn.byte_offset == clean_size
 
 
+class TestAppendHealsTail:
+    """append() never concatenates onto a newline-less tail.
+
+    Resuming after a crash appends to the very ledger the crash tore;
+    without healing, the new record would merge into the torn bytes —
+    silently lost, and promoted to mid-file corruption by the next
+    append.
+    """
+
+    def test_append_after_torn_tail_repairs_into_bak(self, tmp_path):
+        ledger = _seeded_ledger(tmp_path)
+        torn = _tear_tail(ledger)
+        ledger.append(_record(matcher="Hun."))
+        records = ledger.records()  # strict: the ledger is fully valid
+        assert [r["matcher"] for r in records] == ["DInf", "CSLS", "Hun."]
+        backup = ledger.path.with_name("runs.jsonl.bak")
+        assert backup.read_bytes() == torn
+
+    def test_append_completes_valid_record_missing_newline(self, tmp_path):
+        ledger = _seeded_ledger(tmp_path, matchers=("DInf",))
+        with ledger.path.open("ab") as handle:
+            handle.write(json.dumps(_record(matcher="CSLS")).encode())  # no \n
+        ledger.append(_record(matcher="Hun."))
+        records = ledger.records()
+        # The unterminated-but-complete record survives, nothing merged.
+        assert [r["matcher"] for r in records] == ["DInf", "CSLS", "Hun."]
+        assert not ledger.path.with_name("runs.jsonl.bak").exists()
+
+    def test_append_after_blank_padded_tail_repairs(self, tmp_path):
+        ledger = _seeded_ledger(tmp_path, matchers=("DInf",))
+        with ledger.path.open("ab") as handle:
+            handle.write(b" \x00\x00 ")
+        ledger.append(_record(matcher="Hun."))
+        assert [r["matcher"] for r in ledger.records()] == ["DInf", "Hun."]
+
+    def test_append_refuses_mid_file_corruption(self, tmp_path):
+        ledger = _seeded_ledger(tmp_path)
+        lines = ledger.path.read_bytes().splitlines(keepends=True)
+        lines.insert(1, b"garbage\n")
+        # No trailing newline: the tail check kicks in and the scan
+        # finds the mid-file damage before any byte is appended.
+        ledger.path.write_bytes(b"".join(lines) + b'{"torn": tru')
+        raw_before = ledger.path.read_bytes()
+        with pytest.raises(ValueError, match="mid-file corruption"):
+            ledger.append(_record(matcher="Hun."))
+        assert ledger.path.read_bytes() == raw_before
+
+    def test_durable_resume_round_trip_after_torn_append(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl", durable=True)
+        ledger.append(_record(matcher="DInf"))
+        _tear_tail(ledger)
+        ledger.append(_record(matcher="CSLS"))
+        ledger.append(_record(matcher="Hun."))
+        assert [r["matcher"] for r in ledger.records()] == [
+            "DInf", "CSLS", "Hun.",
+        ]
+        assert ledger.fsck().clean
+
+
 class TestMidFileCorruption:
     def _corrupt_middle(self, tmp_path):
         ledger = _seeded_ledger(tmp_path)
@@ -197,6 +256,18 @@ class TestFsck:
         ledger.append(_record(matcher="Hun."))
         assert len(ledger.records()) == 3
         assert cell_key(ledger.records()[-1])[2] == "Hun."
+
+    def test_second_repair_does_not_clobber_first_backup(self, tmp_path):
+        ledger = _seeded_ledger(tmp_path)
+        first_torn = _tear_tail(ledger, keep_bytes=20)
+        first = ledger.fsck(repair=True)
+        second_torn = _tear_tail(ledger, keep_bytes=30)
+        second = ledger.fsck(repair=True)
+        assert second.backup != first.backup
+        assert second.backup == ledger.path.with_name("runs.jsonl.bak.1")
+        assert first.backup.read_bytes() == first_torn  # still preserved
+        assert second.backup.read_bytes() == second_torn
+        assert ledger.fsck().clean
 
     def test_repair_refuses_mid_file_corruption(self, tmp_path):
         ledger = _seeded_ledger(tmp_path)

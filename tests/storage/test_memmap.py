@@ -177,20 +177,37 @@ class TestChecksum:
         path.write_bytes(_build_header(array.shape, array.dtype) + payload)
         with EmbeddingStore.open(path, verify=True) as store:  # must not raise
             assert store.checksum is None
+            assert store.seal_state == "legacy"
             report = store.verify()
         assert report["verified"] is False
         assert report["recorded"] is None
+        assert report["state"] == "legacy"
 
     def test_create_then_seal_with_update_checksum(self, tmp_path, rng):
         path = tmp_path / "emb.npy"
         array = rng.normal(size=(7, 3)).astype(np.float32)
         with EmbeddingStore.create(path, (7, 3), dtype="float32") as store:
             assert store.checksum is None  # unsealed while being filled
+            assert store.seal_state == "unsealed"
             store[:] = array
             digest = store.update_checksum()
             assert store.checksum == digest
+            assert store.seal_state == "sealed"
         with EmbeddingStore.open(path, verify=True) as store:
             np.testing.assert_array_equal(store.as_array(), array)
+
+    def test_unsealed_store_fails_verification(self, tmp_path):
+        # A create()d store killed mid band-fill must NOT pass for a
+        # healthy legacy store: its explicit "checksum": null marker
+        # makes verification fail until update_checksum() seals it.
+        path = tmp_path / "emb.npy"
+        EmbeddingStore.create(path, (4, 2), dtype="float32").close()
+        with pytest.raises(DataIntegrityError, match="never sealed"):
+            EmbeddingStore.open(path, verify=True)
+        with EmbeddingStore.open(path) as store:  # default open stays lazy
+            assert store.seal_state == "unsealed"
+            with pytest.raises(DataIntegrityError, match="never sealed"):
+                store.verify()
 
     def test_update_checksum_rejects_read_only_store(self, tmp_path, rng):
         path = _write(tmp_path, rng.normal(size=(3, 2)).astype(np.float32))
