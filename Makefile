@@ -5,8 +5,9 @@
 
 PY := PYTHONPATH=src python -m
 
-.PHONY: check lint test property obs chaos chaos-crash bench bench-obs \
-	bench-check bench-scale-smoke drift reference-update
+.PHONY: check lint test property obs serve test-serve chaos chaos-crash \
+	bench bench-obs bench-serve bench-check bench-scale-smoke drift \
+	reference-update
 
 check: lint
 	$(PY) pytest -q -m "not chaos and not chaos_crash"
@@ -30,6 +31,13 @@ property:
 obs:
 	$(PY) pytest -q -m obs
 
+# Serving-grade pass: daemon e2e goldens (real subprocess + HTTP),
+# concurrency determinism, and the delta/rebuild property suite.
+test-serve:
+	$(PY) pytest -q -m serve tests
+
+serve: test-serve
+
 chaos:
 	$(PY) pytest -q -m chaos
 
@@ -43,6 +51,9 @@ bench:
 
 bench-obs:
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q test_obs_overhead.py
+
+bench-serve:
+	cd benchmarks && PYTHONPATH=../src python -m pytest -q test_serve_latency.py
 
 # Out-of-core scale benchmark at CI-sized scales (~20x smaller); writes
 # BENCH_scale_smoke.json, never the committed full-scale baseline.

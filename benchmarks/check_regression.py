@@ -1,9 +1,10 @@
 """Bench-regression gate: re-run the timed benchmarks and diff the numbers.
 
-The engine-speedup, obs-overhead, and out-of-core-scale benchmarks write
-their measurements to ``benchmarks/results/BENCH_engine.json`` /
-``BENCH_obs.json`` / ``BENCH_scale.json``; those committed files are the
-performance baseline.  This script
+The engine-speedup, obs-overhead, out-of-core-scale, and serving-latency
+benchmarks write their measurements to
+``benchmarks/results/BENCH_engine.json`` / ``BENCH_obs.json`` /
+``BENCH_scale.json`` / ``BENCH_serve.json``; those committed files are
+the performance baseline.  This script
 
 1. snapshots the committed baselines,
 2. re-runs the benchmark modules (which overwrite the files),
@@ -50,8 +51,18 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 RESULTS_DIR = BENCH_DIR / "results"
-BASELINES = ("BENCH_engine.json", "BENCH_obs.json", "BENCH_scale.json")
-BENCH_MODULES = ("test_engine_speedup.py", "test_obs_overhead.py", "test_scale.py")
+BASELINES = (
+    "BENCH_engine.json",
+    "BENCH_obs.json",
+    "BENCH_scale.json",
+    "BENCH_serve.json",
+)
+BENCH_MODULES = (
+    "test_engine_speedup.py",
+    "test_obs_overhead.py",
+    "test_scale.py",
+    "test_serve_latency.py",
+)
 
 
 def flatten(document: object, prefix: str = "") -> dict[str, float]:

@@ -22,6 +22,7 @@ Usage (after ``pip install -e .``)::
     python -m repro runs drift                            # gate vs committed bands
     python -m repro runs fsck --ledger runs.jsonl --repair  # truncate a torn tail
     python -m repro store verify out/embeddings.npy.store # checksum an embedding store
+    python -m repro serve --store out/emb.store --index out/zh_en.ivf.json --port 8080
     python -m repro match dbp15k/zh_en --matcher Hun. --ledger runs.jsonl --resume
 """
 
@@ -305,6 +306,31 @@ def build_parser() -> argparse.ArgumentParser:
              "header; exits nonzero on corruption",
     )
     store_verify.add_argument("path", type=Path)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the online alignment service over a store + index",
+    )
+    serve.add_argument("--store", type=Path, required=True,
+                       help="sealed embedding store (see EmbeddingStore)")
+    serve.add_argument("--index", type=Path, required=True,
+                       help="persisted IVF index built over the store")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks an ephemeral one)")
+    serve.add_argument("--nprobe", type=int, default=None,
+                       help="lists probed per query (default: all, exact)")
+    serve.add_argument("--max-delta", type=int, default=64,
+                       help="delta depth that triggers append compaction")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batcher coalescing cap")
+    serve.add_argument("--batch-wait-ms", type=float, default=2.0,
+                       help="micro-batcher straggler wait in milliseconds")
+    serve.add_argument("--events", default=None, metavar="PATH",
+                       help="stream per-request events: '-' for human-readable "
+                            "stderr, anything else appends JSONL to that path")
+    serve.add_argument("--ledger", type=Path, default=None,
+                       help="record served queries in this run ledger")
     return parser
 
 
@@ -588,6 +614,55 @@ def _print_index_stats(index: IVFIndex) -> None:
     for key, value in index.stats().items():
         rendered = f"{value:.3f}" if isinstance(value, float) else value
         print(f"  {key}={rendered}")
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Boot the online alignment daemon and block until SIGTERM/SIGINT."""
+    import signal
+    import threading
+
+    from repro.serve.http import AlignmentServer
+    from repro.serve.state import ServingState
+    from repro.similarity.engine import SimilarityEngine
+
+    with ExitStack() as stack:
+        if args.events is not None:
+            sink = (
+                obs_events.HumanSink() if args.events == "-"
+                else obs_events.JsonlSink(args.events)
+            )
+            stack.enter_context(obs_events.emitting(sink))
+        try:
+            state = ServingState.load(
+                args.store, args.index, nprobe=args.nprobe, max_delta=args.max_delta
+            )
+        except (OSError, ValueError) as err:
+            print(f"cannot load serving state: {err}", file=sys.stderr)
+            return 1
+        ledger = RunLedger(args.ledger) if args.ledger is not None else None
+        server = AlignmentServer(
+            (args.host, args.port),
+            state,
+            engine=SimilarityEngine(),
+            ledger=ledger,
+            max_batch=args.max_batch,
+            max_wait=args.batch_wait_ms / 1000.0,
+        )
+        stack.callback(server.close)
+        host, port = server.server_address[:2]
+
+        def _shutdown(signum: int, frame: object) -> None:
+            # shutdown() must run off the serve_forever thread.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _shutdown)
+        signal.signal(signal.SIGINT, _shutdown)
+        print(f"serving on http://{host}:{port}", flush=True)
+        obs_events.emit("serve.start", host=host, port=port)
+        server.serve_forever()
+        obs_events.emit("serve.stop")
+        print("serve: shut down cleanly", flush=True)
+    return 0
 
 
 def _match_index_config(args: argparse.Namespace) -> IndexConfig | None:
@@ -897,6 +972,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "explain":
         return _run_explain(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "runs":
         handlers = {
             "list": _runs_list,

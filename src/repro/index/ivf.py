@@ -32,7 +32,7 @@ from repro.index.candidates import CandidateSet
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
-from repro.similarity.metrics import prepare_metric
+from repro.similarity.metrics import prepare_metric, rowwise_scores
 from repro.storage.durable import atomic_write, payload_checksum, verify_checksum
 from repro.utils.kmeans import centroid_distances, kmeans_centroids, nearest_centroid
 from repro.utils.validation import check_embedding_matrix
@@ -75,6 +75,9 @@ class IVFIndex:
         self._vectors: np.ndarray | None = None
         self._assignments: np.ndarray | None = None
         self._lists: list[np.ndarray] = []
+        #: Liveness per indexed position; False = tombstoned (skipped by
+        #: search, kept in the lists until a re-cluster compacts them out).
+        self._alive: np.ndarray | None = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -84,12 +87,35 @@ class IVFIndex:
 
     @property
     def ntotal(self) -> int:
-        """Number of indexed vectors."""
+        """Number of indexed positions (tombstoned ones included)."""
         return 0 if self._vectors is None else self._vectors.shape[0]
+
+    @property
+    def n_alive(self) -> int:
+        """Number of live (non-tombstoned) vectors."""
+        return 0 if self._alive is None else int(self._alive.sum())
+
+    @property
+    def n_tombstoned(self) -> int:
+        """Number of tombstoned positions awaiting compaction."""
+        return self.ntotal - self.n_alive
 
     @property
     def dim(self) -> int | None:
         return None if self._centroids is None else self._centroids.shape[1]
+
+    @property
+    def alive_mask(self) -> np.ndarray:
+        """Read-only liveness mask over indexed positions (do not mutate)."""
+        if self._alive is None:
+            return np.empty(0, dtype=bool)
+        return self._alive
+
+    def reconstruct(self, positions: np.ndarray) -> np.ndarray:
+        """The stored vectors at ``positions`` (a view; do not mutate)."""
+        if self._vectors is None:
+            raise RuntimeError("IVFIndex.reconstruct called before add()")
+        return self._vectors[np.asarray(positions, dtype=np.int64)]
 
     def train(self, vectors: np.ndarray) -> "IVFIndex":
         """Fit the coarse quantizer on ``vectors`` (O(n d k), no n^2).
@@ -127,6 +153,7 @@ class IVFIndex:
         self._vectors = None
         self._assignments = None
         self._lists = []
+        self._alive = None
         obs_events.emit("index.train.finish", clusters=k)
         return self
 
@@ -147,6 +174,7 @@ class IVFIndex:
         self._lists = [
             np.flatnonzero(assignments == c) for c in range(self.n_clusters)
         ]
+        self._alive = np.ones(vectors.shape[0], dtype=bool)
         if obs_events.enabled():
             sizes = np.array([len(lst) for lst in self._lists])
             obs_events.emit(
@@ -160,9 +188,109 @@ class IVFIndex:
             )
         return self
 
+    # -- incremental updates -------------------------------------------
+
+    def append_to_list(self, vector: np.ndarray) -> int:
+        """Assign one new vector to its nearest inverted list; return its position.
+
+        The incremental-insert primitive: no retraining, no rebuild —
+        the coarse quantizer stays fixed and the vector joins the list
+        whose centroid is nearest, exactly as :meth:`add` would have
+        assigned it.  O(n_clusters · d) per call.  The payload arrays
+        are rebound (never mutated in place), so clones sharing them
+        (:meth:`clone`) are unaffected.
+        """
+        if self._vectors is None:
+            raise RuntimeError("IVFIndex.append_to_list called before add()")
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != self.dim:
+            raise ValueError(
+                f"vector dim {vector.shape[0]} does not match the trained "
+                f"quantizer dim {self.dim}"
+            )
+        check_embedding_matrix(vector[None, :], "vector")
+        cluster = int(
+            nearest_centroid(vector[None, :], self._centroids, self._center)[0]
+        )
+        position = self.ntotal
+        self._vectors = np.concatenate([self._vectors, vector[None, :]])
+        self._assignments = np.concatenate(
+            [self._assignments, np.array([cluster], dtype=np.int64)]
+        )
+        self._lists[cluster] = np.concatenate(
+            [self._lists[cluster], np.array([position], dtype=np.int64)]
+        )
+        self._alive = np.concatenate([self._alive, np.array([True])])
+        obs_events.emit("index.append", position=position, cluster=cluster)
+        return position
+
+    def tombstone(self, position: int) -> None:
+        """Mark an indexed position dead: search skips it from now on.
+
+        The incremental-delete primitive.  The vector stays in its
+        inverted list (O(1) delete); a later re-cluster compaction
+        reclaims the space.  Tombstoning an already-dead position is a
+        no-op.
+        """
+        if self._vectors is None:
+            raise RuntimeError("IVFIndex.tombstone called before add()")
+        if not 0 <= position < self.ntotal:
+            raise ValueError(
+                f"position {position} out of range for {self.ntotal} indexed vectors"
+            )
+        if self._alive[position]:
+            self._alive[position] = False
+            obs_events.emit("index.tombstone", position=position)
+
+    def clone(self) -> "IVFIndex":
+        """Copy-on-write clone for off-to-the-side compaction.
+
+        The clone shares the (immutable-by-convention) payload arrays —
+        centroids, vectors, assignments, list members — and copies only
+        the outer list container and the liveness mask, so cloning is
+        O(n_clusters + ntotal/8) regardless of payload size.  Mutating
+        primitives (:meth:`append_to_list`, :meth:`tombstone`) rebind or
+        write only clone-owned arrays, leaving the original serving
+        queries untouched — the serving layer's old-or-new (never torn)
+        swap relies on this.
+        """
+        other = IVFIndex(
+            n_clusters=self.n_clusters,
+            metric=self.metric,
+            train_iterations=self.train_iterations,
+        )
+        other._centroids = self._centroids
+        other._center = self._center
+        other._vectors = self._vectors
+        other._assignments = self._assignments
+        other._lists = list(self._lists)
+        other._alive = None if self._alive is None else self._alive.copy()
+        return other
+
     # -- search --------------------------------------------------------
 
-    def search(self, queries: np.ndarray, k: int, nprobe: int = 1) -> CandidateSet:
+    def _live_members(
+        self, cluster: int, exclude: np.ndarray | None
+    ) -> np.ndarray:
+        """Members of one inverted list that search may score."""
+        members = self._lists[cluster]
+        if len(members) == 0:
+            return members
+        keep = self._alive[members]
+        if exclude is not None:
+            keep = keep & ~exclude[members]
+        if keep.all():
+            return members
+        return members[keep]
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: int = 1,
+        exclude: np.ndarray | None = None,
+        stable: bool = False,
+    ) -> CandidateSet:
         """Top-``k`` exact-rescored candidates per query row.
 
         ``nprobe`` nearest inverted lists are scanned per query; every
@@ -170,6 +298,17 @@ class IVFIndex:
         metric, and the best ``k`` survive.  Rows whose probed lists
         hold fewer than ``k`` vectors return what was found (a
         *shortfall*, counted on ``index.search.shortfall``).
+
+        Tombstoned positions are never scanned.  ``exclude`` is an
+        optional length-``ntotal`` boolean mask of further positions to
+        skip (the serving layer masks base copies of entities that have
+        a newer delta version).  ``stable=True`` switches to the
+        *pair-stable* scorer (:func:`rowwise_scores`) with the total
+        tie order ``(-score, position asc)`` — bitwise-reproducible
+        across batch sizes, probe sets, and index rebuilds, which the
+        serving equality contracts require; the default path uses the
+        faster BLAS kernels whose exact float values may vary with the
+        scanned block shape.
         """
         if self._vectors is None:
             raise RuntimeError("IVFIndex.search called before add()")
@@ -185,6 +324,13 @@ class IVFIndex:
             raise ValueError(f"nprobe must be >= 1, got {nprobe}")
         nprobe = min(nprobe, self.n_clusters)
         n_queries = queries.shape[0]
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=bool)
+            if exclude.shape != (self.ntotal,):
+                raise ValueError(
+                    f"exclude mask must have shape ({self.ntotal},), "
+                    f"got {exclude.shape}"
+                )
         registry = obs_metrics.get_metrics()
         with obs_trace.span(
             "index.search", queries=n_queries, k=k, nprobe=nprobe
@@ -198,40 +344,72 @@ class IVFIndex:
                 )
             probed = np.zeros((n_queries, self.n_clusters), dtype=bool)
             probed[np.arange(n_queries)[:, None], probe] = True
+            live_lists = [
+                self._live_members(cluster, exclude)
+                for cluster in range(self.n_clusters)
+            ]
 
-            gathered_ids: list[list[np.ndarray]] = [[] for _ in range(n_queries)]
-            gathered_scores: list[list[np.ndarray]] = [[] for _ in range(n_queries)]
+            rows: list[tuple[np.ndarray, np.ndarray]]
             scanned = 0
-            # Cluster-major scan: one exact-metric kernel per (querying
-            # rows, inverted list) pair, never larger than |Q_c| x |L_c|.
-            for cluster, members in enumerate(self._lists):
-                querying = np.flatnonzero(probed[:, cluster])
-                if len(querying) == 0 or len(members) == 0:
-                    continue
-                kernel = prepare_metric(
-                    self.metric, queries[querying], self._vectors[members]
-                )
-                sims = kernel(slice(0, len(querying)))
-                scanned += sims.size
-                for position, query in enumerate(querying):
-                    gathered_ids[query].append(members)
-                    gathered_scores[query].append(sims[position])
-
-            rows: list[tuple[np.ndarray, np.ndarray]] = []
             shortfall = 0
-            for query in range(n_queries):
-                if not gathered_ids[query]:
-                    rows.append((np.empty(0, dtype=np.int64), np.empty(0)))
-                    shortfall += 1
-                    continue
-                ids = np.concatenate(gathered_ids[query])
-                scores = np.concatenate(gathered_scores[query])
-                if len(ids) > k:
-                    keep = np.argpartition(scores, len(scores) - k)[-k:]
-                    ids, scores = ids[keep], scores[keep]
-                elif len(ids) < k:
-                    shortfall += 1
-                rows.append((ids, scores))
+            if stable:
+                # Query-major pair-stable scan: one rowwise kernel over
+                # the concatenated probed candidates per query, selected
+                # under the total order (-score, position asc).
+                rows = []
+                for query in range(n_queries):
+                    chunks = [
+                        live_lists[cluster]
+                        for cluster in np.flatnonzero(probed[query])
+                        if len(live_lists[cluster])
+                    ]
+                    if not chunks:
+                        rows.append((np.empty(0, dtype=np.int64), np.empty(0)))
+                        shortfall += 1
+                        continue
+                    ids = np.concatenate(chunks)
+                    scores = rowwise_scores(
+                        self.metric, queries[query], self._vectors[ids]
+                    )
+                    scanned += scores.size
+                    if len(ids) < k:
+                        shortfall += 1
+                    order = np.lexsort((ids, -scores))[:k]
+                    rows.append((ids[order], scores[order]))
+            else:
+                gathered_ids: list[list[np.ndarray]] = [[] for _ in range(n_queries)]
+                gathered_scores: list[list[np.ndarray]] = [
+                    [] for _ in range(n_queries)
+                ]
+                # Cluster-major scan: one exact-metric kernel per (querying
+                # rows, inverted list) pair, never larger than |Q_c| x |L_c|.
+                for cluster, members in enumerate(live_lists):
+                    querying = np.flatnonzero(probed[:, cluster])
+                    if len(querying) == 0 or len(members) == 0:
+                        continue
+                    kernel = prepare_metric(
+                        self.metric, queries[querying], self._vectors[members]
+                    )
+                    sims = kernel(slice(0, len(querying)))
+                    scanned += sims.size
+                    for position, query in enumerate(querying):
+                        gathered_ids[query].append(members)
+                        gathered_scores[query].append(sims[position])
+
+                rows = []
+                for query in range(n_queries):
+                    if not gathered_ids[query]:
+                        rows.append((np.empty(0, dtype=np.int64), np.empty(0)))
+                        shortfall += 1
+                        continue
+                    ids = np.concatenate(gathered_ids[query])
+                    scores = np.concatenate(gathered_scores[query])
+                    if len(ids) > k:
+                        keep = np.argpartition(scores, len(scores) - k)[-k:]
+                        ids, scores = ids[keep], scores[keep]
+                    elif len(ids) < k:
+                        shortfall += 1
+                    rows.append((ids, scores))
             span.count("scanned", scanned)
             span.count("shortfall", shortfall)
         registry.inc("index.search.queries", n_queries)
@@ -241,14 +419,33 @@ class IVFIndex:
 
     # -- reporting -----------------------------------------------------
 
+    def live_list_sizes(self) -> np.ndarray:
+        """Live (non-tombstoned) member count per inverted list."""
+        return np.array(
+            [
+                int(self._alive[members].sum()) if len(members) else 0
+                for members in self._lists
+            ],
+            dtype=np.int64,
+        )
+
     def stats(self) -> dict[str, object]:
-        """Structure snapshot: list-size balance and configuration."""
-        sizes = np.array([len(members) for members in self._lists], dtype=np.int64)
+        """Structure snapshot: list-size balance and configuration.
+
+        Sizes count *live* members only, so the balance report reflects
+        what search actually scans.  Every ratio is guarded: degenerate
+        shapes (untrained index, zero lists, all lists empty, everything
+        tombstoned) report zeros instead of dividing by them.
+        """
+        sizes = self.live_list_sizes()
         populated = sizes[sizes > 0]
+        populated_mean = float(populated.mean()) if len(populated) else 0.0
         return {
             "metric": self.metric,
             "n_clusters": self.n_clusters,
             "ntotal": self.ntotal,
+            "alive": self.n_alive,
+            "tombstones": self.n_tombstoned,
             "dim": self.dim,
             "trained": self.is_trained,
             "list_min": int(sizes.min()) if len(sizes) else 0,
@@ -256,7 +453,7 @@ class IVFIndex:
             "list_max": int(sizes.max()) if len(sizes) else 0,
             "empty_lists": int((sizes == 0).sum()) if len(sizes) else 0,
             "imbalance": (
-                float(sizes.max() / populated.mean()) if len(populated) else 0.0
+                float(sizes.max() / populated_mean) if populated_mean > 0.0 else 0.0
             ),
         }
 
@@ -284,6 +481,10 @@ class IVFIndex:
             "vectors": self._vectors.tolist(),
             "assignments": self._assignments.tolist(),
         }
+        # Only written when tombstones exist, so documents from indexes
+        # that never saw a delete stay byte-identical to older writers.
+        if self.n_tombstoned:
+            document["tombstones"] = np.flatnonzero(~self._alive).tolist()
         document["checksum"] = _document_checksum(document)
         path = Path(path)
         atomic_write(path, json.dumps(document) + "\n")
@@ -338,6 +539,16 @@ class IVFIndex:
         index._lists = [
             np.flatnonzero(index._assignments == c) for c in range(index.n_clusters)
         ]
+        index._alive = np.ones(index.ntotal, dtype=bool)
+        tombstones = document.get("tombstones")
+        if tombstones:
+            positions = np.asarray(tombstones, dtype=np.int64)
+            if positions.min() < 0 or positions.max() >= index.ntotal:
+                raise DataIntegrityError(
+                    f"{path}: tombstone positions out of range for "
+                    f"{index.ntotal} indexed vectors"
+                )
+            index._alive[positions] = False
         return index
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

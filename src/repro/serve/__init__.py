@@ -1,0 +1,20 @@
+"""Online alignment serving: long-lived query service over a store + index.
+
+The batch pipelines answer "align these two KGs" once; this package
+answers "what does entity X match?" on demand, under live traffic, with
+incremental inserts and deletes that never force a full index rebuild
+(ROADMAP item 1).  Three layers:
+
+- :mod:`repro.serve.state` — :class:`~repro.serve.state.ServingState`:
+  the memmap store + IVF index behind an immutable-snapshot delta layer
+  (insert/delete/compact; queries see old or new state, never torn).
+- :mod:`repro.serve.batching` — a micro-batcher coalescing concurrent
+  top-k queries into one batched scoring call.
+- :mod:`repro.serve.http` — the stdlib ``ThreadingHTTPServer`` daemon
+  (``repro serve``) exposing query/explain/healthz/stats.
+"""
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.state import ServingState
+
+__all__ = ["MicroBatcher", "ServingState"]

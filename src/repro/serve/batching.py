@@ -1,0 +1,148 @@
+"""Micro-batching for concurrent top-k queries.
+
+Concurrent HTTP handler threads each hold one query; scoring them one
+matrix at a time wastes the vectorised kernels.  The
+:class:`MicroBatcher` funnels them through a single dispatcher thread
+that drains whatever is queued (up to ``max_batch``, waiting at most
+``max_wait`` seconds for stragglers) and hands the coalesced batch to
+one handler call; each caller blocks on a future for its own slice.
+
+Correctness note: coalescing is *safe* to expose because the serving
+scorer is pair-stable (:func:`~repro.similarity.metrics.rowwise_scores`)
+— a query's scores do not depend on which other queries share the
+batch, so batched and unbatched responses are bitwise identical.  The
+concurrency suite pins exactly that.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+
+#: Sentinel object closing the dispatcher loop.
+_STOP = object()
+
+
+class MicroBatcher:
+    """Coalesce concurrent ``(vector, k)`` queries into batched calls.
+
+    ``handler(vectors, ks)`` receives a ``(batch, dim)`` float64 matrix
+    and the per-query ``k`` list, and must return one result per row.
+    ``submit`` blocks until the query's result (or the batch's
+    exception) is available.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[np.ndarray, Sequence[int]], Sequence[Any]],
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self._handler = handler
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._batches = 0
+        self._queries = 0
+        self._largest_batch = 0
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # -- client side ---------------------------------------------------
+
+    def submit(self, vector: np.ndarray, k: int, timeout: float | None = None):
+        """Enqueue one query and block for its result."""
+        if self._closed:
+            raise RuntimeError("MicroBatcher is closed")
+        future: Future = Future()
+        self._queue.put((np.asarray(vector, dtype=np.float64), int(k), future))
+        return future.result(timeout=timeout)
+
+    def stats(self) -> dict[str, int | float]:
+        """Dispatcher counters (batches, queries, mean/largest batch)."""
+        with self._lock:
+            batches, queries = self._batches, self._queries
+            largest = self._largest_batch
+        return {
+            "batches": batches,
+            "queries": queries,
+            "largest_batch": largest,
+            "mean_batch": (queries / batches) if batches else 0.0,
+        }
+
+    def close(self) -> None:
+        """Stop the dispatcher; queued work is still drained first."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put(_STOP)
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- dispatcher side -----------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            if self.max_batch > 1 and self.max_wait > 0:
+                deadline = time.monotonic() + self.max_wait
+                while len(batch) < self.max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                    if nxt is _STOP:
+                        self._dispatch(batch)
+                        return
+                    batch.append(nxt)
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list) -> None:
+        vectors = np.stack([item[0] for item in batch])
+        ks = [item[1] for item in batch]
+        futures = [item[2] for item in batch]
+        try:
+            results = self._handler(vectors, ks)
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"batch handler returned {len(results)} results "
+                    f"for {len(batch)} queries"
+                )
+        except BaseException as error:  # noqa: BLE001 - fan the failure out
+            for future in futures:
+                future.set_exception(error)
+            return
+        for future, result in zip(futures, results):
+            future.set_result(result)
+        with self._lock:
+            self._batches += 1
+            self._queries += len(batch)
+            self._largest_batch = max(self._largest_batch, len(batch))
+        registry = obs_metrics.get_metrics()
+        registry.inc("serve.batches")
+        registry.inc("serve.batched_queries", len(batch))

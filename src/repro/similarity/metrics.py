@@ -147,6 +147,47 @@ def manhattan_similarity(
     return _full("manhattan", source, target, chunk_elems=chunk_elems)
 
 
+def rowwise_scores(
+    metric: str, query: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """Scores of one ``query`` vector against ``targets`` rows, *pair-stable*.
+
+    Every output value is a pure function of ``(query, targets[j])``
+    alone: the kernels use elementwise multiply/subtract plus a per-row
+    reduction, never a BLAS matmul — so the score of a pair does not
+    change with how many other queries were batched alongside or which
+    other targets happen to share the call.  This is the determinism
+    foundation of the serving layer (DESIGN.md §12): batched requests,
+    single requests, inverted-list scans, and a from-scratch index
+    rebuild all produce bitwise-identical scores for the same pair.
+
+    The BLAS kernels in :func:`prepare_metric` do *not* have this
+    property (summation order varies with the block shape), which is why
+    the serving path cannot reuse them for its equality contracts.
+    ``query`` is a 1-D vector; ``targets`` is ``(n, dim)``.  Matches the
+    sign convention of the full-matrix metrics (larger = closer).
+    """
+    query = np.asarray(query, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if query.ndim != 1:
+        raise ValueError(f"query must be 1-D, got shape {query.shape}")
+    if targets.ndim != 2 or targets.shape[1] != query.shape[0]:
+        raise ValueError(
+            f"targets must be (n, {query.shape[0]}), got shape {targets.shape}"
+        )
+    if metric == "cosine":
+        q = query / max(float(np.linalg.norm(query)), _EPS)
+        norms = np.maximum(np.linalg.norm(targets, axis=1, keepdims=True), _EPS)
+        return ((targets / norms) * q).sum(axis=1)
+    if metric == "euclidean":
+        squared = ((targets - query) ** 2).sum(axis=1)
+        return -np.sqrt(np.maximum(squared, 0.0))
+    if metric == "manhattan":
+        return -np.abs(targets - query).sum(axis=1)
+    known = ", ".join(sorted(SIMILARITY_METRICS))
+    raise ValueError(f"unknown similarity metric {metric!r}; known metrics: {known}")
+
+
 #: Registry used by :func:`similarity_matrix` and the experiment configs.
 SIMILARITY_METRICS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
     "cosine": cosine_similarity,

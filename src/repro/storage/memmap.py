@@ -63,6 +63,7 @@ def _build_header(
     shape: tuple[int, int],
     dtype: np.dtype,
     checksum: str | None | object = _NO_CHECKSUM,
+    capacity: int | None = None,
 ) -> bytes:
     payload = {
         "format": STORE_FORMAT,
@@ -71,6 +72,12 @@ def _build_header(
         "shape": list(shape),
         "order": "C",
     }
+    if capacity is not None:
+        # Preallocated row capacity: the file is sized for ``capacity``
+        # rows while ``shape[0]`` says how many are logically filled.
+        # Only written when a capacity was requested, so plain stores
+        # stay byte-identical to older writers.
+        payload["capacity"] = int(capacity)
     if checksum is None:
         # Explicit unsealed marker: the store is mid-fill, and a crash
         # here must stay distinguishable from a healthy legacy store.
@@ -144,6 +151,13 @@ def _read_header(path: Path) -> dict:
         or not all(isinstance(side, int) and side >= 0 for side in shape)
     ):
         raise DataIntegrityError(f"{path} has invalid shape {shape!r}")
+    capacity = header.get("capacity")
+    if capacity is not None and (
+        not isinstance(capacity, int) or capacity < shape[0]
+    ):
+        raise DataIntegrityError(
+            f"{path} has invalid capacity {capacity!r} for shape {shape!r}"
+        )
     checksum = header.get("checksum")
     if checksum is not None and (
         not isinstance(checksum, dict)
@@ -168,7 +182,10 @@ class EmbeddingStore:
     def __init__(self, path: Path, mmap: np.memmap, header: dict):
         self.path = path
         self.header = header
+        # The mapping covers the full on-disk capacity; ``_n_rows`` is
+        # the logical fill level (== capacity for plain stores).
         self._mmap: np.memmap | None = mmap
+        self._n_rows: int = int(header["shape"][0])
 
     # -- constructors --------------------------------------------------
 
@@ -191,7 +208,11 @@ class EmbeddingStore:
 
     @classmethod
     def create(
-        cls, path: str | Path, shape: tuple[int, int], dtype: str | np.dtype = "float32"
+        cls,
+        path: str | Path,
+        shape: tuple[int, int],
+        dtype: str | np.dtype = "float32",
+        capacity: int | None = None,
     ) -> "EmbeddingStore":
         """Allocate a zero-filled writable store (fill via ``rows``).
 
@@ -201,14 +222,26 @@ class EmbeddingStore:
         :meth:`update_checksum` seals the store after the final band,
         :meth:`verify` treats it as a possible mid-fill crash, not a
         healthy pre-durability legacy store.
+
+        ``capacity`` preallocates room for that many rows (>= the
+        logical row count): the file is sized to capacity up front so
+        :meth:`append_row` can admit new rows later without a rewrite —
+        the serving layer's incremental-insert path.
         """
         dtype = np.dtype(dtype)
         n_rows, dim = _check_matrix(tuple(shape), dtype)
+        if capacity is not None and capacity < n_rows:
+            raise ValueError(
+                f"capacity {capacity} is smaller than the row count {n_rows}"
+            )
+        file_rows = n_rows if capacity is None else int(capacity)
         path = Path(path)
         with atomic_writer(path) as handle:
-            handle.write(_build_header((n_rows, dim), dtype, checksum=None))
+            handle.write(
+                _build_header((n_rows, dim), dtype, checksum=None, capacity=capacity)
+            )
             handle.flush()
-            handle.truncate(HEADER_BYTES + n_rows * dim * dtype.itemsize)
+            handle.truncate(HEADER_BYTES + file_rows * dim * dtype.itemsize)
         return cls.open(path, mode="r+")
 
     @classmethod
@@ -228,16 +261,20 @@ class EmbeddingStore:
         header = _read_header(path)
         dtype = np.dtype(header["dtype"])
         shape = (header["shape"][0], header["shape"][1])
-        expected = HEADER_BYTES + shape[0] * shape[1] * dtype.itemsize
+        file_rows = int(header.get("capacity", shape[0]))
+        expected = HEADER_BYTES + file_rows * shape[1] * dtype.itemsize
         actual = path.stat().st_size
         if actual != expected:
             raise DataIntegrityError(
                 f"{path} is truncated or padded: {actual} bytes on disk, "
                 f"header promises {expected} "
-                f"({shape[0]} x {shape[1]} {dtype.name} + {HEADER_BYTES} B header, "
+                f"({file_rows} x {shape[1]} {dtype.name} + {HEADER_BYTES} B header, "
                 f"{actual - expected:+d} B); run `repro store verify` to diagnose"
             )
-        mmap = np.memmap(path, dtype=dtype, mode=mode, offset=HEADER_BYTES, shape=shape)
+        mmap = np.memmap(
+            path, dtype=dtype, mode=mode, offset=HEADER_BYTES,
+            shape=(file_rows, shape[1]),
+        )
         store = cls(path, mmap, header)
         if verify:
             store.verify()
@@ -314,7 +351,9 @@ class EmbeddingStore:
             raise ValueError(f"embedding store {self.path} is read-only")
         self.flush()
         digest = payload_checksum(_payload_view(self._map))
-        header = _build_header(self.shape, self.dtype, checksum=digest)
+        header = _build_header(
+            self.shape, self.dtype, checksum=digest, capacity=self._header_capacity
+        )
         with open(self.path, "r+b") as handle:
             handle.write(header)
             fsync_file(handle)
@@ -325,9 +364,68 @@ class EmbeddingStore:
 
     @property
     def _map(self) -> np.memmap:
+        """The *logical* rows (capacity padding excluded)."""
         if self._mmap is None:
             raise ValueError(f"embedding store {self.path} is closed")
-        return self._mmap
+        if self._n_rows == self._mmap.shape[0]:
+            return self._mmap
+        return self._mmap[: self._n_rows]
+
+    @property
+    def _header_capacity(self) -> int | None:
+        """The header's capacity field (None for plain stores)."""
+        capacity = self.header.get("capacity")
+        return None if capacity is None else int(capacity)
+
+    @property
+    def capacity(self) -> int:
+        """Row capacity of the on-disk allocation (== n_rows when plain)."""
+        if self._mmap is None:
+            raise ValueError(f"embedding store {self.path} is closed")
+        return int(self._mmap.shape[0])
+
+    def append_row(self, vector: np.ndarray) -> int:
+        """Append one row within the preallocated capacity; return its index.
+
+        The row is written into the already-allocated region (no file
+        resize), then the 4 KiB header is rewritten in place with the
+        new logical row count and the *unsealed* marker — a crash
+        between the row write and the header write leaves the old row
+        count (the new row is invisible), and any completed append
+        leaves the store detectably unsealed until
+        :meth:`update_checksum` reseals it.
+        """
+        if self._mmap is None:
+            raise ValueError(f"embedding store {self.path} is closed")
+        full = self._mmap
+        if full.mode == "r":
+            raise ValueError(f"embedding store {self.path} is read-only")
+        if self._n_rows >= full.shape[0]:
+            raise ValueError(
+                f"embedding store {self.path} is full "
+                f"({self._n_rows}/{full.shape[0]} rows); recreate it with a "
+                f"larger capacity to admit more appends"
+            )
+        vector = np.asarray(vector)
+        if vector.shape != (self.dim,):
+            raise ValueError(
+                f"append_row expects shape ({self.dim},), got {vector.shape}"
+            )
+        if not np.all(np.isfinite(vector)):
+            raise ValueError("append_row vector contains non-finite values")
+        row = self._n_rows
+        full[row] = vector
+        full.flush()
+        header = _build_header(
+            (row + 1, self.dim), self.dtype,
+            checksum=None, capacity=self._header_capacity,
+        )
+        with open(self.path, "r+b") as handle:
+            handle.write(header)
+            fsync_file(handle)
+        self._n_rows = row + 1
+        self.header = _read_header(self.path)
+        return row
 
     @property
     def shape(self) -> tuple[int, int]:

@@ -1,0 +1,178 @@
+"""Property-based tests for the serving delta layer.
+
+The DESIGN.md §12 contract, hunted by Hypothesis over arbitrary
+insert/delete sequences: at full ``nprobe``, querying the delta-layered
+state returns *bitwise* the same top-k (entity ids and scores) as a
+from-scratch :class:`IVFIndex` rebuilt over the surviving vectors;
+tombstoned ids never appear; compaction — forced, either kind — is a
+no-op on results.  Vectors are drawn from a binary-fraction grid so
+duplicate rows and exact score ties are common: the tie-order half of
+the contract is what random floats would never exercise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import IVFIndex
+from repro.serve.state import ServingState
+from repro.storage import EmbeddingStore
+
+pytestmark = pytest.mark.serve
+
+DIM = 4
+
+#: Grid-valued vectors (v / 32): coarse enough that Hypothesis lands
+#: duplicates and exact ties, exact in float64 so tie-break order is
+#: the only thing separating candidates.
+grid_vector = st.lists(
+    st.integers(-32, 32).map(lambda v: v / 32.0), min_size=DIM, max_size=DIM
+)
+
+#: An op is ("insert", vector) or ("delete", rank) where rank picks one
+#: of the currently-live ids (modulo their count at apply time).
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), grid_vector),
+        st.tuples(st.just("delete"), st.integers(0, 255)),
+    ),
+    max_size=12,
+)
+
+serving_cases = st.fixed_dictionaries(
+    {
+        "base": st.lists(grid_vector, min_size=2, max_size=12),
+        "ops": operations,
+        "queries": st.lists(grid_vector, min_size=1, max_size=3),
+        "n_clusters": st.integers(1, 4),
+        "k": st.integers(1, 6),
+    }
+)
+
+
+def build_state(tmp_path, base, n_clusters, **kwargs):
+    """A ServingState over a capacity-padded store + fresh index."""
+    base = np.asarray(base, dtype=np.float64)
+    store_path = tmp_path / "emb.store"
+    store = EmbeddingStore.create(
+        store_path, base.shape, "float64", capacity=base.shape[0] + 64
+    )
+    store[:] = base
+    store.update_checksum()
+    store.close()
+    index = IVFIndex(n_clusters=n_clusters).train(base).add(base)
+    index_path = tmp_path / "ivf.json"
+    index.save(index_path)
+    return ServingState.load(store_path, index_path, **kwargs)
+
+
+def apply_ops(state, ops):
+    """Run the op sequence; return the surviving (id -> vector) model.
+
+    The model dict preserves insertion order — the same relative order
+    the serving state keeps positions in — so a rebuild over
+    ``list(model.values())`` reproduces the serving tie order exactly.
+    """
+    model = {
+        int(eid): vec
+        for eid, vec in zip(
+            state.live_entity_ids(),
+            state.snapshot.index.reconstruct(
+                np.array(
+                    [state.snapshot.id_pos[int(e)] for e in state.live_entity_ids()]
+                )
+            ),
+        )
+    }
+    deleted = set()
+    for kind, payload in ops:
+        if kind == "insert":
+            vector = np.asarray(payload, dtype=np.float64)
+            eid = state.insert(vector)
+            model[eid] = vector
+        else:
+            live = sorted(model)
+            if not live:
+                continue
+            victim = live[payload % len(live)]
+            assert state.delete(victim)
+            del model[victim]
+            deleted.add(victim)
+    return model, deleted
+
+
+def rebuild_results(model, queries, n_clusters, k):
+    """Cold-rebuild ground truth: ids and scores per query row."""
+    survivor_ids = np.array(list(model), dtype=np.int64)
+    vectors = np.array(list(model.values()), dtype=np.float64)
+    index = IVFIndex(n_clusters=n_clusters).train(vectors).add(vectors)
+    found = index.search(queries, k=k, nprobe=index.n_clusters, stable=True)
+    return [
+        (survivor_ids[found.row(row)[0]], found.row(row)[1])
+        for row in range(queries.shape[0])
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=serving_cases)
+def test_delta_layer_matches_cold_rebuild(tmp_path_factory, case):
+    tmp_path = tmp_path_factory.mktemp("serve")
+    state = build_state(tmp_path, case["base"], case["n_clusters"])
+    model, deleted = apply_ops(state, case["ops"])
+    queries = np.asarray(case["queries"], dtype=np.float64)
+    k = case["k"]
+
+    results = state.query(queries, k=k)
+    if not model:
+        for result in results:
+            assert len(result.entity_ids) == 0
+        return
+    expected = rebuild_results(model, queries, case["n_clusters"], k)
+    for result, (want_ids, want_scores) in zip(results, expected):
+        np.testing.assert_array_equal(result.entity_ids, want_ids)
+        np.testing.assert_array_equal(result.scores, want_scores)
+        assert not (set(int(e) for e in result.entity_ids) & deleted)
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=serving_cases)
+def test_compaction_is_a_noop_on_results(tmp_path_factory, case):
+    tmp_path = tmp_path_factory.mktemp("serve")
+    state = build_state(tmp_path, case["base"], case["n_clusters"])
+    model, _ = apply_ops(state, case["ops"])
+    if not model:
+        return
+    queries = np.asarray(case["queries"], dtype=np.float64)
+    k = case["k"]
+
+    before = state.query(queries, k=k)
+    # Append compaction (delta -> lists, no retrain), then re-cluster.
+    state.compact(recluster=False)
+    migrated = state.query(queries, k=k)
+    state.compact(recluster=True)
+    reclustered = state.query(queries, k=k)
+    for old, mid, new in zip(before, migrated, reclustered):
+        np.testing.assert_array_equal(old.entity_ids, mid.entity_ids)
+        np.testing.assert_array_equal(old.scores, mid.scores)
+        np.testing.assert_array_equal(old.entity_ids, new.entity_ids)
+        np.testing.assert_array_equal(old.scores, new.scores)
+
+
+@settings(max_examples=20, deadline=None)
+@given(case=serving_cases)
+def test_automatic_compaction_preserves_the_contract(tmp_path_factory, case):
+    """A tiny max_delta forces mid-sequence compactions; results hold."""
+    tmp_path = tmp_path_factory.mktemp("serve")
+    state = build_state(tmp_path, case["base"], case["n_clusters"], max_delta=2)
+    model, deleted = apply_ops(state, case["ops"])
+    if not model:
+        return
+    queries = np.asarray(case["queries"], dtype=np.float64)
+    k = case["k"]
+
+    results = state.query(queries, k=k)
+    expected = rebuild_results(model, queries, case["n_clusters"], k)
+    for result, (want_ids, want_scores) in zip(results, expected):
+        np.testing.assert_array_equal(result.entity_ids, want_ids)
+        np.testing.assert_array_equal(result.scores, want_scores)

@@ -1,0 +1,132 @@
+"""Shared fixtures for the serving test pass.
+
+``served_artifacts`` builds one deterministic store + index pair per
+session (seeded PCG64 → identical bytes on every run and machine — the
+golden files depend on this); ``daemon`` boots the real ``repro serve``
+CLI in a subprocess on an ephemeral port and tears it down with SIGTERM.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.index import IVFIndex
+from repro.storage import EmbeddingStore
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Fixture geometry — small enough for millisecond queries, big enough
+#: that every inverted list is populated.
+N_ROWS, DIM, N_CLUSTERS, CAPACITY = 48, 6, 4, 96
+
+
+@dataclass
+class Artifacts:
+    store: Path
+    index: Path
+    vectors: np.ndarray
+
+
+@pytest.fixture(scope="session")
+def served_artifacts(tmp_path_factory) -> Artifacts:
+    root = tmp_path_factory.mktemp("serve-artifacts")
+    rng = np.random.default_rng(20240807)
+    vectors = rng.normal(size=(N_ROWS, DIM)).astype(np.float64)
+    store_path = root / "entities.store"
+    store = EmbeddingStore.create(
+        store_path, vectors.shape, "float64", capacity=CAPACITY
+    )
+    store[:] = vectors
+    store.update_checksum()
+    store.close()
+    index_path = root / "entities.ivf.json"
+    IVFIndex(n_clusters=N_CLUSTERS).train(vectors).add(vectors).save(index_path)
+    return Artifacts(store=store_path, index=index_path, vectors=vectors)
+
+
+class Daemon:
+    """One ``repro serve`` subprocess plus a tiny urllib client."""
+
+    def __init__(self, artifacts: Artifacts, tmp_path: Path, extra_args=()):
+        self.events_path = tmp_path / f"events-{os.getpid()}-{time.monotonic_ns()}.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--store", str(artifacts.store),
+                "--index", str(artifacts.index),
+                "--port", "0",
+                "--events", str(self.events_path),
+                *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        banner = self.process.stdout.readline().strip()
+        if "serving on" not in banner:
+            err = self.process.stderr.read()
+            raise RuntimeError(f"daemon failed to boot: {banner!r} / {err}")
+        self.port = int(banner.rsplit(":", 1)[1])
+
+    def request(self, method: str, path: str, body: bytes | None = None):
+        """(status, raw bytes) for one request; HTTP errors are returned."""
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{self.port}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, error.read()
+
+    def terminate(self) -> int:
+        """SIGTERM and wait; returns the exit code (0 = clean)."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+        try:
+            self.process.communicate(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover - hang guard
+            self.process.kill()
+            self.process.communicate()
+        return self.process.returncode
+
+    def __enter__(self) -> "Daemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.terminate()
+
+
+@pytest.fixture
+def daemon(served_artifacts, tmp_path):
+    with Daemon(served_artifacts, tmp_path) as running:
+        yield running
+
+
+@pytest.fixture
+def writable_artifacts(served_artifacts, tmp_path) -> Artifacts:
+    """A private copy of the artifacts for tests that mutate the store."""
+    import shutil
+
+    store = tmp_path / served_artifacts.store.name
+    index = tmp_path / served_artifacts.index.name
+    shutil.copy(served_artifacts.store, store)
+    shutil.copy(served_artifacts.index, index)
+    return Artifacts(store=store, index=index, vectors=served_artifacts.vectors)

@@ -1,0 +1,86 @@
+"""Pair-stability of the rowwise scorer — the serving determinism base.
+
+``rowwise_scores`` must give every (query, target) pair a value that is
+a pure function of that pair: invariant to batching, to which other
+targets share the call, and bitwise-consistent with what the serving
+merge recomputes.  The full-matrix BLAS kernels explicitly do NOT have
+this property; these tests pin that the rowwise path does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.similarity.engine import SimilarityEngine
+from repro.similarity.metrics import rowwise_scores, similarity_matrix
+
+METRICS = ("cosine", "euclidean", "manhattan")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)
+
+
+class TestRowwiseScores:
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_target_subset_invariance(self, metric, rng):
+        query = rng.normal(size=8)
+        targets = rng.normal(size=(30, 8))
+        full = rowwise_scores(metric, query, targets)
+        subset = rng.choice(30, size=11, replace=False)
+        np.testing.assert_array_equal(
+            rowwise_scores(metric, query, targets[subset]), full[subset]
+        )
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_close_to_full_matrix_kernels(self, metric, rng):
+        queries = rng.normal(size=(5, 8))
+        targets = rng.normal(size=(12, 8))
+        rowwise = np.stack(
+            [rowwise_scores(metric, query, targets) for query in queries]
+        )
+        np.testing.assert_allclose(
+            rowwise, similarity_matrix(queries, targets, metric=metric),
+            atol=1e-9,
+        )
+
+    def test_zero_vectors_do_not_raise(self):
+        scores = rowwise_scores("cosine", np.zeros(4), np.zeros((3, 4)))
+        assert np.all(np.isfinite(scores))
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            rowwise_scores("cosine", np.ones((2, 3)), np.ones((4, 3)))
+        with pytest.raises(ValueError, match="targets"):
+            rowwise_scores("cosine", np.ones(3), np.ones((4, 5)))
+        with pytest.raises(ValueError, match="unknown similarity metric"):
+            rowwise_scores("hamming", np.ones(3), np.ones((4, 3)))
+
+
+class TestEngineRowwiseTopK:
+    def test_batched_equals_single_rows_bitwise(self, rng):
+        queries = rng.normal(size=(6, 8))
+        targets = rng.normal(size=(40, 8))
+        with SimilarityEngine() as engine:
+            batched = engine.rowwise_top_k(queries, targets, k=5)
+            for row in range(6):
+                single = engine.rowwise_top_k(queries[row : row + 1], targets, k=5)
+                np.testing.assert_array_equal(single[0][0], batched[row][0])
+                np.testing.assert_array_equal(single[0][1], batched[row][1])
+
+    def test_ties_break_by_ascending_target(self):
+        queries = np.ones((1, 3))
+        targets = np.ones((4, 3))  # all scores identical
+        with SimilarityEngine() as engine:
+            ids, scores = engine.rowwise_top_k(queries, targets, k=3)[0]
+        np.testing.assert_array_equal(ids, [0, 1, 2])
+        assert len(set(scores)) == 1
+
+    def test_k_is_clamped_and_validated(self, rng):
+        queries = rng.normal(size=(2, 4))
+        targets = rng.normal(size=(3, 4))
+        with SimilarityEngine() as engine:
+            rows = engine.rowwise_top_k(queries, targets, k=10)
+            assert all(len(ids) == 3 for ids, _ in rows)
+            with pytest.raises(ValueError, match="k must be"):
+                engine.rowwise_top_k(queries, targets, k=0)

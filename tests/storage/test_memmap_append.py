@@ -1,0 +1,100 @@
+"""Capacity-preallocated stores and the append_row serving primitive."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataIntegrityError
+from repro.storage import EmbeddingStore
+
+
+@pytest.fixture
+def capped(tmp_path):
+    data = np.arange(12, dtype=np.float32).reshape(4, 3)
+    store = EmbeddingStore.create(tmp_path / "emb.store", (4, 3), "float32",
+                                  capacity=8)
+    store[:] = data
+    store.update_checksum()
+    return store, data
+
+
+class TestCapacity:
+    def test_logical_shape_hides_the_padding(self, capped):
+        store, data = capped
+        assert store.shape == (4, 3)
+        assert store.capacity == 8
+        np.testing.assert_array_equal(store.as_array(), data)
+
+    def test_checksum_covers_logical_rows_only(self, capped):
+        store, _ = capped
+        report = store.verify()
+        assert report["verified"] is True
+        assert report["nbytes"] == 4 * 3 * 4
+
+    def test_capacity_below_rows_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="capacity"):
+            EmbeddingStore.create(tmp_path / "bad.store", (4, 3), capacity=2)
+
+    def test_plain_store_has_no_capacity_key(self, tmp_path):
+        store = EmbeddingStore.write(tmp_path / "plain.store", np.ones((3, 2)))
+        assert "capacity" not in store.header
+        assert store.capacity == 3
+
+    def test_open_validates_size_against_capacity(self, capped, tmp_path):
+        store, _ = capped
+        path = store.path
+        store.close()
+        with open(path, "ab") as handle:
+            handle.write(b"\x00")
+        with pytest.raises(DataIntegrityError, match="truncated or padded"):
+            EmbeddingStore.open(path)
+
+
+class TestAppendRow:
+    def test_append_extends_rows_and_survives_reopen(self, capped):
+        store, data = capped
+        row = store.append_row(np.array([9.0, 8.0, 7.0], dtype=np.float32))
+        assert row == 4
+        assert store.shape == (5, 3)
+        store.update_checksum()
+        path = store.path
+        store.close()
+        with EmbeddingStore.open(path, verify=True) as reopened:
+            assert reopened.shape == (5, 3)
+            assert reopened.capacity == 8
+            np.testing.assert_array_equal(reopened.as_array()[:4], data)
+            np.testing.assert_array_equal(reopened[4], [9.0, 8.0, 7.0])
+
+    def test_append_unseals_until_resealed(self, capped):
+        store, _ = capped
+        assert store.seal_state == "sealed"
+        store.append_row(np.zeros(3, dtype=np.float32))
+        assert store.seal_state == "unsealed"
+        with pytest.raises(DataIntegrityError, match="never sealed"):
+            store.verify()
+        store.update_checksum()
+        assert store.verify()["verified"] is True
+
+    def test_append_past_capacity_is_rejected(self, capped):
+        store, _ = capped
+        for _ in range(4):
+            store.append_row(np.zeros(3, dtype=np.float32))
+        with pytest.raises(ValueError, match="full"):
+            store.append_row(np.zeros(3, dtype=np.float32))
+        assert store.shape == (8, 3)
+
+    def test_append_validates_input(self, capped, tmp_path):
+        store, _ = capped
+        with pytest.raises(ValueError, match="shape"):
+            store.append_row(np.zeros(5, dtype=np.float32))
+        with pytest.raises(ValueError, match="non-finite"):
+            store.append_row(np.array([1.0, np.nan, 2.0]))
+        read_only = EmbeddingStore.open(store.path)
+        with pytest.raises(ValueError, match="read-only"):
+            read_only.append_row(np.zeros(3, dtype=np.float32))
+        read_only.close()
+
+    def test_plain_store_refuses_appends(self, tmp_path):
+        # No capacity reserved at create time: file rows == logical rows.
+        store = EmbeddingStore.create(tmp_path / "plain.store", (3, 2), "float32")
+        with pytest.raises(ValueError, match="full"):
+            store.append_row(np.zeros(2, dtype=np.float32))
