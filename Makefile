@@ -6,8 +6,8 @@
 PY := PYTHONPATH=src python -m
 
 .PHONY: check lint test property obs serve test-serve chaos chaos-crash \
-	bench bench-obs bench-serve bench-check bench-scale-smoke drift \
-	reference-update
+	bench bench-obs bench-serve bench-check bench-scale-smoke soak-smoke \
+	drift reference-update
 
 check: lint
 	$(PY) pytest -q -m "not chaos and not chaos_crash"
@@ -59,6 +59,13 @@ bench-serve:
 # BENCH_scale_smoke.json, never the committed full-scale baseline.
 bench-scale-smoke:
 	cd benchmarks && REPRO_SCALE_SMOKE=1 PYTHONPATH=../src python -m pytest -q test_scale.py
+
+# Traffic soak smoke: a short seeded open-loop mixed stream against a
+# real daemon subprocess, replayed twice to assert byte-identical
+# streams; writes BENCH_soak_smoke.json + soak_report_smoke.json,
+# never the committed full-length BENCH_soak.json baseline.
+soak-smoke:
+	cd benchmarks && REPRO_SOAK_SMOKE=1 PYTHONPATH=../src python -m pytest -q test_soak.py
 
 # Re-run the timed benchmarks and fail on >25% regression against the
 # committed BENCH_*.json baselines (see benchmarks/check_regression.py).

@@ -1,10 +1,10 @@
 """Bench-regression gate: re-run the timed benchmarks and diff the numbers.
 
-The engine-speedup, obs-overhead, out-of-core-scale, and serving-latency
-benchmarks write their measurements to
+The engine-speedup, obs-overhead, out-of-core-scale, serving-latency,
+and soak benchmarks write their measurements to
 ``benchmarks/results/BENCH_engine.json`` / ``BENCH_obs.json`` /
-``BENCH_scale.json`` / ``BENCH_serve.json``; those committed files are
-the performance baseline.  This script
+``BENCH_scale.json`` / ``BENCH_serve.json`` / ``BENCH_soak.json``;
+those committed files are the performance baseline.  This script
 
 1. snapshots the committed baselines,
 2. re-runs the benchmark modules (which overwrite the files),
@@ -13,22 +13,32 @@ the performance baseline.  This script
 4. restores the committed baselines so the working tree stays clean
    (pass ``--update`` to keep the fresh numbers as the new baseline).
 
-Three families of leaves are gated, each with its own direction:
+Four families of leaves are gated.  Every leaf belongs to at most one
+family — classification is by key name, most specific first — and every
+failure line names the family that tripped, so a violated key is
+diagnosable without re-deriving which band applied:
 
-* ``*seconds*`` — wall-clock timings, lower is better.  Fails only when
-  **both** more than ``--tolerance`` (default 25%) slower than the
-  baseline **and** more than ``--floor`` (default 0.05 s) slower in
-  absolute terms — the floor keeps millisecond-scale timings from
-  tripping the gate on scheduler noise.
-* ``*per_second*`` — throughput rates, higher is better.  Fails when the
-  fresh rate drops below ``1 - --rate-tolerance`` (default 60%) of the
-  baseline; hardware varies far more than a single box's run-to-run
-  noise, so the band is wide.
-* ``*rss_bytes*`` — measured peak RSS, lower is better.  Fails only when
-  **both** more than ``--rss-tolerance`` (default 50%) above baseline
-  **and** more than ``--rss-floor`` (default 256 MiB) above it in
-  absolute terms — the pair catches an accidental n x n materialisation
-  (gigabytes) while ignoring allocator jitter.
+* ``latency`` (``*p99*`` / ``*p999*``) — tail-latency percentiles from
+  the soak and serving benchmarks, lower is better.  Fails only when
+  **both** more than ``--latency-tolerance`` (default 40%) above the
+  baseline **and** more than ``--latency-floor`` (default 0.02 s = 20 ms)
+  above it absolutely — tails are noisier than medians, so both bands
+  are wider than the timing family's.  Checked before the generic
+  timing family so ``p99_seconds`` never double-matches.
+* ``timing`` (``*seconds*``) — wall-clock timings, lower is better.
+  Fails only when **both** more than ``--tolerance`` (default 25%)
+  slower than the baseline **and** more than ``--floor`` (default
+  0.05 s) slower in absolute terms — the floor keeps millisecond-scale
+  timings from tripping the gate on scheduler noise.
+* ``rate`` (``*per_second*``) — throughput, higher is better.  Fails
+  when the fresh rate drops below ``1 - --rate-tolerance`` (default
+  60%) of the baseline; hardware varies far more than a single box's
+  run-to-run noise, so the band is wide.
+* ``rss`` (``*rss_bytes*``) — measured peak RSS, lower is better.
+  Fails only when **both** more than ``--rss-tolerance`` (default 50%)
+  above baseline **and** more than ``--rss-floor`` (default 256 MiB)
+  above it in absolute terms — the pair catches an accidental n x n
+  materialisation (gigabytes) while ignoring allocator jitter.
 
 Faster / leaner-than-baseline numbers never fail.
 
@@ -56,13 +66,18 @@ BASELINES = (
     "BENCH_obs.json",
     "BENCH_scale.json",
     "BENCH_serve.json",
+    "BENCH_soak.json",
 )
 BENCH_MODULES = (
     "test_engine_speedup.py",
     "test_obs_overhead.py",
     "test_scale.py",
     "test_serve_latency.py",
+    "test_soak.py",
 )
+
+#: Gate families in classification order (most specific key match first).
+FAMILIES = ("latency", "timing", "rate", "rss")
 
 
 def flatten(document: object, prefix: str = "") -> dict[str, float]:
@@ -76,44 +91,55 @@ def flatten(document: object, prefix: str = "") -> dict[str, float]:
     return leaves
 
 
-def timing_paths(leaves: dict[str, float]) -> dict[str, float]:
-    """Only the leaves that are wall-clock timings."""
+def family_of(path: str) -> str | None:
+    """Which gate family a leaf belongs to (None = ungated).
+
+    Order matters: ``p99_seconds`` / ``p999_seconds`` are *latency*
+    leaves, not timing leaves, even though they also contain "seconds"
+    — the latency test runs first so each key matches exactly one band.
+    """
+    leaf = path.rsplit(".", 1)[-1]
+    if "p99" in leaf:  # catches both p99_* and p999_*
+        return "latency"
+    if "seconds" in path:
+        return "timing"
+    if "per_second" in path:
+        return "rate"
+    if "rss_bytes" in path:
+        return "rss"
+    return None
+
+
+def family_paths(leaves: dict[str, float], family: str) -> dict[str, float]:
+    """Only the leaves gated by ``family``."""
     return {
-        path: value for path, value in leaves.items() if "seconds" in path
+        path: value for path, value in leaves.items() if family_of(path) == family
     }
 
 
-def rate_paths(leaves: dict[str, float]) -> dict[str, float]:
-    """Only the throughput leaves (higher is better)."""
-    return {
-        path: value for path, value in leaves.items() if "per_second" in path
-    }
-
-
-def rss_paths(leaves: dict[str, float]) -> dict[str, float]:
-    """Only the measured peak-RSS leaves (lower is better)."""
-    return {
-        path: value for path, value in leaves.items() if "rss_bytes" in path
-    }
-
-
-def compare(
+def compare_lower_better(
+    family: str,
     baseline: dict[str, float],
     fresh: dict[str, float],
     tolerance: float,
     floor: float,
+    unit: str = "s",
 ) -> list[str]:
-    """Human-readable failure lines, empty when the gate passes."""
+    """Gate for lower-is-better leaves with a relative + absolute band."""
     failures = []
     for path, old in sorted(baseline.items()):
         new = fresh.get(path)
         if new is None:
-            failures.append(f"MISSING  {path}: baseline {old:.4f}s has no fresh value")
+            failures.append(
+                f"MISSING  [{family}] {path}: baseline {old:.4f}{unit} "
+                f"has no fresh value"
+            )
             continue
         if new > old * (1.0 + tolerance) and new - old > floor:
             failures.append(
-                f"SLOWER   {path}: {old:.4f}s -> {new:.4f}s "
-                f"(+{(new / old - 1.0) * 100.0:.0f}%, band is +{tolerance * 100:.0f}%)"
+                f"SLOWER   [{family}] {path}: {old:.4f}{unit} -> {new:.4f}{unit} "
+                f"(+{(new / old - 1.0) * 100.0:.0f}%, band is +{tolerance * 100:.0f}% "
+                f"and +{floor:.3f}{unit})"
             )
     return failures
 
@@ -128,11 +154,13 @@ def compare_rates(
     for path, old in sorted(baseline.items()):
         new = fresh.get(path)
         if new is None:
-            failures.append(f"MISSING  {path}: baseline {old:.1f}/s has no fresh value")
+            failures.append(
+                f"MISSING  [rate] {path}: baseline {old:.1f}/s has no fresh value"
+            )
             continue
         if new < old * (1.0 - tolerance):
             failures.append(
-                f"SLOWER   {path}: {old:.1f}/s -> {new:.1f}/s "
+                f"SLOWER   [rate] {path}: {old:.1f}/s -> {new:.1f}/s "
                 f"({(new / old - 1.0) * 100.0:.0f}%, band is -{tolerance * 100:.0f}%)"
             )
     return failures
@@ -150,14 +178,62 @@ def compare_rss(
         new = fresh.get(path)
         if new is None:
             failures.append(
-                f"MISSING  {path}: baseline {old / 2**20:.0f}MiB has no fresh value"
+                f"MISSING  [rss] {path}: baseline {old / 2**20:.0f}MiB "
+                f"has no fresh value"
             )
             continue
         if new > old * (1.0 + tolerance) and new - old > floor_bytes:
             failures.append(
-                f"BIGGER   {path}: {old / 2**20:.0f}MiB -> {new / 2**20:.0f}MiB "
+                f"BIGGER   [rss] {path}: {old / 2**20:.0f}MiB -> {new / 2**20:.0f}MiB "
                 f"(+{(new / old - 1.0) * 100.0:.0f}%, band is +{tolerance * 100:.0f}%)"
             )
+    return failures
+
+
+def evaluate(
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    *,
+    tolerance: float = 0.25,
+    floor: float = 0.05,
+    rate_tolerance: float = 0.6,
+    rss_tolerance: float = 0.5,
+    rss_floor: float = 256 * 2**20,
+    latency_tolerance: float = 0.40,
+    latency_floor: float = 0.020,
+) -> list[str]:
+    """All gate families over one (baseline, fresh) leaf pair.
+
+    The pure core of the gate — ``main`` calls it per baseline file and
+    the unit tests call it with synthetic documents.
+    """
+    failures: list[str] = []
+    failures.extend(
+        compare_lower_better(
+            "latency",
+            family_paths(baseline, "latency"), family_paths(fresh, "latency"),
+            latency_tolerance, latency_floor,
+        )
+    )
+    failures.extend(
+        compare_lower_better(
+            "timing",
+            family_paths(baseline, "timing"), family_paths(fresh, "timing"),
+            tolerance, floor,
+        )
+    )
+    failures.extend(
+        compare_rates(
+            family_paths(baseline, "rate"), family_paths(fresh, "rate"),
+            rate_tolerance,
+        )
+    )
+    failures.extend(
+        compare_rss(
+            family_paths(baseline, "rss"), family_paths(fresh, "rss"),
+            rss_tolerance, rss_floor,
+        )
+    )
     return failures
 
 
@@ -177,7 +253,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--tolerance", type=float, default=0.25,
-        help="relative slowdown band (0.25 = fail beyond +25%%)",
+        help="relative slowdown band for *seconds* leaves "
+             "(0.25 = fail beyond +25%%)",
     )
     parser.add_argument(
         "--floor", type=float, default=0.05,
@@ -195,6 +272,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--rss-floor", type=float, default=256 * 2**20,
         help="absolute peak-RSS growth floor in bytes (noise guard)",
+    )
+    parser.add_argument(
+        "--latency-tolerance", type=float, default=0.40,
+        help="relative band for tail-latency *p99*/*p999* leaves "
+             "(0.40 = fail beyond +40%%)",
+    )
+    parser.add_argument(
+        "--latency-floor", type=float, default=0.020,
+        help="absolute tail-latency floor in seconds (default 20 ms; "
+             "tails jitter more than medians)",
     )
     parser.add_argument(
         "--update", action="store_true",
@@ -225,22 +312,15 @@ def main(argv: list[str] | None = None) -> int:
             fresh = flatten(json.loads((RESULTS_DIR / name).read_text("utf-8")))
             failures.extend(
                 f"{name}: {line}"
-                for line in compare(
-                    timing_paths(baseline), timing_paths(fresh),
-                    args.tolerance, args.floor,
-                )
-            )
-            failures.extend(
-                f"{name}: {line}"
-                for line in compare_rates(
-                    rate_paths(baseline), rate_paths(fresh), args.rate_tolerance
-                )
-            )
-            failures.extend(
-                f"{name}: {line}"
-                for line in compare_rss(
-                    rss_paths(baseline), rss_paths(fresh),
-                    args.rss_tolerance, args.rss_floor,
+                for line in evaluate(
+                    baseline, fresh,
+                    tolerance=args.tolerance,
+                    floor=args.floor,
+                    rate_tolerance=args.rate_tolerance,
+                    rss_tolerance=args.rss_tolerance,
+                    rss_floor=args.rss_floor,
+                    latency_tolerance=args.latency_tolerance,
+                    latency_floor=args.latency_floor,
                 )
             )
 

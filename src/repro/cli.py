@@ -23,6 +23,8 @@ Usage (after ``pip install -e .``)::
     python -m repro runs fsck --ledger runs.jsonl --repair  # truncate a torn tail
     python -m repro store verify out/embeddings.npy.store # checksum an embedding store
     python -m repro serve --store out/emb.store --index out/zh_en.ivf.json --port 8080
+    python -m repro soak --store out/emb.store --index out/zh_en.ivf.json \
+        --duration 30 --qps 100 --seed 0 --report soak.json
     python -m repro match dbp15k/zh_en --matcher Hun. --ledger runs.jsonl --resume
 """
 
@@ -331,6 +333,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "stderr, anything else appends JSONL to that path")
     serve.add_argument("--ledger", type=Path, default=None,
                        help="record served queries in this run ledger")
+
+    soak = subparsers.add_parser(
+        "soak",
+        help="replay a seeded open-loop traffic mix against the serving "
+             "daemon and report tail latency + sustained QPS",
+    )
+    soak.add_argument("--store", type=Path, default=None,
+                      help="embedding store to boot a daemon over "
+                           "(with --index; omit both when using --url)")
+    soak.add_argument("--index", type=Path, default=None,
+                      help="persisted IVF index matching --store")
+    soak.add_argument("--url", default=None,
+                      help="drive an already-running daemon at this base URL "
+                           "instead of booting a subprocess")
+    soak.add_argument("--spec", type=Path, default=None,
+                      help="WorkloadSpec JSON (CLI flags below override "
+                           "its duration/qps/seed)")
+    soak.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                      help="scheduled stream length (default 10s)")
+    soak.add_argument("--qps", type=float, default=None,
+                      help="target offered rate, open-loop (default 50)")
+    soak.add_argument("--seed", type=int, default=None,
+                      help="stream seed: same seed, same artifacts => "
+                           "identical request stream (default 0)")
+    soak.add_argument("--workers", type=int, default=16,
+                      help="client threads firing the schedule")
+    soak.add_argument("--report", type=Path, default=None, metavar="PATH",
+                      help="write the schema-versioned SoakReport JSON here")
+    soak.add_argument("--slo-p99-ms", type=float, default=None, metavar="MS",
+                      help="gate mode: exit nonzero when p99 exceeds this "
+                           "or any request errored/timed out")
+    soak.add_argument("--events", default=None, metavar="PATH",
+                      help="stream soak.* events: '-' for human-readable "
+                           "stderr, anything else appends JSONL to that path")
     return parser
 
 
@@ -665,6 +701,85 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_soak(args: argparse.Namespace) -> int:
+    """Replay a seeded traffic mix and print/persist the soak report."""
+    import dataclasses
+
+    from repro.loadgen import ServeDaemon, SoakRunner, WorkloadSpec
+
+    if args.url is None and (args.store is None or args.index is None):
+        print("soak needs either --url or both --store and --index",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = (
+            WorkloadSpec.load(args.spec) if args.spec is not None
+            else WorkloadSpec()
+        )
+        overrides = {
+            name: value
+            for name, value in (
+                ("duration_seconds", args.duration),
+                ("qps", args.qps),
+                ("seed", args.seed),
+            )
+            if value is not None
+        }
+        if overrides:
+            spec = dataclasses.replace(spec, **overrides)
+    except (OSError, ValueError, TypeError) as err:
+        print(f"bad workload spec: {err}", file=sys.stderr)
+        return 2
+
+    with ExitStack() as stack:
+        if args.events is not None:
+            sink = (
+                obs_events.HumanSink() if args.events == "-"
+                else obs_events.JsonlSink(args.events)
+            )
+            stack.enter_context(obs_events.emitting(sink))
+        if args.url is not None:
+            url = args.url
+        else:
+            try:
+                daemon = stack.enter_context(
+                    ServeDaemon(args.store, args.index)
+                )
+            except (OSError, RuntimeError, ValueError) as err:
+                print(f"cannot boot daemon for soak: {err}", file=sys.stderr)
+                return 1
+            url = daemon.url
+        runner = SoakRunner(url, workers=args.workers)
+        try:
+            report = runner.run(spec)
+        except (OSError, ValueError) as err:
+            print(f"soak run failed: {err}", file=sys.stderr)
+            return 1
+
+    print(f"soak: seed={spec.seed} stream={report.stream_fingerprint}")
+    for line in report.summary_lines():
+        print(line)
+    if args.report is not None:
+        report.save(args.report)
+        print(f"report written to {args.report}")
+    if args.slo_p99_ms is not None:
+        p99_ms = report.latency.get("p99_seconds", 0.0) * 1e3
+        breaches = []
+        if p99_ms > args.slo_p99_ms:
+            breaches.append(
+                f"p99 {p99_ms:.2f}ms exceeds SLO {args.slo_p99_ms:.2f}ms"
+            )
+        if report.errors:
+            breaches.append(f"{report.errors} requests errored")
+        if report.timeouts:
+            breaches.append(f"{report.timeouts} requests timed out")
+        if breaches:
+            print("soak SLO FAILED: " + "; ".join(breaches), file=sys.stderr)
+            return 1
+        print("soak SLO passed")
+    return 0
+
+
 def _match_index_config(args: argparse.Namespace) -> IndexConfig | None:
     """Candidate-generation config from the ``match`` subcommand's flags."""
     if args.index is None:
@@ -974,6 +1089,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_explain(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "soak":
+        return _run_soak(args)
     if args.command == "runs":
         handlers = {
             "list": _runs_list,

@@ -1,0 +1,152 @@
+"""Schema-versioned soak results: tail percentiles, QPS, and outcomes.
+
+A :class:`SoakReport` is what a soak run is *for*: the distilled
+numbers CI gates on and engineers diff across PRs.  It is deliberately
+plain data — a dataclass with a canonical JSON rendering written
+through the atomic-write protocol — so a report survives exactly as
+measured and ``benchmarks/check_regression.py`` can flatten it.
+
+Latency percentiles are computed over **open-loop latency**: completion
+time minus *scheduled* arrival, not minus actual send.  A daemon that
+falls behind the schedule therefore pays its queueing delay in the tail
+instead of quietly stretching the run (the coordinated-omission trap a
+closed-loop driver falls into; DESIGN.md §13).  Errors are included in
+the latency population — a fast error must not flatter the tail.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.storage.durable import atomic_write
+
+#: Bump when the report's JSON layout changes incompatibly.
+REPORT_SCHEMA_VERSION = 1
+
+#: The tail points every report carries, in ascending order.
+PERCENTILES = ((50, "p50_seconds"), (95, "p95_seconds"),
+               (99, "p99_seconds"), (99.9, "p999_seconds"))
+
+
+def latency_summary(samples: list[float]) -> dict[str, float]:
+    """p50/p95/p99/p999 + mean/max over one latency population."""
+    if not samples:
+        return {name: 0.0 for _, name in PERCENTILES} | {
+            "mean_seconds": 0.0, "max_seconds": 0.0,
+        }
+    values = np.asarray(samples, dtype=np.float64)
+    summary = {
+        name: float(np.percentile(values, q)) for q, name in PERCENTILES
+    }
+    summary["mean_seconds"] = float(values.mean())
+    summary["max_seconds"] = float(values.max())
+    return summary
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Outcome + latency breakdown for one request kind."""
+
+    count: int = 0
+    ok: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    latency: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SoakReport:
+    """The schema-versioned result of one soak run."""
+
+    schema_version: int
+    #: The expanded spec that produced the stream (JSON dict form).
+    spec: dict[str, object]
+    #: blake2b fingerprint of the replayed request stream.
+    stream_fingerprint: str
+    #: Requests the stream scheduled / the runner completed.
+    scheduled: int
+    completed: int
+    ok: int
+    errors: int
+    timeouts: int
+    #: Rate the schedule asked for vs what actually completed.
+    offered_qps: float
+    sustained_qps: float
+    #: Wall-clock span of the replay (first dispatch -> last completion).
+    wall_seconds: float
+    #: Open-loop latency over *all* completed requests.
+    latency: dict[str, float]
+    #: Per-kind breakdown (query / insert / delete / explain).
+    phases: dict[str, PhaseStats]
+    #: Worst observed staleness: newest insert-acknowledged snapshot
+    #: version minus the version a query's response was served from.
+    max_version_lag: int
+    #: Worst scheduler slip: how late a request was actually sent
+    #: relative to its open-loop arrival (load-driver health signal).
+    max_dispatch_lag_seconds: float
+
+    # -- serialisation -------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically persist the report (crash leaves old bytes or new)."""
+        return atomic_write(Path(path), self.to_json())
+
+    @classmethod
+    def from_dict(cls, document: dict[str, object]) -> "SoakReport":
+        version = document.get("schema_version")
+        if version != REPORT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported SoakReport schema_version {version!r} "
+                f"(this build reads {REPORT_SCHEMA_VERSION})"
+            )
+        phases = {
+            kind: PhaseStats(**stats)
+            for kind, stats in document.get("phases", {}).items()
+        }
+        fields = {key: value for key, value in document.items() if key != "phases"}
+        return cls(phases=phases, **fields)  # type: ignore[arg-type]
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SoakReport":
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(document, dict):
+            raise ValueError(f"{path} does not hold a SoakReport object")
+        return cls.from_dict(document)
+
+    # -- human rendering ----------------------------------------------
+
+    def summary_lines(self) -> list[str]:
+        """The terminal rendering ``repro soak`` prints."""
+        lines = [
+            f"requests: {self.completed}/{self.scheduled} completed, "
+            f"{self.ok} ok, {self.errors} errors, {self.timeouts} timeouts",
+            f"qps: offered {self.offered_qps:.1f}, "
+            f"sustained {self.sustained_qps:.1f} "
+            f"over {self.wall_seconds:.1f}s",
+            "latency: " + "  ".join(
+                f"{name[:-8]}={self.latency.get(name, 0.0) * 1e3:.2f}ms"
+                for _, name in PERCENTILES
+            ),
+            f"staleness: max version lag {self.max_version_lag}, "
+            f"max dispatch lag {self.max_dispatch_lag_seconds * 1e3:.1f}ms",
+        ]
+        for kind in sorted(self.phases):
+            stats = self.phases[kind]
+            if stats.count == 0:
+                continue
+            p99 = stats.latency.get("p99_seconds", 0.0)
+            lines.append(
+                f"  {kind:<8s} n={stats.count:<6d} ok={stats.ok:<6d} "
+                f"err={stats.errors:<4d} p99={p99 * 1e3:.2f}ms"
+            )
+        return lines

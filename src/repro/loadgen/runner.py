@@ -1,0 +1,258 @@
+"""Open-loop soak driver: replay a seeded stream against a live daemon.
+
+The :class:`SoakRunner` takes the stream a
+:class:`~repro.loadgen.spec.WorkloadSpec` expanded to and fires each
+request at its scheduled arrival offset, from a pool of worker threads,
+against the daemon's HTTP surface.  It is **open-loop**: the schedule
+never waits for completions, so a daemon that falls behind accrues real
+queueing delay in the recorded tail instead of silently throttling the
+offered load.  Every request's outcome and open-loop latency is
+recorded, streamed through the :mod:`repro.obs.events` sinks
+(``soak.start`` / ``soak.request`` / ``soak.finish``), and folded into
+a :class:`~repro.loadgen.report.SoakReport`.
+
+Staleness is tracked alongside latency: write acknowledgements carry
+the snapshot version they published, queries carry the version they
+were served from, and the report's ``max_version_lag`` is the worst
+gap a query observed against a write already acknowledged when it was
+dispatched — the serving layer's analogue of replication lag.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.loadgen.report import (
+    REPORT_SCHEMA_VERSION,
+    PhaseStats,
+    SoakReport,
+    latency_summary,
+)
+from repro.loadgen.spec import KINDS, Request, WorkloadSpec, stream_fingerprint
+from repro.obs import events as obs_events
+
+
+@dataclass(frozen=True)
+class _Outcome:
+    """One completed request, as the aggregator sees it."""
+
+    kind: str
+    status: str  # "ok" | "error" | "timeout"
+    latency: float
+    dispatch_lag: float
+    version_lag: int
+
+
+class SoakRunner:
+    """Replays a request stream open-loop and aggregates the outcomes."""
+
+    def __init__(
+        self,
+        url: str,
+        workers: int = 16,
+        request_timeout: float = 30.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be > 0, got {request_timeout}"
+            )
+        self.url = url.rstrip("/")
+        self.workers = workers
+        self.request_timeout = request_timeout
+        self._lock = threading.Lock()
+        self._max_acked_version = 0
+
+    # -- daemon introspection -----------------------------------------
+
+    def probe(self) -> dict:
+        """GET /stats — the id-space geometry a spec expands over."""
+        with urllib.request.urlopen(
+            f"{self.url}/stats", timeout=self.request_timeout
+        ) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # -- the soak loop -------------------------------------------------
+
+    def run(
+        self,
+        spec: WorkloadSpec,
+        requests: list[Request] | None = None,
+    ) -> SoakReport:
+        """Replay ``spec`` (or a pre-expanded ``requests`` stream).
+
+        When ``requests`` is None the stream is generated against the
+        daemon's *current* geometry (``/stats`` ``ntotal`` and ``dim``),
+        so the spec alone fully determines the traffic for a given
+        artifact pair.
+        """
+        if requests is None:
+            stats = self.probe()
+            requests = spec.generate(int(stats["ntotal"]), int(stats["dim"]))
+        fingerprint = stream_fingerprint(requests)
+        outcomes: list[_Outcome] = []
+        outcome_lock = threading.Lock()
+        self._max_acked_version = 0
+
+        obs_events.emit(
+            "soak.start",
+            requests=len(requests),
+            qps=spec.qps,
+            seed=spec.seed,
+            fingerprint=fingerprint,
+        )
+        start = time.perf_counter()
+        with ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-soak"
+        ) as pool:
+            futures = []
+            for request in requests:
+                delay = start + request.arrival - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                futures.append(pool.submit(self._fire, start, request))
+            wait(futures)
+        wall = time.perf_counter() - start
+        for future in futures:
+            outcome = future.result()
+            with outcome_lock:
+                outcomes.append(outcome)
+
+        report = self._build_report(spec, requests, fingerprint, outcomes, wall)
+        obs_events.emit(
+            "soak.finish",
+            completed=report.completed,
+            errors=report.errors,
+            timeouts=report.timeouts,
+            p99_ms=round(report.latency.get("p99_seconds", 0.0) * 1e3, 3),
+            sustained_qps=round(report.sustained_qps, 2),
+        )
+        return report
+
+    # -- one request ---------------------------------------------------
+
+    def _fire(self, start: float, request: Request) -> _Outcome:
+        scheduled = start + request.arrival
+        dispatched = time.perf_counter()
+        acked_before = self._max_acked_version
+        status, version = self._send(request)
+        done = time.perf_counter()
+        version_lag = 0
+        if version is not None:
+            if request.kind in ("insert", "delete"):
+                with self._lock:
+                    if version > self._max_acked_version:
+                        self._max_acked_version = version
+            elif request.kind == "query":
+                version_lag = max(0, acked_before - version)
+        outcome = _Outcome(
+            kind=request.kind,
+            status=status,
+            latency=done - scheduled,
+            dispatch_lag=max(0.0, dispatched - scheduled),
+            version_lag=version_lag,
+        )
+        obs_events.emit(
+            "soak.request",
+            kind=request.kind,
+            status=status,
+            seconds=round(outcome.latency, 6),
+        )
+        return outcome
+
+    def _send(self, request: Request) -> tuple[str, int | None]:
+        """Issue one HTTP call; returns (status, snapshot version|None)."""
+        if request.kind == "query":
+            http = ("POST", "/query",
+                    {"entity_id": request.entity_id, "k": request.k})
+        elif request.kind == "insert":
+            http = ("POST", "/insert",
+                    {"entity_id": request.entity_id,
+                     "vector": list(request.vector or ())})
+        elif request.kind == "delete":
+            http = ("POST", "/delete", {"entity_id": request.entity_id})
+        else:
+            http = ("GET", f"/entity/{request.entity_id}/explain", None)
+        method, path, body = http
+        data = (
+            json.dumps(body, sort_keys=True).encode("utf-8")
+            if body is not None
+            else None
+        )
+        call = urllib.request.Request(
+            f"{self.url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                call, timeout=self.request_timeout
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            error.read()
+            return "error", None
+        except TimeoutError:
+            return "timeout", None
+        except (urllib.error.URLError, OSError) as error:
+            reason = getattr(error, "reason", error)
+            if isinstance(reason, TimeoutError):
+                return "timeout", None
+            return "error", None
+        version = payload.get("version")
+        return "ok", version if isinstance(version, int) else None
+
+    # -- aggregation ---------------------------------------------------
+
+    def _build_report(
+        self,
+        spec: WorkloadSpec,
+        requests: list[Request],
+        fingerprint: str,
+        outcomes: list[_Outcome],
+        wall: float,
+    ) -> SoakReport:
+        by_kind: dict[str, list[_Outcome]] = {kind: [] for kind in KINDS}
+        for outcome in outcomes:
+            by_kind[outcome.kind].append(outcome)
+        phases = {
+            kind: PhaseStats(
+                count=len(group),
+                ok=sum(1 for o in group if o.status == "ok"),
+                errors=sum(1 for o in group if o.status == "error"),
+                timeouts=sum(1 for o in group if o.status == "timeout"),
+                latency=latency_summary([o.latency for o in group]),
+            )
+            for kind, group in by_kind.items()
+            if group
+        }
+        completed = len(outcomes)
+        return SoakReport(
+            schema_version=REPORT_SCHEMA_VERSION,
+            spec=spec.to_dict(),
+            stream_fingerprint=fingerprint,
+            scheduled=len(requests),
+            completed=completed,
+            ok=sum(1 for o in outcomes if o.status == "ok"),
+            errors=sum(1 for o in outcomes if o.status == "error"),
+            timeouts=sum(1 for o in outcomes if o.status == "timeout"),
+            offered_qps=float(spec.qps),
+            sustained_qps=(completed / wall) if wall > 0 else 0.0,
+            wall_seconds=wall,
+            latency=latency_summary([o.latency for o in outcomes]),
+            phases=phases,
+            max_version_lag=max(
+                (o.version_lag for o in outcomes), default=0
+            ),
+            max_dispatch_lag_seconds=max(
+                (o.dispatch_lag for o in outcomes), default=0.0
+            ),
+        )

@@ -1,0 +1,289 @@
+"""Workload specification and the deterministic request stream it expands to.
+
+A :class:`WorkloadSpec` is the *description* of a traffic pattern — mix
+ratios, skew, target QPS, duration, seed — small enough to commit next
+to a benchmark and round-trippable through JSON.  :meth:`WorkloadSpec.
+generate` expands it into the concrete stream: a list of
+:class:`Request` objects with open-loop arrival offsets.  Everything is
+drawn from one seeded PCG64 generator, so two expansions of the same
+spec over the same id space are identical — :func:`stream_fingerprint`
+hashes a canonical serialisation so tests can assert that in one line.
+
+Modelling choices (DESIGN.md §13):
+
+* **Zipfian popularity.**  Read traffic (query/explain) targets base
+  entity ``rank`` with probability proportional to ``1/(rank+1)^alpha``
+  over a seeded permutation of the id space — real entity-resolution
+  traffic is head-heavy, and uniform streams hide hot-list effects.
+  ``zipf_alpha = 0`` degenerates to uniform.
+* **Open-loop arrivals.**  Inter-arrival gaps are exponential at the
+  target QPS (a Poisson process), so bursts happen by construction.
+  The runner fires requests on this schedule whether or not earlier
+  ones have completed; a daemon that falls behind accumulates genuine
+  queueing delay instead of silently throttling the load (the
+  closed-loop coordinated-omission trap).
+* **Non-conflicting writes.**  Inserts pin explicit entity ids above
+  the base id space (``base + i``) and deletes only ever target
+  previously-inserted ids, never base entities.  Reads therefore can
+  never 404 against a correctly-functioning daemon — every observed
+  error is a real serving failure, which is what lets the smoke gate
+  demand *zero* errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+#: Bump when the spec's JSON layout changes incompatibly.
+SPEC_SCHEMA_VERSION = 1
+
+#: Request kinds a stream may contain, in mix-weight order.
+KINDS = ("query", "insert", "delete", "explain")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generated request: what to send and when to send it.
+
+    ``arrival`` is the open-loop offset in seconds from stream start.
+    ``entity_id`` is the read target (query/explain), the pinned id
+    (insert), or the victim (delete).  ``vector`` is only present on
+    inserts; queries go by entity id so popularity skew reaches the
+    daemon's actual read path.
+    """
+
+    arrival: float
+    kind: str
+    entity_id: int
+    k: int = 0
+    vector: tuple[float, ...] | None = None
+
+    def canonical(self) -> str:
+        """A stable one-line rendering (fingerprint + replay logs)."""
+        payload = {
+            "arrival": round(self.arrival, 9),
+            "kind": self.kind,
+            "entity_id": self.entity_id,
+            "k": self.k,
+            "vector": None if self.vector is None else [
+                round(value, 12) for value in self.vector
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def stream_fingerprint(requests: Iterable[Request]) -> str:
+    """blake2b digest of a stream's canonical serialisation.
+
+    Two streams with equal fingerprints carry identical requests in an
+    identical order — the determinism contract the soak smoke asserts.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for request in requests:
+        digest.update(request.canonical().encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A deterministic traffic mix for one soak run.
+
+    The weights describe the relative frequency of each request kind
+    and are normalised at generation time; they need not sum to one.
+    """
+
+    #: RNG seed: same seed + same id space => identical stream.
+    seed: int = 0
+    #: Target offered rate, requests per second (open-loop).
+    qps: float = 50.0
+    #: Stream length in seconds of scheduled arrivals.
+    duration_seconds: float = 10.0
+    #: Zipf skew exponent for read popularity (0 = uniform).
+    zipf_alpha: float = 1.1
+    #: Top-k requested by queries.
+    k: int = 5
+    query_weight: float = 0.80
+    insert_weight: float = 0.10
+    delete_weight: float = 0.05
+    explain_weight: float = 0.05
+    schema_version: int = SPEC_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ValueError(f"qps must be > 0, got {self.qps}")
+        if self.duration_seconds <= 0:
+            raise ValueError(
+                f"duration_seconds must be > 0, got {self.duration_seconds}"
+            )
+        if self.zipf_alpha < 0:
+            raise ValueError(f"zipf_alpha must be >= 0, got {self.zipf_alpha}")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        weights = self.weights()
+        if any(weight < 0 for weight in weights.values()):
+            raise ValueError(f"mix weights must be >= 0, got {weights}")
+        if sum(weights.values()) <= 0:
+            raise ValueError("at least one mix weight must be positive")
+        if self.schema_version != SPEC_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported WorkloadSpec schema_version "
+                f"{self.schema_version} (this build reads "
+                f"{SPEC_SCHEMA_VERSION})"
+            )
+
+    # -- JSON round trip ----------------------------------------------
+
+    def weights(self) -> dict[str, float]:
+        """Kind -> raw (un-normalised) mix weight."""
+        return {
+            "query": self.query_weight,
+            "insert": self.insert_weight,
+            "delete": self.delete_weight,
+            "explain": self.explain_weight,
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, document: dict[str, object]) -> "WorkloadSpec":
+        known = {name for name in cls.__dataclass_fields__}
+        unknown = set(document) - known
+        if unknown:
+            raise ValueError(
+                f"unknown WorkloadSpec fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(**document)  # type: ignore[arg-type]
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadSpec":
+        document = json.loads(text)
+        if not isinstance(document, dict):
+            raise ValueError("a WorkloadSpec document must be a JSON object")
+        return cls.from_dict(document)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WorkloadSpec":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    # -- stream expansion ---------------------------------------------
+
+    def generate(self, n_entities: int, dim: int) -> list[Request]:
+        """Expand into the concrete request stream for one id space.
+
+        ``n_entities`` is the daemon's base id space (ids ``0 ..
+        n_entities-1`` must be live at soak start); ``dim`` sizes insert
+        vectors.  Deterministic: one seeded generator drives arrivals,
+        kinds, targets, and vectors in a fixed draw order.
+        """
+        if n_entities < 1:
+            raise ValueError(f"n_entities must be >= 1, got {n_entities}")
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        rng = np.random.default_rng(self.seed)
+
+        # Open-loop Poisson arrivals until the duration is exhausted.
+        arrivals: list[float] = []
+        clock = 0.0
+        while True:
+            clock += float(rng.exponential(1.0 / self.qps))
+            if clock >= self.duration_seconds:
+                break
+            arrivals.append(clock)
+        if not arrivals:
+            arrivals.append(float(self.duration_seconds) / 2.0)
+
+        weights = self.weights()
+        probabilities = np.array([weights[kind] for kind in KINDS])
+        probabilities = probabilities / probabilities.sum()
+        kinds = rng.choice(len(KINDS), size=len(arrivals), p=probabilities)
+
+        popularity = self._popularity(rng, n_entities)
+
+        requests: list[Request] = []
+        inserted: list[int] = []  # pinned ids, insertion order
+        deleted: set[int] = set()
+        next_insert_id = n_entities
+        for arrival, kind_index in zip(arrivals, kinds):
+            kind = KINDS[kind_index]
+            if kind == "delete" and not inserted:
+                kind = "query"  # nothing soak-owned to delete yet
+            if kind in ("query", "explain"):
+                rank = int(rng.choice(n_entities, p=popularity))
+                requests.append(
+                    Request(
+                        arrival=arrival,
+                        kind=kind,
+                        entity_id=rank,
+                        k=self.k if kind == "query" else 0,
+                    )
+                )
+            elif kind == "insert":
+                vector = rng.normal(size=dim)
+                requests.append(
+                    Request(
+                        arrival=arrival,
+                        kind="insert",
+                        entity_id=next_insert_id,
+                        vector=tuple(float(value) for value in vector),
+                    )
+                )
+                inserted.append(next_insert_id)
+                next_insert_id += 1
+            else:  # delete: only ids this stream inserted, each once
+                candidates = [eid for eid in inserted if eid not in deleted]
+                if not candidates:
+                    rank = int(rng.choice(n_entities, p=popularity))
+                    requests.append(
+                        Request(arrival=arrival, kind="query",
+                                entity_id=rank, k=self.k)
+                    )
+                    continue
+                victim = candidates[int(rng.integers(len(candidates)))]
+                deleted.add(victim)
+                requests.append(
+                    Request(arrival=arrival, kind="delete", entity_id=victim)
+                )
+        return requests
+
+    def _popularity(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Zipfian probability over a seeded permutation of the ids.
+
+        The permutation decorrelates popularity from id order, so "hot"
+        entities land in arbitrary inverted lists rather than the first
+        few — the skew stresses list balance, not a storage prefix.
+        """
+        ranks = np.arange(1, n + 1, dtype=np.float64) ** (-self.zipf_alpha)
+        probabilities = np.empty(n, dtype=np.float64)
+        probabilities[rng.permutation(n)] = ranks / ranks.sum()
+        return probabilities
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """Cheap aggregate view of a generated stream (tests, CLI echo)."""
+
+    n_requests: int
+    per_kind: dict[str, int] = field(default_factory=dict)
+    fingerprint: str = ""
+
+    @classmethod
+    def of(cls, requests: list[Request]) -> "StreamSummary":
+        per_kind = {kind: 0 for kind in KINDS}
+        for request in requests:
+            per_kind[request.kind] += 1
+        return cls(
+            n_requests=len(requests),
+            per_kind=per_kind,
+            fingerprint=stream_fingerprint(requests),
+        )

@@ -19,6 +19,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from typing import Any, Callable, Sequence
 
@@ -28,6 +29,29 @@ from repro.obs import metrics as obs_metrics
 
 #: Sentinel object closing the dispatcher loop.
 _STOP = object()
+
+#: Per-batch observations retained for the stats distributions.  A
+#: bounded window keeps /stats O(1)-memory under indefinite traffic
+#: while still covering minutes of recent batches at soak rates.
+OBSERVATION_WINDOW = 4096
+
+#: The distribution points ``stats()`` reports per observed quantity.
+#: Soak analysis (DESIGN.md §13) correlates response-tail spikes with
+#: these: a p99 wait near ``max_wait`` means straggler-window flushes,
+#: a large p99 batch size means queueing bursts.
+_DIST_POINTS = (("p50", 50), ("p95", 95), ("p99", 99))
+
+
+def _distribution(samples: "deque[float]") -> dict[str, float]:
+    """p50/p95/p99/max summary of one bounded observation window."""
+    if not samples:
+        return {name: 0.0 for name, _ in _DIST_POINTS} | {"max": 0.0}
+    values = np.asarray(samples, dtype=np.float64)
+    summary = {
+        name: float(np.percentile(values, q)) for name, q in _DIST_POINTS
+    }
+    summary["max"] = float(values.max())
+    return summary
 
 
 class MicroBatcher:
@@ -57,6 +81,8 @@ class MicroBatcher:
         self._batches = 0
         self._queries = 0
         self._largest_batch = 0
+        self._size_window: deque[float] = deque(maxlen=OBSERVATION_WINDOW)
+        self._wait_window: deque[float] = deque(maxlen=OBSERVATION_WINDOW)
         self._closed = False
         self._thread = threading.Thread(
             target=self._run, name="repro-serve-batcher", daemon=True
@@ -70,19 +96,34 @@ class MicroBatcher:
         if self._closed:
             raise RuntimeError("MicroBatcher is closed")
         future: Future = Future()
-        self._queue.put((np.asarray(vector, dtype=np.float64), int(k), future))
+        self._queue.put(
+            (np.asarray(vector, dtype=np.float64), int(k), future,
+             time.monotonic())
+        )
         return future.result(timeout=timeout)
 
-    def stats(self) -> dict[str, int | float]:
-        """Dispatcher counters (batches, queries, mean/largest batch)."""
+    def stats(self) -> dict[str, Any]:
+        """Dispatcher counters plus observed distributions.
+
+        ``batch_size`` and ``wait_ms`` summarise the recent observation
+        window (per dispatched batch: how many queries it coalesced and
+        how long its longest-waiting query sat enqueued before the
+        flush).  Exposed through the daemon's ``/stats`` so soak-report
+        tail spikes can be correlated with straggler-window flushes.
+        The key set is a stability contract — tests pin it.
+        """
         with self._lock:
             batches, queries = self._batches, self._queries
             largest = self._largest_batch
+            sizes = _distribution(self._size_window)
+            waits = _distribution(self._wait_window)
         return {
             "batches": batches,
             "queries": queries,
             "largest_batch": largest,
             "mean_batch": (queries / batches) if batches else 0.0,
+            "batch_size": sizes,
+            "wait_ms": waits,
         }
 
     def close(self) -> None:
@@ -123,9 +164,11 @@ class MicroBatcher:
             self._dispatch(batch)
 
     def _dispatch(self, batch: list) -> None:
+        flushed_at = time.monotonic()
         vectors = np.stack([item[0] for item in batch])
         ks = [item[1] for item in batch]
         futures = [item[2] for item in batch]
+        wait_ms = (flushed_at - min(item[3] for item in batch)) * 1e3
         try:
             results = self._handler(vectors, ks)
             if len(results) != len(batch):
@@ -143,6 +186,8 @@ class MicroBatcher:
             self._batches += 1
             self._queries += len(batch)
             self._largest_batch = max(self._largest_batch, len(batch))
+            self._size_window.append(float(len(batch)))
+            self._wait_window.append(wait_ms)
         registry = obs_metrics.get_metrics()
         registry.inc("serve.batches")
         registry.inc("serve.batched_queries", len(batch))

@@ -1,0 +1,103 @@
+"""``repro soak`` end to end: real daemon subprocess, report, SLO gate."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.index import IVFIndex
+from repro.loadgen import SoakReport, WorkloadSpec
+from repro.storage import EmbeddingStore
+
+pytestmark = [pytest.mark.serve, pytest.mark.soak]
+
+N, DIM = 96, 6
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    rng = np.random.default_rng(3)
+    base = rng.normal(size=(N, DIM)).astype(np.float64)
+    store = EmbeddingStore.create(
+        tmp_path / "emb.store", base.shape, "float64", capacity=N + 64
+    )
+    store[:] = base
+    store.update_checksum()
+    store.close()
+    IVFIndex(n_clusters=4).train(base).add(base).save(tmp_path / "ivf.json")
+    return tmp_path / "emb.store", tmp_path / "ivf.json"
+
+
+def test_soak_cli_runs_and_writes_report(artifacts, tmp_path, capsys):
+    store, index = artifacts
+    report_path = tmp_path / "soak_report.json"
+    exit_code = main([
+        "soak", "--store", str(store), "--index", str(index),
+        "--duration", "1.5", "--qps", "30", "--seed", "5",
+        "--workers", "4", "--report", str(report_path),
+        "--slo-p99-ms", "2000",
+    ])
+    out = capsys.readouterr().out
+    assert exit_code == 0, out
+    assert "soak SLO passed" in out
+    report = SoakReport.load(report_path)
+    assert report.errors == 0 and report.timeouts == 0
+    assert report.completed == report.scheduled > 0
+    assert report.spec["seed"] == 5
+    # The CLI-run stream matches an offline expansion of the same spec:
+    # the daemon's base geometry fully determines it.
+    spec = WorkloadSpec(seed=5, qps=30, duration_seconds=1.5)
+    offline = spec.generate(N, DIM)
+    from repro.loadgen import stream_fingerprint
+    assert report.stream_fingerprint == stream_fingerprint(offline)
+
+
+def test_soak_cli_spec_file_with_overrides(artifacts, tmp_path, capsys):
+    store, index = artifacts
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(
+        WorkloadSpec(seed=1, qps=500, duration_seconds=60).to_json(),
+        encoding="utf-8",
+    )
+    report_path = tmp_path / "report.json"
+    exit_code = main([
+        "soak", "--store", str(store), "--index", str(index),
+        "--spec", str(spec_path), "--duration", "1.0", "--qps", "20",
+        "--report", str(report_path),
+    ])
+    assert exit_code == 0, capsys.readouterr().out
+    document = json.loads(report_path.read_text(encoding="utf-8"))
+    assert document["spec"]["qps"] == 20.0  # flag overrode the file
+    assert document["spec"]["duration_seconds"] == 1.0
+    assert document["spec"]["seed"] == 1  # file value survived
+
+
+def test_soak_cli_slo_breach_exits_nonzero(artifacts, capsys):
+    store, index = artifacts
+    exit_code = main([
+        "soak", "--store", str(store), "--index", str(index),
+        "--duration", "1.0", "--qps", "20",
+        "--slo-p99-ms", "0.000001",  # unattainable: force the gate to trip
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "soak SLO FAILED" in captured.err
+    assert "exceeds SLO" in captured.err
+
+
+def test_soak_cli_requires_a_target(capsys):
+    assert main(["soak", "--duration", "1"]) == 2
+    assert "--url or both --store and --index" in capsys.readouterr().err
+
+
+def test_soak_cli_rejects_bad_spec(artifacts, tmp_path, capsys):
+    store, index = artifacts
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"qps": -1}', encoding="utf-8")
+    exit_code = main([
+        "soak", "--store", str(store), "--index", str(index),
+        "--spec", str(bad),
+    ])
+    assert exit_code == 2
+    assert "bad workload spec" in capsys.readouterr().err

@@ -1,0 +1,94 @@
+"""SoakReport: percentile math, schema versioning, JSON round trip."""
+
+import numpy as np
+import pytest
+
+from repro.loadgen.report import (
+    REPORT_SCHEMA_VERSION,
+    PhaseStats,
+    SoakReport,
+    latency_summary,
+)
+
+
+def make_report(**overrides) -> SoakReport:
+    base = dict(
+        schema_version=REPORT_SCHEMA_VERSION,
+        spec={"seed": 0, "qps": 50.0},
+        stream_fingerprint="ab" * 16,
+        scheduled=100,
+        completed=100,
+        ok=99,
+        errors=1,
+        timeouts=0,
+        offered_qps=50.0,
+        sustained_qps=48.5,
+        wall_seconds=2.06,
+        latency=latency_summary([0.001, 0.002, 0.003]),
+        phases={
+            "query": PhaseStats(count=90, ok=90, errors=0, timeouts=0,
+                                latency=latency_summary([0.001] * 90)),
+            "insert": PhaseStats(count=10, ok=9, errors=1, timeouts=0,
+                                 latency=latency_summary([0.002] * 10)),
+        },
+        max_version_lag=0,
+        max_dispatch_lag_seconds=0.004,
+    )
+    base.update(overrides)
+    return SoakReport(**base)
+
+
+class TestLatencySummary:
+    def test_empty_population_is_all_zero(self):
+        summary = latency_summary([])
+        assert set(summary) == {
+            "p50_seconds", "p95_seconds", "p99_seconds", "p999_seconds",
+            "mean_seconds", "max_seconds",
+        }
+        assert all(value == 0.0 for value in summary.values())
+
+    def test_percentiles_are_ordered_and_bounded(self):
+        rng = np.random.default_rng(0)
+        samples = list(rng.exponential(0.01, size=2000))
+        summary = latency_summary(samples)
+        assert summary["p50_seconds"] <= summary["p95_seconds"]
+        assert summary["p95_seconds"] <= summary["p99_seconds"]
+        assert summary["p99_seconds"] <= summary["p999_seconds"]
+        assert summary["p999_seconds"] <= summary["max_seconds"] == max(samples)
+
+    def test_single_sample_collapses(self):
+        summary = latency_summary([0.042])
+        assert summary["p50_seconds"] == summary["p999_seconds"] == 0.042
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        report = make_report()
+        assert SoakReport.from_dict(report.to_dict()) == report
+
+    def test_file_round_trip(self, tmp_path):
+        report = make_report()
+        path = tmp_path / "soak.json"
+        report.save(path)
+        assert SoakReport.load(path) == report
+
+    def test_unknown_schema_version_is_rejected(self):
+        document = make_report().to_dict()
+        document["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            SoakReport.from_dict(document)
+
+    def test_non_object_file_is_rejected(self, tmp_path):
+        path = tmp_path / "soak.json"
+        path.write_text("[]", encoding="utf-8")
+        with pytest.raises(ValueError, match="SoakReport"):
+            SoakReport.load(path)
+
+
+class TestRendering:
+    def test_summary_lines_carry_the_headline_numbers(self):
+        lines = "\n".join(make_report().summary_lines())
+        assert "100/100 completed" in lines
+        assert "1 errors" in lines
+        assert "offered 50.0" in lines
+        assert "query" in lines and "insert" in lines

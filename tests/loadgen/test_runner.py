@@ -1,0 +1,204 @@
+"""SoakRunner against a scriptable in-process fake daemon.
+
+The real-daemon path is exercised by ``benchmarks/test_soak.py`` (and
+the ``soak`` CLI test); these tests pin the runner's *accounting* —
+outcome classification, per-phase aggregation, version-lag tracking,
+open-loop scheduling — against an HTTP server whose behaviour is under
+the test's control (injected errors, stalls, stale versions).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.loadgen import Request, SoakRunner, WorkloadSpec, stream_fingerprint
+from repro.obs import events as obs_events
+
+N, DIM = 64, 4
+
+
+class _FakeState:
+    """Mutable knobs + counters shared between test and handler."""
+
+    def __init__(self) -> None:
+        self.version = 0
+        self.version_skew = 0  # queries report version - skew (stale reads)
+        self.fail_kinds: set[str] = set()
+        self.stall_kinds: dict[str, float] = {}
+        self.lock = threading.Lock()
+        self.hits: list[str] = []
+
+
+class _Handler(BaseHTTPRequestHandler):
+    state: _FakeState
+
+    def log_message(self, *args) -> None:
+        pass
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _serve(self, kind: str, payload: dict) -> None:
+        state = self.state
+        with state.lock:
+            state.hits.append(kind)
+        stall = state.stall_kinds.get(kind)
+        if stall:
+            time.sleep(stall)
+        if kind in state.fail_kinds:
+            self._reply(500, {"error": "injected"})
+            return
+        self._reply(200, payload)
+
+    def do_GET(self) -> None:
+        state = self.state
+        if self.path == "/stats":
+            self._serve("stats", {"ntotal": N, "dim": DIM})
+        elif self.path.startswith("/entity/"):
+            self._serve("explain", {"query": 0, "version": state.version})
+        else:
+            self._reply(404, {"error": "unknown"})
+
+    def do_POST(self) -> None:
+        state = self.state
+        length = int(self.headers.get("Content-Length", 0))
+        self.rfile.read(length)
+        if self.path == "/query":
+            with state.lock:
+                version = max(0, state.version - state.version_skew)
+            self._serve("query", {"matches": [], "version": version})
+        elif self.path == "/insert":
+            with state.lock:
+                state.version += 1
+                version = state.version
+            self._serve("insert", {"entity_id": 1, "version": version})
+        elif self.path == "/delete":
+            with state.lock:
+                state.version += 1
+                version = state.version
+            self._serve("delete", {"deleted": True, "version": version})
+        else:
+            self._reply(404, {"error": "unknown"})
+
+
+@pytest.fixture
+def fake_daemon():
+    state = _FakeState()
+    handler = type("BoundHandler", (_Handler,), {"state": state})
+    server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}", state
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+SPEC = WorkloadSpec(seed=11, qps=400.0, duration_seconds=0.5, k=3)
+
+
+class TestRun:
+    def test_full_stream_completes_and_aggregates(self, fake_daemon):
+        url, state = fake_daemon
+        runner = SoakRunner(url, workers=8)
+        report = runner.run(SPEC)
+        assert report.completed == report.scheduled > 50
+        assert report.errors == 0 and report.timeouts == 0
+        assert report.ok == report.completed
+        assert report.sustained_qps > 0
+        assert report.wall_seconds > 0
+        assert sum(stats.count for stats in report.phases.values()) \
+            == report.completed
+        # The stream replayed is exactly what the spec describes.
+        expected = stream_fingerprint(SPEC.generate(N, DIM))
+        assert report.stream_fingerprint == expected
+        assert report.spec == SPEC.to_dict()
+
+    def test_probe_discovers_geometry_from_stats(self, fake_daemon):
+        url, state = fake_daemon
+        stats = SoakRunner(url).probe()
+        assert (stats["ntotal"], stats["dim"]) == (N, DIM)
+
+    def test_pregenerated_stream_skips_the_probe(self, fake_daemon):
+        url, state = fake_daemon
+        requests = SPEC.generate(N, DIM)
+        SoakRunner(url, workers=4).run(SPEC, requests=requests)
+        assert "stats" not in state.hits
+
+    def test_events_stream_the_run(self, fake_daemon):
+        url, _ = fake_daemon
+        sink = obs_events.MemorySink()
+        with obs_events.emitting(sink):
+            SoakRunner(url, workers=4).run(SPEC)
+        names = sink.names()
+        assert names[0] == "soak.start"
+        assert names[-1] == "soak.finish"
+        assert names.count("soak.request") == len(SPEC.generate(N, DIM))
+
+
+class TestOutcomes:
+    def test_http_errors_are_counted_per_phase(self, fake_daemon):
+        url, state = fake_daemon
+        state.fail_kinds.add("insert")
+        report = SoakRunner(url, workers=8).run(SPEC)
+        inserts = report.phases["insert"]
+        assert inserts.errors == inserts.count > 0
+        assert report.errors == inserts.errors
+        assert report.phases["query"].errors == 0
+
+    def test_stalls_past_the_deadline_are_timeouts(self, fake_daemon):
+        url, state = fake_daemon
+        state.stall_kinds["explain"] = 0.8
+        spec = WorkloadSpec(seed=2, qps=40.0, duration_seconds=0.5,
+                            explain_weight=5.0)
+        report = SoakRunner(url, workers=8, request_timeout=0.2).run(spec)
+        explains = report.phases["explain"]
+        assert explains.timeouts == explains.count > 0
+        assert report.timeouts == explains.timeouts
+
+    def test_connection_refused_counts_as_error(self):
+        runner = SoakRunner("http://127.0.0.1:9", workers=2,
+                            request_timeout=0.5)
+        requests = [Request(arrival=0.0, kind="query", entity_id=0, k=1)]
+        report = runner.run(SPEC, requests=requests)
+        assert report.errors == 1
+
+
+class TestVersionLag:
+    def test_stale_query_versions_surface_as_lag(self, fake_daemon):
+        url, state = fake_daemon
+        state.version_skew = 2
+        requests = [
+            Request(arrival=0.00, kind="insert", entity_id=N, vector=(0.0,) * DIM),
+            Request(arrival=0.05, kind="insert", entity_id=N + 1,
+                    vector=(0.0,) * DIM),
+            Request(arrival=0.30, kind="query", entity_id=0, k=1),
+        ]
+        report = SoakRunner(url, workers=1).run(SPEC, requests=requests)
+        # Two acked writes (v1, v2), query served from v0 => lag 2.
+        assert report.max_version_lag == 2
+
+    def test_fresh_reads_report_zero_lag(self, fake_daemon):
+        url, _ = fake_daemon
+        report = SoakRunner(url, workers=4).run(SPEC)
+        assert report.max_version_lag == 0
+
+
+class TestValidation:
+    def test_bad_construction_is_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            SoakRunner("http://x", workers=0)
+        with pytest.raises(ValueError, match="request_timeout"):
+            SoakRunner("http://x", request_timeout=0)

@@ -1,0 +1,146 @@
+"""WorkloadSpec: validation, JSON round trip, and stream determinism."""
+
+import numpy as np
+import pytest
+
+from repro.loadgen.spec import (
+    KINDS,
+    StreamSummary,
+    WorkloadSpec,
+    stream_fingerprint,
+)
+
+N, DIM = 300, 8
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field, value", [
+        ("qps", 0.0),
+        ("qps", -1.0),
+        ("duration_seconds", 0.0),
+        ("zipf_alpha", -0.1),
+        ("k", 0),
+        ("query_weight", -0.5),
+    ])
+    def test_bad_values_are_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**{field: value})
+
+    def test_all_zero_weights_are_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            WorkloadSpec(query_weight=0, insert_weight=0,
+                         delete_weight=0, explain_weight=0)
+
+    def test_future_schema_version_is_rejected(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            WorkloadSpec(schema_version=99)
+
+    def test_unknown_json_fields_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown WorkloadSpec fields"):
+            WorkloadSpec.from_dict({"seed": 1, "surprise": True})
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        spec = WorkloadSpec(seed=42, qps=123.0, duration_seconds=7.5,
+                            zipf_alpha=0.8, k=3, insert_weight=0.25)
+        assert WorkloadSpec.from_json(spec.to_json()) == spec
+
+    def test_load_from_file(self, tmp_path):
+        spec = WorkloadSpec(seed=9)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        assert WorkloadSpec.load(path) == spec
+
+    def test_non_object_document_is_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            WorkloadSpec.from_json("[1, 2]")
+
+
+class TestStream:
+    def test_same_seed_same_stream(self):
+        spec = WorkloadSpec(seed=5, qps=200, duration_seconds=2.0)
+        first, second = spec.generate(N, DIM), spec.generate(N, DIM)
+        assert first == second
+        assert stream_fingerprint(first) == stream_fingerprint(second)
+
+    def test_different_seed_different_stream(self):
+        base = WorkloadSpec(seed=5, qps=200, duration_seconds=2.0)
+        other = WorkloadSpec(seed=6, qps=200, duration_seconds=2.0)
+        assert stream_fingerprint(base.generate(N, DIM)) != \
+            stream_fingerprint(other.generate(N, DIM))
+
+    def test_arrivals_are_open_loop_and_sorted(self):
+        spec = WorkloadSpec(seed=1, qps=500, duration_seconds=2.0)
+        arrivals = [request.arrival for request in spec.generate(N, DIM)]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a < 2.0 for a in arrivals)
+        # Poisson count concentrates around qps * duration.
+        assert 0.7 * 1000 < len(arrivals) < 1.3 * 1000
+
+    def test_mix_ratios_are_respected(self):
+        spec = WorkloadSpec(seed=3, qps=1000, duration_seconds=4.0,
+                            query_weight=0.6, insert_weight=0.2,
+                            delete_weight=0.1, explain_weight=0.1)
+        summary = StreamSummary.of(spec.generate(N, DIM))
+        fractions = {
+            kind: summary.per_kind[kind] / summary.n_requests for kind in KINDS
+        }
+        assert fractions["query"] == pytest.approx(0.6, abs=0.08)
+        assert fractions["insert"] == pytest.approx(0.2, abs=0.05)
+        assert fractions["explain"] == pytest.approx(0.1, abs=0.05)
+
+    def test_zipf_skew_concentrates_reads(self):
+        spec = WorkloadSpec(seed=2, qps=2000, duration_seconds=2.0,
+                            zipf_alpha=1.2, insert_weight=0,
+                            delete_weight=0, explain_weight=0)
+        requests = spec.generate(N, DIM)
+        counts = np.bincount(
+            [r.entity_id for r in requests], minlength=N
+        )
+        top_share = np.sort(counts)[::-1][: N // 20].sum() / counts.sum()
+        assert top_share > 0.35  # top 5% of entities take >35% of reads
+
+    def test_zero_alpha_is_roughly_uniform(self):
+        spec = WorkloadSpec(seed=2, qps=2000, duration_seconds=2.0,
+                            zipf_alpha=0.0, insert_weight=0,
+                            delete_weight=0, explain_weight=0)
+        counts = np.bincount(
+            [r.entity_id for r in spec.generate(N, DIM)], minlength=N
+        )
+        top_share = np.sort(counts)[::-1][: N // 20].sum() / counts.sum()
+        assert top_share < 0.15
+
+    def test_writes_never_conflict_with_reads(self):
+        """Inserts pin fresh ids; deletes only hit soak-owned ids, once."""
+        spec = WorkloadSpec(seed=4, qps=500, duration_seconds=4.0,
+                            insert_weight=0.3, delete_weight=0.3)
+        requests = spec.generate(N, DIM)
+        inserted: set[int] = set()
+        deleted: set[int] = set()
+        for request in requests:
+            if request.kind in ("query", "explain"):
+                assert 0 <= request.entity_id < N
+            elif request.kind == "insert":
+                assert request.entity_id >= N
+                assert request.entity_id not in inserted
+                assert len(request.vector) == DIM
+                inserted.add(request.entity_id)
+            else:
+                assert request.entity_id in inserted
+                assert request.entity_id not in deleted  # each victim once
+                deleted.add(request.entity_id)
+
+    def test_insert_ids_are_sequential_from_base(self):
+        spec = WorkloadSpec(seed=4, qps=300, duration_seconds=2.0,
+                            insert_weight=0.5)
+        pinned = [r.entity_id for r in spec.generate(N, DIM)
+                  if r.kind == "insert"]
+        assert pinned == list(range(N, N + len(pinned)))
+
+    def test_generate_rejects_degenerate_geometry(self):
+        spec = WorkloadSpec()
+        with pytest.raises(ValueError, match="n_entities"):
+            spec.generate(0, DIM)
+        with pytest.raises(ValueError, match="dim"):
+            spec.generate(N, 0)

@@ -1,0 +1,133 @@
+"""ServingState compaction racing live query traffic.
+
+The serving contract is snapshot isolation: writes and forced
+re-clusters swap one immutable snapshot at a time, so a query thread
+must never observe a half-migrated index — no exceptions, no
+tombstoned ids after the delete was acknowledged, no version
+time-travel.  The soak harness exercises this through the daemon; this
+test pins it in-process where the interleaving is dense and the
+failure, if any, is attributable.
+
+Race-free assertion scheme: each reader records ``(t_start, ids,
+version)`` per query; the writer records the monotonic completion time
+of every delete.  A deleted id in a result is only a violation when
+the query *started* after the delete returned (the delete's snapshot
+swap happened-before the query's snapshot read).  Checking post-hoc
+against those timestamps makes the test deterministic under any
+thread schedule.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.index import IVFIndex
+from repro.serve.state import ServingState
+from repro.storage import EmbeddingStore
+
+pytestmark = pytest.mark.serve
+
+DIM = 4
+N_BASE = 40
+N_READERS = 4
+ROUNDS = 12
+
+
+def make_state(tmp_path, capacity=256):
+    rng = np.random.default_rng(7)
+    base = rng.normal(size=(N_BASE, DIM)).astype(np.float64)
+    store_path = tmp_path / "emb.store"
+    store = EmbeddingStore.create(store_path, base.shape, "float64",
+                                  capacity=capacity)
+    store[:] = base
+    store.update_checksum()
+    store.close()
+    index = IVFIndex(n_clusters=3).train(base).add(base)
+    index.save(tmp_path / "ivf.json")
+    return ServingState.load(store_path, tmp_path / "ivf.json"), base
+
+
+def test_queries_racing_forced_recluster_never_error_or_see_tombstones(
+    tmp_path,
+):
+    state, base = make_state(tmp_path)
+    stop = threading.Event()
+    errors: list[BaseException] = []
+    # One observation log per reader: (t_start, entity_ids, version).
+    observations: list[list[tuple[float, tuple, int]]] = [
+        [] for _ in range(N_READERS)
+    ]
+
+    def reader(slot: int) -> None:
+        rng = np.random.default_rng(100 + slot)
+        log = observations[slot]
+        try:
+            while not stop.is_set():
+                probe = base[rng.integers(0, N_BASE)]
+                t_start = time.monotonic()
+                result = state.query(probe, k=8)[0]
+                log.append(
+                    (t_start, tuple(int(i) for i in result.entity_ids),
+                     result.version)
+                )
+        except BaseException as error:  # noqa: BLE001 - surfaced post-join
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,), daemon=True)
+        for slot in range(N_READERS)
+    ]
+    for thread in threads:
+        thread.start()
+
+    # Writer (main thread): insert pinned ids, delete a prefix of them,
+    # and force a full re-cluster every round while the readers hammer.
+    rng = np.random.default_rng(9)
+    deleted_at: dict[int, float] = {}
+    next_id = N_BASE
+    try:
+        for _ in range(ROUNDS):
+            fresh = []
+            for _ in range(3):
+                state.insert(rng.normal(size=DIM), entity_id=next_id)
+                fresh.append(next_id)
+                next_id += 1
+            for entity_id in fresh[:2]:
+                assert state.delete(entity_id) is True
+                deleted_at[entity_id] = time.monotonic()
+            state.compact(recluster=True)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+
+    assert errors == [], f"queries raised under compaction: {errors!r}"
+
+    total = sum(len(log) for log in observations)
+    assert total > 0, "readers never got a query through"
+
+    for log in observations:
+        last_version = -1
+        for t_start, ids, version in log:
+            # Snapshot versions never run backwards within one thread.
+            assert version >= last_version
+            last_version = version
+            for entity_id in ids:
+                completed = deleted_at.get(entity_id)
+                assert completed is None or t_start <= completed, (
+                    f"query started after delete({entity_id}) was "
+                    f"acknowledged but still returned it"
+                )
+
+    # Quiesced end state: the survivors are exactly base + the one
+    # undeleted insert per round, and a final query agrees.
+    live = set(int(i) for i in state.live_entity_ids())
+    expected = set(range(N_BASE)) | {
+        entity_id for entity_id in range(N_BASE, next_id)
+        if entity_id not in deleted_at
+    }
+    assert live == expected
+    result = state.query(base[0], k=len(live))[0]
+    assert deleted_at.keys().isdisjoint(int(i) for i in result.entity_ids)
