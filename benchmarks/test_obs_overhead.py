@@ -16,6 +16,11 @@ A second benchmark covers the run ledger and live event stream: with
 neither opted in, a ``run_experiment`` sweep's only residue is the
 early-out ``events.emit()`` calls and a handful of ``is None`` checks,
 and their implied cost must stay under 2 % of the sweep's wall time.
+
+A third covers the serving daemon's *always-on* telemetry: the latency
+histogram observe, the SLO record, and the access-log emit every
+completed request pays.  Their summed per-call price must stay under
+5 % of the cheapest real request work the daemon does.
 """
 
 import json
@@ -41,6 +46,7 @@ pytestmark = pytest.mark.obs
 OVERHEAD_BUDGET = 1.05  # disabled tracing must cost < 5 %
 SWEEP_BUDGET = 1.02  # disabled ledger+events must cost < 2 % of a sweep
 DURABLE_BUDGET = 1.05  # fsync'd ledger appends must cost < 5 % of a sweep
+SERVE_BUDGET = 1.05  # always-on request telemetry must cost < 5 % of a request
 
 ENGINE_N, ENGINE_DIM, ENGINE_CHUNK = 2000, 128, 128
 SINKHORN_N, SINKHORN_ITERATIONS = 300, 100
@@ -274,4 +280,80 @@ def test_durable_append_overhead_under_budget(tmp_path):
         f"(vs {plain * 1e3:.2f}ms plain) imply "
         f"{(implied_ratio - 1) * 100:.2f}% sweep overhead; budget is "
         f"{(DURABLE_BUDGET - 1) * 100:.0f}%"
+    )
+
+
+def test_serve_request_telemetry_overhead_under_budget(tmp_path):
+    """The daemon's always-on per-request telemetry must cost < 5 %.
+
+    Every completed request pays exactly three instrument calls: one
+    latency-histogram ``observe``, one SLO ``record``, and one sinkless
+    ``serve.access`` emit.  Price each with a tight loop, then require
+    their sum under 5 % of the *cheapest* real request work the daemon
+    does — a single-vector :meth:`ServingState.query` against a small
+    snapshot.  Heavier requests only dilute a fixed surcharge, so the
+    ratio measured here is the worst case.
+    """
+    from repro.index import IVFIndex
+    from repro.obs.histogram import Histogram
+    from repro.obs.slo import SLOTracker
+    from repro.serve.state import ServingState
+    from repro.storage import EmbeddingStore
+
+    assert not obs_events.enabled()
+
+    rng = np.random.default_rng(2)
+    base = rng.normal(size=(512, 32)).astype(np.float64)
+    store = EmbeddingStore.create(
+        tmp_path / "emb.store", base.shape, "float64", capacity=520
+    )
+    store[:] = base
+    store.update_checksum()
+    store.close()
+    IVFIndex(n_clusters=8).train(base).add(base).save(tmp_path / "ivf.json")
+    state = ServingState.load(tmp_path / "emb.store", tmp_path / "ivf.json")
+    probe_vector = base[0]
+
+    state.query(probe_vector, 10)  # warm the snapshot path
+    query_seconds = _min_of(lambda: state.query(probe_vector, 10))
+    state.store.close()
+
+    calls = 100_000
+    histogram = Histogram()
+    start = time.perf_counter()
+    for _ in range(calls):
+        histogram.observe(0.004)
+    observe_per_call = (time.perf_counter() - start) / calls
+
+    tracker = SLOTracker(objective=0.999, latency_threshold=0.25)
+    start = time.perf_counter()
+    for _ in range(calls):
+        tracker.record(True, latency=0.004)
+    record_per_call = (time.perf_counter() - start) / calls
+
+    start = time.perf_counter()
+    for _ in range(calls):
+        obs_events.emit(
+            "serve.access", request_id="bench", method="GET",
+            path="/healthz", status=200, seconds=0.004,
+        )
+    emit_per_call = (time.perf_counter() - start) / calls
+
+    per_request = observe_per_call + record_per_call + emit_per_call
+    implied_ratio = 1.0 + per_request / query_seconds
+    _merge_results("serve_histogram", {
+        "budget_ratio": SERVE_BUDGET,
+        "query_seconds": query_seconds,
+        "histogram_observe_seconds_per_call": observe_per_call,
+        "slo_record_seconds_per_call": record_per_call,
+        "access_emit_seconds_per_call": emit_per_call,
+        "telemetry_seconds_per_request": per_request,
+        "implied_request_ratio": implied_ratio,
+    })
+
+    assert implied_ratio < SERVE_BUDGET, (
+        f"per-request telemetry at {per_request * 1e6:.1f}us against a "
+        f"{query_seconds * 1e6:.1f}us floor-cost query implies "
+        f"{(implied_ratio - 1) * 100:.2f}% overhead; budget is "
+        f"{(SERVE_BUDGET - 1) * 100:.0f}%"
     )

@@ -10,6 +10,13 @@ QPS land in ``benchmarks/results/BENCH_soak.json``, gated by
 rate families; the full schema-versioned soak report is written next to
 it for the CI artifact upload.
 
+The daemon's own telemetry is part of the gate: after the first run the
+harness scrapes ``/metrics``, snapshots the raw exposition document
+next to the report, and asserts the server-side p99 (derived from the
+``repro_serve_request_seconds`` histogram) agrees with the client-side
+p99 to within one histogram bucket width — the two independent
+measurements of the same tail must corroborate each other.
+
 Set ``REPRO_SOAK_SMOKE=1`` for the CI smoke job: a shorter, lighter
 stream whose numbers go to ``BENCH_soak_smoke.json`` so the committed
 full baseline is never overwritten.  The smoke gate is **p99 + zero
@@ -25,6 +32,8 @@ import pytest
 
 from repro.index import IVFIndex
 from repro.loadgen import ServeDaemon, SoakRunner, WorkloadSpec, stream_fingerprint
+from repro.loadgen.report import server_latency_summary
+from repro.obs.histogram import DEFAULT_LATENCY_BOUNDS, bucket_width_at
 from repro.storage import EmbeddingStore
 
 from conftest import RESULTS_DIR
@@ -44,6 +53,7 @@ WORKERS = 8
 P99_CEILING_SECONDS = 0.5
 RESULT_NAME = "BENCH_soak_smoke.json" if SMOKE else "BENCH_soak.json"
 REPORT_NAME = "soak_report_smoke.json" if SMOKE else "soak_report.json"
+METRICS_NAME = "soak_metrics_smoke.prom" if SMOKE else "soak_metrics.prom"
 
 SPEC = WorkloadSpec(seed=SEED, qps=QPS, duration_seconds=DURATION, k=10)
 
@@ -78,6 +88,7 @@ def test_soak_replay(tmp_path):
     expected = stream_fingerprint(SPEC.generate(N_BASE, DIM))
 
     reports = []
+    metrics_text = ""
     for run in range(2):
         root = tmp_path / f"run{run}"
         root.mkdir()
@@ -86,6 +97,10 @@ def test_soak_replay(tmp_path):
             runner = SoakRunner(daemon.url, workers=WORKERS)
             reports.append(runner.run(SPEC))
             assert daemon.alive(), "daemon died under soak traffic"
+            if run == 0:
+                # The daemon is a fresh subprocess per run, so its
+                # histogram holds exactly this run's requests.
+                metrics_text = runner.scrape_metrics()
 
     # The replay contract: both runs fired the identical stream the
     # spec describes — the soak is reproducible, not merely "similar".
@@ -107,8 +122,23 @@ def test_soak_replay(tmp_path):
     # smoke-exempt by design — see the module docstring.
     assert p99 < P99_CEILING_SECONDS, report.latency
 
+    # Two views of the same tail: the client's open-loop measurement and
+    # the daemon's own histogram must agree within one bucket width —
+    # the histogram's stated resolution.  Client latency includes HTTP
+    # framing and scheduler delay the server never sees, so the band is
+    # the bucket width at the larger of the two estimates.
+    server = server_latency_summary(metrics_text)
+    assert server is not None, "daemon /metrics exposed no request histogram"
+    server_p99 = server["p99_seconds"]
+    tolerance = bucket_width_at(DEFAULT_LATENCY_BOUNDS, max(p99, server_p99))
+    assert abs(p99 - server_p99) <= tolerance, (
+        f"client p99 {p99 * 1e3:.2f}ms vs server p99 {server_p99 * 1e3:.2f}ms: "
+        f"disagree beyond one bucket width ({tolerance * 1e3:.2f}ms)"
+    )
+
     report.save(RESULTS_DIR / REPORT_NAME)
-    _write_results(report)
+    _write_results(report, server)
+    (RESULTS_DIR / METRICS_NAME).write_text(metrics_text, encoding="utf-8")
     print(
         f"\nsoak: {report.scheduled} reqs @ {QPS:.0f} qps offered, "
         f"{report.sustained_qps:.1f} sustained; "
@@ -118,7 +148,7 @@ def test_soak_replay(tmp_path):
     )
 
 
-def _write_results(report):
+def _write_results(report, server):
     """The curated leaves the bench-regression gate reads."""
     phases = {
         kind: {
@@ -144,6 +174,8 @@ def _write_results(report):
             "p99_seconds": report.latency["p99_seconds"],
             "p999_seconds": report.latency["p999_seconds"],
             "sustained_per_second": report.sustained_qps,
+            "server_p99_seconds": server["p99_seconds"],
+            "server_request_count": server["count"],
             "phases": phases,
         }
     }

@@ -333,6 +333,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "stderr, anything else appends JSONL to that path")
     serve.add_argument("--ledger", type=Path, default=None,
                        help="record served queries in this run ledger")
+    serve.add_argument("--access-log", type=Path, default=None, metavar="PATH",
+                       help="append one canonical-JSON line per request "
+                            "(serve.access / serve.slow / serve.http) here")
+    serve.add_argument("--slow-ms", type=float, default=100.0,
+                       help="slow-query threshold in milliseconds: requests "
+                            "over it log their captured span tree")
+    serve.add_argument("--slo-objective", type=float, default=0.999,
+                       help="SLO good-fraction objective for the burn-rate "
+                            "tracker (default: three nines)")
+    serve.add_argument("--slo-latency-ms", type=float, default=None,
+                       help="count ok-but-slower-than-this requests as SLO "
+                            "budget spend (default: errors only)")
 
     soak = subparsers.add_parser(
         "soak",
@@ -367,6 +379,27 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--events", default=None, metavar="PATH",
                       help="stream soak.* events: '-' for human-readable "
                            "stderr, anything else appends JSONL to that path")
+    soak.add_argument("--metrics-out", type=Path, default=None, metavar="PATH",
+                      help="snapshot the daemon's post-run /metrics "
+                           "exposition to this file")
+    soak.add_argument("--no-scrape", action="store_true",
+                      help="skip the post-run /metrics scrape (drops the "
+                           "report's server-side cross-check block)")
+
+    obs = subparsers.add_parser(
+        "obs", help="live telemetry utilities for a running daemon"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_scrape = obs_sub.add_parser(
+        "scrape",
+        help="snapshot a daemon's /metrics Prometheus exposition to a "
+             "file (or stdout)",
+    )
+    obs_scrape.add_argument("--url", required=True,
+                            help="daemon base URL, e.g. http://127.0.0.1:8080")
+    obs_scrape.add_argument("--output", type=Path, default=None, metavar="PATH",
+                            help="write the exposition document here "
+                                 "(default: stdout)")
     return parser
 
 
@@ -683,6 +716,13 @@ def _run_serve(args: argparse.Namespace) -> int:
             ledger=ledger,
             max_batch=args.max_batch,
             max_wait=args.batch_wait_ms / 1000.0,
+            slow_threshold=args.slow_ms / 1000.0,
+            slo_objective=args.slo_objective,
+            slo_latency_threshold=(
+                args.slo_latency_ms / 1000.0
+                if args.slo_latency_ms is not None else None
+            ),
+            access_log=args.access_log,
         )
         stack.callback(server.close)
         host, port = server.server_address[:2]
@@ -706,6 +746,8 @@ def _run_soak(args: argparse.Namespace) -> int:
     import dataclasses
 
     from repro.loadgen import ServeDaemon, SoakRunner, WorkloadSpec
+    from repro.loadgen.report import server_latency_summary
+    from repro.obs.histogram import DEFAULT_LATENCY_BOUNDS, bucket_width_at
 
     if args.url is None and (args.store is None or args.index is None):
         print("soak needs either --url or both --store and --index",
@@ -755,6 +797,28 @@ def _run_soak(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as err:
             print(f"soak run failed: {err}", file=sys.stderr)
             return 1
+        # Server-side accounting: scrape the daemon's /metrics while it
+        # is still up, so the report carries both sides of the story.
+        if not args.no_scrape:
+            try:
+                metrics_text = runner.scrape_metrics()
+            except (OSError, ValueError) as err:
+                print(f"soak: /metrics scrape failed: {err}", file=sys.stderr)
+            else:
+                server: dict[str, object] = {}
+                latency = server_latency_summary(metrics_text)
+                if latency is not None:
+                    server["latency"] = latency
+                try:
+                    server["slo"] = runner.probe().get("slo")
+                except (OSError, ValueError):
+                    pass
+                if server:
+                    report = dataclasses.replace(report, server=server)
+                if args.metrics_out is not None:
+                    args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+                    args.metrics_out.write_text(metrics_text, encoding="utf-8")
+                    print(f"metrics snapshot written to {args.metrics_out}")
 
     print(f"soak: seed={spec.seed} stream={report.stream_fingerprint}")
     for line in report.summary_lines():
@@ -773,10 +837,54 @@ def _run_soak(args: argparse.Namespace) -> int:
             breaches.append(f"{report.errors} requests errored")
         if report.timeouts:
             breaches.append(f"{report.timeouts} requests timed out")
+        server_latency = (report.server or {}).get("latency") or {}
+        if server_latency:
+            # Cross-check: the daemon's own histogram must agree with
+            # the client's stopwatch.  The client p99 includes connect
+            # and scheduling overhead the server never sees, so the
+            # honest tolerance is one histogram bucket width at the
+            # observed tail (DESIGN.md §14) — a larger gap means one
+            # side is mismeasuring.
+            server_p99_ms = server_latency.get("p99_seconds", 0.0) * 1e3
+            if server_p99_ms > args.slo_p99_ms:
+                breaches.append(
+                    f"server-side p99 {server_p99_ms:.2f}ms exceeds SLO "
+                    f"{args.slo_p99_ms:.2f}ms"
+                )
+            width_ms = bucket_width_at(
+                DEFAULT_LATENCY_BOUNDS, max(p99_ms, server_p99_ms) / 1e3
+            ) * 1e3
+            if abs(p99_ms - server_p99_ms) > width_ms:
+                breaches.append(
+                    f"client p99 {p99_ms:.2f}ms and server p99 "
+                    f"{server_p99_ms:.2f}ms disagree by more than one "
+                    f"bucket width ({width_ms:.2f}ms)"
+                )
         if breaches:
             print("soak SLO FAILED: " + "; ".join(breaches), file=sys.stderr)
             return 1
         print("soak SLO passed")
+    return 0
+
+
+def _run_obs_scrape(args: argparse.Namespace) -> int:
+    """Snapshot a daemon's /metrics exposition to a file or stdout."""
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=30.0) as response:
+            text = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, ValueError) as err:
+        print(f"cannot scrape {url}: {err}", file=sys.stderr)
+        return 1
+    if args.output is None:
+        print(text, end="")
+    else:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text, encoding="utf-8")
+        print(f"metrics snapshot written to {args.output}")
     return 0
 
 
@@ -1103,6 +1211,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return handlers[args.runs_command](args)
     if args.command == "store":
         return _store_verify(args)
+    if args.command == "obs":
+        return _run_obs_scrape(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -22,6 +22,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.exposition import metric_name, parse_histograms
+from repro.obs.histogram import bucket_width_at, quantile_from_cumulative
 from repro.storage.durable import atomic_write
 
 #: Bump when the report's JSON layout changes incompatibly.
@@ -30,6 +32,42 @@ REPORT_SCHEMA_VERSION = 1
 #: The tail points every report carries, in ascending order.
 PERCENTILES = ((50, "p50_seconds"), (95, "p95_seconds"),
                (99, "p99_seconds"), (99.9, "p999_seconds"))
+
+
+#: The daemon-side request-latency histogram, as exposed on /metrics.
+SERVER_LATENCY_SERIES = metric_name("serve.request.seconds")
+
+
+def server_latency_summary(metrics_text: str) -> dict[str, float] | None:
+    """Server-side tail latency derived from a ``/metrics`` scrape.
+
+    Reads the ``serve.request.seconds`` histogram out of the exposition
+    document and estimates the same percentile points the client-side
+    :func:`latency_summary` reports — plus ``bucket_width_p99_seconds``,
+    the histogram's resolution at the p99 estimate, which is the honest
+    tolerance for comparing the two sides (the CI smoke asserts client
+    and server p99 agree within one bucket width).  Returns ``None``
+    when the scrape carries no request histogram (e.g. an idle daemon
+    that served no traffic).
+    """
+    series = parse_histograms(metrics_text).get(SERVER_LATENCY_SERIES)
+    if series is None or not series["buckets"] or series["count"] == 0:
+        return None
+    buckets = series["buckets"]
+    bounds = [le for le, _ in buckets if le != float("inf")]
+    summary = {
+        name: quantile_from_cumulative(buckets, q / 100.0)
+        for q, name in PERCENTILES
+    }
+    summary["count"] = float(series["count"])
+    summary["sum_seconds"] = float(series["sum"])
+    summary["mean_seconds"] = (
+        float(series["sum"]) / series["count"] if series["count"] else 0.0
+    )
+    summary["bucket_width_p99_seconds"] = bucket_width_at(
+        bounds, summary["p99_seconds"]
+    )
+    return summary
 
 
 def latency_summary(samples: list[float]) -> dict[str, float]:
@@ -88,6 +126,11 @@ class SoakReport:
     #: Worst scheduler slip: how late a request was actually sent
     #: relative to its open-loop arrival (load-driver health signal).
     max_dispatch_lag_seconds: float
+    #: Server-side accounting from a post-run ``/metrics`` scrape
+    #: (:func:`server_latency_summary` plus the daemon's SLO snapshot),
+    #: or None when the daemon was not scraped.  Additive in schema
+    #: version 1: absent in older documents, defaulting to None.
+    server: dict[str, object] | None = None
 
     # -- serialisation -------------------------------------------------
 
@@ -140,6 +183,15 @@ class SoakReport:
             f"staleness: max version lag {self.max_version_lag}, "
             f"max dispatch lag {self.max_dispatch_lag_seconds * 1e3:.1f}ms",
         ]
+        if self.server:
+            latency = self.server.get("latency") or {}
+            if latency:
+                lines.append(
+                    "server:  " + "  ".join(
+                        f"{name[:-8]}={latency.get(name, 0.0) * 1e3:.2f}ms"
+                        for _, name in PERCENTILES
+                    )
+                )
         for kind in sorted(self.phases):
             stats = self.phases[kind]
             if stats.count == 0:

@@ -20,6 +20,7 @@ dispatched — the serving layer's analogue of replication lag.
 
 from __future__ import annotations
 
+import itertools
 import json
 import threading
 import time
@@ -69,6 +70,7 @@ class SoakRunner:
         self.request_timeout = request_timeout
         self._lock = threading.Lock()
         self._max_acked_version = 0
+        self._request_ids = itertools.count(1)
 
     # -- daemon introspection -----------------------------------------
 
@@ -78,6 +80,18 @@ class SoakRunner:
             f"{self.url}/stats", timeout=self.request_timeout
         ) as response:
             return json.loads(response.read().decode("utf-8"))
+
+    def scrape_metrics(self) -> str:
+        """GET /metrics — the daemon's Prometheus exposition document.
+
+        The raw text is the artifact of record (snapshot it next to the
+        soak report); :func:`~repro.loadgen.report.server_latency_summary`
+        derives the server-side tail from it.
+        """
+        with urllib.request.urlopen(
+            f"{self.url}/metrics", timeout=self.request_timeout
+        ) as response:
+            return response.read().decode("utf-8")
 
     # -- the soak loop -------------------------------------------------
 
@@ -190,7 +204,12 @@ class SoakRunner:
             f"{self.url}{path}",
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={
+                "Content-Type": "application/json",
+                # Tagged ids tie the daemon's access-log lines back to
+                # this soak run's requests.
+                "X-Request-Id": f"soak-{next(self._request_ids)}",
+            },
         )
         try:
             with urllib.request.urlopen(

@@ -6,7 +6,14 @@ Zero-dependency instrumentation for the matching hot paths:
   (wall/CPU time, peak-RSS delta, counters); disabled by default via a
   no-op recorder.
 * :mod:`repro.obs.metrics` — process-wide named counters/gauges/timers
-  (engine cache hits, Sinkhorn iterations, supervisor retries).
+  (engine cache hits, Sinkhorn iterations, supervisor retries) plus
+  streaming histograms.
+* :mod:`repro.obs.histogram` — fixed log-bucketed, mergeable, thread-
+  safe histograms with one-bucket-accurate quantile estimation.
+* :mod:`repro.obs.exposition` — deterministic Prometheus text-format
+  rendering of the registry (``GET /metrics``, ``repro obs scrape``).
+* :mod:`repro.obs.slo` — rolling multi-window error-budget / burn-rate
+  tracking (Google-SRE fast+slow windows) for the serving daemon.
 * :mod:`repro.obs.profile` — schema-versioned JSON profile documents
   plus a flame-style text summary (``repro profile summarize``).
 * :mod:`repro.obs.events` — live telemetry: progress/heartbeat events
@@ -39,8 +46,11 @@ from repro.obs.ledger import (
     config_fingerprint,
     validate_record,
 )
+from repro.obs.exposition import render as render_prometheus
+from repro.obs.histogram import DEFAULT_LATENCY_BOUNDS, Histogram
 from repro.obs.metrics import MetricsRegistry, get_metrics, scoped
 from repro.obs.provenance import provenance
+from repro.obs.slo import SLOTracker
 from repro.obs.profile import (
     PROFILE_SCHEMA,
     PROFILE_VERSION,
@@ -84,6 +94,10 @@ __all__ = [
     "MetricsRegistry",
     "get_metrics",
     "scoped",
+    "DEFAULT_LATENCY_BOUNDS",
+    "Histogram",
+    "render_prometheus",
+    "SLOTracker",
     "PROFILE_SCHEMA",
     "PROFILE_VERSION",
     "build_profile",

@@ -173,6 +173,12 @@ def emit(name: str, **attrs: Any) -> None:
             sink.handle(event)
         except Exception as err:  # noqa: BLE001 - telemetry is not load-bearing
             remove_sink(sink)
+            # Count the drop in the metrics registry so lost telemetry
+            # is visible in /stats, /metrics, and profiles — the stderr
+            # line below is the only other trace it ever happened.
+            from repro.obs import metrics as obs_metrics
+
+            obs_metrics.get_metrics().inc("events.sink_dropped")
             print(
                 f"repro.obs.events: sink {type(sink).__name__} failed "
                 f"({type(err).__name__}: {err}); sink dropped",

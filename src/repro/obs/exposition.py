@@ -1,0 +1,146 @@
+"""Deterministic Prometheus text-format rendering of a metrics registry.
+
+One function, :func:`render`, turns a :class:`~repro.obs.metrics.
+MetricsRegistry` into the Prometheus exposition format (text version
+0.0.4): counters as ``_total`` series, gauges as-is, timers as
+``summary`` ``_sum``/``_count`` pairs, and histograms as cumulative
+``_bucket{le="..."}`` series plus ``_sum``/``_count`` — the shape every
+Prometheus-compatible scraper (and ``promtool``) understands.  The
+daemon serves it at ``GET /metrics`` and ``repro obs scrape`` snapshots
+it to a file.
+
+Rendering is **deterministic by construction**: families are emitted in
+a fixed section order, names sort lexicographically within a section,
+bucket bounds come from the histogram's fixed layout, and floats render
+through one canonical formatter (shortest round-trip ``repr``, integral
+values as integers).  Identical registry state therefore yields
+byte-identical output — pinned by a golden test — which is what lets a
+scrape double as a diffable artifact in CI.
+
+A tolerant :func:`parse_histograms` reads the histogram series back
+(the soak harness uses it to derive server-side tail latency from a
+live scrape and cross-check the client's stopwatch).  Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry
+
+#: The Content-Type a /metrics response must carry.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Every exported series name starts with this.
+PREFIX = "repro_"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{le="(?P<le>[^"]+)"\})?'
+    r"\s+(?P<value>\S+)$"
+)
+
+
+def metric_name(dotted: str) -> str:
+    """``serve.request.seconds`` -> ``repro_serve_request_seconds``."""
+    return PREFIX + _NAME_RE.sub("_", dotted)
+
+
+def format_value(value: float) -> str:
+    """Canonical sample-value rendering: one spelling per float.
+
+    Integral values print as integers (Prometheus accepts both; one
+    spelling keeps the bytes stable), everything else as shortest
+    round-trip ``repr`` — deterministic on any IEEE-754 platform.
+    """
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render(registry: MetricsRegistry) -> str:
+    """The full registry in Prometheus text format (trailing newline)."""
+    snap = registry.snapshot()
+    lines: list[str] = []
+
+    for dotted, value in sorted(snap["counters"].items()):
+        name = metric_name(dotted) + "_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {format_value(value)}")
+
+    for dotted, value in sorted(snap["gauges"].items()):
+        name = metric_name(dotted)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {format_value(value)}")
+
+    for dotted, entry in sorted(snap["timers"].items()):
+        name = metric_name(dotted)
+        lines.append(f"# TYPE {name}_seconds summary")
+        lines.append(f"{name}_seconds_sum {format_value(entry['seconds'])}")
+        lines.append(f"{name}_seconds_count {format_value(entry['count'])}")
+
+    for dotted, hist in sorted(snap["histograms"].items()):
+        name = metric_name(dotted)
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{name}_bucket{{le="{format_value(bound)}"}} {cumulative}'
+            )
+        cumulative += hist["counts"][-1]
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{name}_sum {format_value(hist['sum'])}")
+        lines.append(f"{name}_count {format_value(hist['count'])}")
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_histograms(text: str) -> dict[str, dict[str, object]]:
+    """Histogram series from one exposition document.
+
+    Returns ``{name: {"buckets": [(le, cumulative_count), ...],
+    "sum": float, "count": int}}`` with buckets in document order
+    (ascending ``le``, ``+Inf`` last).  Built for reading back our own
+    :func:`render` output and any well-formed Prometheus exposition;
+    non-histogram series are ignored.
+    """
+    histograms: dict[str, dict[str, object]] = {}
+    declared: set[str] = set()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE" and parts[3] == "histogram":
+                declared.add(parts[2])
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        name, le, value = match.group("name", "le", "value")
+        for base in declared:
+            if name == base + "_bucket" and le is not None:
+                entry = histograms.setdefault(
+                    base, {"buckets": [], "sum": 0.0, "count": 0}
+                )
+                bound = float("inf") if le == "+Inf" else float(le)
+                entry["buckets"].append((bound, int(float(value))))
+            elif name == base + "_sum":
+                histograms.setdefault(
+                    base, {"buckets": [], "sum": 0.0, "count": 0}
+                )["sum"] = float(value)
+            elif name == base + "_count":
+                histograms.setdefault(
+                    base, {"buckets": [], "sum": 0.0, "count": 0}
+                )["count"] = int(float(value))
+    return histograms

@@ -1,0 +1,225 @@
+"""Streaming log-bucketed histograms for live latency telemetry.
+
+The offline harness computes tail percentiles from raw sample arrays
+(:func:`repro.loadgen.report.latency_summary`) — exact, but unbounded
+memory and only available after the run.  A serving daemon needs the
+opposite trade: O(1) memory per metric, O(1) ``observe``, mergeable
+across scopes, and a quantile *estimate* good to one bucket width at
+any moment.  That is exactly what a fixed-bucket histogram gives, and
+fixing the bucket layout up front is what makes two histograms (two
+worker registries, two scrapes, client and server) directly comparable
+— the same reason Prometheus chose cumulative fixed buckets.
+
+Buckets are **log-spaced** (each upper bound doubles), so relative
+estimation error is constant across six decades of latency: a p99 read
+from bucket counts is off by at most one bucket width, i.e. at most 2x
+— and in practice the interpolated estimate lands much closer.  The
+soak harness leans on this contract: the CI smoke asserts the server's
+bucket-derived p99 agrees with the client's exact open-loop p99 to
+within one bucket width.
+
+Thread safety is per-histogram (one small lock around four integers and
+a list), so the registry can hand out a histogram once and hot paths
+can observe without touching the registry lock again.  Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Iterable, Sequence
+
+#: Default latency bucket upper bounds, in seconds: 0.1 ms doubling up
+#: to ~105 s (21 buckets + overflow).  Doubling from a single anchor
+#: keeps the sequence bit-identical on every platform — the Prometheus
+#: exposition golden test depends on that.
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = tuple(1e-4 * 2.0**i for i in range(21))
+
+
+def _validated_bounds(bounds: Iterable[float]) -> tuple[float, ...]:
+    out = tuple(float(b) for b in bounds)
+    if not out:
+        raise ValueError("histogram needs at least one bucket bound")
+    for bound in out:
+        if not (bound > 0.0) or bound != bound or bound == float("inf"):
+            raise ValueError(f"bucket bounds must be positive finite, got {bound!r}")
+    if any(b >= a for b, a in zip(out, out[1:])):
+        raise ValueError(f"bucket bounds must be strictly ascending: {out}")
+    return out
+
+
+class Histogram:
+    """Fixed-bucket streaming histogram: thread-safe, mergeable.
+
+    ``bounds`` are bucket *upper* bounds with Prometheus ``le``
+    semantics: bucket ``i`` counts observations ``value <= bounds[i]``
+    (and above the previous bound); one implicit overflow bucket counts
+    everything beyond the last bound.  Two histograms merge only when
+    their bounds are identical — a deliberate restriction that keeps
+    merged quantiles exact at the bucket level.
+    """
+
+    __slots__ = ("bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_LATENCY_BOUNDS) -> None:
+        self.bounds = _validated_bounds(bounds)
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    # -- writers -------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Record one observation (non-finite values are rejected)."""
+        value = float(value)
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"cannot observe non-finite value {value!r}")
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s counts into this histogram (returns self)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({len(self.bounds)} vs {len(other.bounds)} buckets)"
+            )
+        counts, total, count = other._snapshot_parts()
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self._sum += total
+            self._count += count
+        return self
+
+    def copy(self) -> "Histogram":
+        """An independent histogram holding the same counts."""
+        clone = Histogram(self.bounds)
+        clone.merge(self)
+        return clone
+
+    # -- readers -------------------------------------------------------
+
+    def _snapshot_parts(self) -> tuple[list[int], float, int]:
+        with self._lock:
+            return list(self._counts), self._sum, self._count
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_bounds(self, value: float) -> tuple[float, float]:
+        """The ``(lower, upper)`` bounds of the bucket holding ``value``.
+
+        The first bucket's lower bound is 0.0; the overflow bucket's
+        upper bound is ``inf``.
+        """
+        index = bisect_left(self.bounds, float(value))
+        lower = 0.0 if index == 0 else self.bounds[index - 1]
+        upper = self.bounds[index] if index < len(self.bounds) else float("inf")
+        return lower, upper
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` quantile by linear in-bucket interpolation.
+
+        Returns 0.0 for an empty histogram.  Estimates are monotone in
+        ``q`` and always land inside (or on the boundary of) a populated
+        bucket; observations in the overflow bucket are attributed to
+        the last finite bound, the histogram's honest upper resolution.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        counts, _, count = self._snapshot_parts()
+        return quantile_from_counts(self.bounds, counts, count, q)
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready copy: bounds, per-bucket counts, sum, count."""
+        counts, total, count = self._snapshot_parts()
+        return {
+            "bounds": list(self.bounds),
+            "counts": counts,
+            "sum": total,
+            "count": count,
+        }
+
+    def reset(self) -> None:
+        """Zero every bucket."""
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+
+def quantile_from_counts(
+    bounds: Sequence[float], counts: Sequence[int], count: int, q: float
+) -> float:
+    """Quantile estimate from per-bucket counts (shared with exposition).
+
+    ``counts`` has one entry per bound plus the overflow bucket.  The
+    target rank is interpolated linearly inside its bucket; the first
+    bucket's lower edge is 0 and the overflow bucket reports the last
+    finite bound.
+    """
+    if count <= 0:
+        return 0.0
+    target = q * count
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= target:
+            if index >= len(bounds):
+                return float(bounds[-1])
+            lower = 0.0 if index == 0 else float(bounds[index - 1])
+            upper = float(bounds[index])
+            fraction = (target - cumulative) / bucket_count
+            return lower + (upper - lower) * max(0.0, min(1.0, fraction))
+        cumulative += bucket_count
+    return float(bounds[-1])
+
+
+def quantile_from_cumulative(
+    buckets: Sequence[tuple[float, int]], q: float
+) -> float:
+    """Quantile from Prometheus-style cumulative ``(le, count)`` buckets.
+
+    The final bucket is expected to be ``(inf, total)``; converts to
+    per-bucket counts and defers to :func:`quantile_from_counts`.
+    """
+    if not buckets:
+        return 0.0
+    bounds = [le for le, _ in buckets if le != float("inf")]
+    cumulative = [c for _, c in buckets]
+    counts, previous = [], 0
+    for value in cumulative:
+        counts.append(max(0, value - previous))
+        previous = value
+    if len(counts) == len(bounds):  # no explicit +Inf bucket
+        counts.append(0)
+    total = cumulative[-1]
+    return quantile_from_counts(bounds, counts, total, q)
+
+
+def bucket_width_at(bounds: Sequence[float], value: float) -> float:
+    """Width of the bucket that would hold ``value`` (estimation error bar).
+
+    For the overflow bucket the width of the last finite bucket is
+    returned — the histogram cannot resolve finer than that anywhere
+    past its range.
+    """
+    bounds = [float(b) for b in bounds]
+    index = bisect_left(bounds, float(value))
+    if index >= len(bounds):
+        index = len(bounds) - 1
+    lower = 0.0 if index == 0 else bounds[index - 1]
+    return bounds[index] - lower

@@ -1,4 +1,4 @@
-"""Process-wide named counters, gauges, and timers.
+"""Process-wide named counters, gauges, timers, and streaming histograms.
 
 Where :mod:`repro.obs.trace` answers "where did this run spend its
 time", the metrics registry answers "how often did the interesting
@@ -17,7 +17,12 @@ counts::
 
 Instrumented call sites use the dotted-name taxonomy documented in
 DESIGN.md §7: ``engine.*`` for the similarity engine, ``sinkhorn.*``
-for the Sinkhorn kernel, ``supervisor.*`` for the runtime.  Stdlib-only.
+for the Sinkhorn kernel, ``supervisor.*`` for the runtime, ``serve.*``
+for the daemon.  Distributions (request latency, batch sizes) go
+through :meth:`MetricsRegistry.histogram` — log-bucketed streaming
+histograms (:mod:`repro.obs.histogram`) that the Prometheus exposition
+(:mod:`repro.obs.exposition`) renders with ``_bucket``/``_sum``/
+``_count`` series.  Stdlib-only.
 """
 
 from __future__ import annotations
@@ -25,17 +30,20 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterable, Iterator
+
+from repro.obs.histogram import DEFAULT_LATENCY_BOUNDS, Histogram
 
 
 class MetricsRegistry:
-    """Thread-safe named counters, gauges, and accumulating timers."""
+    """Thread-safe named counters, gauges, timers, and histograms."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._timers: dict[str, list[float]] = {}  # name -> [seconds, count]
+        self._histograms: dict[str, Histogram] = {}
 
     # -- writers -------------------------------------------------------
 
@@ -56,11 +64,48 @@ class MetricsRegistry:
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            with self._lock:
-                entry = self._timers.setdefault(name, [0.0, 0])
-                entry[0] += elapsed
-                entry[1] += 1
+            self.add_time(name, time.perf_counter() - start)
+
+    def add_time(self, name: str, seconds: float, count: int = 1) -> None:
+        """Accumulate ``seconds`` under the ``name`` timer directly.
+
+        The explicit form of :meth:`timer` — for call sites that already
+        measured the duration, and for tests that need deterministic
+        timer values (the exposition golden seeds timers through this).
+        """
+        with self._lock:
+            entry = self._timers.setdefault(name, [0.0, 0])
+            entry[0] += seconds
+            entry[1] += count
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] | None = None
+    ) -> Histogram:
+        """The ``name`` histogram, created on first use.
+
+        ``bounds`` fixes the bucket layout at creation (default: the
+        log-spaced latency buckets).  Re-requesting an existing
+        histogram with *different* bounds is a programming error — two
+        call sites disagreeing on layout would silently corrupt
+        quantiles — so it raises.  The returned histogram is itself
+        thread-safe: hot paths hold it and observe without re-entering
+        the registry lock.
+        """
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = Histogram(DEFAULT_LATENCY_BOUNDS if bounds is None else bounds)
+                self._histograms[name] = hist
+                return hist
+        if bounds is not None and tuple(float(b) for b in bounds) != hist.bounds:
+            raise ValueError(
+                f"histogram {name!r} already exists with different bounds"
+            )
+        return hist
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the ``name`` histogram (default bounds)."""
+        self.histogram(name).observe(value)
 
     # -- readers -------------------------------------------------------
 
@@ -69,10 +114,11 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
-    def snapshot(self) -> dict[str, dict[str, float] | dict[str, dict[str, float]]]:
-        """JSON-ready copy of every counter, gauge, and timer."""
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-ready copy of every counter, gauge, timer, and histogram."""
         with self._lock:
-            return {
+            histograms = dict(self._histograms)
+            snap: dict[str, dict] = {
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
                 "timers": {
@@ -80,13 +126,19 @@ class MetricsRegistry:
                     for name, (seconds, count) in self._timers.items()
                 },
             }
+        # Each histogram snapshots under its own lock, outside ours.
+        snap["histograms"] = {
+            name: hist.snapshot() for name, hist in histograms.items()
+        }
+        return snap
 
     def reset(self) -> None:
-        """Zero every counter, gauge, and timer."""
+        """Zero every counter, gauge, timer, and histogram."""
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._timers.clear()
+            self._histograms.clear()
 
 
 _global = MetricsRegistry()

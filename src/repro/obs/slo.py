@@ -1,0 +1,154 @@
+"""Rolling multi-window SLO error-budget and burn-rate tracking.
+
+A serving SLO ("99.9 % of requests succeed, and count a request slower
+than the latency threshold as a failure") is only actionable live if
+the daemon itself can answer *how fast am I spending my error budget*.
+This module implements the Google-SRE multi-window burn-rate scheme:
+
+* every request is classified **good** or **bad** (an error status, or
+  — when a latency threshold is configured — a slow success);
+* the bad fraction over a rolling window, divided by the budget
+  fraction ``1 - objective``, is that window's **burn rate** — burn
+  rate 1.0 means the budget is being consumed exactly as fast as the
+  SLO allows, 10.0 means ten times too fast;
+* an alert requires a **fast** window (default 5 m) *and* a **slow**
+  window (default 1 h) to burn together: the fast window gives low
+  detection latency, the slow window keeps one brief spike from paging.
+
+The tracker is a ring of one-second bins sized to the slowest window,
+so ``record`` is O(1) and memory is fixed regardless of traffic.  The
+clock is injected (``clock=``), which makes every rolling-window
+behaviour — expiry, burn-rate arithmetic, multi-window breach logic —
+exactly testable with a fake clock; the daemon passes the default
+``time.monotonic``.  Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Sequence
+
+#: Default windows, seconds: Google SRE's fast-5m + slow-1h pairing.
+DEFAULT_WINDOWS: tuple[float, float] = (300.0, 3600.0)
+
+#: Default multi-window page threshold: at burn rate 14.4 a 30-day
+#: budget is gone in ~2 days — the classic "2% of budget in 1h" page.
+DEFAULT_BURN_THRESHOLD = 14.4
+
+
+class SLOTracker:
+    """Rolling good/bad accounting against an availability objective.
+
+    ``objective`` is the target good fraction (0.999 = "three nines").
+    ``latency_threshold`` (seconds, optional) widens "bad" to include
+    slow successes, turning the availability SLO into a latency SLO.
+    ``windows`` are the rolling spans, ascending; the first is the fast
+    window, the last the slow one.
+    """
+
+    def __init__(
+        self,
+        objective: float = 0.999,
+        windows: Sequence[float] = DEFAULT_WINDOWS,
+        latency_threshold: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {objective}")
+        self.windows = tuple(float(w) for w in windows)
+        if not self.windows or any(w <= 0 for w in self.windows):
+            raise ValueError(f"windows must be positive, got {windows}")
+        if any(b >= a for b, a in zip(self.windows, self.windows[1:])):
+            raise ValueError(f"windows must be strictly ascending: {windows}")
+        if latency_threshold is not None and latency_threshold <= 0:
+            raise ValueError(
+                f"latency_threshold must be positive, got {latency_threshold}"
+            )
+        self.objective = float(objective)
+        self.latency_threshold = latency_threshold
+        self._clock = clock
+        self._lock = threading.Lock()
+        size = int(self.windows[-1])
+        self._size = size
+        self._stamp = [-1] * size  # absolute second each slot holds
+        self._good = [0] * size
+        self._bad = [0] * size
+
+    # -- writers -------------------------------------------------------
+
+    def record(self, ok: bool, latency: float | None = None) -> bool:
+        """Account one request; returns whether it counted as bad.
+
+        ``ok=False`` is always bad; an ok request is also bad when a
+        latency threshold is configured and ``latency`` exceeds it.
+        """
+        bad = (not ok) or (
+            self.latency_threshold is not None
+            and latency is not None
+            and latency > self.latency_threshold
+        )
+        now = int(self._clock())
+        slot = now % self._size
+        with self._lock:
+            if self._stamp[slot] != now:
+                self._stamp[slot] = now
+                self._good[slot] = 0
+                self._bad[slot] = 0
+            if bad:
+                self._bad[slot] += 1
+            else:
+                self._good[slot] += 1
+        return bad
+
+    # -- readers -------------------------------------------------------
+
+    def _window_counts(self, window: float) -> tuple[int, int]:
+        """(requests, bad) over the trailing ``window`` seconds."""
+        now = int(self._clock())
+        oldest = now - int(window) + 1
+        good = bad = 0
+        with self._lock:
+            for slot in range(self._size):
+                stamp = self._stamp[slot]
+                if oldest <= stamp <= now:
+                    good += self._good[slot]
+                    bad += self._bad[slot]
+        return good + bad, bad
+
+    def burn_rate(self, window: float) -> float:
+        """Bad fraction over ``window`` relative to the error budget.
+
+        1.0 = spending the budget exactly at the sustainable rate; 0.0
+        for an idle window (no traffic means no budget spend).
+        """
+        requests, bad = self._window_counts(window)
+        if requests == 0:
+            return 0.0
+        return (bad / requests) / (1.0 - self.objective)
+
+    def breaching(self, threshold: float = DEFAULT_BURN_THRESHOLD) -> bool:
+        """Multi-window alert: every window burning past ``threshold``."""
+        return all(self.burn_rate(window) >= threshold for window in self.windows)
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready live view: per-window counts, ratios, burn rates."""
+        windows: dict[str, dict[str, float]] = {}
+        for window in self.windows:
+            requests, bad = self._window_counts(window)
+            bad_ratio = (bad / requests) if requests else 0.0
+            windows[f"{int(window)}s"] = {
+                "requests": requests,
+                "bad": bad,
+                "bad_ratio": bad_ratio,
+                "burn_rate": bad_ratio / (1.0 - self.objective),
+                "budget_left": max(
+                    0.0, 1.0 - bad_ratio / (1.0 - self.objective)
+                ),
+            }
+        return {
+            "objective": self.objective,
+            "latency_threshold_seconds": self.latency_threshold,
+            "breaching": self.breaching(),
+            "windows": windows,
+        }

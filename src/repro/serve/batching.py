@@ -26,9 +26,14 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.obs import metrics as obs_metrics
+from repro.serve import context as serve_context
 
 #: Sentinel object closing the dispatcher loop.
 _STOP = object()
+
+#: Bucket upper bounds for the batch-size histogram: powers of two up
+#: to 256 (``max_batch`` defaults far below that).
+BATCH_SIZE_BOUNDS = tuple(2.0**i for i in range(9))
 
 #: Per-batch observations retained for the stats distributions.  A
 #: bounded window keeps /stats O(1)-memory under indefinite traffic
@@ -92,13 +97,19 @@ class MicroBatcher:
     # -- client side ---------------------------------------------------
 
     def submit(self, vector: np.ndarray, k: int, timeout: float | None = None):
-        """Enqueue one query and block for its result."""
+        """Enqueue one query and block for its result.
+
+        The submitter's request context (if any) rides along with the
+        query: contextvars do not cross into the dispatcher thread, so
+        the batcher captures it here and restores the whole batch's
+        contexts around the handler call (``batch_scope``).
+        """
         if self._closed:
             raise RuntimeError("MicroBatcher is closed")
         future: Future = Future()
         self._queue.put(
             (np.asarray(vector, dtype=np.float64), int(k), future,
-             time.monotonic())
+             time.monotonic(), serve_context.current_request())
         )
         return future.result(timeout=timeout)
 
@@ -168,9 +179,15 @@ class MicroBatcher:
         vectors = np.stack([item[0] for item in batch])
         ks = [item[1] for item in batch]
         futures = [item[2] for item in batch]
-        wait_ms = (flushed_at - min(item[3] for item in batch)) * 1e3
+        wait_seconds = flushed_at - min(item[3] for item in batch)
+        wait_ms = wait_seconds * 1e3
+        contexts = [item[4] for item in batch if item[4] is not None]
         try:
-            results = self._handler(vectors, ks)
+            with serve_context.batch_scope(contexts):
+                with serve_context.traced(
+                    "serve.batch", size=len(batch), wait_ms=round(wait_ms, 3)
+                ):
+                    results = self._handler(vectors, ks)
             if len(results) != len(batch):
                 raise RuntimeError(
                     f"batch handler returned {len(results)} results "
@@ -191,3 +208,7 @@ class MicroBatcher:
         registry = obs_metrics.get_metrics()
         registry.inc("serve.batches")
         registry.inc("serve.batched_queries", len(batch))
+        registry.histogram("serve.batch.size", BATCH_SIZE_BOUNDS).observe(
+            float(len(batch))
+        )
+        registry.observe("serve.batch.wait_seconds", wait_seconds)

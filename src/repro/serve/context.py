@@ -1,0 +1,203 @@
+"""Request-scoped context: ids, span capture, and the structured access log.
+
+Every request the daemon handles gets a :class:`RequestContext` — an id
+(accepted from the ``X-Request-Id`` header or generated), the method and
+path, and a private :class:`~repro.obs.trace.Span` tree.  The context
+rides a :mod:`contextvars` variable while the handler thread owns the
+request, so any code below the handler can stamp the current request
+without threading it through every signature.
+
+Two scopes exist because the micro-batcher crosses a thread boundary
+(contextvars do not follow work onto other threads):
+
+* :func:`request_scope` — the handler thread's own request, set around
+  the whole dispatch;
+* :func:`batch_scope` — the dispatcher thread's view: *every* request
+  coalesced into the batch it is currently scoring.  The batcher
+  captures each submitter's context at enqueue time and restores the
+  set around the handler call.
+
+:func:`traced` bridges both: it appends one timed child span to every
+context in scope.  This is deliberately separate from the global
+:class:`~repro.obs.trace.TraceRecorder` — per-request capture must be
+always-on and cheap (a dict and two clock reads per annotated phase,
+only when a context is actually in scope), whereas the recorder is a
+heavyweight opt-in profiler.  The captured tree is what the slow-query
+log attaches, so a tail-latency outlier arrives with its own breakdown
+("batch wait 9 ms, scoring 2 ms") instead of a bare number.
+
+The access log itself is an :class:`AccessLogSink` — an
+:mod:`repro.obs.events` sink that selects the ``serve.access`` /
+``serve.slow`` / ``serve.http`` events and appends each as one
+*canonical JSON* line (sorted keys, compact separators), so the log is
+grep-able, diffable, and machine-parseable with no framing beyond
+newlines.  Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Sequence, TextIO
+
+from repro.obs import events as obs_events
+from repro.obs.trace import Span
+
+#: The request-id header, both accepted on requests and set on responses.
+REQUEST_ID_HEADER = "X-Request-Id"
+
+#: Ceiling on a client-supplied request id; longer ids are truncated so
+#: a hostile header cannot bloat the access log.
+MAX_REQUEST_ID_LEN = 128
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char request id (uuid4-derived, collision-safe)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class RequestContext:
+    """One in-flight request: identity plus a private trace-span tree."""
+
+    request_id: str
+    method: str = ""
+    path: str = ""
+    #: Root of the per-request span tree; :func:`traced` appends children.
+    span: Span = field(default_factory=lambda: Span(name="serve.request"))
+    #: ``time.perf_counter()`` at dispatch start.
+    started: float = field(default_factory=time.perf_counter)
+
+    def span_tree(self) -> dict[str, Any]:
+        """JSON-ready rendering of the captured spans (slow-log payload)."""
+        return self.span.as_dict()
+
+
+_current: ContextVar[RequestContext | None] = ContextVar(
+    "repro_serve_request", default=None
+)
+_batch: ContextVar[tuple[RequestContext, ...]] = ContextVar(
+    "repro_serve_batch", default=()
+)
+#: The stack of :func:`traced` spans open on *this* thread — nested
+#: traced() calls attach to their enclosing span instead of the
+#: context roots, so the captured tree reflects real phase nesting.
+_open_spans: ContextVar[tuple[Span, ...]] = ContextVar(
+    "repro_serve_open_spans", default=()
+)
+
+
+def current_request() -> RequestContext | None:
+    """The handler thread's in-flight request, if any."""
+    return _current.get()
+
+
+def current_batch() -> tuple[RequestContext, ...]:
+    """The requests coalesced into the batch being scored, if any."""
+    return _batch.get()
+
+
+@contextmanager
+def request_scope(context: RequestContext) -> Iterator[RequestContext]:
+    """Install ``context`` as the handler thread's current request."""
+    token = _current.set(context)
+    try:
+        yield context
+    finally:
+        _current.reset(token)
+
+
+@contextmanager
+def batch_scope(
+    contexts: Sequence[RequestContext],
+) -> Iterator[tuple[RequestContext, ...]]:
+    """Install the batch's member contexts on the dispatcher thread."""
+    token = _batch.set(tuple(contexts))
+    try:
+        yield _batch.get()
+    finally:
+        _batch.reset(token)
+
+
+def _scope_contexts() -> tuple[RequestContext, ...]:
+    current = _current.get()
+    if current is not None:
+        return (current,)
+    return _batch.get()
+
+
+@contextmanager
+def traced(name: str, **attrs: Any) -> Iterator[Span | None]:
+    """Time the enclosed phase into every request context in scope.
+
+    Yields the live span (annotate freely) or ``None`` when no request
+    is in scope — offline callers pay one contextvar read and nothing
+    else.  On the dispatcher thread the same span object is appended to
+    each batched request's tree: the phase genuinely served all of them.
+    """
+    targets = _scope_contexts()
+    if not targets:
+        yield None
+        return
+    span = Span(name=name, attrs=dict(attrs))
+    enclosing = _open_spans.get()
+    token = _open_spans.set(enclosing + (span,))
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    try:
+        yield span
+    finally:
+        span.wall_seconds = time.perf_counter() - wall
+        span.cpu_seconds = time.process_time() - cpu
+        _open_spans.reset(token)
+        if enclosing:
+            # Nested phase: attach to the enclosing span (shared across
+            # the same targets), not to every context root again.
+            enclosing[-1].children.append(span)
+        else:
+            for context in targets:
+                context.span.children.append(span)
+
+
+class AccessLogSink(obs_events.EventSink):
+    """Canonical-JSON-lines access log fed off the event stream.
+
+    Selects the serving access events (``serve.access`` per completed
+    request, ``serve.slow`` for over-threshold requests with their span
+    tree, ``serve.http`` for stdlib connection-level log lines) and
+    appends each as ``{"event": name, "seq": n, ...attrs}`` in canonical
+    JSON — sorted keys, compact separators, one line per event.  Other
+    events pass through untouched, so the sink can share the stream with
+    a :class:`~repro.obs.events.HumanSink` or test sinks.
+    """
+
+    NAMES = frozenset({"serve.access", "serve.slow", "serve.http"})
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self._handle: TextIO | None = None
+        self._lock = threading.Lock()
+
+    def handle(self, event: obs_events.Event) -> None:
+        if event.name not in self.NAMES:
+            return
+        record = {"event": event.name, "seq": event.seq, **dict(event.attrs)}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(line)
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None

@@ -12,11 +12,22 @@ and a :class:`~repro.serve.batching.MicroBatcher`:
   entity (:func:`repro.eval.explain.explain_decision` over a probe set).
 - ``GET /healthz``   — liveness + state version.
 - ``GET /stats``     — index balance, delta depth, cache and batcher
-  counters.
+  counters, process context (uptime, peak RSS), live SLO burn rates.
+- ``GET /metrics``   — the full metrics registry in Prometheus text
+  exposition format (:mod:`repro.obs.exposition`).
 
-Every response body is *canonical JSON* (sorted keys, no whitespace,
-trailing newline), so identical state yields byte-identical responses —
-the golden e2e suite and the kill-and-restart contract depend on this.
+Every JSON response body is *canonical JSON* (sorted keys, no
+whitespace, trailing newline), so identical state yields byte-identical
+responses — the golden e2e suite and the kill-and-restart contract
+depend on this.  ``/metrics`` is the one text/plain endpoint, and its
+rendering is deterministic for the same reason.
+
+Telemetry per request (:mod:`repro.serve.context`): each request gets
+an id (``X-Request-Id`` in, echoed out), its handler latency lands in
+the always-on ``serve.request.seconds`` histogram and the SLO tracker,
+a ``serve.access`` event is emitted per completed request, and requests
+over the slow threshold emit ``serve.slow`` carrying the request's
+captured span tree.
 """
 
 from __future__ import annotations
@@ -25,21 +36,30 @@ import json
 import time
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from pathlib import Path
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.eval.explain import explain_decision
 from repro.obs import events as obs_events
+from repro.obs import exposition as obs_exposition
 from repro.obs import metrics as obs_metrics
 from repro.obs.ledger import RunLedger, build_record, fingerprint_payload
+from repro.obs.slo import SLOTracker
+from repro.serve import context as serve_context
 from repro.serve.batching import MicroBatcher
 from repro.serve.state import ServingState
 from repro.similarity.engine import SimilarityEngine
+from repro.utils.memory import peak_rss_bytes
 
 #: Cap on the probe set an explain request scores (the report needs a
 #: dense probe x probe matrix; this bounds it to ~EXPLAIN_LIMIT^2 pairs).
 EXPLAIN_LIMIT = 64
+
+#: Default slow-query threshold, seconds: requests over it emit a
+#: ``serve.slow`` event carrying their captured span tree.
+SLOW_THRESHOLD = 0.1
 
 
 def canonical_json(payload: Any) -> bytes:
@@ -70,12 +90,29 @@ class AlignmentServer(ThreadingHTTPServer):
         ledger: RunLedger | None = None,
         max_batch: int = 32,
         max_wait: float = 0.002,
+        slow_threshold: float = SLOW_THRESHOLD,
+        slo_objective: float = 0.999,
+        slo_latency_threshold: float | None = None,
+        access_log: Path | str | None = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.state = state
         self.engine = engine if engine is not None else SimilarityEngine()
         self.ledger = ledger
         self.started = time.time()
+        self.started_clock = time.perf_counter()
+        self.slow_threshold = slow_threshold
+        self.slo = SLOTracker(
+            objective=slo_objective, latency_threshold=slo_latency_threshold
+        )
+        # Held directly so the hot path observes without a registry lookup.
+        self.request_latency = obs_metrics.get_metrics().histogram(
+            "serve.request.seconds"
+        )
+        self._access_sink: serve_context.AccessLogSink | None = None
+        if access_log is not None:
+            self._access_sink = serve_context.AccessLogSink(access_log)
+            obs_events.add_sink(self._access_sink)
         self.batcher = MicroBatcher(
             self._handle_batch, max_batch=max_batch, max_wait=max_wait
         )
@@ -97,7 +134,44 @@ class AlignmentServer(ThreadingHTTPServer):
     def close(self) -> None:
         self.batcher.close()
         self.engine.close()
+        if self._access_sink is not None:
+            obs_events.remove_sink(self._access_sink)
+            self._access_sink = None
         self.server_close()
+
+    # -- per-request telemetry -----------------------------------------
+
+    def observe_request(self, context: serve_context.RequestContext, status: int) -> None:
+        """Account one finished request: histogram, SLO, access/slow log.
+
+        ``/metrics`` scrapes are access-logged but kept out of the
+        latency histogram and SLO accounting — they are telemetry about
+        serving traffic, not serving traffic.
+        """
+        elapsed = time.perf_counter() - context.started
+        scrape = context.path == "/metrics"
+        if not scrape:
+            self.request_latency.observe(elapsed)
+            self.slo.record(status < 500, latency=elapsed)
+        obs_events.emit(
+            "serve.access",
+            request_id=context.request_id,
+            method=context.method,
+            path=context.path,
+            status=status,
+            seconds=round(elapsed, 6),
+        )
+        if not scrape and elapsed >= self.slow_threshold:
+            obs_metrics.get_metrics().inc("serve.slow_requests")
+            obs_events.emit(
+                "serve.slow",
+                request_id=context.request_id,
+                method=context.method,
+                path=context.path,
+                status=status,
+                seconds=round(elapsed, 6),
+                span=context.span_tree(),
+            )
 
     # -- request logic (handler methods live here for testability) -----
 
@@ -158,7 +232,12 @@ class AlignmentServer(ThreadingHTTPServer):
                 )
         positions = np.array([snap.id_pos[int(eid)] for eid in probe_ids])
         vectors = snap.index.reconstruct(positions)
-        scores = self.engine.similarity(vectors, vectors, metric=snap.index.metric)
+        with serve_context.traced(
+            "serve.explain.similarity", probes=len(probe_ids)
+        ):
+            scores = self.engine.similarity(
+                vectors, vectors, metric=snap.index.metric
+            )
         query_row = int(np.flatnonzero(probe_ids == entity_id)[0])
         report = explain_decision(scores, query_row)
         document = asdict(report)
@@ -186,7 +265,37 @@ class AlignmentServer(ThreadingHTTPServer):
             if isinstance(value, (int, float))
         }
         payload["batcher"] = self.batcher.stats()
+        # Process-level context: how long this daemon has been up, its
+        # lifetime memory high-water mark, and the serving snapshot
+        # version at scrape time ("version" above, from state.stats()).
+        payload["uptime_seconds"] = round(
+            time.perf_counter() - self.started_clock, 3
+        )
+        payload["peak_rss_bytes"] = peak_rss_bytes()
+        payload["slo"] = self.slo.snapshot()
         return payload
+
+    def render_metrics(self) -> str:
+        """The Prometheus exposition document for ``GET /metrics``.
+
+        Live gauges (uptime, peak RSS, snapshot version, SLO burn
+        rates) are refreshed into the registry immediately before
+        rendering, so one scrape carries both the cumulative series and
+        the instantaneous state.
+        """
+        registry = obs_metrics.get_metrics()
+        registry.gauge(
+            "serve.uptime_seconds", time.perf_counter() - self.started_clock
+        )
+        registry.gauge("process.peak_rss_bytes", peak_rss_bytes())
+        registry.gauge("serve.version", self.state.snapshot.version)
+        slo = self.slo.snapshot()
+        for window_key, window in slo["windows"].items():
+            registry.gauge(
+                f"serve.slo.burn_rate.{window_key}", window["burn_rate"]
+            )
+        registry.gauge("serve.slo.breaching", 1.0 if slo["breaching"] else 0.0)
+        return obs_exposition.render(registry)
 
     def _request_vector(self, body: dict) -> np.ndarray:
         vector = body.get("vector")
@@ -230,17 +339,39 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------
 
-    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        obs_events.emit("serve.http", line=format % args)
+    def log_request(self, code: int | str = "-", size: int | str = "-") -> None:
+        # Completed requests are covered by the richer ``serve.access``
+        # event; suppressing the stdlib line avoids double-logging.
+        return None
 
-    def _reply(self, status: int, payload: Any) -> None:
-        body = canonical_json(payload)
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        # Connection-level stdlib logging (malformed request lines,
+        # early disconnects, log_error) routed into the structured
+        # access log stream instead of being swallowed.
+        context = serve_context.current_request()
+        obs_events.emit(
+            "serve.http",
+            line=format % args,
+            request_id=context.request_id if context is not None else None,
+        )
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        context = serve_context.current_request()
+        if context is not None:
+            self.send_header(serve_context.REQUEST_ID_HEADER, context.request_id)
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
         obs_metrics.get_metrics().inc("serve.http.responses")
+
+    def _reply(self, status: int, payload: Any) -> None:
+        self._send(status, canonical_json(payload), "application/json")
+
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        self._send(status, text.encode("utf-8"), content_type)
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
@@ -255,26 +386,37 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServeError(400, "request body must be a JSON object")
         return body
 
-    def _dispatch(self, worker) -> None:
-        started = time.perf_counter()
-        try:
-            payload = worker()
-        except ServeError as error:
-            self._reply(error.status, {"error": str(error)})
-        except ValueError as error:
-            # Includes DataIntegrityError (a ValueError subclass).
-            self._reply(400, {"error": str(error)})
-        except Exception as error:  # noqa: BLE001 - last-resort 500
-            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
-        else:
-            self._reply(200, payload)
-        finally:
-            obs_events.emit(
-                "serve.request",
-                method=self.command,
-                path=self.path,
-                seconds=round(time.perf_counter() - started, 6),
-            )
+    def _request_context(self) -> serve_context.RequestContext:
+        raw = self.headers.get(serve_context.REQUEST_ID_HEADER, "")
+        request_id = raw.strip()[: serve_context.MAX_REQUEST_ID_LEN]
+        return serve_context.RequestContext(
+            request_id=request_id or serve_context.new_request_id(),
+            method=self.command,
+            path=self.path,
+        )
+
+    def _dispatch(
+        self, worker: Callable[[], Any], text_content_type: str | None = None
+    ) -> None:
+        context = self._request_context()
+        self._status = 500  # overwritten by _send; sticks if the write dies
+        with serve_context.request_scope(context):
+            try:
+                payload = worker()
+            except ServeError as error:
+                self._reply(error.status, {"error": str(error)})
+            except ValueError as error:
+                # Includes DataIntegrityError (a ValueError subclass).
+                self._reply(400, {"error": str(error)})
+            except Exception as error:  # noqa: BLE001 - last-resort 500
+                self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+            else:
+                if text_content_type is not None:
+                    self._reply_text(200, payload, text_content_type)
+                else:
+                    self._reply(200, payload)
+            finally:
+                self.server.observe_request(context, self._status)
 
     # -- routes --------------------------------------------------------
 
@@ -283,16 +425,21 @@ class _Handler(BaseHTTPRequestHandler):
             self._dispatch(self.server.handle_healthz)
         elif self.path == "/stats":
             self._dispatch(self.server.handle_stats)
+        elif self.path == "/metrics":
+            self._dispatch(
+                self.server.render_metrics,
+                text_content_type=obs_exposition.CONTENT_TYPE,
+            )
         elif self.path.startswith("/entity/") and self.path.endswith("/explain"):
             middle = self.path[len("/entity/") : -len("/explain")]
             try:
                 entity_id = int(middle)
             except ValueError:
-                self._reply(400, {"error": f"bad entity id {middle!r}"})
+                self._dispatch(self._bad_entity_id)
                 return
             self._dispatch(lambda: self.server.handle_explain(entity_id))
         else:
-            self._reply(404, {"error": f"unknown path {self.path}"})
+            self._dispatch(self._unknown_path)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler convention
         routes = {
@@ -302,11 +449,13 @@ class _Handler(BaseHTTPRequestHandler):
         }
         worker = routes.get(self.path)
         if worker is None:
-            self._reply(404, {"error": f"unknown path {self.path}"})
+            self._dispatch(self._unknown_path)
             return
-        try:
-            body = self._read_body()
-        except ServeError as error:
-            self._reply(error.status, {"error": str(error)})
-            return
-        self._dispatch(lambda: worker(body))
+        self._dispatch(lambda: worker(self._read_body()))
+
+    def _unknown_path(self) -> dict:
+        raise ServeError(404, f"unknown path {self.path}")
+
+    def _bad_entity_id(self) -> dict:
+        middle = self.path[len("/entity/") : -len("/explain")]
+        raise ServeError(400, f"bad entity id {middle!r}")

@@ -41,6 +41,7 @@ from repro.index.ivf import IVFIndex
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.serve import context as serve_context
 from repro.similarity.metrics import rowwise_scores
 from repro.storage.memmap import EmbeddingStore
 
@@ -205,7 +206,13 @@ class ServingState:
         index = snap.index
         delta = snap.live_delta_positions
         registry = obs_metrics.get_metrics()
-        with obs_trace.span(
+        with serve_context.traced(
+            "serve.query",
+            queries=vectors.shape[0],
+            k=k,
+            delta=len(delta),
+            version=snap.version,
+        ), obs_trace.span(
             "serve.query", queries=vectors.shape[0], k=k, delta=len(delta)
         ):
             base = index.search(

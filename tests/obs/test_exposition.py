@@ -1,0 +1,118 @@
+"""Prometheus exposition: rendering rules plus the byte-stable golden.
+
+The golden pins the full document for a deterministically seeded
+registry — every section type, name mangling, float formatting, and the
+cumulative bucket scheme.  Regenerate after an intentional format
+change with::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/obs/test_exposition.py
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    format_value,
+    metric_name,
+    parse_histograms,
+    render,
+)
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+GOLDEN = Path(__file__).parent / "goldens" / "registry.prom"
+
+
+def seeded_registry() -> MetricsRegistry:
+    """One registry with every metric type, seeded deterministically."""
+    registry = MetricsRegistry()
+    registry.inc("engine.cache.hits", 42)
+    registry.inc("serve.queries", 1000)
+    registry.inc("events.sink_dropped")
+    registry.gauge("serve.version", 7)
+    registry.gauge("serve.slo.burn_rate.300s", 0.25)
+    registry.add_time("engine.similarity", 1.5, count=3)
+    hist = registry.histogram("serve.request.seconds")
+    for value, repeats in ((0.00015, 5), (0.0009, 20), (0.0031, 60),
+                           (0.012, 10), (0.9, 4), (200.0, 1)):
+        for _ in range(repeats):
+            hist.observe(value)
+    registry.histogram("serve.batch.size", bounds=[1.0, 2.0, 4.0]).observe(3.0)
+    return registry
+
+
+class TestNamesAndValues:
+    def test_dotted_names_are_mangled_and_prefixed(self):
+        assert metric_name("serve.request.seconds") == (
+            "repro_serve_request_seconds"
+        )
+        assert metric_name("a-b/c d") == "repro_a_b_c_d"
+
+    def test_format_value_is_canonical(self):
+        assert format_value(1.0) == "1"
+        assert format_value(0.25) == "0.25"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+
+    def test_content_type_is_the_prometheus_text_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestRender:
+    def test_identical_state_renders_byte_identical_documents(self):
+        assert render(seeded_registry()) == render(seeded_registry())
+
+    def test_insertion_order_does_not_leak_into_the_document(self):
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        forward.inc("a")
+        forward.inc("b")
+        backward.inc("b")
+        backward.inc("a")
+        assert render(forward) == render(backward)
+
+    def test_histogram_buckets_are_cumulative_and_end_with_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", bounds=[1.0, 2.0])
+        hist.observe(0.5)
+        hist.observe(1.5)
+        hist.observe(9.0)
+        text = render(registry)
+        assert 'repro_h_bucket{le="1"} 1' in text
+        assert 'repro_h_bucket{le="2"} 2' in text
+        assert 'repro_h_bucket{le="+Inf"} 3' in text
+        assert "repro_h_count 3" in text
+
+    def test_matches_the_committed_golden(self):
+        payload = render(seeded_registry()).encode("utf-8")
+        if os.environ.get("REPRO_UPDATE_GOLDENS"):
+            GOLDEN.parent.mkdir(exist_ok=True)
+            GOLDEN.write_bytes(payload)
+            return
+        assert GOLDEN.exists(), (
+            f"missing golden {GOLDEN}; run with REPRO_UPDATE_GOLDENS=1"
+        )
+        assert payload == GOLDEN.read_bytes()
+
+
+class TestParseHistograms:
+    def test_round_trips_our_own_rendering(self):
+        registry = seeded_registry()
+        parsed = parse_histograms(render(registry))
+        series = parsed["repro_serve_request_seconds"]
+        snap = registry.snapshot()["histograms"]["serve.request.seconds"]
+        assert series["count"] == snap["count"]
+        assert series["sum"] == pytest.approx(snap["sum"])
+        assert series["buckets"][-1] == (float("inf"), snap["count"])
+        # Cumulative counts are non-decreasing.
+        counts = [count for _, count in series["buckets"]]
+        assert counts == sorted(counts)
+
+    def test_ignores_non_histogram_series(self):
+        parsed = parse_histograms(render(seeded_registry()))
+        assert "repro_engine_cache_hits_total" not in parsed
+        assert "repro_serve_version" not in parsed

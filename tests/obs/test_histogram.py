@@ -1,0 +1,172 @@
+"""Unit tests for the streaming log-bucketed histogram."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.histogram import (
+    DEFAULT_LATENCY_BOUNDS,
+    Histogram,
+    bucket_width_at,
+    quantile_from_counts,
+    quantile_from_cumulative,
+)
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+class TestBounds:
+    def test_default_bounds_double_from_a_tenth_of_a_millisecond(self):
+        assert DEFAULT_LATENCY_BOUNDS[0] == 1e-4
+        assert len(DEFAULT_LATENCY_BOUNDS) == 21
+        for lower, upper in zip(DEFAULT_LATENCY_BOUNDS,
+                                DEFAULT_LATENCY_BOUNDS[1:]):
+            assert upper == 2.0 * lower
+
+    def test_invalid_bounds_are_rejected(self):
+        for bad in ([], [0.0], [-1.0], [1.0, 1.0], [2.0, 1.0],
+                    [float("nan")], [float("inf")]):
+            with pytest.raises(ValueError):
+                Histogram(bad)
+
+    def test_non_finite_observations_are_rejected(self):
+        hist = Histogram()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                hist.observe(bad)
+
+
+class TestObserve:
+    def test_le_semantics_a_bound_value_lands_in_its_own_bucket(self):
+        hist = Histogram([1.0, 2.0])
+        hist.observe(1.0)   # le="1.0" bucket
+        hist.observe(1.5)   # le="2.0" bucket
+        hist.observe(9.0)   # overflow
+        assert hist.snapshot()["counts"] == [1, 1, 1]
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(11.5)
+
+    def test_bucket_bounds_bracket_the_value(self):
+        hist = Histogram()
+        for value in (1e-5, 3e-4, 0.01, 7.0, 500.0):
+            lower, upper = hist.bucket_bounds(value)
+            assert lower < value <= upper or (lower == 0.0 and value <= upper)
+
+    def test_zero_and_negative_values_count_in_the_first_bucket(self):
+        hist = Histogram([1.0])
+        hist.observe(0.0)
+        hist.observe(-3.0)
+        assert hist.snapshot()["counts"] == [2, 0]
+
+
+class TestMerge:
+    def test_merge_adds_counts_and_sums(self):
+        a, b = Histogram([1.0, 2.0]), Histogram([1.0, 2.0])
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.snapshot()["counts"] == [1, 1, 1]
+        assert a.count == 3
+        assert a.sum == pytest.approx(7.0)
+
+    def test_merge_rejects_different_bounds(self):
+        with pytest.raises(ValueError, match="different bounds"):
+            Histogram([1.0]).merge(Histogram([2.0]))
+
+    def test_copy_is_independent(self):
+        hist = Histogram([1.0])
+        hist.observe(0.5)
+        clone = hist.copy()
+        clone.observe(0.5)
+        assert hist.count == 1
+        assert clone.count == 2
+
+
+class TestQuantiles:
+    def test_empty_histogram_reports_zero(self):
+        assert Histogram().quantile(0.99) == 0.0
+
+    def test_quantile_lands_inside_the_populated_bucket(self):
+        hist = Histogram()
+        for _ in range(100):
+            hist.observe(0.003)
+        lower, upper = hist.bucket_bounds(0.003)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert lower <= hist.quantile(q) <= upper
+
+    def test_quantile_is_monotone_in_q(self):
+        hist = Histogram()
+        for value in (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0):
+            for _ in range(5):
+                hist.observe(value)
+        estimates = [hist.quantile(q / 100.0) for q in range(0, 101, 5)]
+        assert estimates == sorted(estimates)
+
+    def test_overflow_reports_the_last_finite_bound(self):
+        hist = Histogram([1.0, 2.0])
+        hist.observe(100.0)
+        assert hist.quantile(0.99) == 2.0
+
+    def test_out_of_range_q_is_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_cumulative_form_matches_per_bucket_form(self):
+        bounds = [1.0, 2.0, 4.0]
+        counts = [3, 5, 0, 2]
+        cumulative, running = [], 0
+        for bound, count in zip(bounds, counts):
+            running += count
+            cumulative.append((bound, running))
+        cumulative.append((float("inf"), running + counts[-1]))
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert quantile_from_cumulative(cumulative, q) == pytest.approx(
+                quantile_from_counts(bounds, counts, sum(counts), q)
+            )
+
+    def test_bucket_width_doubles_with_the_buckets(self):
+        assert bucket_width_at(DEFAULT_LATENCY_BOUNDS, 5e-5) == 1e-4
+        assert bucket_width_at([1.0, 2.0, 4.0], 3.0) == 2.0
+        # Past the last bound: the last finite bucket's width.
+        assert bucket_width_at([1.0, 2.0, 4.0], 99.0) == 2.0
+
+
+class TestThreadSafety:
+    def test_concurrent_observes_conserve_count_and_sum(self):
+        hist = Histogram()
+
+        def hammer():
+            for _ in range(1000):
+                hist.observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == 4000
+        assert math.isclose(hist.sum, 4.0)
+
+
+class TestRegistryIntegration:
+    def test_histogram_is_get_or_create(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h")
+        assert registry.histogram("h") is first
+
+    def test_bounds_mismatch_on_existing_histogram_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=[1.0])
+        with pytest.raises(ValueError, match="different bounds"):
+            registry.histogram("h", bounds=[2.0])
+
+    def test_observe_reaches_the_snapshot(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.003)
+        snap = registry.snapshot()["histograms"]["lat"]
+        assert snap["count"] == 1
+        assert snap["sum"] == pytest.approx(0.003)
+        assert snap["bounds"] == list(DEFAULT_LATENCY_BOUNDS)

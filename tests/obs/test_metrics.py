@@ -46,8 +46,11 @@ class TestRegistry:
         registry.gauge("g", 1)
         with registry.timer("t"):
             pass
+        registry.observe("h", 0.5)
         registry.reset()
-        assert registry.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "timers": {}, "histograms": {},
+        }
 
     def test_thread_safe_increments(self):
         registry = metrics.MetricsRegistry()

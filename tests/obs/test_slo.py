@@ -1,0 +1,133 @@
+"""SLO burn-rate tracker: deterministic clocks, windows, breach logic."""
+
+import pytest
+
+from repro.obs.slo import DEFAULT_BURN_THRESHOLD, DEFAULT_WINDOWS, SLOTracker
+
+pytestmark = pytest.mark.obs
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_tracker(**kwargs) -> tuple[SLOTracker, FakeClock]:
+    clock = FakeClock()
+    kwargs.setdefault("objective", 0.99)
+    kwargs.setdefault("windows", (10.0, 60.0))
+    return SLOTracker(clock=clock, **kwargs), clock
+
+
+class TestValidation:
+    def test_objective_must_be_a_fraction(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                SLOTracker(objective=bad)
+
+    def test_windows_must_be_ascending_and_positive(self):
+        for bad in ((), (0.0,), (-5.0,), (60.0, 60.0), (60.0, 5.0)):
+            with pytest.raises(ValueError):
+                SLOTracker(windows=bad)
+
+    def test_default_windows_are_the_sre_pairing(self):
+        assert DEFAULT_WINDOWS == (300.0, 3600.0)
+
+
+class TestBurnRate:
+    def test_idle_window_burns_nothing(self):
+        tracker, _ = make_tracker()
+        assert tracker.burn_rate(10.0) == 0.0
+        assert not tracker.breaching()
+
+    def test_all_good_burns_nothing(self):
+        tracker, _ = make_tracker()
+        for _ in range(100):
+            tracker.record(True)
+        assert tracker.burn_rate(10.0) == 0.0
+
+    def test_bad_fraction_at_the_budget_burns_at_one(self):
+        tracker, _ = make_tracker(objective=0.99)
+        for i in range(100):
+            tracker.record(i != 0)  # exactly 1% bad
+        assert tracker.burn_rate(10.0) == pytest.approx(1.0)
+
+    def test_all_bad_burns_at_the_budget_reciprocal(self):
+        tracker, _ = make_tracker(objective=0.99)
+        for _ in range(10):
+            tracker.record(False)
+        assert tracker.burn_rate(10.0) == pytest.approx(100.0)
+
+    def test_slow_requests_spend_budget_when_thresholded(self):
+        tracker, _ = make_tracker(latency_threshold=0.1)
+        assert tracker.record(True, latency=0.5) is True
+        assert tracker.record(True, latency=0.05) is False
+        assert tracker.record(False) is True
+        assert tracker.burn_rate(10.0) == pytest.approx((2 / 3) / 0.01)
+
+    def test_latency_is_ignored_without_a_threshold(self):
+        tracker, _ = make_tracker()
+        assert tracker.record(True, latency=99.0) is False
+
+
+class TestRollingWindows:
+    def test_events_expire_out_of_the_fast_window(self):
+        tracker, clock = make_tracker()
+        for _ in range(10):
+            tracker.record(False)
+        assert tracker.burn_rate(10.0) > 0.0
+        clock.advance(11.0)
+        assert tracker.burn_rate(10.0) == 0.0
+        # ...but the slow window still sees them.
+        assert tracker.burn_rate(60.0) > 0.0
+
+    def test_ring_slots_are_recycled_after_a_full_cycle(self):
+        tracker, clock = make_tracker(windows=(5.0, 10.0))
+        tracker.record(False)
+        clock.advance(10.0)  # one full ring cycle: the slot is stale
+        tracker.record(True)
+        requests, bad = tracker._window_counts(10.0)
+        assert (requests, bad) == (1, 0)
+
+    def test_multi_window_breach_requires_both_windows(self):
+        tracker, clock = make_tracker(objective=0.99, windows=(10.0, 60.0))
+        # A short, fully-bad burst: the fast window burns hard...
+        for _ in range(20):
+            tracker.record(False)
+        assert tracker.burn_rate(10.0) >= DEFAULT_BURN_THRESHOLD
+        assert tracker.breaching()  # burst is also 100% of the slow window
+        # Once good traffic dilutes the slow window below the threshold,
+        # the page clears even while the fast window still remembers.
+        clock.advance(5.0)
+        for _ in range(200):
+            tracker.record(True)
+        assert tracker.burn_rate(10.0) > 0.0
+        assert tracker.burn_rate(60.0) < DEFAULT_BURN_THRESHOLD
+        assert not tracker.breaching()
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_plain_and_keyed_by_window(self):
+        import json
+
+        tracker, _ = make_tracker(objective=0.99, windows=(10.0, 60.0))
+        tracker.record(False)
+        tracker.record(True)
+        snap = tracker.snapshot()
+        json.dumps(snap)
+        assert set(snap) == {
+            "objective", "latency_threshold_seconds", "breaching", "windows",
+        }
+        assert set(snap["windows"]) == {"10s", "60s"}
+        window = snap["windows"]["10s"]
+        assert window["requests"] == 2
+        assert window["bad"] == 1
+        assert window["bad_ratio"] == pytest.approx(0.5)
+        assert window["burn_rate"] == pytest.approx(50.0)
+        assert window["budget_left"] == 0.0

@@ -1,0 +1,108 @@
+"""Property-based tests for the streaming histogram.
+
+The histogram is the serving daemon's latency instrument, so its
+algebra has to hold for *any* observation stream, not just the happy
+path: merge must behave like concatenating the streams (associatively,
+conserving count and sum), quantile estimates must be monotone in q,
+and every recorded value must genuinely lie inside the bucket the
+histogram claims holds it.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.histogram import DEFAULT_LATENCY_BOUNDS, Histogram
+
+# Latencies spanning the default buckets' six decades, plus values
+# beyond both ends (first-bucket and overflow paths).
+latencies = st.floats(
+    min_value=1e-6, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+latency_lists = st.lists(latencies, max_size=60)
+
+# Small custom bucket layouts: strictly ascending positive floats.
+bucket_layouts = st.lists(
+    st.floats(min_value=1e-3, max_value=1e3,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=8, unique=True,
+).map(sorted)
+
+quantiles = st.floats(min_value=0.0, max_value=1.0)
+
+
+def fill(values: list[float]) -> Histogram:
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+class TestConservation:
+    @given(values=latency_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_count_and_sum_are_conserved(self, values):
+        hist = fill(values)
+        assert hist.count == len(values)
+        assert math.isclose(hist.sum, math.fsum(values), abs_tol=1e-9)
+        snap = hist.snapshot()
+        assert sum(snap["counts"]) == len(values)
+
+    @given(a=latency_lists, b=latency_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_concatenation(self, a, b):
+        merged = fill(a).merge(fill(b))
+        together = fill(a + b)
+        assert merged.snapshot()["counts"] == together.snapshot()["counts"]
+        assert merged.count == together.count
+        assert math.isclose(merged.sum, together.sum, abs_tol=1e-9)
+
+    @given(a=latency_lists, b=latency_lists, c=latency_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        left = fill(a).merge(fill(b)).merge(fill(c))
+        right = fill(a).merge(fill(b).merge(fill(c)))
+        assert left.snapshot()["counts"] == right.snapshot()["counts"]
+        assert left.count == right.count
+        assert math.isclose(left.sum, right.sum, abs_tol=1e-9)
+
+
+class TestQuantiles:
+    @given(values=latency_lists, qs=st.lists(quantiles, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_is_monotone_in_q(self, values, qs):
+        hist = fill(values)
+        ordered = sorted(qs)
+        estimates = [hist.quantile(q) for q in ordered]
+        assert estimates == sorted(estimates)
+
+    @given(values=st.lists(latencies, min_size=1, max_size=60), q=quantiles)
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_lands_in_a_populated_bucket_range(self, values, q):
+        hist = fill(values)
+        estimate = hist.quantile(q)
+        # The estimate is bracketed by the bucket ranges of the extreme
+        # observations (quantiles cannot escape the observed support,
+        # up to bucket resolution; overflow reports the last bound).
+        low = hist.bucket_bounds(min(values))[0]
+        high = min(hist.bucket_bounds(max(values))[1],
+                   DEFAULT_LATENCY_BOUNDS[-1])
+        assert low <= estimate <= high
+
+
+class TestBucketContract:
+    @given(value=latencies, layout=bucket_layouts)
+    @settings(max_examples=100, deadline=None)
+    def test_value_lies_within_its_reported_bucket_bounds(self, value, layout):
+        hist = Histogram(layout)
+        lower, upper = hist.bucket_bounds(value)
+        assert lower < value <= upper or (lower == 0.0 and value <= upper)
+        # And observing it increments exactly that bucket.
+        hist.observe(value)
+        counts = hist.snapshot()["counts"]
+        bounds = list(hist.bounds) + [float("inf")]
+        index = counts.index(1)
+        assert value <= bounds[index]
+        assert index == 0 or value > bounds[index - 1]
+        assert sum(counts) == 1

@@ -3,11 +3,13 @@
 Soak reports correlate response-tail spikes with straggler-window
 flushes through these numbers, so the key set is a stability contract:
 renaming or dropping a key silently breaks dashboards and the soak
-analysis — this suite pins it.
+analysis — this suite pins it, for the batcher's own ``stats()`` and
+for the daemon's full ``/stats`` document.
 """
 
 import threading
 
+import numpy as np
 import pytest
 
 from repro.serve.batching import MicroBatcher
@@ -18,6 +20,23 @@ pytestmark = pytest.mark.serve
 TOP_KEYS = {"batches", "queries", "largest_batch", "mean_batch",
             "batch_size", "wait_ms"}
 DIST_KEYS = {"p50", "p95", "p99", "max"}
+
+#: The daemon-level /stats contract: index geometry + serving state +
+#: process context + live SLO.  Dashboards and the soak harness key off
+#: these names.
+STATS_KEYS = {
+    # index.stats()
+    "metric", "n_clusters", "ntotal", "alive", "tombstones", "dim",
+    "trained", "list_min", "list_mean", "list_max", "empty_lists",
+    "imbalance",
+    # serving state
+    "delta_depth", "version", "compactions", "live_entities",
+    "store_rows", "store_capacity", "nprobe",
+    # subsystem blocks
+    "cache", "batcher", "slo",
+    # process context
+    "uptime_seconds", "peak_rss_bytes",
+}
 
 
 def echo_handler(vectors, ks):
@@ -52,6 +71,40 @@ class TestKeyStability:
         json.dumps(stats)  # no numpy scalars may leak onto the wire
         for summary in (stats["batch_size"], stats["wait_ms"]):
             assert all(isinstance(value, float) for value in summary.values())
+
+
+class TestDaemonStatsContract:
+    def test_handle_stats_reports_the_full_key_set(self, tmp_path):
+        from repro.index import IVFIndex
+        from repro.serve.http import AlignmentServer
+        from repro.serve.state import ServingState
+        from repro.storage import EmbeddingStore
+
+        rng = np.random.default_rng(11)
+        base = rng.normal(size=(12, 4)).astype(np.float64)
+        store_path = tmp_path / "emb.store"
+        store = EmbeddingStore.create(store_path, base.shape, "float64",
+                                      capacity=24)
+        store[:] = base
+        store.update_checksum()
+        store.close()
+        index = IVFIndex(n_clusters=2).train(base).add(base)
+        index.save(tmp_path / "ivf.json")
+        state = ServingState.load(store_path, tmp_path / "ivf.json")
+        server = AlignmentServer(("127.0.0.1", 0), state)
+        try:
+            stats = server.handle_stats()
+        finally:
+            server.close()
+        assert set(stats) == STATS_KEYS
+        assert stats["uptime_seconds"] >= 0.0
+        assert stats["peak_rss_bytes"] > 0
+        assert set(stats["batcher"]) == TOP_KEYS
+        slo = stats["slo"]
+        assert {"objective", "breaching", "windows"} <= set(slo)
+        for window in slo["windows"].values():
+            assert {"requests", "bad", "bad_ratio", "burn_rate",
+                    "budget_left"} <= set(window)
 
 
 class TestDistributions:
